@@ -1,0 +1,54 @@
+//! Baseline join-project engines.
+//!
+//! Figure 4 of the paper compares `MMJoin` against PostgreSQL, MySQL, a
+//! commercial "System X", EmptyHeaded, and the combinatorial
+//! output-sensitive join of Lemma 2 ("Non-MMJoin"). Relational DBMSs and
+//! EmptyHeaded are closed substrates we cannot ship, so this crate
+//! re-implements *the query plans those systems execute* (verified in §7.2:
+//! hash join or merge join followed by deduplication; set-intersection
+//! trie plans for EmptyHeaded), which is the computationally relevant
+//! behaviour. See DESIGN.md "Substitutions".
+//!
+//! * [`fulljoin::HashJoinEngine`] — hash join + hash-set dedup (the
+//!   PostgreSQL plan).
+//! * [`fulljoin::SortMergeEngine`] — merge join + sort dedup (the MySQL
+//!   plan).
+//! * [`fulljoin::SystemXEngine`] — hash join + pre-sized dedup table (the
+//!   marginally better commercial engine).
+//! * [`setintersect::SetIntersectEngine`] — EmptyHeaded-style plan built on
+//!   adaptive sorted-set intersections.
+//! * [`nonmm::ExpandDedupEngine`] — the Lemma-2 combinatorial
+//!   output-sensitive algorithm (the paper's `Non-MMJoin` series), serial
+//!   and parallel.
+//! * [`star`] — the same baselines generalised to star queries `Q*_k`.
+
+pub mod fulljoin;
+pub mod nonmm;
+pub mod setintersect;
+pub mod star;
+
+use mmjoin_storage::{Relation, Value};
+
+/// A join-project engine for the 2-path query
+/// `Q(x, z) = R(x, y), S(z, y)`.
+///
+/// Implementations must return the **sorted, distinct** result, which makes
+/// cross-engine equality assertions trivial (see
+/// `tests/cross_engine_agreement.rs`).
+pub trait TwoPathEngine {
+    /// Human-readable engine name used in experiment reports.
+    fn name(&self) -> &'static str;
+
+    /// Evaluates `π_{x,z}(R ⋈ S)`, returning sorted distinct `(x, z)` pairs.
+    fn join_project(&self, r: &Relation, s: &Relation) -> Vec<(Value, Value)>;
+}
+
+/// A join-project engine for star queries `Q*_k`.
+pub trait StarEngine {
+    /// Human-readable engine name used in experiment reports.
+    fn name(&self) -> &'static str;
+
+    /// Evaluates `π_{x1..xk}(R1 ⋈ … ⋈ Rk)`, returning sorted distinct
+    /// tuples.
+    fn star_join_project(&self, relations: &[Relation]) -> Vec<Vec<Value>>;
+}

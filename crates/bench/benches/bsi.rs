@@ -1,0 +1,40 @@
+//! Criterion bench for Figure 6b–d: batched boolean set intersection.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mmjoin_bsi::{answer_batch, random_workload, BsiStrategy};
+use mmjoin_datagen::DatasetKind;
+
+const SCALE: f64 = 0.08;
+const SEED: u64 = 2020;
+
+fn fig6_batch_processing(c: &mut Criterion) {
+    for kind in [DatasetKind::Jokes, DatasetKind::Image] {
+        let r = mmjoin_datagen::generate(kind, SCALE, SEED);
+        let workload = random_workload(&r, &r, 2000, SEED);
+        let mut g = c.benchmark_group(format!("fig6_{}", kind.name()));
+        for batch in [200usize, 1000] {
+            let slice = &workload[..batch];
+            g.bench_with_input(BenchmarkId::new("MMJoin", batch), &batch, |b, _| {
+                let st = BsiStrategy::mm(1);
+                b.iter(|| answer_batch(&r, &r, slice, &st));
+            });
+            g.bench_with_input(BenchmarkId::new("NonMM", batch), &batch, |b, _| {
+                b.iter(|| answer_batch(&r, &r, slice, &BsiStrategy::NonMm));
+            });
+            g.bench_with_input(BenchmarkId::new("PerRequest", batch), &batch, |b, _| {
+                b.iter(|| answer_batch(&r, &r, slice, &BsiStrategy::PerRequest));
+            });
+        }
+        g.finish();
+    }
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_millis(1500));
+    targets = fig6_batch_processing
+);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Criterion bench for Figures 5 / 6a: set-similarity joins, unordered and
+//! ordered, across the three algorithm families.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mmjoin_datagen::DatasetKind;
+use mmjoin_ssj::{ordered_ssj, unordered_ssj, SizeAwarePPOpts, SsjAlgorithm};
+
+const SCALE: f64 = 0.06;
+const SEED: u64 = 2020;
+
+fn algos() -> Vec<(&'static str, SsjAlgorithm)> {
+    vec![
+        ("MMJoin", SsjAlgorithm::mmjoin(1)),
+        ("SizeAwarePP", SsjAlgorithm::SizeAwarePP(SizeAwarePPOpts::all())),
+        ("SizeAware", SsjAlgorithm::SizeAware),
+    ]
+}
+
+fn fig5_unordered(c: &mut Criterion) {
+    for kind in [DatasetKind::Dblp, DatasetKind::Jokes] {
+        let r = mmjoin_datagen::generate(kind, SCALE, SEED);
+        let mut g = c.benchmark_group(format!("fig5_unordered_{}", kind.name()));
+        for cc in [2u32, 4] {
+            for (name, algo) in algos() {
+                g.bench_with_input(
+                    BenchmarkId::new(name, format!("c{cc}")),
+                    &cc,
+                    |b, &cc| b.iter(|| unordered_ssj(&r, cc, &algo, 1)),
+                );
+            }
+        }
+        g.finish();
+    }
+}
+
+fn fig5ef_ordered(c: &mut Criterion) {
+    let r = mmjoin_datagen::generate(DatasetKind::Jokes, SCALE, SEED);
+    let mut g = c.benchmark_group("fig5ef_ordered_jokes");
+    for (name, algo) in algos() {
+        g.bench_function(name, |b| b.iter(|| ordered_ssj(&r, 2, &algo, 1)));
+    }
+    g.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_millis(1500));
+    targets = fig5_unordered, fig5ef_ordered
+);
+criterion_main!(benches);

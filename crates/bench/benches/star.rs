@@ -1,0 +1,58 @@
+//! Criterion bench for Figure 4b (and 4f/4g): star queries `Q*_3`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mmjoin_baseline::nonmm::ExpandDedupEngine;
+use mmjoin_baseline::StarEngine;
+use mmjoin_core::MmJoinEngine;
+use mmjoin_datagen::DatasetKind;
+use mmjoin_storage::Relation;
+
+const SEED: u64 = 2020;
+
+fn star_instance(kind: DatasetKind) -> Vec<Relation> {
+    let scale = if kind.is_dense() { 0.015 } else { 0.06 };
+    mmjoin_datagen::generate_star(kind, scale, SEED, 3)
+        .into_iter()
+        .map(|r| Relation::from_edges(r.edges().iter().copied().filter(|&(x, _)| x < 120)))
+        .collect()
+}
+
+fn fig4b_star(c: &mut Criterion) {
+    for kind in [DatasetKind::Dblp, DatasetKind::Jokes, DatasetKind::Image] {
+        let rels = star_instance(kind);
+        let mut g = c.benchmark_group(format!("fig4b_{}", kind.name()));
+        g.bench_function("MMJoin", |b| {
+            let e = MmJoinEngine::serial();
+            b.iter(|| e.star_join_project(&rels));
+        });
+        g.bench_function("NonMM", |b| {
+            let e = ExpandDedupEngine::serial();
+            b.iter(|| StarEngine::star_join_project(&e, &rels));
+        });
+        g.finish();
+    }
+}
+
+fn fig4fg_star_multicore(c: &mut Criterion) {
+    let rels = star_instance(DatasetKind::Jokes);
+    let mut g = c.benchmark_group("fig4fg_jokes_star_multicore");
+    // Clamp ≥ 4 so the sweep stays non-degenerate (unique IDs) on 1-CPU hosts.
+    let max = std::thread::available_parallelism().map(|v| v.get()).unwrap_or(4).clamp(4, 8);
+    for cores in [1usize, max] {
+        g.bench_with_input(BenchmarkId::new("MMJoin", cores), &cores, |b, &cores| {
+            let e = MmJoinEngine::parallel(cores);
+            b.iter(|| e.star_join_project(&rels));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_millis(1500));
+    targets = fig4b_star, fig4fg_star_multicore
+);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Criterion bench for Figure 4a (and 4d/4e): 2-path join-project across
+//! engines and datasets, single- and multi-core.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mmjoin_baseline::fulljoin::{HashJoinEngine, SortMergeEngine};
+use mmjoin_baseline::nonmm::ExpandDedupEngine;
+use mmjoin_baseline::setintersect::SetIntersectEngine;
+use mmjoin_baseline::TwoPathEngine;
+use mmjoin_core::MmJoinEngine;
+use mmjoin_datagen::DatasetKind;
+
+const SCALE: f64 = 0.08;
+const SEED: u64 = 2020;
+
+fn fig4a_engines(c: &mut Criterion) {
+    for kind in [DatasetKind::Dblp, DatasetKind::Jokes, DatasetKind::Protein, DatasetKind::Image] {
+        let r = mmjoin_datagen::generate(kind, SCALE, SEED);
+        let mut g = c.benchmark_group(format!("fig4a_{}", kind.name()));
+        let engines: Vec<Box<dyn TwoPathEngine>> = vec![
+            Box::new(MmJoinEngine::serial()),
+            Box::new(ExpandDedupEngine::serial()),
+            Box::new(HashJoinEngine),
+            Box::new(SortMergeEngine),
+            Box::new(SetIntersectEngine),
+        ];
+        for e in engines {
+            g.bench_with_input(BenchmarkId::new(e.name(), kind.name()), &r, |b, r| {
+                b.iter(|| e.join_project(r, r));
+            });
+        }
+        g.finish();
+    }
+}
+
+fn fig4de_multicore(c: &mut Criterion) {
+    let r = mmjoin_datagen::generate(DatasetKind::Jokes, SCALE, SEED);
+    let mut g = c.benchmark_group("fig4de_jokes_multicore");
+    // Clamp ≥ 4 so the sweep stays non-degenerate (unique IDs) on 1-CPU hosts.
+    let max = std::thread::available_parallelism().map(|v| v.get()).unwrap_or(4).clamp(4, 8);
+    for cores in [1usize, 2, max] {
+        g.bench_with_input(BenchmarkId::new("MMJoin", cores), &cores, |b, &cores| {
+            let e = MmJoinEngine::parallel(cores);
+            b.iter(|| e.join_project(&r, &r));
+        });
+        g.bench_with_input(BenchmarkId::new("NonMM", cores), &cores, |b, &cores| {
+            let e = ExpandDedupEngine::parallel(cores);
+            b.iter(|| e.join_project(&r, &r));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_millis(1500));
+    targets = fig4a_engines, fig4de_multicore
+);
+criterion_main!(benches);

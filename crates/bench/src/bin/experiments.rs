@@ -1,0 +1,66 @@
+//! Experiment driver: regenerates every table and figure of §7.
+//!
+//! ```text
+//! experiments <target> [--scale <f64>]
+//!
+//! targets: table2 fig3a fig3b fig4a fig4b fig4c fig4d fig4f
+//!          fig5a fig5b fig5c fig5d fig5g fig5h fig5e fig5f fig6a
+//!          fig6b fig6c fig6d fig7 fig8 ablation all
+//! ```
+
+use mmjoin_bench::{figures, DEFAULT_SCALE};
+use mmjoin_datagen::DatasetKind;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let target = args.first().map(String::as_str).unwrap_or("all");
+    let scale = args
+        .iter()
+        .position(|a| a == "--scale")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse::<f64>().ok())
+        .unwrap_or(DEFAULT_SCALE);
+
+    let run = |name: &str| match name {
+        "table2" => println!("{}", figures::table2(scale)),
+        "fig3a" => println!("{}", figures::fig3a().render()),
+        "fig3b" => println!("{}", figures::fig3b().render()),
+        "fig4a" => println!("{}", figures::fig4a(scale).render()),
+        "fig4b" => println!("{}", figures::fig4b(scale).render()),
+        "fig4c" => println!("{}", figures::fig4c(scale).render()),
+        "fig4d" | "fig4e" => println!("{}", figures::fig4de(scale).render()),
+        "fig4f" | "fig4g" => println!("{}", figures::fig4fg(scale).render()),
+        "fig5a" => println!("{}", figures::fig5_unordered(DatasetKind::Dblp, scale).render()),
+        "fig5b" => println!("{}", figures::fig5_unordered(DatasetKind::Jokes, scale).render()),
+        "fig5c" => println!("{}", figures::fig5_unordered(DatasetKind::Image, scale).render()),
+        "fig5d" => println!("{}", figures::fig5_parallel(DatasetKind::Dblp, scale).render()),
+        "fig5g" => println!("{}", figures::fig5_parallel(DatasetKind::Jokes, scale).render()),
+        "fig5h" => println!("{}", figures::fig5_parallel(DatasetKind::Image, scale).render()),
+        "fig5e" => println!("{}", figures::fig_ordered_ssj(DatasetKind::Dblp, scale).render()),
+        "fig5f" => println!("{}", figures::fig_ordered_ssj(DatasetKind::Jokes, scale).render()),
+        "fig6a" => println!("{}", figures::fig_ordered_ssj(DatasetKind::Image, scale).render()),
+        "fig6b" => println!("{}", figures::fig6_bsi(DatasetKind::Jokes, scale).render()),
+        "fig6c" => println!("{}", figures::fig6_bsi(DatasetKind::Words, scale).render()),
+        "fig6d" => println!("{}", figures::fig6_bsi(DatasetKind::Image, scale).render()),
+        "fig7" => println!("{}", figures::fig7(scale).render()),
+        "fig8" => println!("{}", figures::fig8(scale).render()),
+        "ablation" => println!("{}", figures::ablation_matrix_backends(scale).render()),
+        other => {
+            eprintln!("unknown target `{other}`");
+            std::process::exit(2);
+        }
+    };
+
+    if target == "all" {
+        for name in [
+            "table2", "fig3a", "fig3b", "fig4a", "fig4b", "fig4c", "fig4d", "fig4f", "fig5a",
+            "fig5b", "fig5c", "fig5d", "fig5g", "fig5h", "fig5e", "fig5f", "fig6a", "fig6b",
+            "fig6c", "fig6d", "fig7", "fig8", "ablation",
+        ] {
+            eprintln!(">>> running {name} (scale {scale})");
+            run(name);
+        }
+    } else {
+        run(target);
+    }
+}

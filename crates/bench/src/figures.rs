@@ -1,0 +1,456 @@
+//! Per-figure experiment drivers (§7). Each function regenerates one table
+//! or figure of the paper and returns a rendered [`Table`].
+
+use crate::report::{fmt_secs, Table};
+use crate::{core_grid, dataset, star_dataset, timed, SEED};
+use mmjoin_baseline::fulljoin::{HashJoinEngine, SortMergeEngine, SystemXEngine};
+use mmjoin_baseline::nonmm::ExpandDedupEngine;
+use mmjoin_baseline::setintersect::SetIntersectEngine;
+use mmjoin_baseline::{StarEngine, TwoPathEngine};
+use mmjoin_bsi::{random_workload, simulate_batching, BsiStrategy};
+use mmjoin_core::{HeavyBackend, JoinConfig, MmJoinEngine};
+use mmjoin_datagen::DatasetKind;
+use mmjoin_matrix::{matmul_parallel, DenseMatrix};
+use mmjoin_scj::{set_containment_join, ScjAlgorithm};
+use mmjoin_ssj::{ordered_ssj, unordered_ssj, SizeAwarePPOpts, SsjAlgorithm};
+
+/// Table 2: dataset characteristics at the experiment scale.
+pub fn table2(scale: f64) -> String {
+    format!(
+        "== Table 2: dataset characteristics (scale {scale}) ==\n{}",
+        mmjoin_datagen::table2_report(scale, SEED)
+    )
+}
+
+/// Figure 3a: single-core GEMM runtime vs square dimension.
+pub fn fig3a() -> Table {
+    let mut t = Table::new(
+        "Figure 3a: matrix multiplication, single core",
+        vec!["n".into(), "multiply".into(), "GFLOP/s".into()],
+    );
+    // Warm up caches/frequency so the first row is not an outlier.
+    {
+        let a = DenseMatrix::from_fn(256, 256, |i, j| ((i + j) % 2) as f32);
+        std::hint::black_box(matmul_parallel(&a, &a, 1));
+    }
+    for &n in &[256usize, 384, 512, 768, 1024, 1536] {
+        let a = DenseMatrix::from_fn(n, n, |i, j| ((i + j) % 3 == 0) as u8 as f32);
+        let b = DenseMatrix::from_fn(n, n, |i, j| ((i * j) % 5 == 0) as u8 as f32);
+        let (_, secs) = timed(|| std::hint::black_box(matmul_parallel(&a, &b, 1)));
+        let gflops = 2.0 * (n as f64).powi(3) / secs / 1e9;
+        t.push_row(n.to_string(), vec![fmt_secs(secs), format!("{gflops:.2}")]);
+    }
+    t
+}
+
+/// Figure 3b: construction + multiplication vs core count (fixed n).
+pub fn fig3b() -> Table {
+    const N: usize = 1024;
+    let mut t = Table::new(
+        format!("Figure 3b: {N}x{N} GEMM scaling with cores"),
+        vec!["cores".into(), "construct".into(), "multiply".into(), "speedup".into()],
+    );
+    let mut base = 0.0f64;
+    for cores in core_grid() {
+        let (ab, construct) = timed(|| {
+            let a = DenseMatrix::from_fn(N, N, |i, j| ((i + j) % 3 == 0) as u8 as f32);
+            let b = DenseMatrix::from_fn(N, N, |i, j| ((i * j) % 5 == 0) as u8 as f32);
+            (a, b)
+        });
+        let (_, mult) = timed(|| std::hint::black_box(matmul_parallel(&ab.0, &ab.1, cores)));
+        if cores == 1 {
+            base = mult;
+        }
+        t.push_row(
+            cores.to_string(),
+            vec![
+                fmt_secs(construct),
+                fmt_secs(mult),
+                format!("{:.2}x", base / mult),
+            ],
+        );
+    }
+    t
+}
+
+fn two_path_engines() -> Vec<Box<dyn TwoPathEngine>> {
+    vec![
+        Box::new(MmJoinEngine::serial()),
+        Box::new(ExpandDedupEngine::serial()),
+        Box::new(HashJoinEngine),
+        Box::new(SortMergeEngine),
+        Box::new(SetIntersectEngine),
+        Box::new(SystemXEngine),
+    ]
+}
+
+/// Figure 4a: 2-path join-project across datasets and engines, single core.
+pub fn fig4a(scale: f64) -> Table {
+    let engines = two_path_engines();
+    let mut headers: Vec<String> = vec!["Dataset".into()];
+    headers.extend(engines.iter().map(|e| e.name().to_string()));
+    headers.push("|OUT|".into());
+    let mut t = Table::new("Figure 4a: two-path query, single core", headers);
+    for kind in DatasetKind::ALL {
+        let r = dataset(kind, scale);
+        let mut cells = Vec::new();
+        let mut out_len = 0usize;
+        for e in &engines {
+            let (out, secs) = timed(|| e.join_project(&r, &r));
+            out_len = out.len();
+            cells.push(fmt_secs(secs));
+        }
+        cells.push(out_len.to_string());
+        t.push_row(kind.name(), cells);
+    }
+    t
+}
+
+/// Figure 4b: star query (k = 3), MMJoin vs Non-MMJoin, single core.
+pub fn fig4b(scale: f64) -> Table {
+    let mut t = Table::new(
+        "Figure 4b: three-relation star query, single core",
+        vec!["Dataset".into(), "MMJoin".into(), "Non-MMJoin".into(), "|OUT|".into()],
+    );
+    for kind in DatasetKind::ALL {
+        let rels = star_dataset(kind, scale, 3);
+        let mm = MmJoinEngine::serial();
+        let (out_mm, secs_mm) = timed(|| StarEngine::star_join_project(&mm, &rels));
+        let nonmm = ExpandDedupEngine::serial();
+        let (out_nm, secs_nm) = timed(|| StarEngine::star_join_project(&nonmm, &rels));
+        assert_eq!(out_mm.len(), out_nm.len(), "{kind:?}: engines disagree");
+        t.push_row(
+            kind.name(),
+            vec![fmt_secs(secs_mm), fmt_secs(secs_nm), out_mm.len().to_string()],
+        );
+    }
+    t
+}
+
+/// Figure 4c: set-containment join across datasets, single core.
+pub fn fig4c(scale: f64) -> Table {
+    let algos: Vec<(&str, ScjAlgorithm)> = vec![
+        ("MMJoin", ScjAlgorithm::mmjoin(1)),
+        ("PIEJoin", ScjAlgorithm::PieJoin),
+        ("PRETTI", ScjAlgorithm::Pretti),
+        ("LIMIT+", ScjAlgorithm::LimitPlus { limit: 2 }),
+    ];
+    let mut headers: Vec<String> = vec!["Dataset".into()];
+    headers.extend(algos.iter().map(|(n, _)| n.to_string()));
+    headers.push("|SCJ|".into());
+    let mut t = Table::new("Figure 4c: set containment join, single core", headers);
+    for kind in DatasetKind::ALL {
+        let r = dataset(kind, scale);
+        let mut cells = Vec::new();
+        let mut out_len = 0usize;
+        for (_, algo) in &algos {
+            let (out, secs) = timed(|| set_containment_join(&r, algo, 1));
+            out_len = out.len();
+            cells.push(fmt_secs(secs));
+        }
+        cells.push(out_len.to_string());
+        t.push_row(kind.name(), cells);
+    }
+    t
+}
+
+/// Figures 4d/4e: 2-path multicore scaling (Jokes, Words).
+pub fn fig4de(scale: f64) -> Table {
+    let mut t = Table::new(
+        "Figures 4d/4e: two-path query, multicore",
+        vec![
+            "cores".into(),
+            "Jokes MMJoin".into(),
+            "Jokes Non-MM".into(),
+            "Words MMJoin".into(),
+            "Words Non-MM".into(),
+        ],
+    );
+    let jokes = dataset(DatasetKind::Jokes, scale);
+    let words = dataset(DatasetKind::Words, scale);
+    for cores in core_grid() {
+        let mut cells = Vec::new();
+        for r in [&jokes, &words] {
+            let mm = MmJoinEngine::parallel(cores);
+            let (_, secs_mm) = timed(|| mm.join_project(r, r));
+            let nm = ExpandDedupEngine::parallel(cores);
+            let (_, secs_nm) = timed(|| nm.join_project(r, r));
+            cells.push(fmt_secs(secs_mm));
+            cells.push(fmt_secs(secs_nm));
+        }
+        t.push_row(cores.to_string(), cells);
+    }
+    t
+}
+
+/// Figures 4f/4g: star query multicore scaling (Jokes, Words).
+pub fn fig4fg(scale: f64) -> Table {
+    let mut t = Table::new(
+        "Figures 4f/4g: star query, multicore",
+        vec![
+            "cores".into(),
+            "Jokes MMJoin".into(),
+            "Jokes Non-MM".into(),
+            "Words MMJoin".into(),
+            "Words Non-MM".into(),
+        ],
+    );
+    let jokes = star_dataset(DatasetKind::Jokes, scale, 3);
+    let words = star_dataset(DatasetKind::Words, scale, 3);
+    for cores in core_grid() {
+        let mut cells = Vec::new();
+        for rels in [&jokes, &words] {
+            let mm = MmJoinEngine::parallel(cores);
+            let (_, secs_mm) = timed(|| StarEngine::star_join_project(&mm, rels));
+            // Non-MM star is the WCOJ+dedup path; it has no internal
+            // parallelism knob, representing the serialized baseline.
+            let nm = ExpandDedupEngine::parallel(cores);
+            let (_, secs_nm) = timed(|| StarEngine::star_join_project(&nm, rels));
+            cells.push(fmt_secs(secs_mm));
+            cells.push(fmt_secs(secs_nm));
+        }
+        t.push_row(cores.to_string(), cells);
+    }
+    t
+}
+
+fn ssj_algos() -> Vec<(&'static str, SsjAlgorithm)> {
+    vec![
+        ("MMJoin", SsjAlgorithm::mmjoin(1)),
+        ("SizeAware++", SsjAlgorithm::SizeAwarePP(SizeAwarePPOpts::all())),
+        ("SizeAware", SsjAlgorithm::SizeAware),
+    ]
+}
+
+/// Figures 5a/5b/5c: unordered SSJ vs overlap threshold `c`.
+pub fn fig5_unordered(kind: DatasetKind, scale: f64) -> Table {
+    let mut headers: Vec<String> = vec!["c".into()];
+    headers.extend(ssj_algos().iter().map(|(n, _)| n.to_string()));
+    headers.push("|OUT|".into());
+    let mut t = Table::new(
+        format!("Figure 5 (unordered SSJ, {})", kind.name()),
+        headers,
+    );
+    let r = dataset(kind, scale);
+    for c in 2..=6u32 {
+        let mut cells = Vec::new();
+        let mut out_len = 0usize;
+        for (_, algo) in ssj_algos() {
+            let (out, secs) = timed(|| unordered_ssj(&r, c, &algo, 1));
+            out_len = out.len();
+            cells.push(fmt_secs(secs));
+        }
+        cells.push(out_len.to_string());
+        t.push_row(c.to_string(), cells);
+    }
+    t
+}
+
+/// Figures 5d/5g/5h: parallel unordered SSJ at `c = 2`.
+pub fn fig5_parallel(kind: DatasetKind, scale: f64) -> Table {
+    let mut headers: Vec<String> = vec!["cores".into()];
+    headers.extend(ssj_algos().iter().map(|(n, _)| n.to_string()));
+    let mut t = Table::new(
+        format!("Figure 5 (parallel unordered SSJ c=2, {})", kind.name()),
+        headers,
+    );
+    let r = dataset(kind, scale);
+    for cores in core_grid() {
+        let mut cells = Vec::new();
+        for (_, algo) in ssj_algos() {
+            let (_, secs) = timed(|| unordered_ssj(&r, 2, &algo, cores));
+            cells.push(fmt_secs(secs));
+        }
+        t.push_row(cores.to_string(), cells);
+    }
+    t
+}
+
+/// Figures 5e/5f/6a: ordered SSJ vs overlap threshold.
+pub fn fig_ordered_ssj(kind: DatasetKind, scale: f64) -> Table {
+    let mut headers: Vec<String> = vec!["c".into()];
+    headers.extend(ssj_algos().iter().map(|(n, _)| n.to_string()));
+    let mut t = Table::new(
+        format!("Figures 5e/5f/6a (ordered SSJ, {})", kind.name()),
+        headers,
+    );
+    let r = dataset(kind, scale);
+    for c in 2..=6u32 {
+        let mut cells = Vec::new();
+        for (_, algo) in ssj_algos() {
+            let (_, secs) = timed(|| ordered_ssj(&r, c, &algo, 1));
+            cells.push(fmt_secs(secs));
+        }
+        t.push_row(c.to_string(), cells);
+    }
+    t
+}
+
+/// Figures 6b/6c/6d: BSI average delay vs batch size.
+pub fn fig6_bsi(kind: DatasetKind, scale: f64) -> Table {
+    let mut t = Table::new(
+        format!("Figure 6 (BSI average delay, {})", kind.name()),
+        vec![
+            "batch".into(),
+            "MMJoin delay".into(),
+            "Non-MM delay".into(),
+            "MM machines".into(),
+            "Non-MM machines".into(),
+        ],
+    );
+    let r = dataset(kind, scale);
+    let workload = random_workload(&r, &r, 20_000, SEED);
+    // The paper's arrival rate (1000 q/s) matched datasets ~1000× larger;
+    // the scaled-down instances need a proportionally faster stream for the
+    // queueing/processing trade-off to be visible.
+    const RATE: f64 = 100_000.0;
+    for &batch in &[250usize, 500, 1000, 2000, 4000] {
+        let mm = simulate_batching(&r, &r, &workload, batch, RATE, &BsiStrategy::mm(1));
+        let nm = simulate_batching(&r, &r, &workload, batch, RATE, &BsiStrategy::NonMm);
+        t.push_row(
+            batch.to_string(),
+            vec![
+                fmt_secs(mm.avg_delay_secs),
+                fmt_secs(nm.avg_delay_secs),
+                mm.machines_needed.to_string(),
+                nm.machines_needed.to_string(),
+            ],
+        );
+    }
+    t
+}
+
+/// Figure 7: parallel SCJ, MMJoin vs PIEJoin, dense datasets.
+pub fn fig7(scale: f64) -> Table {
+    let kinds = [
+        DatasetKind::Jokes,
+        DatasetKind::Words,
+        DatasetKind::Protein,
+        DatasetKind::Image,
+    ];
+    let mut headers: Vec<String> = vec!["cores".into()];
+    for k in kinds {
+        headers.push(format!("{} MMJoin", k.name()));
+        headers.push(format!("{} PIEJoin", k.name()));
+    }
+    let mut t = Table::new("Figure 7: parallel SCJ", headers);
+    let datasets: Vec<_> = kinds.iter().map(|&k| dataset(k, scale)).collect();
+    for cores in core_grid() {
+        let mut cells = Vec::new();
+        for r in &datasets {
+            let (_, mm) = timed(|| set_containment_join(r, &ScjAlgorithm::mmjoin(cores), cores));
+            let (_, pie) = timed(|| set_containment_join(r, &ScjAlgorithm::PieJoin, cores));
+            cells.push(fmt_secs(mm));
+            cells.push(fmt_secs(pie));
+        }
+        t.push_row(cores.to_string(), cells);
+    }
+    t
+}
+
+/// Figure 8: SizeAware++ optimization ablation on Words (c = 2), reported
+/// as a percentage of the NO-OP runtime.
+pub fn fig8(scale: f64) -> Table {
+    let mut t = Table::new(
+        "Figure 8: SizeAware++ ablation on Words (c=2)",
+        vec!["Optimizations".into(), "time".into(), "% of NO-OP".into()],
+    );
+    let r = dataset(DatasetKind::Words, scale);
+    let variants: Vec<(&str, SizeAwarePPOpts)> = vec![
+        ("NO-OP", SizeAwarePPOpts::none()),
+        (
+            "Light",
+            SizeAwarePPOpts {
+                light: true,
+                heavy: false,
+                prefix: false,
+            },
+        ),
+        (
+            "Heavy",
+            SizeAwarePPOpts {
+                light: true,
+                heavy: true,
+                prefix: false,
+            },
+        ),
+        ("Prefix", SizeAwarePPOpts::all()),
+    ];
+    let mut noop = 0.0f64;
+    for (name, opts) in variants {
+        let algo = SsjAlgorithm::SizeAwarePP(opts);
+        let (_, secs) = timed(|| unordered_ssj(&r, 2, &algo, 1));
+        if name == "NO-OP" {
+            noop = secs;
+        }
+        t.push_row(
+            name,
+            vec![fmt_secs(secs), format!("{:.1}%", 100.0 * secs / noop)],
+        );
+    }
+    t
+}
+
+/// Ablation (beyond the paper): f32 GEMM vs bit-matrix boolean product vs
+/// Strassen for the heavy core of the 2-path join on a dense dataset.
+pub fn ablation_matrix_backends(scale: f64) -> Table {
+    let mut t = Table::new(
+        "Ablation: heavy-core backend (Jokes dataset)",
+        vec!["backend".into(), "time".into(), "|OUT|".into()],
+    );
+    let r = dataset(DatasetKind::Jokes, scale);
+    let backend_cfg = |backend| JoinConfig {
+        heavy_backend: backend,
+        ..JoinConfig::default()
+    };
+    for (name, cfg) in [
+        ("f32 GEMM", backend_cfg(HeavyBackend::DenseF32)),
+        ("bit-matrix", backend_cfg(HeavyBackend::BitMatrix)),
+        ("spgemm", backend_cfg(HeavyBackend::Sparse)),
+        ("auto", backend_cfg(HeavyBackend::Auto)),
+    ] {
+        let engine = MmJoinEngine::new(cfg);
+        let (out, secs) = timed(|| engine.join_project(&r, &r));
+        t.push_row(name, vec![fmt_secs(secs), out.len().to_string()]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TINY: f64 = 0.03;
+
+    #[test]
+    fn table2_renders() {
+        let s = table2(TINY);
+        assert!(s.contains("DBLP"));
+    }
+
+    #[test]
+    fn fig4a_engines_agree_on_tiny_scale() {
+        // The driver asserts per-engine output lengths match implicitly by
+        // printing the last; here verify engines agree on a tiny instance.
+        let r = dataset(DatasetKind::Jokes, TINY);
+        let engines = two_path_engines();
+        let reference = engines[1].join_project(&r, &r);
+        for e in &engines {
+            assert_eq!(e.join_project(&r, &r), reference, "{}", e.name());
+        }
+    }
+
+    #[test]
+    fn fig8_variants_run() {
+        let t = fig8(TINY);
+        assert_eq!(t.rows.len(), 4);
+    }
+
+    #[test]
+    fn fig6_runs_tiny() {
+        let r = dataset(DatasetKind::Words, TINY);
+        let w = random_workload(&r, &r, 50, 1);
+        let rep = simulate_batching(&r, &r, &w, 25, 1000.0, &BsiStrategy::NonMm);
+        assert!(rep.machines_needed >= 1);
+    }
+}

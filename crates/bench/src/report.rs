@@ -1,0 +1,96 @@
+//! Plain-text experiment report rendering.
+
+/// A rectangular results table: one row per configuration, one column per
+/// measured series, rendered with fixed-width alignment.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Table title (figure/table id + description).
+    pub title: String,
+    /// Column headers; `headers[0]` labels the row key.
+    pub headers: Vec<String>,
+    /// Rows: `(key, cells)`.
+    pub rows: Vec<(String, Vec<String>)>,
+}
+
+impl Table {
+    /// New empty table.
+    pub fn new(title: impl Into<String>, headers: Vec<String>) -> Self {
+        Self {
+            title: title.into(),
+            headers,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn push_row(&mut self, key: impl Into<String>, cells: Vec<String>) {
+        self.rows.push((key.into(), cells));
+    }
+
+    /// Renders with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for (key, cells) in &self.rows {
+            widths[0] = widths[0].max(key.len());
+            for (i, c) in cells.iter().enumerate() {
+                if i + 1 < widths.len() {
+                    widths[i + 1] = widths[i + 1].max(c.len());
+                } else {
+                    widths.push(c.len().max(self.headers.get(i + 1).map_or(0, |h| h.len())));
+                }
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        for (i, h) in self.headers.iter().enumerate() {
+            out.push_str(&format!("{:<w$}  ", h, w = widths[i]));
+        }
+        out.push('\n');
+        for (key, cells) in &self.rows {
+            out.push_str(&format!("{:<w$}  ", key, w = widths[0]));
+            for (i, c) in cells.iter().enumerate() {
+                out.push_str(&format!("{:<w$}  ", c, w = widths.get(i + 1).copied().unwrap_or(8)));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats seconds with adaptive precision (`1.23s`, `45.6ms`).
+pub fn fmt_secs(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.2}s")
+    } else if secs >= 1e-3 {
+        format!("{:.1}ms", secs * 1e3)
+    } else {
+        format!("{:.0}us", secs * 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new(
+            "Fig X",
+            vec!["Dataset".into(), "MMJoin".into(), "Baseline".into()],
+        );
+        t.push_row("Jokes", vec!["1.2s".into(), "50.0s".into()]);
+        t.push_row("RoadNet".to_string(), vec!["0.1s".into(), "0.1s".into()]);
+        let s = t.render();
+        assert!(s.contains("== Fig X =="));
+        assert!(s.contains("Jokes"));
+        assert!(s.contains("RoadNet"));
+        assert!(s.contains("Baseline"));
+    }
+
+    #[test]
+    fn fmt_secs_ranges() {
+        assert_eq!(fmt_secs(2.5), "2.50s");
+        assert_eq!(fmt_secs(0.0456), "45.6ms");
+        assert_eq!(fmt_secs(0.000_045), "45us");
+    }
+}

@@ -1,0 +1,270 @@
+//! Boolean set intersection (BSI) with request batching — §3.3.
+//!
+//! A stream of boolean queries `Qab() = R(a, y), S(b, y)` ("do sets `a` and
+//! `b` intersect?") arrives at `B` queries per second. Answering each query
+//! alone costs up to `O(N)`; batching `C` requests into the conjunctive
+//! query `Qbatch(x, z) = R(x, y), S(z, y), T(x, z)` amortises the work:
+//!
+//! * [`BsiStrategy::PerRequest`] answers each request with an adaptive
+//!   sorted-list intersection (the indexed version of Example 5's
+//!   per-request processing; also the WCOJ plan for `Qbatch` seeded
+//!   from `T`) — `O(N · C^{1/2})` worst case over a batch.
+//! * [`BsiStrategy::NonMm`] filters `R` and `S` down to the requested sets
+//!   and evaluates the filtered 2-path query with the combinatorial
+//!   expansion join — the paper's `Non-MMJoin` series of Figure 6.
+//! * [`BsiStrategy::Mm`] is the paper's headline setup: same batch
+//!   filtering, but Algorithm 1 evaluates the filtered query — the
+//!   AYZ-flavoured `O(N · C^{1/3})` strategy of Proposition 2.
+//!
+//! [`simulate_batching`] replays a workload at a fixed arrival rate and
+//! batch size and reports the average delay (collection wait + processing)
+//! and the number of parallel processing units needed to keep up — the
+//! quantities of Figure 6b–d.
+
+pub mod queueing;
+
+pub use queueing::{min_servers_for_latency, simulate_queue, LatencySummary, QueueReport};
+
+use mmjoin_core::{two_path_join_project, JoinConfig};
+use mmjoin_storage::{Relation, RelationBuilder, Value};
+use mmjoin_wcoj::batch_filter_exists;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+use std::time::Instant;
+
+/// One boolean intersection request.
+pub type BsiQuery = (Value, Value);
+
+/// Batch evaluation strategy.
+#[derive(Debug, Clone)]
+pub enum BsiStrategy {
+    /// Per-request adaptive sorted-list intersection: the WCOJ plan for
+    /// `Qbatch` seeded from the batch relation (Example 5's per-request
+    /// processing, with indexes).
+    PerRequest,
+    /// Batch-filtered 2-path query evaluated with the *combinatorial*
+    /// expansion join (the paper's `Non-MMJoin` series in Figure 6).
+    NonMm,
+    /// Batch-filtered 2-path query via Algorithm 1 (the `MMJoin` series).
+    Mm(Box<JoinConfig>),
+}
+
+impl BsiStrategy {
+    /// MM strategy on `threads` workers.
+    pub fn mm(threads: usize) -> Self {
+        BsiStrategy::Mm(Box::new(JoinConfig {
+            threads,
+            ..JoinConfig::default()
+        }))
+    }
+}
+
+/// Restricts `r` to the sets named on one side of the batch.
+fn filter_side(r: &Relation, wanted: &HashSet<Value>) -> Relation {
+    let mut b = RelationBuilder::with_domains(r.x_domain(), r.y_domain());
+    for &a in wanted {
+        if (a as usize) < r.x_domain() {
+            for &y in r.ys_of(a) {
+                b.push(a, y);
+            }
+        }
+    }
+    b.build()
+}
+
+/// Answers one batch of queries; `answers[i]` is whether
+/// `set_R(batch[i].0) ∩ set_S(batch[i].1) ≠ ∅`.
+///
+/// ```
+/// use mmjoin_bsi::{answer_batch, BsiStrategy};
+/// use mmjoin_storage::Relation;
+/// let r = Relation::from_edges([(0, 1), (1, 2)]);
+/// let answers = answer_batch(&r, &r, &[(0, 0), (0, 1)], &BsiStrategy::PerRequest);
+/// assert_eq!(answers, vec![true, false]);
+/// ```
+pub fn answer_batch(
+    r: &Relation,
+    s: &Relation,
+    batch: &[BsiQuery],
+    strategy: &BsiStrategy,
+) -> Vec<bool> {
+    match strategy {
+        BsiStrategy::PerRequest => batch_filter_exists(r, s, batch),
+        BsiStrategy::NonMm | BsiStrategy::Mm(_) => {
+            // Filter R and S to the requested sets (the paper's setup),
+            // evaluate the filtered 2-path query, probe the batch pairs.
+            let wanted_a: HashSet<Value> = batch.iter().map(|&(a, _)| a).collect();
+            let wanted_b: HashSet<Value> = batch.iter().map(|&(_, b)| b).collect();
+            let ra = filter_side(r, &wanted_a);
+            let sb = filter_side(s, &wanted_b);
+            let pairs = match strategy {
+                BsiStrategy::Mm(cfg) => two_path_join_project(&ra, &sb, cfg),
+                _ => {
+                    use mmjoin_baseline::TwoPathEngine;
+                    mmjoin_baseline::nonmm::ExpandDedupEngine::serial().join_project(&ra, &sb)
+                }
+            };
+            let set: HashSet<BsiQuery> = pairs.into_iter().collect();
+            batch.iter().map(|q| set.contains(q)).collect()
+        }
+    }
+}
+
+/// A uniformly random workload of `n` queries over the active sets of
+/// `r`/`s` (the §7.5 workload).
+pub fn random_workload(r: &Relation, s: &Relation, n: usize, seed: u64) -> Vec<BsiQuery> {
+    let xs: Vec<Value> = r.by_x().iter_nonempty().map(|(x, _)| x).collect();
+    let zs: Vec<Value> = s.by_x().iter_nonempty().map(|(z, _)| z).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            (
+                xs[rng.gen_range(0..xs.len().max(1))],
+                zs[rng.gen_range(0..zs.len().max(1))],
+            )
+        })
+        .collect()
+}
+
+/// Result of a batching simulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BsiReport {
+    /// Batch size used.
+    pub batch_size: usize,
+    /// Average per-query delay in seconds: mean collection wait
+    /// (`(C-1)/2B`) plus measured processing time per batch.
+    pub avg_delay_secs: f64,
+    /// Mean measured processing seconds per batch.
+    pub processing_secs: f64,
+    /// Parallel processing units needed to keep up with the arrival rate
+    /// (`⌈processing / (C/B)⌉`).
+    pub machines_needed: usize,
+    /// Fraction of queries answered `true` (sanity statistic).
+    pub positive_rate: f64,
+}
+
+/// Replays `workload` in batches of `batch_size` arriving at
+/// `arrival_rate` queries/second and measures delay.
+pub fn simulate_batching(
+    r: &Relation,
+    s: &Relation,
+    workload: &[BsiQuery],
+    batch_size: usize,
+    arrival_rate: f64,
+    strategy: &BsiStrategy,
+) -> BsiReport {
+    assert!(batch_size >= 1, "batch size must be positive");
+    assert!(arrival_rate > 0.0, "arrival rate must be positive");
+    let mut processing_total = 0.0f64;
+    let mut batches = 0usize;
+    let mut positives = 0usize;
+    for batch in workload.chunks(batch_size) {
+        let t0 = Instant::now();
+        let answers = answer_batch(r, s, batch, strategy);
+        processing_total += t0.elapsed().as_secs_f64();
+        batches += 1;
+        positives += answers.iter().filter(|&&b| b).count();
+    }
+    let processing_secs = if batches > 0 {
+        processing_total / batches as f64
+    } else {
+        0.0
+    };
+    let collection_wait = (batch_size.saturating_sub(1)) as f64 / (2.0 * arrival_rate);
+    let window = batch_size as f64 / arrival_rate;
+    BsiReport {
+        batch_size,
+        avg_delay_secs: collection_wait + processing_secs,
+        processing_secs,
+        machines_needed: (processing_secs / window).ceil().max(1.0) as usize,
+        positive_rate: if workload.is_empty() {
+            0.0
+        } else {
+            positives as f64 / workload.len() as f64
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn rel(edges: &[(Value, Value)]) -> Relation {
+        Relation::from_edges(edges.iter().copied())
+    }
+
+    #[test]
+    fn strategies_agree() {
+        let r = rel(&[(0, 0), (0, 1), (1, 2), (2, 3)]);
+        let s = rel(&[(0, 1), (1, 5), (2, 3), (3, 0)]);
+        let batch: Vec<BsiQuery> = vec![(0, 0), (0, 3), (1, 1), (2, 2), (9, 0)];
+        let per_req = answer_batch(&r, &s, &batch, &BsiStrategy::PerRequest);
+        let non_mm = answer_batch(&r, &s, &batch, &BsiStrategy::NonMm);
+        let mm = answer_batch(&r, &s, &batch, &BsiStrategy::mm(1));
+        assert_eq!(per_req, non_mm);
+        assert_eq!(non_mm, mm);
+        assert_eq!(non_mm, vec![true, true, false, true, false]);
+    }
+
+    #[test]
+    fn empty_batch() {
+        let r = rel(&[(0, 0)]);
+        for st in [BsiStrategy::PerRequest, BsiStrategy::NonMm, BsiStrategy::mm(1)] {
+            assert!(answer_batch(&r, &r, &[], &st).is_empty());
+        }
+    }
+
+    #[test]
+    fn workload_deterministic_and_in_domain() {
+        let r = rel(&[(0, 0), (5, 1), (9, 2)]);
+        let w1 = random_workload(&r, &r, 50, 7);
+        let w2 = random_workload(&r, &r, 50, 7);
+        assert_eq!(w1, w2);
+        for &(a, b) in &w1 {
+            assert!([0, 5, 9].contains(&a));
+            assert!([0, 5, 9].contains(&b));
+        }
+    }
+
+    #[test]
+    fn simulation_reports_sane_numbers() {
+        let r = rel(&[(0, 0), (1, 0), (2, 1)]);
+        let w = random_workload(&r, &r, 40, 3);
+        let rep = simulate_batching(&r, &r, &w, 10, 1000.0, &BsiStrategy::NonMm);
+        let rep2 = simulate_batching(&r, &r, &w, 10, 1000.0, &BsiStrategy::PerRequest);
+        assert_eq!(rep2.batch_size, 10);
+        assert_eq!(rep.batch_size, 10);
+        assert!(rep.avg_delay_secs >= 0.0);
+        assert!(rep.machines_needed >= 1);
+        assert!((0.0..=1.0).contains(&rep.positive_rate));
+    }
+
+    #[test]
+    fn larger_batches_increase_collection_wait() {
+        let r = rel(&[(0, 0), (1, 0)]);
+        let w = random_workload(&r, &r, 100, 1);
+        let small = simulate_batching(&r, &r, &w, 5, 1000.0, &BsiStrategy::NonMm);
+        let large = simulate_batching(&r, &r, &w, 100, 1000.0, &BsiStrategy::NonMm);
+        // Collection wait dominates on this tiny instance.
+        assert!(large.avg_delay_secs > small.avg_delay_secs);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        #[test]
+        fn mm_matches_nonmm(
+            r_edges in proptest::collection::vec((0u32..10, 0u32..10), 1..40),
+            s_edges in proptest::collection::vec((0u32..10, 0u32..10), 1..40),
+            batch in proptest::collection::vec((0u32..12, 0u32..12), 0..25),
+        ) {
+            let r = rel(&r_edges);
+            let s = rel(&s_edges);
+            let reference = answer_batch(&r, &s, &batch, &BsiStrategy::PerRequest);
+            prop_assert_eq!(answer_batch(&r, &s, &batch, &BsiStrategy::NonMm), reference.clone());
+            prop_assert_eq!(answer_batch(&r, &s, &batch, &BsiStrategy::mm(1)), reference);
+        }
+    }
+}

@@ -1,0 +1,238 @@
+//! Event-driven queueing simulation of the §3.3 serving system.
+//!
+//! [`simulate_batching`](crate::simulate_batching) reports steady-state
+//! averages under deterministic arrivals; this module refines the model for
+//! capacity planning: Poisson arrivals at rate `B`, a fixed pool of `m`
+//! identical servers, dispatch of a batch as soon as `C` requests are queued
+//! (or the queue drains), measured per-batch service times, and the full
+//! per-query latency distribution (mean, p50, p95, max). This answers the
+//! question Proposition 2 poses — how many machines for a target latency —
+//! *for the measured service curve* instead of the asymptotic one.
+
+use crate::{answer_batch, BsiQuery, BsiStrategy};
+use mmjoin_storage::Relation;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+/// Latency distribution summary (seconds).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencySummary {
+    /// Mean per-query latency.
+    pub mean: f64,
+    /// Median.
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl LatencySummary {
+    fn from_sorted(lat: &[f64]) -> Self {
+        assert!(!lat.is_empty());
+        let idx = |q: f64| ((lat.len() - 1) as f64 * q).round() as usize;
+        Self {
+            mean: lat.iter().sum::<f64>() / lat.len() as f64,
+            p50: lat[idx(0.5)],
+            p95: lat[idx(0.95)],
+            max: *lat.last().unwrap(),
+        }
+    }
+}
+
+/// Result of one queueing simulation.
+#[derive(Debug, Clone)]
+pub struct QueueReport {
+    /// Servers simulated.
+    pub servers: usize,
+    /// Batch size.
+    pub batch_size: usize,
+    /// Per-query latency (queue wait + service).
+    pub latency: LatencySummary,
+    /// Fraction of simulated time the servers were busy, averaged.
+    pub utilization: f64,
+    /// True if the backlog grew monotonically (system unstable at this
+    /// rate/capacity — Proposition 2 says add machines).
+    pub saturated: bool,
+}
+
+/// Simulates `n_queries` Poisson arrivals at `rate` q/s served by
+/// `servers` machines in batches of `batch_size`, using measured service
+/// times from evaluating the real workload with `strategy`.
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_queue(
+    r: &Relation,
+    s: &Relation,
+    workload: &[BsiQuery],
+    batch_size: usize,
+    rate: f64,
+    servers: usize,
+    strategy: &BsiStrategy,
+    seed: u64,
+) -> QueueReport {
+    assert!(batch_size >= 1 && servers >= 1 && rate > 0.0);
+    assert!(!workload.is_empty(), "need a workload to simulate");
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Poisson arrival times.
+    let mut arrivals = Vec::with_capacity(workload.len());
+    let mut t = 0.0f64;
+    for _ in 0..workload.len() {
+        let u: f64 = rng.gen_range(1e-12..1.0);
+        t += -u.ln() / rate;
+        arrivals.push(t);
+    }
+    let horizon = t;
+
+    // Measure real service times per batch (one evaluation each).
+    let batches: Vec<&[BsiQuery]> = workload.chunks(batch_size).collect();
+    let service: Vec<f64> = batches
+        .iter()
+        .map(|batch| {
+            let t0 = Instant::now();
+            std::hint::black_box(answer_batch(r, s, batch, strategy));
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+
+    // Event-driven dispatch: batch i contains queries
+    // [i*batch_size, ...); it is ready when its last query arrives, and
+    // starts on the earliest-free server.
+    let mut server_free = vec![0.0f64; servers];
+    let mut latencies = Vec::with_capacity(workload.len());
+    let mut busy = 0.0f64;
+    let mut last_backlog = 0.0f64;
+    let mut saturated = true;
+    for (i, batch) in batches.iter().enumerate() {
+        let lo = i * batch_size;
+        let ready = arrivals[lo + batch.len() - 1];
+        let (srv, &free) = server_free
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.total_cmp(b.1))
+            .expect("at least one server");
+        let start = ready.max(free);
+        let finish = start + service[i];
+        server_free[srv] = finish;
+        busy += service[i];
+        for q in lo..lo + batch.len() {
+            latencies.push(finish - arrivals[q]);
+        }
+        let backlog = (start - ready).max(0.0);
+        if backlog <= last_backlog {
+            saturated = false; // backlog shrank at least once
+        }
+        last_backlog = backlog;
+    }
+    latencies.sort_unstable_by(|a, b| a.total_cmp(b));
+    QueueReport {
+        servers,
+        batch_size,
+        latency: LatencySummary::from_sorted(&latencies),
+        utilization: (busy / (horizon.max(1e-9) * servers as f64)).min(1.0),
+        saturated: saturated && batches.len() > 2,
+    }
+}
+
+/// Smallest server count in `1..=max_servers` whose simulated p95 latency
+/// meets `target_p95` seconds, or `None` if even `max_servers` misses it —
+/// the Proposition-2 capacity-planning question against measured costs.
+#[allow(clippy::too_many_arguments)]
+pub fn min_servers_for_latency(
+    r: &Relation,
+    s: &Relation,
+    workload: &[BsiQuery],
+    batch_size: usize,
+    rate: f64,
+    target_p95: f64,
+    max_servers: usize,
+    strategy: &BsiStrategy,
+) -> Option<(usize, QueueReport)> {
+    for servers in 1..=max_servers {
+        let rep = simulate_queue(r, s, workload, batch_size, rate, servers, strategy, 7);
+        if rep.latency.p95 <= target_p95 && !rep.saturated {
+            return Some((servers, rep));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random_workload;
+    use mmjoin_storage::Value;
+
+    fn rel(edges: &[(Value, Value)]) -> Relation {
+        Relation::from_edges(edges.iter().copied())
+    }
+
+    fn setup() -> (Relation, Vec<BsiQuery>) {
+        let mut edges = Vec::new();
+        for x in 0..40u32 {
+            for e in 0..6u32 {
+                edges.push((x, (x + e) % 25));
+            }
+        }
+        let r = rel(&edges);
+        let w = random_workload(&r, &r, 400, 3);
+        (r, w)
+    }
+
+    #[test]
+    fn latencies_positive_and_ordered() {
+        let (r, w) = setup();
+        let rep = simulate_queue(&r, &r, &w, 50, 10_000.0, 2, &BsiStrategy::NonMm, 1);
+        assert!(rep.latency.mean > 0.0);
+        assert!(rep.latency.p50 <= rep.latency.p95);
+        assert!(rep.latency.p95 <= rep.latency.max);
+        assert!((0.0..=1.0).contains(&rep.utilization));
+    }
+
+    #[test]
+    fn more_servers_never_hurt_p95() {
+        let (r, w) = setup();
+        let one = simulate_queue(&r, &r, &w, 50, 1_000_000.0, 1, &BsiStrategy::NonMm, 1);
+        let four = simulate_queue(&r, &r, &w, 50, 1_000_000.0, 4, &BsiStrategy::NonMm, 1);
+        // With an extreme arrival rate the single server queues heavily.
+        assert!(four.latency.p95 <= one.latency.p95 * 1.5 + 1e-6);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (r, w) = setup();
+        let a = simulate_queue(&r, &r, &w, 25, 5_000.0, 2, &BsiStrategy::NonMm, 9);
+        let b = simulate_queue(&r, &r, &w, 25, 5_000.0, 2, &BsiStrategy::NonMm, 9);
+        // Arrival process identical; service times re-measured (wall clock)
+        // so compare the structural fields.
+        assert_eq!(a.servers, b.servers);
+        assert_eq!(a.batch_size, b.batch_size);
+    }
+
+    #[test]
+    fn capacity_planner_finds_feasible_point() {
+        let (r, w) = setup();
+        // Generous target: must be satisfiable with few servers.
+        let found = min_servers_for_latency(
+            &r,
+            &r,
+            &w,
+            50,
+            1_000.0,
+            10.0,
+            4,
+            &BsiStrategy::NonMm,
+        );
+        let (servers, rep) = found.expect("10s target must be reachable");
+        assert!(servers >= 1 && servers <= 4);
+        assert!(rep.latency.p95 <= 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "need a workload")]
+    fn empty_workload_rejected() {
+        let (r, _) = setup();
+        let _ = simulate_queue(&r, &r, &[], 10, 100.0, 1, &BsiStrategy::NonMm, 1);
+    }
+}

@@ -1,0 +1,87 @@
+//! Execution configuration for the MMJoin engine.
+
+use mmjoin_matrix::CostModel;
+
+/// Which kernel evaluates the heavy-core product of Algorithm 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum HeavyBackend {
+    /// Cache-blocked dense f32 GEMM (the paper's SGEMM path).
+    #[default]
+    DenseF32,
+    /// Bit-packed boolean product — existence only, no counts (extension).
+    BitMatrix,
+    /// Row-wise Gustavson SpGEMM over CSR operands — wins when the heavy
+    /// block is very sparse (Amossen–Pagh's regime; extension).
+    Sparse,
+    /// Pick [`HeavyBackend::Sparse`] when the heavy block density is below
+    /// 2%, [`HeavyBackend::DenseF32`] otherwise.
+    Auto,
+}
+
+/// Configuration shared by the 2-path and star MMJoin evaluators.
+#[derive(Debug, Clone)]
+pub struct JoinConfig {
+    /// Worker threads for both the light-part expansion and the matrix
+    /// multiplication (1 = serial).
+    pub threads: usize,
+    /// Calibrated matmul cost model driving Algorithm 3. The default is the
+    /// deterministic analytic model; experiment binaries install a measured
+    /// calibration (`CostModel::calibrate`).
+    pub cost_model: CostModel,
+    /// Force the degree thresholds `(Δ1, Δ2)` instead of running the
+    /// optimizer — used by tests and the ablation benchmarks.
+    pub delta_override: Option<(u32, u32)>,
+    /// Algorithm 3 line 2: when the full join size is at most this factor
+    /// times the input size, skip partitioning entirely and run the plain
+    /// WCOJ + dedup plan. The paper uses 20.
+    pub wcoj_fallback_factor: f64,
+    /// Heavy-core multiplication kernel (ablated in `bench/ablation`).
+    pub heavy_backend: HeavyBackend,
+    /// Safety cap on total dense-matrix cells (`u·v + v·w + u·w`); above it
+    /// the heavy part falls back to combinatorial expansion instead of
+    /// allocating matrices that would not fit in memory.
+    pub matrix_cell_cap: usize,
+}
+
+impl Default for JoinConfig {
+    fn default() -> Self {
+        Self {
+            threads: 1,
+            cost_model: CostModel::analytic_default(),
+            delta_override: None,
+            wcoj_fallback_factor: 20.0,
+            heavy_backend: HeavyBackend::default(),
+            matrix_cell_cap: 200_000_000,
+        }
+    }
+}
+
+impl JoinConfig {
+    /// Convenience: default config with fixed thresholds.
+    pub fn with_deltas(delta1: u32, delta2: u32) -> Self {
+        Self {
+            delta_override: Some((delta1, delta2)),
+            ..Self::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_serial_with_paper_fallback() {
+        let c = JoinConfig::default();
+        assert_eq!(c.threads, 1);
+        assert_eq!(c.wcoj_fallback_factor, 20.0);
+        assert!(c.delta_override.is_none());
+        assert_eq!(c.heavy_backend, HeavyBackend::DenseF32);
+    }
+
+    #[test]
+    fn with_deltas_sets_override() {
+        let c = JoinConfig::with_deltas(4, 9);
+        assert_eq!(c.delta_override, Some((4, 9)));
+    }
+}

@@ -1,0 +1,100 @@
+//! `mmjoin-core` — output-sensitive join-project evaluation using matrix
+//! multiplication.
+//!
+//! This crate implements the primary contribution of *Fast Join Project
+//! Query Evaluation using Matrix Multiplication* (Deep, Hu, Koutris —
+//! SIGMOD 2020):
+//!
+//! * [`two_path`] — Algorithm 1 for the 2-path query
+//!   `Q(x, z) = R(x, y), S(z, y)`: degree-based partitioning into light and
+//!   heavy parts, worst-case-optimal expansion for the light parts, dense
+//!   matrix multiplication for the heavy core. Includes the counting variant
+//!   that reports `|ys(x) ∩ ys(z)|` per output pair (the similarity joins
+//!   build on it).
+//! * [`star`] — the §3.2 generalisation to star queries `Q*_k` with grouped
+//!   variable matrices `V` and `W`.
+//! * [`estimate`] — the §5 output-size estimator.
+//! * [`optimizer`] — Algorithm 3, the cost-based search for the degree
+//!   thresholds `Δ1, Δ2` driven by the calibrated matmul cost model.
+//! * [`MmJoinEngine`] — the packaged engine implementing the
+//!   [`TwoPathEngine`](mmjoin_baseline::TwoPathEngine) and
+//!   [`StarEngine`](mmjoin_baseline::StarEngine) traits used across the
+//!   workspace's experiments.
+//!
+//! # Quick example
+//!
+//! ```
+//! use mmjoin_core::{JoinConfig, MmJoinEngine};
+//! use mmjoin_baseline::TwoPathEngine;
+//! use mmjoin_storage::Relation;
+//!
+//! // Friend-of-friend pairs (Example 1 of the paper): a tiny 2-community
+//! // graph where the full join has many duplicates.
+//! let r = Relation::from_edges([(0, 0), (1, 0), (2, 0), (0, 1), (1, 1), (2, 1)]);
+//! let engine = MmJoinEngine::new(JoinConfig::default());
+//! let pairs = engine.join_project(&r, &r);
+//! assert_eq!(pairs.len(), 9); // all 3×3 pairs share a friend
+//! ```
+
+pub mod config;
+pub mod estimate;
+pub mod optimizer;
+pub mod star;
+pub mod two_path;
+
+pub use config::{HeavyBackend, JoinConfig};
+pub use estimate::{estimate_output_size, OutputEstimate};
+pub use optimizer::{choose_thresholds, ExecutionPlan, PlanChoice};
+pub use star::star_join_project_mm;
+pub use two_path::{two_path_join_project, two_path_with_counts};
+
+use mmjoin_baseline::{StarEngine, TwoPathEngine};
+use mmjoin_storage::{Relation, Value};
+
+/// The packaged MMJoin engine: Algorithm 1 + Algorithm 3 behind the common
+/// engine traits.
+#[derive(Debug, Clone, Default)]
+pub struct MmJoinEngine {
+    /// Execution configuration (threads, cost model, overrides).
+    pub config: JoinConfig,
+}
+
+impl MmJoinEngine {
+    /// Creates an engine with the given configuration.
+    pub fn new(config: JoinConfig) -> Self {
+        Self { config }
+    }
+
+    /// Serial engine with default configuration.
+    pub fn serial() -> Self {
+        Self::new(JoinConfig::default())
+    }
+
+    /// Engine on `threads` workers.
+    pub fn parallel(threads: usize) -> Self {
+        Self::new(JoinConfig {
+            threads,
+            ..JoinConfig::default()
+        })
+    }
+}
+
+impl TwoPathEngine for MmJoinEngine {
+    fn name(&self) -> &'static str {
+        "MMJoin"
+    }
+
+    fn join_project(&self, r: &Relation, s: &Relation) -> Vec<(Value, Value)> {
+        two_path_join_project(r, s, &self.config)
+    }
+}
+
+impl StarEngine for MmJoinEngine {
+    fn name(&self) -> &'static str {
+        "MMJoin"
+    }
+
+    fn star_join_project(&self, relations: &[Relation]) -> Vec<Vec<Value>> {
+        star_join_project_mm(relations, &self.config)
+    }
+}

@@ -1,0 +1,212 @@
+//! Algorithm 3 — the cost-based optimizer choosing degree thresholds.
+//!
+//! Given the threshold indexes of §5 (O(log N) queries for the light-part
+//! work at any candidate `(Δ1, Δ2)`) and the calibrated matmul estimator
+//! `M̂`, the optimizer walks `Δ1` down geometrically from `N`, couples
+//! `Δ2 = N·Δ1 / |OUT|` (the balance point of Eq. 1's `N·Δ1` and `|OUT|·Δ2`
+//! terms), evaluates the predicted light and heavy costs, and stops at the
+//! first local minimum — exactly the loop of Algorithm 3. When the full join
+//! is no larger than `20·N` (paper's constant) it skips partitioning
+//! entirely and reports the plain-WCOJ plan.
+
+use crate::config::JoinConfig;
+use crate::estimate::{estimate_output_size, OutputEstimate};
+use mmjoin_storage::{Relation, ThresholdIndexes};
+
+/// Which execution strategy the optimizer picked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanChoice {
+    /// Full join + dedup via the combinatorial WCOJ path (Algorithm 3
+    /// line 3): the join is output-like already.
+    Wcoj,
+    /// Partitioned plan with the chosen degree thresholds.
+    Mm {
+        /// Join-variable (`y`) degree threshold `Δ1`.
+        delta1: u32,
+        /// Head-variable (`x`/`z`) degree threshold `Δ2`.
+        delta2: u32,
+    },
+}
+
+/// The optimizer's full decision record (for experiment logging).
+#[derive(Debug, Clone)]
+pub struct ExecutionPlan {
+    /// Chosen strategy.
+    pub choice: PlanChoice,
+    /// The output estimate that drove the choice.
+    pub estimate: OutputEstimate,
+    /// Predicted light-part seconds at the chosen thresholds (0 for WCOJ).
+    pub predicted_light: f64,
+    /// Predicted heavy-part seconds at the chosen thresholds (0 for WCOJ).
+    pub predicted_heavy: f64,
+    /// Number of candidate threshold pairs evaluated.
+    pub iterations: usize,
+}
+
+/// Geometric step for the Δ1 walk. The paper's footnote fixes ε = 0.95 in
+/// `Δ1 ← (1-ε)·Δ1`; a 0.05× jump per step converges in very few, coarse
+/// steps, so we use a finer 0.7× step (same asymptotics, better plans).
+const DELTA1_STEP: f64 = 0.7;
+
+/// Runs Algorithm 3 for the 2-path query over `r`, `s`.
+pub fn choose_thresholds(r: &Relation, s: &Relation, config: &JoinConfig) -> ExecutionPlan {
+    let estimate = estimate_output_size(r, s);
+    let n = r.len().max(s.len()).max(1) as f64;
+
+    // Line 2: small full join ⇒ plain WCOJ plan.
+    if (estimate.full_join as f64) <= config.wcoj_fallback_factor * n {
+        return ExecutionPlan {
+            choice: PlanChoice::Wcoj,
+            estimate,
+            predicted_light: 0.0,
+            predicted_heavy: 0.0,
+            iterations: 0,
+        };
+    }
+
+    let ti = ThresholdIndexes::build(r, s);
+    let consts = config.cost_model.constants;
+    let out_est = estimate.estimate.max(1) as f64;
+    let dom_x = r.active_x_count().max(1) as f64;
+    let cores = config.threads.max(1);
+
+    let eval = |d1: u32, d2: u32| -> (f64, f64) {
+        // Lines 10–11: light cost from the threshold indexes.
+        let light = consts.t_insert * (ti.sum_y(d1) as f64 + ti.sum_x(d2) as f64)
+            + consts.t_alloc * dom_x
+            + consts.t_seq * ti.cdfx_y(d1) as f64;
+        // Lines 12–13: heavy matrix cost. The GEMM term is priced by its
+        // *effective* work — the kernel skips zero rows of M1, so the madds
+        // executed are ≈ nnz(M1)·w, bounded by the heavy tuple mass of R —
+        // plus the zero-branch scan of M1, the (calloc-cheap) matrix
+        // allocations, and the product-extraction scan of all u·w cells
+        // (the paper's `Tm·(u·v + u·w)` term).
+        let (u, v, w) = ti.heavy_counts(d1, d2);
+        let (uf, vf, wf) = (u as f64, v as f64, w as f64);
+        let nnz_m1 = (ti.x.degree_sum_gt(d2) as f64).min(uf * vf);
+        let gemm = config.cost_model.estimate_effective(nnz_m1 * wf, cores);
+        let heavy = gemm
+            + consts.t_seq * (uf * vf + uf * wf)
+            + 0.1e-9 * (uf * vf + vf * wf + uf * wf)
+            + consts.t_insert * (uf * wf).min(out_est);
+        (light, heavy)
+    };
+
+    // Walk Δ1 geometrically down from the largest join-variable degree
+    // (values above it are all equivalent to "everything light"). For each
+    // Δ1 evaluate both the coupled Δ2 = N·Δ1/|OUT| (balancing Eq. 1's
+    // N·Δ1 and |OUT|·Δ2 terms) and the boundary Δ2 = Δ1 (§3.1 case 2), and
+    // keep the global minimum. The paper stops at the first local minimum;
+    // scanning the whole O(log N)-point grid costs the same O(log² N)
+    // index queries and is robust to plateaus.
+    let max_deg = ti.y.max_degree().max(ti.y_r.max_degree()).max(2) as f64;
+    let mut delta1 = max_deg;
+    let mut best: Option<(u32, u32, f64, f64)> = None;
+    let mut iterations = 0usize;
+    while delta1 >= 1.0 && iterations < 256 {
+        iterations += 1;
+        let d1 = (delta1.round() as u32).max(1);
+        let coupled = ((n * delta1 / out_est).round() as u32).clamp(1, n as u32);
+        for d2 in [coupled, d1] {
+            let (light, heavy) = eval(d1, d2);
+            let better = match best {
+                Some((_, _, bl, bh)) => light + heavy < bl + bh,
+                None => true,
+            };
+            if better {
+                best = Some((d1, d2, light, heavy));
+            }
+        }
+        delta1 *= DELTA1_STEP;
+    }
+    let (d1, d2, light, heavy) = best.expect("at least one candidate evaluated");
+    ExecutionPlan {
+        choice: PlanChoice::Mm {
+            delta1: d1,
+            delta2: d2,
+        },
+        estimate,
+        predicted_light: light,
+        predicted_heavy: heavy,
+        iterations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmjoin_storage::{Relation, Value};
+
+    fn rel(edges: &[(Value, Value)]) -> Relation {
+        Relation::from_edges(edges.iter().copied())
+    }
+
+    #[test]
+    fn sparse_instance_picks_wcoj() {
+        // Perfect matching: full join == N, way under 20·N.
+        let edges: Vec<(Value, Value)> = (0..100).map(|i| (i, i)).collect();
+        let r = rel(&edges);
+        let plan = choose_thresholds(&r, &r, &JoinConfig::default());
+        assert_eq!(plan.choice, PlanChoice::Wcoj);
+        assert_eq!(plan.iterations, 0);
+    }
+
+    #[test]
+    fn dense_instance_picks_mm() {
+        // 60 sets over 4 shared elements: full join = 4·60² = 14400 >> 20·240.
+        let mut edges = Vec::new();
+        for x in 0..60u32 {
+            for y in 0..4u32 {
+                edges.push((x, y));
+            }
+        }
+        let r = rel(&edges);
+        let plan = choose_thresholds(&r, &r, &JoinConfig::default());
+        match plan.choice {
+            PlanChoice::Mm { delta1, delta2 } => {
+                assert!(delta1 >= 1 && delta2 >= 1);
+                assert!(plan.iterations >= 1);
+            }
+            PlanChoice::Wcoj => panic!("dense instance should partition: {plan:?}"),
+        }
+    }
+
+    #[test]
+    fn fallback_factor_respected() {
+        // Full join is 20x input (3·400 vs 60 tuples): default factor 20
+        // keeps WCOJ; factor 5 switches to MM.
+        let mut edges = Vec::new();
+        for x in 0..20u32 {
+            for y in 0..3u32 {
+                edges.push((x, y * 10));
+            }
+        }
+        let r = rel(&edges);
+        let default_plan = choose_thresholds(&r, &r, &JoinConfig::default());
+        assert_eq!(default_plan.choice, PlanChoice::Wcoj);
+        let tight = JoinConfig {
+            wcoj_fallback_factor: 5.0,
+            ..JoinConfig::default()
+        };
+        let tight_plan = choose_thresholds(&r, &r, &tight);
+        assert!(matches!(tight_plan.choice, PlanChoice::Mm { .. }));
+    }
+
+    #[test]
+    fn predicted_costs_nonnegative() {
+        let mut edges = Vec::new();
+        for x in 0..50u32 {
+            for y in 0..5u32 {
+                edges.push((x, y));
+            }
+        }
+        let r = rel(&edges);
+        let cfg = JoinConfig {
+            wcoj_fallback_factor: 1.0,
+            ..JoinConfig::default()
+        };
+        let plan = choose_thresholds(&r, &r, &cfg);
+        assert!(plan.predicted_light >= 0.0);
+        assert!(plan.predicted_heavy >= 0.0);
+    }
+}

@@ -1,0 +1,491 @@
+//! MMJoin for star queries `Q*_k(x1,…,xk) = R1(x1,y), …, Rk(xk,y)` (§3.2).
+//!
+//! Tuples of each relation are split three ways with thresholds `Δ1, Δ2`:
+//!
+//! * `R⁻i` — tuples whose head `xi` is light (`deg ≤ Δ2`);
+//! * `R⋄i` — tuples whose `y` is light (`deg ≤ Δ1`) in **all other**
+//!   relations;
+//! * `R⁺i` — the rest.
+//!
+//! Steps 1–2 run the WCOJ star join `k` times, substituting `R⁻j` (then
+//! `R⋄j`) for one relation at a time, and project. Step 3 packs the
+//! all-heavy tuples into two *grouped-variable* matrices: rows of `V` are
+//! distinct half-tuples over `x1..x⌈k/2⌉`, rows of `W` over the remaining
+//! variables, columns are the `y` values heavy in ≥ 2 relations (those are
+//! exactly the witnesses steps 1–2 can miss); `V · Wᵀ` enumerates the heavy
+//! output with witness counts.
+//!
+//! Correctness: an output tuple with witness `y` is found in step 1 if some
+//! head is light, in step 2 if `y` is light in all-but-one relation, and
+//! otherwise every head is heavy and `y` is heavy in ≥ 2 relations — step 3.
+
+use crate::config::JoinConfig;
+use crate::two_path::two_path_join_project;
+use mmjoin_matrix::{matmul_parallel, DenseMatrix};
+use mmjoin_storage::{Relation, RelationBuilder, Value};
+use mmjoin_wcoj::{full_join_count, star_full_join_for_each, star_join_project, ProjectionAccumulator};
+use std::collections::HashMap;
+
+/// Evaluates `π_{x1..xk}(R1 ⋈ … ⋈ Rk)` with the §3.2 algorithm, returning
+/// sorted distinct tuples.
+pub fn star_join_project_mm(relations: &[Relation], config: &JoinConfig) -> Vec<Vec<Value>> {
+    assert!(!relations.is_empty(), "star query needs at least one relation");
+    if relations.iter().any(|r| r.is_empty()) {
+        return Vec::new();
+    }
+    if relations.len() == 1 {
+        return relations[0]
+            .by_x()
+            .iter_nonempty()
+            .map(|(x, _)| vec![x])
+            .collect();
+    }
+    if relations.len() == 2 {
+        return two_path_join_project(&relations[0], &relations[1], config)
+            .into_iter()
+            .map(|(x, z)| vec![x, z])
+            .collect();
+    }
+
+    let reduced = Relation::reduce_star(relations);
+    if reduced.iter().any(|r| r.is_empty()) {
+        return Vec::new();
+    }
+    let n = reduced.iter().map(|r| r.len()).max().unwrap() as u64;
+    let full = full_join_count(&reduced);
+    // Algorithm 3 line 2, star flavour: join already output-like.
+    if config.delta_override.is_none() && full <= (config.wcoj_fallback_factor * n as f64) as u64 {
+        return star_join_project(&reduced);
+    }
+
+    let (delta1, delta2) = match config.delta_override {
+        Some(d) => d,
+        None => choose_star_thresholds(&reduced, config),
+    };
+
+    let mut acc = ProjectionAccumulator::new(reduced.len());
+    light_steps(&reduced, delta1, delta2, &mut acc);
+    heavy_step(&reduced, delta1, delta2, config, &mut acc);
+    acc.finish()
+}
+
+/// Steps 1–2: for each `j`, join with `R⁻j` (light heads) and `R⋄j`
+/// (`y` light everywhere else) substituted.
+fn light_steps(
+    relations: &[Relation],
+    delta1: u32,
+    delta2: u32,
+    acc: &mut ProjectionAccumulator,
+) {
+    let k = relations.len();
+    for j in 0..k {
+        // R⁻j: light head.
+        let mut minus = RelationBuilder::with_domains(
+            relations[j].x_domain(),
+            relations[j].y_domain(),
+        );
+        for &(x, y) in relations[j].edges() {
+            if relations[j].x_degree(x) <= delta2 as usize {
+                minus.push(x, y);
+            }
+        }
+        run_substituted(relations, j, minus.build(), acc);
+
+        // R⋄j: y light in all other relations.
+        let mut diamond = RelationBuilder::with_domains(
+            relations[j].x_domain(),
+            relations[j].y_domain(),
+        );
+        for &(x, y) in relations[j].edges() {
+            let light_elsewhere = relations.iter().enumerate().all(|(i, ri)| {
+                i == j
+                    || (y as usize) >= ri.y_domain()
+                    || ri.y_degree(y) <= delta1 as usize
+            });
+            if light_elsewhere {
+                diamond.push(x, y);
+            }
+        }
+        run_substituted(relations, j, diamond.build(), acc);
+    }
+}
+
+fn run_substituted(
+    relations: &[Relation],
+    j: usize,
+    substitute: Relation,
+    acc: &mut ProjectionAccumulator,
+) {
+    if substitute.is_empty() {
+        return;
+    }
+    let mut working: Vec<Relation> = relations.to_vec();
+    working[j] = substitute;
+    star_full_join_for_each(&working, |_, tuple| acc.push(tuple));
+}
+
+/// Step 3: grouped-variable matrices over the all-heavy core.
+fn heavy_step(
+    relations: &[Relation],
+    delta1: u32,
+    delta2: u32,
+    config: &JoinConfig,
+    acc: &mut ProjectionAccumulator,
+) {
+    let k = relations.len();
+    let split = k.div_ceil(2);
+    // Columns: y heavy (> Δ1) in at least two relations.
+    let ydom = relations.iter().map(|r| r.y_domain()).min().unwrap();
+    let mut heavy_y = Vec::new();
+    for y in 0..ydom as Value {
+        let heavy_in = relations
+            .iter()
+            .filter(|r| r.y_degree(y) > delta1 as usize)
+            .count();
+        if heavy_in >= 2 {
+            heavy_y.push(y);
+        }
+    }
+    if heavy_y.is_empty() {
+        return;
+    }
+
+    // Per heavy y and relation: the heavy-head sublist.
+    let heavy_list = |r: &Relation, y: Value| -> Vec<Value> {
+        r.xs_of(y)
+            .iter()
+            .copied()
+            .filter(|&x| r.x_degree(x) > delta2 as usize)
+            .collect()
+    };
+
+    // Estimate row counts: Σ_y Π |H_i[y]| per group; bail to direct
+    // enumeration when the cross products are too large for matrices.
+    let mut row_est_a = 0u64;
+    let mut row_est_b = 0u64;
+    for &y in &heavy_y {
+        let mut pa = 1u64;
+        for r in &relations[..split] {
+            pa = pa.saturating_mul(heavy_list(r, y).len() as u64);
+        }
+        let mut pb = 1u64;
+        for r in &relations[split..] {
+            pb = pb.saturating_mul(heavy_list(r, y).len() as u64);
+        }
+        row_est_a = row_est_a.saturating_add(pa);
+        row_est_b = row_est_b.saturating_add(pb);
+    }
+    if row_est_a == 0 || row_est_b == 0 {
+        return;
+    }
+    let cap = config.matrix_cell_cap as u64;
+    if row_est_a.saturating_mul(heavy_y.len() as u64) > cap
+        || row_est_b.saturating_mul(heavy_y.len() as u64) > cap
+        || row_est_a.saturating_mul(row_est_b) > cap
+    {
+        // Direct heavy enumeration: cross products per heavy y, deduped by
+        // the accumulator. Correct at any size, no dense allocation.
+        for &y in &heavy_y {
+            let lists: Vec<Vec<Value>> = relations.iter().map(|r| heavy_list(r, y)).collect();
+            if lists.iter().any(|l| l.is_empty()) {
+                continue;
+            }
+            cross_product_emit(&lists, &mut |tuple| acc.push(tuple));
+        }
+        return;
+    }
+
+    // Build row maps and matrices.
+    let mut rows_a: HashMap<Vec<Value>, usize> = HashMap::new();
+    let mut rows_b: HashMap<Vec<Value>, usize> = HashMap::new();
+    let mut entries_a: Vec<(usize, usize)> = Vec::new(); // (row, y-col)
+    let mut entries_b: Vec<(usize, usize)> = Vec::new();
+    for (col, &y) in heavy_y.iter().enumerate() {
+        let lists_a: Vec<Vec<Value>> = relations[..split].iter().map(|r| heavy_list(r, y)).collect();
+        let lists_b: Vec<Vec<Value>> = relations[split..].iter().map(|r| heavy_list(r, y)).collect();
+        if lists_a.iter().any(|l| l.is_empty()) || lists_b.iter().any(|l| l.is_empty()) {
+            continue;
+        }
+        cross_product_emit(&lists_a, &mut |tuple| {
+            let next = rows_a.len();
+            let row = *rows_a.entry(tuple.to_vec()).or_insert(next);
+            entries_a.push((row, col));
+        });
+        cross_product_emit(&lists_b, &mut |tuple| {
+            let next = rows_b.len();
+            let row = *rows_b.entry(tuple.to_vec()).or_insert(next);
+            entries_b.push((row, col));
+        });
+    }
+    if rows_a.is_empty() || rows_b.is_empty() {
+        return;
+    }
+    let mut v = DenseMatrix::zeros(rows_a.len(), heavy_y.len());
+    for (row, col) in entries_a {
+        v.set(row, col, 1.0);
+    }
+    // W is built transposed (y rows × B-tuple columns) so the product is
+    // V (A×y) · Wᵀ (y×B) directly.
+    let mut wt = DenseMatrix::zeros(heavy_y.len(), rows_b.len());
+    for (row, col) in entries_b {
+        wt.set(col, row, 1.0);
+    }
+    let prod = matmul_parallel(&v, &wt, config.threads.max(1));
+
+    // Reverse row maps for tuple reconstruction.
+    let mut tuple_a: Vec<Vec<Value>> = vec![Vec::new(); rows_a.len()];
+    for (t, i) in rows_a {
+        tuple_a[i] = t;
+    }
+    let mut tuple_b: Vec<Vec<Value>> = vec![Vec::new(); rows_b.len()];
+    for (t, i) in rows_b {
+        tuple_b[i] = t;
+    }
+    let mut tuple = vec![0 as Value; k];
+    for (i, j, _) in prod.entries_at_least(0.5) {
+        let (a, b) = (&tuple_a[i], &tuple_b[j]);
+        tuple[..a.len()].copy_from_slice(a);
+        tuple[a.len()..].copy_from_slice(b);
+        acc.push(&tuple);
+    }
+}
+
+/// Emits every tuple of the Cartesian product of `lists` via an odometer.
+fn cross_product_emit(lists: &[Vec<Value>], f: &mut impl FnMut(&[Value])) {
+    let k = lists.len();
+    if lists.iter().any(|l| l.is_empty()) {
+        return;
+    }
+    let mut idx = vec![0usize; k];
+    let mut tuple = vec![0 as Value; k];
+    'outer: loop {
+        for i in 0..k {
+            tuple[i] = lists[i][idx[i]];
+        }
+        f(&tuple);
+        let mut d = k;
+        loop {
+            if d == 0 {
+                break 'outer;
+            }
+            d -= 1;
+            idx[d] += 1;
+            if idx[d] < lists[d].len() {
+                break;
+            }
+            idx[d] = 0;
+        }
+    }
+}
+
+/// Threshold search for the star query: evaluate a geometric grid of
+/// `Δ = Δ1 = Δ2` candidates (the boundary regime of §3.1 case 2) by the
+/// *exact* light-join sizes plus the modelled matrix cost, keeping the
+/// cheapest. Each candidate costs `O(k·(N + |dom(y)|))` to evaluate.
+fn choose_star_thresholds(relations: &[Relation], config: &JoinConfig) -> (u32, u32) {
+    let max_deg = relations
+        .iter()
+        .map(|r| {
+            r.by_y()
+                .iter_nonempty()
+                .map(|(_, l)| l.len())
+                .max()
+                .unwrap_or(1)
+        })
+        .max()
+        .unwrap_or(1) as u32;
+    let cores = config.threads.max(1);
+    let mut best = (1u32, 1u32);
+    let mut best_cost = f64::INFINITY;
+    let mut delta = 1u32;
+    while delta <= max_deg.saturating_mul(2) {
+        let cost = star_plan_cost(relations, delta, cores, config);
+        if cost < best_cost {
+            best_cost = cost;
+            best = (delta, delta);
+        }
+        delta = delta.saturating_mul(2);
+    }
+    best
+}
+
+/// Predicted work at `Δ1 = Δ2 = Δ`: exact sizes of the 2k light-substituted
+/// joins of steps 1–2, plus nnz-aware matrix construction / multiplication /
+/// extraction costs for step 3.
+fn star_plan_cost(relations: &[Relation], delta: u32, cores: usize, config: &JoinConfig) -> f64 {
+    let k = relations.len();
+    let split = k.div_ceil(2);
+    let ydom = relations.iter().map(|r| r.y_domain()).min().unwrap_or(0);
+    // Per relation, per y: total degree and light-head degree.
+    let mut deg = vec![vec![0f64; ydom]; k];
+    let mut light_deg = vec![vec![0f64; ydom]; k];
+    for (i, r) in relations.iter().enumerate() {
+        for y in 0..ydom as Value {
+            let d = r.y_degree(y);
+            deg[i][y as usize] = d as f64;
+            if d > 0 {
+                let light = r
+                    .xs_of(y)
+                    .iter()
+                    .filter(|&&x| r.x_degree(x) <= delta as usize)
+                    .count();
+                light_deg[i][y as usize] = light as f64;
+            }
+        }
+    }
+    let mut light_join = 0f64;
+    let mut nnz_a = 0f64; // Σ_y Π_{i∈A} heavy-head degree
+    let mut nnz_b = 0f64;
+    let mut heavy_cols = 0usize;
+    for y in 0..ydom {
+        let degs: Vec<f64> = (0..k).map(|i| deg[i][y]).collect();
+        if degs.iter().any(|&d| d == 0.0) {
+            continue;
+        }
+        let product: f64 = degs.iter().product();
+        // Step 1: R⁻j-substituted joins.
+        for j in 0..k {
+            if degs[j] > 0.0 {
+                light_join += product / degs[j] * light_deg[j][y];
+            }
+        }
+        // Step 2: R⋄j joins — y must be light in all i ≠ j.
+        for j in 0..k {
+            let light_elsewhere = (0..k).all(|i| i == j || degs[i] <= delta as f64);
+            if light_elsewhere {
+                light_join += product;
+            }
+        }
+        // Step 3: heavy columns are y heavy in ≥ 2 relations.
+        let heavy_in = degs.iter().filter(|&&d| d > delta as f64).count();
+        if heavy_in >= 2 {
+            heavy_cols += 1;
+            let pa: f64 = (0..split).map(|i| degs[i] - light_deg[i][y]).product();
+            let pb: f64 = (split..k).map(|i| degs[i] - light_deg[i][y]).product();
+            nnz_a += pa.max(0.0);
+            nnz_b += pb.max(0.0);
+        }
+    }
+    let consts = config.cost_model.constants;
+    // Row counts bounded by the nonzero masses.
+    let rows_a = nnz_a.max(1.0).min(nnz_a);
+    let rows_b = nnz_b.max(1.0).min(nnz_b);
+    let gemm = config.cost_model.estimate_effective(nnz_a * rows_b, cores);
+    // Hash-keyed row interning is ~10 inserts worth per nonzero.
+    let construction = consts.t_insert * 10.0 * (nnz_a + nnz_b)
+        + consts.t_seq * rows_a * rows_b
+        + 0.1e-9 * (rows_a + rows_b) * heavy_cols as f64;
+    // A light-step witness costs far more than one dense insert: leapfrog
+    // advancement, the product odometer and the accumulator's amortised
+    // sort add up to roughly an order of magnitude over `TI`.
+    const WITNESS_FACTOR: f64 = 12.0;
+    light_join * consts.t_insert * WITNESS_FACTOR + gemm + construction
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn rel(edges: &[(Value, Value)]) -> Relation {
+        Relation::from_edges(edges.iter().copied())
+    }
+
+    fn clique(sets: u32, elems: u32, seed: u32) -> Relation {
+        let mut edges = Vec::new();
+        for x in 0..sets {
+            for y in 0..elems {
+                edges.push((x, (y + seed) % (elems + seed + 1)));
+            }
+        }
+        rel(&edges)
+    }
+
+    #[test]
+    fn k3_matches_reference_forced_deltas() {
+        let r1 = clique(10, 5, 0);
+        let r2 = clique(8, 5, 0);
+        let r3 = clique(9, 5, 0);
+        let rels = vec![r1, r2, r3];
+        let expected = star_join_project(&rels);
+        for (d1, d2) in [(1, 1), (2, 2), (1, 3), (4, 2), (50, 50)] {
+            let cfg = JoinConfig::with_deltas(d1, d2);
+            assert_eq!(
+                star_join_project_mm(&rels, &cfg),
+                expected,
+                "Δ=({d1},{d2})"
+            );
+        }
+    }
+
+    #[test]
+    fn k3_matches_reference_with_optimizer() {
+        let rels = vec![clique(12, 4, 0), clique(10, 4, 0), clique(11, 4, 0)];
+        let cfg = JoinConfig {
+            wcoj_fallback_factor: 1.0,
+            ..JoinConfig::default()
+        };
+        assert_eq!(star_join_project_mm(&rels, &cfg), star_join_project(&rels));
+    }
+
+    #[test]
+    fn k4_matches_reference() {
+        // Example 3 of the paper uses k = 4.
+        let rels = vec![
+            clique(6, 3, 0),
+            clique(5, 3, 0),
+            clique(6, 3, 0),
+            clique(4, 3, 0),
+        ];
+        let expected = star_join_project(&rels);
+        let cfg = JoinConfig::with_deltas(1, 1);
+        assert_eq!(star_join_project_mm(&rels, &cfg), expected);
+    }
+
+    #[test]
+    fn k1_and_k2_delegate() {
+        let r = rel(&[(0, 0), (1, 0), (5, 1)]);
+        let out1 = star_join_project_mm(&[r.clone()], &JoinConfig::default());
+        assert_eq!(out1, vec![vec![0], vec![1], vec![5]]);
+        let out2 = star_join_project_mm(&[r.clone(), r.clone()], &JoinConfig::default());
+        assert_eq!(out2, star_join_project(&[r.clone(), r]));
+    }
+
+    #[test]
+    fn empty_relation_short_circuits() {
+        let r = rel(&[(0, 0)]);
+        let empty = rel(&[]);
+        assert!(star_join_project_mm(&[r, empty], &JoinConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn memory_cap_fallback_matches() {
+        let rels = vec![clique(10, 4, 0), clique(9, 4, 0), clique(8, 4, 0)];
+        let cfg = JoinConfig {
+            delta_override: Some((1, 1)),
+            matrix_cell_cap: 0,
+            ..JoinConfig::default()
+        };
+        assert_eq!(star_join_project_mm(&rels, &cfg), star_join_project(&rels));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn k3_always_matches_reference(
+            e1 in proptest::collection::vec((0u32..10, 0u32..8), 1..40),
+            e2 in proptest::collection::vec((0u32..10, 0u32..8), 1..40),
+            e3 in proptest::collection::vec((0u32..10, 0u32..8), 1..40),
+            d1 in 1u32..5,
+            d2 in 1u32..5,
+        ) {
+            let rels = vec![rel(&e1), rel(&e2), rel(&e3)];
+            let cfg = JoinConfig::with_deltas(d1, d2);
+            prop_assert_eq!(
+                star_join_project_mm(&rels, &cfg),
+                star_join_project(&rels)
+            );
+        }
+    }
+}

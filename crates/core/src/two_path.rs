@@ -1,0 +1,843 @@
+//! Algorithm 1 — MMJoin evaluation of the 2-path query
+//! `Q(x, z) = R(x, y), S(z, y)`.
+//!
+//! The relation tuples are partitioned by degree with thresholds `Δ1`
+//! (join variable `y`) and `Δ2` (head variables `x`, `z`):
+//!
+//! * **Light passes** (worst-case-optimal expansion, §3.1 step 1): pass A
+//!   walks every `x` group of `R`; a light `x` expands all its `y`s, a heavy
+//!   `x` expands only `y`s that are light in `S`. Pass B is symmetric from
+//!   the `S` side with `y`s light in `R`. Per-group deduplication uses the
+//!   epoch-stamped dense buffer of §6.
+//! * **Heavy core** (step 2): `x`, `z` values heavier than `Δ2` joined
+//!   through `y` values heavier than `Δ1` *in both relations* are packed
+//!   into rectangular 0/1 matrices and multiplied; entries `> 0` are heavy
+//!   output pairs (with their witness counts for free).
+//!
+//! Coverage of an output pair `(a, c)` with witness `b`: `a` light → pass A;
+//! `c` light → pass B; `b` light in `S` → pass A; `b` light in `R` → pass B;
+//! otherwise all of `a`, `c`, `b` are heavy → matrix. The three part outputs
+//! may overlap, so assembly sorts and deduplicates (output-sized work).
+//!
+//! The counting variant ([`two_path_with_counts`]) rearranges the passes so
+//! that every pair's witnesses are counted against *disjoint* witness sets,
+//! yielding exact `|ys(x) ∩ ys(z)|` multiplicities — the quantity the
+//! similarity joins (§4) threshold and sort on.
+
+use crate::config::{HeavyBackend, JoinConfig};
+use crate::optimizer::{choose_thresholds, PlanChoice};
+use mmjoin_baseline::nonmm::ExpandDedupEngine;
+use mmjoin_baseline::TwoPathEngine;
+use mmjoin_matrix::{matmul_parallel, BitMatrix, CsrMatrix, DenseMatrix};
+use mmjoin_storage::{DedupBuffer, Relation, Value};
+
+/// Evaluates `π_{x,z}(R ⋈ S)` returning sorted distinct pairs.
+pub fn two_path_join_project(
+    r: &Relation,
+    s: &Relation,
+    config: &JoinConfig,
+) -> Vec<(Value, Value)> {
+    if r.is_empty() || s.is_empty() {
+        return Vec::new();
+    }
+    let (delta1, delta2) = match resolve_plan(r, s, config) {
+        Resolved::Wcoj => {
+            return ExpandDedupEngine::parallel(config.threads).join_project(r, s);
+        }
+        Resolved::Mm(d1, d2) => (d1, d2),
+    };
+
+    let heavy = HeavyIndex::build(r, s, delta1, delta2);
+    let mut out = light_passes(r, s, delta1, delta2, config.threads);
+
+    if heavy.is_degenerate() {
+        // No heavy core: light passes already cover everything.
+    } else if heavy.cells() > config.matrix_cell_cap {
+        // Memory guard: heavy core evaluated combinatorially.
+        heavy_expansion_fallback(r, s, &heavy, &mut out);
+    } else {
+        match heavy.resolve_backend(r, config.heavy_backend) {
+            HeavyBackend::BitMatrix => {
+                let (m1, m2) = heavy.build_bit_matrices(r, s);
+                let prod = m1.bool_product(&m2);
+                for (i, j) in prod.iter_ones() {
+                    out.push((heavy.heavy_x[i], heavy.heavy_z[j]));
+                }
+            }
+            HeavyBackend::Sparse => {
+                let (m1, m2) = heavy.build_sparse_matrices(r, s);
+                let prod = m1.spgemm(&m2);
+                for (i, j, _) in prod.entries_at_least(0.5) {
+                    out.push((heavy.heavy_x[i], heavy.heavy_z[j]));
+                }
+            }
+            _ => {
+                let (m1, m2) = heavy.build_dense_matrices(r, s);
+                let prod = matmul_parallel(&m1, &m2, config.threads.max(1));
+                for (i, j, _) in prod.entries_at_least(0.5) {
+                    out.push((heavy.heavy_x[i], heavy.heavy_z[j]));
+                }
+            }
+        }
+    }
+
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// Evaluates the 2-path query with exact per-pair witness counts,
+/// returning sorted `(x, z, count)` triples with `count >= min_count`.
+pub fn two_path_with_counts(
+    r: &Relation,
+    s: &Relation,
+    min_count: u32,
+    config: &JoinConfig,
+) -> Vec<(Value, Value, u32)> {
+    if r.is_empty() || s.is_empty() {
+        return Vec::new();
+    }
+    let (delta1, delta2) = match resolve_plan(r, s, config) {
+        Resolved::Wcoj => (u32::MAX, u32::MAX), // everything light: pure expansion
+        Resolved::Mm(d1, d2) => (d1, d2),
+    };
+
+    let heavy = if delta1 == u32::MAX {
+        HeavyIndex::empty()
+    } else {
+        HeavyIndex::build(r, s, delta1, delta2)
+    };
+
+    let use_matrix = !heavy.is_degenerate() && heavy.cells() <= config.matrix_cell_cap;
+    let prod = if use_matrix {
+        let (m1, m2) = heavy.build_dense_matrices(r, s);
+        Some(matmul_parallel(&m1, &m2, config.threads.max(1)))
+    } else {
+        None
+    };
+
+    let mut out = count_passes(r, s, delta2, min_count, &heavy, prod.as_ref(), config);
+    out.sort_unstable();
+    out
+}
+
+enum Resolved {
+    Wcoj,
+    Mm(u32, u32),
+}
+
+fn resolve_plan(r: &Relation, s: &Relation, config: &JoinConfig) -> Resolved {
+    if let Some((d1, d2)) = config.delta_override {
+        return Resolved::Mm(d1, d2);
+    }
+    match choose_thresholds(r, s, config).choice {
+        PlanChoice::Wcoj => Resolved::Wcoj,
+        PlanChoice::Mm { delta1, delta2 } => Resolved::Mm(delta1, delta2),
+    }
+}
+
+/// Index of heavy values and their dense matrix coordinates.
+pub(crate) struct HeavyIndex {
+    /// Heavy `x` values (rows of `M1`), ascending.
+    pub heavy_x: Vec<Value>,
+    /// Heavy `y` values — heavier than `Δ1` in *both* relations (inner
+    /// dimension), ascending.
+    pub heavy_y: Vec<Value>,
+    /// Heavy `z` values (columns of `M2`), ascending.
+    pub heavy_z: Vec<Value>,
+    /// `x value → row`, `-1` when not heavy.
+    x_row: Vec<i32>,
+    /// `y value → inner index`, `-1` when not heavy-in-both.
+    y_col: Vec<i32>,
+    /// `z value → column`, `-1` when not heavy.
+    z_col: Vec<i32>,
+}
+
+impl HeavyIndex {
+    fn empty() -> Self {
+        Self {
+            heavy_x: Vec::new(),
+            heavy_y: Vec::new(),
+            heavy_z: Vec::new(),
+            x_row: Vec::new(),
+            y_col: Vec::new(),
+            z_col: Vec::new(),
+        }
+    }
+
+    fn build(r: &Relation, s: &Relation, delta1: u32, delta2: u32) -> Self {
+        let ydom = r.y_domain().min(s.y_domain());
+        let mut y_col = vec![-1i32; r.y_domain().max(s.y_domain())];
+        let mut heavy_y = Vec::new();
+        for y in 0..ydom as Value {
+            if r.y_degree(y) > delta1 as usize && s.y_degree(y) > delta1 as usize {
+                y_col[y as usize] = heavy_y.len() as i32;
+                heavy_y.push(y);
+            }
+        }
+        // Heavy x: degree above Δ2 *and* adjacent to ≥1 heavy-in-both y
+        // (rows with no heavy y are all-zero; dropping them shrinks M1).
+        let mut x_row = vec![-1i32; r.x_domain()];
+        let mut heavy_x = Vec::new();
+        for (x, ys) in r.by_x().iter_nonempty() {
+            if ys.len() > delta2 as usize
+                && ys.iter().any(|&y| y_col.get(y as usize).is_some_and(|&c| c >= 0))
+            {
+                x_row[x as usize] = heavy_x.len() as i32;
+                heavy_x.push(x);
+            }
+        }
+        let mut z_col = vec![-1i32; s.x_domain()];
+        let mut heavy_z = Vec::new();
+        for (z, ys) in s.by_x().iter_nonempty() {
+            if ys.len() > delta2 as usize
+                && ys.iter().any(|&y| y_col.get(y as usize).is_some_and(|&c| c >= 0))
+            {
+                z_col[z as usize] = heavy_z.len() as i32;
+                heavy_z.push(z);
+            }
+        }
+        Self {
+            heavy_x,
+            heavy_y,
+            heavy_z,
+            x_row,
+            y_col,
+            z_col,
+        }
+    }
+
+    fn is_degenerate(&self) -> bool {
+        self.heavy_x.is_empty() || self.heavy_y.is_empty() || self.heavy_z.is_empty()
+    }
+
+    /// Total dense cells the two factor matrices and the product would use.
+    fn cells(&self) -> usize {
+        let (u, v, w) = (self.heavy_x.len(), self.heavy_y.len(), self.heavy_z.len());
+        u * v + v * w + u * w
+    }
+
+    #[inline]
+    fn y_is_heavy(&self, y: Value) -> bool {
+        self.y_col.get(y as usize).is_some_and(|&c| c >= 0)
+    }
+
+    #[inline]
+    fn x_row_of(&self, x: Value) -> Option<usize> {
+        let r = *self.x_row.get(x as usize)?;
+        (r >= 0).then_some(r as usize)
+    }
+
+    #[inline]
+    fn z_is_heavy(&self, z: Value) -> bool {
+        self.z_col.get(z as usize).is_some_and(|&c| c >= 0)
+    }
+
+    fn build_dense_matrices(&self, r: &Relation, s: &Relation) -> (DenseMatrix, DenseMatrix) {
+        let (u, v, w) = (self.heavy_x.len(), self.heavy_y.len(), self.heavy_z.len());
+        let mut m1 = DenseMatrix::zeros(u, v);
+        for (row, &x) in self.heavy_x.iter().enumerate() {
+            for &y in r.ys_of(x) {
+                if let Some(&c) = self.y_col.get(y as usize) {
+                    if c >= 0 {
+                        m1.set(row, c as usize, 1.0);
+                    }
+                }
+            }
+        }
+        let mut m2 = DenseMatrix::zeros(v, w);
+        for (col, &z) in self.heavy_z.iter().enumerate() {
+            for &y in s.ys_of(z) {
+                if let Some(&c) = self.y_col.get(y as usize) {
+                    if c >= 0 {
+                        m2.set(c as usize, col, 1.0);
+                    }
+                }
+            }
+        }
+        (m1, m2)
+    }
+
+    /// Density-based backend selection for [`HeavyBackend::Auto`]:
+    /// estimated nnz(M1) over u·v cells below 2% picks the SpGEMM path.
+    fn resolve_backend(&self, r: &Relation, requested: HeavyBackend) -> HeavyBackend {
+        match requested {
+            HeavyBackend::Auto => {
+                let cells = (self.heavy_x.len() * self.heavy_y.len()).max(1);
+                let nnz: usize = self
+                    .heavy_x
+                    .iter()
+                    .map(|&x| {
+                        r.ys_of(x)
+                            .iter()
+                            .filter(|&&y| self.y_is_heavy(y))
+                            .count()
+                    })
+                    .sum();
+                if (nnz as f64) / (cells as f64) < 0.02 {
+                    HeavyBackend::Sparse
+                } else {
+                    HeavyBackend::DenseF32
+                }
+            }
+            other => other,
+        }
+    }
+
+    fn build_sparse_matrices(&self, r: &Relation, s: &Relation) -> (CsrMatrix, CsrMatrix) {
+        let (u, v, w) = (self.heavy_x.len(), self.heavy_y.len(), self.heavy_z.len());
+        let mut pairs_a = Vec::new();
+        for (row, &x) in self.heavy_x.iter().enumerate() {
+            for &y in r.ys_of(x) {
+                if let Some(&c) = self.y_col.get(y as usize) {
+                    if c >= 0 {
+                        pairs_a.push((row as u32, c as u32));
+                    }
+                }
+            }
+        }
+        let mut pairs_b = Vec::new();
+        for (col, &z) in self.heavy_z.iter().enumerate() {
+            for &y in s.ys_of(z) {
+                if let Some(&c) = self.y_col.get(y as usize) {
+                    if c >= 0 {
+                        pairs_b.push((c as u32, col as u32));
+                    }
+                }
+            }
+        }
+        (
+            CsrMatrix::from_pairs(u, v, &pairs_a),
+            CsrMatrix::from_pairs(v, w, &pairs_b),
+        )
+    }
+
+    fn build_bit_matrices(&self, r: &Relation, s: &Relation) -> (BitMatrix, BitMatrix) {
+        let (u, v, w) = (self.heavy_x.len(), self.heavy_y.len(), self.heavy_z.len());
+        let mut m1 = BitMatrix::zeros(u, v);
+        for (row, &x) in self.heavy_x.iter().enumerate() {
+            for &y in r.ys_of(x) {
+                if let Some(&c) = self.y_col.get(y as usize) {
+                    if c >= 0 {
+                        m1.set(row, c as usize);
+                    }
+                }
+            }
+        }
+        let mut m2 = BitMatrix::zeros(v, w);
+        for (col, &z) in self.heavy_z.iter().enumerate() {
+            for &y in s.ys_of(z) {
+                if let Some(&c) = self.y_col.get(y as usize) {
+                    if c >= 0 {
+                        m2.set(c as usize, col);
+                    }
+                }
+            }
+        }
+        (m1, m2)
+    }
+}
+
+/// Light passes A (R side) and B (S side), optionally parallel over groups.
+///
+/// The passes partition the light witnesses so almost no pair is emitted
+/// twice: pass A owns every pair whose `x` is light plus heavy-`x` pairs
+/// through `y`s light in `S`; pass B only ever emits heavy-`x` pairs, and
+/// only through `y`s heavy in `S` (anything else pass A already found).
+/// In the degenerate all-light configuration pass B does no work at all,
+/// which keeps MMJoin's fallback within noise of the plain combinatorial
+/// engine.
+fn light_passes(
+    r: &Relation,
+    s: &Relation,
+    delta1: u32,
+    delta2: u32,
+    threads: usize,
+) -> Vec<(Value, Value)> {
+    let pass_a = |groups: &[(Value, &[Value])], out: &mut Vec<(Value, Value)>| {
+        let mut dedup = DedupBuffer::new(s.x_domain());
+        for &(a, ys) in groups {
+            let a_light = ys.len() <= delta2 as usize;
+            dedup.clear();
+            for &y in ys {
+                if (y as usize) >= s.y_domain() {
+                    continue;
+                }
+                if a_light || s.y_degree(y) <= delta1 as usize {
+                    for &z in s.xs_of(y) {
+                        if dedup.insert(z) {
+                            out.push((a, z));
+                        }
+                    }
+                }
+            }
+        }
+    };
+    let pass_b = |groups: &[(Value, &[Value])], out: &mut Vec<(Value, Value)>| {
+        let mut dedup = DedupBuffer::new(r.x_domain());
+        for &(c, ys) in groups {
+            let c_light = ys.len() <= delta2 as usize;
+            dedup.clear();
+            for &y in ys {
+                if (y as usize) >= r.y_domain() || s.y_degree(y) <= delta1 as usize {
+                    continue; // y light in S: pass A covered every x.
+                }
+                if c_light || r.y_degree(y) <= delta1 as usize {
+                    for &x in r.xs_of(y) {
+                        // Light x: pass A expanded all of its ys already.
+                        if r.x_degree(x) > delta2 as usize && dedup.insert(x) {
+                            out.push((x, c));
+                        }
+                    }
+                }
+            }
+        }
+    };
+
+    let groups_a: Vec<(Value, &[Value])> = r.by_x().iter_nonempty().collect();
+    let groups_b: Vec<(Value, &[Value])> = s.by_x().iter_nonempty().collect();
+    if threads <= 1 {
+        let mut out = Vec::new();
+        pass_a(&groups_a, &mut out);
+        pass_b(&groups_b, &mut out);
+        out
+    } else {
+        let chunk_a = groups_a.len().div_ceil(threads).max(1);
+        let chunk_b = groups_b.len().div_ceil(threads).max(1);
+        let mut results: Vec<Vec<(Value, Value)>> = Vec::new();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for part in groups_a.chunks(chunk_a) {
+                handles.push(scope.spawn(move || {
+                    let mut out = Vec::new();
+                    pass_a(part, &mut out);
+                    out
+                }));
+            }
+            for part in groups_b.chunks(chunk_b) {
+                handles.push(scope.spawn(move || {
+                    let mut out = Vec::new();
+                    pass_b(part, &mut out);
+                    out
+                }));
+            }
+            for h in handles {
+                results.push(h.join().expect("light-pass worker panicked"));
+            }
+        });
+        results.concat()
+    }
+}
+
+/// Combinatorial evaluation of the heavy core when the matrices would not
+/// fit in the configured memory cap: expand heavy `x` through heavy `y`.
+fn heavy_expansion_fallback(
+    r: &Relation,
+    s: &Relation,
+    heavy: &HeavyIndex,
+    out: &mut Vec<(Value, Value)>,
+) {
+    let mut dedup = DedupBuffer::new(s.x_domain());
+    for &x in &heavy.heavy_x {
+        dedup.clear();
+        for &y in r.ys_of(x) {
+            if !heavy.y_is_heavy(y) {
+                continue;
+            }
+            for &z in s.xs_of(y) {
+                if dedup.insert(z) {
+                    out.push((x, z));
+                }
+            }
+        }
+    }
+}
+
+/// Counting passes L1/L2/L3 (see module docs): exact multiplicities with
+/// disjoint witness partitions.
+#[allow(clippy::too_many_arguments)]
+fn count_passes(
+    r: &Relation,
+    s: &Relation,
+    delta2: u32,
+    min_count: u32,
+    heavy: &HeavyIndex,
+    prod: Option<&DenseMatrix>,
+    config: &JoinConfig,
+) -> Vec<(Value, Value, u32)> {
+    let threads = config.threads.max(1);
+    let is_light_head_r = |deg: usize| deg <= delta2 as usize || delta2 == u32::MAX;
+    // When no matrix product is available (memory cap, degenerate core),
+    // pass L3 must expand *every* y — heavy-in-both witnesses included —
+    // otherwise those counts would be lost.
+    let skip_heavy_y = prod.is_some();
+
+    // Pass L1: light x — full expansion, exact counts for (x, *).
+    let l1 = |groups: &[(Value, &[Value])], out: &mut Vec<(Value, Value, u32)>| {
+        let mut dedup = DedupBuffer::new(s.x_domain());
+        let mut touched: Vec<Value> = Vec::new();
+        for &(a, ys) in groups {
+            if !is_light_head_r(ys.len()) {
+                continue;
+            }
+            dedup.clear();
+            touched.clear();
+            for &y in ys {
+                if (y as usize) >= s.y_domain() {
+                    continue;
+                }
+                for &z in s.xs_of(y) {
+                    if dedup.insert(z) {
+                        touched.push(z);
+                    }
+                }
+            }
+            for &z in &touched {
+                let m = dedup.multiplicity(z);
+                if m >= min_count {
+                    out.push((a, z, m));
+                }
+            }
+        }
+    };
+
+    // Pass L2: light z — full expansion from the S side; emit only pairs
+    // whose x is heavy (light x already exact in L1).
+    let l2 = |groups: &[(Value, &[Value])], out: &mut Vec<(Value, Value, u32)>| {
+        let mut dedup = DedupBuffer::new(r.x_domain());
+        let mut touched: Vec<Value> = Vec::new();
+        for &(c, ys) in groups {
+            if !is_light_head_r(ys.len()) {
+                continue;
+            }
+            dedup.clear();
+            touched.clear();
+            for &y in ys {
+                if (y as usize) >= r.y_domain() {
+                    continue;
+                }
+                for &x in r.xs_of(y) {
+                    if dedup.insert(x) {
+                        touched.push(x);
+                    }
+                }
+            }
+            for &x in &touched {
+                if is_light_head_r(r.x_degree(x)) {
+                    continue; // covered exactly by L1
+                }
+                let m = dedup.multiplicity(x);
+                if m >= min_count {
+                    out.push((x, c, m));
+                }
+            }
+        }
+    };
+
+    // Pass L3: heavy x — expand only non-heavy-in-both y; combine with the
+    // matrix row for heavy z; skip light z (covered by L2).
+    let l3 = |groups: &[(Value, &[Value])], out: &mut Vec<(Value, Value, u32)>| {
+        let mut dedup = DedupBuffer::new(s.x_domain());
+        let mut touched: Vec<Value> = Vec::new();
+        for &(a, ys) in groups {
+            if is_light_head_r(ys.len()) {
+                continue;
+            }
+            dedup.clear();
+            touched.clear();
+            for &y in ys {
+                if (y as usize) >= s.y_domain() || (skip_heavy_y && heavy.y_is_heavy(y)) {
+                    continue;
+                }
+                for &z in s.xs_of(y) {
+                    if dedup.insert(z) {
+                        touched.push(z);
+                    }
+                }
+            }
+            match (heavy.x_row_of(a), prod) {
+                (Some(row), Some(m)) => {
+                    // Scan all heavy z columns: matrix + light-witness counts.
+                    for (j, &z) in heavy.heavy_z.iter().enumerate() {
+                        let total = m.get(row, j) as u32 + dedup.multiplicity(z);
+                        if total >= min_count && total > 0 {
+                            out.push((a, z, total));
+                        }
+                    }
+                    // Heavy-head z values *without* a matrix column (no
+                    // heavy-in-both y adjacent) have no matrix witnesses:
+                    // the expansion count is already exact for them.
+                    for &z in &touched {
+                        if heavy.z_is_heavy(z) || is_light_head_r(s.x_degree(z)) {
+                            continue; // column scan / L2 covers these
+                        }
+                        let mult = dedup.multiplicity(z);
+                        if mult >= min_count {
+                            out.push((a, z, mult));
+                        }
+                    }
+                }
+                _ => {
+                    // No matrix row (or matrix disabled): expansion was the
+                    // complete witness set for heavy z partners.
+                    for &z in &touched {
+                        if !heavy.z_is_heavy(z) {
+                            // z light head ⇒ L2 covers; z heavy-but-rowless
+                            // still counts here.
+                            if is_light_head_r(s.x_degree(z)) {
+                                continue;
+                            }
+                        }
+                        let m = dedup.multiplicity(z);
+                        if m >= min_count {
+                            out.push((a, z, m));
+                        }
+                    }
+                }
+            }
+        }
+    };
+
+    let groups_r: Vec<(Value, &[Value])> = r.by_x().iter_nonempty().collect();
+    let groups_s: Vec<(Value, &[Value])> = s.by_x().iter_nonempty().collect();
+    if threads <= 1 {
+        let mut out = Vec::new();
+        l1(&groups_r, &mut out);
+        l2(&groups_s, &mut out);
+        l3(&groups_r, &mut out);
+        out
+    } else {
+        let chunk_r = groups_r.len().div_ceil(threads).max(1);
+        let chunk_s = groups_s.len().div_ceil(threads).max(1);
+        let mut results: Vec<Vec<(Value, Value, u32)>> = Vec::new();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for part in groups_r.chunks(chunk_r) {
+                handles.push(scope.spawn(move || {
+                    let mut out = Vec::new();
+                    l1(part, &mut out);
+                    l3(part, &mut out);
+                    out
+                }));
+            }
+            for part in groups_s.chunks(chunk_s) {
+                handles.push(scope.spawn(move || {
+                    let mut out = Vec::new();
+                    l2(part, &mut out);
+                    out
+                }));
+            }
+            for h in handles {
+                results.push(h.join().expect("count-pass worker panicked"));
+            }
+        });
+        results.concat()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmjoin_baseline::fulljoin::SortMergeEngine;
+    use proptest::prelude::*;
+    use std::collections::BTreeMap;
+
+    fn rel(edges: &[(Value, Value)]) -> Relation {
+        Relation::from_edges(edges.iter().copied())
+    }
+
+    /// Brute-force pair counts.
+    fn brute_counts(r: &Relation, s: &Relation) -> BTreeMap<(Value, Value), u32> {
+        let mut m = BTreeMap::new();
+        for &(x, y) in r.edges() {
+            for &(z, y2) in s.edges() {
+                if y == y2 {
+                    *m.entry((x, z)).or_insert(0) += 1;
+                }
+            }
+        }
+        m
+    }
+
+    fn clique_relation(sets: u32, elems: u32) -> Relation {
+        let mut edges = Vec::new();
+        for x in 0..sets {
+            for y in 0..elems {
+                edges.push((x, y));
+            }
+        }
+        rel(&edges)
+    }
+
+    #[test]
+    fn matches_reference_with_forced_deltas() {
+        let r = rel(&[(0, 0), (0, 1), (1, 0), (2, 1), (3, 2), (3, 0)]);
+        let s = rel(&[(5, 0), (6, 1), (7, 0), (7, 2), (8, 1)]);
+        let expected = SortMergeEngine.join_project(&r, &s);
+        for (d1, d2) in [(1, 1), (1, 2), (2, 1), (3, 3), (100, 100)] {
+            let cfg = JoinConfig::with_deltas(d1, d2);
+            assert_eq!(
+                two_path_join_project(&r, &s, &cfg),
+                expected,
+                "Δ1={d1} Δ2={d2}"
+            );
+        }
+    }
+
+    #[test]
+    fn matches_reference_with_optimizer() {
+        let r = clique_relation(12, 6);
+        let cfg = JoinConfig {
+            wcoj_fallback_factor: 1.0,
+            ..JoinConfig::default()
+        };
+        assert_eq!(
+            two_path_join_project(&r, &r, &cfg),
+            SortMergeEngine.join_project(&r, &r)
+        );
+    }
+
+    #[test]
+    fn sparse_and_auto_backends_match() {
+        let r = clique_relation(10, 5);
+        let expected = SortMergeEngine.join_project(&r, &r);
+        for backend in [HeavyBackend::Sparse, HeavyBackend::Auto] {
+            let cfg = JoinConfig {
+                heavy_backend: backend,
+                delta_override: Some((2, 2)),
+                ..JoinConfig::default()
+            };
+            assert_eq!(two_path_join_project(&r, &r, &cfg), expected, "{backend:?}");
+        }
+    }
+
+    #[test]
+    fn bitmat_path_matches() {
+        let r = clique_relation(10, 5);
+        let cfg = JoinConfig {
+            heavy_backend: HeavyBackend::BitMatrix,
+            delta_override: Some((2, 2)),
+            ..JoinConfig::default()
+        };
+        assert_eq!(
+            two_path_join_project(&r, &r, &cfg),
+            SortMergeEngine.join_project(&r, &r)
+        );
+    }
+
+    #[test]
+    fn memory_cap_fallback_matches() {
+        let r = clique_relation(10, 5);
+        let cfg = JoinConfig {
+            delta_override: Some((2, 2)),
+            matrix_cell_cap: 0, // force the combinatorial heavy path
+            ..JoinConfig::default()
+        };
+        assert_eq!(
+            two_path_join_project(&r, &r, &cfg),
+            SortMergeEngine.join_project(&r, &r)
+        );
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let mut edges = Vec::new();
+        for i in 0..600u32 {
+            edges.push(((i * 7) % 80, (i * 13) % 50));
+        }
+        let r = rel(&edges);
+        let serial = two_path_join_project(&r, &r, &JoinConfig::with_deltas(3, 3));
+        for threads in [2, 4, 8] {
+            let cfg = JoinConfig {
+                threads,
+                delta_override: Some((3, 3)),
+                ..JoinConfig::default()
+            };
+            assert_eq!(two_path_join_project(&r, &r, &cfg), serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn counts_exact_on_clique() {
+        let r = clique_relation(8, 4);
+        let got = two_path_with_counts(&r, &r, 1, &JoinConfig::with_deltas(2, 2));
+        let brute = brute_counts(&r, &r);
+        assert_eq!(got.len(), brute.len());
+        for (x, z, c) in got {
+            assert_eq!(brute[&(x, z)], c, "pair ({x},{z})");
+        }
+    }
+
+    #[test]
+    fn counts_min_count_filters() {
+        // (0,1) share 3 elements; (0,2) share 1.
+        let r = rel(&[
+            (0, 0),
+            (0, 1),
+            (0, 2),
+            (1, 0),
+            (1, 1),
+            (1, 2),
+            (2, 2),
+        ]);
+        let got = two_path_with_counts(&r, &r, 3, &JoinConfig::with_deltas(1, 1));
+        let pairs: Vec<(Value, Value)> = got.iter().map(|&(x, z, _)| (x, z)).collect();
+        assert_eq!(pairs, vec![(0, 0), (0, 1), (1, 0), (1, 1)]);
+        for &(_, _, c) in &got {
+            assert!(c >= 3);
+        }
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let r = rel(&[]);
+        let s = rel(&[(0, 0)]);
+        assert!(two_path_join_project(&r, &s, &JoinConfig::default()).is_empty());
+        assert!(two_path_with_counts(&s, &r, 1, &JoinConfig::default()).is_empty());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// All threshold choices must produce the reference result.
+        #[test]
+        fn any_deltas_match_reference(
+            r_edges in proptest::collection::vec((0u32..20, 0u32..15), 1..80),
+            s_edges in proptest::collection::vec((0u32..20, 0u32..15), 1..80),
+            d1 in 1u32..8,
+            d2 in 1u32..8,
+            threads in 1usize..3,
+        ) {
+            let r = rel(&r_edges);
+            let s = rel(&s_edges);
+            let cfg = JoinConfig {
+                threads,
+                delta_override: Some((d1, d2)),
+                ..JoinConfig::default()
+            };
+            prop_assert_eq!(
+                two_path_join_project(&r, &s, &cfg),
+                SortMergeEngine.join_project(&r, &s)
+            );
+        }
+
+        /// Counting variant is exact for every pair, at any thresholds.
+        #[test]
+        fn counts_always_exact(
+            r_edges in proptest::collection::vec((0u32..15, 0u32..12), 1..60),
+            s_edges in proptest::collection::vec((0u32..15, 0u32..12), 1..60),
+            d1 in 1u32..6,
+            d2 in 1u32..6,
+        ) {
+            let r = rel(&r_edges);
+            let s = rel(&s_edges);
+            let cfg = JoinConfig::with_deltas(d1, d2);
+            let got = two_path_with_counts(&r, &s, 1, &cfg);
+            let brute = brute_counts(&r, &s);
+            prop_assert_eq!(got.len(), brute.len());
+            for (x, z, c) in got {
+                prop_assert_eq!(brute[&(x, z)], c);
+            }
+        }
+    }
+}

@@ -1,0 +1,303 @@
+//! Seeded synthetic dataset generators for the six evaluation datasets.
+//!
+//! The paper's experiments run on real datasets (Table 2): DBLP, RoadNet,
+//! Jokes, Words, Protein and Image. Those files are not redistributable
+//! inside this repository, so this crate generates synthetic bipartite
+//! graphs that reproduce the *characteristics the algorithms are sensitive
+//! to*: number of sets, domain size, average/min/max set size, skew, and —
+//! crucially — the duplication structure (dense community blocks for
+//! Jokes/Protein/Image, Zipfian token popularity for Words/DBLP, near-tree
+//! sparsity for RoadNet). See DESIGN.md "Substitutions".
+//!
+//! All generators are deterministic in `(kind, scale, seed)`.
+//!
+//! A relation `R(x, y)` is read as "set `x` contains element `y`", matching
+//! the paper's set-oriented view of the 2-path self join.
+
+pub mod profile;
+pub mod table2;
+
+pub use profile::{DatasetKind, DatasetSpec};
+pub use table2::{table2_report, Table2Row};
+
+use mmjoin_storage::{Relation, RelationBuilder, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates the relation for `kind` at `scale` (1.0 = the scaled-down
+/// defaults of DESIGN.md; the paper's full sizes would be `scale ≈ 50+`)
+/// with the given RNG `seed`.
+///
+/// ```
+/// use mmjoin_datagen::{generate, DatasetKind};
+/// let a = generate(DatasetKind::Jokes, 0.05, 42);
+/// let b = generate(DatasetKind::Jokes, 0.05, 42);
+/// assert_eq!(a.edges(), b.edges()); // fully deterministic in (kind, scale, seed)
+/// ```
+pub fn generate(kind: DatasetKind, scale: f64, seed: u64) -> Relation {
+    let spec = DatasetSpec::scaled(kind, scale);
+    generate_from_spec(&spec, seed)
+}
+
+/// Generates a relation from an explicit [`DatasetSpec`].
+pub fn generate_from_spec(spec: &DatasetSpec, seed: u64) -> Relation {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+    let mut builder = RelationBuilder::new().with_capacity(spec.expected_tuples());
+    match spec.kind {
+        DatasetKind::RoadNet => gen_roadnet(spec, &mut rng, &mut builder),
+        DatasetKind::Dblp => gen_sparse_bipartite(spec, &mut rng, &mut builder),
+        DatasetKind::Words => gen_zipf(spec, &mut rng, &mut builder),
+        DatasetKind::Jokes | DatasetKind::Protein | DatasetKind::Image => {
+            gen_community(spec, &mut rng, &mut builder)
+        }
+    }
+    builder.build()
+}
+
+/// Generates `k` relations over a shared element domain for star-query
+/// experiments (each relation gets an independent sub-seed).
+pub fn generate_star(kind: DatasetKind, scale: f64, seed: u64, k: usize) -> Vec<Relation> {
+    (0..k)
+        .map(|i| generate(kind, scale, seed.wrapping_add(i as u64 * 0x51_7c_c1b7)))
+        .collect()
+}
+
+/// Sparse, low-degree, near-uniform graph: road networks have average set
+/// size ≈ 1.5 with tiny variance and essentially no duplication.
+fn gen_roadnet(spec: &DatasetSpec, rng: &mut StdRng, b: &mut RelationBuilder) {
+    for x in 0..spec.num_sets {
+        // Degrees 1..=4 with mean ≈ 1.5 (geometric-ish).
+        let d = 1 + (rng.gen_range(0..8) == 0) as usize
+            + (rng.gen_range(0..4) == 0) as usize
+            + (rng.gen_range(0..4) == 0) as usize;
+        let d = d.clamp(spec.min_set, spec.max_set);
+        // Elements local to the set id: a road segment connects nearby
+        // junctions, giving the grid-like locality of a road network.
+        for _ in 0..d {
+            let spread = (spec.domain / 100).max(4) as i64;
+            let base = (x as i64 * spec.domain as i64) / spec.num_sets as i64;
+            let off = rng.gen_range(-spread..=spread);
+            let y = (base + off).rem_euclid(spec.domain as i64) as Value;
+            b.push(x as Value, y);
+        }
+    }
+}
+
+/// Sparse author–paper bipartite graph: the DBLP shape. Generated
+/// element-centrically — each *paper* (`y`) has a small author count
+/// (mean ≈ 2.5, geometric tail), with authors drawn Zipf-skewed (prolific
+/// authors exist but no element is shared by a large fraction of sets).
+/// This keeps the join-project output near-linear, which is why the paper's
+/// optimizer falls back to the plain WCOJ plan on DBLP (§7.2).
+fn gen_sparse_bipartite(spec: &DatasetSpec, rng: &mut StdRng, b: &mut RelationBuilder) {
+    let zipf = Zipf::new(spec.num_sets, spec.zipf_exponent);
+    // Mean authors per paper from the target average set size.
+    let mean_deg = (spec.avg_set as f64 * spec.num_sets as f64 / spec.domain as f64).max(1.0);
+    for y in 0..spec.domain {
+        // Geometric-ish author count: 1 + Exp(mean - 1), capped.
+        let u: f64 = rng.gen_range(1e-9..1.0f64);
+        let d = (1.0 + (-u.ln()) * (mean_deg - 1.0).max(0.1)).round() as usize;
+        let d = d.clamp(1, 16);
+        for _ in 0..d {
+            let x = zipf.sample(rng) as Value;
+            b.push(x, y as Value);
+        }
+    }
+}
+
+/// Zipf-distributed element popularity with long-tailed set sizes: the
+/// Words (document–token) shape — a handful of stopword-like tokens appear
+/// in most documents, producing the dense behaviour of §7.
+fn gen_zipf(spec: &DatasetSpec, rng: &mut StdRng, b: &mut RelationBuilder) {
+    let zipf = Zipf::new(spec.domain, spec.zipf_exponent);
+    for x in 0..spec.num_sets {
+        let d = sample_set_size(spec, rng);
+        for _ in 0..d {
+            let y = zipf.sample(rng) as Value;
+            b.push(x as Value, y);
+        }
+    }
+}
+
+/// Dense-core model for Jokes / Protein / Image. The paper's dense datasets
+/// share a *globally* popular element core (stopwords in jokes, ubiquitous
+/// image features, hub proteins): a `core_frac` slice of the domain appears
+/// in a large fraction `p` of all sets, plus community-localised tail
+/// elements. The core makes the heavy adjacency block genuinely dense
+/// (density ≈ p), which is the regime where SGEMM crushes combinatorial
+/// expansion — the full join is `Θ(core · p² · sets²)` while the projected
+/// output is only `Θ(sets²)`, a duplication ratio of `core · p²`.
+fn gen_community(spec: &DatasetSpec, rng: &mut StdRng, b: &mut RelationBuilder) {
+    let (core_frac, p_lo, p_hi) = match spec.kind {
+        DatasetKind::Image => (0.40, 0.70, 0.95),
+        DatasetKind::Protein => (0.30, 0.45, 0.85),
+        _ => (0.25, 0.35, 0.70), // Jokes
+    };
+    let core = ((spec.domain as f64 * core_frac) as usize).max(1);
+    let tail = spec.domain - core;
+    let communities = spec.communities.max(1);
+    let comm_size = (tail / communities).max(1);
+    for x in 0..spec.num_sets {
+        // Per-set core affinity p: the set contains the *prefix* of the
+        // core up to rank p (features graded by prevalence). Prefix cores
+        // nest, which also reproduces the paper's observation that on
+        // dense datasets the SCJ result is large and close to the
+        // join-project result (§7.4).
+        let p: f64 = rng.gen_range(p_lo..p_hi);
+        let core_len = ((core as f64 * p) as usize).clamp(1, core);
+        for e in 0..core_len {
+            b.push(x as Value, e as Value);
+        }
+        // ~40% of sets are pure-core (containment chains); the rest add
+        // community-localised tail elements so the light path and the
+        // SCJ blocking filters have real work.
+        if tail > 0 && !rng.gen_bool(0.4) {
+            let c = rng.gen_range(0..communities);
+            let lo = core + c * comm_size;
+            let d = sample_set_size(spec, rng) / 4;
+            for _ in 0..d {
+                let y = lo + rng.gen_range(0..comm_size);
+                b.push(x as Value, (y.min(spec.domain - 1)) as Value);
+            }
+        }
+    }
+}
+
+/// Log-normal-ish set size within `[min_set, max_set]` with mean close to
+/// `avg_set`.
+fn sample_set_size(spec: &DatasetSpec, rng: &mut StdRng) -> usize {
+    let mean = spec.avg_set as f64;
+    // Exponential around the mean, clamped: produces the long tail of
+    // Table 2 without a heavy dependency.
+    let u: f64 = rng.gen_range(1e-9..1.0f64);
+    let v = (-u.ln()) * mean;
+    // At extreme down-scales min_set can exceed the scaled max_set; the max
+    // wins (it bounds memory).
+    let lo = spec.min_set.min(spec.max_set);
+    (v.round() as usize).clamp(lo, spec.max_set)
+}
+
+/// Bounded Zipf sampler over `1..=n` (shifted to `0..n`), via rejection-free
+/// inverse-CDF approximation (Gray's method).
+struct Zipf {
+    n: usize,
+    s: f64,
+    /// Normalizing integral terms.
+    t: f64,
+}
+
+impl Zipf {
+    fn new(n: usize, s: f64) -> Self {
+        let n = n.max(1);
+        let t = if (s - 1.0).abs() < 1e-9 {
+            1.0 + (n as f64).ln()
+        } else {
+            ((n as f64).powf(1.0 - s) - s) / (1.0 - s)
+        };
+        Self { n, s, t }
+    }
+
+    fn sample(&self, rng: &mut StdRng) -> usize {
+        // Inverse-CDF of the continuous envelope, accept-reject against the
+        // discrete pmf; acceptance is high for s in (0.5, 2].
+        loop {
+            let u: f64 = rng.gen();
+            let x = if (self.s - 1.0).abs() < 1e-9 {
+                (u * self.t).exp()
+            } else {
+                let inner = u * self.t * (1.0 - self.s) + self.s;
+                if inner <= 0.0 {
+                    1.0
+                } else {
+                    inner.powf(1.0 / (1.0 - self.s))
+                }
+            };
+            let k = x.floor().max(1.0) as usize;
+            if k <= self.n {
+                let ratio = (k as f64 / x).powf(self.s);
+                if rng.gen::<f64>() < ratio {
+                    return k - 1;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_generation() {
+        let a = generate(DatasetKind::Dblp, 0.1, 42);
+        let b = generate(DatasetKind::Dblp, 0.1, 42);
+        assert_eq!(a.edges(), b.edges());
+        let c = generate(DatasetKind::Dblp, 0.1, 43);
+        assert_ne!(a.edges(), c.edges(), "different seeds differ");
+    }
+
+    #[test]
+    fn all_kinds_generate_nonempty() {
+        for kind in DatasetKind::ALL {
+            let r = generate(kind, 0.05, 7);
+            assert!(!r.is_empty(), "{kind:?} generated an empty relation");
+            assert!(r.active_x_count() > 0);
+        }
+    }
+
+    #[test]
+    fn scaled_sizes_track_spec() {
+        let spec = DatasetSpec::scaled(DatasetKind::Jokes, 0.1);
+        let r = generate_from_spec(&spec, 1);
+        // Number of sets should match the spec exactly; tuples approximately
+        // (dedup shrinks dense sets).
+        assert!(r.active_x_count() <= spec.num_sets);
+        assert!(r.active_x_count() as f64 >= spec.num_sets as f64 * 0.5);
+        assert!(r.y_domain() <= spec.domain);
+    }
+
+    #[test]
+    fn community_datasets_are_denser_than_sparse_ones() {
+        let dense = generate(DatasetKind::Protein, 0.1, 3);
+        let sparse = generate(DatasetKind::RoadNet, 0.1, 3);
+        let density = |r: &Relation| r.len() as f64 / r.active_x_count().max(1) as f64;
+        assert!(
+            density(&dense) > 10.0 * density(&sparse),
+            "protein avg set size {} should dwarf roadnet {}",
+            density(&dense),
+            density(&sparse)
+        );
+    }
+
+    #[test]
+    fn roadnet_degrees_tiny() {
+        let r = generate(DatasetKind::RoadNet, 0.2, 5);
+        let avg = r.len() as f64 / r.active_x_count() as f64;
+        assert!((1.0..3.0).contains(&avg), "roadnet avg degree {avg}");
+    }
+
+    #[test]
+    fn star_relations_distinct() {
+        let rels = generate_star(DatasetKind::Dblp, 0.05, 11, 3);
+        assert_eq!(rels.len(), 3);
+        assert_ne!(rels[0].edges(), rels[1].edges());
+        assert_ne!(rels[1].edges(), rels[2].edges());
+    }
+
+    #[test]
+    fn zipf_sampler_in_range_and_skewed() {
+        let z = Zipf::new(1000, 1.1);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut head = 0usize;
+        const N: usize = 20_000;
+        for _ in 0..N {
+            let v = z.sample(&mut rng);
+            assert!(v < 1000);
+            if v < 10 {
+                head += 1;
+            }
+        }
+        // Zipf(1.1): the top-10 of 1000 values should absorb a large share.
+        assert!(head > N / 5, "head share {head}/{N} too small for zipf");
+    }
+}

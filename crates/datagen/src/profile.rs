@@ -1,0 +1,209 @@
+//! Dataset profiles: the Table 2 characteristics, scaled.
+
+/// The six evaluation datasets of Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DatasetKind {
+    /// DBLP author–paper bipartite graph: sparse, small sets, large domain.
+    Dblp,
+    /// Pennsylvania road network: extremely sparse, avg degree 1.5.
+    RoadNet,
+    /// Reddit jokes–word graph: dense, large sets, small domain.
+    Jokes,
+    /// Document–token bags-of-words: mid-density, Zipfian tokens.
+    Words,
+    /// Protein interaction bipartite graph: densest, huge sets.
+    Protein,
+    /// Image–feature graph: dense with a high *minimum* set size
+    /// (near-clique output, the dataset where EmptyHeaded shines).
+    Image,
+}
+
+impl DatasetKind {
+    /// All six kinds in the paper's Table 2 order.
+    pub const ALL: [DatasetKind; 6] = [
+        DatasetKind::Dblp,
+        DatasetKind::RoadNet,
+        DatasetKind::Jokes,
+        DatasetKind::Words,
+        DatasetKind::Protein,
+        DatasetKind::Image,
+    ];
+
+    /// Display name matching the paper.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DatasetKind::Dblp => "DBLP",
+            DatasetKind::RoadNet => "RoadNet",
+            DatasetKind::Jokes => "Jokes",
+            DatasetKind::Words => "Words",
+            DatasetKind::Protein => "Protein",
+            DatasetKind::Image => "Image",
+        }
+    }
+
+    /// True for the four datasets the paper classifies as dense (§7.1).
+    pub fn is_dense(&self) -> bool {
+        matches!(
+            self,
+            DatasetKind::Jokes | DatasetKind::Words | DatasetKind::Protein | DatasetKind::Image
+        )
+    }
+}
+
+/// A concrete generation target: Table 2's columns plus the generator knobs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetSpec {
+    /// Which family.
+    pub kind: DatasetKind,
+    /// Number of sets (distinct `x`).
+    pub num_sets: usize,
+    /// Element domain size (`|dom(y)|`).
+    pub domain: usize,
+    /// Target average set size.
+    pub avg_set: usize,
+    /// Minimum set size.
+    pub min_set: usize,
+    /// Maximum set size.
+    pub max_set: usize,
+    /// Zipf exponent for element popularity (Zipfian kinds only).
+    pub zipf_exponent: f64,
+    /// Community count (community kinds only).
+    pub communities: usize,
+}
+
+impl DatasetSpec {
+    /// The scaled-down base profile for `kind` at `scale = 1.0`.
+    ///
+    /// Base sizes are roughly 1/50–1/400 of Table 2, chosen so that the full
+    /// experiment suite completes on a laptop while preserving each
+    /// dataset's set-size/domain ratios (the quantity the algorithms are
+    /// sensitive to). `scale` multiplies set count and domain
+    /// proportionally.
+    pub fn scaled(kind: DatasetKind, scale: f64) -> Self {
+        let s = |v: usize| ((v as f64 * scale).round() as usize).max(2);
+        match kind {
+            // Table 2: 10M tuples, 1.5M sets, dom 3M, avg 6.6, max 500.
+            DatasetKind::Dblp => Self {
+                kind,
+                num_sets: s(30_000),
+                domain: s(60_000),
+                avg_set: 7,
+                min_set: 1,
+                max_set: 500,
+                zipf_exponent: 1.05,
+                communities: 0,
+            },
+            // Table 2: 1.5M tuples, 1M sets, dom 1M, avg 1.5, max 20.
+            DatasetKind::RoadNet => Self {
+                kind,
+                num_sets: s(60_000),
+                domain: s(60_000),
+                avg_set: 2,
+                min_set: 1,
+                max_set: 20,
+                zipf_exponent: 0.0,
+                communities: 0,
+            },
+            // Table 2: 400M tuples, 70K sets, dom 50K, avg 5.7K.
+            DatasetKind::Jokes => Self {
+                kind,
+                num_sets: s(2_200),
+                domain: s(1_600),
+                avg_set: (180.0 * scale.sqrt()) as usize + 2,
+                min_set: 4,
+                max_set: s(320),
+                zipf_exponent: 0.0,
+                communities: 8,
+            },
+            // Table 2: 500M tuples, 1M sets, dom 150K, avg 500.
+            DatasetKind::Words => Self {
+                kind,
+                num_sets: s(10_000),
+                domain: s(5_000),
+                avg_set: (16.0 * scale.sqrt()) as usize + 2,
+                min_set: 1,
+                max_set: s(300),
+                zipf_exponent: 1.1,
+                communities: 0,
+            },
+            // Table 2: 900M tuples, 60K sets, dom 60K, avg 15K (25% density).
+            DatasetKind::Protein => Self {
+                kind,
+                num_sets: s(1_900),
+                domain: s(1_900),
+                avg_set: (470.0 * scale.sqrt()) as usize + 2,
+                min_set: 2,
+                max_set: s(1_500),
+                zipf_exponent: 0.0,
+                communities: 5,
+            },
+            // Table 2: 800M tuples, 70K sets, dom 50K, avg 11.4K, min 10K.
+            DatasetKind::Image => Self {
+                kind,
+                num_sets: s(2_100),
+                domain: s(1_500),
+                avg_set: (340.0 * scale.sqrt()) as usize + 2,
+                min_set: (300.0 * scale.sqrt()) as usize + 1,
+                max_set: s(1_500),
+                zipf_exponent: 0.0,
+                communities: 3,
+            },
+        }
+    }
+
+    /// Rough tuple-count estimate for pre-allocation.
+    pub fn expected_tuples(&self) -> usize {
+        self.num_sets * self.avg_set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_match_paper() {
+        let names: Vec<&str> = DatasetKind::ALL.iter().map(|k| k.name()).collect();
+        assert_eq!(
+            names,
+            vec!["DBLP", "RoadNet", "Jokes", "Words", "Protein", "Image"]
+        );
+    }
+
+    #[test]
+    fn density_classification() {
+        assert!(!DatasetKind::Dblp.is_dense());
+        assert!(!DatasetKind::RoadNet.is_dense());
+        assert!(DatasetKind::Jokes.is_dense());
+        assert!(DatasetKind::Image.is_dense());
+    }
+
+    #[test]
+    fn scale_shrinks_spec() {
+        let full = DatasetSpec::scaled(DatasetKind::Dblp, 1.0);
+        let tiny = DatasetSpec::scaled(DatasetKind::Dblp, 0.1);
+        assert!(tiny.num_sets < full.num_sets);
+        assert!(tiny.domain < full.domain);
+        assert!(tiny.num_sets >= 2);
+    }
+
+    #[test]
+    fn ratios_preserved_across_scales() {
+        for kind in DatasetKind::ALL {
+            let a = DatasetSpec::scaled(kind, 1.0);
+            let b = DatasetSpec::scaled(kind, 0.5);
+            let ratio_a = a.domain as f64 / a.num_sets as f64;
+            let ratio_b = b.domain as f64 / b.num_sets as f64;
+            assert!(
+                (ratio_a / ratio_b - 1.0).abs() < 0.1,
+                "{kind:?}: domain/sets ratio drifted {ratio_a} vs {ratio_b}"
+            );
+        }
+    }
+
+    #[test]
+    fn image_has_large_min_set() {
+        let spec = DatasetSpec::scaled(DatasetKind::Image, 1.0);
+        assert!(spec.min_set > 100, "image min_set {}", spec.min_set);
+    }
+}

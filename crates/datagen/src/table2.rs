@@ -1,0 +1,114 @@
+//! Table 2 reporting: dataset characteristics of a generated relation.
+
+use crate::profile::DatasetKind;
+use mmjoin_storage::Relation;
+
+/// One row of Table 2, measured from an actual relation instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table2Row {
+    /// Dataset name.
+    pub name: &'static str,
+    /// `|R|` — number of tuples.
+    pub tuples: usize,
+    /// Number of sets (active `x` values).
+    pub num_sets: usize,
+    /// `|dom|` — number of distinct elements (active `y` values).
+    pub domain: usize,
+    /// Average set size.
+    pub avg_set: f64,
+    /// Minimum set size (over non-empty sets).
+    pub min_set: usize,
+    /// Maximum set size.
+    pub max_set: usize,
+}
+
+impl Table2Row {
+    /// Measures the Table 2 statistics of `r`.
+    pub fn measure(kind: DatasetKind, r: &Relation) -> Self {
+        let mut min_set = usize::MAX;
+        let mut max_set = 0usize;
+        let mut num_sets = 0usize;
+        for (_, row) in r.by_x().iter_nonempty() {
+            num_sets += 1;
+            min_set = min_set.min(row.len());
+            max_set = max_set.max(row.len());
+        }
+        if num_sets == 0 {
+            min_set = 0;
+        }
+        Self {
+            name: kind.name(),
+            tuples: r.len(),
+            num_sets,
+            domain: r.active_y_count(),
+            avg_set: if num_sets > 0 {
+                r.len() as f64 / num_sets as f64
+            } else {
+                0.0
+            },
+            min_set,
+            max_set,
+        }
+    }
+
+    /// Formats as a fixed-width table row.
+    pub fn format_row(&self) -> String {
+        format!(
+            "{:<10} {:>10} {:>10} {:>10} {:>12.1} {:>8} {:>8}",
+            self.name, self.tuples, self.num_sets, self.domain, self.avg_set, self.min_set,
+            self.max_set
+        )
+    }
+}
+
+/// Generates every dataset at `scale` and renders the full Table 2 report.
+pub fn table2_report(scale: f64, seed: u64) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<10} {:>10} {:>10} {:>10} {:>12} {:>8} {:>8}\n",
+        "Dataset", "|R|", "Sets", "|dom|", "AvgSetSize", "MinSet", "MaxSet"
+    ));
+    for kind in DatasetKind::ALL {
+        let r = crate::generate(kind, scale, seed);
+        let row = Table2Row::measure(kind, &r);
+        out.push_str(&row.format_row());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmjoin_storage::Relation;
+
+    #[test]
+    fn measures_simple_relation() {
+        let r = Relation::from_edges([(0, 0), (0, 1), (1, 2)]);
+        let row = Table2Row::measure(DatasetKind::Dblp, &r);
+        assert_eq!(row.tuples, 3);
+        assert_eq!(row.num_sets, 2);
+        assert_eq!(row.domain, 3);
+        assert_eq!(row.min_set, 1);
+        assert_eq!(row.max_set, 2);
+        assert!((row.avg_set - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_relation_row() {
+        let r = Relation::from_edges([]);
+        let row = Table2Row::measure(DatasetKind::RoadNet, &r);
+        assert_eq!(row.tuples, 0);
+        assert_eq!(row.num_sets, 0);
+        assert_eq!(row.min_set, 0);
+        assert_eq!(row.avg_set, 0.0);
+    }
+
+    #[test]
+    fn report_contains_all_datasets() {
+        let report = table2_report(0.02, 1);
+        for name in ["DBLP", "RoadNet", "Jokes", "Words", "Protein", "Image"] {
+            assert!(report.contains(name), "missing {name} in report");
+        }
+    }
+}

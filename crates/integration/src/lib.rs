@@ -1,0 +1,9 @@
+//! Workspace-level integration-test and example host.
+//!
+//! This crate has no library code of its own: it exists so the repository
+//! can keep its cross-crate integration tests in `/tests` and its runnable
+//! examples in `/examples` (see the `[[test]]` / `[[example]]` sections of
+//! its manifest) while depending on every other crate in the workspace.
+//!
+//! Run the examples with e.g.
+//! `cargo run --release -p mmjoin-integration --example quickstart`.

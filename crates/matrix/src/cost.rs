@@ -1,0 +1,311 @@
+//! The calibrated matrix-multiplication cost model `M̂(u, v, w, co)`.
+//!
+//! Algorithm 3 (§5) needs to predict, for candidate degree thresholds, how
+//! long the heavy-part multiplication will take on *this* machine with *this*
+//! kernel. The paper pre-measures square products `M̂(p, p, p, co)` for
+//! `p ∈ {1000, 2000, …, 20000}` and `co ∈ [5]`, then extrapolates to
+//! arbitrary rectangular shapes. We do the same, scaled to our kernel: we
+//! measure a handful of square sizes per core count (or accept injected
+//! measurements), fit effective FLOP throughput per sample, and interpolate
+//! by total work `u·v·w`.
+//!
+//! The model also exposes the §5 constants of Table 1 — sequential-access
+//! time `Ts`, allocation time `Tm`, random insert time `TI` — which the
+//! light-part cost formula (Algorithm 3 lines 10–11) multiplies against the
+//! threshold-index sums.
+
+use crate::dense::DenseMatrix;
+use crate::gemm::matmul_parallel;
+use std::time::Instant;
+
+/// One calibration sample: a `p × p × p` product on `cores` threads took
+/// `seconds`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sample {
+    /// Square dimension measured.
+    pub p: usize,
+    /// Worker threads used.
+    pub cores: usize,
+    /// Wall-clock seconds for the product.
+    pub seconds: f64,
+}
+
+/// System constants of Table 1 (per-element costs, in seconds).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SystemConstants {
+    /// `Ts`: average sequential access cost per element.
+    pub t_seq: f64,
+    /// `Tm`: average cost to allocate 32 bytes.
+    pub t_alloc: f64,
+    /// `TI`: average random access + insert cost per element.
+    pub t_insert: f64,
+}
+
+impl Default for SystemConstants {
+    fn default() -> Self {
+        // Modern-x86 defaults; `measure()` refines them. The insert cost
+        // assumes the dedup scratch buffer mostly stays in cache (§6's
+        // design goal) — overpricing it biases Algorithm 3 toward matrices
+        // even where expansion wins.
+        Self {
+            t_seq: 1.0e-9,
+            t_alloc: 4.0e-9,
+            t_insert: 2.5e-9,
+        }
+    }
+}
+
+impl SystemConstants {
+    /// Micro-benchmarks the three constants on the current machine.
+    pub fn measure() -> Self {
+        const N: usize = 1 << 20;
+        // Sequential scan.
+        let v: Vec<u32> = (0..N as u32).collect();
+        let t0 = Instant::now();
+        let mut acc = 0u64;
+        for &x in &v {
+            acc = acc.wrapping_add(x as u64);
+        }
+        let t_seq = t0.elapsed().as_secs_f64() / N as f64;
+        std::hint::black_box(acc);
+        // Allocation (vec push growth amortized).
+        let t0 = Instant::now();
+        let mut w: Vec<u64> = Vec::new();
+        for i in 0..(N / 4) as u64 {
+            w.push(i);
+        }
+        let t_alloc = t0.elapsed().as_secs_f64() / (N / 4) as f64 * 4.0;
+        std::hint::black_box(&w);
+        // Random access + increment.
+        let mut d = vec![0u32; N];
+        let mut idx = 123456789usize;
+        let t0 = Instant::now();
+        for _ in 0..N / 4 {
+            idx = idx.wrapping_mul(6364136223846793005).wrapping_add(1);
+            d[idx % N] += 1;
+        }
+        let t_insert = t0.elapsed().as_secs_f64() / (N / 4) as f64;
+        std::hint::black_box(&d);
+        Self {
+            t_seq: t_seq.max(1e-11),
+            t_alloc: t_alloc.max(1e-11),
+            t_insert: t_insert.max(1e-11),
+        }
+    }
+}
+
+/// Calibrated estimator for multiplication and construction cost.
+#[derive(Debug, Clone)]
+pub struct CostModel {
+    samples: Vec<Sample>,
+    /// System constants for non-GEMM terms.
+    pub constants: SystemConstants,
+}
+
+impl CostModel {
+    /// A model from explicit samples (useful for tests and for loading cached
+    /// calibration data).
+    pub fn from_samples(samples: Vec<Sample>, constants: SystemConstants) -> Self {
+        assert!(!samples.is_empty(), "cost model needs at least one sample");
+        Self { samples, constants }
+    }
+
+    /// A deterministic default model assuming an effective single-core
+    /// throughput of `20 GFLOP/s` (2 ops per multiply-add; the blocked
+    /// kernel of this crate measures ~35 GFLOP/s on AVX-512 hardware, so
+    /// this is a conservative portable default) with 80% parallel
+    /// efficiency — adequate for unit tests that must not spend time
+    /// calibrating. Experiment binaries should prefer [`CostModel::calibrate`].
+    pub fn analytic_default() -> Self {
+        let mut samples = Vec::new();
+        for cores in 1..=8usize {
+            let eff = cores as f64 * 0.8 + 0.2;
+            for p in [512usize, 1024, 2048] {
+                let flops = 2.0 * (p as f64).powi(3);
+                samples.push(Sample {
+                    p,
+                    cores,
+                    seconds: flops / (20.0e9 * eff),
+                });
+            }
+        }
+        Self {
+            samples,
+            constants: SystemConstants::default(),
+        }
+    }
+
+    /// Calibrates by actually running the kernel at the given square sizes
+    /// and core counts (the paper's `p ∈ {1000, …, 20000}` table, scaled).
+    pub fn calibrate(sizes: &[usize], core_counts: &[usize]) -> Self {
+        let mut samples = Vec::new();
+        for &cores in core_counts {
+            for &p in sizes {
+                let a = DenseMatrix::from_fn(p, p, |i, j| ((i * 31 + j * 17) % 7 == 0) as u8 as f32);
+                let b = DenseMatrix::from_fn(p, p, |i, j| ((i * 13 + j * 29) % 5 == 0) as u8 as f32);
+                let t0 = Instant::now();
+                let c = matmul_parallel(&a, &b, cores);
+                let seconds = t0.elapsed().as_secs_f64().max(1e-9);
+                std::hint::black_box(&c);
+                samples.push(Sample { p, cores, seconds });
+            }
+        }
+        Self {
+            samples,
+            constants: SystemConstants::measure(),
+        }
+    }
+
+    /// `M̂(u, v, w, co)` — predicted seconds to multiply `u×v` by `v×w` on
+    /// `co` cores: pick the sample nearest in per-core work and scale by the
+    /// work ratio (our kernel is cubic with no Strassen in the calibrated
+    /// path, so the scaling is linear in `u·v·w`, matching the paper's
+    /// observation that Eigen's runtime is predictable).
+    pub fn estimate(&self, u: usize, v: usize, w: usize, cores: usize) -> f64 {
+        if u == 0 || v == 0 || w == 0 {
+            return 0.0;
+        }
+        let work = u as f64 * v as f64 * w as f64;
+        // Nearest sample by (core distance, work distance).
+        let best = self
+            .samples
+            .iter()
+            .min_by(|s1, s2| {
+                let key = |s: &Sample| {
+                    let core_gap = (s.cores as f64 - cores as f64).abs();
+                    let w_s = (s.p as f64).powi(3);
+                    let work_gap = (w_s.ln() - work.ln()).abs();
+                    core_gap * 1000.0 + work_gap
+                };
+                key(s1).total_cmp(&key(s2))
+            })
+            .expect("non-empty samples");
+        let sample_work = (best.p as f64).powi(3);
+        let scaled = best.seconds * work / sample_work;
+        // Correct for a core-count mismatch with the 80%-efficiency model.
+        let eff = |c: usize| c as f64 * 0.8 + 0.2;
+        scaled * eff(best.cores) / eff(cores)
+    }
+
+    /// Predicted seconds for a GEMM that will execute `madds` effective
+    /// multiply-adds on `cores` workers. The blocked kernel skips zero
+    /// entries of the left operand, so for 0/1 adjacency matrices the
+    /// effective work is `nnz(A) · w`, often far below `u·v·w` — pricing
+    /// the dense product would bias Algorithm 3 away from profitable plans.
+    pub fn estimate_effective(&self, madds: f64, cores: usize) -> f64 {
+        if madds <= 0.0 {
+            return 0.0;
+        }
+        let best = self
+            .samples
+            .iter()
+            .min_by(|s1, s2| {
+                let key = |s: &Sample| {
+                    let core_gap = (s.cores as f64 - cores as f64).abs();
+                    let work_gap = ((s.p as f64).powi(3).ln() - madds.ln()).abs();
+                    core_gap * 1000.0 + work_gap
+                };
+                key(s1).total_cmp(&key(s2))
+            })
+            .expect("non-empty samples");
+        let scaled = best.seconds * madds / (best.p as f64).powi(3);
+        let eff = |c: usize| c as f64 * 0.8 + 0.2;
+        scaled * eff(best.cores) / eff(cores)
+    }
+
+    /// Predicted seconds to *construct* the two heavy matrices of Algorithm 1
+    /// (allocation + one pass over the heavy pairs; `C` in Eq. (1)).
+    pub fn construction_cost(&self, u: usize, v: usize, w: usize) -> f64 {
+        let cells = (u as f64 * v as f64) + (v as f64 * w as f64);
+        cells * (self.constants.t_alloc / 8.0 + self.constants.t_seq)
+    }
+
+    /// All samples (for reporting / Figure 3 reproduction).
+    pub fn samples(&self) -> &[Sample] {
+        &self.samples
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flat_model() -> CostModel {
+        CostModel::from_samples(
+            vec![
+                Sample { p: 100, cores: 1, seconds: 1.0 },
+                Sample { p: 200, cores: 1, seconds: 8.0 },
+                Sample { p: 100, cores: 4, seconds: 0.3 },
+            ],
+            SystemConstants::default(),
+        )
+    }
+
+    #[test]
+    fn estimate_scales_linearly_in_work() {
+        let m = flat_model();
+        let t1 = m.estimate(100, 100, 100, 1);
+        let t2 = m.estimate(200, 100, 100, 1);
+        assert!((t2 / t1 - 2.0).abs() < 1e-9, "doubling u doubles time");
+    }
+
+    #[test]
+    fn estimate_prefers_matching_cores() {
+        let m = flat_model();
+        let t1 = m.estimate(100, 100, 100, 1);
+        let t4 = m.estimate(100, 100, 100, 4);
+        assert!(t4 < t1, "4-core estimate should be faster");
+    }
+
+    #[test]
+    fn estimate_zero_dims() {
+        let m = flat_model();
+        assert_eq!(m.estimate(0, 10, 10, 1), 0.0);
+        assert_eq!(m.estimate(10, 0, 10, 2), 0.0);
+    }
+
+    #[test]
+    fn rectangular_uses_nearest_work() {
+        let m = flat_model();
+        // u*v*w == 8e6 == 200^3: should pick the p=200 sample.
+        let t = m.estimate(800, 100, 100, 1);
+        assert!((t - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn construction_cost_positive_and_monotone() {
+        let m = flat_model();
+        let small = m.construction_cost(10, 10, 10);
+        let big = m.construction_cost(100, 100, 100);
+        assert!(small > 0.0);
+        assert!(big > small);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn empty_samples_rejected() {
+        let _ = CostModel::from_samples(vec![], SystemConstants::default());
+    }
+
+    #[test]
+    fn analytic_default_sane() {
+        let m = CostModel::analytic_default();
+        let t = m.estimate(1000, 1000, 1000, 1);
+        assert!(t > 0.0 && t < 100.0);
+        // More cores must not be slower under the analytic model.
+        assert!(m.estimate(1000, 1000, 1000, 8) < t);
+    }
+
+    #[test]
+    fn measured_constants_positive() {
+        let c = SystemConstants::measure();
+        assert!(c.t_seq > 0.0 && c.t_alloc > 0.0 && c.t_insert > 0.0);
+    }
+
+    #[test]
+    fn calibrate_tiny_runs() {
+        let m = CostModel::calibrate(&[32, 64], &[1]);
+        assert_eq!(m.samples().len(), 2);
+        assert!(m.estimate(64, 64, 64, 1) > 0.0);
+    }
+}

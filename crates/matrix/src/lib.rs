@@ -1,0 +1,32 @@
+//! Dense matrix engine for the `mmjoin` workspace.
+//!
+//! The paper's prototype uses Eigen backed by Intel MKL SGEMM (§6). This
+//! crate is the from-scratch Rust substitute:
+//!
+//! * [`DenseMatrix`] — row-major `f32` matrices. Floats, not integers,
+//!   mirror the paper's deliberate choice of `SGEMM` over integer paths for
+//!   throughput; counts stay exact below 2²⁴, far above any set size here.
+//! * [`gemm`] — cache-blocked, auto-vectorizing serial GEMM plus a
+//!   `std::thread::scope` row-band parallel version (the coordination-free
+//!   parallelism the paper highlights in §6).
+//! * [`bitmat`] — bit-packed boolean matrices with word-parallel OR-AND
+//!   products, an extension ablated in the benchmarks (boolean output needs
+//!   no counts, e.g. plain join-project and BSI).
+//! * [`cost`] — the calibrated matmul cost estimator `M̂(u, v, w, co)` of
+//!   Table 1 / Algorithm 3, built by measuring this crate's own kernel at a
+//!   few sizes and interpolating, exactly as §5 describes.
+//! * [`strassen`] — Strassen recursion above a cutoff (future-work
+//!   extension; ablated in `bench/ablation`).
+
+pub mod bitmat;
+pub mod cost;
+pub mod dense;
+pub mod gemm;
+pub mod sparse;
+pub mod strassen;
+
+pub use bitmat::BitMatrix;
+pub use cost::CostModel;
+pub use dense::DenseMatrix;
+pub use sparse::CsrMatrix;
+pub use gemm::{matmul, matmul_into, matmul_parallel};

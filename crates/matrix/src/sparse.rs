@@ -1,0 +1,244 @@
+//! Sparse matrix multiplication (SpGEMM) over CSR operands.
+//!
+//! The heavy adjacency blocks of Algorithm 1 are 0/1 matrices whose density
+//! varies wildly with the thresholds: near-dense on clique-like cores,
+//! very sparse when Δ2 is small on skewed data. The dense kernel pays
+//! `u·w` cells regardless; this row-wise Gustavson SpGEMM pays only for
+//! realised products, making it the better backend below ~1–5% density.
+//! Amossen–Pagh's "Faster join-projects and sparse matrix multiplications"
+//! \[11\] — the paper's direct predecessor — is exactly about this regime,
+//! so the backend is provided as a selectable alternative and ablated in
+//! `bench/ablation`.
+
+use crate::dense::DenseMatrix;
+
+/// A CSR sparse 0/1-or-counted matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    /// Row `i` occupies `indptr[i]..indptr[i+1]` in `indices`/`values`.
+    indptr: Vec<usize>,
+    /// Column indices, ascending within each row.
+    indices: Vec<u32>,
+    /// Entry values (1.0 for adjacency matrices; counts after products).
+    values: Vec<f32>,
+}
+
+impl CsrMatrix {
+    /// Builds from row-grouped `(row, col)` pairs (any order, duplicates
+    /// summed as 1.0 each).
+    pub fn from_pairs(rows: usize, cols: usize, pairs: &[(u32, u32)]) -> Self {
+        let mut counts = vec![0usize; rows + 1];
+        for &(r, c) in pairs {
+            assert!((r as usize) < rows && (c as usize) < cols, "entry out of bounds");
+            counts[r as usize + 1] += 1;
+        }
+        for i in 0..rows {
+            counts[i + 1] += counts[i];
+        }
+        let mut indices = vec![0u32; pairs.len()];
+        let mut cursor = counts.clone();
+        for &(r, c) in pairs {
+            indices[cursor[r as usize]] = c;
+            cursor[r as usize] += 1;
+        }
+        // Sort and merge duplicates per row.
+        let mut out_indices = Vec::with_capacity(pairs.len());
+        let mut out_values = Vec::with_capacity(pairs.len());
+        let mut indptr = vec![0usize; rows + 1];
+        for i in 0..rows {
+            let row = &mut indices[counts[i]..counts[i + 1]];
+            row.sort_unstable();
+            for &c in row.iter() {
+                if out_indices.last() == Some(&c) && out_indices.len() > indptr[i] {
+                    *out_values.last_mut().unwrap() += 1.0;
+                } else {
+                    out_indices.push(c);
+                    out_values.push(1.0);
+                }
+            }
+            indptr[i + 1] = out_indices.len();
+        }
+        Self {
+            rows,
+            cols,
+            indptr,
+            indices: out_indices,
+            values: out_values,
+        }
+    }
+
+    /// Converts a dense matrix (zeros dropped).
+    pub fn from_dense(m: &DenseMatrix) -> Self {
+        let mut indptr = vec![0usize; m.rows() + 1];
+        let mut indices = Vec::new();
+        let mut values = Vec::new();
+        for i in 0..m.rows() {
+            for (j, &v) in m.row(i).iter().enumerate() {
+                if v != 0.0 {
+                    indices.push(j as u32);
+                    values.push(v);
+                }
+            }
+            indptr[i + 1] = indices.len();
+        }
+        Self {
+            rows: m.rows(),
+            cols: m.cols(),
+            indptr,
+            indices,
+            values,
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Stored entries.
+    pub fn nnz(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// `(column, value)` pairs of row `i`.
+    pub fn row(&self, i: usize) -> impl Iterator<Item = (u32, f32)> + '_ {
+        self.indices[self.indptr[i]..self.indptr[i + 1]]
+            .iter()
+            .copied()
+            .zip(self.values[self.indptr[i]..self.indptr[i + 1]].iter().copied())
+    }
+
+    /// Row-wise Gustavson SpGEMM: `self · other`, counts accumulated.
+    ///
+    /// Complexity `O(Σ realised products)` with a dense per-row scratch of
+    /// `other.cols` accumulators (epoch-free: reset via touched list).
+    ///
+    /// # Panics
+    /// Panics if inner dimensions disagree.
+    pub fn spgemm(&self, other: &CsrMatrix) -> CsrMatrix {
+        assert_eq!(self.cols, other.rows, "inner dimensions must agree");
+        let mut acc = vec![0.0f32; other.cols];
+        let mut touched: Vec<u32> = Vec::new();
+        let mut indptr = vec![0usize; self.rows + 1];
+        let mut indices = Vec::new();
+        let mut values = Vec::new();
+        for i in 0..self.rows {
+            touched.clear();
+            for (k, va) in self.row(i) {
+                for (j, vb) in other.row(k as usize) {
+                    if acc[j as usize] == 0.0 {
+                        touched.push(j);
+                    }
+                    acc[j as usize] += va * vb;
+                }
+            }
+            touched.sort_unstable();
+            for &j in &touched {
+                indices.push(j);
+                values.push(acc[j as usize]);
+                acc[j as usize] = 0.0;
+            }
+            indptr[i + 1] = indices.len();
+        }
+        CsrMatrix {
+            rows: self.rows,
+            cols: other.cols,
+            indptr,
+            indices,
+            values,
+        }
+    }
+
+    /// Iterator over `(row, col, value)` of entries with `value >= threshold`.
+    pub fn entries_at_least(
+        &self,
+        threshold: f32,
+    ) -> impl Iterator<Item = (usize, usize, f32)> + '_ {
+        (0..self.rows).flat_map(move |i| {
+            self.row(i)
+                .filter(move |&(_, v)| v >= threshold)
+                .map(move |(j, v)| (i, j as usize, v))
+        })
+    }
+
+    /// Densifies (for tests / small blocks).
+    pub fn to_dense(&self) -> DenseMatrix {
+        let mut m = DenseMatrix::zeros(self.rows, self.cols);
+        for i in 0..self.rows {
+            for (j, v) in self.row(i) {
+                m.set(i, j as usize, v);
+            }
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::matmul;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_sparse(rng: &mut StdRng, rows: usize, cols: usize, density: f64) -> DenseMatrix {
+        DenseMatrix::from_fn(rows, cols, |_, _| rng.gen_bool(density) as u8 as f32)
+    }
+
+    #[test]
+    fn from_pairs_sorts_and_merges() {
+        let m = CsrMatrix::from_pairs(2, 4, &[(0, 3), (0, 1), (0, 3), (1, 0)]);
+        assert_eq!(m.nnz(), 3);
+        let row0: Vec<_> = m.row(0).collect();
+        assert_eq!(row0, vec![(1, 1.0), (3, 2.0)]);
+    }
+
+    #[test]
+    fn spgemm_matches_dense_gemm() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for &(m, k, n, d) in &[(20usize, 30usize, 25usize, 0.2), (50, 10, 50, 0.5), (7, 7, 7, 1.0)] {
+            let a = random_sparse(&mut rng, m, k, d);
+            let b = random_sparse(&mut rng, k, n, d);
+            let sa = CsrMatrix::from_dense(&a);
+            let sb = CsrMatrix::from_dense(&b);
+            assert_eq!(sa.spgemm(&sb).to_dense(), matmul(&a, &b), "({m},{k},{n},{d})");
+        }
+    }
+
+    #[test]
+    fn dense_round_trip() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let a = random_sparse(&mut rng, 13, 17, 0.3);
+        assert_eq!(CsrMatrix::from_dense(&a).to_dense(), a);
+    }
+
+    #[test]
+    fn entries_at_least_filters() {
+        let m = CsrMatrix::from_pairs(2, 3, &[(0, 1), (0, 1), (1, 2)]);
+        let strong: Vec<_> = m.entries_at_least(2.0).collect();
+        assert_eq!(strong, vec![(0, 1, 2.0)]);
+        assert_eq!(m.entries_at_least(1.0).count(), 2);
+    }
+
+    #[test]
+    fn empty_matrices() {
+        let a = CsrMatrix::from_pairs(0, 0, &[]);
+        assert_eq!(a.nnz(), 0);
+        let b = CsrMatrix::from_pairs(3, 4, &[]);
+        let c = CsrMatrix::from_pairs(4, 2, &[]);
+        let p = b.spgemm(&c);
+        assert_eq!((p.rows(), p.cols(), p.nnz()), (3, 2, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn from_pairs_bounds_checked() {
+        let _ = CsrMatrix::from_pairs(2, 2, &[(2, 0)]);
+    }
+}

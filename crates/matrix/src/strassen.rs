@@ -1,0 +1,175 @@
+//! Strassen's algorithm above a cutoff — a "fast matrix multiplication"
+//! path (ω ≈ 2.807) for the theoretical side of the paper.
+//!
+//! The paper's analysis is parameterized by the matrix-multiplication
+//! exponent ω; its prototype uses the classical cubic kernel because MKL's
+//! constants dominate at practical sizes. We provide Strassen as the
+//! promised "fast MM" extension and ablate the cutoff in `bench/ablation`.
+//! Products of 0/1 adjacency matrices stay exact: all intermediate values
+//! are small integers representable in `f32`.
+
+use crate::dense::DenseMatrix;
+use crate::gemm::matmul;
+
+/// Dimension at or below which we fall back to the blocked cubic kernel.
+pub const DEFAULT_CUTOFF: usize = 128;
+
+/// Multiplies `a · b` with Strassen recursion above `cutoff`.
+///
+/// Works for arbitrary rectangular shapes by padding to the next even size
+/// at each level (peeled row/column strips are handled by the base kernel).
+///
+/// # Panics
+/// Panics if inner dimensions disagree.
+pub fn strassen(a: &DenseMatrix, b: &DenseMatrix, cutoff: usize) -> DenseMatrix {
+    assert_eq!(a.cols(), b.rows(), "inner dimensions must agree");
+    let cutoff = cutoff.max(2);
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    if m.min(k).min(n) <= cutoff {
+        return matmul(a, b);
+    }
+    // Pad all dims to even.
+    let (m2, k2, n2) = (m.next_multiple_of(2), k.next_multiple_of(2), n.next_multiple_of(2));
+    let ap = pad(a, m2, k2);
+    let bp = pad(b, k2, n2);
+    let cp = strassen_even(&ap, &bp, cutoff);
+    crop(&cp, m, n)
+}
+
+fn pad(x: &DenseMatrix, rows: usize, cols: usize) -> DenseMatrix {
+    if x.rows() == rows && x.cols() == cols {
+        return x.clone();
+    }
+    let mut p = DenseMatrix::zeros(rows, cols);
+    for i in 0..x.rows() {
+        p.row_mut(i)[..x.cols()].copy_from_slice(x.row(i));
+    }
+    p
+}
+
+fn crop(x: &DenseMatrix, rows: usize, cols: usize) -> DenseMatrix {
+    if x.rows() == rows && x.cols() == cols {
+        return x.clone();
+    }
+    let mut c = DenseMatrix::zeros(rows, cols);
+    for i in 0..rows {
+        c.row_mut(i).copy_from_slice(&x.row(i)[..cols]);
+    }
+    c
+}
+
+fn quadrant(x: &DenseMatrix, qi: usize, qj: usize) -> DenseMatrix {
+    let (hr, hc) = (x.rows() / 2, x.cols() / 2);
+    let mut q = DenseMatrix::zeros(hr, hc);
+    for i in 0..hr {
+        q.row_mut(i)
+            .copy_from_slice(&x.row(qi * hr + i)[qj * hc..qj * hc + hc]);
+    }
+    q
+}
+
+fn add(a: &DenseMatrix, b: &DenseMatrix) -> DenseMatrix {
+    let mut c = a.clone();
+    for (cv, &bv) in c.data_mut().iter_mut().zip(b.data()) {
+        *cv += bv;
+    }
+    c
+}
+
+fn sub(a: &DenseMatrix, b: &DenseMatrix) -> DenseMatrix {
+    let mut c = a.clone();
+    for (cv, &bv) in c.data_mut().iter_mut().zip(b.data()) {
+        *cv -= bv;
+    }
+    c
+}
+
+/// Strassen on even-dimension inputs.
+fn strassen_even(a: &DenseMatrix, b: &DenseMatrix, cutoff: usize) -> DenseMatrix {
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    if m.min(k).min(n) <= cutoff || m % 2 != 0 || k % 2 != 0 || n % 2 != 0 {
+        return matmul(a, b);
+    }
+    let (a11, a12, a21, a22) = (
+        quadrant(a, 0, 0),
+        quadrant(a, 0, 1),
+        quadrant(a, 1, 0),
+        quadrant(a, 1, 1),
+    );
+    let (b11, b12, b21, b22) = (
+        quadrant(b, 0, 0),
+        quadrant(b, 0, 1),
+        quadrant(b, 1, 0),
+        quadrant(b, 1, 1),
+    );
+    let m1 = strassen_even(&add(&a11, &a22), &add(&b11, &b22), cutoff);
+    let m2 = strassen_even(&add(&a21, &a22), &b11, cutoff);
+    let m3 = strassen_even(&a11, &sub(&b12, &b22), cutoff);
+    let m4 = strassen_even(&a22, &sub(&b21, &b11), cutoff);
+    let m5 = strassen_even(&add(&a11, &a12), &b22, cutoff);
+    let m6 = strassen_even(&sub(&a21, &a11), &add(&b11, &b12), cutoff);
+    let m7 = strassen_even(&sub(&a12, &a22), &add(&b21, &b22), cutoff);
+
+    let c11 = add(&sub(&add(&m1, &m4), &m5), &m7);
+    let c12 = add(&m3, &m5);
+    let c21 = add(&m2, &m4);
+    let c22 = add(&add(&sub(&m1, &m2), &m3), &m6);
+
+    let (hm, hn) = (m / 2, n / 2);
+    let mut c = DenseMatrix::zeros(m, n);
+    for i in 0..hm {
+        c.row_mut(i)[..hn].copy_from_slice(c11.row(i));
+        c.row_mut(i)[hn..].copy_from_slice(c12.row(i));
+        c.row_mut(hm + i)[..hn].copy_from_slice(c21.row(i));
+        c.row_mut(hm + i)[hn..].copy_from_slice(c22.row(i));
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::matmul_naive;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random01(rng: &mut StdRng, rows: usize, cols: usize) -> DenseMatrix {
+        DenseMatrix::from_fn(rows, cols, |_, _| rng.gen_bool(0.3) as u8 as f32)
+    }
+
+    #[test]
+    fn matches_naive_square() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let a = random01(&mut rng, 96, 96);
+        let b = random01(&mut rng, 96, 96);
+        assert_eq!(strassen(&a, &b, 16), matmul_naive(&a, &b));
+    }
+
+    #[test]
+    fn matches_naive_odd_and_rectangular() {
+        let mut rng = StdRng::seed_from_u64(12);
+        for &(m, k, n) in &[(37, 41, 53), (65, 64, 63), (100, 30, 70)] {
+            let a = random01(&mut rng, m, k);
+            let b = random01(&mut rng, k, n);
+            assert_eq!(strassen(&a, &b, 8), matmul_naive(&a, &b), "({m},{k},{n})");
+        }
+    }
+
+    #[test]
+    fn base_case_small_inputs() {
+        let a = DenseMatrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let b = DenseMatrix::from_vec(2, 2, vec![5.0, 6.0, 7.0, 8.0]);
+        assert_eq!(strassen(&a, &b, 128).data(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn counts_stay_exact() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let a = random01(&mut rng, 130, 130);
+        let b = random01(&mut rng, 130, 130);
+        let c = strassen(&a, &b, 32);
+        for &v in c.data() {
+            assert_eq!(v.fract(), 0.0, "adjacency product must be integral");
+        }
+    }
+}

@@ -1,0 +1,223 @@
+//! Set-containment joins (SCJ) — §4 and Figure 4c/7 of the paper.
+//!
+//! Given sets encoded as `R(x, y)` ("set `x` contains element `y`"), the SCJ
+//! reports all ordered pairs `(a, b)`, `a ≠ b`, with `set(a) ⊆ set(b)`.
+//!
+//! Four algorithms:
+//!
+//! * [`ScjAlgorithm::Pretti`] — PRETTI-style inverted-list join: the
+//!   supersets of `a` are exactly `⋂_{e ∈ a} L[e]`, computed with the k-way
+//!   leapfrog intersection (infrequent-first order makes the smallest list
+//!   drive the cost).
+//! * [`ScjAlgorithm::LimitPlus`] — LIMIT+ \[15\]: intersect only the
+//!   `limit` most infrequent elements (the blocking filter), then verify
+//!   each candidate by sorted-list subset check. The paper runs `limit = 2`.
+//! * [`ScjAlgorithm::PieJoin`] — PIEJoin \[28\]: a prefix tree over all
+//!   sets (global infrequent-first element order) searched per probe set;
+//!   the only parallel baseline (partition by probe ranges).
+//! * [`ScjAlgorithm::MmJoin`] — the paper's approach: evaluate the counting
+//!   join-project and keep pairs with `|a ∩ b| = |a|`, which is fastest
+//!   when the join-project output is close to the SCJ output (dense data).
+
+pub mod piejoin;
+pub mod pretti;
+
+use mmjoin_core::{two_path_with_counts, JoinConfig};
+use mmjoin_storage::{Relation, Value};
+
+/// Algorithm selector for [`set_containment_join`].
+#[derive(Debug, Clone)]
+pub enum ScjAlgorithm {
+    /// Full inverted-list intersection per probe set.
+    Pretti,
+    /// Blocking on the `limit` most infrequent elements + verification.
+    LimitPlus {
+        /// Number of leading (most infrequent) elements intersected before
+        /// falling back to verification. The paper uses 2.
+        limit: usize,
+    },
+    /// Prefix-tree (trie) containment search.
+    PieJoin,
+    /// Counting join-project filtered to containment.
+    MmJoin(Box<JoinConfig>),
+}
+
+impl ScjAlgorithm {
+    /// MMJoin on `threads` workers.
+    pub fn mmjoin(threads: usize) -> Self {
+        ScjAlgorithm::MmJoin(Box::new(JoinConfig {
+            threads,
+            ..JoinConfig::default()
+        }))
+    }
+}
+
+/// Evaluates the self set-containment join of `r`, returning sorted
+/// `(subset, superset)` pairs with `subset ≠ superset`.
+///
+/// ```
+/// use mmjoin_scj::{set_containment_join, ScjAlgorithm};
+/// use mmjoin_storage::Relation;
+/// // 0 = {5}, 1 = {5, 6}.
+/// let r = Relation::from_edges([(0, 5), (1, 5), (1, 6)]);
+/// let pairs = set_containment_join(&r, &ScjAlgorithm::Pretti, 1);
+/// assert_eq!(pairs, vec![(0, 1)]);
+/// ```
+pub fn set_containment_join(
+    r: &Relation,
+    algo: &ScjAlgorithm,
+    threads: usize,
+) -> Vec<(Value, Value)> {
+    let mut out = match algo {
+        ScjAlgorithm::Pretti => pretti::pretti_join(r, threads),
+        ScjAlgorithm::LimitPlus { limit } => pretti::limit_plus_join(r, *limit, threads),
+        ScjAlgorithm::PieJoin => piejoin::pie_join(r, threads),
+        ScjAlgorithm::MmJoin(cfg) => {
+            let mut cfg = (**cfg).clone();
+            cfg.threads = threads.max(cfg.threads);
+            mm_scj(r, &cfg)
+        }
+    };
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// MMJoin SCJ: `a ⊆ b ⟺ |a ∩ b| = |a|`.
+fn mm_scj(r: &Relation, cfg: &JoinConfig) -> Vec<(Value, Value)> {
+    two_path_with_counts(r, r, 1, cfg)
+        .into_iter()
+        .filter(|&(a, b, count)| a != b && count as usize == r.x_degree(a))
+        .map(|(a, b, _)| (a, b))
+        .collect()
+}
+
+/// Brute-force reference SCJ for tests.
+pub fn brute_force_scj(r: &Relation) -> Vec<(Value, Value)> {
+    let sets: Vec<Value> = r.by_x().iter_nonempty().map(|(x, _)| x).collect();
+    let mut out = Vec::new();
+    for &a in &sets {
+        for &b in &sets {
+            if a != b && mmjoin_storage::csr::is_subset(r.ys_of(a), r.ys_of(b)) {
+                out.push((a, b));
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn rel(edges: &[(Value, Value)]) -> Relation {
+        Relation::from_edges(edges.iter().copied())
+    }
+
+    fn all_algorithms() -> Vec<ScjAlgorithm> {
+        vec![
+            ScjAlgorithm::Pretti,
+            ScjAlgorithm::LimitPlus { limit: 2 },
+            ScjAlgorithm::PieJoin,
+            ScjAlgorithm::mmjoin(1),
+        ]
+    }
+
+    fn sample() -> Relation {
+        // 0={1,2}, 1={1,2,3}, 2={2}, 3={1,2,3,4}, 4={5}, 5={1,2}.
+        rel(&[
+            (0, 1),
+            (0, 2),
+            (1, 1),
+            (1, 2),
+            (1, 3),
+            (2, 2),
+            (3, 1),
+            (3, 2),
+            (3, 3),
+            (3, 4),
+            (4, 5),
+            (5, 1),
+            (5, 2),
+        ])
+    }
+
+    #[test]
+    fn all_algorithms_match_bruteforce() {
+        let r = sample();
+        let expected = brute_force_scj(&r);
+        assert!(expected.contains(&(0, 1)));
+        assert!(expected.contains(&(0, 5))); // equal sets contain each other
+        assert!(expected.contains(&(5, 0)));
+        for algo in all_algorithms() {
+            assert_eq!(set_containment_join(&r, &algo, 1), expected, "{algo:?}");
+        }
+    }
+
+    #[test]
+    fn empty_relation() {
+        let r = rel(&[]);
+        for algo in all_algorithms() {
+            assert!(set_containment_join(&r, &algo, 1).is_empty(), "{algo:?}");
+        }
+    }
+
+    #[test]
+    fn no_containments() {
+        let r = rel(&[(0, 0), (1, 1), (2, 2)]);
+        for algo in all_algorithms() {
+            assert!(set_containment_join(&r, &algo, 1).is_empty(), "{algo:?}");
+        }
+    }
+
+    #[test]
+    fn chain_containment() {
+        // 0={0} ⊂ 1={0,1} ⊂ 2={0,1,2}.
+        let r = rel(&[(0, 0), (1, 0), (1, 1), (2, 0), (2, 1), (2, 2)]);
+        let expected = vec![(0, 1), (0, 2), (1, 2)];
+        for algo in all_algorithms() {
+            assert_eq!(set_containment_join(&r, &algo, 1), expected, "{algo:?}");
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let mut edges = Vec::new();
+        for i in 0..300u32 {
+            let set = (i * 7) % 40;
+            edges.push((set, (i * 3) % 25));
+        }
+        // Seed containment: every set also gets element 0.
+        for s in 0..40u32 {
+            edges.push((s, 0));
+        }
+        let r = rel(&edges);
+        for algo in all_algorithms() {
+            let serial = set_containment_join(&r, &algo, 1);
+            let parallel = set_containment_join(&r, &algo, 4);
+            assert_eq!(serial, parallel, "{algo:?}");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn algorithms_agree_with_bruteforce(
+            edges in proptest::collection::vec((0u32..12, 0u32..10), 1..60),
+            limit in 1usize..4,
+        ) {
+            let r = rel(&edges);
+            let expected = brute_force_scj(&r);
+            prop_assert_eq!(set_containment_join(&r, &ScjAlgorithm::Pretti, 1), expected.clone());
+            prop_assert_eq!(
+                set_containment_join(&r, &ScjAlgorithm::LimitPlus { limit }, 1),
+                expected.clone()
+            );
+            prop_assert_eq!(set_containment_join(&r, &ScjAlgorithm::PieJoin, 1), expected.clone());
+            prop_assert_eq!(set_containment_join(&r, &ScjAlgorithm::mmjoin(1), 1), expected);
+        }
+    }
+}

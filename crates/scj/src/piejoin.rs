@@ -1,0 +1,206 @@
+//! PIEJoin-style trie-based set-containment join.
+//!
+//! A prefix tree is built over every set's element sequence in a global
+//! infrequent-first order. A probe set `a = [e1, …, em]` (same order) finds
+//! its supersets by a pruned traversal: at trie depth `d` looking for `ei`,
+//! children with rank below `rank(ei)` may still lead to supersets (extra
+//! elements are allowed), children equal to `ei` advance the probe, children
+//! with larger rank are pruned (elements are sorted, so `ei` cannot appear
+//! deeper). Once the probe is exhausted, every set stored in the subtree is
+//! a superset.
+//!
+//! Parallelism partitions the probe sets — the paper notes PIEJoin is the
+//! only parallel SCJ baseline, though its scaling is sensitive to the data
+//! partitioning (Figure 7), which this faithful re-implementation shares.
+
+use mmjoin_storage::{Relation, Value};
+use std::collections::HashMap;
+
+/// Trie over rank sequences.
+struct Trie {
+    /// children[node] : rank → child node, kept in rank-sorted vectors for
+    /// ordered traversal.
+    children: Vec<Vec<(u32, usize)>>,
+    /// Sets terminating at each node.
+    terminal: Vec<Vec<Value>>,
+    /// Largest edge rank anywhere in the subtree rooted at each node;
+    /// a subtree whose max rank is below the probe's next element cannot
+    /// contain a superset and is pruned.
+    subtree_max: Vec<u32>,
+}
+
+impl Trie {
+    fn new() -> Self {
+        Self {
+            children: vec![Vec::new()],
+            terminal: vec![Vec::new()],
+            subtree_max: vec![0],
+        }
+    }
+
+    /// Computes `subtree_max` bottom-up (iterative post-order).
+    fn finalize(&mut self) {
+        // Children always have larger ids than parents (insertion order),
+        // so a reverse sweep is a valid post-order aggregation.
+        for node in (0..self.children.len()).rev() {
+            let mut m = 0u32;
+            for &(rk, child) in &self.children[node] {
+                m = m.max(rk).max(self.subtree_max[child]);
+            }
+            self.subtree_max[node] = m;
+        }
+    }
+
+    fn insert(&mut self, ranks: &[u32], set: Value) {
+        let mut node = 0usize;
+        for &rk in ranks {
+            node = match self.children[node].binary_search_by_key(&rk, |&(r, _)| r) {
+                Ok(i) => self.children[node][i].1,
+                Err(i) => {
+                    let id = self.children.len();
+                    self.children.push(Vec::new());
+                    self.terminal.push(Vec::new());
+                    self.subtree_max.push(0);
+                    self.children[node].insert(i, (rk, id));
+                    id
+                }
+            };
+        }
+        self.terminal[node].push(set);
+    }
+
+    /// Collects every set stored at or below `node`.
+    fn collect_subtree(&self, node: usize, out: &mut Vec<Value>) {
+        out.extend_from_slice(&self.terminal[node]);
+        for &(_, child) in &self.children[node] {
+            self.collect_subtree(child, out);
+        }
+    }
+
+    /// Emits all supersets of `probe[i..]` reachable from `node`.
+    fn search(&self, node: usize, probe: &[u32], i: usize, out: &mut Vec<Value>) {
+        if i == probe.len() {
+            self.collect_subtree(node, out);
+            return;
+        }
+        let target = probe[i];
+        for &(rk, child) in &self.children[node] {
+            if rk < target {
+                // Extra element: still searching for `target` below — but
+                // only if the subtree can still reach `target`.
+                if self.subtree_max[child] >= target {
+                    self.search(child, probe, i, out);
+                }
+            } else if rk == target {
+                self.search(child, probe, i + 1, out);
+            } else {
+                // Ranks ascend along every path: `target` cannot occur.
+                break;
+            }
+        }
+    }
+}
+
+/// PIEJoin: returns `(subset, superset)` pairs, `subset ≠ superset`.
+pub fn pie_join(r: &Relation, threads: usize) -> Vec<(Value, Value)> {
+    let sets: Vec<Value> = r.by_x().iter_nonempty().map(|(x, _)| x).collect();
+    if sets.is_empty() {
+        return Vec::new();
+    }
+    // Global infrequent-first element ranking.
+    let ydom = r.y_domain();
+    let mut order: Vec<Value> = (0..ydom as Value).collect();
+    order.sort_unstable_by_key(|&e| (r.y_degree(e), e));
+    let mut rank: HashMap<Value, u32> = HashMap::with_capacity(ydom);
+    for (i, &e) in order.iter().enumerate() {
+        rank.insert(e, i as u32);
+    }
+    let ranked = |s: Value| -> Vec<u32> {
+        let mut v: Vec<u32> = r.ys_of(s).iter().map(|e| rank[e]).collect();
+        v.sort_unstable();
+        v
+    };
+
+    // Build phase (serial — PIEJoin parallelises only the probe phase).
+    let mut trie = Trie::new();
+    for &s in &sets {
+        trie.insert(&ranked(s), s);
+    }
+    trie.finalize();
+
+    let probe = |part: &[Value], out: &mut Vec<(Value, Value)>| {
+        let mut supers = Vec::new();
+        for &a in part {
+            supers.clear();
+            trie.search(0, &ranked(a), 0, &mut supers);
+            for &b in &supers {
+                if b != a {
+                    out.push((a, b));
+                }
+            }
+        }
+    };
+
+    if threads <= 1 || sets.len() < 2 {
+        let mut out = Vec::new();
+        probe(&sets, &mut out);
+        return out;
+    }
+    let chunk = sets.len().div_ceil(threads).max(1);
+    let mut results: Vec<Vec<(Value, Value)>> = Vec::new();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for part in sets.chunks(chunk) {
+            let probe = &probe;
+            handles.push(scope.spawn(move || {
+                let mut out = Vec::new();
+                probe(part, &mut out);
+                out
+            }));
+        }
+        for h in handles {
+            results.push(h.join().expect("piejoin worker panicked"));
+        }
+    });
+    results.concat()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rel(edges: &[(Value, Value)]) -> Relation {
+        Relation::from_edges(edges.iter().copied())
+    }
+
+    #[test]
+    fn finds_chain() {
+        let r = rel(&[(0, 0), (1, 0), (1, 1), (2, 0), (2, 1), (2, 2)]);
+        let mut got = pie_join(&r, 1);
+        got.sort_unstable();
+        assert_eq!(got, vec![(0, 1), (0, 2), (1, 2)]);
+    }
+
+    #[test]
+    fn identical_sets_mutual() {
+        let r = rel(&[(0, 3), (0, 4), (1, 3), (1, 4)]);
+        let mut got = pie_join(&r, 1);
+        got.sort_unstable();
+        assert_eq!(got, vec![(0, 1), (1, 0)]);
+    }
+
+    #[test]
+    fn disjoint_sets_empty() {
+        let r = rel(&[(0, 0), (1, 1)]);
+        assert!(pie_join(&r, 1).is_empty());
+    }
+
+    #[test]
+    fn trie_search_allows_gaps() {
+        // probe {2} must find superset {0,1,2} despite leading extras.
+        let r = rel(&[(0, 2), (1, 0), (1, 1), (1, 2)]);
+        let mut got = pie_join(&r, 1);
+        got.sort_unstable();
+        assert_eq!(got, vec![(0, 1)]);
+    }
+}

@@ -1,0 +1,138 @@
+//! PRETTI and LIMIT+ set-containment joins.
+//!
+//! Both process each probe set `a` with its elements in *infrequent-first*
+//! order (ascending inverted-list length — the sort order §7.4 selects).
+//! PRETTI intersects every inverted list (the candidates that survive all
+//! of them are exactly the supersets). LIMIT+ intersects only the first
+//! `limit` lists as a blocking filter and verifies the survivors with a
+//! sorted merge — cheap when the infrequent elements prune well, expensive
+//! when sets overlap heavily (the paper's observation of why join-project
+//! wins on dense data).
+
+use mmjoin_storage::csr::is_subset;
+use mmjoin_storage::{Relation, Value};
+use mmjoin_wcoj::leapfrog_intersect;
+
+/// Elements of `a` ordered infrequent-first.
+fn infrequent_order(r: &Relation, a: Value) -> Vec<Value> {
+    let mut elems: Vec<Value> = r.ys_of(a).to_vec();
+    elems.sort_unstable_by_key(|&e| (r.y_degree(e), e));
+    elems
+}
+
+/// PRETTI: full inverted-list intersection per probe set.
+pub fn pretti_join(r: &Relation, threads: usize) -> Vec<(Value, Value)> {
+    let sets: Vec<Value> = r.by_x().iter_nonempty().map(|(x, _)| x).collect();
+    run_partitioned(&sets, threads, |part, out| {
+        for &a in part {
+            let elems = infrequent_order(r, a);
+            let lists: Vec<&[Value]> = elems.iter().map(|&e| r.xs_of(e)).collect();
+            for b in leapfrog_intersect(&lists) {
+                if b != a {
+                    out.push((a, b));
+                }
+            }
+        }
+    })
+}
+
+/// LIMIT+: intersect the `limit` most infrequent lists, verify the rest.
+pub fn limit_plus_join(r: &Relation, limit: usize, threads: usize) -> Vec<(Value, Value)> {
+    let limit = limit.max(1);
+    let sets: Vec<Value> = r.by_x().iter_nonempty().map(|(x, _)| x).collect();
+    run_partitioned(&sets, threads, |part, out| {
+        for &a in part {
+            let elems = infrequent_order(r, a);
+            let k = elems.len().min(limit);
+            let lists: Vec<&[Value]> = elems[..k].iter().map(|&e| r.xs_of(e)).collect();
+            let candidates = leapfrog_intersect(&lists);
+            if elems.len() <= k {
+                // Blocking already exact.
+                for b in candidates {
+                    if b != a {
+                        out.push((a, b));
+                    }
+                }
+            } else {
+                let a_set = r.ys_of(a);
+                for b in candidates {
+                    if b != a && is_subset(a_set, r.ys_of(b)) {
+                        out.push((a, b));
+                    }
+                }
+            }
+        }
+    })
+}
+
+/// Static probe-range partitioning shared by the two algorithms.
+fn run_partitioned(
+    sets: &[Value],
+    threads: usize,
+    body: impl Fn(&[Value], &mut Vec<(Value, Value)>) + Sync,
+) -> Vec<(Value, Value)> {
+    if threads <= 1 || sets.len() < 2 {
+        let mut out = Vec::new();
+        body(sets, &mut out);
+        return out;
+    }
+    let chunk = sets.len().div_ceil(threads).max(1);
+    let mut results: Vec<Vec<(Value, Value)>> = Vec::new();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for part in sets.chunks(chunk) {
+            let body = &body;
+            handles.push(scope.spawn(move || {
+                let mut out = Vec::new();
+                body(part, &mut out);
+                out
+            }));
+        }
+        for h in handles {
+            results.push(h.join().expect("scj worker panicked"));
+        }
+    });
+    results.concat()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rel(edges: &[(Value, Value)]) -> Relation {
+        Relation::from_edges(edges.iter().copied())
+    }
+
+    #[test]
+    fn pretti_finds_supersets() {
+        let r = rel(&[(0, 1), (1, 1), (1, 2), (2, 1), (2, 2), (2, 3)]);
+        let mut got = pretti_join(&r, 1);
+        got.sort_unstable();
+        assert_eq!(got, vec![(0, 1), (0, 2), (1, 2)]);
+    }
+
+    #[test]
+    fn limit_plus_blocking_then_verify() {
+        let r = rel(&[(0, 1), (0, 2), (0, 3), (1, 1), (1, 2), (1, 3), (1, 4)]);
+        for limit in 1..=4 {
+            let mut got = limit_plus_join(&r, limit, 1);
+            got.sort_unstable();
+            assert_eq!(got, vec![(0, 1)], "limit={limit}");
+        }
+    }
+
+    #[test]
+    fn infrequent_order_sorts_by_list_length() {
+        // Element 5 appears once, element 1 three times.
+        let r = rel(&[(0, 1), (0, 5), (1, 1), (2, 1)]);
+        assert_eq!(infrequent_order(&r, 0), vec![5, 1]);
+    }
+
+    #[test]
+    fn limit_larger_than_set_is_exact() {
+        let r = rel(&[(0, 7), (1, 7)]);
+        let mut got = limit_plus_join(&r, 10, 1);
+        got.sort_unstable();
+        assert_eq!(got, vec![(0, 1), (1, 0)]);
+    }
+}

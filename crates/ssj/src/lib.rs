@@ -1,0 +1,321 @@
+//! Set-similarity joins (SSJ) — §4 of the paper.
+//!
+//! Given a family of sets encoded as a relation `R(x, y)` ("set `x` contains
+//! element `y`") and an overlap threshold `c ≥ 1`, the SSJ reports all pairs
+//! of distinct sets `{a, b}` with `|set(a) ∩ set(b)| ≥ c`. Pairs are
+//! normalised as `a < b`.
+//!
+//! Three algorithm families are implemented:
+//!
+//! * [`SsjAlgorithm::SizeAware`] — Algorithm 2 of the paper, i.e. the
+//!   size-aware join of Deng–Tao–Li \[20\]: a size boundary splits sets into
+//!   heavy (verified by brute-force expansion) and light (all `c`-subsets
+//!   are enumerated into an inverted index whose buckets are pair-scanned).
+//! * [`SsjAlgorithm::SizeAwarePP`] — `SizeAware++` (§4): the three
+//!   incremental optimizations of Figure 8 — `light` replaces the bucket
+//!   pair-scan with a counting expansion join over light sets, `heavy`
+//!   evaluates the heavy join with MMJoin counts, and `prefix` shares the
+//!   light expansion across sets with common prefixes via the materialized
+//!   prefix tree of Example 6.
+//! * [`SsjAlgorithm::MmJoin`] — the paper's headline approach: the 2-path
+//!   query with exact counts ([`mmjoin_core::two_path_with_counts`]),
+//!   thresholded at `c`.
+//!
+//! Both unordered enumeration and ordered (descending-overlap) variants are
+//! provided; ordered output is where the MM counts shine because the
+//! competing algorithms must re-verify every pair to learn its overlap.
+
+pub mod prefix;
+pub mod size_aware;
+pub mod topk;
+
+pub use topk::top_k_ssj;
+
+use mmjoin_core::{two_path_with_counts, JoinConfig};
+use mmjoin_storage::{Relation, Value};
+
+/// One similar pair with its exact overlap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct SsjPair {
+    /// Smaller set id.
+    pub a: Value,
+    /// Larger set id.
+    pub b: Value,
+    /// `|set(a) ∩ set(b)|`.
+    pub overlap: u32,
+}
+
+/// Options for `SizeAware++` (the Figure 8 ablation knobs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SizeAwarePPOpts {
+    /// Replace the light bucket pair-scan with the counting expansion join.
+    pub light: bool,
+    /// Evaluate the heavy join with MMJoin counts.
+    pub heavy: bool,
+    /// Share light expansions through the materialized prefix tree
+    /// (requires `light`).
+    pub prefix: bool,
+}
+
+impl SizeAwarePPOpts {
+    /// All optimizations on (the `Prefix` bar of Figure 8).
+    pub fn all() -> Self {
+        Self {
+            light: true,
+            heavy: true,
+            prefix: true,
+        }
+    }
+
+    /// All off — identical to plain SizeAware (the `NO-OP` bar).
+    pub fn none() -> Self {
+        Self {
+            light: false,
+            heavy: false,
+            prefix: false,
+        }
+    }
+}
+
+/// Algorithm selector for the SSJ entry points.
+#[derive(Debug, Clone)]
+pub enum SsjAlgorithm {
+    /// Algorithm 2 (SizeAware) of \[20\].
+    SizeAware,
+    /// SizeAware++ with the given optimization flags.
+    SizeAwarePP(SizeAwarePPOpts),
+    /// Matrix-multiplication join with the given execution config.
+    MmJoin(Box<JoinConfig>),
+}
+
+impl SsjAlgorithm {
+    /// MMJoin with default config on `threads` workers.
+    pub fn mmjoin(threads: usize) -> Self {
+        SsjAlgorithm::MmJoin(Box::new(JoinConfig {
+            threads,
+            ..JoinConfig::default()
+        }))
+    }
+}
+
+/// Unordered SSJ: sorted distinct pairs `(a, b)`, `a < b`, with
+/// `|set(a) ∩ set(b)| ≥ c`.
+///
+/// ```
+/// use mmjoin_ssj::{unordered_ssj, SsjAlgorithm};
+/// use mmjoin_storage::Relation;
+/// // Sets 0 = {1,2,3}, 1 = {2,3}, 2 = {9}.
+/// let r = Relation::from_edges([(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 9)]);
+/// let pairs = unordered_ssj(&r, 2, &SsjAlgorithm::mmjoin(1), 1);
+/// assert_eq!(pairs, vec![(0, 1)]); // only sets 0 and 1 share ≥ 2 elements
+/// ```
+pub fn unordered_ssj(
+    r: &Relation,
+    c: u32,
+    algo: &SsjAlgorithm,
+    threads: usize,
+) -> Vec<(Value, Value)> {
+    match algo {
+        SsjAlgorithm::SizeAware => size_aware::size_aware_pairs(r, c, SizeAwarePPOpts::none(), threads),
+        SsjAlgorithm::SizeAwarePP(opts) => size_aware::size_aware_pairs(r, c, *opts, threads),
+        SsjAlgorithm::MmJoin(cfg) => {
+            let mut cfg = (**cfg).clone();
+            cfg.threads = threads.max(cfg.threads);
+            mm_ssj_with_counts(r, c, &cfg)
+                .into_iter()
+                .map(|p| (p.a, p.b))
+                .collect()
+        }
+    }
+}
+
+/// Ordered SSJ: pairs sorted by descending overlap (ties by `(a, b)`).
+///
+/// For the non-MM algorithms the overlaps of pairs discovered without counts
+/// are re-verified by sorted-list intersection — the extra cost §7.3 notes
+/// for SizeAware in the ordered setting.
+pub fn ordered_ssj(r: &Relation, c: u32, algo: &SsjAlgorithm, threads: usize) -> Vec<SsjPair> {
+    let mut pairs: Vec<SsjPair> = match algo {
+        SsjAlgorithm::MmJoin(cfg) => {
+            let mut cfg = (**cfg).clone();
+            cfg.threads = threads.max(cfg.threads);
+            mm_ssj_with_counts(r, c, &cfg)
+        }
+        _ => {
+            let raw = unordered_ssj(r, c, algo, threads);
+            raw.into_iter()
+                .map(|(a, b)| SsjPair {
+                    a,
+                    b,
+                    overlap: mmjoin_storage::csr::intersect_count(r.ys_of(a), r.ys_of(b)) as u32,
+                })
+                .collect()
+        }
+    };
+    pairs.sort_unstable_by(|p, q| {
+        q.overlap
+            .cmp(&p.overlap)
+            .then_with(|| (p.a, p.b).cmp(&(q.a, q.b)))
+    });
+    pairs
+}
+
+/// MMJoin SSJ with exact counts.
+fn mm_ssj_with_counts(r: &Relation, c: u32, cfg: &JoinConfig) -> Vec<SsjPair> {
+    two_path_with_counts(r, r, c.max(1), cfg)
+        .into_iter()
+        .filter(|&(a, b, _)| a < b)
+        .map(|(a, b, overlap)| SsjPair { a, b, overlap })
+        .collect()
+}
+
+/// Reference brute-force SSJ used by the test-suites of this crate and the
+/// integration tests.
+pub fn brute_force_ssj(r: &Relation, c: u32) -> Vec<SsjPair> {
+    let sets: Vec<Value> = r.by_x().iter_nonempty().map(|(x, _)| x).collect();
+    let mut out = Vec::new();
+    for (i, &a) in sets.iter().enumerate() {
+        for &b in &sets[i + 1..] {
+            let overlap =
+                mmjoin_storage::csr::intersect_count(r.ys_of(a), r.ys_of(b)) as u32;
+            if overlap >= c {
+                out.push(SsjPair { a, b, overlap });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn rel(edges: &[(Value, Value)]) -> Relation {
+        Relation::from_edges(edges.iter().copied())
+    }
+
+    fn sample_instance() -> Relation {
+        // Sets: 0={0,1,2,3}, 1={1,2,3}, 2={2,3,9}, 3={9}, 4={0,1,2,3,9}.
+        rel(&[
+            (0, 0),
+            (0, 1),
+            (0, 2),
+            (0, 3),
+            (1, 1),
+            (1, 2),
+            (1, 3),
+            (2, 2),
+            (2, 3),
+            (2, 9),
+            (3, 9),
+            (4, 0),
+            (4, 1),
+            (4, 2),
+            (4, 3),
+            (4, 9),
+        ])
+    }
+
+    fn all_algorithms() -> Vec<SsjAlgorithm> {
+        vec![
+            SsjAlgorithm::SizeAware,
+            SsjAlgorithm::SizeAwarePP(SizeAwarePPOpts {
+                light: true,
+                heavy: false,
+                prefix: false,
+            }),
+            SsjAlgorithm::SizeAwarePP(SizeAwarePPOpts {
+                light: true,
+                heavy: true,
+                prefix: false,
+            }),
+            SsjAlgorithm::SizeAwarePP(SizeAwarePPOpts::all()),
+            SsjAlgorithm::mmjoin(1),
+        ]
+    }
+
+    #[test]
+    fn all_algorithms_match_bruteforce_c2() {
+        let r = sample_instance();
+        let expected: Vec<(Value, Value)> =
+            brute_force_ssj(&r, 2).into_iter().map(|p| (p.a, p.b)).collect();
+        for algo in all_algorithms() {
+            let got = unordered_ssj(&r, 2, &algo, 1);
+            assert_eq!(got, expected, "{algo:?}");
+        }
+    }
+
+    #[test]
+    fn all_algorithms_match_bruteforce_c1_and_c3() {
+        let r = sample_instance();
+        for c in [1u32, 3, 4] {
+            let expected: Vec<(Value, Value)> =
+                brute_force_ssj(&r, c).into_iter().map(|p| (p.a, p.b)).collect();
+            for algo in all_algorithms() {
+                assert_eq!(unordered_ssj(&r, c, &algo, 1), expected, "c={c} {algo:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn ordered_output_sorted_by_overlap() {
+        let r = sample_instance();
+        for algo in all_algorithms() {
+            let got = ordered_ssj(&r, 2, &algo, 1);
+            for w in got.windows(2) {
+                assert!(w[0].overlap >= w[1].overlap, "{algo:?}: {got:?}");
+            }
+            // Counts must be exact regardless of algorithm.
+            let brute = brute_force_ssj(&r, 2);
+            let mut sorted_got = got.clone();
+            sorted_got.sort_unstable();
+            let mut sorted_brute = brute;
+            sorted_brute.sort_unstable();
+            assert_eq!(sorted_got, sorted_brute, "{algo:?}");
+        }
+    }
+
+    #[test]
+    fn empty_and_degenerate() {
+        let empty = rel(&[]);
+        for algo in all_algorithms() {
+            assert!(unordered_ssj(&empty, 2, &algo, 1).is_empty(), "{algo:?}");
+        }
+        let single = rel(&[(0, 0)]);
+        for algo in all_algorithms() {
+            assert!(unordered_ssj(&single, 1, &algo, 1).is_empty(), "{algo:?}");
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let mut edges = Vec::new();
+        for i in 0..500u32 {
+            edges.push(((i * 3) % 60, (i * 7) % 35));
+        }
+        let r = rel(&edges);
+        for algo in all_algorithms() {
+            let serial = unordered_ssj(&r, 2, &algo, 1);
+            let parallel = unordered_ssj(&r, 2, &algo, 4);
+            assert_eq!(serial, parallel, "{algo:?}");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn algorithms_agree_with_bruteforce(
+            edges in proptest::collection::vec((0u32..14, 0u32..12), 1..70),
+            c in 1u32..4,
+        ) {
+            let r = rel(&edges);
+            let expected: Vec<(Value, Value)> =
+                brute_force_ssj(&r, c).into_iter().map(|p| (p.a, p.b)).collect();
+            for algo in all_algorithms() {
+                prop_assert_eq!(unordered_ssj(&r, c, &algo, 1), expected.clone());
+            }
+        }
+    }
+}

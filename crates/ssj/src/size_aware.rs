@@ -1,0 +1,403 @@
+//! SizeAware (Algorithm 2, \[20\]) and SizeAware++ (§4).
+//!
+//! `GetSizeBoundary` sweeps candidate size boundaries and picks the one
+//! minimizing the *estimated* total cost: light sets pay `Σ C(|s|, c)`
+//! (c-subset enumeration) and heavy sets pay `Σ_{e ∈ s} |L[e]|` (expansion
+//! verification), matching the balance criterion of \[20\].
+//!
+//! The heavy join enumerates, per heavy set `h`, the multiplicity of every
+//! candidate partner through `h`'s inverted lists (a sort-merge-join
+//! flavoured scan); `SizeAware++ (heavy)` swaps this for the MMJoin counting
+//! join restricted to heavy sets on the probe side.
+//!
+//! The light join of plain SizeAware inserts every light set into the
+//! inverted index of its `c`-subsets and pair-scans each bucket —
+//! quadratic in bucket size, the cost §4 attacks. `SizeAware++ (light)`
+//! replaces the bucket scan with the counting expansion join over light
+//! sets, and `SizeAware++ (prefix)` additionally shares expansion work
+//! between sets with a common prefix via the materialized prefix tree.
+
+use crate::prefix::PrefixExpander;
+use crate::SizeAwarePPOpts;
+use mmjoin_core::{two_path_with_counts, JoinConfig};
+use mmjoin_storage::{DedupBuffer, Relation, RelationBuilder, Value};
+use std::collections::{HashMap, HashSet};
+
+/// Entry point shared by SizeAware (all flags off) and SizeAware++:
+/// sorted distinct similar pairs `(a, b)`, `a < b`.
+pub fn size_aware_pairs(
+    r: &Relation,
+    c: u32,
+    opts: SizeAwarePPOpts,
+    threads: usize,
+) -> Vec<(Value, Value)> {
+    let c = c.max(1);
+    let sets: Vec<(Value, usize)> = r
+        .by_x()
+        .iter_nonempty()
+        .map(|(x, ys)| (x, ys.len()))
+        .collect();
+    if sets.len() < 2 {
+        return Vec::new();
+    }
+    let boundary = get_size_boundary(r, &sets, c);
+    let heavy: Vec<Value> = sets
+        .iter()
+        .filter(|&&(_, len)| len > boundary)
+        .map(|&(x, _)| x)
+        .collect();
+    let light: Vec<Value> = sets
+        .iter()
+        .filter(|&&(_, len)| len <= boundary)
+        .map(|&(x, _)| x)
+        .collect();
+
+    let mut out: Vec<(Value, Value)> = Vec::new();
+
+    // ---- Heavy join: pairs (anything, heavy). ----
+    if !heavy.is_empty() {
+        if opts.heavy {
+            heavy_join_mm(r, &heavy, c, threads, &mut out);
+        } else {
+            heavy_join_brute(r, &heavy, boundary, c, threads, &mut out);
+        }
+    }
+
+    // ---- Light join: pairs (light, light). ----
+    if light.len() >= 2 {
+        if opts.light {
+            if opts.prefix {
+                light_join_prefix(r, &light, boundary, c, &mut out);
+            } else {
+                light_join_expand(r, &light, boundary, c, &mut out);
+            }
+        } else {
+            light_join_subsets(r, &light, c, &mut out);
+        }
+    }
+
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// `GetSizeBoundary`: sweep distinct set sizes, minimizing
+/// `λ·Σ_{light} C(|s|, c) + Σ_{heavy} Σ_{e∈s} |L[e]|`, where `λ` estimates
+/// the average inverted-index bucket size (sets per `c`-subset): the light
+/// phase pair-scans every bucket, so its true cost is the subset count
+/// times the expected collisions — \[20\] estimates this by sampling; we
+/// use the closed-form `total subsets / distinct subsets available`.
+fn get_size_boundary(r: &Relation, sets: &[(Value, usize)], c: u32) -> usize {
+    // Per-set enumeration and expansion weights.
+    let mut by_size: Vec<(usize, u64, u64)> = sets
+        .iter()
+        .map(|&(x, len)| {
+            let subsets = binomial_capped(len as u64, c as u64, 1 << 40);
+            let expansion: u64 = r.ys_of(x).iter().map(|&e| r.y_degree(e) as u64).sum();
+            (len, subsets, expansion)
+        })
+        .collect();
+    by_size.sort_unstable_by_key(|&(len, _, _)| len);
+    let total_subsets: u64 = by_size.iter().map(|&(_, s, _)| s).sum();
+    let distinct_available =
+        binomial_capped(r.active_y_count() as u64, c as u64, u64::MAX).max(1);
+    let lambda = (total_subsets / distinct_available.min(total_subsets).max(1)).max(1);
+    // Prefix sums: light cost grows with boundary, heavy cost shrinks.
+    // The all-heavy configuration (boundary below every size) is a valid
+    // candidate and the initial best.
+    let total_expansion: u64 = by_size.iter().map(|&(_, _, e)| e).sum();
+    let mut best_boundary = 0usize;
+    let mut best_cost = total_expansion;
+    let mut light_cost = 0u64;
+    let mut heavy_cost = total_expansion;
+    let mut i = 0usize;
+    while i < by_size.len() {
+        let size = by_size[i].0;
+        while i < by_size.len() && by_size[i].0 == size {
+            light_cost = light_cost.saturating_add(by_size[i].1.saturating_mul(lambda));
+            heavy_cost = heavy_cost.saturating_sub(by_size[i].2);
+            i += 1;
+        }
+        let cost = light_cost.saturating_add(heavy_cost);
+        if cost < best_cost {
+            best_cost = cost;
+            best_boundary = size;
+        }
+    }
+    best_boundary.max(c as usize)
+}
+
+/// `C(n, k)` capped (avoids overflow for the boundary sweep).
+fn binomial_capped(n: u64, k: u64, cap: u64) -> u64 {
+    if k > n {
+        return 0;
+    }
+    let k = k.min(n - k);
+    let mut acc = 1u64;
+    for i in 0..k {
+        acc = acc.saturating_mul(n - i) / (i + 1);
+        if acc >= cap {
+            return cap;
+        }
+    }
+    acc
+}
+
+/// Brute heavy join: per heavy set, count candidate multiplicities through
+/// its inverted lists. Emits `(s, h)` pairs with overlap ≥ c, normalised,
+/// deduped against double-counting heavy–heavy pairs.
+fn heavy_join_brute(
+    r: &Relation,
+    heavy: &[Value],
+    boundary: usize,
+    c: u32,
+    threads: usize,
+    out: &mut Vec<(Value, Value)>,
+) {
+    let run = |part: &[Value], out: &mut Vec<(Value, Value)>| {
+        let mut counts = DedupBuffer::new(r.x_domain());
+        let mut touched: Vec<Value> = Vec::new();
+        for &h in part {
+            counts.clear();
+            touched.clear();
+            for &e in r.ys_of(h) {
+                for &s in r.xs_of(e) {
+                    if s == h {
+                        continue;
+                    }
+                    if counts.insert(s) {
+                        touched.push(s);
+                    }
+                }
+            }
+            for &s in &touched {
+                if counts.multiplicity(s) >= c {
+                    // Emit heavy–heavy pairs once (from the larger id) and
+                    // light–heavy pairs from the heavy side.
+                    let s_heavy = r.x_degree(s) > boundary;
+                    if !s_heavy || s < h {
+                        out.push((s.min(h), s.max(h)));
+                    }
+                }
+            }
+        }
+    };
+    if threads <= 1 || heavy.len() < 2 {
+        run(heavy, out);
+    } else {
+        let chunk = heavy.len().div_ceil(threads).max(1);
+        let mut results: Vec<Vec<(Value, Value)>> = Vec::new();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for part in heavy.chunks(chunk) {
+                handles.push(scope.spawn(move || {
+                    let mut local = Vec::new();
+                    run(part, &mut local);
+                    local
+                }));
+            }
+            for h in handles {
+                results.push(h.join().expect("heavy-join worker panicked"));
+            }
+        });
+        for mut v in results {
+            out.append(&mut v);
+        }
+    }
+}
+
+/// MMJoin heavy join (`SizeAware++ heavy`): counting 2-path join of the full
+/// relation against the heavy subset.
+fn heavy_join_mm(r: &Relation, heavy: &[Value], c: u32, threads: usize, out: &mut Vec<(Value, Value)>) {
+    let heavy_mask: HashSet<Value> = heavy.iter().copied().collect();
+    let mut hb = RelationBuilder::with_domains(r.x_domain(), r.y_domain());
+    for &h in heavy {
+        for &e in r.ys_of(h) {
+            hb.push(h, e);
+        }
+    }
+    let hrel = hb.build();
+    let cfg = JoinConfig {
+        threads,
+        ..JoinConfig::default()
+    };
+    for (s, h, _) in two_path_with_counts(r, &hrel, c, &cfg) {
+        if s == h {
+            continue;
+        }
+        // Heavy–heavy pairs appear twice ((h1,h2) and (h2,h1)); keep one.
+        if heavy_mask.contains(&s) && s > h {
+            continue;
+        }
+        out.push((s.min(h), s.max(h)));
+    }
+}
+
+/// Plain SizeAware light join: enumerate `c`-subsets of every light set into
+/// an inverted index, then pair-scan each bucket (lines 4–8 of Algorithm 2).
+fn light_join_subsets(r: &Relation, light: &[Value], c: u32, out: &mut Vec<(Value, Value)>) {
+    let c = c as usize;
+    let mut index: HashMap<Vec<Value>, Vec<Value>> = HashMap::new();
+    let mut subset = vec![0 as Value; c];
+    for &s in light {
+        let elems = r.ys_of(s);
+        if elems.len() < c {
+            continue;
+        }
+        enumerate_subsets(elems, c, &mut subset, 0, 0, &mut |sub| {
+            index.entry(sub.to_vec()).or_default().push(s);
+        });
+    }
+    let mut emitted: HashSet<(Value, Value)> = HashSet::new();
+    for bucket in index.values() {
+        for (i, &a) in bucket.iter().enumerate() {
+            for &b in &bucket[i + 1..] {
+                let pair = (a.min(b), a.max(b));
+                if emitted.insert(pair) {
+                    out.push(pair);
+                }
+            }
+        }
+    }
+}
+
+/// Recursive `c`-subset enumeration over a sorted element slice.
+fn enumerate_subsets(
+    elems: &[Value],
+    c: usize,
+    subset: &mut Vec<Value>,
+    depth: usize,
+    start: usize,
+    emit: &mut impl FnMut(&[Value]),
+) {
+    if depth == c {
+        emit(subset);
+        return;
+    }
+    // Prune: not enough elements left.
+    let remaining = c - depth;
+    for i in start..=elems.len().saturating_sub(remaining) {
+        subset[depth] = elems[i];
+        enumerate_subsets(elems, c, subset, depth + 1, i + 1, emit);
+    }
+}
+
+/// `SizeAware++ light`: counting expansion join over light sets — merge the
+/// (light-restricted) inverted lists of each light set and threshold the
+/// multiplicities.
+fn light_join_expand(
+    r: &Relation,
+    light: &[Value],
+    boundary: usize,
+    c: u32,
+    out: &mut Vec<(Value, Value)>,
+) {
+    let mut counts = DedupBuffer::new(r.x_domain());
+    let mut touched: Vec<Value> = Vec::new();
+    for &a in light {
+        counts.clear();
+        touched.clear();
+        for &e in r.ys_of(a) {
+            for &s in r.xs_of(e) {
+                // Restrict to light partners with larger id (each light
+                // pair is found exactly once, from its smaller side).
+                if s <= a || r.x_degree(s) > boundary {
+                    continue;
+                }
+                if counts.insert(s) {
+                    touched.push(s);
+                }
+            }
+        }
+        for &s in &touched {
+            if counts.multiplicity(s) >= c {
+                out.push((a, s));
+            }
+        }
+    }
+}
+
+/// `SizeAware++ prefix`: the same counting expansion, but sharing partial
+/// merge states across sets with a common prefix in the global element
+/// order (Example 6 / Figure 2).
+fn light_join_prefix(
+    r: &Relation,
+    light: &[Value],
+    boundary: usize,
+    c: u32,
+    out: &mut Vec<(Value, Value)>,
+) {
+    let mut expander = PrefixExpander::new(r, boundary, c);
+    expander.expand_all(light, |a, s| {
+        // Both orientations are discovered; keep the normalised one.
+        if s > a {
+            out.push((a, s));
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rel(edges: &[(Value, Value)]) -> Relation {
+        Relation::from_edges(edges.iter().copied())
+    }
+
+    #[test]
+    fn binomial_values() {
+        assert_eq!(binomial_capped(5, 2, u64::MAX), 10);
+        assert_eq!(binomial_capped(10, 3, u64::MAX), 120);
+        assert_eq!(binomial_capped(3, 5, u64::MAX), 0);
+        assert_eq!(binomial_capped(4, 0, u64::MAX), 1);
+        assert_eq!(binomial_capped(100, 50, 1000), 1000, "cap applies");
+    }
+
+    #[test]
+    fn subset_enumeration_complete() {
+        let elems = [1, 2, 3, 4];
+        let mut subs = Vec::new();
+        let mut buf = vec![0; 2];
+        enumerate_subsets(&elems, 2, &mut buf, 0, 0, &mut |s| subs.push(s.to_vec()));
+        assert_eq!(subs.len(), 6);
+        assert!(subs.contains(&vec![1, 4]));
+        assert!(subs.contains(&vec![2, 3]));
+    }
+
+    #[test]
+    fn boundary_respects_minimum() {
+        let r = rel(&[(0, 0), (1, 0), (2, 0)]);
+        let sets: Vec<(Value, usize)> = r
+            .by_x()
+            .iter_nonempty()
+            .map(|(x, ys)| (x, ys.len()))
+            .collect();
+        assert!(get_size_boundary(&r, &sets, 3) >= 3);
+    }
+
+    #[test]
+    fn heavy_and_light_paths_cover_mixed_instance() {
+        // One huge set + several tiny ones sharing elements.
+        let mut edges = vec![];
+        for e in 0..30u32 {
+            edges.push((0, e)); // heavy set 0
+        }
+        edges.extend_from_slice(&[(1, 0), (1, 1), (2, 0), (2, 1), (3, 28), (3, 29)]);
+        let r = rel(&edges);
+        let brute: Vec<(Value, Value)> = crate::brute_force_ssj(&r, 2)
+            .into_iter()
+            .map(|p| (p.a, p.b))
+            .collect();
+        for opts in [
+            SizeAwarePPOpts::none(),
+            SizeAwarePPOpts {
+                light: true,
+                heavy: false,
+                prefix: false,
+            },
+            SizeAwarePPOpts::all(),
+        ] {
+            assert_eq!(size_aware_pairs(&r, 2, opts, 1), brute, "{opts:?}");
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! Top-k ordered set-similarity join.
+//!
+//! Ordered SSJ (§4) sorts the whole result by overlap; interactive
+//! applications usually want only the `k` most similar pairs. Because the
+//! MM counting join already yields exact overlaps, top-k needs no global
+//! sort: a bounded min-heap keeps the best `k` pairs in
+//! `O(|OUT| log k)` — an extension over the paper's sort-everything
+//! implementation, ablated against it in the `ssj` bench.
+
+use crate::SsjPair;
+use mmjoin_core::{two_path_with_counts, JoinConfig};
+use mmjoin_storage::Relation;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Returns the `k` most similar pairs (overlap ≥ `c`), ordered by
+/// descending overlap with `(a, b)` as the tie-breaker — a prefix of
+/// [`crate::ordered_ssj`]'s output.
+pub fn top_k_ssj(r: &Relation, c: u32, k: usize, config: &JoinConfig) -> Vec<SsjPair> {
+    if k == 0 {
+        return Vec::new();
+    }
+    // Min-heap of the current best k: the root is the weakest kept pair.
+    // Order must mirror ordered_ssj: higher overlap first, then smaller
+    // (a, b); so the heap keeps the (overlap, Reverse((a,b))) maxima.
+    let mut heap: BinaryHeap<Reverse<(u32, Reverse<(u32, u32)>)>> = BinaryHeap::new();
+    for (a, b, overlap) in two_path_with_counts(r, r, c.max(1), config) {
+        if a >= b {
+            continue;
+        }
+        let key = Reverse((overlap, Reverse((a, b))));
+        if heap.len() < k {
+            heap.push(key);
+        } else if key < *heap.peek().expect("non-empty at capacity") {
+            heap.pop();
+            heap.push(key);
+        }
+    }
+    let mut out: Vec<SsjPair> = heap
+        .into_iter()
+        .map(|Reverse((overlap, Reverse((a, b))))| SsjPair { a, b, overlap })
+        .collect();
+    out.sort_unstable_by(|p, q| {
+        q.overlap
+            .cmp(&p.overlap)
+            .then_with(|| (p.a, p.b).cmp(&(q.a, q.b)))
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ordered_ssj, SsjAlgorithm};
+    use mmjoin_storage::Value;
+    use proptest::prelude::*;
+
+    fn rel(edges: &[(Value, Value)]) -> Relation {
+        Relation::from_edges(edges.iter().copied())
+    }
+
+    #[test]
+    fn top_k_is_prefix_of_ordered() {
+        let mut edges = Vec::new();
+        for x in 0..20u32 {
+            for e in 0..(x % 7 + 1) {
+                edges.push((x, e));
+            }
+        }
+        let r = rel(&edges);
+        let full = ordered_ssj(&r, 2, &SsjAlgorithm::mmjoin(1), 1);
+        for k in [0usize, 1, 3, 10, full.len(), full.len() + 5] {
+            let top = top_k_ssj(&r, 2, k, &JoinConfig::default());
+            assert_eq!(top, full[..k.min(full.len())].to_vec(), "k={k}");
+        }
+    }
+
+    #[test]
+    fn empty_relation() {
+        let r = rel(&[]);
+        assert!(top_k_ssj(&r, 1, 5, &JoinConfig::default()).is_empty());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn always_prefix_of_ordered(
+            edges in proptest::collection::vec((0u32..12, 0u32..10), 1..60),
+            c in 1u32..4,
+            k in 0usize..20,
+        ) {
+            let r = rel(&edges);
+            let full = ordered_ssj(&r, c, &SsjAlgorithm::mmjoin(1), 1);
+            let top = top_k_ssj(&r, c, k, &JoinConfig::default());
+            prop_assert_eq!(top, full[..k.min(full.len())].to_vec());
+        }
+    }
+}

@@ -1,0 +1,356 @@
+//! Binary relations with two-directional CSR indexes.
+
+use crate::csr::CsrIndex;
+use crate::{Edge, Value};
+
+/// An immutable binary relation `R(x, y)`, fully indexed.
+///
+/// Construction deduplicates tuples and builds two CSR indexes (`x → [y]`
+/// and `y → [x]`) with sorted neighbor lists, satisfying the paper's §5
+/// requirement that relations be "indexed over the variables" before any
+/// worst-case-optimal join runs. All per-value degree lookups are O(1).
+#[derive(Debug, Clone)]
+pub struct Relation {
+    /// Deduplicated tuples, sorted by `(x, y)`.
+    edges: Vec<Edge>,
+    /// `x → sorted [y]`.
+    by_x: CsrIndex,
+    /// `y → sorted [x]`.
+    by_y: CsrIndex,
+}
+
+impl Relation {
+    /// Builds a relation from an arbitrary tuple list.
+    ///
+    /// The domain sizes are inferred as `max + 1` over each column. For an
+    /// explicitly sized domain use [`RelationBuilder`].
+    ///
+    /// ```
+    /// use mmjoin_storage::Relation;
+    /// let r = Relation::from_edges([(0, 5), (0, 7), (1, 5), (0, 5)]);
+    /// assert_eq!(r.len(), 3);              // duplicates collapse
+    /// assert_eq!(r.ys_of(0), &[5, 7]);     // sorted adjacency
+    /// assert_eq!(r.xs_of(5), &[0, 1]);     // inverted list
+    /// ```
+    pub fn from_edges(edges: impl IntoIterator<Item = Edge>) -> Self {
+        let mut b = RelationBuilder::new();
+        for e in edges {
+            b.push(e.0, e.1);
+        }
+        b.build()
+    }
+
+    pub(crate) fn from_parts(edges: Vec<Edge>, by_x: CsrIndex, by_y: CsrIndex) -> Self {
+        Self { edges, by_x, by_y }
+    }
+
+    /// Number of tuples `N` (after deduplication).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// True if the relation has no tuples.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// The deduplicated tuples, sorted by `(x, y)`.
+    #[inline]
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Size of the dense `x` domain (`max x + 1`, or the explicit domain).
+    #[inline]
+    pub fn x_domain(&self) -> usize {
+        self.by_x.num_keys()
+    }
+
+    /// Size of the dense `y` domain.
+    #[inline]
+    pub fn y_domain(&self) -> usize {
+        self.by_y.num_keys()
+    }
+
+    /// CSR index `x → sorted [y]`.
+    #[inline]
+    pub fn by_x(&self) -> &CsrIndex {
+        &self.by_x
+    }
+
+    /// CSR index `y → sorted [x]`.
+    #[inline]
+    pub fn by_y(&self) -> &CsrIndex {
+        &self.by_y
+    }
+
+    /// Sorted `y`-neighbors of `x = a` (the set `π_y σ_{x=a} R`).
+    #[inline]
+    pub fn ys_of(&self, x: Value) -> &[Value] {
+        self.by_x.neighbors(x)
+    }
+
+    /// Sorted `x`-neighbors of `y = b` (the inverted list `L[b]`).
+    #[inline]
+    pub fn xs_of(&self, y: Value) -> &[Value] {
+        self.by_y.neighbors(y)
+    }
+
+    /// Degree of an `x` value.
+    #[inline]
+    pub fn x_degree(&self, x: Value) -> usize {
+        self.by_x.degree(x)
+    }
+
+    /// Degree of a `y` value (length of inverted list `L[b]`).
+    #[inline]
+    pub fn y_degree(&self, y: Value) -> usize {
+        self.by_y.degree(y)
+    }
+
+    /// Membership test via binary search.
+    #[inline]
+    pub fn contains(&self, x: Value, y: Value) -> bool {
+        self.by_x.contains(x, y)
+    }
+
+    /// Number of distinct `x` values that occur in at least one tuple.
+    pub fn active_x_count(&self) -> usize {
+        self.by_x.iter_nonempty().count()
+    }
+
+    /// Number of distinct `y` values that occur in at least one tuple.
+    pub fn active_y_count(&self) -> usize {
+        self.by_y.iter_nonempty().count()
+    }
+
+    /// The size of the *full join* `R(x,y) ⋈ S(z,y)` before projection:
+    /// `Σ_y deg_R(y) · deg_S(y)`. Computed in one linear pass — the paper
+    /// notes this is computable during the indexing pass (§5).
+    pub fn full_join_size(&self, other: &Relation) -> u64 {
+        let dom = self.y_domain().min(other.y_domain());
+        let mut total = 0u64;
+        for y in 0..dom as Value {
+            total += self.y_degree(y) as u64 * other.y_degree(y) as u64;
+        }
+        total
+    }
+
+    /// Semi-join reduction for the 2-path query `R(x,y) ⋈ S(z,y)`: returns
+    /// `(R', S')` where dangling tuples (whose `y` has no partner on the
+    /// other side) are removed. The paper assumes this linear-time
+    /// preprocessing before Algorithm 1 runs.
+    pub fn reduce_pair(r: &Relation, s: &Relation) -> (Relation, Relation) {
+        let r_edges: Vec<Edge> = r
+            .edges
+            .iter()
+            .copied()
+            .filter(|&(_, y)| (y as usize) < s.y_domain() && s.y_degree(y) > 0)
+            .collect();
+        let s_edges: Vec<Edge> = s
+            .edges
+            .iter()
+            .copied()
+            .filter(|&(_, y)| (y as usize) < r.y_domain() && r.y_degree(y) > 0)
+            .collect();
+        let mut rb = RelationBuilder::with_domains(r.x_domain(), r.y_domain());
+        for (x, y) in r_edges {
+            rb.push(x, y);
+        }
+        let mut sb = RelationBuilder::with_domains(s.x_domain(), s.y_domain());
+        for (x, y) in s_edges {
+            sb.push(x, y);
+        }
+        (rb.build(), sb.build())
+    }
+
+    /// Semi-join reduction for a star query over `k` relations joined on `y`:
+    /// keeps only tuples whose `y` appears in *every* relation.
+    pub fn reduce_star(relations: &[Relation]) -> Vec<Relation> {
+        assert!(!relations.is_empty());
+        let dom = relations.iter().map(|r| r.y_domain()).min().unwrap_or(0);
+        let mut alive = vec![true; dom];
+        for r in relations {
+            for (y, live) in alive.iter_mut().enumerate() {
+                if r.y_degree(y as Value) == 0 {
+                    *live = false;
+                }
+            }
+        }
+        relations
+            .iter()
+            .map(|r| {
+                let mut b = RelationBuilder::with_domains(r.x_domain(), r.y_domain());
+                for &(x, y) in r.edges() {
+                    if (y as usize) < dom && alive[y as usize] {
+                        b.push(x, y);
+                    }
+                }
+                b.build()
+            })
+            .collect()
+    }
+}
+
+/// Incremental builder for [`Relation`].
+#[derive(Debug, Default, Clone)]
+pub struct RelationBuilder {
+    edges: Vec<Edge>,
+    x_domain: usize,
+    y_domain: usize,
+    explicit_domains: bool,
+}
+
+impl RelationBuilder {
+    /// A builder whose domains are inferred from the pushed tuples.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A builder with explicit dense domain sizes; pushed tuples may not
+    /// exceed them.
+    pub fn with_domains(x_domain: usize, y_domain: usize) -> Self {
+        Self {
+            edges: Vec::new(),
+            x_domain,
+            y_domain,
+            explicit_domains: true,
+        }
+    }
+
+    /// Pre-allocates capacity for `n` tuples.
+    pub fn with_capacity(mut self, n: usize) -> Self {
+        self.edges.reserve(n);
+        self
+    }
+
+    /// Adds tuple `(x, y)`.
+    ///
+    /// # Panics
+    /// With explicit domains, panics if a value falls outside them.
+    pub fn push(&mut self, x: Value, y: Value) {
+        if self.explicit_domains {
+            assert!(
+                (x as usize) < self.x_domain && (y as usize) < self.y_domain,
+                "tuple ({x}, {y}) outside explicit domains ({}, {})",
+                self.x_domain,
+                self.y_domain
+            );
+        } else {
+            self.x_domain = self.x_domain.max(x as usize + 1);
+            self.y_domain = self.y_domain.max(y as usize + 1);
+        }
+        self.edges.push((x, y));
+    }
+
+    /// Number of tuples pushed so far (before deduplication).
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// True if no tuples were pushed.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Finalizes: sorts, deduplicates, and builds both CSR indexes.
+    pub fn build(mut self) -> Relation {
+        self.edges.sort_unstable();
+        self.edges.dedup();
+        let by_x = CsrIndex::from_pairs(self.x_domain, &self.edges);
+        let swapped: Vec<Edge> = self.edges.iter().map(|&(x, y)| (y, x)).collect();
+        let by_y = CsrIndex::from_pairs(self.y_domain, &swapped);
+        Relation::from_parts(self.edges, by_x, by_y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rel(edges: &[Edge]) -> Relation {
+        Relation::from_edges(edges.iter().copied())
+    }
+
+    #[test]
+    fn builds_and_indexes() {
+        let r = rel(&[(0, 1), (0, 2), (1, 2), (2, 0)]);
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.ys_of(0), &[1, 2]);
+        assert_eq!(r.xs_of(2), &[0, 1]);
+        assert_eq!(r.x_degree(0), 2);
+        assert_eq!(r.y_degree(2), 2);
+        assert!(r.contains(1, 2));
+        assert!(!r.contains(1, 1));
+    }
+
+    #[test]
+    fn deduplicates_input() {
+        let r = rel(&[(0, 1), (0, 1), (0, 1)]);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.edges(), &[(0, 1)]);
+    }
+
+    #[test]
+    fn domains_inferred() {
+        let r = rel(&[(3, 7)]);
+        assert_eq!(r.x_domain(), 4);
+        assert_eq!(r.y_domain(), 8);
+        assert_eq!(r.active_x_count(), 1);
+        assert_eq!(r.active_y_count(), 1);
+    }
+
+    #[test]
+    fn explicit_domains_enforced() {
+        let mut b = RelationBuilder::with_domains(2, 2);
+        b.push(1, 1);
+        let r = b.build();
+        assert_eq!(r.x_domain(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside explicit domains")]
+    fn explicit_domains_reject_overflow() {
+        let mut b = RelationBuilder::with_domains(2, 2);
+        b.push(2, 0);
+    }
+
+    #[test]
+    fn full_join_size_counts_pairs_per_y() {
+        // y=0 has deg 2 in r, 1 in s -> 2; y=1 has deg 1 and 2 -> 2. total 4.
+        let r = rel(&[(0, 0), (1, 0), (2, 1)]);
+        let s = rel(&[(5, 0), (6, 1), (7, 1)]);
+        assert_eq!(r.full_join_size(&s), 4);
+    }
+
+    #[test]
+    fn reduce_pair_drops_dangling() {
+        let r = rel(&[(0, 0), (1, 5)]); // y=5 absent from s
+        let s = rel(&[(9, 0)]);
+        let (r2, s2) = Relation::reduce_pair(&r, &s);
+        assert_eq!(r2.edges(), &[(0, 0)]);
+        assert_eq!(s2.edges(), &[(9, 0)]);
+    }
+
+    #[test]
+    fn reduce_star_keeps_common_y() {
+        let a = rel(&[(0, 0), (1, 1), (2, 2)]);
+        let b = rel(&[(0, 0), (1, 1)]);
+        let c = rel(&[(3, 1), (4, 2)]);
+        let reduced = Relation::reduce_star(&[a, b, c]);
+        // only y=1 appears in all three
+        assert_eq!(reduced[0].edges(), &[(1, 1)]);
+        assert_eq!(reduced[1].edges(), &[(1, 1)]);
+        assert_eq!(reduced[2].edges(), &[(3, 1)]);
+    }
+
+    #[test]
+    fn empty_relation() {
+        let r = rel(&[]);
+        assert!(r.is_empty());
+        assert_eq!(r.x_domain(), 0);
+        assert_eq!(r.full_join_size(&r), 0);
+    }
+}

@@ -1,0 +1,271 @@
+//! Degree statistics and the threshold indexes of §5.
+//!
+//! Algorithm 3 (the cost-based optimizer) repeatedly asks, for a candidate
+//! degree threshold δ:
+//!
+//! * `count(wδ)` — how many values of variable `w` have degree ≤ δ (and its
+//!   complement, how many are *heavy*);
+//! * `sum(yδ)`  — the light-`y` expansion effort `Σ_{deg(b) ≤ δ} |L[b]|²`;
+//! * `sum(xδ)`  — the light-`x` expansion effort
+//!   `Σ_{deg(a) ≤ δ} Σ_{b : (a,b) ∈ R} |L[b]|`;
+//! * `cdfx(yδ)` — the number of `(x, y)` tuples whose `y` has degree ≤ δ
+//!   (equivalently, how many x-slots participate in light-`y` expansion).
+//!
+//! All of these are answered in `O(log N)` by binary searching a per-variable
+//! histogram sorted by degree, after linear-time construction — exactly the
+//! "sorted vector containing the true distribution of values" of §5.
+
+use crate::csr::CsrIndex;
+use crate::relation::Relation;
+use crate::Value;
+
+/// A histogram of per-value degrees sorted ascending, with prefix sums of
+/// several per-value metrics, supporting O(log N) threshold queries.
+#[derive(Debug, Clone)]
+pub struct DegreeHistogram {
+    /// Degrees of all *active* (degree ≥ 1) values, ascending.
+    degrees: Vec<u32>,
+    /// Prefix sums of `degree` aligned with `degrees` (`prefix_deg[i]` =
+    /// sum of the first `i` degrees).
+    prefix_deg: Vec<u64>,
+    /// Prefix sums of `metric` (see constructor) aligned with `degrees`.
+    prefix_metric: Vec<u64>,
+}
+
+impl DegreeHistogram {
+    /// Builds a histogram over all active keys of `idx`. `metric(key)` is an
+    /// arbitrary per-key weight accumulated in `prefix_metric` (pass degree²
+    /// for `sum(yδ)`, the L-weighted sum for `sum(xδ)`, etc.).
+    pub fn build(idx: &CsrIndex, mut metric: impl FnMut(Value) -> u64) -> Self {
+        let mut entries: Vec<(u32, u64)> = idx
+            .iter_nonempty()
+            .map(|(k, row)| (row.len() as u32, metric(k)))
+            .collect();
+        entries.sort_unstable_by_key(|&(d, _)| d);
+        let mut degrees = Vec::with_capacity(entries.len());
+        let mut prefix_deg = Vec::with_capacity(entries.len() + 1);
+        let mut prefix_metric = Vec::with_capacity(entries.len() + 1);
+        prefix_deg.push(0);
+        prefix_metric.push(0);
+        let (mut dsum, mut msum) = (0u64, 0u64);
+        for (d, m) in entries {
+            degrees.push(d);
+            dsum += d as u64;
+            msum += m;
+            prefix_deg.push(dsum);
+            prefix_metric.push(msum);
+        }
+        Self {
+            degrees,
+            prefix_deg,
+            prefix_metric,
+        }
+    }
+
+    /// Number of active values.
+    pub fn active(&self) -> usize {
+        self.degrees.len()
+    }
+
+    /// Index of the first value with degree > δ (== number of light values).
+    fn partition_point(&self, delta: u32) -> usize {
+        self.degrees.partition_point(|&d| d <= delta)
+    }
+
+    /// `count(wδ)`: number of active values with degree ≤ δ.
+    pub fn count_le(&self, delta: u32) -> usize {
+        self.partition_point(delta)
+    }
+
+    /// Number of active values with degree > δ (the heavy count).
+    pub fn count_gt(&self, delta: u32) -> usize {
+        self.active() - self.partition_point(delta)
+    }
+
+    /// Total degree mass (tuple count) of values with degree ≤ δ.
+    pub fn degree_sum_le(&self, delta: u32) -> u64 {
+        self.prefix_deg[self.partition_point(delta)]
+    }
+
+    /// Total degree mass of heavy values (degree > δ).
+    pub fn degree_sum_gt(&self, delta: u32) -> u64 {
+        *self.prefix_deg.last().unwrap() - self.degree_sum_le(delta)
+    }
+
+    /// Accumulated metric of values with degree ≤ δ.
+    pub fn metric_sum_le(&self, delta: u32) -> u64 {
+        self.prefix_metric[self.partition_point(delta)]
+    }
+
+    /// Accumulated metric over all active values.
+    pub fn metric_total(&self) -> u64 {
+        *self.prefix_metric.last().unwrap()
+    }
+
+    /// Largest degree present, or 0 when empty.
+    pub fn max_degree(&self) -> u32 {
+        self.degrees.last().copied().unwrap_or(0)
+    }
+}
+
+/// The full set of §5 threshold indexes for the 2-path query
+/// `R(x, y) ⋈ S(z, y)` (for a self join pass the same relation twice).
+///
+/// `x` statistics are taken over `R`, `z` statistics over `S`, and `y`
+/// statistics over the join column with `L[b]` denoting the inverted list of
+/// `b` in `S` (so `sum_x` measures the cost of expanding light `x ∈ R`
+/// through `S`'s inverted lists, matching the code snippet in §6).
+#[derive(Debug, Clone)]
+pub struct ThresholdIndexes {
+    /// Histogram of `x` degrees in `R`; metric = Σ_{b∈ys(a)} |L_S[b]|
+    /// (expansion effort of that `x`), giving `sum(xδ)`.
+    pub x: DegreeHistogram,
+    /// Histogram of `z` degrees in `S`; metric = Σ_{b∈ys(c)} |L_R[b]|.
+    pub z: DegreeHistogram,
+    /// Histogram of `y` degrees in `S` over y active in both relations;
+    /// metric = |L_R[b]|·|L_S[b]| (join pairs through b), giving `sum(yδ)`
+    /// and, through `degree`-style sums, `cdfx(yδ)`.
+    pub y: DegreeHistogram,
+    /// Histogram of `y` degrees in `R` (metric = |L_R[b]|²), used when the
+    /// light-y split thresholds R-side degrees.
+    pub y_r: DegreeHistogram,
+}
+
+impl ThresholdIndexes {
+    /// Builds all indexes in `O(N log N)`.
+    pub fn build(r: &Relation, s: &Relation) -> Self {
+        let x = DegreeHistogram::build(r.by_x(), |a| {
+            r.ys_of(a)
+                .iter()
+                .map(|&b| {
+                    if (b as usize) < s.y_domain() {
+                        s.y_degree(b) as u64
+                    } else {
+                        0
+                    }
+                })
+                .sum()
+        });
+        let z = DegreeHistogram::build(s.by_x(), |c| {
+            s.ys_of(c)
+                .iter()
+                .map(|&b| {
+                    if (b as usize) < r.y_domain() {
+                        r.y_degree(b) as u64
+                    } else {
+                        0
+                    }
+                })
+                .sum()
+        });
+        let y = DegreeHistogram::build(s.by_y(), |b| {
+            let rdeg = if (b as usize) < r.y_domain() {
+                r.y_degree(b) as u64
+            } else {
+                0
+            };
+            rdeg * s.y_degree(b) as u64
+        });
+        let y_r = DegreeHistogram::build(r.by_y(), |b| {
+            let d = r.y_degree(b) as u64;
+            d * d
+        });
+        Self { x, z, y, y_r }
+    }
+
+    /// `sum(yδ)` — expansion effort of all light `y` (join pairs through
+    /// light `y` values, counted on the S side).
+    pub fn sum_y(&self, delta: u32) -> u64 {
+        self.y.metric_sum_le(delta)
+    }
+
+    /// `sum(xδ)` — deduplication effort for light `x` values.
+    pub fn sum_x(&self, delta: u32) -> u64 {
+        self.x.metric_sum_le(delta)
+    }
+
+    /// `cdfx(yδ)` — number of S-tuples whose `y` has degree ≤ δ.
+    pub fn cdfx_y(&self, delta: u32) -> u64 {
+        self.y.degree_sum_le(delta)
+    }
+
+    /// `count` of heavy x/z/y values for matrix sizing.
+    pub fn heavy_counts(&self, delta1: u32, delta2: u32) -> (usize, usize, usize) {
+        (
+            self.x.count_gt(delta2),
+            self.y.count_gt(delta1),
+            self.z.count_gt(delta2),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relation::Relation;
+
+    fn rel(edges: &[(Value, Value)]) -> Relation {
+        Relation::from_edges(edges.iter().copied())
+    }
+
+    #[test]
+    fn histogram_counts_and_sums() {
+        // degrees: x0 -> 3, x1 -> 1, x2 -> 2
+        let r = rel(&[(0, 0), (0, 1), (0, 2), (1, 0), (2, 1), (2, 2)]);
+        let h = DegreeHistogram::build(r.by_x(), |_| 1);
+        assert_eq!(h.active(), 3);
+        assert_eq!(h.count_le(0), 0);
+        assert_eq!(h.count_le(1), 1);
+        assert_eq!(h.count_le(2), 2);
+        assert_eq!(h.count_le(3), 3);
+        assert_eq!(h.count_gt(1), 2);
+        assert_eq!(h.degree_sum_le(2), 3); // 1 + 2
+        assert_eq!(h.degree_sum_gt(2), 3); // the degree-3 value
+        assert_eq!(h.metric_sum_le(3), 3); // unit metric counts values
+        assert_eq!(h.max_degree(), 3);
+    }
+
+    #[test]
+    fn histogram_empty() {
+        let r = rel(&[]);
+        let h = DegreeHistogram::build(r.by_x(), |_| 1);
+        assert_eq!(h.active(), 0);
+        assert_eq!(h.count_le(10), 0);
+        assert_eq!(h.max_degree(), 0);
+        assert_eq!(h.metric_total(), 0);
+    }
+
+    #[test]
+    fn threshold_indexes_self_join() {
+        // Star instance: y=0 shared by x {0,1}; y=1 only x {2}.
+        let r = rel(&[(0, 0), (1, 0), (2, 1)]);
+        let t = ThresholdIndexes::build(&r, &r);
+        // sum_y(δ=1): only y=1 is light (deg 1); pairs through it = 1*1.
+        assert_eq!(t.sum_y(1), 1);
+        // sum_y(δ=2): both light; y=0 contributes 2*2 = 4.
+        assert_eq!(t.sum_y(2), 5);
+        // cdfx(yδ=1) = tuples with light y = 1.
+        assert_eq!(t.cdfx_y(1), 1);
+        assert_eq!(t.cdfx_y(2), 3);
+        // sum_x(δ=1): all x have degree 1 -> all light. Expansion effort:
+        // x0 via y0 -> |L[0]|=2; x1 via y0 -> 2; x2 via y1 -> 1. total 5.
+        assert_eq!(t.sum_x(1), 5);
+        // heavy counts at Δ1=1 (y heavy if deg>1), Δ2=1.
+        let (hx, hy, hz) = t.heavy_counts(1, 1);
+        assert_eq!((hx, hy, hz), (0, 1, 0));
+    }
+
+    #[test]
+    fn threshold_indexes_cross_join() {
+        let r = rel(&[(0, 0), (1, 0)]);
+        let s = rel(&[(7, 0), (8, 0), (9, 0)]);
+        let t = ThresholdIndexes::build(&r, &s);
+        // y=0: deg_R=2, deg_S=3 -> metric 6 at δ≥3.
+        assert_eq!(t.sum_y(3), 6);
+        assert_eq!(t.sum_y(2), 0);
+        // sum_x at δ≥1: each of x0,x1 expands through L_S[0] of size 3.
+        assert_eq!(t.sum_x(1), 6);
+        // z histogram: z∈{7,8,9} deg 1 each, expanding through L_R[0]=2.
+        assert_eq!(t.z.metric_sum_le(1), 6);
+    }
+}

@@ -1,0 +1,201 @@
+//! K-way leapfrog intersection of sorted lists — the core search primitive
+//! of Leapfrog Triejoin (Veldhuizen, ICDT 2014), which the paper cites as
+//! its worst-case optimal building block.
+
+use mmjoin_storage::Value;
+
+/// Iterator over the intersection of `k` sorted, duplicate-free lists using
+/// the leapfrog strategy: repeatedly seek the lagging iterator forward (via
+/// galloping search) to the current maximum. Complexity is
+/// `O(k · n_min · log(n_max / n_min))`, worst-case optimal for intersection.
+pub struct LeapfrogIter<'a> {
+    lists: Vec<&'a [Value]>,
+    /// Cursor into each list.
+    pos: Vec<usize>,
+    exhausted: bool,
+}
+
+impl<'a> LeapfrogIter<'a> {
+    /// Creates a leapfrog iterator over `lists`. Each list must be sorted
+    /// ascending and duplicate-free.
+    pub fn new(lists: Vec<&'a [Value]>) -> Self {
+        let exhausted = lists.is_empty() || lists.iter().any(|l| l.is_empty());
+        let pos = vec![0; lists.len()];
+        Self {
+            lists,
+            pos,
+            exhausted,
+        }
+    }
+
+    /// Galloping seek: advance cursor `i` to the first element `>= target`.
+    fn seek(&mut self, i: usize, target: Value) {
+        let list = self.lists[i];
+        let mut lo = self.pos[i];
+        if lo >= list.len() {
+            self.exhausted = true;
+            return;
+        }
+        if list[lo] >= target {
+            return;
+        }
+        let mut step = 1usize;
+        let mut hi = lo + 1;
+        while hi < list.len() && list[hi] < target {
+            lo = hi;
+            hi = lo + step;
+            step *= 2;
+        }
+        let hi = hi.min(list.len());
+        let off = list[lo..hi].partition_point(|&v| v < target);
+        self.pos[i] = lo + off;
+        if self.pos[i] >= list.len() {
+            self.exhausted = true;
+        }
+    }
+}
+
+impl Iterator for LeapfrogIter<'_> {
+    type Item = Value;
+
+    fn next(&mut self) -> Option<Value> {
+        if self.exhausted {
+            return None;
+        }
+        let k = self.lists.len();
+        if k == 1 {
+            // Degenerate single-list case.
+            let list = self.lists[0];
+            if self.pos[0] < list.len() {
+                let v = list[self.pos[0]];
+                self.pos[0] += 1;
+                return Some(v);
+            }
+            self.exhausted = true;
+            return None;
+        }
+        loop {
+            // Current maximum across cursors.
+            let mut max = 0 as Value;
+            for i in 0..k {
+                if self.pos[i] >= self.lists[i].len() {
+                    self.exhausted = true;
+                    return None;
+                }
+                max = max.max(self.lists[i][self.pos[i]]);
+            }
+            // Leapfrog every lagging cursor up to max.
+            let mut all_equal = true;
+            for i in 0..k {
+                if self.lists[i][self.pos[i]] < max {
+                    self.seek(i, max);
+                    if self.exhausted {
+                        return None;
+                    }
+                    all_equal = false;
+                }
+            }
+            if all_equal {
+                // Emit and advance one cursor to make progress.
+                self.pos[0] += 1;
+                if self.pos[0] >= self.lists[0].len() {
+                    self.exhausted = true;
+                }
+                return Some(max);
+            }
+        }
+    }
+}
+
+/// Materialized k-way leapfrog intersection.
+///
+/// ```
+/// use mmjoin_wcoj::leapfrog_intersect;
+/// let a = [1u32, 3, 5, 7];
+/// let b = [2u32, 3, 4, 7];
+/// let c = [3u32, 7, 9];
+/// assert_eq!(leapfrog_intersect(&[&a, &b, &c]), vec![3, 7]);
+/// ```
+pub fn leapfrog_intersect(lists: &[&[Value]]) -> Vec<Value> {
+    LeapfrogIter::new(lists.to_vec()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn two_way_intersection() {
+        let a = [1, 3, 5, 7, 9];
+        let b = [2, 3, 4, 7, 10];
+        assert_eq!(leapfrog_intersect(&[&a, &b]), vec![3, 7]);
+    }
+
+    #[test]
+    fn three_way_intersection() {
+        let a = [1, 2, 3, 4, 5, 6, 7, 8];
+        let b = [2, 4, 6, 8, 10];
+        let c = [3, 4, 8, 12];
+        assert_eq!(leapfrog_intersect(&[&a, &b, &c]), vec![4, 8]);
+    }
+
+    #[test]
+    fn disjoint_lists() {
+        let a = [1, 2, 3];
+        let b = [4, 5, 6];
+        assert!(leapfrog_intersect(&[&a, &b]).is_empty());
+    }
+
+    #[test]
+    fn single_list_passthrough() {
+        let a = [5, 9, 12];
+        assert_eq!(leapfrog_intersect(&[&a]), vec![5, 9, 12]);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let a = [1, 2];
+        let empty: [Value; 0] = [];
+        assert!(leapfrog_intersect(&[&a, &empty]).is_empty());
+        assert!(leapfrog_intersect(&[]).is_empty());
+    }
+
+    #[test]
+    fn identical_lists() {
+        let a = [2, 4, 6];
+        assert_eq!(leapfrog_intersect(&[&a, &a, &a]), vec![2, 4, 6]);
+    }
+
+    #[test]
+    fn skewed_lengths() {
+        let long: Vec<Value> = (0..10_000).collect();
+        let short = [0, 5_000, 9_999, 20_000];
+        assert_eq!(
+            leapfrog_intersect(&[&short, &long]),
+            vec![0, 5_000, 9_999]
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn matches_btreeset_semantics(
+            a in proptest::collection::btree_set(0u32..500, 0..100),
+            b in proptest::collection::btree_set(0u32..500, 0..100),
+            c in proptest::collection::btree_set(0u32..500, 0..100),
+        ) {
+            let av: Vec<Value> = a.iter().copied().collect();
+            let bv: Vec<Value> = b.iter().copied().collect();
+            let cv: Vec<Value> = c.iter().copied().collect();
+            let expected: Vec<Value> = a
+                .intersection(&b)
+                .copied()
+                .collect::<BTreeSet<_>>()
+                .intersection(&c)
+                .copied()
+                .collect();
+            prop_assert_eq!(leapfrog_intersect(&[&av, &bv, &cv]), expected);
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! End-to-end pipelines: the three §4 applications (SSJ, SCJ, BSI) run on
+//! generated datasets through every algorithm and agree with references.
+
+use mmjoin_bsi::{answer_batch, random_workload, simulate_batching, BsiStrategy};
+use mmjoin_datagen::{DatasetKind, Table2Row};
+use mmjoin_scj::{brute_force_scj, set_containment_join, ScjAlgorithm};
+use mmjoin_ssj::{brute_force_ssj, ordered_ssj, unordered_ssj, SizeAwarePPOpts, SsjAlgorithm};
+use mmjoin_storage::Value;
+
+const SEED: u64 = 99;
+
+#[test]
+fn ssj_pipeline_all_algorithms_all_kinds() {
+    for kind in [DatasetKind::Dblp, DatasetKind::Jokes, DatasetKind::Image] {
+        let r = mmjoin_datagen::generate(kind, 0.02, SEED);
+        for c in [2u32, 4] {
+            let expected: Vec<(Value, Value)> = brute_force_ssj(&r, c)
+                .into_iter()
+                .map(|p| (p.a, p.b))
+                .collect();
+            for algo in [
+                SsjAlgorithm::SizeAware,
+                SsjAlgorithm::SizeAwarePP(SizeAwarePPOpts::all()),
+                SsjAlgorithm::mmjoin(1),
+                SsjAlgorithm::mmjoin(4),
+            ] {
+                assert_eq!(
+                    unordered_ssj(&r, c, &algo, 1),
+                    expected,
+                    "{kind:?} c={c} {algo:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn ordered_ssj_counts_correct_and_sorted() {
+    let r = mmjoin_datagen::generate(DatasetKind::Jokes, 0.02, SEED);
+    let brute = brute_force_ssj(&r, 3);
+    for algo in [
+        SsjAlgorithm::SizeAware,
+        SsjAlgorithm::SizeAwarePP(SizeAwarePPOpts::all()),
+        SsjAlgorithm::mmjoin(1),
+    ] {
+        let got = ordered_ssj(&r, 3, &algo, 1);
+        assert!(
+            got.windows(2).all(|w| w[0].overlap >= w[1].overlap),
+            "{algo:?} not sorted by overlap"
+        );
+        let mut got_sorted = got.clone();
+        got_sorted.sort_unstable();
+        let mut brute_sorted = brute.clone();
+        brute_sorted.sort_unstable();
+        assert_eq!(got_sorted, brute_sorted, "{algo:?} wrong pairs/counts");
+    }
+}
+
+#[test]
+fn scj_pipeline_all_algorithms_all_kinds() {
+    for kind in [DatasetKind::Dblp, DatasetKind::Protein, DatasetKind::Image] {
+        let r = mmjoin_datagen::generate(kind, 0.02, SEED);
+        let expected = brute_force_scj(&r);
+        for algo in [
+            ScjAlgorithm::Pretti,
+            ScjAlgorithm::LimitPlus { limit: 2 },
+            ScjAlgorithm::PieJoin,
+            ScjAlgorithm::mmjoin(1),
+        ] {
+            assert_eq!(
+                set_containment_join(&r, &algo, 1),
+                expected,
+                "{kind:?} {algo:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn dense_datasets_have_containments() {
+    // The paper observes that on dense datasets the SCJ result is large
+    // (§7.4) — the generators must reproduce that.
+    for kind in [DatasetKind::Jokes, DatasetKind::Protein, DatasetKind::Image] {
+        let r = mmjoin_datagen::generate(kind, 0.05, SEED);
+        let scj = set_containment_join(&r, &ScjAlgorithm::Pretti, 1);
+        assert!(
+            scj.len() > r.active_x_count(),
+            "{kind:?}: only {} containments over {} sets",
+            scj.len(),
+            r.active_x_count()
+        );
+    }
+}
+
+#[test]
+fn bsi_pipeline_strategies_agree_on_generated_workload() {
+    let r = mmjoin_datagen::generate(DatasetKind::Words, 0.03, SEED);
+    let workload = random_workload(&r, &r, 500, SEED);
+    let reference = answer_batch(&r, &r, &workload, &BsiStrategy::PerRequest);
+    assert!(
+        reference.iter().any(|&b| b),
+        "workload should contain positive queries"
+    );
+    for strategy in [BsiStrategy::NonMm, BsiStrategy::mm(1), BsiStrategy::mm(2)] {
+        assert_eq!(
+            answer_batch(&r, &r, &workload, &strategy),
+            reference,
+            "{strategy:?}"
+        );
+    }
+}
+
+#[test]
+fn bsi_simulation_batches_partition_workload() {
+    let r = mmjoin_datagen::generate(DatasetKind::Jokes, 0.02, SEED);
+    let workload = random_workload(&r, &r, 333, SEED);
+    for batch in [1usize, 7, 100, 1000] {
+        let rep = simulate_batching(&r, &r, &workload, batch, 1000.0, &BsiStrategy::NonMm);
+        assert!(rep.avg_delay_secs >= 0.0);
+        assert!((0.0..=1.0).contains(&rep.positive_rate), "batch={batch}");
+    }
+}
+
+#[test]
+fn table2_statistics_track_specs() {
+    for kind in DatasetKind::ALL {
+        let r = mmjoin_datagen::generate(kind, 0.1, SEED);
+        let row = Table2Row::measure(kind, &r);
+        assert!(row.tuples > 0, "{kind:?}");
+        assert!(row.min_set <= row.max_set);
+        assert!(row.avg_set >= row.min_set as f64);
+        assert!(row.avg_set <= row.max_set as f64);
+        // Density in the paper's sense is about join duplication, not raw
+        // set size (Words is dense through Zipf-head tokens despite small
+        // sets): check the full-join blow-up ratio.
+        let ratio = r.full_join_size(&r) as f64 / r.len().max(1) as f64;
+        if kind.is_dense() {
+            assert!(ratio > 8.0, "{kind:?} should be dense, ratio {ratio:.1}");
+        } else {
+            assert!(ratio < 8.0, "{kind:?} should be sparse, ratio {ratio:.1}");
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Parallel-vs-serial consistency: every multi-threaded code path must be
+//! bit-identical to its serial counterpart (coordination-free parallelism
+//! means no output may depend on scheduling).
+
+use mmjoin_baseline::nonmm::ExpandDedupEngine;
+use mmjoin_baseline::{StarEngine, TwoPathEngine};
+use mmjoin_core::{two_path_with_counts, JoinConfig, MmJoinEngine};
+use mmjoin_datagen::DatasetKind;
+use mmjoin_matrix::{matmul, matmul_parallel, DenseMatrix};
+use mmjoin_scj::{set_containment_join, ScjAlgorithm};
+use mmjoin_ssj::{unordered_ssj, SizeAwarePPOpts, SsjAlgorithm};
+
+const SEED: u64 = 1234;
+const THREADS: [usize; 3] = [2, 4, 7];
+
+#[test]
+fn gemm_parallel_consistency_on_many_shapes() {
+    for &(m, k, n) in &[(64usize, 64usize, 64usize), (33, 129, 65), (200, 17, 311), (1, 500, 1)] {
+        let a = DenseMatrix::from_fn(m, k, |i, j| ((i * 7 + j * 3) % 4 == 0) as u8 as f32);
+        let b = DenseMatrix::from_fn(k, n, |i, j| ((i * 5 + j * 11) % 3 == 0) as u8 as f32);
+        let serial = matmul(&a, &b);
+        for &t in &THREADS {
+            assert_eq!(matmul_parallel(&a, &b, t), serial, "({m},{k},{n}) x{t}");
+        }
+    }
+}
+
+#[test]
+fn mmjoin_two_path_parallel_consistency() {
+    for kind in [DatasetKind::Jokes, DatasetKind::Words, DatasetKind::Dblp] {
+        let r = mmjoin_datagen::generate(kind, 0.03, SEED);
+        let serial = MmJoinEngine::serial().join_project(&r, &r);
+        for &t in &THREADS {
+            assert_eq!(
+                MmJoinEngine::parallel(t).join_project(&r, &r),
+                serial,
+                "{kind:?} x{t}"
+            );
+        }
+    }
+}
+
+#[test]
+fn counting_parallel_consistency() {
+    let r = mmjoin_datagen::generate(DatasetKind::Protein, 0.02, SEED);
+    let serial = two_path_with_counts(&r, &r, 2, &JoinConfig::default());
+    for &t in &THREADS {
+        let cfg = JoinConfig {
+            threads: t,
+            ..JoinConfig::default()
+        };
+        assert_eq!(two_path_with_counts(&r, &r, 2, &cfg), serial, "threads={t}");
+    }
+}
+
+#[test]
+fn star_parallel_consistency() {
+    let rels = mmjoin_datagen::generate_star(DatasetKind::Image, 0.01, SEED, 3);
+    let serial = MmJoinEngine::serial().star_join_project(&rels);
+    for &t in &THREADS {
+        assert_eq!(
+            MmJoinEngine::parallel(t).star_join_project(&rels),
+            serial,
+            "threads={t}"
+        );
+    }
+}
+
+#[test]
+fn nonmm_parallel_consistency() {
+    let r = mmjoin_datagen::generate(DatasetKind::Words, 0.03, SEED);
+    let serial = ExpandDedupEngine::serial().join_project(&r, &r);
+    for &t in &THREADS {
+        assert_eq!(
+            ExpandDedupEngine::parallel(t).join_project(&r, &r),
+            serial,
+            "threads={t}"
+        );
+    }
+}
+
+#[test]
+fn ssj_parallel_consistency() {
+    let r = mmjoin_datagen::generate(DatasetKind::Jokes, 0.02, SEED);
+    for algo in [
+        SsjAlgorithm::SizeAware,
+        SsjAlgorithm::SizeAwarePP(SizeAwarePPOpts::all()),
+        SsjAlgorithm::mmjoin(1),
+    ] {
+        let serial = unordered_ssj(&r, 2, &algo, 1);
+        for &t in &THREADS {
+            assert_eq!(unordered_ssj(&r, 2, &algo, t), serial, "{algo:?} x{t}");
+        }
+    }
+}
+
+#[test]
+fn scj_parallel_consistency() {
+    let r = mmjoin_datagen::generate(DatasetKind::Image, 0.02, SEED);
+    for algo in [
+        ScjAlgorithm::Pretti,
+        ScjAlgorithm::LimitPlus { limit: 2 },
+        ScjAlgorithm::PieJoin,
+        ScjAlgorithm::mmjoin(1),
+    ] {
+        let serial = set_containment_join(&r, &algo, 1);
+        for &t in &THREADS {
+            assert_eq!(set_containment_join(&r, &algo, t), serial, "{algo:?} x{t}");
+        }
+    }
+}
