@@ -1,0 +1,360 @@
+//! The query AST and its validating builders.
+
+use mmjoin_storage::Relation;
+use std::fmt;
+
+/// A fully specified join-project workload.
+///
+/// Queries borrow their input relations (`'a`), carry only *what* to
+/// compute — never execution knobs like thread counts or degree
+/// thresholds, which belong to the engine's configuration — and are
+/// validated at construction ([`Query::validate`] re-checks on execute).
+#[derive(Debug, Clone)]
+pub enum Query<'a> {
+    /// The 2-path join-project `Q(x, z) = π_{x,z}(R(x, y) ⋈ S(z, y))`.
+    ///
+    /// Output: sorted distinct arity-2 rows. With `with_counts`, each row
+    /// is emitted through [`Sink::counted_row`](crate::Sink::counted_row)
+    /// with its exact witness multiplicity `|ys(x) ∩ ys(z)|`, filtered to
+    /// `count ≥ min_count`.
+    TwoPath {
+        /// Left relation `R(x, y)`.
+        r: &'a Relation,
+        /// Right relation `S(z, y)`.
+        s: &'a Relation,
+        /// Report exact witness counts per output pair.
+        with_counts: bool,
+        /// Minimum witness count (only meaningful with `with_counts`;
+        /// must be ≥ 1).
+        min_count: u32,
+    },
+    /// The star join-project `Q*_k(x1..xk) = π(R1(x1,y) ⋈ … ⋈ Rk(xk,y))`.
+    ///
+    /// Output: sorted distinct arity-`k` rows.
+    Star {
+        /// The `k ≥ 1` star relations.
+        relations: &'a [Relation],
+    },
+    /// Set-similarity join over the set family `R(x, y)` ("set `x`
+    /// contains element `y`"): all pairs `a < b` with
+    /// `|set(a) ∩ set(b)| ≥ c`.
+    ///
+    /// Output: arity-2 rows. When `ordered`, rows arrive by descending
+    /// overlap (ties by `(a, b)`) through
+    /// [`Sink::counted_row`](crate::Sink::counted_row) with the exact
+    /// overlap. When unordered, rows arrive sorted by `(a, b)` as plain
+    /// [`Sink::row`](crate::Sink::row) calls *without* counts — the
+    /// SizeAware-family engines discover unordered pairs without ever
+    /// computing overlaps, and all engines share one contract so their
+    /// streams compare equal.
+    SimilarityJoin {
+        /// The set family.
+        r: &'a Relation,
+        /// Overlap threshold `c ≥ 1`.
+        c: u32,
+        /// Emit in descending-overlap order.
+        ordered: bool,
+    },
+    /// Set-containment join over `R(x, y)`: all ordered pairs `(a, b)`,
+    /// `a ≠ b`, with `set(a) ⊆ set(b)`.
+    ///
+    /// Output: sorted distinct arity-2 `(subset, superset)` rows.
+    ContainmentJoin {
+        /// The set family.
+        r: &'a Relation,
+    },
+}
+
+/// The four workload families, used for engine capability checks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QueryFamily {
+    /// 2-path join-project (with or without counts).
+    TwoPath,
+    /// Star join-project.
+    Star,
+    /// Set-similarity join.
+    Similarity,
+    /// Set-containment join.
+    Containment,
+}
+
+impl fmt::Display for QueryFamily {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            QueryFamily::TwoPath => "two-path",
+            QueryFamily::Star => "star",
+            QueryFamily::Similarity => "similarity-join",
+            QueryFamily::Containment => "containment-join",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A malformed query, rejected at build (and again at execute) time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// A star query needs at least one relation.
+    EmptyStar,
+    /// A similarity join with `c = 0` would emit every pair of sets; the
+    /// threshold must be at least 1.
+    ZeroSimilarityThreshold,
+    /// `min_count = 0` on a counting 2-path query (counts are ≥ 1 by
+    /// definition, so 0 can only be a caller bug).
+    ZeroMinCount,
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::EmptyStar => write!(f, "star query needs at least one relation"),
+            QueryError::ZeroSimilarityThreshold => {
+                write!(f, "similarity threshold c must be at least 1")
+            }
+            QueryError::ZeroMinCount => write!(f, "min_count must be at least 1"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+impl<'a> Query<'a> {
+    /// Starts a 2-path query builder.
+    pub fn two_path(r: &'a Relation, s: &'a Relation) -> TwoPathBuilder<'a> {
+        TwoPathBuilder {
+            r,
+            s,
+            with_counts: false,
+            min_count: 1,
+        }
+    }
+
+    /// Starts a star query builder.
+    pub fn star(relations: &'a [Relation]) -> StarBuilder<'a> {
+        StarBuilder { relations }
+    }
+
+    /// Starts a similarity-join builder with overlap threshold `c`.
+    pub fn similarity(r: &'a Relation, c: u32) -> SimilarityBuilder<'a> {
+        SimilarityBuilder {
+            r,
+            c,
+            ordered: false,
+        }
+    }
+
+    /// Starts a containment-join builder.
+    pub fn containment(r: &'a Relation) -> ContainmentBuilder<'a> {
+        ContainmentBuilder { r }
+    }
+
+    /// Which workload family this query belongs to.
+    pub fn family(&self) -> QueryFamily {
+        match self {
+            Query::TwoPath { .. } => QueryFamily::TwoPath,
+            Query::Star { .. } => QueryFamily::Star,
+            Query::SimilarityJoin { .. } => QueryFamily::Similarity,
+            Query::ContainmentJoin { .. } => QueryFamily::Containment,
+        }
+    }
+
+    /// Arity of the output rows this query produces.
+    pub fn output_arity(&self) -> usize {
+        match self {
+            Query::Star { relations } => relations.len(),
+            _ => 2,
+        }
+    }
+
+    /// Checks the structural invariants builders enforce; engines call
+    /// this again so hand-constructed queries are equally safe.
+    pub fn validate(&self) -> Result<(), QueryError> {
+        match self {
+            Query::TwoPath {
+                with_counts,
+                min_count,
+                ..
+            } => {
+                if *with_counts && *min_count == 0 {
+                    return Err(QueryError::ZeroMinCount);
+                }
+                Ok(())
+            }
+            Query::Star { relations } => {
+                if relations.is_empty() {
+                    return Err(QueryError::EmptyStar);
+                }
+                Ok(())
+            }
+            Query::SimilarityJoin { c, .. } => {
+                if *c == 0 {
+                    return Err(QueryError::ZeroSimilarityThreshold);
+                }
+                Ok(())
+            }
+            Query::ContainmentJoin { .. } => Ok(()),
+        }
+    }
+}
+
+/// Builder for [`Query::TwoPath`].
+#[derive(Debug, Clone)]
+pub struct TwoPathBuilder<'a> {
+    r: &'a Relation,
+    s: &'a Relation,
+    with_counts: bool,
+    min_count: u32,
+}
+
+impl<'a> TwoPathBuilder<'a> {
+    /// Requests exact witness counts per output pair.
+    pub fn with_counts(mut self) -> Self {
+        self.with_counts = true;
+        self
+    }
+
+    /// Requests counts and keeps only pairs with at least `min_count`
+    /// witnesses.
+    pub fn min_count(mut self, min_count: u32) -> Self {
+        self.with_counts = true;
+        self.min_count = min_count;
+        self
+    }
+
+    /// Validates and produces the query.
+    pub fn build(self) -> Result<Query<'a>, QueryError> {
+        let q = Query::TwoPath {
+            r: self.r,
+            s: self.s,
+            with_counts: self.with_counts,
+            min_count: self.min_count,
+        };
+        q.validate()?;
+        Ok(q)
+    }
+}
+
+/// Builder for [`Query::Star`].
+#[derive(Debug, Clone)]
+pub struct StarBuilder<'a> {
+    relations: &'a [Relation],
+}
+
+impl<'a> StarBuilder<'a> {
+    /// Validates and produces the query.
+    pub fn build(self) -> Result<Query<'a>, QueryError> {
+        let q = Query::Star {
+            relations: self.relations,
+        };
+        q.validate()?;
+        Ok(q)
+    }
+}
+
+/// Builder for [`Query::SimilarityJoin`].
+#[derive(Debug, Clone)]
+pub struct SimilarityBuilder<'a> {
+    r: &'a Relation,
+    c: u32,
+    ordered: bool,
+}
+
+impl<'a> SimilarityBuilder<'a> {
+    /// Requests descending-overlap output order.
+    pub fn ordered(mut self) -> Self {
+        self.ordered = true;
+        self
+    }
+
+    /// Validates and produces the query.
+    pub fn build(self) -> Result<Query<'a>, QueryError> {
+        let q = Query::SimilarityJoin {
+            r: self.r,
+            c: self.c,
+            ordered: self.ordered,
+        };
+        q.validate()?;
+        Ok(q)
+    }
+}
+
+/// Builder for [`Query::ContainmentJoin`].
+#[derive(Debug, Clone)]
+pub struct ContainmentBuilder<'a> {
+    r: &'a Relation,
+}
+
+impl<'a> ContainmentBuilder<'a> {
+    /// Validates and produces the query.
+    pub fn build(self) -> Result<Query<'a>, QueryError> {
+        let q = Query::ContainmentJoin { r: self.r };
+        q.validate()?;
+        Ok(q)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rel() -> Relation {
+        Relation::from_edges([(0, 0), (1, 0)])
+    }
+
+    #[test]
+    fn builders_produce_valid_queries() {
+        let r = rel();
+        let q = Query::two_path(&r, &r).build().unwrap();
+        assert_eq!(q.family(), QueryFamily::TwoPath);
+        assert_eq!(q.output_arity(), 2);
+
+        let q = Query::two_path(&r, &r).with_counts().build().unwrap();
+        match q {
+            Query::TwoPath {
+                with_counts,
+                min_count,
+                ..
+            } => {
+                assert!(with_counts);
+                assert_eq!(min_count, 1);
+            }
+            _ => unreachable!(),
+        }
+
+        let rels = vec![rel(), rel(), rel()];
+        let q = Query::star(&rels).build().unwrap();
+        assert_eq!(q.output_arity(), 3);
+
+        let q = Query::similarity(&r, 2).ordered().build().unwrap();
+        assert_eq!(q.family(), QueryFamily::Similarity);
+
+        let q = Query::containment(&r).build().unwrap();
+        assert_eq!(q.family(), QueryFamily::Containment);
+    }
+
+    #[test]
+    fn arity_zero_star_rejected() {
+        let rels: Vec<Relation> = Vec::new();
+        assert_eq!(
+            Query::star(&rels).build().unwrap_err(),
+            QueryError::EmptyStar
+        );
+    }
+
+    #[test]
+    fn zero_similarity_threshold_rejected() {
+        let r = rel();
+        assert_eq!(
+            Query::similarity(&r, 0).build().unwrap_err(),
+            QueryError::ZeroSimilarityThreshold
+        );
+    }
+
+    #[test]
+    fn zero_min_count_rejected() {
+        let r = rel();
+        assert_eq!(
+            Query::two_path(&r, &r).min_count(0).build().unwrap_err(),
+            QueryError::ZeroMinCount
+        );
+    }
+}

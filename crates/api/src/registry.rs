@@ -1,0 +1,178 @@
+//! Name → engine registry.
+
+use crate::engine::{Engine, EngineError, ExecStats};
+use crate::query::Query;
+use crate::sink::Sink;
+
+/// An ordered collection of named engines.
+///
+/// Registration order is preserved: enumeration (`iter`, `engines_for`,
+/// `names`) is deterministic, which keeps cross-engine agreement tests and
+/// experiment tables stable. Registering a name twice replaces the earlier
+/// engine (latest wins), so callers can override defaults.
+#[derive(Default)]
+pub struct EngineRegistry {
+    engines: Vec<Box<dyn Engine>>,
+}
+
+impl EngineRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers `engine` under its own [`Engine::name`], replacing any
+    /// earlier engine with the same name.
+    pub fn register(&mut self, engine: Box<dyn Engine>) -> &mut Self {
+        if let Some(slot) = self.engines.iter_mut().find(|e| e.name() == engine.name()) {
+            *slot = engine;
+        } else {
+            self.engines.push(engine);
+        }
+        self
+    }
+
+    /// Looks an engine up by name.
+    pub fn get(&self, name: &str) -> Option<&dyn Engine> {
+        self.engines
+            .iter()
+            .find(|e| e.name() == name)
+            .map(|e| e.as_ref())
+    }
+
+    /// All registered names, in registration order.
+    pub fn names(&self) -> Vec<&str> {
+        self.engines.iter().map(|e| e.name()).collect()
+    }
+
+    /// All engines, in registration order.
+    pub fn iter(&self) -> impl Iterator<Item = &dyn Engine> {
+        self.engines.iter().map(|e| e.as_ref())
+    }
+
+    /// The engines able to execute `query`, in registration order — the
+    /// enumeration primitive agreement tests and experiment sweeps use
+    /// instead of hard-coding engine lists.
+    pub fn engines_for<'s>(&'s self, query: &Query<'_>) -> Vec<&'s dyn Engine> {
+        self.engines
+            .iter()
+            .filter(|e| e.supports(query))
+            .map(|e| e.as_ref())
+            .collect()
+    }
+
+    /// Executes `query` on the engine registered as `name`.
+    pub fn execute(
+        &self,
+        name: &str,
+        query: &Query<'_>,
+        sink: &mut dyn Sink,
+    ) -> Result<ExecStats, EngineError> {
+        let engine = self
+            .get(name)
+            .ok_or_else(|| EngineError::UnknownEngine(name.to_string()))?;
+        engine.execute(query, sink)
+    }
+
+    /// Number of registered engines.
+    pub fn len(&self) -> usize {
+        self.engines.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.engines.is_empty()
+    }
+}
+
+impl std::fmt::Debug for EngineRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EngineRegistry")
+            .field("engines", &self.names())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{EngineError, ExecStats};
+    use crate::query::QueryFamily;
+    use mmjoin_storage::Relation;
+
+    /// Toy engine answering 2-path queries with a fixed row.
+    struct Fixed {
+        name: &'static str,
+    }
+
+    impl Engine for Fixed {
+        fn name(&self) -> &str {
+            self.name
+        }
+
+        fn supports(&self, query: &Query<'_>) -> bool {
+            query.family() == QueryFamily::TwoPath
+        }
+
+        fn execute(
+            &self,
+            query: &Query<'_>,
+            sink: &mut dyn Sink,
+        ) -> Result<ExecStats, EngineError> {
+            query.validate()?;
+            if !self.supports(query) {
+                return Err(self.unsupported(query));
+            }
+            sink.begin(2);
+            sink.row(&[1, 2]);
+            Ok(ExecStats::new(self.name, 1))
+        }
+    }
+
+    #[test]
+    fn register_lookup_execute_round_trip() {
+        let mut reg = EngineRegistry::new();
+        reg.register(Box::new(Fixed { name: "a" }))
+            .register(Box::new(Fixed { name: "b" }));
+        assert_eq!(reg.names(), vec!["a", "b"]);
+        assert_eq!(reg.len(), 2);
+
+        let r = Relation::from_edges([(0, 0)]);
+        let q = Query::two_path(&r, &r).build().unwrap();
+        let mut sink = crate::sink::PairSink::new();
+        let stats = reg.execute("b", &q, &mut sink).unwrap();
+        assert_eq!(stats.engine, "b");
+        assert_eq!(sink.pairs, vec![(1, 2)]);
+    }
+
+    #[test]
+    fn unknown_name_is_an_error() {
+        let reg = EngineRegistry::new();
+        let r = Relation::from_edges([(0, 0)]);
+        let q = Query::two_path(&r, &r).build().unwrap();
+        let mut sink = crate::sink::CountSink::new();
+        assert_eq!(
+            reg.execute("nope", &q, &mut sink).unwrap_err(),
+            EngineError::UnknownEngine("nope".into())
+        );
+    }
+
+    #[test]
+    fn engines_for_filters_by_support() {
+        let mut reg = EngineRegistry::new();
+        reg.register(Box::new(Fixed { name: "a" }));
+        let r = Relation::from_edges([(0, 0)]);
+        let two_path = Query::two_path(&r, &r).build().unwrap();
+        let containment = Query::containment(&r).build().unwrap();
+        assert_eq!(reg.engines_for(&two_path).len(), 1);
+        assert!(reg.engines_for(&containment).is_empty());
+    }
+
+    #[test]
+    fn duplicate_name_replaces() {
+        let mut reg = EngineRegistry::new();
+        reg.register(Box::new(Fixed { name: "a" }));
+        reg.register(Box::new(Fixed { name: "a" }));
+        assert_eq!(reg.len(), 1);
+    }
+}

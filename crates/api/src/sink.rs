@@ -1,0 +1,209 @@
+//! Streaming output visitors.
+
+use mmjoin_storage::Value;
+
+/// Receives query output rows as the engine produces them.
+///
+/// Engines call [`Sink::begin`] once with the output arity, then
+/// [`Sink::row`] (or [`Sink::counted_row`] for counting queries) once per
+/// distinct output row. Sinks that ignore counts get the plain row; sinks
+/// that ignore rows entirely (e.g. [`CountSink`]) never allocate.
+pub trait Sink {
+    /// Called once before the first row with the output arity.
+    fn begin(&mut self, arity: usize) {
+        let _ = arity;
+    }
+
+    /// One distinct output row.
+    fn row(&mut self, row: &[Value]);
+
+    /// One distinct output row with its witness multiplicity (counting
+    /// 2-path queries and similarity joins). Defaults to dropping the
+    /// count.
+    fn counted_row(&mut self, row: &[Value], count: u32) {
+        let _ = count;
+        self.row(row);
+    }
+}
+
+/// Materialises every row (and count) — the adapter that recovers the old
+/// `Vec`-returning API.
+#[derive(Debug, Default, Clone)]
+pub struct VecSink {
+    /// Output arity announced by the engine.
+    pub arity: usize,
+    /// The rows, in emission order.
+    pub rows: Vec<Vec<Value>>,
+    /// Per-row witness counts; 0 for rows emitted without a count.
+    pub counts: Vec<u32>,
+}
+
+impl VecSink {
+    /// Empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The rows as `(a, b)` pairs (output arity must be 2).
+    pub fn pairs(&self) -> Vec<(Value, Value)> {
+        self.rows
+            .iter()
+            .map(|r| {
+                debug_assert_eq!(r.len(), 2, "pairs() on arity-{} output", r.len());
+                (r[0], r[1])
+            })
+            .collect()
+    }
+
+    /// The rows as `(a, b, count)` triples (arity must be 2).
+    pub fn counted_pairs(&self) -> Vec<(Value, Value, u32)> {
+        self.rows
+            .iter()
+            .zip(&self.counts)
+            .map(|(r, &c)| (r[0], r[1], c))
+            .collect()
+    }
+
+    /// Number of rows collected.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether no rows were collected.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl Sink for VecSink {
+    fn begin(&mut self, arity: usize) {
+        self.arity = arity;
+    }
+
+    fn row(&mut self, row: &[Value]) {
+        self.rows.push(row.to_vec());
+        self.counts.push(0);
+    }
+
+    fn counted_row(&mut self, row: &[Value], count: u32) {
+        self.rows.push(row.to_vec());
+        self.counts.push(count);
+    }
+}
+
+/// Materialises arity-2 output as flat pairs — cheaper than [`VecSink`]
+/// for the (dominant) binary workloads.
+#[derive(Debug, Default, Clone)]
+pub struct PairSink {
+    /// The output pairs, in emission order.
+    pub pairs: Vec<(Value, Value)>,
+}
+
+impl PairSink {
+    /// Empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Consumes the sink, returning the pairs.
+    pub fn into_pairs(self) -> Vec<(Value, Value)> {
+        self.pairs
+    }
+}
+
+impl Sink for PairSink {
+    fn begin(&mut self, arity: usize) {
+        assert_eq!(arity, 2, "PairSink requires arity-2 output, got {arity}");
+    }
+
+    fn row(&mut self, row: &[Value]) {
+        self.pairs.push((row[0], row[1]));
+    }
+}
+
+/// Counts rows without storing them — the "how big is the output" sink.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct CountSink {
+    /// Rows seen so far.
+    pub rows: u64,
+    /// Sum of witness counts over counted rows.
+    pub witness_total: u64,
+}
+
+impl CountSink {
+    /// Zeroed sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Sink for CountSink {
+    fn row(&mut self, _row: &[Value]) {
+        self.rows += 1;
+    }
+
+    fn counted_row(&mut self, _row: &[Value], count: u32) {
+        self.rows += 1;
+        self.witness_total += count as u64;
+    }
+}
+
+/// Adapts a closure `FnMut(&[Value], u32)` into a [`Sink`]; the count is 0
+/// for uncounted rows.
+pub struct ForEachSink<F: FnMut(&[Value], u32)>(pub F);
+
+impl<F: FnMut(&[Value], u32)> Sink for ForEachSink<F> {
+    fn row(&mut self, row: &[Value]) {
+        (self.0)(row, 0);
+    }
+
+    fn counted_row(&mut self, row: &[Value], count: u32) {
+        (self.0)(row, count);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_sink_records_rows_and_counts() {
+        let mut s = VecSink::new();
+        s.begin(2);
+        s.row(&[1, 2]);
+        s.counted_row(&[3, 4], 7);
+        assert_eq!(s.arity, 2);
+        assert_eq!(s.pairs(), vec![(1, 2), (3, 4)]);
+        assert_eq!(s.counted_pairs(), vec![(1, 2, 0), (3, 4, 7)]);
+        assert_eq!(s.len(), 2);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn count_sink_counts_without_storing() {
+        let mut s = CountSink::new();
+        s.row(&[0, 0]);
+        s.counted_row(&[0, 1], 5);
+        s.counted_row(&[0, 2], 2);
+        assert_eq!(s.rows, 3);
+        assert_eq!(s.witness_total, 7);
+    }
+
+    #[test]
+    fn for_each_sink_streams() {
+        let mut seen = Vec::new();
+        {
+            let mut s = ForEachSink(|row: &[Value], c| seen.push((row.to_vec(), c)));
+            s.row(&[9, 9]);
+            s.counted_row(&[1, 1], 3);
+        }
+        assert_eq!(seen, vec![(vec![9, 9], 0), (vec![1, 1], 3)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity-2")]
+    fn pair_sink_rejects_wrong_arity() {
+        let mut s = PairSink::new();
+        s.begin(3);
+    }
+}

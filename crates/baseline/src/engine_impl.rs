@@ -1,0 +1,235 @@
+//! [`Engine`] implementations for every baseline engine.
+//!
+//! The DBMS-style 2-path engines support exactly the uncounted
+//! `Query::TwoPath` family; [`ExpandDedupEngine`] additionally evaluates
+//! star queries. None of them plan, so [`ExecStats::plan`] stays `None`.
+
+use crate::fulljoin::{HashJoinEngine, SortMergeEngine, SystemXEngine};
+use crate::nonmm::ExpandDedupEngine;
+use crate::setintersect::SetIntersectEngine;
+use crate::star::{HashDedupStarEngine, SortDedupStarEngine};
+use crate::{StarEngine, TwoPathEngine};
+use mmjoin_api::{Engine, EngineError, ExecStats, Query, Sink};
+use mmjoin_storage::Value;
+
+/// Streams sorted distinct pairs into `sink`, returning the row count.
+fn emit_pairs(sink: &mut dyn Sink, pairs: &[(Value, Value)]) -> u64 {
+    sink.begin(2);
+    for &(x, z) in pairs {
+        sink.row(&[x, z]);
+    }
+    pairs.len() as u64
+}
+
+/// Streams sorted distinct tuples into `sink`, returning the row count.
+fn emit_tuples(sink: &mut dyn Sink, arity: usize, tuples: &[Vec<Value>]) -> u64 {
+    sink.begin(arity);
+    for t in tuples {
+        sink.row(t);
+    }
+    tuples.len() as u64
+}
+
+/// Implements [`Engine`] for a 2-path-only baseline in terms of its
+/// (transitional) [`TwoPathEngine`] impl.
+macro_rules! two_path_engine {
+    ($ty:ty) => {
+        impl Engine for $ty {
+            fn name(&self) -> &str {
+                TwoPathEngine::name(self)
+            }
+
+            fn supports(&self, query: &Query<'_>) -> bool {
+                matches!(
+                    query,
+                    Query::TwoPath {
+                        with_counts: false,
+                        ..
+                    }
+                )
+            }
+
+            fn execute(
+                &self,
+                query: &Query<'_>,
+                sink: &mut dyn Sink,
+            ) -> Result<ExecStats, EngineError> {
+                query.validate()?;
+                match *query {
+                    Query::TwoPath {
+                        r,
+                        s,
+                        with_counts: false,
+                        ..
+                    } => {
+                        let pairs = TwoPathEngine::join_project(self, r, s);
+                        let rows = emit_pairs(sink, &pairs);
+                        Ok(ExecStats::new(Engine::name(self), rows))
+                    }
+                    _ => Err(self.unsupported(query)),
+                }
+            }
+        }
+    };
+}
+
+/// Implements [`Engine`] for a star-only baseline in terms of its
+/// (transitional) [`StarEngine`] impl.
+macro_rules! star_engine {
+    ($ty:ty) => {
+        impl Engine for $ty {
+            fn name(&self) -> &str {
+                StarEngine::name(self)
+            }
+
+            fn supports(&self, query: &Query<'_>) -> bool {
+                matches!(query, Query::Star { .. })
+            }
+
+            fn execute(
+                &self,
+                query: &Query<'_>,
+                sink: &mut dyn Sink,
+            ) -> Result<ExecStats, EngineError> {
+                query.validate()?;
+                match *query {
+                    Query::Star { relations } => {
+                        let tuples = StarEngine::star_join_project(self, relations);
+                        let rows = emit_tuples(sink, relations.len(), &tuples);
+                        Ok(ExecStats::new(Engine::name(self), rows))
+                    }
+                    _ => Err(self.unsupported(query)),
+                }
+            }
+        }
+    };
+}
+
+two_path_engine!(HashJoinEngine);
+two_path_engine!(SortMergeEngine);
+two_path_engine!(SystemXEngine);
+two_path_engine!(SetIntersectEngine);
+star_engine!(HashDedupStarEngine);
+star_engine!(SortDedupStarEngine);
+
+/// `ExpandDedupEngine` serves both families, so it gets a hand-written
+/// impl instead of the macros.
+impl Engine for ExpandDedupEngine {
+    fn name(&self) -> &str {
+        TwoPathEngine::name(self)
+    }
+
+    fn supports(&self, query: &Query<'_>) -> bool {
+        matches!(
+            query,
+            Query::TwoPath {
+                with_counts: false,
+                ..
+            } | Query::Star { .. }
+        )
+    }
+
+    fn execute(&self, query: &Query<'_>, sink: &mut dyn Sink) -> Result<ExecStats, EngineError> {
+        query.validate()?;
+        match *query {
+            Query::TwoPath {
+                r,
+                s,
+                with_counts: false,
+                ..
+            } => {
+                let pairs = TwoPathEngine::join_project(self, r, s);
+                let rows = emit_pairs(sink, &pairs);
+                Ok(ExecStats::new(Engine::name(self), rows))
+            }
+            Query::Star { relations } => {
+                let tuples = StarEngine::star_join_project(self, relations);
+                let rows = emit_tuples(sink, relations.len(), &tuples);
+                Ok(ExecStats::new(Engine::name(self), rows))
+            }
+            _ => Err(self.unsupported(query)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmjoin_api::{PairSink, QueryFamily, VecSink};
+    use mmjoin_storage::Relation;
+
+    fn rel(edges: &[(Value, Value)]) -> Relation {
+        Relation::from_edges(edges.iter().copied())
+    }
+
+    fn two_path_engines() -> Vec<Box<dyn Engine>> {
+        vec![
+            Box::new(HashJoinEngine),
+            Box::new(SortMergeEngine),
+            Box::new(SystemXEngine),
+            Box::new(SetIntersectEngine),
+            Box::new(ExpandDedupEngine::serial()),
+            Box::new(ExpandDedupEngine::parallel(3)),
+        ]
+    }
+
+    #[test]
+    fn engine_trait_agrees_with_legacy_trait() {
+        let r = rel(&[(0, 0), (1, 0), (2, 1), (2, 0)]);
+        let s = rel(&[(5, 0), (6, 1), (7, 2)]);
+        let q = Query::two_path(&r, &s).build().unwrap();
+        let expected = SortMergeEngine.join_project(&r, &s);
+        for e in two_path_engines() {
+            let mut sink = PairSink::new();
+            let stats = e.execute(&q, &mut sink).unwrap();
+            assert_eq!(sink.pairs, expected, "{}", e.name());
+            assert_eq!(stats.rows, expected.len() as u64);
+            assert!(stats.plan.is_none(), "baselines do not plan");
+        }
+    }
+
+    #[test]
+    fn unsupported_families_are_rejected() {
+        let r = rel(&[(0, 0)]);
+        let counting = Query::two_path(&r, &r).with_counts().build().unwrap();
+        let similarity = Query::similarity(&r, 1).build().unwrap();
+        for e in two_path_engines() {
+            assert!(!e.supports(&counting), "{}", e.name());
+            let mut sink = PairSink::new();
+            let err = e.execute(&similarity, &mut sink).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    EngineError::Unsupported {
+                        family: QueryFamily::Similarity,
+                        ..
+                    }
+                ),
+                "{}: {err}",
+                e.name()
+            );
+        }
+    }
+
+    #[test]
+    fn star_engines_execute_star_queries() {
+        let rels = vec![
+            rel(&[(0, 0), (1, 0), (2, 1)]),
+            rel(&[(5, 0), (6, 1)]),
+            rel(&[(8, 0), (9, 0), (9, 1)]),
+        ];
+        let q = Query::star(&rels).build().unwrap();
+        let reference = SortDedupStarEngine.star_join_project(&rels);
+        let engines: Vec<Box<dyn Engine>> = vec![
+            Box::new(SortDedupStarEngine),
+            Box::new(HashDedupStarEngine),
+            Box::new(ExpandDedupEngine::serial()),
+        ];
+        for e in engines {
+            let mut sink = VecSink::new();
+            e.execute(&q, &mut sink).unwrap();
+            assert_eq!(sink.rows, reference, "{}", e.name());
+            assert_eq!(sink.arity, 3);
+        }
+    }
+}

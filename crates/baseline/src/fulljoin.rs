@@ -164,15 +164,7 @@ mod tests {
     fn self_join_two_path() {
         // Friend-of-friend on a tiny graph (Example 1 shape).
         let r = rel(&[(0, 0), (1, 0), (1, 1), (2, 1)]);
-        let expected = vec![
-            (0, 0),
-            (0, 1),
-            (1, 0),
-            (1, 1),
-            (1, 2),
-            (2, 1),
-            (2, 2),
-        ];
+        let expected = vec![(0, 0), (0, 1), (1, 0), (1, 1), (1, 2), (2, 1), (2, 2)];
         for e in all_engines() {
             assert_eq!(e.join_project(&r, &r), expected, "{}", e.name());
         }

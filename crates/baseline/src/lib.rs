@@ -22,6 +22,14 @@
 //!   and parallel.
 //! * [`star`] — the same baselines generalised to star queries `Q*_k`.
 
+//!
+//! Every engine here also implements the unified
+//! [`Engine`](mmjoin_api::Engine) trait (see [`engine_impl`]) and is
+//! registered in the default [`EngineRegistry`](mmjoin_api::EngineRegistry)
+//! assembled by the `mmjoin` facade crate — callers should go through that
+//! front door rather than the per-engine traits below.
+
+pub mod engine_impl;
 pub mod fulljoin;
 pub mod nonmm;
 pub mod setintersect;
@@ -35,6 +43,11 @@ use mmjoin_storage::{Relation, Value};
 /// Implementations must return the **sorted, distinct** result, which makes
 /// cross-engine equality assertions trivial (see
 /// `tests/cross_engine_agreement.rs`).
+///
+/// **Transitional:** new call sites should use
+/// [`mmjoin_api::Engine::execute`] with
+/// [`Query::two_path`](mmjoin_api::Query::two_path); this trait remains as
+/// a thin shim while the last direct callers migrate.
 pub trait TwoPathEngine {
     /// Human-readable engine name used in experiment reports.
     fn name(&self) -> &'static str;
@@ -44,6 +57,10 @@ pub trait TwoPathEngine {
 }
 
 /// A join-project engine for star queries `Q*_k`.
+///
+/// **Transitional:** new call sites should use
+/// [`mmjoin_api::Engine::execute`] with
+/// [`Query::star`](mmjoin_api::Query::star).
 pub trait StarEngine {
     /// Human-readable engine name used in experiment reports.
     fn name(&self) -> &'static str;

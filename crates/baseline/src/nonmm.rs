@@ -186,9 +186,8 @@ mod tests {
     #[test]
     fn parallel_matches_serial() {
         // A mid-sized random-ish instance exercising both dedup strategies.
-        let edges: Vec<(Value, Value)> = (0..400u32)
-            .map(|i| ((i * 7) % 50, (i * 13) % 40))
-            .collect();
+        let edges: Vec<(Value, Value)> =
+            (0..400u32).map(|i| ((i * 7) % 50, (i * 13) % 40)).collect();
         let r = rel(&edges);
         let serial = ExpandDedupEngine::serial().join_project(&r, &r);
         for threads in [2, 3, 8] {

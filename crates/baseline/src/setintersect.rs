@@ -62,7 +62,7 @@ impl SetIntersectEngine {
     fn prefer_all_pairs(r: &Relation, s: &Relation) -> bool {
         let active_x = r.active_x_count() as u64;
         let active_z = s.active_x_count() as u64;
-        let avg_list = if active_x > 0 { r.len() as u64 / active_x } else { 0 };
+        let avg_list = (r.len() as u64).checked_div(active_x).unwrap_or(0);
         // Galloping makes each check ~log(list); approximate with a small
         // constant times the average list length's log.
         let log_list = (avg_list.max(2) as f64).log2() as u64 + 1;

@@ -74,8 +74,7 @@ mod tests {
         let s = rel(&[(5, 0), (6, 1)]);
         let star = HashDedupStarEngine.star_join_project(&[r.clone(), s.clone()]);
         let pairs = SortMergeEngine.join_project(&r, &s);
-        let star_as_pairs: Vec<(Value, Value)> =
-            star.iter().map(|t| (t[0], t[1])).collect();
+        let star_as_pairs: Vec<(Value, Value)> = star.iter().map(|t| (t[0], t[1])).collect();
         assert_eq!(star_as_pairs, pairs);
     }
 }

@@ -16,13 +16,29 @@ fn fig8_sizeaware_ablation(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig8_sizeaware_ablation_words");
     let variants: Vec<(&str, SizeAwarePPOpts)> = vec![
         ("noop", SizeAwarePPOpts::none()),
-        ("light", SizeAwarePPOpts { light: true, heavy: false, prefix: false }),
-        ("heavy", SizeAwarePPOpts { light: true, heavy: true, prefix: false }),
+        (
+            "light",
+            SizeAwarePPOpts {
+                light: true,
+                heavy: false,
+                prefix: false,
+            },
+        ),
+        (
+            "heavy",
+            SizeAwarePPOpts {
+                light: true,
+                heavy: true,
+                prefix: false,
+            },
+        ),
         ("prefix", SizeAwarePPOpts::all()),
     ];
     for (name, opts) in variants {
         let algo = SsjAlgorithm::SizeAwarePP(opts);
-        g.bench_function(name, |b| b.iter(|| unordered_ssj(&r, 2, &algo, 1)));
+        g.bench_function(name, |b| {
+            b.iter(|| unordered_ssj(&r, 2, &algo, &JoinConfig::default()))
+        });
     }
     g.finish();
 }

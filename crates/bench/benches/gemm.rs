@@ -2,11 +2,13 @@
 //! (single-core vs dimension, and vs core count).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use mmjoin_matrix::{matmul_parallel, BitMatrix, DenseMatrix};
 use mmjoin_matrix::strassen::strassen;
+use mmjoin_matrix::{matmul_parallel, BitMatrix, DenseMatrix};
 
 fn adjacency(n: usize, phase: usize) -> DenseMatrix {
-    DenseMatrix::from_fn(n, n, |i, j| (((i + phase) * 31 + j * 17) % 4 == 0) as u8 as f32)
+    DenseMatrix::from_fn(n, n, |i, j| {
+        ((i + phase) * 31 + j * 17).is_multiple_of(4) as u8 as f32
+    })
 }
 
 fn fig3a_single_core(c: &mut Criterion) {
@@ -27,11 +29,18 @@ fn fig3b_multicore(c: &mut Criterion) {
     let n = 768usize;
     let a = adjacency(n, 0);
     let b = adjacency(n, 1);
-    let max = std::thread::available_parallelism().map(|v| v.get()).unwrap_or(4).min(8);
+    let max = std::thread::available_parallelism()
+        .map(|v| v.get())
+        .unwrap_or(4)
+        .min(8);
     for cores in 1..=max {
-        g.bench_with_input(BenchmarkId::from_parameter(cores), &cores, |bench, &cores| {
-            bench.iter(|| matmul_parallel(&a, &b, cores));
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(cores),
+            &cores,
+            |bench, &cores| {
+                bench.iter(|| matmul_parallel(&a, &b, cores));
+            },
+        );
     }
     g.finish();
 }
@@ -41,8 +50,12 @@ fn backend_ablation(c: &mut Criterion) {
     let n = 512usize;
     let a = adjacency(n, 0);
     let b = adjacency(n, 1);
-    g.bench_function("f32_blocked", |bench| bench.iter(|| matmul_parallel(&a, &b, 1)));
-    g.bench_function("strassen_cutoff128", |bench| bench.iter(|| strassen(&a, &b, 128)));
+    g.bench_function("f32_blocked", |bench| {
+        bench.iter(|| matmul_parallel(&a, &b, 1))
+    });
+    g.bench_function("strassen_cutoff128", |bench| {
+        bench.iter(|| strassen(&a, &b, 128))
+    });
     let mut ab = BitMatrix::zeros(n, n);
     let mut bb = BitMatrix::zeros(n, n);
     for i in 0..n {
@@ -55,7 +68,9 @@ fn backend_ablation(c: &mut Criterion) {
             }
         }
     }
-    g.bench_function("bitmatrix_boolean", |bench| bench.iter(|| ab.bool_product(&bb)));
+    g.bench_function("bitmatrix_boolean", |bench| {
+        bench.iter(|| ab.bool_product(&bb))
+    });
     g.finish();
 }
 

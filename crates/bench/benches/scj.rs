@@ -1,6 +1,7 @@
 //! Criterion bench for Figures 4c / 7: set-containment joins.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mmjoin_core::JoinConfig;
 use mmjoin_datagen::DatasetKind;
 use mmjoin_scj::{set_containment_join, ScjAlgorithm};
 
@@ -9,7 +10,7 @@ const SEED: u64 = 2020;
 
 fn algos() -> Vec<(&'static str, ScjAlgorithm)> {
     vec![
-        ("MMJoin", ScjAlgorithm::mmjoin(1)),
+        ("MMJoin", ScjAlgorithm::MmJoin),
         ("PIEJoin", ScjAlgorithm::PieJoin),
         ("PRETTI", ScjAlgorithm::Pretti),
         ("LIMIT+", ScjAlgorithm::LimitPlus { limit: 2 }),
@@ -21,7 +22,9 @@ fn fig4c_scj(c: &mut Criterion) {
         let r = mmjoin_datagen::generate(kind, SCALE, SEED);
         let mut g = c.benchmark_group(format!("fig4c_{}", kind.name()));
         for (name, algo) in algos() {
-            g.bench_function(name, |b| b.iter(|| set_containment_join(&r, &algo, 1)));
+            g.bench_function(name, |b| {
+                b.iter(|| set_containment_join(&r, &algo, &JoinConfig::default()))
+            });
         }
         g.finish();
     }
@@ -31,13 +34,20 @@ fn fig7_parallel_scj(c: &mut Criterion) {
     let r = mmjoin_datagen::generate(DatasetKind::Image, SCALE, SEED);
     let mut g = c.benchmark_group("fig7_image_parallel");
     // Clamp ≥ 4 so the sweep stays non-degenerate (unique IDs) on 1-CPU hosts.
-    let max = std::thread::available_parallelism().map(|v| v.get()).unwrap_or(4).clamp(4, 8);
+    let max = std::thread::available_parallelism()
+        .map(|v| v.get())
+        .unwrap_or(4)
+        .clamp(4, 8);
     for cores in [1usize, max] {
-        g.bench_with_input(BenchmarkId::new("MMJoin", cores), &cores, |b, &cores| {
-            b.iter(|| set_containment_join(&r, &ScjAlgorithm::mmjoin(cores), cores));
+        let config = JoinConfig {
+            threads: cores,
+            ..JoinConfig::default()
+        };
+        g.bench_with_input(BenchmarkId::new("MMJoin", cores), &config, |b, config| {
+            b.iter(|| set_containment_join(&r, &ScjAlgorithm::MmJoin, config));
         });
-        g.bench_with_input(BenchmarkId::new("PIEJoin", cores), &cores, |b, &cores| {
-            b.iter(|| set_containment_join(&r, &ScjAlgorithm::PieJoin, cores));
+        g.bench_with_input(BenchmarkId::new("PIEJoin", cores), &config, |b, config| {
+            b.iter(|| set_containment_join(&r, &ScjAlgorithm::PieJoin, config));
         });
     }
     g.finish();

@@ -2,6 +2,7 @@
 //! ordered, across the three algorithm families.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mmjoin_core::JoinConfig;
 use mmjoin_datagen::DatasetKind;
 use mmjoin_ssj::{ordered_ssj, unordered_ssj, SizeAwarePPOpts, SsjAlgorithm};
 
@@ -10,8 +11,11 @@ const SEED: u64 = 2020;
 
 fn algos() -> Vec<(&'static str, SsjAlgorithm)> {
     vec![
-        ("MMJoin", SsjAlgorithm::mmjoin(1)),
-        ("SizeAwarePP", SsjAlgorithm::SizeAwarePP(SizeAwarePPOpts::all())),
+        ("MMJoin", SsjAlgorithm::MmJoin),
+        (
+            "SizeAwarePP",
+            SsjAlgorithm::SizeAwarePP(SizeAwarePPOpts::all()),
+        ),
         ("SizeAware", SsjAlgorithm::SizeAware),
     ]
 }
@@ -22,11 +26,9 @@ fn fig5_unordered(c: &mut Criterion) {
         let mut g = c.benchmark_group(format!("fig5_unordered_{}", kind.name()));
         for cc in [2u32, 4] {
             for (name, algo) in algos() {
-                g.bench_with_input(
-                    BenchmarkId::new(name, format!("c{cc}")),
-                    &cc,
-                    |b, &cc| b.iter(|| unordered_ssj(&r, cc, &algo, 1)),
-                );
+                g.bench_with_input(BenchmarkId::new(name, format!("c{cc}")), &cc, |b, &cc| {
+                    b.iter(|| unordered_ssj(&r, cc, &algo, &JoinConfig::default()))
+                });
             }
         }
         g.finish();
@@ -37,7 +39,9 @@ fn fig5ef_ordered(c: &mut Criterion) {
     let r = mmjoin_datagen::generate(DatasetKind::Jokes, SCALE, SEED);
     let mut g = c.benchmark_group("fig5ef_ordered_jokes");
     for (name, algo) in algos() {
-        g.bench_function(name, |b| b.iter(|| ordered_ssj(&r, 2, &algo, 1)));
+        g.bench_function(name, |b| {
+            b.iter(|| ordered_ssj(&r, 2, &algo, &JoinConfig::default()))
+        });
     }
     g.finish();
 }

@@ -37,7 +37,10 @@ fn fig4fg_star_multicore(c: &mut Criterion) {
     let rels = star_instance(DatasetKind::Jokes);
     let mut g = c.benchmark_group("fig4fg_jokes_star_multicore");
     // Clamp ≥ 4 so the sweep stays non-degenerate (unique IDs) on 1-CPU hosts.
-    let max = std::thread::available_parallelism().map(|v| v.get()).unwrap_or(4).clamp(4, 8);
+    let max = std::thread::available_parallelism()
+        .map(|v| v.get())
+        .unwrap_or(4)
+        .clamp(4, 8);
     for cores in [1usize, max] {
         g.bench_with_input(BenchmarkId::new("MMJoin", cores), &cores, |b, &cores| {
             let e = MmJoinEngine::parallel(cores);

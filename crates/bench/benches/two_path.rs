@@ -13,7 +13,12 @@ const SCALE: f64 = 0.08;
 const SEED: u64 = 2020;
 
 fn fig4a_engines(c: &mut Criterion) {
-    for kind in [DatasetKind::Dblp, DatasetKind::Jokes, DatasetKind::Protein, DatasetKind::Image] {
+    for kind in [
+        DatasetKind::Dblp,
+        DatasetKind::Jokes,
+        DatasetKind::Protein,
+        DatasetKind::Image,
+    ] {
         let r = mmjoin_datagen::generate(kind, SCALE, SEED);
         let mut g = c.benchmark_group(format!("fig4a_{}", kind.name()));
         let engines: Vec<Box<dyn TwoPathEngine>> = vec![
@@ -36,7 +41,10 @@ fn fig4de_multicore(c: &mut Criterion) {
     let r = mmjoin_datagen::generate(DatasetKind::Jokes, SCALE, SEED);
     let mut g = c.benchmark_group("fig4de_jokes_multicore");
     // Clamp ≥ 4 so the sweep stays non-degenerate (unique IDs) on 1-CPU hosts.
-    let max = std::thread::available_parallelism().map(|v| v.get()).unwrap_or(4).clamp(4, 8);
+    let max = std::thread::available_parallelism()
+        .map(|v| v.get())
+        .unwrap_or(4)
+        .clamp(4, 8);
     for cores in [1usize, 2, max] {
         g.bench_with_input(BenchmarkId::new("MMJoin", cores), &cores, |b, &cores| {
             let e = MmJoinEngine::parallel(cores);

@@ -3,13 +3,41 @@
 //! ```text
 //! experiments <target> [--scale <f64>]
 //!
-//! targets: table2 fig3a fig3b fig4a fig4b fig4c fig4d fig4f
+//! targets: engines table2 plan fig3a fig3b fig4a fig4b fig4c fig4d fig4f
 //!          fig5a fig5b fig5c fig5d fig5g fig5h fig5e fig5f fig6a
 //!          fig6b fig6c fig6d fig7 fig8 ablation all
 //! ```
+//!
+//! Engines come from the [`mmjoin::EngineRegistry`]; `experiments engines`
+//! prints the roster the other targets enumerate.
 
+use mmjoin::default_registry;
 use mmjoin_bench::{figures, DEFAULT_SCALE};
 use mmjoin_datagen::DatasetKind;
+
+/// Prints the registry roster: every engine name and the query families it
+/// supports (probed with tiny representative queries).
+fn print_engines() {
+    use mmjoin::{Query, Relation};
+    let registry = default_registry(1);
+    let r = Relation::from_edges([(0, 0), (1, 0)]);
+    let rels = vec![r.clone(), r.clone()];
+    let probes = [
+        ("two-path", Query::two_path(&r, &r).build().unwrap()),
+        ("star", Query::star(&rels).build().unwrap()),
+        ("similarity", Query::similarity(&r, 1).build().unwrap()),
+        ("containment", Query::containment(&r).build().unwrap()),
+    ];
+    println!("{} registered engines:", registry.len());
+    for engine in registry.iter() {
+        let families: Vec<&str> = probes
+            .iter()
+            .filter(|(_, q)| engine.supports(q))
+            .map(|&(name, _)| name)
+            .collect();
+        println!("  {:<26} {}", engine.name(), families.join(", "));
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -22,6 +50,8 @@ fn main() {
         .unwrap_or(DEFAULT_SCALE);
 
     let run = |name: &str| match name {
+        "engines" => print_engines(),
+        "plan" => println!("{}", figures::plan_report(scale).render()),
         "table2" => println!("{}", figures::table2(scale)),
         "fig3a" => println!("{}", figures::fig3a().render()),
         "fig3b" => println!("{}", figures::fig3b().render()),
@@ -30,15 +60,42 @@ fn main() {
         "fig4c" => println!("{}", figures::fig4c(scale).render()),
         "fig4d" | "fig4e" => println!("{}", figures::fig4de(scale).render()),
         "fig4f" | "fig4g" => println!("{}", figures::fig4fg(scale).render()),
-        "fig5a" => println!("{}", figures::fig5_unordered(DatasetKind::Dblp, scale).render()),
-        "fig5b" => println!("{}", figures::fig5_unordered(DatasetKind::Jokes, scale).render()),
-        "fig5c" => println!("{}", figures::fig5_unordered(DatasetKind::Image, scale).render()),
-        "fig5d" => println!("{}", figures::fig5_parallel(DatasetKind::Dblp, scale).render()),
-        "fig5g" => println!("{}", figures::fig5_parallel(DatasetKind::Jokes, scale).render()),
-        "fig5h" => println!("{}", figures::fig5_parallel(DatasetKind::Image, scale).render()),
-        "fig5e" => println!("{}", figures::fig_ordered_ssj(DatasetKind::Dblp, scale).render()),
-        "fig5f" => println!("{}", figures::fig_ordered_ssj(DatasetKind::Jokes, scale).render()),
-        "fig6a" => println!("{}", figures::fig_ordered_ssj(DatasetKind::Image, scale).render()),
+        "fig5a" => println!(
+            "{}",
+            figures::fig5_unordered(DatasetKind::Dblp, scale).render()
+        ),
+        "fig5b" => println!(
+            "{}",
+            figures::fig5_unordered(DatasetKind::Jokes, scale).render()
+        ),
+        "fig5c" => println!(
+            "{}",
+            figures::fig5_unordered(DatasetKind::Image, scale).render()
+        ),
+        "fig5d" => println!(
+            "{}",
+            figures::fig5_parallel(DatasetKind::Dblp, scale).render()
+        ),
+        "fig5g" => println!(
+            "{}",
+            figures::fig5_parallel(DatasetKind::Jokes, scale).render()
+        ),
+        "fig5h" => println!(
+            "{}",
+            figures::fig5_parallel(DatasetKind::Image, scale).render()
+        ),
+        "fig5e" => println!(
+            "{}",
+            figures::fig_ordered_ssj(DatasetKind::Dblp, scale).render()
+        ),
+        "fig5f" => println!(
+            "{}",
+            figures::fig_ordered_ssj(DatasetKind::Jokes, scale).render()
+        ),
+        "fig6a" => println!(
+            "{}",
+            figures::fig_ordered_ssj(DatasetKind::Image, scale).render()
+        ),
         "fig6b" => println!("{}", figures::fig6_bsi(DatasetKind::Jokes, scale).render()),
         "fig6c" => println!("{}", figures::fig6_bsi(DatasetKind::Words, scale).render()),
         "fig6d" => println!("{}", figures::fig6_bsi(DatasetKind::Image, scale).render()),
@@ -53,9 +110,9 @@ fn main() {
 
     if target == "all" {
         for name in [
-            "table2", "fig3a", "fig3b", "fig4a", "fig4b", "fig4c", "fig4d", "fig4f", "fig5a",
-            "fig5b", "fig5c", "fig5d", "fig5g", "fig5h", "fig5e", "fig5f", "fig6a", "fig6b",
-            "fig6c", "fig6d", "fig7", "fig8", "ablation",
+            "engines", "table2", "plan", "fig3a", "fig3b", "fig4a", "fig4b", "fig4c", "fig4d",
+            "fig4f", "fig5a", "fig5b", "fig5c", "fig5d", "fig5g", "fig5h", "fig5e", "fig5f",
+            "fig6a", "fig6b", "fig6c", "fig6d", "fig7", "fig8", "ablation",
         ] {
             eprintln!(">>> running {name} (scale {scale})");
             run(name);

@@ -1,18 +1,64 @@
 //! Per-figure experiment drivers (§7). Each function regenerates one table
 //! or figure of the paper and returns a rendered [`Table`].
+//!
+//! Engines are enumerated through the [`EngineRegistry`] — a figure asks
+//! the registry for "everything that can run this query" (or for a named
+//! engine) instead of hard-coding engine constructors, so newly registered
+//! engines show up in the experiment tables automatically.
 
 use crate::report::{fmt_secs, Table};
 use crate::{core_grid, dataset, star_dataset, timed, SEED};
-use mmjoin_baseline::fulljoin::{HashJoinEngine, SortMergeEngine, SystemXEngine};
-use mmjoin_baseline::nonmm::ExpandDedupEngine;
-use mmjoin_baseline::setintersect::SetIntersectEngine;
-use mmjoin_baseline::{StarEngine, TwoPathEngine};
+use mmjoin::{
+    default_registry, CountSink, Engine, EngineRegistry, ExecStats, HeavyBackend, JoinConfig,
+    MmJoinEngine, PlanKind, Query, Relation,
+};
 use mmjoin_bsi::{random_workload, simulate_batching, BsiStrategy};
-use mmjoin_core::{HeavyBackend, JoinConfig, MmJoinEngine};
 use mmjoin_datagen::DatasetKind;
 use mmjoin_matrix::{matmul_parallel, DenseMatrix};
-use mmjoin_scj::{set_containment_join, ScjAlgorithm};
-use mmjoin_ssj::{ordered_ssj, unordered_ssj, SizeAwarePPOpts, SsjAlgorithm};
+use mmjoin_ssj::{unordered_ssj, SizeAwarePPOpts, SsjAlgorithm};
+
+/// Runs `query` on `engine`, returning `(stats, seconds)` without
+/// materialising the output (a [`CountSink`] absorbs the rows).
+fn run_counted(engine: &dyn Engine, query: &Query<'_>) -> (ExecStats, f64) {
+    let mut sink = CountSink::new();
+    let (stats, secs) = timed(|| {
+        engine
+            .execute(query, &mut sink)
+            .expect("engine advertised support for this query")
+    });
+    (stats, secs)
+}
+
+/// One row of engine timings for `query` over every supporting engine in
+/// `registry`; returns the cells plus the (engine-agreed) output size.
+fn sweep_engines(registry: &EngineRegistry, query: &Query<'_>) -> (Vec<String>, u64) {
+    let mut cells = Vec::new();
+    let mut out_rows = 0u64;
+    for engine in registry.engines_for(query) {
+        let (stats, secs) = run_counted(engine, query);
+        out_rows = stats.rows;
+        cells.push(fmt_secs(secs));
+    }
+    (cells, out_rows)
+}
+
+/// Two-edge probe relation: engine support depends only on the query
+/// family, so header construction never needs a generated dataset.
+fn probe_relation() -> Relation {
+    Relation::from_edges([(0, 0), (1, 0)])
+}
+
+/// Header row listing the engines that support `query`.
+fn engine_headers(registry: &EngineRegistry, query: &Query<'_>, key: &str) -> Vec<String> {
+    let mut headers: Vec<String> = vec![key.into()];
+    headers.extend(
+        registry
+            .engines_for(query)
+            .iter()
+            .map(|e| e.name().to_string()),
+    );
+    headers
+}
 
 /// Table 2: dataset characteristics at the experiment scale.
 pub fn table2(scale: f64) -> String {
@@ -48,7 +94,12 @@ pub fn fig3b() -> Table {
     const N: usize = 1024;
     let mut t = Table::new(
         format!("Figure 3b: {N}x{N} GEMM scaling with cores"),
-        vec!["cores".into(), "construct".into(), "multiply".into(), "speedup".into()],
+        vec![
+            "cores".into(),
+            "construct".into(),
+            "multiply".into(),
+            "speedup".into(),
+        ],
     );
     let mut base = 0.0f64;
     for cores in core_grid() {
@@ -73,34 +124,20 @@ pub fn fig3b() -> Table {
     t
 }
 
-fn two_path_engines() -> Vec<Box<dyn TwoPathEngine>> {
-    vec![
-        Box::new(MmJoinEngine::serial()),
-        Box::new(ExpandDedupEngine::serial()),
-        Box::new(HashJoinEngine),
-        Box::new(SortMergeEngine),
-        Box::new(SetIntersectEngine),
-        Box::new(SystemXEngine),
-    ]
-}
-
-/// Figure 4a: 2-path join-project across datasets and engines, single core.
+/// Figure 4a: 2-path join-project across datasets, every registered
+/// 2-path engine, single core.
 pub fn fig4a(scale: f64) -> Table {
-    let engines = two_path_engines();
-    let mut headers: Vec<String> = vec!["Dataset".into()];
-    headers.extend(engines.iter().map(|e| e.name().to_string()));
+    let registry = default_registry(1);
+    let probe = probe_relation();
+    let probe_q = Query::two_path(&probe, &probe).build().unwrap();
+    let mut headers = engine_headers(&registry, &probe_q, "Dataset");
     headers.push("|OUT|".into());
     let mut t = Table::new("Figure 4a: two-path query, single core", headers);
     for kind in DatasetKind::ALL {
         let r = dataset(kind, scale);
-        let mut cells = Vec::new();
-        let mut out_len = 0usize;
-        for e in &engines {
-            let (out, secs) = timed(|| e.join_project(&r, &r));
-            out_len = out.len();
-            cells.push(fmt_secs(secs));
-        }
-        cells.push(out_len.to_string());
+        let q = Query::two_path(&r, &r).build().unwrap();
+        let (mut cells, out_rows) = sweep_engines(&registry, &q);
+        cells.push(out_rows.to_string());
         t.push_row(kind.name(), cells);
     }
     t
@@ -108,47 +145,48 @@ pub fn fig4a(scale: f64) -> Table {
 
 /// Figure 4b: star query (k = 3), MMJoin vs Non-MMJoin, single core.
 pub fn fig4b(scale: f64) -> Table {
+    let registry = default_registry(1);
     let mut t = Table::new(
         "Figure 4b: three-relation star query, single core",
-        vec!["Dataset".into(), "MMJoin".into(), "Non-MMJoin".into(), "|OUT|".into()],
+        vec![
+            "Dataset".into(),
+            "MMJoin".into(),
+            "Non-MMJoin".into(),
+            "|OUT|".into(),
+        ],
     );
     for kind in DatasetKind::ALL {
         let rels = star_dataset(kind, scale, 3);
-        let mm = MmJoinEngine::serial();
-        let (out_mm, secs_mm) = timed(|| StarEngine::star_join_project(&mm, &rels));
-        let nonmm = ExpandDedupEngine::serial();
-        let (out_nm, secs_nm) = timed(|| StarEngine::star_join_project(&nonmm, &rels));
-        assert_eq!(out_mm.len(), out_nm.len(), "{kind:?}: engines disagree");
+        let q = Query::star(&rels).build().unwrap();
+        let (mm_stats, secs_mm) = run_counted(registry.get("MMJoin").unwrap(), &q);
+        let (nm_stats, secs_nm) = run_counted(registry.get("Non-MMJoin").unwrap(), &q);
+        assert_eq!(mm_stats.rows, nm_stats.rows, "{kind:?}: engines disagree");
         t.push_row(
             kind.name(),
-            vec![fmt_secs(secs_mm), fmt_secs(secs_nm), out_mm.len().to_string()],
+            vec![
+                fmt_secs(secs_mm),
+                fmt_secs(secs_nm),
+                mm_stats.rows.to_string(),
+            ],
         );
     }
     t
 }
 
-/// Figure 4c: set-containment join across datasets, single core.
+/// Figure 4c: set-containment join across datasets, every registered
+/// containment engine, single core.
 pub fn fig4c(scale: f64) -> Table {
-    let algos: Vec<(&str, ScjAlgorithm)> = vec![
-        ("MMJoin", ScjAlgorithm::mmjoin(1)),
-        ("PIEJoin", ScjAlgorithm::PieJoin),
-        ("PRETTI", ScjAlgorithm::Pretti),
-        ("LIMIT+", ScjAlgorithm::LimitPlus { limit: 2 }),
-    ];
-    let mut headers: Vec<String> = vec!["Dataset".into()];
-    headers.extend(algos.iter().map(|(n, _)| n.to_string()));
+    let registry = default_registry(1);
+    let probe = probe_relation();
+    let probe_q = Query::containment(&probe).build().unwrap();
+    let mut headers = engine_headers(&registry, &probe_q, "Dataset");
     headers.push("|SCJ|".into());
     let mut t = Table::new("Figure 4c: set containment join, single core", headers);
     for kind in DatasetKind::ALL {
         let r = dataset(kind, scale);
-        let mut cells = Vec::new();
-        let mut out_len = 0usize;
-        for (_, algo) in &algos {
-            let (out, secs) = timed(|| set_containment_join(&r, algo, 1));
-            out_len = out.len();
-            cells.push(fmt_secs(secs));
-        }
-        cells.push(out_len.to_string());
+        let q = Query::containment(&r).build().unwrap();
+        let (mut cells, out_rows) = sweep_engines(&registry, &q);
+        cells.push(out_rows.to_string());
         t.push_row(kind.name(), cells);
     }
     t
@@ -169,12 +207,12 @@ pub fn fig4de(scale: f64) -> Table {
     let jokes = dataset(DatasetKind::Jokes, scale);
     let words = dataset(DatasetKind::Words, scale);
     for cores in core_grid() {
+        let registry = default_registry(cores);
         let mut cells = Vec::new();
         for r in [&jokes, &words] {
-            let mm = MmJoinEngine::parallel(cores);
-            let (_, secs_mm) = timed(|| mm.join_project(r, r));
-            let nm = ExpandDedupEngine::parallel(cores);
-            let (_, secs_nm) = timed(|| nm.join_project(r, r));
+            let q = Query::two_path(r, r).build().unwrap();
+            let (_, secs_mm) = run_counted(registry.get("MMJoin").unwrap(), &q);
+            let (_, secs_nm) = run_counted(registry.get("Non-MMJoin").unwrap(), &q);
             cells.push(fmt_secs(secs_mm));
             cells.push(fmt_secs(secs_nm));
         }
@@ -198,14 +236,12 @@ pub fn fig4fg(scale: f64) -> Table {
     let jokes = star_dataset(DatasetKind::Jokes, scale, 3);
     let words = star_dataset(DatasetKind::Words, scale, 3);
     for cores in core_grid() {
+        let registry = default_registry(cores);
         let mut cells = Vec::new();
         for rels in [&jokes, &words] {
-            let mm = MmJoinEngine::parallel(cores);
-            let (_, secs_mm) = timed(|| StarEngine::star_join_project(&mm, rels));
-            // Non-MM star is the WCOJ+dedup path; it has no internal
-            // parallelism knob, representing the serialized baseline.
-            let nm = ExpandDedupEngine::parallel(cores);
-            let (_, secs_nm) = timed(|| StarEngine::star_join_project(&nm, rels));
+            let q = Query::star(rels).build().unwrap();
+            let (_, secs_mm) = run_counted(registry.get("MMJoin").unwrap(), &q);
+            let (_, secs_nm) = run_counted(registry.get("Non-MMJoin").unwrap(), &q);
             cells.push(fmt_secs(secs_mm));
             cells.push(fmt_secs(secs_nm));
         }
@@ -214,33 +250,22 @@ pub fn fig4fg(scale: f64) -> Table {
     t
 }
 
-fn ssj_algos() -> Vec<(&'static str, SsjAlgorithm)> {
-    vec![
-        ("MMJoin", SsjAlgorithm::mmjoin(1)),
-        ("SizeAware++", SsjAlgorithm::SizeAwarePP(SizeAwarePPOpts::all())),
-        ("SizeAware", SsjAlgorithm::SizeAware),
-    ]
-}
-
-/// Figures 5a/5b/5c: unordered SSJ vs overlap threshold `c`.
+/// Figures 5a/5b/5c: unordered SSJ vs overlap threshold `c`, every
+/// registered similarity engine.
 pub fn fig5_unordered(kind: DatasetKind, scale: f64) -> Table {
-    let mut headers: Vec<String> = vec!["c".into()];
-    headers.extend(ssj_algos().iter().map(|(n, _)| n.to_string()));
+    let registry = default_registry(1);
+    let r = dataset(kind, scale);
+    let probe_q = Query::similarity(&r, 2).build().unwrap();
+    let mut headers = engine_headers(&registry, &probe_q, "c");
     headers.push("|OUT|".into());
     let mut t = Table::new(
         format!("Figure 5 (unordered SSJ, {})", kind.name()),
         headers,
     );
-    let r = dataset(kind, scale);
     for c in 2..=6u32 {
-        let mut cells = Vec::new();
-        let mut out_len = 0usize;
-        for (_, algo) in ssj_algos() {
-            let (out, secs) = timed(|| unordered_ssj(&r, c, &algo, 1));
-            out_len = out.len();
-            cells.push(fmt_secs(secs));
-        }
-        cells.push(out_len.to_string());
+        let q = Query::similarity(&r, c).build().unwrap();
+        let (mut cells, out_rows) = sweep_engines(&registry, &q);
+        cells.push(out_rows.to_string());
         t.push_row(c.to_string(), cells);
     }
     t
@@ -248,19 +273,16 @@ pub fn fig5_unordered(kind: DatasetKind, scale: f64) -> Table {
 
 /// Figures 5d/5g/5h: parallel unordered SSJ at `c = 2`.
 pub fn fig5_parallel(kind: DatasetKind, scale: f64) -> Table {
-    let mut headers: Vec<String> = vec!["cores".into()];
-    headers.extend(ssj_algos().iter().map(|(n, _)| n.to_string()));
+    let r = dataset(kind, scale);
+    let probe_q = Query::similarity(&r, 2).build().unwrap();
+    let headers = engine_headers(&default_registry(1), &probe_q, "cores");
     let mut t = Table::new(
         format!("Figure 5 (parallel unordered SSJ c=2, {})", kind.name()),
         headers,
     );
-    let r = dataset(kind, scale);
     for cores in core_grid() {
-        let mut cells = Vec::new();
-        for (_, algo) in ssj_algos() {
-            let (_, secs) = timed(|| unordered_ssj(&r, 2, &algo, cores));
-            cells.push(fmt_secs(secs));
-        }
+        let registry = default_registry(cores);
+        let (cells, _) = sweep_engines(&registry, &probe_q);
         t.push_row(cores.to_string(), cells);
     }
     t
@@ -268,19 +290,17 @@ pub fn fig5_parallel(kind: DatasetKind, scale: f64) -> Table {
 
 /// Figures 5e/5f/6a: ordered SSJ vs overlap threshold.
 pub fn fig_ordered_ssj(kind: DatasetKind, scale: f64) -> Table {
-    let mut headers: Vec<String> = vec!["c".into()];
-    headers.extend(ssj_algos().iter().map(|(n, _)| n.to_string()));
+    let registry = default_registry(1);
+    let r = dataset(kind, scale);
+    let probe_q = Query::similarity(&r, 2).ordered().build().unwrap();
+    let headers = engine_headers(&registry, &probe_q, "c");
     let mut t = Table::new(
         format!("Figures 5e/5f/6a (ordered SSJ, {})", kind.name()),
         headers,
     );
-    let r = dataset(kind, scale);
     for c in 2..=6u32 {
-        let mut cells = Vec::new();
-        for (_, algo) in ssj_algos() {
-            let (_, secs) = timed(|| ordered_ssj(&r, c, &algo, 1));
-            cells.push(fmt_secs(secs));
-        }
+        let q = Query::similarity(&r, c).ordered().build().unwrap();
+        let (cells, _) = sweep_engines(&registry, &q);
         t.push_row(c.to_string(), cells);
     }
     t
@@ -336,10 +356,12 @@ pub fn fig7(scale: f64) -> Table {
     let mut t = Table::new("Figure 7: parallel SCJ", headers);
     let datasets: Vec<_> = kinds.iter().map(|&k| dataset(k, scale)).collect();
     for cores in core_grid() {
+        let registry = default_registry(cores);
         let mut cells = Vec::new();
         for r in &datasets {
-            let (_, mm) = timed(|| set_containment_join(r, &ScjAlgorithm::mmjoin(cores), cores));
-            let (_, pie) = timed(|| set_containment_join(r, &ScjAlgorithm::PieJoin, cores));
+            let q = Query::containment(r).build().unwrap();
+            let (_, mm) = run_counted(registry.get("MMJoin").unwrap(), &q);
+            let (_, pie) = run_counted(registry.get("PIEJoin").unwrap(), &q);
             cells.push(fmt_secs(mm));
             cells.push(fmt_secs(pie));
         }
@@ -349,7 +371,9 @@ pub fn fig7(scale: f64) -> Table {
 }
 
 /// Figure 8: SizeAware++ optimization ablation on Words (c = 2), reported
-/// as a percentage of the NO-OP runtime.
+/// as a percentage of the NO-OP runtime. (An ablation of one algorithm's
+/// internal flags, so it drives the `unordered_ssj` dispatcher directly
+/// rather than the registry.)
 pub fn fig8(scale: f64) -> Table {
     let mut t = Table::new(
         "Figure 8: SizeAware++ ablation on Words (c=2)",
@@ -376,10 +400,11 @@ pub fn fig8(scale: f64) -> Table {
         ),
         ("Prefix", SizeAwarePPOpts::all()),
     ];
+    let config = JoinConfig::default();
     let mut noop = 0.0f64;
     for (name, opts) in variants {
         let algo = SsjAlgorithm::SizeAwarePP(opts);
-        let (_, secs) = timed(|| unordered_ssj(&r, 2, &algo, 1));
+        let (_, secs) = timed(|| unordered_ssj(&r, 2, &algo, &config));
         if name == "NO-OP" {
             noop = secs;
         }
@@ -392,13 +417,14 @@ pub fn fig8(scale: f64) -> Table {
 }
 
 /// Ablation (beyond the paper): f32 GEMM vs bit-matrix boolean product vs
-/// Strassen for the heavy core of the 2-path join on a dense dataset.
+/// SpGEMM for the heavy core of the 2-path join on a dense dataset.
 pub fn ablation_matrix_backends(scale: f64) -> Table {
     let mut t = Table::new(
         "Ablation: heavy-core backend (Jokes dataset)",
         vec!["backend".into(), "time".into(), "|OUT|".into()],
     );
     let r = dataset(DatasetKind::Jokes, scale);
+    let q = Query::two_path(&r, &r).build().unwrap();
     let backend_cfg = |backend| JoinConfig {
         heavy_backend: backend,
         ..JoinConfig::default()
@@ -410,8 +436,58 @@ pub fn ablation_matrix_backends(scale: f64) -> Table {
         ("auto", backend_cfg(HeavyBackend::Auto)),
     ] {
         let engine = MmJoinEngine::new(cfg);
-        let (out, secs) = timed(|| engine.join_project(&r, &r));
-        t.push_row(name, vec![fmt_secs(secs), out.len().to_string()]);
+        let (stats, secs) = run_counted(&engine, &q);
+        t.push_row(name, vec![fmt_secs(secs), stats.rows.to_string()]);
+    }
+    t
+}
+
+/// Plan report (beyond the paper): what MMJoin's optimizer decided per
+/// dataset — plan kind, chosen `(Δ1, Δ2)`, heavy-core shape and light
+/// tuple mass — straight out of [`ExecStats`].
+pub fn plan_report(scale: f64) -> Table {
+    let registry = default_registry(1);
+    let mut t = Table::new(
+        "Plan report: MMJoin optimizer decisions per dataset",
+        vec![
+            "Dataset".into(),
+            "plan".into(),
+            "Δ1".into(),
+            "Δ2".into(),
+            "heavy (u×v×w)".into(),
+            "matrix core".into(),
+            "light tuples".into(),
+            "est |OUT|".into(),
+            "|OUT|".into(),
+        ],
+    );
+    for kind in DatasetKind::ALL {
+        let r = dataset(kind, scale);
+        let q = Query::two_path(&r, &r).build().unwrap();
+        let (stats, _) = run_counted(registry.get("MMJoin").unwrap(), &q);
+        let plan = stats.plan.expect("MMJoin reports a plan");
+        let fmt_opt = |v: Option<u32>| v.map_or("-".to_string(), |x| x.to_string());
+        t.push_row(
+            kind.name(),
+            vec![
+                match plan.kind {
+                    PlanKind::Wcoj => "wcoj".to_string(),
+                    PlanKind::MatrixPartitioned => "matrix".to_string(),
+                },
+                fmt_opt(plan.delta1),
+                fmt_opt(plan.delta2),
+                plan.heavy_dims
+                    .map_or("-".to_string(), |(u, v, w)| format!("{u}x{v}x{w}")),
+                plan.heavy_core_matrix.map_or("-".to_string(), |m| {
+                    if m { "yes" } else { "no" }.to_string()
+                }),
+                plan.light_tuples
+                    .map_or("-".to_string(), |(lr, _)| lr.to_string()),
+                plan.estimated_out
+                    .map_or("-".to_string(), |e| e.to_string()),
+                stats.rows.to_string(),
+            ],
+        );
     }
     t
 }
@@ -419,6 +495,7 @@ pub fn ablation_matrix_backends(scale: f64) -> Table {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mmjoin::PairSink;
 
     const TINY: f64 = 0.03;
 
@@ -429,14 +506,20 @@ mod tests {
     }
 
     #[test]
-    fn fig4a_engines_agree_on_tiny_scale() {
-        // The driver asserts per-engine output lengths match implicitly by
-        // printing the last; here verify engines agree on a tiny instance.
+    fn registry_engines_agree_on_tiny_scale() {
         let r = dataset(DatasetKind::Jokes, TINY);
-        let engines = two_path_engines();
-        let reference = engines[1].join_project(&r, &r);
-        for e in &engines {
-            assert_eq!(e.join_project(&r, &r), reference, "{}", e.name());
+        let registry = default_registry(1);
+        let q = Query::two_path(&r, &r).build().unwrap();
+        let engines = registry.engines_for(&q);
+        assert!(engines.len() >= 6, "expected the full 2-path roster");
+        let mut reference: Option<Vec<(u32, u32)>> = None;
+        for e in engines {
+            let mut sink = PairSink::new();
+            e.execute(&q, &mut sink).unwrap();
+            match &reference {
+                None => reference = Some(sink.pairs),
+                Some(r0) => assert_eq!(&sink.pairs, r0, "{}", e.name()),
+            }
         }
     }
 
@@ -452,5 +535,19 @@ mod tests {
         let w = random_workload(&r, &r, 50, 1);
         let rep = simulate_batching(&r, &r, &w, 25, 1000.0, &BsiStrategy::NonMm);
         assert!(rep.machines_needed >= 1);
+    }
+
+    #[test]
+    fn plan_report_reports_thresholds_for_dense_data() {
+        let t = plan_report(TINY);
+        assert_eq!(t.rows.len(), DatasetKind::ALL.len());
+        // At least one dense dataset must take the matrix plan and report
+        // concrete thresholds.
+        assert!(
+            t.rows
+                .iter()
+                .any(|(_, cells)| cells[0] == "matrix" && cells[1] != "-"),
+            "{t:?}"
+        );
     }
 }

@@ -40,16 +40,18 @@ pub fn dataset(kind: DatasetKind, scale: f64) -> Relation {
 /// and the per-relation set count is capped so near-all-pairs outputs stay
 /// bounded (`sets^k` tuples otherwise).
 pub fn star_dataset(kind: DatasetKind, scale: f64, k: usize) -> Vec<Relation> {
-    let star_scale = if kind.is_dense() { scale * 0.12 } else { scale * 0.5 };
+    let star_scale = if kind.is_dense() {
+        scale * 0.12
+    } else {
+        scale * 0.5
+    };
     let rels = mmjoin_datagen::generate_star(kind, star_scale, SEED, k);
     if !kind.is_dense() {
         return rels;
     }
     const MAX_SETS: u32 = 150;
     rels.into_iter()
-        .map(|r| {
-            Relation::from_edges(r.edges().iter().copied().filter(|&(x, _)| x < MAX_SETS))
-        })
+        .map(|r| Relation::from_edges(r.edges().iter().copied().filter(|&(x, _)| x < MAX_SETS)))
         .collect()
 }
 

@@ -49,7 +49,11 @@ impl Table {
         for (key, cells) in &self.rows {
             out.push_str(&format!("{:<w$}  ", key, w = widths[0]));
             for (i, c) in cells.iter().enumerate() {
-                out.push_str(&format!("{:<w$}  ", c, w = widths.get(i + 1).copied().unwrap_or(8)));
+                out.push_str(&format!(
+                    "{:<w$}  ",
+                    c,
+                    w = widths.get(i + 1).copied().unwrap_or(8)
+                ));
             }
             out.push('\n');
         }

@@ -211,7 +211,11 @@ mod tests {
     #[test]
     fn empty_batch() {
         let r = rel(&[(0, 0)]);
-        for st in [BsiStrategy::PerRequest, BsiStrategy::NonMm, BsiStrategy::mm(1)] {
+        for st in [
+            BsiStrategy::PerRequest,
+            BsiStrategy::NonMm,
+            BsiStrategy::mm(1),
+        ] {
             assert!(answer_batch(&r, &r, &[], &st).is_empty());
         }
     }

@@ -116,8 +116,8 @@ pub fn simulate_queue(
         let finish = start + service[i];
         server_free[srv] = finish;
         busy += service[i];
-        for q in lo..lo + batch.len() {
-            latencies.push(finish - arrivals[q]);
+        for &arrival in &arrivals[lo..lo + batch.len()] {
+            latencies.push(finish - arrival);
         }
         let backlog = (start - ready).max(0.0);
         if backlog <= last_backlog {
@@ -214,18 +214,9 @@ mod tests {
     fn capacity_planner_finds_feasible_point() {
         let (r, w) = setup();
         // Generous target: must be satisfiable with few servers.
-        let found = min_servers_for_latency(
-            &r,
-            &r,
-            &w,
-            50,
-            1_000.0,
-            10.0,
-            4,
-            &BsiStrategy::NonMm,
-        );
+        let found = min_servers_for_latency(&r, &r, &w, 50, 1_000.0, 10.0, 4, &BsiStrategy::NonMm);
         let (servers, rep) = found.expect("10s target must be reachable");
-        assert!(servers >= 1 && servers <= 4);
+        assert!((1..=4).contains(&servers));
         assert!(rep.latency.p95 <= 10.0);
     }
 

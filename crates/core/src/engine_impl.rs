@@ -1,0 +1,249 @@
+//! [`Engine`] implementation for [`MmJoinEngine`] — the one engine that
+//! serves all four workload families through the unified front door.
+//!
+//! * **2-path** (with or without counts) — Algorithm 1 / Algorithm 3.
+//! * **Star** — the §3.2 grouped-variable generalisation.
+//! * **Similarity join** — the counting 2-path thresholded at `c` (§4).
+//! * **Containment join** — counting 2-path filtered to `count = |set(a)|`.
+//!
+//! The returned [`ExecStats`] carry the optimizer's decision: plan kind
+//! (WCOJ fallback vs matrix-partitioned), the chosen `(Δ1, Δ2)`, the heavy
+//! partition dimensions and the light tuple masses, plus the output
+//! estimate and predicted costs when the optimizer ran.
+
+use crate::star::star_join_project_mm_with_stats;
+use crate::two_path::{two_path_join_project_with_stats, two_path_with_counts_stats};
+use crate::MmJoinEngine;
+use mmjoin_api::{Engine, EngineError, ExecStats, Query, Sink};
+
+impl Engine for MmJoinEngine {
+    fn name(&self) -> &str {
+        "MMJoin"
+    }
+
+    fn supports(&self, _query: &Query<'_>) -> bool {
+        true // every workload family, with or without counts
+    }
+
+    fn execute(&self, query: &Query<'_>, sink: &mut dyn Sink) -> Result<ExecStats, EngineError> {
+        query.validate()?;
+        let config = &self.config;
+        match *query {
+            Query::TwoPath {
+                r,
+                s,
+                with_counts: false,
+                ..
+            } => {
+                sink.begin(2);
+                let (pairs, plan) = two_path_join_project_with_stats(r, s, config);
+                for &(x, z) in &pairs {
+                    sink.row(&[x, z]);
+                }
+                Ok(ExecStats {
+                    engine: Engine::name(self).to_string(),
+                    rows: pairs.len() as u64,
+                    plan,
+                })
+            }
+            Query::TwoPath {
+                r,
+                s,
+                with_counts: true,
+                min_count,
+            } => {
+                sink.begin(2);
+                let (triples, plan) = two_path_with_counts_stats(r, s, min_count, config);
+                for &(x, z, count) in &triples {
+                    sink.counted_row(&[x, z], count);
+                }
+                Ok(ExecStats {
+                    engine: Engine::name(self).to_string(),
+                    rows: triples.len() as u64,
+                    plan,
+                })
+            }
+            Query::Star { relations } => {
+                sink.begin(relations.len());
+                let (tuples, plan) = star_join_project_mm_with_stats(relations, config);
+                for t in &tuples {
+                    sink.row(t);
+                }
+                Ok(ExecStats {
+                    engine: Engine::name(self).to_string(),
+                    rows: tuples.len() as u64,
+                    plan,
+                })
+            }
+            Query::SimilarityJoin { r, c, ordered } => {
+                sink.begin(2);
+                let (triples, plan) = two_path_with_counts_stats(r, r, c, config);
+                let mut pairs: Vec<(u32, u32, u32)> =
+                    triples.into_iter().filter(|&(a, b, _)| a < b).collect();
+                if ordered {
+                    pairs.sort_unstable_by(|p, q| {
+                        q.2.cmp(&p.2).then_with(|| (p.0, p.1).cmp(&(q.0, q.1)))
+                    });
+                }
+                for &(a, b, overlap) in &pairs {
+                    if ordered {
+                        sink.counted_row(&[a, b], overlap);
+                    } else {
+                        sink.row(&[a, b]);
+                    }
+                }
+                Ok(ExecStats {
+                    engine: Engine::name(self).to_string(),
+                    rows: pairs.len() as u64,
+                    plan,
+                })
+            }
+            Query::ContainmentJoin { r } => {
+                sink.begin(2);
+                let (triples, plan) = two_path_with_counts_stats(r, r, 1, config);
+                let pairs: Vec<(u32, u32)> = triples
+                    .into_iter()
+                    .filter(|&(a, b, count)| a != b && count as usize == r.x_degree(a))
+                    .map(|(a, b, _)| (a, b))
+                    .collect();
+                for &(a, b) in &pairs {
+                    sink.row(&[a, b]);
+                }
+                Ok(ExecStats {
+                    engine: Engine::name(self).to_string(),
+                    rows: pairs.len() as u64,
+                    plan,
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::JoinConfig;
+    use crate::star::star_join_project_mm;
+    use crate::two_path::{two_path_join_project, two_path_with_counts};
+    use mmjoin_api::{CountSink, PairSink, PlanKind, VecSink};
+    use mmjoin_storage::{Relation, Value};
+
+    fn clique(sets: u32, elems: u32) -> Relation {
+        let mut edges = Vec::new();
+        for x in 0..sets {
+            for y in 0..elems {
+                edges.push((x, y));
+            }
+        }
+        Relation::from_edges(edges)
+    }
+
+    #[test]
+    fn two_path_execute_matches_free_function() {
+        let r = clique(12, 5);
+        let engine = MmJoinEngine::serial();
+        let q = Query::two_path(&r, &r).build().unwrap();
+        let mut sink = PairSink::new();
+        let stats = engine.execute(&q, &mut sink).unwrap();
+        let expected = two_path_join_project(&r, &r, &JoinConfig::default());
+        assert_eq!(sink.pairs, expected);
+        assert_eq!(stats.rows, expected.len() as u64);
+        assert_eq!(stats.engine, "MMJoin");
+    }
+
+    #[test]
+    fn exec_stats_report_thresholds_for_partitioned_plans() {
+        let r = clique(60, 4); // dense: optimizer partitions
+        let engine = MmJoinEngine::serial();
+        let q = Query::two_path(&r, &r).build().unwrap();
+        let mut sink = CountSink::new();
+        let stats = engine.execute(&q, &mut sink).unwrap();
+        let plan = stats.plan.expect("plan reported");
+        assert_eq!(plan.kind, PlanKind::MatrixPartitioned);
+        assert!(plan.delta1.is_some() && plan.delta2.is_some());
+        assert!(plan.heavy_dims.is_some());
+        assert!(plan.estimated_out.is_some());
+    }
+
+    #[test]
+    fn exec_stats_report_wcoj_for_sparse_instances() {
+        let edges: Vec<(Value, Value)> = (0..100).map(|i| (i, i)).collect();
+        let r = Relation::from_edges(edges);
+        let engine = MmJoinEngine::serial();
+        let q = Query::two_path(&r, &r).build().unwrap();
+        let mut sink = CountSink::new();
+        let stats = engine.execute(&q, &mut sink).unwrap();
+        assert_eq!(stats.plan.unwrap().kind, PlanKind::Wcoj);
+        assert_eq!(stats.rows, 100);
+    }
+
+    #[test]
+    fn delta_override_is_reported_verbatim() {
+        let r = clique(10, 4);
+        let engine = MmJoinEngine::new(JoinConfig::with_deltas(3, 5));
+        let q = Query::two_path(&r, &r).build().unwrap();
+        let mut sink = CountSink::new();
+        let plan = engine.execute(&q, &mut sink).unwrap().plan.unwrap();
+        assert_eq!((plan.delta1, plan.delta2), (Some(3), Some(5)));
+        assert!(plan.light_tuples.is_some());
+    }
+
+    #[test]
+    fn counting_query_streams_counts() {
+        let r = clique(6, 3);
+        let engine = MmJoinEngine::serial();
+        let q = Query::two_path(&r, &r).min_count(2).build().unwrap();
+        let mut sink = VecSink::new();
+        engine.execute(&q, &mut sink).unwrap();
+        let expected = two_path_with_counts(&r, &r, 2, &JoinConfig::default());
+        assert_eq!(sink.counted_pairs(), expected);
+    }
+
+    #[test]
+    fn star_execute_matches_free_function() {
+        let rels = vec![clique(8, 4), clique(7, 4), clique(6, 4)];
+        let engine = MmJoinEngine::serial();
+        let q = Query::star(&rels).build().unwrap();
+        let mut sink = VecSink::new();
+        let stats = engine.execute(&q, &mut sink).unwrap();
+        let expected = star_join_project_mm(&rels, &JoinConfig::default());
+        assert_eq!(sink.rows, expected);
+        assert_eq!(sink.arity, 3);
+        assert!(stats.plan.is_some());
+    }
+
+    #[test]
+    fn similarity_and_containment_supported() {
+        let r = Relation::from_edges([(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 9)]);
+        let engine = MmJoinEngine::serial();
+
+        let q = Query::similarity(&r, 2).build().unwrap();
+        let mut sink = PairSink::new();
+        engine.execute(&q, &mut sink).unwrap();
+        assert_eq!(sink.pairs, vec![(0, 1)]);
+
+        let q = Query::similarity(&r, 1).ordered().build().unwrap();
+        let mut sink = VecSink::new();
+        engine.execute(&q, &mut sink).unwrap();
+        let overlaps: Vec<u32> = sink.counts.clone();
+        assert!(overlaps.windows(2).all(|w| w[0] >= w[1]), "{overlaps:?}");
+
+        let sub = Relation::from_edges([(0, 5), (1, 5), (1, 6)]);
+        let q = Query::containment(&sub).build().unwrap();
+        let mut sink = PairSink::new();
+        engine.execute(&q, &mut sink).unwrap();
+        assert_eq!(sink.pairs, vec![(0, 1)]);
+    }
+
+    #[test]
+    fn invalid_queries_rejected_at_execute() {
+        let engine = MmJoinEngine::serial();
+        let rels: Vec<Relation> = Vec::new();
+        let q = Query::Star { relations: &rels };
+        let mut sink = CountSink::new();
+        assert!(matches!(
+            engine.execute(&q, &mut sink),
+            Err(EngineError::InvalidQuery(_))
+        ));
+    }
+}

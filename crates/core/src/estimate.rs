@@ -37,10 +37,7 @@ pub fn estimate_output_size(r: &Relation, s: &Relation) -> OutputEstimate {
     // |OUT⋈| ≤ N·√|OUT| gives the quadratic lower bound.
     let ratio = full_join / n;
     let lower = dom_x.max(dom_z).max(ratio.saturating_mul(ratio)).max(1);
-    let upper = dom_x
-        .saturating_mul(dom_z)
-        .min(full_join)
-        .max(lower);
+    let upper = dom_x.saturating_mul(dom_z).min(full_join).max(lower);
     let estimate = ((lower as f64) * (upper as f64)).sqrt().round() as u64;
     OutputEstimate {
         full_join,

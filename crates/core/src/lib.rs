@@ -3,7 +3,10 @@
 //!
 //! This crate implements the primary contribution of *Fast Join Project
 //! Query Evaluation using Matrix Multiplication* (Deep, Hu, Koutris —
-//! SIGMOD 2020):
+//! SIGMOD 2020) and packages it as [`MmJoinEngine`], the workspace's
+//! universal engine behind the unified [`mmjoin_api`] front door: one
+//! `Query` in, streamed rows out, [`ExecStats`](mmjoin_api::ExecStats)
+//! (plan choice, chosen `(Δ1, Δ2)`, heavy/light split) back.
 //!
 //! * [`two_path`] — Algorithm 1 for the 2-path query
 //!   `Q(x, z) = R(x, y), S(z, y)`: degree-based partitioning into light and
@@ -11,32 +14,50 @@
 //!   matrix multiplication for the heavy core. Includes the counting variant
 //!   that reports `|ys(x) ∩ ys(z)|` per output pair (the similarity joins
 //!   build on it).
-//! * [`star`] — the §3.2 generalisation to star queries `Q*_k` with grouped
-//!   variable matrices `V` and `W`.
+//! * [`star`] — the §3.2 generalisation to star queries `Q*_k`.
 //! * [`estimate`] — the §5 output-size estimator.
 //! * [`optimizer`] — Algorithm 3, the cost-based search for the degree
 //!   thresholds `Δ1, Δ2` driven by the calibrated matmul cost model.
-//! * [`MmJoinEngine`] — the packaged engine implementing the
-//!   [`TwoPathEngine`](mmjoin_baseline::TwoPathEngine) and
-//!   [`StarEngine`](mmjoin_baseline::StarEngine) traits used across the
-//!   workspace's experiments.
+//! * [`engine_impl`] — the [`Engine`](mmjoin_api::Engine) implementation
+//!   covering all four workload families (2-path, star, similarity join,
+//!   containment join).
 //!
 //! # Quick example
 //!
+//! Every workload goes through the same three steps: build a
+//! [`Query`](mmjoin_api::Query), pick an engine, execute into a
+//! [`Sink`](mmjoin_api::Sink).
+//!
 //! ```
+//! use mmjoin_api::{Engine, PairSink, Query};
 //! use mmjoin_core::{JoinConfig, MmJoinEngine};
-//! use mmjoin_baseline::TwoPathEngine;
 //! use mmjoin_storage::Relation;
 //!
 //! // Friend-of-friend pairs (Example 1 of the paper): a tiny 2-community
 //! // graph where the full join has many duplicates.
 //! let r = Relation::from_edges([(0, 0), (1, 0), (2, 0), (0, 1), (1, 1), (2, 1)]);
 //! let engine = MmJoinEngine::new(JoinConfig::default());
-//! let pairs = engine.join_project(&r, &r);
-//! assert_eq!(pairs.len(), 9); // all 3×3 pairs share a friend
+//!
+//! let query = Query::two_path(&r, &r).build()?;
+//! let mut sink = PairSink::new();
+//! let stats = engine.execute(&query, &mut sink)?;
+//! assert_eq!(sink.pairs.len(), 9); // all 3×3 pairs share a friend
+//! assert_eq!(stats.rows, 9);
+//!
+//! // The same engine answers similarity joins through the same door:
+//! let query = Query::similarity(&r, 2).build()?;
+//! let mut sink = PairSink::new();
+//! engine.execute(&query, &mut sink)?;
+//! assert_eq!(sink.pairs.len(), 3); // each pair shares both hubs
+//! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
+//!
+//! The free functions ([`two_path_join_project`], [`star_join_project_mm`],
+//! …) remain available for callers that want the raw algorithms without
+//! the engine layer.
 
 pub mod config;
+pub mod engine_impl;
 pub mod estimate;
 pub mod optimizer;
 pub mod star;
@@ -45,14 +66,21 @@ pub mod two_path;
 pub use config::{HeavyBackend, JoinConfig};
 pub use estimate::{estimate_output_size, OutputEstimate};
 pub use optimizer::{choose_thresholds, ExecutionPlan, PlanChoice};
-pub use star::star_join_project_mm;
-pub use two_path::{two_path_join_project, two_path_with_counts};
+pub use star::{star_join_project_mm, star_join_project_mm_with_stats};
+pub use two_path::{
+    two_path_join_project, two_path_join_project_with_stats, two_path_with_counts,
+    two_path_with_counts_stats,
+};
 
 use mmjoin_baseline::{StarEngine, TwoPathEngine};
 use mmjoin_storage::{Relation, Value};
 
-/// The packaged MMJoin engine: Algorithm 1 + Algorithm 3 behind the common
-/// engine traits.
+/// The packaged MMJoin engine: Algorithm 1 + Algorithm 3 behind the
+/// unified [`Engine`](mmjoin_api::Engine) trait (see [`engine_impl`]).
+///
+/// Execution configuration — threads, cost model, threshold overrides —
+/// lives here, not in the query; the same engine value serves every
+/// workload family.
 #[derive(Debug, Clone, Default)]
 pub struct MmJoinEngine {
     /// Execution configuration (threads, cost model, overrides).
@@ -79,6 +107,9 @@ impl MmJoinEngine {
     }
 }
 
+/// Transitional shim: prefer [`mmjoin_api::Engine`] with
+/// [`Query::two_path`](mmjoin_api::Query::two_path). Kept while downstream
+/// call sites migrate.
 impl TwoPathEngine for MmJoinEngine {
     fn name(&self) -> &'static str {
         "MMJoin"
@@ -89,6 +120,8 @@ impl TwoPathEngine for MmJoinEngine {
     }
 }
 
+/// Transitional shim: prefer [`mmjoin_api::Engine`] with
+/// [`Query::star`](mmjoin_api::Query::star).
 impl StarEngine for MmJoinEngine {
     fn name(&self) -> &'static str {
         "MMJoin"

@@ -20,42 +20,59 @@
 //! otherwise every head is heavy and `y` is heavy in ≥ 2 relations — step 3.
 
 use crate::config::JoinConfig;
-use crate::two_path::two_path_join_project;
+use mmjoin_api::PlanStats;
 use mmjoin_matrix::{matmul_parallel, DenseMatrix};
 use mmjoin_storage::{Relation, RelationBuilder, Value};
-use mmjoin_wcoj::{full_join_count, star_full_join_for_each, star_join_project, ProjectionAccumulator};
+use mmjoin_wcoj::{
+    full_join_count, star_full_join_for_each, star_join_project, ProjectionAccumulator,
+};
 use std::collections::HashMap;
 
 /// Evaluates `π_{x1..xk}(R1 ⋈ … ⋈ Rk)` with the §3.2 algorithm, returning
 /// sorted distinct tuples.
 pub fn star_join_project_mm(relations: &[Relation], config: &JoinConfig) -> Vec<Vec<Value>> {
-    assert!(!relations.is_empty(), "star query needs at least one relation");
+    star_join_project_mm_with_stats(relations, config).0
+}
+
+/// [`star_join_project_mm`] plus the plan record of the run — the same
+/// single decision sequence feeds both execution and the statistics, so
+/// the reported thresholds are exactly the ones used (degenerate inputs
+/// report no plan).
+pub fn star_join_project_mm_with_stats(
+    relations: &[Relation],
+    config: &JoinConfig,
+) -> (Vec<Vec<Value>>, Option<PlanStats>) {
+    assert!(
+        !relations.is_empty(),
+        "star query needs at least one relation"
+    );
     if relations.iter().any(|r| r.is_empty()) {
-        return Vec::new();
+        return (Vec::new(), None);
     }
     if relations.len() == 1 {
-        return relations[0]
+        let out = relations[0]
             .by_x()
             .iter_nonempty()
             .map(|(x, _)| vec![x])
             .collect();
+        return (out, Some(PlanStats::wcoj()));
     }
     if relations.len() == 2 {
-        return two_path_join_project(&relations[0], &relations[1], config)
-            .into_iter()
-            .map(|(x, z)| vec![x, z])
-            .collect();
+        let (pairs, stats) =
+            crate::two_path::two_path_join_project_with_stats(&relations[0], &relations[1], config);
+        let out = pairs.into_iter().map(|(x, z)| vec![x, z]).collect();
+        return (out, stats);
     }
 
     let reduced = Relation::reduce_star(relations);
     if reduced.iter().any(|r| r.is_empty()) {
-        return Vec::new();
+        return (Vec::new(), None);
     }
     let n = reduced.iter().map(|r| r.len()).max().unwrap() as u64;
     let full = full_join_count(&reduced);
     // Algorithm 3 line 2, star flavour: join already output-like.
     if config.delta_override.is_none() && full <= (config.wcoj_fallback_factor * n as f64) as u64 {
-        return star_join_project(&reduced);
+        return (star_join_project(&reduced), Some(PlanStats::wcoj()));
     }
 
     let (delta1, delta2) = match config.delta_override {
@@ -66,24 +83,17 @@ pub fn star_join_project_mm(relations: &[Relation], config: &JoinConfig) -> Vec<
     let mut acc = ProjectionAccumulator::new(reduced.len());
     light_steps(&reduced, delta1, delta2, &mut acc);
     heavy_step(&reduced, delta1, delta2, config, &mut acc);
-    acc.finish()
+    (acc.finish(), Some(PlanStats::partitioned(delta1, delta2)))
 }
 
 /// Steps 1–2: for each `j`, join with `R⁻j` (light heads) and `R⋄j`
 /// (`y` light everywhere else) substituted.
-fn light_steps(
-    relations: &[Relation],
-    delta1: u32,
-    delta2: u32,
-    acc: &mut ProjectionAccumulator,
-) {
+fn light_steps(relations: &[Relation], delta1: u32, delta2: u32, acc: &mut ProjectionAccumulator) {
     let k = relations.len();
     for j in 0..k {
         // R⁻j: light head.
-        let mut minus = RelationBuilder::with_domains(
-            relations[j].x_domain(),
-            relations[j].y_domain(),
-        );
+        let mut minus =
+            RelationBuilder::with_domains(relations[j].x_domain(), relations[j].y_domain());
         for &(x, y) in relations[j].edges() {
             if relations[j].x_degree(x) <= delta2 as usize {
                 minus.push(x, y);
@@ -92,15 +102,11 @@ fn light_steps(
         run_substituted(relations, j, minus.build(), acc);
 
         // R⋄j: y light in all other relations.
-        let mut diamond = RelationBuilder::with_domains(
-            relations[j].x_domain(),
-            relations[j].y_domain(),
-        );
+        let mut diamond =
+            RelationBuilder::with_domains(relations[j].x_domain(), relations[j].y_domain());
         for &(x, y) in relations[j].edges() {
             let light_elsewhere = relations.iter().enumerate().all(|(i, ri)| {
-                i == j
-                    || (y as usize) >= ri.y_domain()
-                    || ri.y_degree(y) <= delta1 as usize
+                i == j || (y as usize) >= ri.y_domain() || ri.y_degree(y) <= delta1 as usize
             });
             if light_elsewhere {
                 diamond.push(x, y);
@@ -201,8 +207,14 @@ fn heavy_step(
     let mut entries_a: Vec<(usize, usize)> = Vec::new(); // (row, y-col)
     let mut entries_b: Vec<(usize, usize)> = Vec::new();
     for (col, &y) in heavy_y.iter().enumerate() {
-        let lists_a: Vec<Vec<Value>> = relations[..split].iter().map(|r| heavy_list(r, y)).collect();
-        let lists_b: Vec<Vec<Value>> = relations[split..].iter().map(|r| heavy_list(r, y)).collect();
+        let lists_a: Vec<Vec<Value>> = relations[..split]
+            .iter()
+            .map(|r| heavy_list(r, y))
+            .collect();
+        let lists_b: Vec<Vec<Value>> = relations[split..]
+            .iter()
+            .map(|r| heavy_list(r, y))
+            .collect();
         if lists_a.iter().any(|l| l.is_empty()) || lists_b.iter().any(|l| l.is_empty()) {
             continue;
         }
@@ -339,7 +351,7 @@ fn star_plan_cost(relations: &[Relation], delta: u32, cores: usize, config: &Joi
     let mut heavy_cols = 0usize;
     for y in 0..ydom {
         let degs: Vec<f64> = (0..k).map(|i| deg[i][y]).collect();
-        if degs.iter().any(|&d| d == 0.0) {
+        if degs.contains(&0.0) {
             continue;
         }
         let product: f64 = degs.iter().product();
@@ -410,11 +422,7 @@ mod tests {
         let expected = star_join_project(&rels);
         for (d1, d2) in [(1, 1), (2, 2), (1, 3), (4, 2), (50, 50)] {
             let cfg = JoinConfig::with_deltas(d1, d2);
-            assert_eq!(
-                star_join_project_mm(&rels, &cfg),
-                expected,
-                "Δ=({d1},{d2})"
-            );
+            assert_eq!(star_join_project_mm(&rels, &cfg), expected, "Δ=({d1},{d2})");
         }
     }
 
@@ -445,7 +453,7 @@ mod tests {
     #[test]
     fn k1_and_k2_delegate() {
         let r = rel(&[(0, 0), (1, 0), (5, 1)]);
-        let out1 = star_join_project_mm(&[r.clone()], &JoinConfig::default());
+        let out1 = star_join_project_mm(std::slice::from_ref(&r), &JoinConfig::default());
         assert_eq!(out1, vec![vec![0], vec![1], vec![5]]);
         let out2 = star_join_project_mm(&[r.clone(), r.clone()], &JoinConfig::default());
         assert_eq!(out2, star_join_project(&[r.clone(), r]));

@@ -26,6 +26,7 @@
 
 use crate::config::{HeavyBackend, JoinConfig};
 use crate::optimizer::{choose_thresholds, PlanChoice};
+use mmjoin_api::PlanStats;
 use mmjoin_baseline::nonmm::ExpandDedupEngine;
 use mmjoin_baseline::TwoPathEngine;
 use mmjoin_matrix::{matmul_parallel, BitMatrix, CsrMatrix, DenseMatrix};
@@ -37,22 +38,38 @@ pub fn two_path_join_project(
     s: &Relation,
     config: &JoinConfig,
 ) -> Vec<(Value, Value)> {
+    two_path_join_project_with_stats(r, s, config).0
+}
+
+/// [`two_path_join_project`] plus the plan record of the run — a single
+/// planning pass feeds both execution and the returned
+/// [`PlanStats`], so the statistics describe exactly what ran (empty
+/// inputs report no plan).
+pub fn two_path_join_project_with_stats(
+    r: &Relation,
+    s: &Relation,
+    config: &JoinConfig,
+) -> (Vec<(Value, Value)>, Option<PlanStats>) {
     if r.is_empty() || s.is_empty() {
-        return Vec::new();
+        return (Vec::new(), None);
     }
-    let (delta1, delta2) = match resolve_plan(r, s, config) {
-        Resolved::Wcoj => {
-            return ExpandDedupEngine::parallel(config.threads).join_project(r, s);
+    let (delta1, delta2, mut stats) = match resolve_plan(r, s, config) {
+        Resolved::Wcoj(stats) => {
+            let out = ExpandDedupEngine::parallel(config.threads).join_project(r, s);
+            return (out, Some(stats));
         }
-        Resolved::Mm(d1, d2) => (d1, d2),
+        Resolved::Mm(d1, d2, stats) => (d1, d2, stats),
     };
 
     let heavy = HeavyIndex::build(r, s, delta1, delta2);
+    record_partition(&mut stats, r, s, &heavy);
+    let use_matrix = !heavy.is_degenerate() && heavy.cells() <= config.matrix_cell_cap;
+    stats.heavy_core_matrix = Some(use_matrix);
     let mut out = light_passes(r, s, delta1, delta2, config.threads);
 
     if heavy.is_degenerate() {
         // No heavy core: light passes already cover everything.
-    } else if heavy.cells() > config.matrix_cell_cap {
+    } else if !use_matrix {
         // Memory guard: heavy core evaluated combinatorially.
         heavy_expansion_fallback(r, s, &heavy, &mut out);
     } else {
@@ -83,7 +100,7 @@ pub fn two_path_join_project(
 
     out.sort_unstable();
     out.dedup();
-    out
+    (out, Some(stats))
 }
 
 /// Evaluates the 2-path query with exact per-pair witness counts,
@@ -94,12 +111,24 @@ pub fn two_path_with_counts(
     min_count: u32,
     config: &JoinConfig,
 ) -> Vec<(Value, Value, u32)> {
+    two_path_with_counts_stats(r, s, min_count, config).0
+}
+
+/// [`two_path_with_counts`] plus the plan record of the run (see
+/// [`two_path_join_project_with_stats`]).
+pub fn two_path_with_counts_stats(
+    r: &Relation,
+    s: &Relation,
+    min_count: u32,
+    config: &JoinConfig,
+) -> (Vec<(Value, Value, u32)>, Option<PlanStats>) {
     if r.is_empty() || s.is_empty() {
-        return Vec::new();
+        return (Vec::new(), None);
     }
-    let (delta1, delta2) = match resolve_plan(r, s, config) {
-        Resolved::Wcoj => (u32::MAX, u32::MAX), // everything light: pure expansion
-        Resolved::Mm(d1, d2) => (d1, d2),
+    let (delta1, delta2, mut stats) = match resolve_plan(r, s, config) {
+        // Everything light: pure expansion.
+        Resolved::Wcoj(stats) => (u32::MAX, u32::MAX, stats),
+        Resolved::Mm(d1, d2, stats) => (d1, d2, stats),
     };
 
     let heavy = if delta1 == u32::MAX {
@@ -109,6 +138,10 @@ pub fn two_path_with_counts(
     };
 
     let use_matrix = !heavy.is_degenerate() && heavy.cells() <= config.matrix_cell_cap;
+    if delta1 != u32::MAX {
+        record_partition(&mut stats, r, s, &heavy);
+        stats.heavy_core_matrix = Some(use_matrix);
+    }
     let prod = if use_matrix {
         let (m1, m2) = heavy.build_dense_matrices(r, s);
         Some(matmul_parallel(&m1, &m2, config.threads.max(1)))
@@ -118,22 +151,49 @@ pub fn two_path_with_counts(
 
     let mut out = count_passes(r, s, delta2, min_count, &heavy, prod.as_ref(), config);
     out.sort_unstable();
-    out
+    (out, Some(stats))
 }
 
 enum Resolved {
-    Wcoj,
-    Mm(u32, u32),
+    Wcoj(PlanStats),
+    Mm(u32, u32, PlanStats),
 }
 
+/// One planning pass: threshold override, or Algorithm 3 — whose decision
+/// record is folded into the nascent [`PlanStats`] so nothing is computed
+/// twice.
 fn resolve_plan(r: &Relation, s: &Relation, config: &JoinConfig) -> Resolved {
     if let Some((d1, d2)) = config.delta_override {
-        return Resolved::Mm(d1, d2);
+        return Resolved::Mm(d1, d2, PlanStats::partitioned(d1, d2));
     }
-    match choose_thresholds(r, s, config).choice {
-        PlanChoice::Wcoj => Resolved::Wcoj,
-        PlanChoice::Mm { delta1, delta2 } => Resolved::Mm(delta1, delta2),
+    let plan = choose_thresholds(r, s, config);
+    match plan.choice {
+        PlanChoice::Wcoj => {
+            let mut stats = PlanStats::wcoj();
+            stats.estimated_out = Some(plan.estimate.estimate);
+            Resolved::Wcoj(stats)
+        }
+        PlanChoice::Mm { delta1, delta2 } => {
+            let mut stats = PlanStats::partitioned(delta1, delta2);
+            stats.estimated_out = Some(plan.estimate.estimate);
+            stats.predicted_light_secs = Some(plan.predicted_light);
+            stats.predicted_heavy_secs = Some(plan.predicted_heavy);
+            Resolved::Mm(delta1, delta2, stats)
+        }
     }
+}
+
+/// Records the true (adjacency-pruned) partition shape: the heavy
+/// factor-matrix dimensions and the tuple mass left to the light passes.
+fn record_partition(stats: &mut PlanStats, r: &Relation, s: &Relation, heavy: &HeavyIndex) {
+    stats.heavy_dims = Some((
+        heavy.heavy_x.len(),
+        heavy.heavy_y.len(),
+        heavy.heavy_z.len(),
+    ));
+    let heavy_r: u64 = heavy.heavy_x.iter().map(|&x| r.x_degree(x) as u64).sum();
+    let heavy_s: u64 = heavy.heavy_z.iter().map(|&z| s.x_degree(z) as u64).sum();
+    stats.light_tuples = Some((r.len() as u64 - heavy_r, s.len() as u64 - heavy_s));
 }
 
 /// Index of heavy values and their dense matrix coordinates.
@@ -181,7 +241,9 @@ impl HeavyIndex {
         let mut heavy_x = Vec::new();
         for (x, ys) in r.by_x().iter_nonempty() {
             if ys.len() > delta2 as usize
-                && ys.iter().any(|&y| y_col.get(y as usize).is_some_and(|&c| c >= 0))
+                && ys
+                    .iter()
+                    .any(|&y| y_col.get(y as usize).is_some_and(|&c| c >= 0))
             {
                 x_row[x as usize] = heavy_x.len() as i32;
                 heavy_x.push(x);
@@ -191,7 +253,9 @@ impl HeavyIndex {
         let mut heavy_z = Vec::new();
         for (z, ys) in s.by_x().iter_nonempty() {
             if ys.len() > delta2 as usize
-                && ys.iter().any(|&y| y_col.get(y as usize).is_some_and(|&c| c >= 0))
+                && ys
+                    .iter()
+                    .any(|&y| y_col.get(y as usize).is_some_and(|&c| c >= 0))
             {
                 z_col[z as usize] = heavy_z.len() as i32;
                 heavy_z.push(z);
@@ -267,12 +331,7 @@ impl HeavyIndex {
                 let nnz: usize = self
                     .heavy_x
                     .iter()
-                    .map(|&x| {
-                        r.ys_of(x)
-                            .iter()
-                            .filter(|&&y| self.y_is_heavy(y))
-                            .count()
-                    })
+                    .map(|&x| r.ys_of(x).iter().filter(|&&y| self.y_is_heavy(y)).count())
                     .sum();
                 if (nnz as f64) / (cells as f64) < 0.02 {
                     HeavyBackend::Sparse
@@ -753,7 +812,11 @@ mod tests {
                 delta_override: Some((3, 3)),
                 ..JoinConfig::default()
             };
-            assert_eq!(two_path_join_project(&r, &r, &cfg), serial, "threads={threads}");
+            assert_eq!(
+                two_path_join_project(&r, &r, &cfg),
+                serial,
+                "threads={threads}"
+            );
         }
     }
 
@@ -771,15 +834,7 @@ mod tests {
     #[test]
     fn counts_min_count_filters() {
         // (0,1) share 3 elements; (0,2) share 1.
-        let r = rel(&[
-            (0, 0),
-            (0, 1),
-            (0, 2),
-            (1, 0),
-            (1, 1),
-            (1, 2),
-            (2, 2),
-        ]);
+        let r = rel(&[(0, 0), (0, 1), (0, 2), (1, 0), (1, 1), (1, 2), (2, 2)]);
         let got = two_path_with_counts(&r, &r, 3, &JoinConfig::with_deltas(1, 1));
         let pairs: Vec<(Value, Value)> = got.iter().map(|&(x, z, _)| (x, z)).collect();
         assert_eq!(pairs, vec![(0, 0), (0, 1), (1, 0), (1, 1)]);

@@ -58,7 +58,7 @@ pub fn generate_from_spec(spec: &DatasetSpec, seed: u64) -> Relation {
 /// experiments (each relation gets an independent sub-seed).
 pub fn generate_star(kind: DatasetKind, scale: f64, seed: u64, k: usize) -> Vec<Relation> {
     (0..k)
-        .map(|i| generate(kind, scale, seed.wrapping_add(i as u64 * 0x51_7c_c1b7)))
+        .map(|i| generate(kind, scale, seed.wrapping_add(i as u64 * 0x517c_c1b7)))
         .collect()
 }
 
@@ -67,7 +67,8 @@ pub fn generate_star(kind: DatasetKind, scale: f64, seed: u64, k: usize) -> Vec<
 fn gen_roadnet(spec: &DatasetSpec, rng: &mut StdRng, b: &mut RelationBuilder) {
     for x in 0..spec.num_sets {
         // Degrees 1..=4 with mean ≈ 1.5 (geometric-ish).
-        let d = 1 + (rng.gen_range(0..8) == 0) as usize
+        let d = 1
+            + (rng.gen_range(0..8) == 0) as usize
             + (rng.gen_range(0..4) == 0) as usize
             + (rng.gen_range(0..4) == 0) as usize;
         let d = d.clamp(spec.min_set, spec.max_set);

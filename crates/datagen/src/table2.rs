@@ -55,7 +55,12 @@ impl Table2Row {
     pub fn format_row(&self) -> String {
         format!(
             "{:<10} {:>10} {:>10} {:>10} {:>12.1} {:>8} {:>8}",
-            self.name, self.tuples, self.num_sets, self.domain, self.avg_set, self.min_set,
+            self.name,
+            self.tuples,
+            self.num_sets,
+            self.domain,
+            self.avg_set,
+            self.min_set,
             self.max_set
         )
     }

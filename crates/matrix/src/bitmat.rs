@@ -96,9 +96,10 @@ impl BitMatrix {
     /// Iterator over set bit coordinates `(row, col)`.
     pub fn iter_ones(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
         (0..self.rows).flat_map(move |i| {
-            self.row_words(i).iter().enumerate().flat_map(move |(wk, &w)| {
-                BitIter(w).map(move |b| (i, wk * 64 + b))
-            })
+            self.row_words(i)
+                .iter()
+                .enumerate()
+                .flat_map(move |(wk, &w)| BitIter(w).map(move |b| (i, wk * 64 + b)))
         })
     }
 

@@ -141,8 +141,10 @@ impl CostModel {
         let mut samples = Vec::new();
         for &cores in core_counts {
             for &p in sizes {
-                let a = DenseMatrix::from_fn(p, p, |i, j| ((i * 31 + j * 17) % 7 == 0) as u8 as f32);
-                let b = DenseMatrix::from_fn(p, p, |i, j| ((i * 13 + j * 29) % 5 == 0) as u8 as f32);
+                let a =
+                    DenseMatrix::from_fn(p, p, |i, j| ((i * 31 + j * 17) % 7 == 0) as u8 as f32);
+                let b =
+                    DenseMatrix::from_fn(p, p, |i, j| ((i * 13 + j * 29) % 5 == 0) as u8 as f32);
                 let t0 = Instant::now();
                 let c = matmul_parallel(&a, &b, cores);
                 let seconds = t0.elapsed().as_secs_f64().max(1e-9);
@@ -233,9 +235,21 @@ mod tests {
     fn flat_model() -> CostModel {
         CostModel::from_samples(
             vec![
-                Sample { p: 100, cores: 1, seconds: 1.0 },
-                Sample { p: 200, cores: 1, seconds: 8.0 },
-                Sample { p: 100, cores: 4, seconds: 0.3 },
+                Sample {
+                    p: 100,
+                    cores: 1,
+                    seconds: 1.0,
+                },
+                Sample {
+                    p: 200,
+                    cores: 1,
+                    seconds: 8.0,
+                },
+                Sample {
+                    p: 100,
+                    cores: 4,
+                    seconds: 0.3,
+                },
             ],
             SystemConstants::default(),
         )

@@ -138,9 +138,11 @@ impl DenseMatrix {
         &self,
         threshold: f32,
     ) -> impl Iterator<Item = (usize, usize, f32)> + '_ {
-        self.data.iter().enumerate().filter_map(move |(idx, &v)| {
-            (v >= threshold).then(|| (idx / self.cols, idx % self.cols, v))
-        })
+        self.data
+            .iter()
+            .enumerate()
+            .filter(move |&(_, &v)| v >= threshold)
+            .map(move |(idx, &v)| (idx / self.cols, idx % self.cols, v))
     }
 
     /// Frobenius-style total (sum of all entries); for a 0/1 product matrix

@@ -54,7 +54,15 @@ pub fn matmul_into(a: &DenseMatrix, b: &DenseMatrix, c: &mut DenseMatrix) {
 
 /// GEMM over rows `[row_lo, row_hi)` of A/C. `a`, `b`, `c` are row-major
 /// flat buffers of an m×k, k×n and m×n matrix respectively.
-fn band_kernel(a: &[f32], b: &[f32], c: &mut [f32], row_lo: usize, row_hi: usize, k: usize, n: usize) {
+fn band_kernel(
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    row_lo: usize,
+    row_hi: usize,
+    k: usize,
+    n: usize,
+) {
     for kb in (0..k).step_by(KC) {
         let k_end = (kb + KC).min(k);
         for jb in (0..n).step_by(NC) {
@@ -161,13 +169,17 @@ mod tests {
     use rand::{Rng, SeedableRng};
 
     fn random_matrix(rng: &mut StdRng, rows: usize, cols: usize, density: f64) -> DenseMatrix {
-        DenseMatrix::from_fn(rows, cols, |_, _| {
-            if rng.gen_bool(density) {
-                1.0
-            } else {
-                0.0
-            }
-        })
+        DenseMatrix::from_fn(
+            rows,
+            cols,
+            |_, _| {
+                if rng.gen_bool(density) {
+                    1.0
+                } else {
+                    0.0
+                }
+            },
+        )
     }
 
     #[test]
@@ -204,7 +216,11 @@ mod tests {
         let b = random_matrix(&mut rng, 61, 143, 0.25);
         let serial = matmul(&a, &b);
         for threads in [1, 2, 3, 4, 8, 97, 200] {
-            assert_eq!(matmul_parallel(&a, &b, threads), serial, "threads={threads}");
+            assert_eq!(
+                matmul_parallel(&a, &b, threads),
+                serial,
+                "threads={threads}"
+            );
         }
     }
 

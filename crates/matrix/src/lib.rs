@@ -28,5 +28,5 @@ pub mod strassen;
 pub use bitmat::BitMatrix;
 pub use cost::CostModel;
 pub use dense::DenseMatrix;
-pub use sparse::CsrMatrix;
 pub use gemm::{matmul, matmul_into, matmul_parallel};
+pub use sparse::CsrMatrix;

@@ -31,7 +31,10 @@ impl CsrMatrix {
     pub fn from_pairs(rows: usize, cols: usize, pairs: &[(u32, u32)]) -> Self {
         let mut counts = vec![0usize; rows + 1];
         for &(r, c) in pairs {
-            assert!((r as usize) < rows && (c as usize) < cols, "entry out of bounds");
+            assert!(
+                (r as usize) < rows && (c as usize) < cols,
+                "entry out of bounds"
+            );
             counts[r as usize + 1] += 1;
         }
         for i in 0..rows {
@@ -112,7 +115,11 @@ impl CsrMatrix {
         self.indices[self.indptr[i]..self.indptr[i + 1]]
             .iter()
             .copied()
-            .zip(self.values[self.indptr[i]..self.indptr[i + 1]].iter().copied())
+            .zip(
+                self.values[self.indptr[i]..self.indptr[i + 1]]
+                    .iter()
+                    .copied(),
+            )
     }
 
     /// Row-wise Gustavson SpGEMM: `self · other`, counts accumulated.
@@ -202,12 +209,20 @@ mod tests {
     #[test]
     fn spgemm_matches_dense_gemm() {
         let mut rng = StdRng::seed_from_u64(5);
-        for &(m, k, n, d) in &[(20usize, 30usize, 25usize, 0.2), (50, 10, 50, 0.5), (7, 7, 7, 1.0)] {
+        for &(m, k, n, d) in &[
+            (20usize, 30usize, 25usize, 0.2),
+            (50, 10, 50, 0.5),
+            (7, 7, 7, 1.0),
+        ] {
             let a = random_sparse(&mut rng, m, k, d);
             let b = random_sparse(&mut rng, k, n, d);
             let sa = CsrMatrix::from_dense(&a);
             let sb = CsrMatrix::from_dense(&b);
-            assert_eq!(sa.spgemm(&sb).to_dense(), matmul(&a, &b), "({m},{k},{n},{d})");
+            assert_eq!(
+                sa.spgemm(&sb).to_dense(),
+                matmul(&a, &b),
+                "({m},{k},{n},{d})"
+            );
         }
     }
 

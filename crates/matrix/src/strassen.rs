@@ -29,7 +29,11 @@ pub fn strassen(a: &DenseMatrix, b: &DenseMatrix, cutoff: usize) -> DenseMatrix 
         return matmul(a, b);
     }
     // Pad all dims to even.
-    let (m2, k2, n2) = (m.next_multiple_of(2), k.next_multiple_of(2), n.next_multiple_of(2));
+    let (m2, k2, n2) = (
+        m.next_multiple_of(2),
+        k.next_multiple_of(2),
+        n.next_multiple_of(2),
+    );
     let ap = pad(a, m2, k2);
     let bp = pad(b, k2, n2);
     let cp = strassen_even(&ap, &bp, cutoff);

@@ -1,0 +1,181 @@
+//! `mmjoin` — the workspace facade: one import, one front door.
+//!
+//! Re-exports the unified query API ([`Query`], [`Engine`], [`Sink`],
+//! [`EngineRegistry`], the stock sinks) together with the storage and
+//! configuration types callers need, and assembles the
+//! [`default_registry`] containing every engine in the workspace:
+//!
+//! | name | families |
+//! |------|----------|
+//! | `MMJoin` | 2-path (± counts), star, similarity, containment |
+//! | `Non-MMJoin` | 2-path, star |
+//! | `WCOJ` | 2-path, star |
+//! | `HashJoin(Postgres)` | 2-path |
+//! | `MergeJoin(MySQL)` | 2-path |
+//! | `SystemX` | 2-path |
+//! | `SetIntersect(EmptyHeaded)` | 2-path |
+//! | `HashJoin(DBMS)` | star |
+//! | `SortDedup(reference)` | star |
+//! | `SizeAware` | similarity |
+//! | `SizeAware++` | similarity |
+//! | `PRETTI` | containment |
+//! | `LIMIT+` | containment |
+//! | `PIEJoin` | containment |
+//!
+//! ```
+//! use mmjoin::{default_registry, PairSink, Query, Relation};
+//!
+//! let r = Relation::from_edges([(0, 0), (1, 0), (2, 1)]);
+//! let registry = default_registry(1);
+//! let query = Query::two_path(&r, &r).build()?;
+//!
+//! // Run one engine by name…
+//! let mut sink = PairSink::new();
+//! let stats = registry.execute("MMJoin", &query, &mut sink)?;
+//! assert_eq!(stats.rows, 5);
+//!
+//! // …or every engine that supports the query, with no hard-coded list.
+//! for engine in registry.engines_for(&query) {
+//!     let mut sink = PairSink::new();
+//!     engine.execute(&query, &mut sink)?;
+//!     assert_eq!(sink.pairs.len(), 5, "{} disagrees", engine.name());
+//! }
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub use mmjoin_api::{
+    CountSink, Engine, EngineError, EngineRegistry, ExecStats, ForEachSink, PairSink, PlanKind,
+    PlanStats, Query, QueryError, QueryFamily, Sink, VecSink,
+};
+pub use mmjoin_core::{HeavyBackend, JoinConfig, MmJoinEngine};
+pub use mmjoin_storage::{Relation, RelationBuilder, Value};
+
+use mmjoin_baseline::fulljoin::{HashJoinEngine, SortMergeEngine, SystemXEngine};
+use mmjoin_baseline::nonmm::ExpandDedupEngine;
+use mmjoin_baseline::setintersect::SetIntersectEngine;
+use mmjoin_baseline::star::{HashDedupStarEngine, SortDedupStarEngine};
+use mmjoin_scj::{ContainmentEngine, ScjAlgorithm};
+use mmjoin_ssj::{SimilarityEngine, SsjAlgorithm};
+use mmjoin_wcoj::WcojEngine;
+
+/// The full engine roster on `threads` workers (engines without a
+/// parallelism knob ignore it). MMJoin is registered first so it leads
+/// every enumeration.
+pub fn default_registry(threads: usize) -> EngineRegistry {
+    let config = JoinConfig {
+        threads: threads.max(1),
+        ..JoinConfig::default()
+    };
+    registry_with_config(&config)
+}
+
+/// The full engine roster, every configurable engine sharing `config` —
+/// the single object that governs parallelism and all other execution
+/// knobs.
+pub fn registry_with_config(config: &JoinConfig) -> EngineRegistry {
+    let mut registry = EngineRegistry::new();
+    registry
+        .register(Box::new(MmJoinEngine::new(config.clone())))
+        .register(Box::new(ExpandDedupEngine::parallel(config.threads)))
+        .register(Box::new(WcojEngine))
+        .register(Box::new(HashJoinEngine))
+        .register(Box::new(SortMergeEngine))
+        .register(Box::new(SystemXEngine))
+        .register(Box::new(SetIntersectEngine))
+        .register(Box::new(HashDedupStarEngine))
+        .register(Box::new(SortDedupStarEngine))
+        .register(Box::new(SimilarityEngine::new(
+            SsjAlgorithm::SizeAware,
+            config.clone(),
+        )))
+        .register(Box::new(SimilarityEngine::new(
+            SsjAlgorithm::SizeAwarePP(mmjoin_ssj::SizeAwarePPOpts::all()),
+            config.clone(),
+        )))
+        .register(Box::new(ContainmentEngine::new(
+            ScjAlgorithm::Pretti,
+            config.clone(),
+        )))
+        .register(Box::new(ContainmentEngine::new(
+            ScjAlgorithm::LimitPlus { limit: 2 },
+            config.clone(),
+        )))
+        .register(Box::new(ContainmentEngine::new(
+            ScjAlgorithm::PieJoin,
+            config.clone(),
+        )));
+    registry
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rel(edges: &[(Value, Value)]) -> Relation {
+        Relation::from_edges(edges.iter().copied())
+    }
+
+    #[test]
+    fn default_registry_covers_all_families() {
+        let registry = default_registry(1);
+        let r = rel(&[(0, 0), (1, 0)]);
+        let rels = vec![r.clone(), r.clone()];
+        let queries = [
+            Query::two_path(&r, &r).build().unwrap(),
+            Query::star(&rels).build().unwrap(),
+            Query::similarity(&r, 1).build().unwrap(),
+            Query::containment(&r).build().unwrap(),
+        ];
+        for q in &queries {
+            let engines = registry.engines_for(q);
+            assert!(
+                engines.len() >= 2,
+                "{:?} should have multiple engines, got {:?}",
+                q.family(),
+                engines.iter().map(|e| e.name()).collect::<Vec<_>>()
+            );
+            assert_eq!(engines[0].name(), "MMJoin", "MMJoin leads every family");
+        }
+    }
+
+    #[test]
+    fn every_engine_answers_its_families_consistently() {
+        let r = rel(&[(0, 0), (0, 1), (1, 0), (2, 1), (2, 0), (3, 2)]);
+        let registry = default_registry(2);
+        let q = Query::two_path(&r, &r).build().unwrap();
+        let engines = registry.engines_for(&q);
+        let mut reference: Option<Vec<(Value, Value)>> = None;
+        for e in engines {
+            let mut sink = PairSink::new();
+            e.execute(&q, &mut sink).unwrap();
+            match &reference {
+                None => reference = Some(sink.pairs),
+                Some(r0) => assert_eq!(&sink.pairs, r0, "{} disagrees", e.name()),
+            }
+        }
+    }
+
+    #[test]
+    fn expected_names_present() {
+        let registry = default_registry(1);
+        for name in [
+            "MMJoin",
+            "Non-MMJoin",
+            "WCOJ",
+            "HashJoin(Postgres)",
+            "MergeJoin(MySQL)",
+            "SystemX",
+            "SetIntersect(EmptyHeaded)",
+            "HashJoin(DBMS)",
+            "SortDedup(reference)",
+            "SizeAware",
+            "SizeAware++",
+            "PRETTI",
+            "LIMIT+",
+            "PIEJoin",
+        ] {
+            assert!(registry.get(name).is_some(), "missing engine {name}");
+        }
+        assert_eq!(registry.len(), 14);
+    }
+}

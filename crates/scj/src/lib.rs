@@ -3,7 +3,9 @@
 //! Given sets encoded as `R(x, y)` ("set `x` contains element `y`"), the SCJ
 //! reports all ordered pairs `(a, b)`, `a ≠ b`, with `set(a) ⊆ set(b)`.
 //!
-//! Four algorithms:
+//! Four algorithms, each packaged as a [`ContainmentEngine`] behind the
+//! unified [`Engine`](mmjoin_api::Engine) front door
+//! (`Query::containment(&r)`):
 //!
 //! * [`ScjAlgorithm::Pretti`] — PRETTI-style inverted-list join: the
 //!   supersets of `a` are exactly `⋂_{e ∈ a} L[e]`, computed with the k-way
@@ -16,17 +18,24 @@
 //!   sets (global infrequent-first element order) searched per probe set;
 //!   the only parallel baseline (partition by probe ranges).
 //! * [`ScjAlgorithm::MmJoin`] — the paper's approach: evaluate the counting
-//!   join-project and keep pairs with `|a ∩ b| = |a|`, which is fastest
-//!   when the join-project output is close to the SCJ output (dense data).
+//!   join-project and keep pairs with `|a ∩ b| = |a|`, delegated to
+//!   [`MmJoinEngine`](mmjoin_core::MmJoinEngine); fastest when the
+//!   join-project output is close to the SCJ output (dense data).
+//!
+//! Parallelism — like every other execution knob — comes from the one
+//! [`JoinConfig`] the engine is constructed with; there is no separate
+//! thread parameter.
 
 pub mod piejoin;
 pub mod pretti;
 
-use mmjoin_core::{two_path_with_counts, JoinConfig};
+use mmjoin_api::{Engine, EngineError, ExecStats, PairSink, Query, Sink};
+use mmjoin_core::{JoinConfig, MmJoinEngine};
 use mmjoin_storage::{Relation, Value};
 
-/// Algorithm selector for [`set_containment_join`].
-#[derive(Debug, Clone)]
+/// Algorithm selector for [`set_containment_join`]. Pure strategy choice —
+/// execution configuration comes from [`JoinConfig`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ScjAlgorithm {
     /// Full inverted-list intersection per probe set.
     Pretti,
@@ -38,58 +47,116 @@ pub enum ScjAlgorithm {
     },
     /// Prefix-tree (trie) containment search.
     PieJoin,
-    /// Counting join-project filtered to containment.
-    MmJoin(Box<JoinConfig>),
+    /// Counting join-project filtered to containment (delegates to
+    /// [`MmJoinEngine`]).
+    MmJoin,
 }
 
-impl ScjAlgorithm {
-    /// MMJoin on `threads` workers.
-    pub fn mmjoin(threads: usize) -> Self {
-        ScjAlgorithm::MmJoin(Box::new(JoinConfig {
-            threads,
-            ..JoinConfig::default()
-        }))
+/// A set-containment engine: one [`ScjAlgorithm`] plus one [`JoinConfig`],
+/// executing `Query::ContainmentJoin` through the unified front door.
+#[derive(Debug, Clone)]
+pub struct ContainmentEngine {
+    algo: ScjAlgorithm,
+    config: JoinConfig,
+    name: String,
+}
+
+impl ContainmentEngine {
+    /// Engine running `algo` under `config`.
+    pub fn new(algo: ScjAlgorithm, config: JoinConfig) -> Self {
+        let name = match algo {
+            ScjAlgorithm::Pretti => "PRETTI".to_string(),
+            ScjAlgorithm::LimitPlus { limit: 2 } => "LIMIT+".to_string(),
+            ScjAlgorithm::LimitPlus { limit } => format!("LIMIT+[{limit}]"),
+            ScjAlgorithm::PieJoin => "PIEJoin".to_string(),
+            ScjAlgorithm::MmJoin => "MMJoin".to_string(),
+        };
+        Self { algo, config, name }
+    }
+
+    /// PRETTI under the default configuration.
+    pub fn pretti() -> Self {
+        Self::new(ScjAlgorithm::Pretti, JoinConfig::default())
+    }
+
+    /// LIMIT+ with the paper's `limit = 2` under the default configuration.
+    pub fn limit_plus() -> Self {
+        Self::new(ScjAlgorithm::LimitPlus { limit: 2 }, JoinConfig::default())
+    }
+
+    /// PIEJoin under the default configuration.
+    pub fn pie_join() -> Self {
+        Self::new(ScjAlgorithm::PieJoin, JoinConfig::default())
+    }
+
+    /// The algorithm this engine runs.
+    pub fn algorithm(&self) -> &ScjAlgorithm {
+        &self.algo
+    }
+}
+
+impl Engine for ContainmentEngine {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn supports(&self, query: &Query<'_>) -> bool {
+        matches!(query, Query::ContainmentJoin { .. })
+    }
+
+    fn execute(&self, query: &Query<'_>, sink: &mut dyn Sink) -> Result<ExecStats, EngineError> {
+        query.validate()?;
+        let Query::ContainmentJoin { r } = *query else {
+            return Err(self.unsupported(query));
+        };
+        if let ScjAlgorithm::MmJoin = self.algo {
+            return MmJoinEngine::new(self.config.clone()).execute(query, sink);
+        }
+        let threads = self.config.threads.max(1);
+        let mut out = match self.algo {
+            ScjAlgorithm::Pretti => pretti::pretti_join(r, threads),
+            ScjAlgorithm::LimitPlus { limit } => pretti::limit_plus_join(r, limit, threads),
+            ScjAlgorithm::PieJoin => piejoin::pie_join(r, threads),
+            ScjAlgorithm::MmJoin => unreachable!("MmJoin delegates to MmJoinEngine"),
+        };
+        out.sort_unstable();
+        out.dedup();
+        sink.begin(2);
+        for &(a, b) in &out {
+            sink.row(&[a, b]);
+        }
+        Ok(ExecStats::new(self.name(), out.len() as u64))
     }
 }
 
 /// Evaluates the self set-containment join of `r`, returning sorted
-/// `(subset, superset)` pairs with `subset ≠ superset`.
+/// `(subset, superset)` pairs with `subset ≠ superset`. Thin wrapper
+/// dispatching a [`Query::ContainmentJoin`] through the [`Engine`] front
+/// door.
 ///
 /// ```
+/// use mmjoin_core::JoinConfig;
 /// use mmjoin_scj::{set_containment_join, ScjAlgorithm};
 /// use mmjoin_storage::Relation;
 /// // 0 = {5}, 1 = {5, 6}.
 /// let r = Relation::from_edges([(0, 5), (1, 5), (1, 6)]);
-/// let pairs = set_containment_join(&r, &ScjAlgorithm::Pretti, 1);
+/// let pairs = set_containment_join(&r, &ScjAlgorithm::Pretti, &JoinConfig::default());
 /// assert_eq!(pairs, vec![(0, 1)]);
 /// ```
 pub fn set_containment_join(
     r: &Relation,
     algo: &ScjAlgorithm,
-    threads: usize,
+    config: &JoinConfig,
 ) -> Vec<(Value, Value)> {
-    let mut out = match algo {
-        ScjAlgorithm::Pretti => pretti::pretti_join(r, threads),
-        ScjAlgorithm::LimitPlus { limit } => pretti::limit_plus_join(r, *limit, threads),
-        ScjAlgorithm::PieJoin => piejoin::pie_join(r, threads),
-        ScjAlgorithm::MmJoin(cfg) => {
-            let mut cfg = (**cfg).clone();
-            cfg.threads = threads.max(cfg.threads);
-            mm_scj(r, &cfg)
-        }
-    };
-    out.sort_unstable();
-    out.dedup();
-    out
-}
-
-/// MMJoin SCJ: `a ⊆ b ⟺ |a ∩ b| = |a|`.
-fn mm_scj(r: &Relation, cfg: &JoinConfig) -> Vec<(Value, Value)> {
-    two_path_with_counts(r, r, 1, cfg)
-        .into_iter()
-        .filter(|&(a, b, count)| a != b && count as usize == r.x_degree(a))
-        .map(|(a, b, _)| (a, b))
-        .collect()
+    let query = Query::containment(r)
+        .build()
+        .expect("containment queries have no invalid configurations");
+    let engine = ContainmentEngine::new(*algo, config.clone());
+    let mut sink = PairSink::new();
+    engine
+        .execute(&query, &mut sink)
+        .expect("containment join cannot fail on a valid query");
+    sink.into_pairs()
 }
 
 /// Brute-force reference SCJ for tests.
@@ -116,12 +183,23 @@ mod tests {
         Relation::from_edges(edges.iter().copied())
     }
 
+    fn cfg() -> JoinConfig {
+        JoinConfig::default()
+    }
+
+    fn cfg_threads(threads: usize) -> JoinConfig {
+        JoinConfig {
+            threads,
+            ..JoinConfig::default()
+        }
+    }
+
     fn all_algorithms() -> Vec<ScjAlgorithm> {
         vec![
             ScjAlgorithm::Pretti,
             ScjAlgorithm::LimitPlus { limit: 2 },
             ScjAlgorithm::PieJoin,
-            ScjAlgorithm::mmjoin(1),
+            ScjAlgorithm::MmJoin,
         ]
     }
 
@@ -152,7 +230,11 @@ mod tests {
         assert!(expected.contains(&(0, 5))); // equal sets contain each other
         assert!(expected.contains(&(5, 0)));
         for algo in all_algorithms() {
-            assert_eq!(set_containment_join(&r, &algo, 1), expected, "{algo:?}");
+            assert_eq!(
+                set_containment_join(&r, &algo, &cfg()),
+                expected,
+                "{algo:?}"
+            );
         }
     }
 
@@ -160,7 +242,10 @@ mod tests {
     fn empty_relation() {
         let r = rel(&[]);
         for algo in all_algorithms() {
-            assert!(set_containment_join(&r, &algo, 1).is_empty(), "{algo:?}");
+            assert!(
+                set_containment_join(&r, &algo, &cfg()).is_empty(),
+                "{algo:?}"
+            );
         }
     }
 
@@ -168,7 +253,10 @@ mod tests {
     fn no_containments() {
         let r = rel(&[(0, 0), (1, 1), (2, 2)]);
         for algo in all_algorithms() {
-            assert!(set_containment_join(&r, &algo, 1).is_empty(), "{algo:?}");
+            assert!(
+                set_containment_join(&r, &algo, &cfg()).is_empty(),
+                "{algo:?}"
+            );
         }
     }
 
@@ -178,7 +266,11 @@ mod tests {
         let r = rel(&[(0, 0), (1, 0), (1, 1), (2, 0), (2, 1), (2, 2)]);
         let expected = vec![(0, 1), (0, 2), (1, 2)];
         for algo in all_algorithms() {
-            assert_eq!(set_containment_join(&r, &algo, 1), expected, "{algo:?}");
+            assert_eq!(
+                set_containment_join(&r, &algo, &cfg()),
+                expected,
+                "{algo:?}"
+            );
         }
     }
 
@@ -195,10 +287,29 @@ mod tests {
         }
         let r = rel(&edges);
         for algo in all_algorithms() {
-            let serial = set_containment_join(&r, &algo, 1);
-            let parallel = set_containment_join(&r, &algo, 4);
+            let serial = set_containment_join(&r, &algo, &cfg());
+            let parallel = set_containment_join(&r, &algo, &cfg_threads(4));
             assert_eq!(serial, parallel, "{algo:?}");
         }
+    }
+
+    #[test]
+    fn engine_names_are_stable() {
+        assert_eq!(Engine::name(&ContainmentEngine::pretti()), "PRETTI");
+        assert_eq!(Engine::name(&ContainmentEngine::limit_plus()), "LIMIT+");
+        assert_eq!(Engine::name(&ContainmentEngine::pie_join()), "PIEJoin");
+        let wide = ContainmentEngine::new(ScjAlgorithm::LimitPlus { limit: 5 }, cfg());
+        assert_eq!(Engine::name(&wide), "LIMIT+[5]");
+    }
+
+    #[test]
+    fn engine_rejects_other_families() {
+        let r = rel(&[(0, 0)]);
+        let q = Query::similarity(&r, 1).build().unwrap();
+        let engine = ContainmentEngine::pretti();
+        assert!(!engine.supports(&q));
+        let mut sink = PairSink::new();
+        assert!(engine.execute(&q, &mut sink).is_err());
     }
 
     proptest! {
@@ -211,13 +322,13 @@ mod tests {
         ) {
             let r = rel(&edges);
             let expected = brute_force_scj(&r);
-            prop_assert_eq!(set_containment_join(&r, &ScjAlgorithm::Pretti, 1), expected.clone());
+            prop_assert_eq!(set_containment_join(&r, &ScjAlgorithm::Pretti, &cfg()), expected.clone());
             prop_assert_eq!(
-                set_containment_join(&r, &ScjAlgorithm::LimitPlus { limit }, 1),
+                set_containment_join(&r, &ScjAlgorithm::LimitPlus { limit }, &cfg()),
                 expected.clone()
             );
-            prop_assert_eq!(set_containment_join(&r, &ScjAlgorithm::PieJoin, 1), expected.clone());
-            prop_assert_eq!(set_containment_join(&r, &ScjAlgorithm::mmjoin(1), 1), expected);
+            prop_assert_eq!(set_containment_join(&r, &ScjAlgorithm::PieJoin, &cfg()), expected.clone());
+            prop_assert_eq!(set_containment_join(&r, &ScjAlgorithm::MmJoin, &cfg()), expected);
         }
     }
 }

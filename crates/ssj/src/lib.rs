@@ -5,7 +5,9 @@
 //! of distinct sets `{a, b}` with `|set(a) ∩ set(b)| ≥ c`. Pairs are
 //! normalised as `a < b`.
 //!
-//! Three algorithm families are implemented:
+//! Three algorithm families are implemented, each packaged as a
+//! [`SimilarityEngine`] behind the unified [`Engine`](mmjoin_api::Engine)
+//! front door (`Query::similarity(&r, c)`):
 //!
 //! * [`SsjAlgorithm::SizeAware`] — Algorithm 2 of the paper, i.e. the
 //!   size-aware join of Deng–Tao–Li \[20\]: a size boundary splits sets into
@@ -18,12 +20,17 @@
 //!   light expansion across sets with common prefixes via the materialized
 //!   prefix tree of Example 6.
 //! * [`SsjAlgorithm::MmJoin`] — the paper's headline approach: the 2-path
-//!   query with exact counts ([`mmjoin_core::two_path_with_counts`]),
-//!   thresholded at `c`.
+//!   query with exact counts, delegated to
+//!   [`MmJoinEngine`](mmjoin_core::MmJoinEngine).
 //!
 //! Both unordered enumeration and ordered (descending-overlap) variants are
-//! provided; ordered output is where the MM counts shine because the
-//! competing algorithms must re-verify every pair to learn its overlap.
+//! provided (`Query::similarity(..).ordered()`); ordered output is where
+//! the MM counts shine because the competing algorithms must re-verify
+//! every pair to learn its overlap.
+//!
+//! Parallelism — like every other execution knob — comes from the one
+//! [`JoinConfig`] the engine is constructed with; there is no separate
+//! thread parameter.
 
 pub mod prefix;
 pub mod size_aware;
@@ -31,7 +38,8 @@ pub mod topk;
 
 pub use topk::top_k_ssj;
 
-use mmjoin_core::{two_path_with_counts, JoinConfig};
+use mmjoin_api::{Engine, EngineError, ExecStats, PairSink, Query, Sink, VecSink};
+use mmjoin_core::{JoinConfig, MmJoinEngine};
 use mmjoin_storage::{Relation, Value};
 
 /// One similar pair with its exact overlap.
@@ -77,95 +85,180 @@ impl SizeAwarePPOpts {
     }
 }
 
-/// Algorithm selector for the SSJ entry points.
-#[derive(Debug, Clone)]
+/// Algorithm selector for the SSJ entry points. Pure strategy choice —
+/// execution configuration (threads, cost model) is supplied separately
+/// through [`JoinConfig`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SsjAlgorithm {
     /// Algorithm 2 (SizeAware) of \[20\].
     SizeAware,
     /// SizeAware++ with the given optimization flags.
     SizeAwarePP(SizeAwarePPOpts),
-    /// Matrix-multiplication join with the given execution config.
-    MmJoin(Box<JoinConfig>),
+    /// Matrix-multiplication counting join (delegates to
+    /// [`MmJoinEngine`]).
+    MmJoin,
 }
 
-impl SsjAlgorithm {
-    /// MMJoin with default config on `threads` workers.
-    pub fn mmjoin(threads: usize) -> Self {
-        SsjAlgorithm::MmJoin(Box::new(JoinConfig {
-            threads,
-            ..JoinConfig::default()
-        }))
+/// A set-similarity engine: one [`SsjAlgorithm`] plus one [`JoinConfig`],
+/// executing `Query::SimilarityJoin` through the unified front door.
+#[derive(Debug, Clone)]
+pub struct SimilarityEngine {
+    algo: SsjAlgorithm,
+    config: JoinConfig,
+    name: String,
+}
+
+impl SimilarityEngine {
+    /// Engine running `algo` under `config`.
+    pub fn new(algo: SsjAlgorithm, config: JoinConfig) -> Self {
+        let name = match algo {
+            SsjAlgorithm::SizeAware => "SizeAware".to_string(),
+            SsjAlgorithm::SizeAwarePP(opts) if opts == SizeAwarePPOpts::all() => {
+                "SizeAware++".to_string()
+            }
+            SsjAlgorithm::SizeAwarePP(opts) => format!(
+                "SizeAware++[{}{}{}]",
+                if opts.light { "L" } else { "-" },
+                if opts.heavy { "H" } else { "-" },
+                if opts.prefix { "P" } else { "-" },
+            ),
+            SsjAlgorithm::MmJoin => "MMJoin".to_string(),
+        };
+        Self { algo, config, name }
+    }
+
+    /// Plain SizeAware under the default configuration.
+    pub fn size_aware() -> Self {
+        Self::new(SsjAlgorithm::SizeAware, JoinConfig::default())
+    }
+
+    /// SizeAware++ with all optimizations under the default configuration.
+    pub fn size_aware_pp() -> Self {
+        Self::new(
+            SsjAlgorithm::SizeAwarePP(SizeAwarePPOpts::all()),
+            JoinConfig::default(),
+        )
+    }
+
+    /// The algorithm this engine runs.
+    pub fn algorithm(&self) -> &SsjAlgorithm {
+        &self.algo
+    }
+
+    /// Unordered pairs for the non-MM algorithms.
+    fn pairs_unordered(&self, r: &Relation, c: u32) -> Vec<(Value, Value)> {
+        match self.algo {
+            SsjAlgorithm::SizeAware => {
+                size_aware::size_aware_pairs(r, c, SizeAwarePPOpts::none(), &self.config)
+            }
+            SsjAlgorithm::SizeAwarePP(opts) => {
+                size_aware::size_aware_pairs(r, c, opts, &self.config)
+            }
+            SsjAlgorithm::MmJoin => unreachable!("MmJoin delegates to MmJoinEngine"),
+        }
+    }
+}
+
+impl Engine for SimilarityEngine {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn supports(&self, query: &Query<'_>) -> bool {
+        matches!(query, Query::SimilarityJoin { .. })
+    }
+
+    fn execute(&self, query: &Query<'_>, sink: &mut dyn Sink) -> Result<ExecStats, EngineError> {
+        query.validate()?;
+        let Query::SimilarityJoin { r, c, ordered } = *query else {
+            return Err(self.unsupported(query));
+        };
+        if let SsjAlgorithm::MmJoin = self.algo {
+            return MmJoinEngine::new(self.config.clone()).execute(query, sink);
+        }
+        sink.begin(2);
+        if !ordered {
+            let pairs = self.pairs_unordered(r, c);
+            for &(a, b) in &pairs {
+                sink.row(&[a, b]);
+            }
+            return Ok(ExecStats::new(self.name(), pairs.len() as u64));
+        }
+        // Ordered: the non-MM algorithms discover pairs without counts, so
+        // every overlap is re-verified by sorted-list intersection — the
+        // extra cost §7.3 notes for SizeAware in the ordered setting.
+        let mut pairs: Vec<SsjPair> = self
+            .pairs_unordered(r, c)
+            .into_iter()
+            .map(|(a, b)| SsjPair {
+                a,
+                b,
+                overlap: mmjoin_storage::csr::intersect_count(r.ys_of(a), r.ys_of(b)) as u32,
+            })
+            .collect();
+        pairs.sort_unstable_by(|p, q| {
+            q.overlap
+                .cmp(&p.overlap)
+                .then_with(|| (p.a, p.b).cmp(&(q.a, q.b)))
+        });
+        for p in &pairs {
+            sink.counted_row(&[p.a, p.b], p.overlap);
+        }
+        Ok(ExecStats::new(self.name(), pairs.len() as u64))
     }
 }
 
 /// Unordered SSJ: sorted distinct pairs `(a, b)`, `a < b`, with
-/// `|set(a) ∩ set(b)| ≥ c`.
+/// `|set(a) ∩ set(b)| ≥ c`. Thin wrapper dispatching a
+/// [`Query::SimilarityJoin`] through the [`Engine`] front door.
 ///
 /// ```
+/// use mmjoin_core::JoinConfig;
 /// use mmjoin_ssj::{unordered_ssj, SsjAlgorithm};
 /// use mmjoin_storage::Relation;
 /// // Sets 0 = {1,2,3}, 1 = {2,3}, 2 = {9}.
 /// let r = Relation::from_edges([(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 9)]);
-/// let pairs = unordered_ssj(&r, 2, &SsjAlgorithm::mmjoin(1), 1);
+/// let pairs = unordered_ssj(&r, 2, &SsjAlgorithm::MmJoin, &JoinConfig::default());
 /// assert_eq!(pairs, vec![(0, 1)]); // only sets 0 and 1 share ≥ 2 elements
 /// ```
 pub fn unordered_ssj(
     r: &Relation,
     c: u32,
     algo: &SsjAlgorithm,
-    threads: usize,
+    config: &JoinConfig,
 ) -> Vec<(Value, Value)> {
-    match algo {
-        SsjAlgorithm::SizeAware => size_aware::size_aware_pairs(r, c, SizeAwarePPOpts::none(), threads),
-        SsjAlgorithm::SizeAwarePP(opts) => size_aware::size_aware_pairs(r, c, *opts, threads),
-        SsjAlgorithm::MmJoin(cfg) => {
-            let mut cfg = (**cfg).clone();
-            cfg.threads = threads.max(cfg.threads);
-            mm_ssj_with_counts(r, c, &cfg)
-                .into_iter()
-                .map(|p| (p.a, p.b))
-                .collect()
-        }
-    }
+    let query = Query::similarity(r, c)
+        .build()
+        .expect("similarity threshold must be >= 1");
+    let engine = SimilarityEngine::new(*algo, config.clone());
+    let mut sink = PairSink::new();
+    engine
+        .execute(&query, &mut sink)
+        .expect("similarity join cannot fail on a valid query");
+    sink.into_pairs()
 }
 
 /// Ordered SSJ: pairs sorted by descending overlap (ties by `(a, b)`).
-///
-/// For the non-MM algorithms the overlaps of pairs discovered without counts
-/// are re-verified by sorted-list intersection — the extra cost §7.3 notes
-/// for SizeAware in the ordered setting.
-pub fn ordered_ssj(r: &Relation, c: u32, algo: &SsjAlgorithm, threads: usize) -> Vec<SsjPair> {
-    let mut pairs: Vec<SsjPair> = match algo {
-        SsjAlgorithm::MmJoin(cfg) => {
-            let mut cfg = (**cfg).clone();
-            cfg.threads = threads.max(cfg.threads);
-            mm_ssj_with_counts(r, c, &cfg)
-        }
-        _ => {
-            let raw = unordered_ssj(r, c, algo, threads);
-            raw.into_iter()
-                .map(|(a, b)| SsjPair {
-                    a,
-                    b,
-                    overlap: mmjoin_storage::csr::intersect_count(r.ys_of(a), r.ys_of(b)) as u32,
-                })
-                .collect()
-        }
-    };
-    pairs.sort_unstable_by(|p, q| {
-        q.overlap
-            .cmp(&p.overlap)
-            .then_with(|| (p.a, p.b).cmp(&(q.a, q.b)))
-    });
-    pairs
-}
-
-/// MMJoin SSJ with exact counts.
-fn mm_ssj_with_counts(r: &Relation, c: u32, cfg: &JoinConfig) -> Vec<SsjPair> {
-    two_path_with_counts(r, r, c.max(1), cfg)
-        .into_iter()
-        .filter(|&(a, b, _)| a < b)
-        .map(|(a, b, overlap)| SsjPair { a, b, overlap })
+/// Thin wrapper dispatching an ordered [`Query::SimilarityJoin`] through
+/// the [`Engine`] front door.
+pub fn ordered_ssj(r: &Relation, c: u32, algo: &SsjAlgorithm, config: &JoinConfig) -> Vec<SsjPair> {
+    let query = Query::similarity(r, c)
+        .ordered()
+        .build()
+        .expect("similarity threshold must be >= 1");
+    let engine = SimilarityEngine::new(*algo, config.clone());
+    let mut sink = VecSink::new();
+    engine
+        .execute(&query, &mut sink)
+        .expect("similarity join cannot fail on a valid query");
+    sink.rows
+        .iter()
+        .zip(&sink.counts)
+        .map(|(row, &overlap)| SsjPair {
+            a: row[0],
+            b: row[1],
+            overlap,
+        })
         .collect()
 }
 
@@ -176,8 +269,7 @@ pub fn brute_force_ssj(r: &Relation, c: u32) -> Vec<SsjPair> {
     let mut out = Vec::new();
     for (i, &a) in sets.iter().enumerate() {
         for &b in &sets[i + 1..] {
-            let overlap =
-                mmjoin_storage::csr::intersect_count(r.ys_of(a), r.ys_of(b)) as u32;
+            let overlap = mmjoin_storage::csr::intersect_count(r.ys_of(a), r.ys_of(b)) as u32;
             if overlap >= c {
                 out.push(SsjPair { a, b, overlap });
             }
@@ -193,6 +285,17 @@ mod tests {
 
     fn rel(edges: &[(Value, Value)]) -> Relation {
         Relation::from_edges(edges.iter().copied())
+    }
+
+    fn cfg() -> JoinConfig {
+        JoinConfig::default()
+    }
+
+    fn cfg_threads(threads: usize) -> JoinConfig {
+        JoinConfig {
+            threads,
+            ..JoinConfig::default()
+        }
     }
 
     fn sample_instance() -> Relation {
@@ -231,17 +334,19 @@ mod tests {
                 prefix: false,
             }),
             SsjAlgorithm::SizeAwarePP(SizeAwarePPOpts::all()),
-            SsjAlgorithm::mmjoin(1),
+            SsjAlgorithm::MmJoin,
         ]
     }
 
     #[test]
     fn all_algorithms_match_bruteforce_c2() {
         let r = sample_instance();
-        let expected: Vec<(Value, Value)> =
-            brute_force_ssj(&r, 2).into_iter().map(|p| (p.a, p.b)).collect();
+        let expected: Vec<(Value, Value)> = brute_force_ssj(&r, 2)
+            .into_iter()
+            .map(|p| (p.a, p.b))
+            .collect();
         for algo in all_algorithms() {
-            let got = unordered_ssj(&r, 2, &algo, 1);
+            let got = unordered_ssj(&r, 2, &algo, &cfg());
             assert_eq!(got, expected, "{algo:?}");
         }
     }
@@ -250,10 +355,16 @@ mod tests {
     fn all_algorithms_match_bruteforce_c1_and_c3() {
         let r = sample_instance();
         for c in [1u32, 3, 4] {
-            let expected: Vec<(Value, Value)> =
-                brute_force_ssj(&r, c).into_iter().map(|p| (p.a, p.b)).collect();
+            let expected: Vec<(Value, Value)> = brute_force_ssj(&r, c)
+                .into_iter()
+                .map(|p| (p.a, p.b))
+                .collect();
             for algo in all_algorithms() {
-                assert_eq!(unordered_ssj(&r, c, &algo, 1), expected, "c={c} {algo:?}");
+                assert_eq!(
+                    unordered_ssj(&r, c, &algo, &cfg()),
+                    expected,
+                    "c={c} {algo:?}"
+                );
             }
         }
     }
@@ -262,7 +373,7 @@ mod tests {
     fn ordered_output_sorted_by_overlap() {
         let r = sample_instance();
         for algo in all_algorithms() {
-            let got = ordered_ssj(&r, 2, &algo, 1);
+            let got = ordered_ssj(&r, 2, &algo, &cfg());
             for w in got.windows(2) {
                 assert!(w[0].overlap >= w[1].overlap, "{algo:?}: {got:?}");
             }
@@ -280,11 +391,17 @@ mod tests {
     fn empty_and_degenerate() {
         let empty = rel(&[]);
         for algo in all_algorithms() {
-            assert!(unordered_ssj(&empty, 2, &algo, 1).is_empty(), "{algo:?}");
+            assert!(
+                unordered_ssj(&empty, 2, &algo, &cfg()).is_empty(),
+                "{algo:?}"
+            );
         }
         let single = rel(&[(0, 0)]);
         for algo in all_algorithms() {
-            assert!(unordered_ssj(&single, 1, &algo, 1).is_empty(), "{algo:?}");
+            assert!(
+                unordered_ssj(&single, 1, &algo, &cfg()).is_empty(),
+                "{algo:?}"
+            );
         }
     }
 
@@ -296,10 +413,38 @@ mod tests {
         }
         let r = rel(&edges);
         for algo in all_algorithms() {
-            let serial = unordered_ssj(&r, 2, &algo, 1);
-            let parallel = unordered_ssj(&r, 2, &algo, 4);
+            let serial = unordered_ssj(&r, 2, &algo, &cfg());
+            let parallel = unordered_ssj(&r, 2, &algo, &cfg_threads(4));
             assert_eq!(serial, parallel, "{algo:?}");
         }
+    }
+
+    #[test]
+    fn engine_names_are_stable() {
+        assert_eq!(Engine::name(&SimilarityEngine::size_aware()), "SizeAware");
+        assert_eq!(
+            Engine::name(&SimilarityEngine::size_aware_pp()),
+            "SizeAware++"
+        );
+        let partial = SimilarityEngine::new(
+            SsjAlgorithm::SizeAwarePP(SizeAwarePPOpts {
+                light: true,
+                heavy: false,
+                prefix: false,
+            }),
+            JoinConfig::default(),
+        );
+        assert_eq!(Engine::name(&partial), "SizeAware++[L--]");
+    }
+
+    #[test]
+    fn engine_rejects_other_families() {
+        let r = rel(&[(0, 0)]);
+        let q = Query::containment(&r).build().unwrap();
+        let engine = SimilarityEngine::size_aware();
+        assert!(!engine.supports(&q));
+        let mut sink = PairSink::new();
+        assert!(engine.execute(&q, &mut sink).is_err());
     }
 
     proptest! {
@@ -314,7 +459,7 @@ mod tests {
             let expected: Vec<(Value, Value)> =
                 brute_force_ssj(&r, c).into_iter().map(|p| (p.a, p.b)).collect();
             for algo in all_algorithms() {
-                prop_assert_eq!(unordered_ssj(&r, c, &algo, 1), expected.clone());
+                prop_assert_eq!(unordered_ssj(&r, c, &algo, &cfg()), expected.clone());
             }
         }
     }

@@ -265,9 +265,7 @@ mod tests {
         let mut expected = BTreeSet::new();
         for &a in &sets {
             for &b in &sets {
-                if a < b
-                    && mmjoin_storage::csr::intersect_count(r.ys_of(a), r.ys_of(b)) >= 2
-                {
+                if a < b && mmjoin_storage::csr::intersect_count(r.ys_of(a), r.ys_of(b)) >= 2 {
                     expected.insert((a, b));
                 }
             }

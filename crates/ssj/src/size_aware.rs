@@ -29,9 +29,10 @@ pub fn size_aware_pairs(
     r: &Relation,
     c: u32,
     opts: SizeAwarePPOpts,
-    threads: usize,
+    config: &JoinConfig,
 ) -> Vec<(Value, Value)> {
     let c = c.max(1);
+    let threads = config.threads.max(1);
     let sets: Vec<(Value, usize)> = r
         .by_x()
         .iter_nonempty()
@@ -57,7 +58,7 @@ pub fn size_aware_pairs(
     // ---- Heavy join: pairs (anything, heavy). ----
     if !heavy.is_empty() {
         if opts.heavy {
-            heavy_join_mm(r, &heavy, c, threads, &mut out);
+            heavy_join_mm(r, &heavy, c, config, &mut out);
         } else {
             heavy_join_brute(r, &heavy, boundary, c, threads, &mut out);
         }
@@ -99,8 +100,7 @@ fn get_size_boundary(r: &Relation, sets: &[(Value, usize)], c: u32) -> usize {
         .collect();
     by_size.sort_unstable_by_key(|&(len, _, _)| len);
     let total_subsets: u64 = by_size.iter().map(|&(_, s, _)| s).sum();
-    let distinct_available =
-        binomial_capped(r.active_y_count() as u64, c as u64, u64::MAX).max(1);
+    let distinct_available = binomial_capped(r.active_y_count() as u64, c as u64, u64::MAX).max(1);
     let lambda = (total_subsets / distinct_available.min(total_subsets).max(1)).max(1);
     // Prefix sums: light cost grows with boundary, heavy cost shrinks.
     // The all-heavy configuration (boundary below every size) is a valid
@@ -208,7 +208,13 @@ fn heavy_join_brute(
 
 /// MMJoin heavy join (`SizeAware++ heavy`): counting 2-path join of the full
 /// relation against the heavy subset.
-fn heavy_join_mm(r: &Relation, heavy: &[Value], c: u32, threads: usize, out: &mut Vec<(Value, Value)>) {
+fn heavy_join_mm(
+    r: &Relation,
+    heavy: &[Value],
+    c: u32,
+    config: &JoinConfig,
+    out: &mut Vec<(Value, Value)>,
+) {
     let heavy_mask: HashSet<Value> = heavy.iter().copied().collect();
     let mut hb = RelationBuilder::with_domains(r.x_domain(), r.y_domain());
     for &h in heavy {
@@ -217,11 +223,7 @@ fn heavy_join_mm(r: &Relation, heavy: &[Value], c: u32, threads: usize, out: &mu
         }
     }
     let hrel = hb.build();
-    let cfg = JoinConfig {
-        threads,
-        ..JoinConfig::default()
-    };
-    for (s, h, _) in two_path_with_counts(r, &hrel, c, &cfg) {
+    for (s, h, _) in two_path_with_counts(r, &hrel, c, config) {
         if s == h {
             continue;
         }
@@ -397,7 +399,11 @@ mod tests {
             },
             SizeAwarePPOpts::all(),
         ] {
-            assert_eq!(size_aware_pairs(&r, 2, opts, 1), brute, "{opts:?}");
+            assert_eq!(
+                size_aware_pairs(&r, 2, opts, &JoinConfig::default()),
+                brute,
+                "{opts:?}"
+            );
         }
     }
 }

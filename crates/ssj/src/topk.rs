@@ -23,7 +23,8 @@ pub fn top_k_ssj(r: &Relation, c: u32, k: usize, config: &JoinConfig) -> Vec<Ssj
     // Min-heap of the current best k: the root is the weakest kept pair.
     // Order must mirror ordered_ssj: higher overlap first, then smaller
     // (a, b); so the heap keeps the (overlap, Reverse((a,b))) maxima.
-    let mut heap: BinaryHeap<Reverse<(u32, Reverse<(u32, u32)>)>> = BinaryHeap::new();
+    type HeapKey = Reverse<(u32, Reverse<(u32, u32)>)>;
+    let mut heap: BinaryHeap<HeapKey> = BinaryHeap::new();
     for (a, b, overlap) in two_path_with_counts(r, r, c.max(1), config) {
         if a >= b {
             continue;
@@ -68,7 +69,7 @@ mod tests {
             }
         }
         let r = rel(&edges);
-        let full = ordered_ssj(&r, 2, &SsjAlgorithm::mmjoin(1), 1);
+        let full = ordered_ssj(&r, 2, &SsjAlgorithm::MmJoin, &JoinConfig::default());
         for k in [0usize, 1, 3, 10, full.len(), full.len() + 5] {
             let top = top_k_ssj(&r, 2, k, &JoinConfig::default());
             assert_eq!(top, full[..k.min(full.len())].to_vec(), "k={k}");
@@ -91,7 +92,7 @@ mod tests {
             k in 0usize..20,
         ) {
             let r = rel(&edges);
-            let full = ordered_ssj(&r, c, &SsjAlgorithm::mmjoin(1), 1);
+            let full = ordered_ssj(&r, c, &SsjAlgorithm::MmJoin, &JoinConfig::default());
             let top = top_k_ssj(&r, c, k, &JoinConfig::default());
             prop_assert_eq!(top, full[..k.min(full.len())].to_vec());
         }

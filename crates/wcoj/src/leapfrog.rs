@@ -172,10 +172,7 @@ mod tests {
     fn skewed_lengths() {
         let long: Vec<Value> = (0..10_000).collect();
         let short = [0, 5_000, 9_999, 20_000];
-        assert_eq!(
-            leapfrog_intersect(&[&short, &long]),
-            vec![0, 5_000, 9_999]
-        );
+        assert_eq!(leapfrog_intersect(&[&short, &long]), vec![0, 5_000, 9_999]);
     }
 
     proptest! {

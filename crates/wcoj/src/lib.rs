@@ -13,10 +13,12 @@
 //! optimal plan seeds from the (small) batch relation `T` and verifies each
 //! candidate with an adaptive sorted-set intersection.
 
+pub mod engine;
 pub mod leapfrog;
 pub mod star;
 pub mod triangle;
 
+pub use engine::WcojEngine;
 pub use leapfrog::{leapfrog_intersect, LeapfrogIter};
 pub use star::{
     full_join_count, star_full_join_for_each, star_join_project, two_path_for_each,

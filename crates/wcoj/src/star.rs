@@ -34,7 +34,10 @@ pub fn two_path_for_each(r: &Relation, s: &Relation, mut f: impl FnMut(Value, Va
 /// per shared `y` the Cartesian product of the inverted lists is emitted by
 /// an odometer loop with no allocation beyond the tuple buffer.
 pub fn star_full_join_for_each(relations: &[Relation], mut f: impl FnMut(Value, &[Value])) {
-    assert!(!relations.is_empty(), "star query needs at least one relation");
+    assert!(
+        !relations.is_empty(),
+        "star query needs at least one relation"
+    );
     // Sorted lists of active y values per relation.
     let active: Vec<Vec<Value>> = relations
         .iter()
@@ -257,12 +260,7 @@ mod tests {
         let out = star_join_project(&[r1, r2, r3]);
         assert_eq!(
             out,
-            vec![
-                vec![0, 5, 7],
-                vec![0, 5, 8],
-                vec![1, 5, 7],
-                vec![1, 5, 8],
-            ]
+            vec![vec![0, 5, 7], vec![0, 5, 8], vec![1, 5, 7], vec![1, 5, 8],]
         );
     }
 

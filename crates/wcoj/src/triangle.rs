@@ -17,8 +17,16 @@ pub fn batch_filter_exists(r: &Relation, s: &Relation, batch: &[(Value, Value)])
     batch
         .iter()
         .map(|&(a, b)| {
-            let ys_a = if (a as usize) < r.x_domain() { r.ys_of(a) } else { &[] };
-            let ys_b = if (b as usize) < s.x_domain() { s.ys_of(b) } else { &[] };
+            let ys_a = if (a as usize) < r.x_domain() {
+                r.ys_of(a)
+            } else {
+                &[]
+            };
+            let ys_b = if (b as usize) < s.x_domain() {
+                s.ys_of(b)
+            } else {
+                &[]
+            };
             if ys_a.is_empty() || ys_b.is_empty() {
                 return false;
             }
@@ -38,8 +46,16 @@ pub fn batch_filter_witnesses(
     batch
         .iter()
         .map(|&(a, b)| {
-            let ys_a = if (a as usize) < r.x_domain() { r.ys_of(a) } else { &[] };
-            let ys_b = if (b as usize) < s.x_domain() { s.ys_of(b) } else { &[] };
+            let ys_a = if (a as usize) < r.x_domain() {
+                r.ys_of(a)
+            } else {
+                &[]
+            };
+            let ys_b = if (b as usize) < s.x_domain() {
+                s.ys_of(b)
+            } else {
+                &[]
+            };
             intersect_into(ys_a, ys_b, &mut scratch);
             scratch.clone()
         })

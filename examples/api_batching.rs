@@ -39,7 +39,17 @@ fn main() {
             nm.machines_needed,
         );
     }
-    println!("(positive-rate sanity: {:.1}% of random pairs intersect)",
-        simulate_batching(&r, &r, &workload[..1000], 250, RATE, &BsiStrategy::PerRequest)
-            .positive_rate * 100.0);
+    println!(
+        "(positive-rate sanity: {:.1}% of random pairs intersect)",
+        simulate_batching(
+            &r,
+            &r,
+            &workload[..1000],
+            250,
+            RATE,
+            &BsiStrategy::PerRequest
+        )
+        .positive_rate
+            * 100.0
+    );
 }

@@ -53,7 +53,6 @@ fn main() {
         }
     }
     let max_deg = degree.iter().max().copied().unwrap_or(0);
-    let isolated = r.active_x_count()
-        - degree.iter().filter(|&&d| d > 0).count();
+    let isolated = r.active_x_count() - degree.iter().filter(|&&d| d > 0).count();
     println!("max co-author degree: {max_deg}; authors with no co-authors: {isolated}");
 }

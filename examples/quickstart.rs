@@ -1,20 +1,18 @@
-//! Quickstart: evaluate a join-project query with MMJoin.
+//! Quickstart: the unified Query/Engine/Sink front door.
 //!
 //! ```sh
 //! cargo run --release -p mmjoin-integration --example quickstart
 //! ```
 //!
 //! Builds a small social-network relation (Example 1 of the paper), asks
-//! for all user pairs sharing at least one friend, and compares MMJoin
-//! against the classic full-join-then-dedup plan.
+//! for all user pairs sharing at least one friend, and runs the same
+//! [`Query`] on every engine the registry knows — MMJoin plus the classic
+//! full-join-then-dedup plans — then inspects MMJoin's execution plan.
 
-use mmjoin_baseline::fulljoin::HashJoinEngine;
-use mmjoin_baseline::TwoPathEngine;
-use mmjoin_core::{JoinConfig, MmJoinEngine};
-use mmjoin_storage::RelationBuilder;
+use mmjoin::{default_registry, CountSink, PairSink, PlanKind, Query, RelationBuilder, VecSink};
 use std::time::Instant;
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A friendship graph with two tight communities (Example 1): users
     // 0..50 all know hubs 0..4; users 50..100 know hubs 5..9.
     let mut builder = RelationBuilder::new();
@@ -35,29 +33,55 @@ fn main() {
     );
 
     // "SELECT DISTINCT R1.x, R2.x FROM R R1, R R2 WHERE R1.y = R2.y"
-    let engine = MmJoinEngine::new(JoinConfig::default());
-    let t0 = Instant::now();
-    let pairs = engine.join_project(&friends, &friends);
-    let mm_time = t0.elapsed();
+    // as a Query value; every engine in the registry runs the same one.
+    let registry = default_registry(1);
+    let query = Query::two_path(&friends, &friends).build()?;
+    println!("\nengines supporting the 2-path query:");
+    let mut reference: Option<u64> = None;
+    for engine in registry.engines_for(&query) {
+        let mut sink = CountSink::new();
+        let t0 = Instant::now();
+        let stats = engine.execute(&query, &mut sink)?;
+        println!(
+            "  {:<26} {:>8} pairs in {:>10?}",
+            engine.name(),
+            stats.rows,
+            t0.elapsed()
+        );
+        match reference {
+            None => reference = Some(stats.rows),
+            Some(r) => assert_eq!(r, stats.rows, "engines must agree"),
+        }
+    }
 
-    let t0 = Instant::now();
-    let baseline = HashJoinEngine.join_project(&friends, &friends);
-    let hash_time = t0.elapsed();
+    // ExecStats expose what the optimizer decided.
+    let mut sink = PairSink::new();
+    let stats = registry.execute("MMJoin", &query, &mut sink)?;
+    if let Some(plan) = stats.plan {
+        match plan.kind {
+            PlanKind::Wcoj => println!("\nMMJoin plan: WCOJ fallback (join is output-like)"),
+            PlanKind::MatrixPartitioned => println!(
+                "\nMMJoin plan: matrix-partitioned, Δ1={:?} Δ2={:?}, heavy core {:?}",
+                plan.delta1, plan.delta2, plan.heavy_dims
+            ),
+        }
+    }
 
-    assert_eq!(pairs, baseline, "engines must agree");
-    println!("pairs with a common friend: {}", pairs.len());
-    println!("MMJoin:             {mm_time:?}");
-    println!("hash join + dedup:  {hash_time:?}");
-
-    // The counting variant reports how many friends each pair shares.
-    let counted = mmjoin_core::two_path_with_counts(&friends, &friends, 2, &JoinConfig::default());
-    let best = counted
+    // The counting variant reports how many friends each pair shares —
+    // same front door, one builder call more.
+    let query = Query::two_path(&friends, &friends).min_count(2).build()?;
+    let mut sink = VecSink::new();
+    registry.execute("MMJoin", &query, &mut sink)?;
+    let best = sink
+        .rows
         .iter()
-        .filter(|&&(a, b, _)| a < b)
-        .max_by_key(|&&(_, _, c)| c)
+        .zip(&sink.counts)
+        .filter(|(row, _)| row[0] < row[1])
+        .max_by_key(|(_, &c)| c)
         .expect("non-empty");
     println!(
         "most-connected pair: users {} and {} share {} friends",
-        best.0, best.1, best.2
+        best.0[0], best.0[1], best.1
     );
+    Ok(())
 }

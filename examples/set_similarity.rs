@@ -1,20 +1,20 @@
 //! Entity matching via set-similarity join (the §1 "Set Similarity"
-//! application) and containment screening.
+//! application) and containment screening — both through the unified
+//! Query/Engine front door.
 //!
 //! ```sh
 //! cargo run --release -p mmjoin-integration --example set_similarity
 //! ```
 //!
-//! Runs the three SSJ algorithm families on a dense document–token dataset,
-//! prints the most similar pairs (ordered SSJ), and finishes with a
-//! set-containment pass.
+//! Runs every registered similarity engine on a dense document–token
+//! dataset, prints the most similar pairs (ordered SSJ), and finishes with
+//! a set-containment pass.
 
+use mmjoin::{default_registry, CountSink, Query, VecSink};
 use mmjoin_datagen::DatasetKind;
-use mmjoin_scj::{set_containment_join, ScjAlgorithm};
-use mmjoin_ssj::{ordered_ssj, unordered_ssj, SizeAwarePPOpts, SsjAlgorithm};
 use std::time::Instant;
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let r = mmjoin_datagen::generate(DatasetKind::Jokes, 0.12, 7);
     println!(
         "document-token table: {} tuples, {} documents",
@@ -23,32 +23,41 @@ fn main() {
     );
 
     const C: u32 = 3; // minimum shared tokens
-    for (name, algo) in [
-        ("MMJoin", SsjAlgorithm::mmjoin(1)),
-        (
-            "SizeAware++",
-            SsjAlgorithm::SizeAwarePP(SizeAwarePPOpts::all()),
-        ),
-        ("SizeAware", SsjAlgorithm::SizeAware),
-    ] {
+    let registry = default_registry(1);
+    let query = Query::similarity(&r, C).build()?;
+    for engine in registry.engines_for(&query) {
         let t0 = Instant::now();
-        let pairs = unordered_ssj(&r, C, &algo, 1);
-        println!("{name:<12} found {} similar pairs in {:?}", pairs.len(), t0.elapsed());
+        let mut sink = CountSink::new();
+        let stats = engine.execute(&query, &mut sink)?;
+        println!(
+            "{:<12} found {} similar pairs in {:?}",
+            engine.name(),
+            stats.rows,
+            t0.elapsed()
+        );
     }
 
     // Ordered enumeration: the matrix counts give the ranking for free.
-    let ranked = ordered_ssj(&r, C, &SsjAlgorithm::mmjoin(1), 1);
+    let query = Query::similarity(&r, C).ordered().build()?;
+    let mut ranked = VecSink::new();
+    registry.execute("MMJoin", &query, &mut ranked)?;
     println!("top 5 most similar document pairs:");
-    for p in ranked.iter().take(5) {
-        println!("  docs {:>4} and {:>4}: {} shared tokens", p.a, p.b, p.overlap);
+    for (row, overlap) in ranked.rows.iter().zip(&ranked.counts).take(5) {
+        println!(
+            "  docs {:>4} and {:>4}: {} shared tokens",
+            row[0], row[1], overlap
+        );
     }
 
     // Containment screening: which documents are subsumed by another?
+    let query = Query::containment(&r).build()?;
     let t0 = Instant::now();
-    let contained = set_containment_join(&r, &ScjAlgorithm::mmjoin(1), 1);
+    let mut sink = CountSink::new();
+    let stats = registry.execute("MMJoin", &query, &mut sink)?;
     println!(
         "containment pairs (subset ⊆ superset): {} in {:?}",
-        contained.len(),
+        stats.rows,
         t0.elapsed()
     );
+    Ok(())
 }

@@ -138,8 +138,16 @@ fn mixed_block_instance() {
             .find(|&&(x, z, _)| x == a && z == b)
             .map(|&(_, _, c)| c)
     };
-    assert_eq!(get(0, 100), Some(1), "heavy set 0 meets light set 100 via one element");
-    assert_eq!(get(0, 1), Some(10), "heavy pair shares all 10 core elements");
+    assert_eq!(
+        get(0, 100),
+        Some(1),
+        "heavy set 0 meets light set 100 via one element"
+    );
+    assert_eq!(
+        get(0, 1),
+        Some(10),
+        "heavy pair shares all 10 core elements"
+    );
 }
 
 /// Self-loops in graph form ((v, v) edges) are legal tuples and must not
@@ -166,6 +174,9 @@ fn no_duplicate_output_pairs() {
         let mut dedup = out.clone();
         dedup.dedup();
         assert_eq!(out.len(), dedup.len(), "duplicates at Δ=({d1},{d2})");
-        assert!(out.windows(2).all(|w| w[0] < w[1]), "output must be strictly sorted");
+        assert!(
+            out.windows(2).all(|w| w[0] < w[1]),
+            "output must be strictly sorted"
+        );
     }
 }

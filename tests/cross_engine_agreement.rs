@@ -1,16 +1,13 @@
-//! Cross-engine agreement: every join-project engine in the workspace must
+//! Cross-engine agreement: every engine in the workspace registry must
 //! produce byte-identical results on every dataset family.
 //!
-//! This is the strongest correctness check the repository has: six
-//! independently implemented 2-path engines (plus the MMJoin counting
-//! variant and the star engines) all have to agree on non-trivial inputs
-//! drawn from the same generators the experiments use.
+//! This is the strongest correctness check the repository has, and it is
+//! fully registry-driven: the engines under test are whatever
+//! [`mmjoin::default_registry`] says supports each query — registering a
+//! new engine automatically puts it under this microscope, with no
+//! per-engine hard-coding here.
 
-use mmjoin_baseline::fulljoin::{HashJoinEngine, SortMergeEngine, SystemXEngine};
-use mmjoin_baseline::nonmm::ExpandDedupEngine;
-use mmjoin_baseline::setintersect::SetIntersectEngine;
-use mmjoin_baseline::star::{HashDedupStarEngine, SortDedupStarEngine};
-use mmjoin_baseline::{StarEngine, TwoPathEngine};
+use mmjoin::{default_registry, Engine, EngineRegistry, PairSink, Query, VecSink};
 use mmjoin_core::{two_path_with_counts, HeavyBackend, JoinConfig, MmJoinEngine};
 use mmjoin_datagen::DatasetKind;
 use mmjoin_storage::{Relation, Value};
@@ -18,93 +15,145 @@ use mmjoin_storage::{Relation, Value};
 const SCALE: f64 = 0.04;
 const SEED: u64 = 77;
 
-fn engines() -> Vec<Box<dyn TwoPathEngine>> {
-    vec![
-        Box::new(MmJoinEngine::serial()),
-        Box::new(MmJoinEngine::parallel(3)),
-        Box::new(MmJoinEngine::new(JoinConfig {
-            heavy_backend: HeavyBackend::BitMatrix,
-            ..JoinConfig::default()
-        })),
-        Box::new(MmJoinEngine::new(JoinConfig {
-            heavy_backend: HeavyBackend::Sparse,
-            ..JoinConfig::default()
-        })),
-        Box::new(MmJoinEngine::new(JoinConfig {
-            heavy_backend: HeavyBackend::Auto,
-            ..JoinConfig::default()
-        })),
-        Box::new(ExpandDedupEngine::serial()),
-        Box::new(ExpandDedupEngine::parallel(4)),
-        Box::new(HashJoinEngine),
-        Box::new(SortMergeEngine),
-        Box::new(SetIntersectEngine),
-        Box::new(SystemXEngine),
-    ]
+/// The default roster plus extra MMJoin configurations (parallel, each
+/// heavy-core backend) registered under distinct names — the registry
+/// makes widening the sweep a one-liner.
+fn registry_under_test() -> EngineRegistry {
+    let mut registry = default_registry(1);
+    struct Renamed {
+        name: &'static str,
+        inner: MmJoinEngine,
+    }
+    impl Engine for Renamed {
+        fn name(&self) -> &str {
+            self.name
+        }
+        fn supports(&self, q: &Query<'_>) -> bool {
+            self.inner.supports(q)
+        }
+        fn execute(
+            &self,
+            q: &Query<'_>,
+            sink: &mut dyn mmjoin::Sink,
+        ) -> Result<mmjoin::ExecStats, mmjoin::EngineError> {
+            self.inner.execute(q, sink)
+        }
+    }
+    let backend_cfg = |backend| JoinConfig {
+        heavy_backend: backend,
+        ..JoinConfig::default()
+    };
+    for (name, config) in [
+        (
+            "MMJoin(3 threads)",
+            JoinConfig {
+                threads: 3,
+                ..JoinConfig::default()
+            },
+        ),
+        ("MMJoin(bitmatrix)", backend_cfg(HeavyBackend::BitMatrix)),
+        ("MMJoin(spgemm)", backend_cfg(HeavyBackend::Sparse)),
+        ("MMJoin(auto)", backend_cfg(HeavyBackend::Auto)),
+    ] {
+        registry.register(Box::new(Renamed {
+            name,
+            inner: MmJoinEngine::new(config),
+        }));
+    }
+    registry
+}
+
+/// Executes `query` on every supporting engine and asserts the streamed
+/// row sets are identical; returns the agreed rows.
+fn assert_engines_agree(
+    registry: &EngineRegistry,
+    query: &Query<'_>,
+    label: &str,
+) -> Vec<Vec<Value>> {
+    let engines = registry.engines_for(query);
+    assert!(engines.len() >= 2, "{label}: roster too small");
+    let mut reference: Option<(String, Vec<Vec<Value>>)> = None;
+    for engine in engines {
+        let mut sink = VecSink::new();
+        let stats = engine
+            .execute(query, &mut sink)
+            .unwrap_or_else(|e| panic!("{label}: {} failed: {e}", engine.name()));
+        assert_eq!(
+            stats.rows,
+            sink.rows.len() as u64,
+            "{label}: {} misreported its row count",
+            engine.name()
+        );
+        match &reference {
+            None => reference = Some((engine.name().to_string(), sink.rows)),
+            Some((ref_name, ref_rows)) => assert_eq!(
+                &sink.rows,
+                ref_rows,
+                "{label}: {} disagrees with {ref_name}",
+                engine.name()
+            ),
+        }
+    }
+    reference.expect("at least one engine ran").1
 }
 
 #[test]
 fn two_path_engines_agree_on_all_datasets() {
+    let registry = registry_under_test();
     for kind in DatasetKind::ALL {
         let r = mmjoin_datagen::generate(kind, SCALE, SEED);
-        let reference = SortMergeEngine.join_project(&r, &r);
-        assert!(!reference.is_empty(), "{kind:?} produced empty output");
-        for engine in engines() {
-            assert_eq!(
-                engine.join_project(&r, &r),
-                reference,
-                "{} disagrees on {kind:?}",
-                engine.name()
-            );
-        }
+        let q = Query::two_path(&r, &r).build().unwrap();
+        let rows = assert_engines_agree(&registry, &q, &format!("{kind:?}"));
+        assert!(!rows.is_empty(), "{kind:?} produced empty output");
     }
 }
 
 #[test]
 fn two_path_engines_agree_on_cross_join() {
     // Non-self join: R and S from different families sharing a y domain.
+    let registry = registry_under_test();
     let r = mmjoin_datagen::generate(DatasetKind::Jokes, SCALE, SEED);
     let s = mmjoin_datagen::generate(DatasetKind::Jokes, SCALE, SEED + 1);
-    let reference = SortMergeEngine.join_project(&r, &s);
-    for engine in engines() {
-        assert_eq!(
-            engine.join_project(&r, &s),
-            reference,
-            "{} disagrees on cross join",
-            engine.name()
-        );
-    }
+    let q = Query::two_path(&r, &s).build().unwrap();
+    assert_engines_agree(&registry, &q, "cross-join");
 }
 
 #[test]
 fn star_engines_agree_k3() {
+    let registry = registry_under_test();
     for kind in [DatasetKind::Dblp, DatasetKind::Jokes, DatasetKind::Protein] {
         let scale = if kind.is_dense() { 0.012 } else { 0.03 };
         let rels = mmjoin_datagen::generate_star(kind, scale, SEED, 3);
-        let reference = SortDedupStarEngine.star_join_project(&rels);
-        let candidates: Vec<Box<dyn StarEngine>> = vec![
-            Box::new(MmJoinEngine::serial()),
-            Box::new(MmJoinEngine::parallel(2)),
-            Box::new(ExpandDedupEngine::serial()),
-            Box::new(HashDedupStarEngine),
-        ];
-        for engine in candidates {
-            assert_eq!(
-                engine.star_join_project(&rels),
-                reference,
-                "{} disagrees on {kind:?} star",
-                engine.name()
-            );
-        }
+        let q = Query::star(&rels).build().unwrap();
+        assert_engines_agree(&registry, &q, &format!("{kind:?} star"));
     }
 }
 
 #[test]
 fn star_engines_agree_k4() {
+    let registry = registry_under_test();
     let rels = mmjoin_datagen::generate_star(DatasetKind::Protein, 0.008, SEED, 4);
-    let reference = SortDedupStarEngine.star_join_project(&rels);
-    let mm = MmJoinEngine::serial().star_join_project(&rels);
-    assert_eq!(mm, reference, "k=4 star disagrees");
+    let q = Query::star(&rels).build().unwrap();
+    assert_engines_agree(&registry, &q, "k=4 star");
+}
+
+#[test]
+fn similarity_engines_agree() {
+    let registry = registry_under_test();
+    let r = mmjoin_datagen::generate(DatasetKind::Jokes, 0.02, SEED);
+    for c in [2u32, 4] {
+        let q = Query::similarity(&r, c).build().unwrap();
+        assert_engines_agree(&registry, &q, &format!("similarity c={c}"));
+    }
+}
+
+#[test]
+fn containment_engines_agree() {
+    let registry = registry_under_test();
+    let r = mmjoin_datagen::generate(DatasetKind::Protein, 0.02, SEED);
+    let q = Query::containment(&r).build().unwrap();
+    let rows = assert_engines_agree(&registry, &q, "containment");
+    assert!(!rows.is_empty(), "dense data should contain subsets");
 }
 
 #[test]
@@ -117,19 +166,30 @@ fn counting_variant_counts_match_bruteforce_on_generated_data() {
         let truth = mmjoin_storage::csr::intersect_count(r.ys_of(*x), r.ys_of(*z)) as u32;
         assert_eq!(truth, *c, "count mismatch for pair ({x},{z})");
     }
-    // And the pair set must equal the plain join-project.
+    // And the pair set must equal the plain join-project through the
+    // registry's reference engine.
+    let registry = registry_under_test();
+    let q = Query::two_path(&r, &r).build().unwrap();
+    let mut sink = PairSink::new();
+    registry.execute("MergeJoin(MySQL)", &q, &mut sink).unwrap();
     let pairs: Vec<(Value, Value)> = counts.iter().map(|&(x, z, _)| (x, z)).collect();
-    let reference = SortMergeEngine.join_project(&r, &r);
-    assert_eq!(pairs, reference);
+    assert_eq!(pairs, sink.pairs);
 }
 
 #[test]
 fn reduce_pair_preserves_join_result() {
+    let registry = registry_under_test();
     let r = mmjoin_datagen::generate(DatasetKind::Words, 0.03, SEED);
     let s = mmjoin_datagen::generate(DatasetKind::Words, 0.03, SEED + 5);
-    let before = SortMergeEngine.join_project(&r, &s);
+    let run = |r: &Relation, s: &Relation| {
+        let q = Query::two_path(r, s).build().unwrap();
+        let mut sink = PairSink::new();
+        registry.execute("MergeJoin(MySQL)", &q, &mut sink).unwrap();
+        sink.pairs
+    };
+    let before = run(&r, &s);
     let (r2, s2) = Relation::reduce_pair(&r, &s);
-    let after = SortMergeEngine.join_project(&r2, &s2);
+    let after = run(&r2, &s2);
     assert_eq!(before, after, "semi-join reduction changed the result");
     assert!(r2.len() <= r.len());
     assert!(s2.len() <= s.len());

@@ -2,12 +2,20 @@
 //! generated datasets through every algorithm and agree with references.
 
 use mmjoin_bsi::{answer_batch, random_workload, simulate_batching, BsiStrategy};
+use mmjoin_core::JoinConfig;
 use mmjoin_datagen::{DatasetKind, Table2Row};
 use mmjoin_scj::{brute_force_scj, set_containment_join, ScjAlgorithm};
 use mmjoin_ssj::{brute_force_ssj, ordered_ssj, unordered_ssj, SizeAwarePPOpts, SsjAlgorithm};
 use mmjoin_storage::Value;
 
 const SEED: u64 = 99;
+
+fn cfg(threads: usize) -> JoinConfig {
+    JoinConfig {
+        threads,
+        ..JoinConfig::default()
+    }
+}
 
 #[test]
 fn ssj_pipeline_all_algorithms_all_kinds() {
@@ -18,16 +26,16 @@ fn ssj_pipeline_all_algorithms_all_kinds() {
                 .into_iter()
                 .map(|p| (p.a, p.b))
                 .collect();
-            for algo in [
-                SsjAlgorithm::SizeAware,
-                SsjAlgorithm::SizeAwarePP(SizeAwarePPOpts::all()),
-                SsjAlgorithm::mmjoin(1),
-                SsjAlgorithm::mmjoin(4),
+            for (algo, threads) in [
+                (SsjAlgorithm::SizeAware, 1),
+                (SsjAlgorithm::SizeAwarePP(SizeAwarePPOpts::all()), 1),
+                (SsjAlgorithm::MmJoin, 1),
+                (SsjAlgorithm::MmJoin, 4),
             ] {
                 assert_eq!(
-                    unordered_ssj(&r, c, &algo, 1),
+                    unordered_ssj(&r, c, &algo, &cfg(threads)),
                     expected,
-                    "{kind:?} c={c} {algo:?}"
+                    "{kind:?} c={c} {algo:?} threads={threads}"
                 );
             }
         }
@@ -41,9 +49,9 @@ fn ordered_ssj_counts_correct_and_sorted() {
     for algo in [
         SsjAlgorithm::SizeAware,
         SsjAlgorithm::SizeAwarePP(SizeAwarePPOpts::all()),
-        SsjAlgorithm::mmjoin(1),
+        SsjAlgorithm::MmJoin,
     ] {
-        let got = ordered_ssj(&r, 3, &algo, 1);
+        let got = ordered_ssj(&r, 3, &algo, &cfg(1));
         assert!(
             got.windows(2).all(|w| w[0].overlap >= w[1].overlap),
             "{algo:?} not sorted by overlap"
@@ -65,10 +73,10 @@ fn scj_pipeline_all_algorithms_all_kinds() {
             ScjAlgorithm::Pretti,
             ScjAlgorithm::LimitPlus { limit: 2 },
             ScjAlgorithm::PieJoin,
-            ScjAlgorithm::mmjoin(1),
+            ScjAlgorithm::MmJoin,
         ] {
             assert_eq!(
-                set_containment_join(&r, &algo, 1),
+                set_containment_join(&r, &algo, &cfg(1)),
                 expected,
                 "{kind:?} {algo:?}"
             );
@@ -82,7 +90,7 @@ fn dense_datasets_have_containments() {
     // (§7.4) — the generators must reproduce that.
     for kind in [DatasetKind::Jokes, DatasetKind::Protein, DatasetKind::Image] {
         let r = mmjoin_datagen::generate(kind, 0.05, SEED);
-        let scj = set_containment_join(&r, &ScjAlgorithm::Pretti, 1);
+        let scj = set_containment_join(&r, &ScjAlgorithm::Pretti, &cfg(1));
         assert!(
             scj.len() > r.active_x_count(),
             "{kind:?}: only {} containments over {} sets",

@@ -13,9 +13,21 @@ use mmjoin_ssj::{unordered_ssj, SizeAwarePPOpts, SsjAlgorithm};
 const SEED: u64 = 1234;
 const THREADS: [usize; 3] = [2, 4, 7];
 
+fn cfg(threads: usize) -> JoinConfig {
+    JoinConfig {
+        threads,
+        ..JoinConfig::default()
+    }
+}
+
 #[test]
 fn gemm_parallel_consistency_on_many_shapes() {
-    for &(m, k, n) in &[(64usize, 64usize, 64usize), (33, 129, 65), (200, 17, 311), (1, 500, 1)] {
+    for &(m, k, n) in &[
+        (64usize, 64usize, 64usize),
+        (33, 129, 65),
+        (200, 17, 311),
+        (1, 500, 1),
+    ] {
         let a = DenseMatrix::from_fn(m, k, |i, j| ((i * 7 + j * 3) % 4 == 0) as u8 as f32);
         let b = DenseMatrix::from_fn(k, n, |i, j| ((i * 5 + j * 11) % 3 == 0) as u8 as f32);
         let serial = matmul(&a, &b);
@@ -85,11 +97,15 @@ fn ssj_parallel_consistency() {
     for algo in [
         SsjAlgorithm::SizeAware,
         SsjAlgorithm::SizeAwarePP(SizeAwarePPOpts::all()),
-        SsjAlgorithm::mmjoin(1),
+        SsjAlgorithm::MmJoin,
     ] {
-        let serial = unordered_ssj(&r, 2, &algo, 1);
+        let serial = unordered_ssj(&r, 2, &algo, &cfg(1));
         for &t in &THREADS {
-            assert_eq!(unordered_ssj(&r, 2, &algo, t), serial, "{algo:?} x{t}");
+            assert_eq!(
+                unordered_ssj(&r, 2, &algo, &cfg(t)),
+                serial,
+                "{algo:?} x{t}"
+            );
         }
     }
 }
@@ -101,11 +117,40 @@ fn scj_parallel_consistency() {
         ScjAlgorithm::Pretti,
         ScjAlgorithm::LimitPlus { limit: 2 },
         ScjAlgorithm::PieJoin,
-        ScjAlgorithm::mmjoin(1),
+        ScjAlgorithm::MmJoin,
     ] {
-        let serial = set_containment_join(&r, &algo, 1);
+        let serial = set_containment_join(&r, &algo, &cfg(1));
         for &t in &THREADS {
-            assert_eq!(set_containment_join(&r, &algo, t), serial, "{algo:?} x{t}");
+            assert_eq!(
+                set_containment_join(&r, &algo, &cfg(t)),
+                serial,
+                "{algo:?} x{t}"
+            );
+        }
+    }
+}
+
+/// The registry's parallel roster must match its serial roster on every
+/// family — the engine-level counterpart of the per-algorithm checks
+/// above.
+#[test]
+fn registry_parallel_consistency() {
+    use mmjoin::{default_registry, Query, VecSink};
+    let r = mmjoin_datagen::generate(DatasetKind::Jokes, 0.02, SEED);
+    let serial = default_registry(1);
+    let q = Query::two_path(&r, &r).build().unwrap();
+    for &t in &THREADS {
+        let parallel = default_registry(t);
+        for engine in serial.engines_for(&q) {
+            let mut s1 = VecSink::new();
+            engine.execute(&q, &mut s1).unwrap();
+            let mut s2 = VecSink::new();
+            parallel
+                .get(engine.name())
+                .expect("same roster")
+                .execute(&q, &mut s2)
+                .unwrap();
+            assert_eq!(s1.rows, s2.rows, "{} x{t}", engine.name());
         }
     }
 }

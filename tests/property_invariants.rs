@@ -94,7 +94,7 @@ proptest! {
         edges in proptest::collection::vec((0u32..14, 0u32..10), 1..60),
     ) {
         let r = rel(&edges);
-        let ssj = unordered_ssj(&r, 1, &SsjAlgorithm::mmjoin(1), 1);
+        let ssj = unordered_ssj(&r, 1, &SsjAlgorithm::MmJoin, &JoinConfig::default());
         let jp: Vec<(Value, Value)> = two_path_join_project(&r, &r, &JoinConfig::default())
             .into_iter()
             .filter(|&(a, b)| a < b)
@@ -109,8 +109,8 @@ proptest! {
         c in 1u32..5,
     ) {
         let r = rel(&edges);
-        let lo = unordered_ssj(&r, c, &SsjAlgorithm::mmjoin(1), 1);
-        let hi = unordered_ssj(&r, c + 1, &SsjAlgorithm::mmjoin(1), 1);
+        let lo = unordered_ssj(&r, c, &SsjAlgorithm::MmJoin, &JoinConfig::default());
+        let hi = unordered_ssj(&r, c + 1, &SsjAlgorithm::MmJoin, &JoinConfig::default());
         prop_assert!(hi.len() <= lo.len());
         for p in &hi {
             prop_assert!(lo.binary_search(p).is_ok());
