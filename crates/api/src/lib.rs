@@ -22,7 +22,8 @@
 //! * [`Sink`] is a streaming visitor over output rows, so callers that
 //!   only count, sample, or forward results never pay for full
 //!   materialisation. [`VecSink`], [`PairSink`] and [`CountSink`] are the
-//!   stock adapters.
+//!   stock adapters; [`LimitSink`] bounds any of them and signals early
+//!   termination through [`Sink::wants_more`].
 //! * [`EngineRegistry`] maps names to boxed engines so tests, benchmarks
 //!   and services enumerate engines dynamically — no per-engine
 //!   hard-coding at call sites.
@@ -39,4 +40,7 @@ pub mod sink;
 pub use engine::{Engine, EngineError, ExecStats, PlanKind, PlanStats};
 pub use query::{Query, QueryError, QueryFamily};
 pub use registry::EngineRegistry;
-pub use sink::{CountSink, ForEachSink, PairSink, Sink, VecSink};
+pub use sink::{
+    emit_counted_pairs, emit_pairs, emit_tuples, CountSink, ForEachSink, LimitSink, PairSink, Sink,
+    VecSink,
+};

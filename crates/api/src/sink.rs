@@ -24,6 +24,15 @@ pub trait Sink {
         let _ = count;
         self.row(row);
     }
+
+    /// Whether the sink wants further rows. Engines consult this between
+    /// emissions and may stop enumerating as soon as it turns `false`
+    /// (early termination for `LIMIT`-style requests — see [`LimitSink`]).
+    /// Engines are free to keep emitting; a bounding sink must therefore
+    /// also *drop* excess rows itself, which [`LimitSink`] does.
+    fn wants_more(&self) -> bool {
+        true
+    }
 }
 
 /// Materialises every row (and count) — the adapter that recovers the old
@@ -148,6 +157,132 @@ impl Sink for CountSink {
     }
 }
 
+/// Bounds an inner sink to at most `limit` rows — the `LIMIT` adapter.
+///
+/// Rows beyond the limit are dropped, and [`Sink::wants_more`] turns
+/// `false` once the quota is reached so cooperative engines stop
+/// *emitting* early. Note the bound applies to the output stream: the
+/// current engines materialise their full result before streaming it,
+/// so a limit saves emission and everything downstream of the sink (row
+/// copies, caching, transport) but not the join computation itself.
+#[derive(Debug, Clone)]
+pub struct LimitSink<S: Sink> {
+    inner: S,
+    limit: u64,
+    emitted: u64,
+}
+
+impl<S: Sink> LimitSink<S> {
+    /// Caps `inner` at `limit` rows.
+    pub fn new(inner: S, limit: u64) -> Self {
+        Self {
+            inner,
+            limit,
+            emitted: 0,
+        }
+    }
+
+    /// Rows forwarded to the inner sink so far.
+    pub fn emitted(&self) -> u64 {
+        self.emitted
+    }
+
+    /// Whether the limit was reached. The stream *may* have been cut
+    /// short — an output of exactly `limit` rows also reports `true`,
+    /// because a cooperative engine stops before revealing whether more
+    /// rows existed.
+    pub fn limit_reached(&self) -> bool {
+        self.emitted >= self.limit
+    }
+
+    /// Consumes the adapter, returning the inner sink.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+}
+
+impl<S: Sink> Sink for LimitSink<S> {
+    fn begin(&mut self, arity: usize) {
+        self.inner.begin(arity);
+    }
+
+    fn row(&mut self, row: &[Value]) {
+        if self.emitted < self.limit {
+            self.emitted += 1;
+            self.inner.row(row);
+        }
+    }
+
+    fn counted_row(&mut self, row: &[Value], count: u32) {
+        if self.emitted < self.limit {
+            self.emitted += 1;
+            self.inner.counted_row(row, count);
+        }
+    }
+
+    fn wants_more(&self) -> bool {
+        self.emitted < self.limit && self.inner.wants_more()
+    }
+}
+
+/// Streams materialised pairs into `sink` (calling [`Sink::begin`] with
+/// arity 2 first), stopping as soon as the sink stops wanting rows.
+/// Returns the number of rows emitted — the shared emission loop every
+/// pair-producing engine uses.
+pub fn emit_pairs(sink: &mut dyn Sink, pairs: &[(Value, Value)]) -> u64 {
+    sink.begin(2);
+    let mut rows = 0u64;
+    for &(a, b) in pairs {
+        if !sink.wants_more() {
+            break;
+        }
+        sink.row(&[a, b]);
+        rows += 1;
+    }
+    rows
+}
+
+/// Streams `(a, b, count)` triples into `sink` (arity 2). With
+/// `counted`, rows go through [`Sink::counted_row`]; otherwise the count
+/// is dropped and plain [`Sink::row`] is used (the unordered-similarity
+/// contract). Stops early when the sink stops wanting rows; returns the
+/// emitted row count.
+pub fn emit_counted_pairs(
+    sink: &mut dyn Sink,
+    triples: &[(Value, Value, u32)],
+    counted: bool,
+) -> u64 {
+    sink.begin(2);
+    let mut rows = 0u64;
+    for &(a, b, count) in triples {
+        if !sink.wants_more() {
+            break;
+        }
+        if counted {
+            sink.counted_row(&[a, b], count);
+        } else {
+            sink.row(&[a, b]);
+        }
+        rows += 1;
+    }
+    rows
+}
+
+/// Streams arity-`arity` tuples into `sink`, stopping early when the
+/// sink stops wanting rows; returns the emitted row count.
+pub fn emit_tuples(sink: &mut dyn Sink, arity: usize, tuples: &[Vec<Value>]) -> u64 {
+    sink.begin(arity);
+    let mut rows = 0u64;
+    for t in tuples {
+        if !sink.wants_more() {
+            break;
+        }
+        sink.row(t);
+        rows += 1;
+    }
+    rows
+}
+
 /// Adapts a closure `FnMut(&[Value], u32)` into a [`Sink`]; the count is 0
 /// for uncounted rows.
 pub struct ForEachSink<F: FnMut(&[Value], u32)>(pub F);
@@ -205,5 +340,28 @@ mod tests {
     fn pair_sink_rejects_wrong_arity() {
         let mut s = PairSink::new();
         s.begin(3);
+    }
+
+    #[test]
+    fn limit_sink_caps_and_signals() {
+        let mut s = LimitSink::new(VecSink::new(), 2);
+        s.begin(2);
+        assert!(s.wants_more());
+        s.row(&[0, 0]);
+        s.counted_row(&[0, 1], 3);
+        assert!(!s.wants_more());
+        // Non-cooperative engine keeps emitting: rows are dropped.
+        s.row(&[0, 2]);
+        assert_eq!(s.emitted(), 2);
+        assert!(s.limit_reached());
+        let inner = s.into_inner();
+        assert_eq!(inner.pairs(), vec![(0, 0), (0, 1)]);
+        assert_eq!(inner.counts, vec![0, 3]);
+    }
+
+    #[test]
+    fn limit_sink_zero_limit_wants_nothing() {
+        let s = LimitSink::new(CountSink::new(), 0);
+        assert!(!s.wants_more());
     }
 }

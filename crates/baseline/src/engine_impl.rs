@@ -8,35 +8,15 @@ use crate::fulljoin::{HashJoinEngine, SortMergeEngine, SystemXEngine};
 use crate::nonmm::ExpandDedupEngine;
 use crate::setintersect::SetIntersectEngine;
 use crate::star::{HashDedupStarEngine, SortDedupStarEngine};
-use crate::{StarEngine, TwoPathEngine};
-use mmjoin_api::{Engine, EngineError, ExecStats, Query, Sink};
-use mmjoin_storage::Value;
-
-/// Streams sorted distinct pairs into `sink`, returning the row count.
-fn emit_pairs(sink: &mut dyn Sink, pairs: &[(Value, Value)]) -> u64 {
-    sink.begin(2);
-    for &(x, z) in pairs {
-        sink.row(&[x, z]);
-    }
-    pairs.len() as u64
-}
-
-/// Streams sorted distinct tuples into `sink`, returning the row count.
-fn emit_tuples(sink: &mut dyn Sink, arity: usize, tuples: &[Vec<Value>]) -> u64 {
-    sink.begin(arity);
-    for t in tuples {
-        sink.row(t);
-    }
-    tuples.len() as u64
-}
+use mmjoin_api::{emit_pairs, emit_tuples, Engine, EngineError, ExecStats, Query, Sink};
 
 /// Implements [`Engine`] for a 2-path-only baseline in terms of its
-/// (transitional) [`TwoPathEngine`] impl.
+/// inherent `join_project` method.
 macro_rules! two_path_engine {
-    ($ty:ty) => {
+    ($ty:ty, $name:literal) => {
         impl Engine for $ty {
             fn name(&self) -> &str {
-                TwoPathEngine::name(self)
+                $name
             }
 
             fn supports(&self, query: &Query<'_>) -> bool {
@@ -62,9 +42,9 @@ macro_rules! two_path_engine {
                         with_counts: false,
                         ..
                     } => {
-                        let pairs = TwoPathEngine::join_project(self, r, s);
+                        let pairs = self.join_project(r, s);
                         let rows = emit_pairs(sink, &pairs);
-                        Ok(ExecStats::new(Engine::name(self), rows))
+                        Ok(ExecStats::new($name, rows))
                     }
                     _ => Err(self.unsupported(query)),
                 }
@@ -73,13 +53,13 @@ macro_rules! two_path_engine {
     };
 }
 
-/// Implements [`Engine`] for a star-only baseline in terms of its
-/// (transitional) [`StarEngine`] impl.
+/// Implements [`Engine`] for a star-only baseline in terms of its inherent
+/// `star_join_project` method.
 macro_rules! star_engine {
-    ($ty:ty) => {
+    ($ty:ty, $name:literal) => {
         impl Engine for $ty {
             fn name(&self) -> &str {
-                StarEngine::name(self)
+                $name
             }
 
             fn supports(&self, query: &Query<'_>) -> bool {
@@ -94,9 +74,9 @@ macro_rules! star_engine {
                 query.validate()?;
                 match *query {
                     Query::Star { relations } => {
-                        let tuples = StarEngine::star_join_project(self, relations);
+                        let tuples = self.star_join_project(relations);
                         let rows = emit_tuples(sink, relations.len(), &tuples);
-                        Ok(ExecStats::new(Engine::name(self), rows))
+                        Ok(ExecStats::new($name, rows))
                     }
                     _ => Err(self.unsupported(query)),
                 }
@@ -105,18 +85,18 @@ macro_rules! star_engine {
     };
 }
 
-two_path_engine!(HashJoinEngine);
-two_path_engine!(SortMergeEngine);
-two_path_engine!(SystemXEngine);
-two_path_engine!(SetIntersectEngine);
-star_engine!(HashDedupStarEngine);
-star_engine!(SortDedupStarEngine);
+two_path_engine!(HashJoinEngine, "HashJoin(Postgres)");
+two_path_engine!(SortMergeEngine, "MergeJoin(MySQL)");
+two_path_engine!(SystemXEngine, "SystemX");
+two_path_engine!(SetIntersectEngine, "SetIntersect(EmptyHeaded)");
+star_engine!(HashDedupStarEngine, "HashJoin(DBMS)");
+star_engine!(SortDedupStarEngine, "SortDedup(reference)");
 
 /// `ExpandDedupEngine` serves both families, so it gets a hand-written
 /// impl instead of the macros.
 impl Engine for ExpandDedupEngine {
     fn name(&self) -> &str {
-        TwoPathEngine::name(self)
+        "Non-MMJoin"
     }
 
     fn supports(&self, query: &Query<'_>) -> bool {
@@ -138,12 +118,12 @@ impl Engine for ExpandDedupEngine {
                 with_counts: false,
                 ..
             } => {
-                let pairs = TwoPathEngine::join_project(self, r, s);
+                let pairs = self.join_project(r, s);
                 let rows = emit_pairs(sink, &pairs);
                 Ok(ExecStats::new(Engine::name(self), rows))
             }
             Query::Star { relations } => {
-                let tuples = StarEngine::star_join_project(self, relations);
+                let tuples = self.star_join_project(relations);
                 let rows = emit_tuples(sink, relations.len(), &tuples);
                 Ok(ExecStats::new(Engine::name(self), rows))
             }
@@ -155,8 +135,8 @@ impl Engine for ExpandDedupEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mmjoin_api::{PairSink, QueryFamily, VecSink};
-    use mmjoin_storage::Relation;
+    use mmjoin_api::{LimitSink, PairSink, QueryFamily, VecSink};
+    use mmjoin_storage::{Relation, Value};
 
     fn rel(edges: &[(Value, Value)]) -> Relation {
         Relation::from_edges(edges.iter().copied())
@@ -174,7 +154,7 @@ mod tests {
     }
 
     #[test]
-    fn engine_trait_agrees_with_legacy_trait() {
+    fn engine_trait_agrees_with_inherent_method() {
         let r = rel(&[(0, 0), (1, 0), (2, 1), (2, 0)]);
         let s = rel(&[(5, 0), (6, 1), (7, 2)]);
         let q = Query::two_path(&r, &s).build().unwrap();
@@ -230,6 +210,22 @@ mod tests {
             e.execute(&q, &mut sink).unwrap();
             assert_eq!(sink.rows, reference, "{}", e.name());
             assert_eq!(sink.arity, 3);
+        }
+    }
+
+    #[test]
+    fn limit_sink_terminates_emission_early() {
+        // Single hub: 5×5 output pairs; a limit of 3 must stop there.
+        let edges: Vec<(Value, Value)> = (0..5).map(|x| (x, 0)).collect();
+        let r = rel(&edges);
+        let q = Query::two_path(&r, &r).build().unwrap();
+        for e in two_path_engines() {
+            let mut sink = LimitSink::new(PairSink::new(), 3);
+            let stats = e.execute(&q, &mut sink).unwrap();
+            assert_eq!(stats.rows, 3, "{}", e.name());
+            assert!(sink.limit_reached());
+            let full = SortMergeEngine.join_project(&r, &r);
+            assert_eq!(sink.into_inner().pairs, full[..3].to_vec(), "{}", e.name());
         }
     }
 }

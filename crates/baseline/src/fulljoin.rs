@@ -7,7 +7,6 @@
 //! join), which is why they lose by orders of magnitude on duplicate-heavy
 //! data — the effect Figure 4a demonstrates.
 
-use crate::TwoPathEngine;
 use mmjoin_storage::{Relation, Value};
 use std::collections::HashSet;
 
@@ -19,12 +18,9 @@ use std::collections::HashSet;
 #[derive(Debug, Default, Clone, Copy)]
 pub struct HashJoinEngine;
 
-impl TwoPathEngine for HashJoinEngine {
-    fn name(&self) -> &'static str {
-        "HashJoin(Postgres)"
-    }
-
-    fn join_project(&self, r: &Relation, s: &Relation) -> Vec<(Value, Value)> {
+impl HashJoinEngine {
+    /// Evaluates `π_{x,z}(R ⋈ S)`, returning sorted distinct `(x, z)` pairs.
+    pub fn join_project(&self, r: &Relation, s: &Relation) -> Vec<(Value, Value)> {
         // Probe S tuples against R's y-index; dedup incrementally in a
         // growing hash set (deliberately *not* pre-sized: Postgres cannot
         // know |OUT| either).
@@ -50,12 +46,9 @@ impl TwoPathEngine for HashJoinEngine {
 #[derive(Debug, Default, Clone, Copy)]
 pub struct SortMergeEngine;
 
-impl TwoPathEngine for SortMergeEngine {
-    fn name(&self) -> &'static str {
-        "MergeJoin(MySQL)"
-    }
-
-    fn join_project(&self, r: &Relation, s: &Relation) -> Vec<(Value, Value)> {
+impl SortMergeEngine {
+    /// Evaluates `π_{x,z}(R ⋈ S)`, returning sorted distinct `(x, z)` pairs.
+    pub fn join_project(&self, r: &Relation, s: &Relation) -> Vec<(Value, Value)> {
         let dom = r.y_domain().min(s.y_domain());
         let mut out: Vec<(Value, Value)> = Vec::new();
         // Merge on y: both CSR indexes iterate y in ascending order.
@@ -83,12 +76,9 @@ impl TwoPathEngine for SortMergeEngine {
 #[derive(Debug, Default, Clone, Copy)]
 pub struct SystemXEngine;
 
-impl TwoPathEngine for SystemXEngine {
-    fn name(&self) -> &'static str {
-        "SystemX"
-    }
-
-    fn join_project(&self, r: &Relation, s: &Relation) -> Vec<(Value, Value)> {
+impl SystemXEngine {
+    /// Evaluates `π_{x,z}(R ⋈ S)`, returning sorted distinct `(x, z)` pairs.
+    pub fn join_project(&self, r: &Relation, s: &Relation) -> Vec<(Value, Value)> {
         let estimate = r.full_join_size(s).min(16_000_000) as usize;
         let mut seen: HashSet<(Value, Value)> = HashSet::with_capacity(estimate);
         for &(z, y) in s.edges() {
@@ -108,17 +98,25 @@ impl TwoPathEngine for SystemXEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mmjoin_api::{Engine, PairSink, Query};
 
     fn rel(edges: &[(Value, Value)]) -> Relation {
         Relation::from_edges(edges.iter().copied())
     }
 
-    fn all_engines() -> Vec<Box<dyn TwoPathEngine>> {
+    fn all_engines() -> Vec<Box<dyn Engine>> {
         vec![
             Box::new(HashJoinEngine),
             Box::new(SortMergeEngine),
             Box::new(SystemXEngine),
         ]
+    }
+
+    fn run(e: &dyn Engine, r: &Relation, s: &Relation) -> Vec<(Value, Value)> {
+        let q = Query::two_path(r, s).build().unwrap();
+        let mut sink = PairSink::new();
+        e.execute(&q, &mut sink).unwrap();
+        sink.pairs
     }
 
     #[test]
@@ -127,7 +125,7 @@ mod tests {
         let s = rel(&[(5, 0), (6, 1), (7, 2)]);
         let expected = vec![(0, 5), (1, 5), (2, 5), (2, 6)];
         for e in all_engines() {
-            assert_eq!(e.join_project(&r, &s), expected, "{}", e.name());
+            assert_eq!(run(e.as_ref(), &r, &s), expected, "{}", e.name());
         }
     }
 
@@ -137,7 +135,7 @@ mod tests {
         let r = rel(&[(0, 0), (0, 1), (0, 2)]);
         let s = rel(&[(9, 0), (9, 1), (9, 2)]);
         for e in all_engines() {
-            assert_eq!(e.join_project(&r, &s), vec![(0, 9)], "{}", e.name());
+            assert_eq!(run(e.as_ref(), &r, &s), vec![(0, 9)], "{}", e.name());
         }
     }
 
@@ -146,8 +144,8 @@ mod tests {
         let r = rel(&[]);
         let s = rel(&[(0, 0)]);
         for e in all_engines() {
-            assert!(e.join_project(&r, &s).is_empty(), "{}", e.name());
-            assert!(e.join_project(&s, &r).is_empty(), "{}", e.name());
+            assert!(run(e.as_ref(), &r, &s).is_empty(), "{}", e.name());
+            assert!(run(e.as_ref(), &s, &r).is_empty(), "{}", e.name());
         }
     }
 
@@ -156,7 +154,7 @@ mod tests {
         let r = rel(&[(0, 100)]);
         let s = rel(&[(1, 100), (2, 5)]);
         for e in all_engines() {
-            assert_eq!(e.join_project(&r, &s), vec![(0, 1)], "{}", e.name());
+            assert_eq!(run(e.as_ref(), &r, &s), vec![(0, 1)], "{}", e.name());
         }
     }
 
@@ -166,7 +164,7 @@ mod tests {
         let r = rel(&[(0, 0), (1, 0), (1, 1), (2, 1)]);
         let expected = vec![(0, 0), (0, 1), (1, 0), (1, 1), (1, 2), (2, 1), (2, 2)];
         for e in all_engines() {
-            assert_eq!(e.join_project(&r, &r), expected, "{}", e.name());
+            assert_eq!(run(e.as_ref(), &r, &r), expected, "{}", e.name());
         }
     }
 }

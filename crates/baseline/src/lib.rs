@@ -21,51 +21,17 @@
 //!   output-sensitive algorithm (the paper's `Non-MMJoin` series), serial
 //!   and parallel.
 //! * [`star`] — the same baselines generalised to star queries `Q*_k`.
-
 //!
-//! Every engine here also implements the unified
+//! Every engine here implements the unified
 //! [`Engine`](mmjoin_api::Engine) trait (see [`engine_impl`]) and is
 //! registered in the default [`EngineRegistry`](mmjoin_api::EngineRegistry)
-//! assembled by the `mmjoin` facade crate — callers should go through that
-//! front door rather than the per-engine traits below.
+//! assembled by the service layer — callers should go through that front
+//! door. The raw algorithms remain reachable as inherent methods
+//! (`HashJoinEngine::join_project`, …) for callers that want the sorted
+//! distinct `Vec` without the engine machinery.
 
 pub mod engine_impl;
 pub mod fulljoin;
 pub mod nonmm;
 pub mod setintersect;
 pub mod star;
-
-use mmjoin_storage::{Relation, Value};
-
-/// A join-project engine for the 2-path query
-/// `Q(x, z) = R(x, y), S(z, y)`.
-///
-/// Implementations must return the **sorted, distinct** result, which makes
-/// cross-engine equality assertions trivial (see
-/// `tests/cross_engine_agreement.rs`).
-///
-/// **Transitional:** new call sites should use
-/// [`mmjoin_api::Engine::execute`] with
-/// [`Query::two_path`](mmjoin_api::Query::two_path); this trait remains as
-/// a thin shim while the last direct callers migrate.
-pub trait TwoPathEngine {
-    /// Human-readable engine name used in experiment reports.
-    fn name(&self) -> &'static str;
-
-    /// Evaluates `π_{x,z}(R ⋈ S)`, returning sorted distinct `(x, z)` pairs.
-    fn join_project(&self, r: &Relation, s: &Relation) -> Vec<(Value, Value)>;
-}
-
-/// A join-project engine for star queries `Q*_k`.
-///
-/// **Transitional:** new call sites should use
-/// [`mmjoin_api::Engine::execute`] with
-/// [`Query::star`](mmjoin_api::Query::star).
-pub trait StarEngine {
-    /// Human-readable engine name used in experiment reports.
-    fn name(&self) -> &'static str;
-
-    /// Evaluates `π_{x1..xk}(R1 ⋈ … ⋈ Rk)`, returning sorted distinct
-    /// tuples.
-    fn star_join_project(&self, relations: &[Relation]) -> Vec<Vec<Value>>;
-}

@@ -18,7 +18,6 @@
 //! epoch-stamped dedup buffer — what the paper's prototype actually runs —
 //! plus an explicit sort-based alternative chosen by the §6 heuristic.
 
-use crate::{StarEngine, TwoPathEngine};
 use mmjoin_storage::dedup::sort_dedup;
 use mmjoin_storage::{DedupBuffer, Relation, Value};
 use mmjoin_wcoj::{star_full_join_for_each, ProjectionAccumulator};
@@ -102,12 +101,9 @@ impl ExpandDedupEngine {
     }
 }
 
-impl TwoPathEngine for ExpandDedupEngine {
-    fn name(&self) -> &'static str {
-        "Non-MMJoin"
-    }
-
-    fn join_project(&self, r: &Relation, s: &Relation) -> Vec<(Value, Value)> {
+impl ExpandDedupEngine {
+    /// Evaluates `π_{x,z}(R ⋈ S)`, returning sorted distinct `(x, z)` pairs.
+    pub fn join_project(&self, r: &Relation, s: &Relation) -> Vec<(Value, Value)> {
         let groups: Vec<(Value, &[Value])> = r.by_x().iter_nonempty().collect();
         let mut out = if self.threads <= 1 {
             let mut dedup = DedupBuffer::new(s.x_domain());
@@ -147,16 +143,12 @@ impl TwoPathEngine for ExpandDedupEngine {
     }
 }
 
-impl StarEngine for ExpandDedupEngine {
-    fn name(&self) -> &'static str {
-        "Non-MMJoin"
-    }
-
+impl ExpandDedupEngine {
     /// Star generalisation: enumerate the full WCOJ join and deduplicate.
     /// Grouped by the leading variable the dedup is sort-based per chunk to
     /// bound memory; this matches the combinatorial `O(|D|·|OUT|^{1-1/k})`
     /// behaviour in practice.
-    fn star_join_project(&self, relations: &[Relation]) -> Vec<Vec<Value>> {
+    pub fn star_join_project(&self, relations: &[Relation]) -> Vec<Vec<Value>> {
         let mut acc = ProjectionAccumulator::new(relations.len());
         star_full_join_for_each(relations, |_, tuple| acc.push(tuple));
         acc.finish()
@@ -204,10 +196,8 @@ mod tests {
         let r1 = rel(&[(0, 0), (1, 0), (2, 1)]);
         let r2 = rel(&[(5, 0), (6, 1)]);
         let r3 = rel(&[(8, 0), (9, 0), (9, 1)]);
-        let got = StarEngine::star_join_project(
-            &ExpandDedupEngine::serial(),
-            &[r1.clone(), r2.clone(), r3.clone()],
-        );
+        let got =
+            ExpandDedupEngine::serial().star_join_project(&[r1.clone(), r2.clone(), r3.clone()]);
         let expected = mmjoin_wcoj::star_join_project(&[r1, r2, r3]);
         assert_eq!(got, expected);
     }

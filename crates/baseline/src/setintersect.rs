@@ -12,7 +12,6 @@
 //! cost exceeds the full-join expansion cost, fall back to a y-first plan
 //! (full join + per-x dedup), which is how it behaves on the sparse datasets.
 
-use crate::TwoPathEngine;
 use mmjoin_storage::csr::adaptive_intersect_count;
 use mmjoin_storage::{DedupBuffer, Relation, Value};
 
@@ -72,12 +71,9 @@ impl SetIntersectEngine {
     }
 }
 
-impl TwoPathEngine for SetIntersectEngine {
-    fn name(&self) -> &'static str {
-        "SetIntersect(EmptyHeaded)"
-    }
-
-    fn join_project(&self, r: &Relation, s: &Relation) -> Vec<(Value, Value)> {
+impl SetIntersectEngine {
+    /// Evaluates `π_{x,z}(R ⋈ S)`, returning sorted distinct `(x, z)` pairs.
+    pub fn join_project(&self, r: &Relation, s: &Relation) -> Vec<(Value, Value)> {
         let mut out = if Self::prefer_all_pairs(r, s) {
             Self::all_pairs_plan(r, s)
         } else {

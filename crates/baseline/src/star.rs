@@ -6,7 +6,6 @@
 //! star engine (it is the one that times out) so the experiment driver can
 //! run it under a budget and report the timeout honestly.
 
-use crate::StarEngine;
 use mmjoin_storage::{Relation, Value};
 use mmjoin_wcoj::star_full_join_for_each;
 use std::collections::HashSet;
@@ -15,12 +14,10 @@ use std::collections::HashSet;
 #[derive(Debug, Default, Clone, Copy)]
 pub struct HashDedupStarEngine;
 
-impl StarEngine for HashDedupStarEngine {
-    fn name(&self) -> &'static str {
-        "HashJoin(DBMS)"
-    }
-
-    fn star_join_project(&self, relations: &[Relation]) -> Vec<Vec<Value>> {
+impl HashDedupStarEngine {
+    /// Evaluates `π_{x1..xk}(R1 ⋈ … ⋈ Rk)`, returning sorted distinct
+    /// tuples.
+    pub fn star_join_project(&self, relations: &[Relation]) -> Vec<Vec<Value>> {
         let mut seen: HashSet<Vec<Value>> = HashSet::new();
         star_full_join_for_each(relations, |_, tuple| {
             seen.insert(tuple.to_vec());
@@ -36,12 +33,10 @@ impl StarEngine for HashDedupStarEngine {
 #[derive(Debug, Default, Clone, Copy)]
 pub struct SortDedupStarEngine;
 
-impl StarEngine for SortDedupStarEngine {
-    fn name(&self) -> &'static str {
-        "SortDedup(reference)"
-    }
-
-    fn star_join_project(&self, relations: &[Relation]) -> Vec<Vec<Value>> {
+impl SortDedupStarEngine {
+    /// Evaluates `π_{x1..xk}(R1 ⋈ … ⋈ Rk)`, returning sorted distinct
+    /// tuples.
+    pub fn star_join_project(&self, relations: &[Relation]) -> Vec<Vec<Value>> {
         mmjoin_wcoj::star_join_project(relations)
     }
 }
@@ -69,7 +64,6 @@ mod tests {
     #[test]
     fn star_k2_matches_pair_engines() {
         use crate::fulljoin::SortMergeEngine;
-        use crate::TwoPathEngine;
         let r = rel(&[(0, 0), (1, 1), (2, 0)]);
         let s = rel(&[(5, 0), (6, 1)]);
         let star = HashDedupStarEngine.star_join_project(&[r.clone(), s.clone()]);

@@ -3,8 +3,7 @@
 //! threshold sensitivity, dedup strategy).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use mmjoin_baseline::TwoPathEngine;
-use mmjoin_core::{HeavyBackend, JoinConfig, MmJoinEngine};
+use mmjoin_core::{two_path_join_project, HeavyBackend, JoinConfig};
 use mmjoin_datagen::DatasetKind;
 use mmjoin_ssj::{unordered_ssj, SizeAwarePPOpts, SsjAlgorithm};
 
@@ -47,30 +46,30 @@ fn heavy_backend_ablation(c: &mut Criterion) {
     let r = mmjoin_datagen::generate(DatasetKind::Protein, SCALE, SEED);
     let mut g = c.benchmark_group("heavy_backend_protein");
     g.bench_function("f32_gemm", |b| {
-        let e = MmJoinEngine::new(JoinConfig::default());
-        b.iter(|| e.join_project(&r, &r));
+        let cfg = JoinConfig::default();
+        b.iter(|| two_path_join_project(&r, &r, &cfg));
     });
     g.bench_function("bitmatrix", |b| {
-        let e = MmJoinEngine::new(JoinConfig {
+        let cfg = JoinConfig {
             heavy_backend: HeavyBackend::BitMatrix,
             ..JoinConfig::default()
-        });
-        b.iter(|| e.join_project(&r, &r));
+        };
+        b.iter(|| two_path_join_project(&r, &r, &cfg));
     });
     g.bench_function("spgemm", |b| {
-        let e = MmJoinEngine::new(JoinConfig {
+        let cfg = JoinConfig {
             heavy_backend: HeavyBackend::Sparse,
             ..JoinConfig::default()
-        });
-        b.iter(|| e.join_project(&r, &r));
+        };
+        b.iter(|| two_path_join_project(&r, &r, &cfg));
     });
     g.bench_function("combinatorial_cap", |b| {
         // Memory cap 0 forces the expansion fallback for the heavy core.
-        let e = MmJoinEngine::new(JoinConfig {
+        let cfg = JoinConfig {
             matrix_cell_cap: 0,
             ..JoinConfig::default()
-        });
-        b.iter(|| e.join_project(&r, &r));
+        };
+        b.iter(|| two_path_join_project(&r, &r, &cfg));
     });
     g.finish();
 }
@@ -80,14 +79,14 @@ fn threshold_sensitivity(c: &mut Criterion) {
     let mut g = c.benchmark_group("threshold_sensitivity_jokes");
     for delta in [1u32, 8, 64, 100_000] {
         g.bench_with_input(BenchmarkId::from_parameter(delta), &delta, |b, &d| {
-            let e = MmJoinEngine::new(JoinConfig::with_deltas(d, d));
-            b.iter(|| e.join_project(&r, &r));
+            let cfg = JoinConfig::with_deltas(d, d);
+            b.iter(|| two_path_join_project(&r, &r, &cfg));
         });
     }
     // The optimizer's pick, for comparison against the grid.
     g.bench_function("optimizer", |b| {
-        let e = MmJoinEngine::serial();
-        b.iter(|| e.join_project(&r, &r));
+        let cfg = JoinConfig::default();
+        b.iter(|| two_path_join_project(&r, &r, &cfg));
     });
     g.finish();
 }

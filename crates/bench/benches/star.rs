@@ -1,8 +1,8 @@
 //! Criterion bench for Figure 4b (and 4f/4g): star queries `Q*_3`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mmjoin_api::{Engine, Query, VecSink};
 use mmjoin_baseline::nonmm::ExpandDedupEngine;
-use mmjoin_baseline::StarEngine;
 use mmjoin_core::MmJoinEngine;
 use mmjoin_datagen::DatasetKind;
 use mmjoin_storage::Relation;
@@ -21,13 +21,22 @@ fn fig4b_star(c: &mut Criterion) {
     for kind in [DatasetKind::Dblp, DatasetKind::Jokes, DatasetKind::Image] {
         let rels = star_instance(kind);
         let mut g = c.benchmark_group(format!("fig4b_{}", kind.name()));
+        let q = Query::star(&rels).build().unwrap();
         g.bench_function("MMJoin", |b| {
             let e = MmJoinEngine::serial();
-            b.iter(|| e.star_join_project(&rels));
+            b.iter(|| {
+                let mut sink = VecSink::new();
+                e.execute(&q, &mut sink).unwrap();
+                sink.rows.len()
+            });
         });
         g.bench_function("NonMM", |b| {
             let e = ExpandDedupEngine::serial();
-            b.iter(|| StarEngine::star_join_project(&e, &rels));
+            b.iter(|| {
+                let mut sink = VecSink::new();
+                e.execute(&q, &mut sink).unwrap();
+                sink.rows.len()
+            });
         });
         g.finish();
     }
@@ -41,10 +50,15 @@ fn fig4fg_star_multicore(c: &mut Criterion) {
         .map(|v| v.get())
         .unwrap_or(4)
         .clamp(4, 8);
+    let q = Query::star(&rels).build().unwrap();
     for cores in [1usize, max] {
         g.bench_with_input(BenchmarkId::new("MMJoin", cores), &cores, |b, &cores| {
             let e = MmJoinEngine::parallel(cores);
-            b.iter(|| e.star_join_project(&rels));
+            b.iter(|| {
+                let mut sink = VecSink::new();
+                e.execute(&q, &mut sink).unwrap();
+                sink.rows.len()
+            });
         });
     }
     g.finish();

@@ -2,10 +2,10 @@
 //! engines and datasets, single- and multi-core.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mmjoin_api::{Engine, PairSink, Query};
 use mmjoin_baseline::fulljoin::{HashJoinEngine, SortMergeEngine};
 use mmjoin_baseline::nonmm::ExpandDedupEngine;
 use mmjoin_baseline::setintersect::SetIntersectEngine;
-use mmjoin_baseline::TwoPathEngine;
 use mmjoin_core::MmJoinEngine;
 use mmjoin_datagen::DatasetKind;
 
@@ -21,7 +21,7 @@ fn fig4a_engines(c: &mut Criterion) {
     ] {
         let r = mmjoin_datagen::generate(kind, SCALE, SEED);
         let mut g = c.benchmark_group(format!("fig4a_{}", kind.name()));
-        let engines: Vec<Box<dyn TwoPathEngine>> = vec![
+        let engines: Vec<Box<dyn Engine>> = vec![
             Box::new(MmJoinEngine::serial()),
             Box::new(ExpandDedupEngine::serial()),
             Box::new(HashJoinEngine),
@@ -30,7 +30,12 @@ fn fig4a_engines(c: &mut Criterion) {
         ];
         for e in engines {
             g.bench_with_input(BenchmarkId::new(e.name(), kind.name()), &r, |b, r| {
-                b.iter(|| e.join_project(r, r));
+                let q = Query::two_path(r, r).build().unwrap();
+                b.iter(|| {
+                    let mut sink = PairSink::new();
+                    e.execute(&q, &mut sink).unwrap();
+                    sink.pairs.len()
+                });
             });
         }
         g.finish();
@@ -46,13 +51,22 @@ fn fig4de_multicore(c: &mut Criterion) {
         .unwrap_or(4)
         .clamp(4, 8);
     for cores in [1usize, 2, max] {
+        let q = Query::two_path(&r, &r).build().unwrap();
         g.bench_with_input(BenchmarkId::new("MMJoin", cores), &cores, |b, &cores| {
             let e = MmJoinEngine::parallel(cores);
-            b.iter(|| e.join_project(&r, &r));
+            b.iter(|| {
+                let mut sink = PairSink::new();
+                e.execute(&q, &mut sink).unwrap();
+                sink.pairs.len()
+            });
         });
         g.bench_with_input(BenchmarkId::new("NonMM", cores), &cores, |b, &cores| {
             let e = ExpandDedupEngine::parallel(cores);
-            b.iter(|| e.join_project(&r, &r));
+            b.iter(|| {
+                let mut sink = PairSink::new();
+                e.execute(&q, &mut sink).unwrap();
+                sink.pairs.len()
+            });
         });
     }
     g.finish();

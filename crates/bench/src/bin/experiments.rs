@@ -1,23 +1,29 @@
-//! Experiment driver: regenerates every table and figure of §7.
+//! Experiment driver: regenerates every table and figure of §7, plus the
+//! service-layer workload replay.
 //!
 //! ```text
-//! experiments <target> [--scale <f64>]
+//! experiments <target> [--scale <f64>] [--json <path>]
 //!
 //! targets: engines table2 plan fig3a fig3b fig4a fig4b fig4c fig4d fig4f
 //!          fig5a fig5b fig5c fig5d fig5g fig5h fig5e fig5f fig6a
-//!          fig6b fig6c fig6d fig7 fig8 ablation all
+//!          fig6b fig6c fig6d fig7 fig8 ablation service all
 //! ```
 //!
 //! Engines come from the [`mmjoin::EngineRegistry`]; `experiments engines`
-//! prints the roster the other targets enumerate.
+//! prints the roster the other targets enumerate. With `--json <path>`,
+//! every produced table is also written to `path` as a JSON array of
+//! `{"target", "scale", "title", "headers", "rows"}` objects (text-only
+//! targets contribute `{"target", "scale", "text"}`) — the start of the
+//! `BENCH_*.json` machine-readable perf trajectory.
 
 use mmjoin::default_registry;
-use mmjoin_bench::{figures, DEFAULT_SCALE};
+use mmjoin_bench::report::{json_string, Table};
+use mmjoin_bench::{figures, service_bench, DEFAULT_SCALE};
 use mmjoin_datagen::DatasetKind;
 
-/// Prints the registry roster: every engine name and the query families it
-/// supports (probed with tiny representative queries).
-fn print_engines() {
+/// The registry roster as text: every engine name and the query families
+/// it supports (probed with tiny representative queries).
+fn engines_report() -> String {
     use mmjoin::{Query, Relation};
     let registry = default_registry(1);
     let r = Relation::from_edges([(0, 0), (1, 0)]);
@@ -28,96 +34,125 @@ fn print_engines() {
         ("similarity", Query::similarity(&r, 1).build().unwrap()),
         ("containment", Query::containment(&r).build().unwrap()),
     ];
-    println!("{} registered engines:", registry.len());
+    let mut out = format!("{} registered engines:\n", registry.len());
     for engine in registry.iter() {
         let families: Vec<&str> = probes
             .iter()
             .filter(|(_, q)| engine.supports(q))
             .map(|&(name, _)| name)
             .collect();
-        println!("  {:<26} {}", engine.name(), families.join(", "));
+        out.push_str(&format!(
+            "  {:<26} {}\n",
+            engine.name(),
+            families.join(", ")
+        ));
     }
+    out
 }
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let target = args.first().map(String::as_str).unwrap_or("all");
-    let scale = args
-        .iter()
-        .position(|a| a == "--scale")
-        .and_then(|i| args.get(i + 1))
-        .and_then(|s| s.parse::<f64>().ok())
-        .unwrap_or(DEFAULT_SCALE);
+/// One target's produce: a structured table or plain text.
+enum Output {
+    Table(Table),
+    Text(String),
+}
 
-    let run = |name: &str| match name {
-        "engines" => print_engines(),
-        "plan" => println!("{}", figures::plan_report(scale).render()),
-        "table2" => println!("{}", figures::table2(scale)),
-        "fig3a" => println!("{}", figures::fig3a().render()),
-        "fig3b" => println!("{}", figures::fig3b().render()),
-        "fig4a" => println!("{}", figures::fig4a(scale).render()),
-        "fig4b" => println!("{}", figures::fig4b(scale).render()),
-        "fig4c" => println!("{}", figures::fig4c(scale).render()),
-        "fig4d" | "fig4e" => println!("{}", figures::fig4de(scale).render()),
-        "fig4f" | "fig4g" => println!("{}", figures::fig4fg(scale).render()),
-        "fig5a" => println!(
-            "{}",
-            figures::fig5_unordered(DatasetKind::Dblp, scale).render()
-        ),
-        "fig5b" => println!(
-            "{}",
-            figures::fig5_unordered(DatasetKind::Jokes, scale).render()
-        ),
-        "fig5c" => println!(
-            "{}",
-            figures::fig5_unordered(DatasetKind::Image, scale).render()
-        ),
-        "fig5d" => println!(
-            "{}",
-            figures::fig5_parallel(DatasetKind::Dblp, scale).render()
-        ),
-        "fig5g" => println!(
-            "{}",
-            figures::fig5_parallel(DatasetKind::Jokes, scale).render()
-        ),
-        "fig5h" => println!(
-            "{}",
-            figures::fig5_parallel(DatasetKind::Image, scale).render()
-        ),
-        "fig5e" => println!(
-            "{}",
-            figures::fig_ordered_ssj(DatasetKind::Dblp, scale).render()
-        ),
-        "fig5f" => println!(
-            "{}",
-            figures::fig_ordered_ssj(DatasetKind::Jokes, scale).render()
-        ),
-        "fig6a" => println!(
-            "{}",
-            figures::fig_ordered_ssj(DatasetKind::Image, scale).render()
-        ),
-        "fig6b" => println!("{}", figures::fig6_bsi(DatasetKind::Jokes, scale).render()),
-        "fig6c" => println!("{}", figures::fig6_bsi(DatasetKind::Words, scale).render()),
-        "fig6d" => println!("{}", figures::fig6_bsi(DatasetKind::Image, scale).render()),
-        "fig7" => println!("{}", figures::fig7(scale).render()),
-        "fig8" => println!("{}", figures::fig8(scale).render()),
-        "ablation" => println!("{}", figures::ablation_matrix_backends(scale).render()),
+fn run(name: &str, scale: f64) -> Output {
+    match name {
+        "engines" => Output::Text(engines_report()),
+        "plan" => Output::Table(figures::plan_report(scale)),
+        "table2" => Output::Text(figures::table2(scale)),
+        "fig3a" => Output::Table(figures::fig3a()),
+        "fig3b" => Output::Table(figures::fig3b()),
+        "fig4a" => Output::Table(figures::fig4a(scale)),
+        "fig4b" => Output::Table(figures::fig4b(scale)),
+        "fig4c" => Output::Table(figures::fig4c(scale)),
+        "fig4d" | "fig4e" => Output::Table(figures::fig4de(scale)),
+        "fig4f" | "fig4g" => Output::Table(figures::fig4fg(scale)),
+        "fig5a" => Output::Table(figures::fig5_unordered(DatasetKind::Dblp, scale)),
+        "fig5b" => Output::Table(figures::fig5_unordered(DatasetKind::Jokes, scale)),
+        "fig5c" => Output::Table(figures::fig5_unordered(DatasetKind::Image, scale)),
+        "fig5d" => Output::Table(figures::fig5_parallel(DatasetKind::Dblp, scale)),
+        "fig5g" => Output::Table(figures::fig5_parallel(DatasetKind::Jokes, scale)),
+        "fig5h" => Output::Table(figures::fig5_parallel(DatasetKind::Image, scale)),
+        "fig5e" => Output::Table(figures::fig_ordered_ssj(DatasetKind::Dblp, scale)),
+        "fig5f" => Output::Table(figures::fig_ordered_ssj(DatasetKind::Jokes, scale)),
+        "fig6a" => Output::Table(figures::fig_ordered_ssj(DatasetKind::Image, scale)),
+        "fig6b" => Output::Table(figures::fig6_bsi(DatasetKind::Jokes, scale)),
+        "fig6c" => Output::Table(figures::fig6_bsi(DatasetKind::Words, scale)),
+        "fig6d" => Output::Table(figures::fig6_bsi(DatasetKind::Image, scale)),
+        "fig7" => Output::Table(figures::fig7(scale)),
+        "fig8" => Output::Table(figures::fig8(scale)),
+        "ablation" => Output::Table(figures::ablation_matrix_backends(scale)),
+        "service" => Output::Table(service_bench::service_experiment(scale)),
         other => {
             eprintln!("unknown target `{other}`");
             std::process::exit(2);
         }
+    }
+}
+
+const ALL_TARGETS: [&str; 26] = [
+    "engines", "table2", "plan", "fig3a", "fig3b", "fig4a", "fig4b", "fig4c", "fig4d", "fig4f",
+    "fig5a", "fig5b", "fig5c", "fig5d", "fig5g", "fig5h", "fig5e", "fig5f", "fig6a", "fig6b",
+    "fig6c", "fig6d", "fig7", "fig8", "ablation", "service",
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let target = args.first().map(String::as_str).unwrap_or("all");
+    let flag_value = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+    };
+    let scale = flag_value("--scale")
+        .and_then(|s| s.parse::<f64>().ok())
+        .unwrap_or(DEFAULT_SCALE);
+    let json_path = flag_value("--json").cloned();
+
+    let targets: Vec<&str> = if target == "all" {
+        ALL_TARGETS.to_vec()
+    } else {
+        vec![target]
     };
 
-    if target == "all" {
-        for name in [
-            "engines", "table2", "plan", "fig3a", "fig3b", "fig4a", "fig4b", "fig4c", "fig4d",
-            "fig4f", "fig5a", "fig5b", "fig5c", "fig5d", "fig5g", "fig5h", "fig5e", "fig5f",
-            "fig6a", "fig6b", "fig6c", "fig6d", "fig7", "fig8", "ablation",
-        ] {
+    let mut json_entries: Vec<String> = Vec::new();
+    for name in &targets {
+        if targets.len() > 1 {
             eprintln!(">>> running {name} (scale {scale})");
-            run(name);
         }
-    } else {
-        run(target);
+        let output = run(name, scale);
+        match &output {
+            Output::Table(table) => println!("{}", table.render()),
+            Output::Text(text) => println!("{text}"),
+        }
+        if json_path.is_some() {
+            let body = match &output {
+                Output::Table(table) => {
+                    // Splice the target/scale fields into the table object.
+                    let table_json = table.to_json();
+                    format!(
+                        "{{\"target\": {}, \"scale\": {scale}, {}",
+                        json_string(name),
+                        &table_json[1..]
+                    )
+                }
+                Output::Text(text) => format!(
+                    "{{\"target\": {}, \"scale\": {scale}, \"text\": {}}}",
+                    json_string(name),
+                    json_string(text)
+                ),
+            };
+            json_entries.push(body);
+        }
+    }
+
+    if let Some(path) = json_path {
+        let payload = format!("[\n  {}\n]\n", json_entries.join(",\n  "));
+        if let Err(e) = std::fs::write(&path, payload) {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("wrote {} JSON entries to {path}", json_entries.len());
     }
 }

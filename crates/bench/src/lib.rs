@@ -8,6 +8,7 @@
 
 pub mod figures;
 pub mod report;
+pub mod service_bench;
 
 use mmjoin_datagen::DatasetKind;
 use mmjoin_storage::Relation;

@@ -59,6 +59,50 @@ impl Table {
         }
         out
     }
+
+    /// Renders as a JSON object
+    /// `{"title": …, "headers": […], "rows": [{"key": …, "cells": […]}]}`
+    /// — the machine-readable form behind `experiments --json`.
+    pub fn to_json(&self) -> String {
+        let headers: Vec<String> = self.headers.iter().map(|h| json_string(h)).collect();
+        let rows: Vec<String> = self
+            .rows
+            .iter()
+            .map(|(key, cells)| {
+                let cells: Vec<String> = cells.iter().map(|c| json_string(c)).collect();
+                format!(
+                    "{{\"key\": {}, \"cells\": [{}]}}",
+                    json_string(key),
+                    cells.join(", ")
+                )
+            })
+            .collect();
+        format!(
+            "{{\"title\": {}, \"headers\": [{}], \"rows\": [{}]}}",
+            json_string(&self.title),
+            headers.join(", "),
+            rows.join(", ")
+        )
+    }
+}
+
+/// Escapes and quotes `s` as a JSON string literal.
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 /// Formats seconds with adaptive precision (`1.23s`, `45.6ms`).
@@ -89,6 +133,17 @@ mod tests {
         assert!(s.contains("Jokes"));
         assert!(s.contains("RoadNet"));
         assert!(s.contains("Baseline"));
+    }
+
+    #[test]
+    fn json_round_trip_shape() {
+        let mut t = Table::new("Fig \"X\"", vec!["k".into(), "v".into()]);
+        t.push_row("a\nb", vec!["1.2s".into()]);
+        let json = t.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"title\": \"Fig \\\"X\\\"\""));
+        assert!(json.contains("\"key\": \"a\\nb\""));
+        assert!(json.contains("\"cells\": [\"1.2s\"]"));
     }
 
     #[test]

@@ -100,10 +100,7 @@ pub fn answer_batch(
             let sb = filter_side(s, &wanted_b);
             let pairs = match strategy {
                 BsiStrategy::Mm(cfg) => two_path_join_project(&ra, &sb, cfg),
-                _ => {
-                    use mmjoin_baseline::TwoPathEngine;
-                    mmjoin_baseline::nonmm::ExpandDedupEngine::serial().join_project(&ra, &sb)
-                }
+                _ => mmjoin_baseline::nonmm::ExpandDedupEngine::serial().join_project(&ra, &sb),
             };
             let set: HashSet<BsiQuery> = pairs.into_iter().collect();
             batch.iter().map(|q| set.contains(q)).collect()

@@ -14,7 +14,9 @@
 use crate::star::star_join_project_mm_with_stats;
 use crate::two_path::{two_path_join_project_with_stats, two_path_with_counts_stats};
 use crate::MmJoinEngine;
-use mmjoin_api::{Engine, EngineError, ExecStats, Query, Sink};
+use mmjoin_api::{
+    emit_counted_pairs, emit_pairs, emit_tuples, Engine, EngineError, ExecStats, Query, Sink,
+};
 
 impl Engine for MmJoinEngine {
     fn name(&self) -> &str {
@@ -35,14 +37,10 @@ impl Engine for MmJoinEngine {
                 with_counts: false,
                 ..
             } => {
-                sink.begin(2);
                 let (pairs, plan) = two_path_join_project_with_stats(r, s, config);
-                for &(x, z) in &pairs {
-                    sink.row(&[x, z]);
-                }
                 Ok(ExecStats {
                     engine: Engine::name(self).to_string(),
-                    rows: pairs.len() as u64,
+                    rows: emit_pairs(sink, &pairs),
                     plan,
                 })
             }
@@ -52,31 +50,22 @@ impl Engine for MmJoinEngine {
                 with_counts: true,
                 min_count,
             } => {
-                sink.begin(2);
                 let (triples, plan) = two_path_with_counts_stats(r, s, min_count, config);
-                for &(x, z, count) in &triples {
-                    sink.counted_row(&[x, z], count);
-                }
                 Ok(ExecStats {
                     engine: Engine::name(self).to_string(),
-                    rows: triples.len() as u64,
+                    rows: emit_counted_pairs(sink, &triples, true),
                     plan,
                 })
             }
             Query::Star { relations } => {
-                sink.begin(relations.len());
                 let (tuples, plan) = star_join_project_mm_with_stats(relations, config);
-                for t in &tuples {
-                    sink.row(t);
-                }
                 Ok(ExecStats {
                     engine: Engine::name(self).to_string(),
-                    rows: tuples.len() as u64,
+                    rows: emit_tuples(sink, relations.len(), &tuples),
                     plan,
                 })
             }
             Query::SimilarityJoin { r, c, ordered } => {
-                sink.begin(2);
                 let (triples, plan) = two_path_with_counts_stats(r, r, c, config);
                 let mut pairs: Vec<(u32, u32, u32)> =
                     triples.into_iter().filter(|&(a, b, _)| a < b).collect();
@@ -85,33 +74,22 @@ impl Engine for MmJoinEngine {
                         q.2.cmp(&p.2).then_with(|| (p.0, p.1).cmp(&(q.0, q.1)))
                     });
                 }
-                for &(a, b, overlap) in &pairs {
-                    if ordered {
-                        sink.counted_row(&[a, b], overlap);
-                    } else {
-                        sink.row(&[a, b]);
-                    }
-                }
                 Ok(ExecStats {
                     engine: Engine::name(self).to_string(),
-                    rows: pairs.len() as u64,
+                    rows: emit_counted_pairs(sink, &pairs, ordered),
                     plan,
                 })
             }
             Query::ContainmentJoin { r } => {
-                sink.begin(2);
                 let (triples, plan) = two_path_with_counts_stats(r, r, 1, config);
                 let pairs: Vec<(u32, u32)> = triples
                     .into_iter()
                     .filter(|&(a, b, count)| a != b && count as usize == r.x_degree(a))
                     .map(|(a, b, _)| (a, b))
                     .collect();
-                for &(a, b) in &pairs {
-                    sink.row(&[a, b]);
-                }
                 Ok(ExecStats {
                     engine: Engine::name(self).to_string(),
-                    rows: pairs.len() as u64,
+                    rows: emit_pairs(sink, &pairs),
                     plan,
                 })
             }

@@ -72,9 +72,6 @@ pub use two_path::{
     two_path_with_counts_stats,
 };
 
-use mmjoin_baseline::{StarEngine, TwoPathEngine};
-use mmjoin_storage::{Relation, Value};
-
 /// The packaged MMJoin engine: Algorithm 1 + Algorithm 3 behind the
 /// unified [`Engine`](mmjoin_api::Engine) trait (see [`engine_impl`]).
 ///
@@ -104,30 +101,5 @@ impl MmJoinEngine {
             threads,
             ..JoinConfig::default()
         })
-    }
-}
-
-/// Transitional shim: prefer [`mmjoin_api::Engine`] with
-/// [`Query::two_path`](mmjoin_api::Query::two_path). Kept while downstream
-/// call sites migrate.
-impl TwoPathEngine for MmJoinEngine {
-    fn name(&self) -> &'static str {
-        "MMJoin"
-    }
-
-    fn join_project(&self, r: &Relation, s: &Relation) -> Vec<(Value, Value)> {
-        two_path_join_project(r, s, &self.config)
-    }
-}
-
-/// Transitional shim: prefer [`mmjoin_api::Engine`] with
-/// [`Query::star`](mmjoin_api::Query::star).
-impl StarEngine for MmJoinEngine {
-    fn name(&self) -> &'static str {
-        "MMJoin"
-    }
-
-    fn star_join_project(&self, relations: &[Relation]) -> Vec<Vec<Value>> {
-        star_join_project_mm(relations, &self.config)
     }
 }

@@ -28,7 +28,6 @@ use crate::config::{HeavyBackend, JoinConfig};
 use crate::optimizer::{choose_thresholds, PlanChoice};
 use mmjoin_api::PlanStats;
 use mmjoin_baseline::nonmm::ExpandDedupEngine;
-use mmjoin_baseline::TwoPathEngine;
 use mmjoin_matrix::{matmul_parallel, BitMatrix, CsrMatrix, DenseMatrix};
 use mmjoin_storage::{DedupBuffer, Relation, Value};
 

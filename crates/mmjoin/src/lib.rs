@@ -1,9 +1,10 @@
 //! `mmjoin` — the workspace facade: one import, one front door.
 //!
 //! Re-exports the unified query API ([`Query`], [`Engine`], [`Sink`],
-//! [`EngineRegistry`], the stock sinks) together with the storage and
-//! configuration types callers need, and assembles the
-//! [`default_registry`] containing every engine in the workspace:
+//! [`EngineRegistry`], the stock sinks), the storage and configuration
+//! types callers need, the service layer ([`Service`], [`Request`] —
+//! see `mmjoin-service`), and the [`default_registry`] containing every
+//! engine in the workspace:
 //!
 //! | name | families |
 //! |------|----------|
@@ -42,70 +43,31 @@
 //! }
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
+//!
+//! For a long-lived process serving many queries, use the service layer
+//! instead of the raw registry — it caches relation statistics and query
+//! results and auto-selects engines per query:
+//!
+//! ```
+//! use mmjoin::{Relation, Request, Service};
+//!
+//! let service = Service::with_default_registry(2);
+//! service.register("r", Relation::from_edges([(0, 0), (1, 0), (2, 1)]));
+//! let response = service.query(Request::two_path("r", "r"))?;
+//! assert_eq!(response.rows.len(), 5);
+//! # Ok::<(), mmjoin::ServiceError>(())
+//! ```
 
 pub use mmjoin_api::{
-    CountSink, Engine, EngineError, EngineRegistry, ExecStats, ForEachSink, PairSink, PlanKind,
-    PlanStats, Query, QueryError, QueryFamily, Sink, VecSink,
+    CountSink, Engine, EngineError, EngineRegistry, ExecStats, ForEachSink, LimitSink, PairSink,
+    PlanKind, PlanStats, Query, QueryError, QueryFamily, Sink, VecSink,
 };
 pub use mmjoin_core::{HeavyBackend, JoinConfig, MmJoinEngine};
+pub use mmjoin_service::{
+    default_registry, registry_with_config, MetricsSnapshot, QuerySpec, RelationProfile, Request,
+    Response, SelectionReason, Service, ServiceConfig, ServiceError, Ticket,
+};
 pub use mmjoin_storage::{Relation, RelationBuilder, Value};
-
-use mmjoin_baseline::fulljoin::{HashJoinEngine, SortMergeEngine, SystemXEngine};
-use mmjoin_baseline::nonmm::ExpandDedupEngine;
-use mmjoin_baseline::setintersect::SetIntersectEngine;
-use mmjoin_baseline::star::{HashDedupStarEngine, SortDedupStarEngine};
-use mmjoin_scj::{ContainmentEngine, ScjAlgorithm};
-use mmjoin_ssj::{SimilarityEngine, SsjAlgorithm};
-use mmjoin_wcoj::WcojEngine;
-
-/// The full engine roster on `threads` workers (engines without a
-/// parallelism knob ignore it). MMJoin is registered first so it leads
-/// every enumeration.
-pub fn default_registry(threads: usize) -> EngineRegistry {
-    let config = JoinConfig {
-        threads: threads.max(1),
-        ..JoinConfig::default()
-    };
-    registry_with_config(&config)
-}
-
-/// The full engine roster, every configurable engine sharing `config` —
-/// the single object that governs parallelism and all other execution
-/// knobs.
-pub fn registry_with_config(config: &JoinConfig) -> EngineRegistry {
-    let mut registry = EngineRegistry::new();
-    registry
-        .register(Box::new(MmJoinEngine::new(config.clone())))
-        .register(Box::new(ExpandDedupEngine::parallel(config.threads)))
-        .register(Box::new(WcojEngine))
-        .register(Box::new(HashJoinEngine))
-        .register(Box::new(SortMergeEngine))
-        .register(Box::new(SystemXEngine))
-        .register(Box::new(SetIntersectEngine))
-        .register(Box::new(HashDedupStarEngine))
-        .register(Box::new(SortDedupStarEngine))
-        .register(Box::new(SimilarityEngine::new(
-            SsjAlgorithm::SizeAware,
-            config.clone(),
-        )))
-        .register(Box::new(SimilarityEngine::new(
-            SsjAlgorithm::SizeAwarePP(mmjoin_ssj::SizeAwarePPOpts::all()),
-            config.clone(),
-        )))
-        .register(Box::new(ContainmentEngine::new(
-            ScjAlgorithm::Pretti,
-            config.clone(),
-        )))
-        .register(Box::new(ContainmentEngine::new(
-            ScjAlgorithm::LimitPlus { limit: 2 },
-            config.clone(),
-        )))
-        .register(Box::new(ContainmentEngine::new(
-            ScjAlgorithm::PieJoin,
-            config.clone(),
-        )));
-    registry
-}
 
 #[cfg(test)]
 mod tests {

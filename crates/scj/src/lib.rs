@@ -121,11 +121,10 @@ impl Engine for ContainmentEngine {
         };
         out.sort_unstable();
         out.dedup();
-        sink.begin(2);
-        for &(a, b) in &out {
-            sink.row(&[a, b]);
-        }
-        Ok(ExecStats::new(self.name(), out.len() as u64))
+        Ok(ExecStats::new(
+            self.name(),
+            mmjoin_api::emit_pairs(sink, &out),
+        ))
     }
 }
 

@@ -1,0 +1,303 @@
+//! `mmjoin-serve` — the join service behind a line-oriented protocol.
+//!
+//! Reads commands from stdin, one per line, and answers on stdout; every
+//! answer starts with a single `ok …` / `err …` line (followed by
+//! indented row lines for `query … show`). Pipe a script in, or drive it
+//! interactively:
+//!
+//! ```text
+//! $ cargo run --release -p mmjoin-service --bin mmjoin-serve
+//! gen R Jokes 0.05
+//! ok relation R: 24734 tuples, 805 sets, 143 elements (epoch 1)
+//! query twopath R R
+//! ok rows 648025 engine MMJoin cached false 0.312s
+//! query twopath R R
+//! ok rows 648025 engine MMJoin cached true 0.000s
+//! stats
+//! ok served 2 (cache hits 1, 50.0%), …
+//! ```
+//!
+//! Run with `--workers <n>` to size the pool (default 4). Type `help`
+//! for the full command list.
+
+use mmjoin_service::{Request, Service};
+use mmjoin_storage::io::read_edge_list;
+use mmjoin_storage::{Relation, RelationBuilder};
+use std::io::BufRead;
+use std::time::Instant;
+
+fn main() {
+    let workers = std::env::args()
+        .skip_while(|a| a != "--workers")
+        .nth(1)
+        .and_then(|w| w.parse().ok())
+        .unwrap_or(4);
+    let service = Service::with_default_registry(workers);
+
+    println!(
+        "mmjoin-serve ready: {} workers, {} engines (type `help`)",
+        service.workers(),
+        service.registry().len()
+    );
+    for line in std::io::stdin().lock().lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(_) => break,
+        };
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        if trimmed == "quit" || trimmed == "exit" {
+            println!("ok bye");
+            break;
+        }
+        match dispatch(&service, trimmed) {
+            Ok(answer) => println!("{answer}"),
+            Err(msg) => println!("err {msg}"),
+        }
+    }
+}
+
+fn dispatch(service: &Service, line: &str) -> Result<String, String> {
+    let tokens: Vec<&str> = line.split_whitespace().collect();
+    match tokens[0] {
+        "help" => Ok(HELP.trim_end().to_string()),
+        "register" => {
+            let name = *tokens.get(1).ok_or("usage: register <name> <x,y> …")?;
+            let rel = parse_edges(&tokens[2..])?;
+            register_report(service, name, rel)
+        }
+        "load" => {
+            let name = *tokens.get(1).ok_or("usage: load <name> <path>")?;
+            let path = *tokens.get(2).ok_or("usage: load <name> <path>")?;
+            let file = std::fs::File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+            let rel = read_edge_list(file).map_err(|e| format!("parse {path}: {e}"))?;
+            register_report(service, name, rel)
+        }
+        "gen" => {
+            let name = *tokens.get(1).ok_or("usage: gen <name> <dataset> <scale>")?;
+            let kind = parse_dataset(tokens.get(2).copied().ok_or("missing dataset")?)?;
+            let scale: f64 = tokens
+                .get(3)
+                .and_then(|s| s.parse().ok())
+                .ok_or("bad scale")?;
+            let rel = mmjoin_datagen::generate(kind, scale, 2020);
+            register_report(service, name, rel)
+        }
+        "update" => {
+            let name = *tokens.get(1).ok_or("usage: update <name> add <x,y> …")?;
+            if tokens.get(2) != Some(&"add") {
+                return Err("usage: update <name> add <x,y> …".into());
+            }
+            let old = service
+                .relation_edges(name)
+                .ok_or_else(|| format!("no relation `{name}`"))?;
+            let tuples_before = old.len();
+            let extra = parse_edges(&tokens[3..])?;
+            let mut b = RelationBuilder::new();
+            for (x, y) in old.into_iter().chain(extra.edges().iter().copied()) {
+                b.push(x, y);
+            }
+            let epoch = service.update(name, b.build()).map_err(|e| e.to_string())?;
+            let profile = service.relation_profile(name).unwrap();
+            Ok(format!(
+                "ok relation {name}: {} tuples (was {tuples_before}), epoch {epoch}",
+                profile.tuples
+            ))
+        }
+        "catalog" => {
+            let names = service.relation_names();
+            if names.is_empty() {
+                return Ok("ok catalog empty".into());
+            }
+            let mut out = format!(
+                "ok {} relations (epoch {})",
+                names.len(),
+                service.catalog_epoch()
+            );
+            for name in names {
+                let p = service.relation_profile(&name).unwrap();
+                out.push_str(&format!(
+                    "\n  {name}: {} tuples, {} sets, {} elements, max set {} / max element degree {}",
+                    p.tuples, p.active_x, p.active_y, p.max_x_degree, p.max_y_degree
+                ));
+            }
+            Ok(out)
+        }
+        "engines" => {
+            let names = service.registry().names();
+            Ok(format!("ok {} engines: {}", names.len(), names.join(", ")))
+        }
+        "stats" => Ok(format!("ok {}", service.metrics())),
+        "query" => run_query(service, &tokens[1..]),
+        other => Err(format!("unknown command `{other}` (type `help`)")),
+    }
+}
+
+fn run_query(service: &Service, tokens: &[&str]) -> Result<String, String> {
+    let family = *tokens.first().ok_or("usage: query <family> …")?;
+    let mut rest: Vec<&str> = tokens[1..].to_vec();
+    let show = take_flag(&mut rest, "show");
+
+    let mut request = match family {
+        "twopath" => {
+            if rest.len() < 2 {
+                return Err("usage: query twopath <R> <S> …".into());
+            }
+            let (r, s) = (rest.remove(0), rest.remove(0));
+            let counts = take_flag(&mut rest, "counts");
+            let min = take_value(&mut rest, "min")?;
+            match (counts, min) {
+                (_, Some(c)) => Request::two_path_counts(r, s, c),
+                (true, None) => Request::two_path_counts(r, s, 1),
+                (false, None) => Request::two_path(r, s),
+            }
+        }
+        "star" => {
+            let mut names = Vec::new();
+            while !rest.is_empty() && !matches!(rest[0], "limit" | "engine") {
+                names.push(rest.remove(0));
+            }
+            if names.is_empty() {
+                return Err("usage: query star <R1> [… Rk] …".into());
+            }
+            Request::star(names)
+        }
+        "sim" => {
+            if rest.len() < 2 {
+                return Err("usage: query sim <R> <c> …".into());
+            }
+            let r = rest.remove(0);
+            let c: u32 = rest.remove(0).parse().map_err(|_| "bad threshold c")?;
+            let req = Request::similarity(r, c);
+            if take_flag(&mut rest, "ordered") {
+                req.ordered()
+            } else {
+                req
+            }
+        }
+        "contain" => {
+            if rest.is_empty() {
+                return Err("usage: query contain <R> …".into());
+            }
+            Request::containment(rest.remove(0))
+        }
+        other => return Err(format!("unknown query family `{other}`")),
+    };
+    if let Some(limit) = take_value(&mut rest, "limit")? {
+        request = request.limit(limit as u64);
+    }
+    if let Some(pos) = rest.iter().position(|&t| t == "engine") {
+        let name = *rest
+            .get(pos + 1)
+            .ok_or("engine flag needs a registry name")?;
+        request = request.on_engine(name);
+        rest.drain(pos..=pos + 1);
+    }
+    if !rest.is_empty() {
+        return Err(format!("unrecognised trailing tokens: {rest:?}"));
+    }
+
+    let t0 = Instant::now();
+    let response = service.query(request).map_err(|e| e.to_string())?;
+    let secs = t0.elapsed().as_secs_f64();
+    let mut out = format!(
+        "ok rows {} engine {} cached {} {:.3}s{}",
+        response.rows.len(),
+        response.stats.engine,
+        response.cached,
+        secs,
+        if response.truncated {
+            " (limit reached)"
+        } else {
+            ""
+        }
+    );
+    if show {
+        for (row, count) in response.rows.iter().zip(response.counts.iter()).take(20) {
+            let cells: Vec<String> = row.iter().map(u32::to_string).collect();
+            if *count > 0 {
+                out.push_str(&format!("\n  ({}) x{count}", cells.join(", ")));
+            } else {
+                out.push_str(&format!("\n  ({})", cells.join(", ")));
+            }
+        }
+        if response.rows.len() > 20 {
+            out.push_str(&format!("\n  … {} more", response.rows.len() - 20));
+        }
+    }
+    Ok(out)
+}
+
+fn register_report(service: &Service, name: &str, rel: Relation) -> Result<String, String> {
+    let epoch = service.register(name, rel);
+    let p = service.relation_profile(name).unwrap();
+    Ok(format!(
+        "ok relation {name}: {} tuples, {} sets, {} elements (epoch {epoch})",
+        p.tuples, p.active_x, p.active_y
+    ))
+}
+
+fn parse_edges(tokens: &[&str]) -> Result<Relation, String> {
+    if tokens.is_empty() {
+        return Err("no edges given (format: x,y)".into());
+    }
+    let mut b = RelationBuilder::new();
+    for t in tokens {
+        let (x, y) = t.split_once(',').ok_or_else(|| format!("bad edge `{t}`"))?;
+        let x: u32 = x.trim().parse().map_err(|_| format!("bad edge `{t}`"))?;
+        let y: u32 = y.trim().parse().map_err(|_| format!("bad edge `{t}`"))?;
+        b.push(x, y);
+    }
+    Ok(b.build())
+}
+
+fn parse_dataset(name: &str) -> Result<mmjoin_datagen::DatasetKind, String> {
+    use mmjoin_datagen::DatasetKind;
+    DatasetKind::ALL
+        .into_iter()
+        .find(|k| k.name().eq_ignore_ascii_case(name))
+        .ok_or_else(|| {
+            format!(
+                "unknown dataset `{name}` (one of: {})",
+                DatasetKind::ALL.map(|k| k.name()).join(", ")
+            )
+        })
+}
+
+/// Removes `flag` from `rest` if present, reporting whether it was.
+fn take_flag(rest: &mut Vec<&str>, flag: &str) -> bool {
+    match rest.iter().position(|&t| t == flag) {
+        Some(pos) => {
+            rest.remove(pos);
+            true
+        }
+        None => false,
+    }
+}
+
+/// Removes `key <u32>` from `rest` if present.
+fn take_value(rest: &mut Vec<&str>, key: &str) -> Result<Option<u32>, String> {
+    let Some(pos) = rest.iter().position(|&t| t == key) else {
+        return Ok(None);
+    };
+    let value = rest
+        .get(pos + 1)
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| format!("`{key}` needs a number"))?;
+    rest.drain(pos..=pos + 1);
+    Ok(Some(value))
+}
+
+const HELP: &str = "ok commands:
+  register <name> <x,y> [<x,y> …]     inline edge list
+  load <name> <path>                  whitespace edge-list file
+  gen <name> <dataset> <scale>        synthetic Table-2 dataset (DBLP, RoadNet, Jokes, Words, Protein, Image)
+  update <name> add <x,y> [<x,y> …]   add tuples (bumps epoch, invalidates cache)
+  query twopath <R> <S> [counts] [min <c>] [limit <n>] [engine <E>] [show]
+  query star <R1> <R2> [… Rk] [limit <n>] [show]
+  query sim <R> <c> [ordered] [limit <n>] [show]
+  query contain <R> [limit <n>] [show]
+  catalog | engines | stats | help | quit
+";

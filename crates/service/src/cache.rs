@@ -1,0 +1,218 @@
+//! The LRU result cache.
+//!
+//! Keyed by `(canonical query fingerprint, epochs of the referenced
+//! relations)` — see [`crate::Request::fingerprint`] and
+//! [`crate::Catalog`]. Because the epoch is part of the key, an update
+//! never *serves* a stale result; the superseded entry just stops being
+//! addressable and is evicted by recency like any other cold entry.
+//! Cached rows are shared out as `Arc`s, so a hit is O(1) regardless of
+//! result size and hits are byte-identical to the cold execution that
+//! populated them.
+
+use crate::request::Request;
+use mmjoin_api::ExecStats;
+use mmjoin_storage::Value;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A materialised query result, shared between the cache and responses.
+#[derive(Debug, Clone)]
+pub struct CachedResult {
+    /// Output arity.
+    pub arity: usize,
+    /// The rows, in the engine's emission order.
+    pub rows: Arc<Vec<Vec<Value>>>,
+    /// Per-row witness counts (0 where the query family emits none).
+    pub counts: Arc<Vec<u32>>,
+    /// The stats of the execution that produced this result.
+    pub stats: ExecStats,
+    /// Whether a row limit cut the stream short.
+    pub truncated: bool,
+}
+
+#[derive(Debug)]
+struct Slot {
+    /// The canonical request (+ relation epochs) this result answers.
+    /// Checked on every hit: the 64-bit key is a hash, and a hash
+    /// collision must degrade to a miss, never to serving foreign rows.
+    request: Request,
+    epochs: Vec<u64>,
+    value: CachedResult,
+    /// Last-touch tick for LRU ordering.
+    stamp: u64,
+}
+
+/// Fixed-capacity least-recently-used map from cache key to result.
+#[derive(Debug)]
+pub struct ResultCache {
+    slots: HashMap<u64, Slot>,
+    capacity: usize,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl ResultCache {
+    /// A cache holding at most `capacity` results (0 disables caching).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            slots: HashMap::with_capacity(capacity.min(1024)),
+            capacity,
+            tick: 0,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Looks `key` up, refreshing its recency on a hit. The canonical
+    /// `request` and `epochs` must match what the slot was filled with —
+    /// a key collision between distinct requests is answered as a miss.
+    pub fn get(&mut self, key: u64, request: &Request, epochs: &[u64]) -> Option<CachedResult> {
+        self.tick += 1;
+        match self.slots.get_mut(&key) {
+            Some(slot) if slot.request == *request && slot.epochs == epochs => {
+                slot.stamp = self.tick;
+                self.hits += 1;
+                Some(slot.value.clone())
+            }
+            _ => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts `value` under `key`, evicting the least-recently-used
+    /// entry if at capacity.
+    pub fn insert(&mut self, key: u64, request: Request, epochs: Vec<u64>, value: CachedResult) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.tick += 1;
+        if !self.slots.contains_key(&key) && self.slots.len() >= self.capacity {
+            // O(n) victim scan: capacities are small (hundreds), and this
+            // only runs on insert-at-capacity. Swap for a list-based LRU
+            // if profiles ever show it.
+            if let Some((&victim, _)) = self.slots.iter().min_by_key(|(_, s)| s.stamp) {
+                self.slots.remove(&victim);
+                self.evictions += 1;
+            }
+        }
+        self.slots.insert(
+            key,
+            Slot {
+                request,
+                epochs,
+                value,
+                stamp: self.tick,
+            },
+        );
+    }
+
+    /// Drops every entry (used when a caller wants a hard reset; epoch
+    /// keying makes this unnecessary for correctness).
+    pub fn clear(&mut self) {
+        self.slots.clear();
+    }
+
+    /// Entries currently held.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the cache holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// `(hits, misses, evictions)` counters since construction.
+    pub fn counters(&self) -> (u64, u64, u64) {
+        (self.hits, self.misses, self.evictions)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result(tag: u32) -> CachedResult {
+        CachedResult {
+            arity: 2,
+            rows: Arc::new(vec![vec![tag, tag]]),
+            counts: Arc::new(vec![0]),
+            stats: ExecStats::new("test", 1),
+            truncated: false,
+        }
+    }
+
+    fn req(tag: u32) -> Request {
+        Request::similarity("R", tag.max(1))
+    }
+
+    fn put(c: &mut ResultCache, key: u64, tag: u32) {
+        c.insert(key, req(tag), vec![1], result(tag));
+    }
+
+    fn probe(c: &mut ResultCache, key: u64, tag: u32) -> Option<CachedResult> {
+        c.get(key, &req(tag), &[1])
+    }
+
+    #[test]
+    fn hit_and_miss_counters() {
+        let mut c = ResultCache::new(4);
+        assert!(probe(&mut c, 1, 1).is_none());
+        put(&mut c, 1, 1);
+        let hit = probe(&mut c, 1, 1).unwrap();
+        assert_eq!(hit.rows[0], vec![1, 1]);
+        assert_eq!(c.counters(), (1, 1, 0));
+    }
+
+    #[test]
+    fn colliding_key_with_different_request_is_a_miss() {
+        let mut c = ResultCache::new(4);
+        put(&mut c, 1, 1);
+        assert!(
+            probe(&mut c, 1, 2).is_none(),
+            "same key, different request: must miss"
+        );
+        assert!(
+            c.get(1, &req(1), &[9]).is_none(),
+            "same key + request, different epochs: must miss"
+        );
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c = ResultCache::new(2);
+        put(&mut c, 1, 1);
+        put(&mut c, 2, 2);
+        probe(&mut c, 1, 1); // 2 is now the LRU
+        put(&mut c, 3, 3);
+        assert!(probe(&mut c, 2, 2).is_none(), "LRU entry evicted");
+        assert!(probe(&mut c, 1, 1).is_some());
+        assert!(probe(&mut c, 3, 3).is_some());
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.counters().2, 1);
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        let mut c = ResultCache::new(0);
+        put(&mut c, 1, 1);
+        assert!(c.is_empty());
+        assert!(probe(&mut c, 1, 1).is_none());
+    }
+
+    #[test]
+    fn reinsert_same_key_does_not_evict() {
+        let mut c = ResultCache::new(2);
+        put(&mut c, 1, 1);
+        put(&mut c, 2, 2);
+        c.insert(1, req(1), vec![1], result(9));
+        assert_eq!(c.len(), 2);
+        assert_eq!(probe(&mut c, 1, 1).unwrap().rows[0], vec![9, 9]);
+        assert!(probe(&mut c, 2, 2).is_some());
+    }
+}

@@ -1,0 +1,220 @@
+//! The relation catalog: named, immutable, stat-profiled relations with
+//! an epoch per entry.
+//!
+//! Registration pays the indexing and profiling cost **once** — the
+//! degree histograms the §5 threshold machinery needs are computed here,
+//! not per query — and every update replaces the whole entry under a new
+//! epoch. Epochs make cache invalidation free: the result cache keys on
+//! `(fingerprint, epochs of referenced relations)`, so a stale entry is
+//! simply never looked up again and ages out of the LRU.
+
+use crate::error::ServiceError;
+use mmjoin_storage::{DegreeHistogram, Relation};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// The per-relation statistics profile, computed once at registration.
+#[derive(Debug, Clone)]
+pub struct RelationProfile {
+    /// Tuples `N` (after deduplication).
+    pub tuples: usize,
+    /// Distinct active `x` values (sets).
+    pub active_x: usize,
+    /// Distinct active `y` values (elements).
+    pub active_y: usize,
+    /// Largest `x` degree (biggest set).
+    pub max_x_degree: u32,
+    /// Largest `y` degree (most popular element).
+    pub max_y_degree: u32,
+    /// Full self-join size `Σ_y deg(y)²` — the duplication mass that
+    /// drives the combinatorial-vs-matrix plan choice on self joins.
+    pub self_join_size: u64,
+    /// Degree histogram over `x` (unit metric).
+    pub x_degrees: DegreeHistogram,
+    /// Degree histogram over `y` (unit metric).
+    pub y_degrees: DegreeHistogram,
+}
+
+impl RelationProfile {
+    /// Profiles `relation` in `O(N log N)`.
+    pub fn compute(relation: &Relation) -> Self {
+        let x_degrees = DegreeHistogram::build(relation.by_x(), |_| 1);
+        let y_degrees = DegreeHistogram::build(relation.by_y(), |_| 1);
+        Self {
+            tuples: relation.len(),
+            active_x: x_degrees.active(),
+            active_y: y_degrees.active(),
+            max_x_degree: x_degrees.max_degree(),
+            max_y_degree: y_degrees.max_degree(),
+            self_join_size: relation.full_join_size(relation),
+            x_degrees,
+            y_degrees,
+        }
+    }
+}
+
+/// One catalog slot: the relation, its cached profile, and the epoch it
+/// was installed at.
+#[derive(Debug, Clone)]
+pub struct CatalogEntry {
+    /// The relation itself (shared with in-flight queries).
+    pub relation: Arc<Relation>,
+    /// Statistics computed at registration.
+    pub profile: Arc<RelationProfile>,
+    /// Monotonically increasing install epoch (catalog-wide counter).
+    pub epoch: u64,
+}
+
+/// Named-relation catalog with epoch bookkeeping.
+///
+/// `BTreeMap` keeps `names()` deterministic for the REPL and tests.
+#[derive(Debug, Default)]
+pub struct Catalog {
+    entries: BTreeMap<String, CatalogEntry>,
+    epoch: u64,
+}
+
+impl Catalog {
+    /// Empty catalog at epoch 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers (or replaces) `name`, profiling the relation and bumping
+    /// the catalog epoch. Returns the entry's new epoch.
+    ///
+    /// The name is trimmed of surrounding whitespace — request
+    /// canonicalization trims names before lookup, so an untrimmed
+    /// catalog key would be permanently unreachable.
+    pub fn register(&mut self, name: impl Into<String>, relation: Relation) -> u64 {
+        let name = name.into().trim().to_string();
+        self.epoch += 1;
+        let entry = CatalogEntry {
+            profile: Arc::new(RelationProfile::compute(&relation)),
+            relation: Arc::new(relation),
+            epoch: self.epoch,
+        };
+        self.entries.insert(name, entry);
+        self.epoch
+    }
+
+    /// Replaces an *existing* relation, bumping epochs; unknown names are
+    /// an error (use [`Catalog::register`] to create).
+    pub fn update(&mut self, name: &str, relation: Relation) -> Result<u64, ServiceError> {
+        let name = name.trim();
+        if !self.entries.contains_key(name) {
+            return Err(ServiceError::UnknownRelation(name.to_string()));
+        }
+        Ok(self.register(name, relation))
+    }
+
+    /// Removes `name`, bumping the catalog epoch if it existed.
+    pub fn remove(&mut self, name: &str) -> bool {
+        let removed = self.entries.remove(name).is_some();
+        if removed {
+            self.epoch += 1;
+        }
+        removed
+    }
+
+    /// Looks an entry up.
+    pub fn get(&self, name: &str) -> Option<&CatalogEntry> {
+        self.entries.get(name)
+    }
+
+    /// Resolves `name` or errors.
+    pub fn resolve(&self, name: &str) -> Result<&CatalogEntry, ServiceError> {
+        self.get(name)
+            .ok_or_else(|| ServiceError::UnknownRelation(name.to_string()))
+    }
+
+    /// The catalog-wide epoch: bumped by every register/update/remove.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Registered names, sorted.
+    pub fn names(&self) -> Vec<&str> {
+        self.entries.keys().map(String::as_str).collect()
+    }
+
+    /// Number of registered relations.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rel(edges: &[(u32, u32)]) -> Relation {
+        Relation::from_edges(edges.iter().copied())
+    }
+
+    #[test]
+    fn register_profiles_and_bumps_epoch() {
+        let mut c = Catalog::new();
+        assert_eq!(c.epoch(), 0);
+        let e1 = c.register("R", rel(&[(0, 0), (1, 0), (2, 1)]));
+        assert_eq!(e1, 1);
+        let entry = c.get("R").unwrap();
+        assert_eq!(entry.profile.tuples, 3);
+        assert_eq!(entry.profile.active_x, 3);
+        assert_eq!(entry.profile.active_y, 2);
+        assert_eq!(entry.profile.max_y_degree, 2);
+        // self_join_size = 2² + 1² = 5
+        assert_eq!(entry.profile.self_join_size, 5);
+    }
+
+    #[test]
+    fn update_requires_existing_name() {
+        let mut c = Catalog::new();
+        assert!(matches!(
+            c.update("nope", rel(&[(0, 0)])),
+            Err(ServiceError::UnknownRelation(_))
+        ));
+        c.register("R", rel(&[(0, 0)]));
+        let old_epoch = c.get("R").unwrap().epoch;
+        let new_epoch = c.update("R", rel(&[(0, 0), (1, 0)])).unwrap();
+        assert!(new_epoch > old_epoch);
+        assert_eq!(c.get("R").unwrap().profile.tuples, 2);
+    }
+
+    #[test]
+    fn remove_bumps_epoch() {
+        let mut c = Catalog::new();
+        c.register("R", rel(&[(0, 0)]));
+        let e = c.epoch();
+        assert!(c.remove("R"));
+        assert!(c.epoch() > e);
+        assert!(!c.remove("R"));
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn names_trimmed_to_match_request_canonicalization() {
+        let mut c = Catalog::new();
+        c.register(" R \t", rel(&[(0, 0)]));
+        assert!(
+            c.get("R").is_some(),
+            "padded registration must be reachable"
+        );
+        assert_eq!(c.names(), vec!["R"]);
+        assert!(c.update(" R ", rel(&[(0, 0), (1, 0)])).is_ok());
+    }
+
+    #[test]
+    fn names_sorted() {
+        let mut c = Catalog::new();
+        c.register("b", rel(&[(0, 0)]));
+        c.register("a", rel(&[(0, 0)]));
+        assert_eq!(c.names(), vec!["a", "b"]);
+        assert_eq!(c.len(), 2);
+    }
+}

@@ -1,0 +1,174 @@
+//! Service-level metrics: queries served, cache hit rate, latency
+//! percentiles.
+
+/// Rolling metrics recorder. Latencies are kept in a fixed-size ring so a
+/// long-lived service never grows unbounded; p50/p99 are computed over
+/// the most recent `LATENCY_WINDOW` samples.
+#[derive(Debug)]
+pub struct ServiceMetrics {
+    queries: u64,
+    cache_hits: u64,
+    errors: u64,
+    rejected: u64,
+    total_busy_secs: f64,
+    latencies_us: Vec<u64>,
+    next_slot: usize,
+}
+
+/// Samples retained for the latency percentiles.
+const LATENCY_WINDOW: usize = 4096;
+
+impl Default for ServiceMetrics {
+    fn default() -> Self {
+        Self {
+            queries: 0,
+            cache_hits: 0,
+            errors: 0,
+            rejected: 0,
+            total_busy_secs: 0.0,
+            latencies_us: Vec::with_capacity(256),
+            next_slot: 0,
+        }
+    }
+}
+
+impl ServiceMetrics {
+    /// Fresh, zeroed metrics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one served query (`latency_secs` = queue wait + service
+    /// time as observed by the worker).
+    pub fn record_query(&mut self, latency_secs: f64, cached: bool) {
+        self.queries += 1;
+        if cached {
+            self.cache_hits += 1;
+        }
+        self.total_busy_secs += latency_secs;
+        let us = (latency_secs * 1e6).round() as u64;
+        if self.latencies_us.len() < LATENCY_WINDOW {
+            self.latencies_us.push(us);
+        } else {
+            self.latencies_us[self.next_slot] = us;
+            self.next_slot = (self.next_slot + 1) % LATENCY_WINDOW;
+        }
+    }
+
+    /// Records a failed query.
+    pub fn record_error(&mut self) {
+        self.errors += 1;
+    }
+
+    /// Records an admission-queue rejection.
+    pub fn record_rejected(&mut self) {
+        self.rejected += 1;
+    }
+
+    /// An immutable snapshot for reporting.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut sorted = self.latencies_us.clone();
+        sorted.sort_unstable();
+        let pct = |p: f64| -> u64 {
+            if sorted.is_empty() {
+                return 0;
+            }
+            let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+            sorted[idx]
+        };
+        MetricsSnapshot {
+            queries_served: self.queries,
+            cache_hits: self.cache_hits,
+            errors: self.errors,
+            rejected: self.rejected,
+            cache_hit_rate: if self.queries == 0 {
+                0.0
+            } else {
+                self.cache_hits as f64 / self.queries as f64
+            },
+            mean_latency_us: if self.queries == 0 {
+                0
+            } else {
+                (self.total_busy_secs * 1e6 / self.queries as f64).round() as u64
+            },
+            p50_latency_us: pct(0.50),
+            p99_latency_us: pct(0.99),
+        }
+    }
+}
+
+/// Point-in-time service statistics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Successfully answered queries (cached or executed).
+    pub queries_served: u64,
+    /// Of those, how many came from the result cache.
+    pub cache_hits: u64,
+    /// Failed queries.
+    pub errors: u64,
+    /// Requests bounced by the admission queue.
+    pub rejected: u64,
+    /// `cache_hits / queries_served` (0 when idle).
+    pub cache_hit_rate: f64,
+    /// Mean service latency in microseconds.
+    pub mean_latency_us: u64,
+    /// Median latency over the recent window, microseconds.
+    pub p50_latency_us: u64,
+    /// 99th-percentile latency over the recent window, microseconds.
+    pub p99_latency_us: u64,
+}
+
+impl std::fmt::Display for MetricsSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "served {} (cache hits {}, {:.1}%), errors {}, rejected {}, \
+             latency mean {}us p50 {}us p99 {}us",
+            self.queries_served,
+            self.cache_hits,
+            self.cache_hit_rate * 100.0,
+            self.errors,
+            self.rejected,
+            self.mean_latency_us,
+            self.p50_latency_us,
+            self.p99_latency_us,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_percentiles() {
+        let mut m = ServiceMetrics::new();
+        for i in 1..=100u64 {
+            m.record_query(i as f64 * 1e-6, i % 4 == 0);
+        }
+        let s = m.snapshot();
+        assert_eq!(s.queries_served, 100);
+        assert_eq!(s.cache_hits, 25);
+        assert!((s.cache_hit_rate - 0.25).abs() < 1e-9);
+        assert_eq!(s.p50_latency_us, 51); // nearest-rank on 1..=100
+        assert_eq!(s.p99_latency_us, 99);
+        assert_eq!(s.mean_latency_us, 51); // mean of 1..=100 rounded
+    }
+
+    #[test]
+    fn empty_snapshot_is_zeroed() {
+        let s = ServiceMetrics::new().snapshot();
+        assert_eq!(s.queries_served, 0);
+        assert_eq!(s.p99_latency_us, 0);
+        assert_eq!(s.cache_hit_rate, 0.0);
+    }
+
+    #[test]
+    fn ring_window_bounds_memory() {
+        let mut m = ServiceMetrics::new();
+        for _ in 0..(LATENCY_WINDOW + 500) {
+            m.record_query(1e-6, false);
+        }
+        assert_eq!(m.latencies_us.len(), LATENCY_WINDOW);
+    }
+}

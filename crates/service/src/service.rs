@@ -1,0 +1,676 @@
+//! The concurrent join service: admission queue, worker pool, and the
+//! query path tying catalog + planner + cache + registry together.
+
+use crate::cache::{CachedResult, ResultCache};
+use crate::catalog::{Catalog, RelationProfile};
+use crate::error::ServiceError;
+use crate::metrics::{MetricsSnapshot, ServiceMetrics};
+use crate::planner::{Planner, Selection, SelectionReason};
+use crate::request::{Fnv1a, QuerySpec, Request};
+use mmjoin_api::{EngineRegistry, ExecStats, LimitSink, Query, QueryFamily, VecSink};
+use mmjoin_core::JoinConfig;
+use mmjoin_storage::{Relation, Value};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex, RwLock};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Construction-time service configuration.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Worker threads draining the admission queue (min 1).
+    pub workers: usize,
+    /// Result-cache capacity in entries (0 disables caching).
+    pub cache_capacity: usize,
+    /// Admission-queue capacity; submissions beyond it are rejected with
+    /// [`ServiceError::Overloaded`].
+    pub queue_capacity: usize,
+    /// Configuration shared by the planner's cost model (and by
+    /// [`Service::with_config`]'s default registry).
+    pub join_config: JoinConfig,
+    /// Per-family engine overrides for the planner.
+    pub engine_overrides: HashMap<QueryFamily, String>,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(2)
+                .clamp(1, 8),
+            cache_capacity: 256,
+            queue_capacity: 1024,
+            join_config: JoinConfig::default(),
+            engine_overrides: HashMap::new(),
+        }
+    }
+}
+
+/// One answered query.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Output rows, in the engine's emission order. Shared with the
+    /// cache, so a hit returns the *same* buffer the cold run produced.
+    pub rows: Arc<Vec<Vec<Value>>>,
+    /// Per-row witness counts (0 where the family emits none).
+    pub counts: Arc<Vec<u32>>,
+    /// Output arity.
+    pub arity: usize,
+    /// The stats of the execution that produced these rows (for a cache
+    /// hit: the original cold execution).
+    pub stats: ExecStats,
+    /// How the engine was selected (`None` on cache hits — no planning
+    /// ran; the engine name is still in [`ExecStats::engine`]).
+    pub selection: Option<SelectionReason>,
+    /// Whether this response came from the result cache.
+    pub cached: bool,
+    /// Whether the row limit was reached (the stream *may* have been cut
+    /// short; an output of exactly `limit` rows also reports `true`).
+    pub truncated: bool,
+    /// The cache key this result is stored under (fingerprint ⊕ epochs).
+    pub cache_key: u64,
+}
+
+struct Job {
+    request: Request,
+    enqueued: Instant,
+    tx: mpsc::Sender<Result<Response, ServiceError>>,
+}
+
+/// Handle to an in-flight submission.
+pub struct Ticket {
+    rx: mpsc::Receiver<Result<Response, ServiceError>>,
+}
+
+impl Ticket {
+    /// Blocks until the response is ready.
+    pub fn wait(self) -> Result<Response, ServiceError> {
+        self.rx.recv().unwrap_or(Err(ServiceError::ShuttingDown))
+    }
+}
+
+struct QueueState {
+    jobs: VecDeque<Job>,
+    shutdown: bool,
+}
+
+struct Inner {
+    registry: EngineRegistry,
+    planner: Planner,
+    catalog: RwLock<Catalog>,
+    cache: Mutex<ResultCache>,
+    queue: Mutex<QueueState>,
+    available: Condvar,
+    metrics: Mutex<ServiceMetrics>,
+    queue_capacity: usize,
+    shutting_down: AtomicBool,
+}
+
+/// A long-lived, thread-safe join service.
+///
+/// ```
+/// use mmjoin_service::{Request, Service, ServiceConfig};
+/// use mmjoin_storage::Relation;
+///
+/// let service = Service::with_default_registry(2);
+/// service.register("friends", Relation::from_edges([(0, 0), (1, 0), (2, 1)]));
+///
+/// let cold = service.query(Request::two_path("friends", "friends"))?;
+/// let warm = service.query(Request::two_path("friends", "friends"))?;
+/// assert!(!cold.cached && warm.cached);
+/// assert_eq!(cold.rows, warm.rows);
+/// # Ok::<(), mmjoin_service::ServiceError>(())
+/// ```
+pub struct Service {
+    inner: Arc<Inner>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Service {
+    /// A service over `registry` with the given configuration.
+    pub fn new(registry: EngineRegistry, config: ServiceConfig) -> Self {
+        let planner = Planner {
+            overrides: config.engine_overrides.clone(),
+            config: config.join_config.clone(),
+        };
+        let inner = Arc::new(Inner {
+            registry,
+            planner,
+            catalog: RwLock::new(Catalog::new()),
+            cache: Mutex::new(ResultCache::new(config.cache_capacity)),
+            queue: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                shutdown: false,
+            }),
+            available: Condvar::new(),
+            metrics: Mutex::new(ServiceMetrics::new()),
+            queue_capacity: config.queue_capacity.max(1),
+            shutting_down: AtomicBool::new(false),
+        });
+        let workers = (0..config.workers.max(1))
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("mmjoin-worker-{i}"))
+                    .spawn(move || worker_loop(inner))
+                    .expect("spawn service worker")
+            })
+            .collect();
+        Self { inner, workers }
+    }
+
+    /// A service with the full default engine roster and `workers` pool
+    /// threads. Engines run serially; the service parallelises *across*
+    /// queries. For intra-query parallelism use [`Service::with_config`]
+    /// with a multi-threaded [`JoinConfig`].
+    pub fn with_default_registry(workers: usize) -> Self {
+        Self::with_config(ServiceConfig {
+            workers,
+            ..ServiceConfig::default()
+        })
+    }
+
+    /// A service with the full default engine roster, all knobs explicit.
+    pub fn with_config(config: ServiceConfig) -> Self {
+        let registry = crate::roster::registry_with_config(&config.join_config);
+        Self::new(registry, config)
+    }
+
+    /// Registers (or replaces) a named relation, profiling it once.
+    /// Returns the catalog epoch of the new entry.
+    pub fn register(&self, name: impl Into<String>, relation: Relation) -> u64 {
+        self.inner.catalog.write().unwrap().register(name, relation)
+    }
+
+    /// Replaces an existing relation (bumping its epoch, which makes all
+    /// cached results over it unreachable).
+    pub fn update(&self, name: &str, relation: Relation) -> Result<u64, ServiceError> {
+        self.inner.catalog.write().unwrap().update(name, relation)
+    }
+
+    /// Removes a relation from the catalog.
+    pub fn remove(&self, name: &str) -> bool {
+        self.inner.catalog.write().unwrap().remove(name)
+    }
+
+    /// Current catalog-wide epoch.
+    pub fn catalog_epoch(&self) -> u64 {
+        self.inner.catalog.read().unwrap().epoch()
+    }
+
+    /// Registered relation names, sorted.
+    pub fn relation_names(&self) -> Vec<String> {
+        self.inner
+            .catalog
+            .read()
+            .unwrap()
+            .names()
+            .into_iter()
+            .map(str::to_string)
+            .collect()
+    }
+
+    /// The cached statistics profile of a relation, if registered.
+    pub fn relation_profile(&self, name: &str) -> Option<Arc<RelationProfile>> {
+        self.inner
+            .catalog
+            .read()
+            .unwrap()
+            .get(name)
+            .map(|e| Arc::clone(&e.profile))
+    }
+
+    /// A snapshot of a relation's current tuples (for read-modify-write
+    /// updates, e.g. the REPL's `update … add`).
+    pub fn relation_edges(&self, name: &str) -> Option<Vec<(Value, Value)>> {
+        self.inner
+            .catalog
+            .read()
+            .unwrap()
+            .get(name)
+            .map(|e| e.relation.edges().to_vec())
+    }
+
+    /// Enqueues a request; returns immediately with a [`Ticket`].
+    /// Rejected submissions (queue full, shutting down) resolve the
+    /// ticket with the corresponding error.
+    pub fn submit(&self, request: Request) -> Ticket {
+        let (tx, rx) = mpsc::channel();
+        let mut q = self.inner.queue.lock().unwrap();
+        if q.shutdown || self.inner.shutting_down.load(Ordering::SeqCst) {
+            let _ = tx.send(Err(ServiceError::ShuttingDown));
+        } else if q.jobs.len() >= self.inner.queue_capacity {
+            drop(q);
+            self.inner.metrics.lock().unwrap().record_rejected();
+            let _ = tx.send(Err(ServiceError::Overloaded {
+                capacity: self.inner.queue_capacity,
+            }));
+        } else {
+            q.jobs.push_back(Job {
+                request,
+                enqueued: Instant::now(),
+                tx,
+            });
+            drop(q);
+            self.inner.available.notify_one();
+        }
+        Ticket { rx }
+    }
+
+    /// Submits and blocks for the answer — the synchronous front door.
+    pub fn query(&self, request: Request) -> Result<Response, ServiceError> {
+        self.submit(request).wait()
+    }
+
+    /// Service-level metrics snapshot.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.inner.metrics.lock().unwrap().snapshot()
+    }
+
+    /// `(hits, misses, evictions)` of the result cache.
+    pub fn cache_counters(&self) -> (u64, u64, u64) {
+        self.inner.cache.lock().unwrap().counters()
+    }
+
+    /// Results currently cached.
+    pub fn cache_len(&self) -> usize {
+        self.inner.cache.lock().unwrap().len()
+    }
+
+    /// The engine registry this service executes on.
+    pub fn registry(&self) -> &EngineRegistry {
+        &self.inner.registry
+    }
+
+    /// Worker threads in the pool.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        self.inner.shutting_down.store(true, Ordering::SeqCst);
+        {
+            let mut q = self.inner.queue.lock().unwrap();
+            q.shutdown = true;
+            // Fail any still-queued jobs instead of silently dropping them.
+            for job in q.jobs.drain(..) {
+                let _ = job.tx.send(Err(ServiceError::ShuttingDown));
+            }
+        }
+        self.inner.available.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Best-effort text of a panic payload.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "worker panicked".to_string()
+    }
+}
+
+fn worker_loop(inner: Arc<Inner>) {
+    loop {
+        let job = {
+            let mut q = inner.queue.lock().unwrap();
+            loop {
+                if let Some(job) = q.jobs.pop_front() {
+                    break Some(job);
+                }
+                if q.shutdown {
+                    break None;
+                }
+                q = inner.available.wait(q).unwrap();
+            }
+        };
+        let Some(job) = job else { return };
+        // A panicking engine must not take the worker (and with it the
+        // whole queue) down: catch it, fail this query, keep serving.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            process(&inner, job.request)
+        }))
+        .unwrap_or_else(|payload| Err(ServiceError::Internal(panic_message(payload))));
+        let latency = job.enqueued.elapsed().as_secs_f64();
+        {
+            let mut m = inner.metrics.lock().unwrap();
+            match &result {
+                Ok(response) => m.record_query(latency, response.cached),
+                Err(_) => m.record_error(),
+            }
+        }
+        // A dropped ticket just means the caller stopped waiting.
+        let _ = job.tx.send(result);
+    }
+}
+
+/// The full query path: canonicalize → resolve → cache probe → plan →
+/// execute → cache fill.
+fn process(inner: &Inner, request: Request) -> Result<Response, ServiceError> {
+    let request = request.canonical();
+
+    // Resolve names to relation handles + epochs under the read lock,
+    // then release it — execution must not block catalog writers.
+    let (handles, epochs) = {
+        let catalog = inner.catalog.read().unwrap();
+        let mut handles: Vec<Arc<Relation>> = Vec::new();
+        let mut epochs: Vec<u64> = Vec::new();
+        for name in request.relation_names() {
+            let entry = catalog.resolve(name)?;
+            handles.push(Arc::clone(&entry.relation));
+            epochs.push(entry.epoch);
+        }
+        (handles, epochs)
+    };
+
+    // Cache key: canonical fingerprint ⊕ the epochs of every referenced
+    // relation (names are already inside the fingerprint). Any update
+    // bumps an epoch and the key changes — stale results are unreachable.
+    // The key is a hash, so hits additionally verify the stored request
+    // and epochs (see ResultCache::get); a collision degrades to a miss.
+    let fingerprint = request.fingerprint_assuming_canonical();
+    let cache_key = {
+        let mut h = Fnv1a::new();
+        h.u64(fingerprint);
+        for &epoch in &epochs {
+            h.u64(epoch);
+        }
+        h.finish()
+    };
+
+    if let Some(hit) = inner
+        .cache
+        .lock()
+        .unwrap()
+        .get(cache_key, &request, &epochs)
+    {
+        return Ok(Response {
+            rows: hit.rows,
+            counts: hit.counts,
+            arity: hit.arity,
+            stats: hit.stats,
+            selection: None,
+            cached: true,
+            truncated: hit.truncated,
+            cache_key,
+        });
+    }
+
+    // Build the borrowed Query over the resolved handles. Star queries
+    // need a contiguous `&[Relation]`, so they clone the payloads once
+    // (linear in input size — dwarfed by the join itself; a future PR
+    // can switch `Query::Star` to reference slices to avoid it).
+    let star_storage: Vec<Relation>;
+    let query = match &request.spec {
+        QuerySpec::TwoPath {
+            with_counts,
+            min_count,
+            ..
+        } => Query::TwoPath {
+            r: &handles[0],
+            s: &handles[1],
+            with_counts: *with_counts,
+            min_count: *min_count,
+        },
+        QuerySpec::Star { .. } => {
+            star_storage = handles.iter().map(|h| (**h).clone()).collect();
+            Query::Star {
+                relations: &star_storage,
+            }
+        }
+        QuerySpec::Similarity { c, ordered, .. } => Query::SimilarityJoin {
+            r: &handles[0],
+            c: *c,
+            ordered: *ordered,
+        },
+        QuerySpec::Containment { .. } => Query::ContainmentJoin { r: &handles[0] },
+    };
+    query.validate()?;
+
+    let selection: Selection =
+        inner
+            .planner
+            .select(&inner.registry, &query, request.engine.as_deref())?;
+
+    let (sink, stats, truncated) = match request.limit {
+        Some(limit) => {
+            let mut sink = LimitSink::new(VecSink::new(), limit);
+            let stats = inner
+                .registry
+                .execute(&selection.engine, &query, &mut sink)?;
+            let truncated = sink.limit_reached();
+            (sink.into_inner(), stats, truncated)
+        }
+        None => {
+            let mut sink = VecSink::new();
+            let stats = inner
+                .registry
+                .execute(&selection.engine, &query, &mut sink)?;
+            (sink, stats, false)
+        }
+    };
+
+    let result = CachedResult {
+        arity: query.output_arity(),
+        rows: Arc::new(sink.rows),
+        counts: Arc::new(sink.counts),
+        stats: stats.clone(),
+        truncated,
+    };
+    inner
+        .cache
+        .lock()
+        .unwrap()
+        .insert(cache_key, request, epochs, result.clone());
+
+    Ok(Response {
+        rows: result.rows,
+        counts: result.counts,
+        arity: result.arity,
+        stats,
+        selection: Some(selection.reason),
+        cached: false,
+        truncated,
+        cache_key,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn service() -> Service {
+        Service::with_config(ServiceConfig {
+            workers: 2,
+            ..ServiceConfig::default()
+        })
+    }
+
+    fn tiny() -> Relation {
+        Relation::from_edges([(0, 0), (1, 0), (2, 1), (2, 0)])
+    }
+
+    #[test]
+    fn cold_then_warm_round_trip() {
+        let s = service();
+        s.register("R", tiny());
+        let cold = s.query(Request::two_path("R", "R")).unwrap();
+        assert!(!cold.cached);
+        assert!(cold.selection.is_some());
+        let warm = s.query(Request::two_path("R", "R")).unwrap();
+        assert!(warm.cached);
+        assert_eq!(cold.rows, warm.rows);
+        assert_eq!(cold.counts, warm.counts);
+        assert_eq!(cold.cache_key, warm.cache_key);
+        let m = s.metrics();
+        assert_eq!(m.queries_served, 2);
+        assert_eq!(m.cache_hits, 1);
+    }
+
+    #[test]
+    fn unknown_relation_is_an_error() {
+        let s = service();
+        assert!(matches!(
+            s.query(Request::two_path("nope", "nope")),
+            Err(ServiceError::UnknownRelation(_))
+        ));
+        assert_eq!(s.metrics().errors, 1);
+    }
+
+    #[test]
+    fn update_invalidates() {
+        let s = service();
+        s.register("R", tiny());
+        let before = s.query(Request::two_path("R", "R")).unwrap();
+        // Adding a hub tuple changes the output.
+        s.update(
+            "R",
+            Relation::from_edges([(0, 0), (1, 0), (2, 1), (2, 0), (3, 1)]),
+        )
+        .unwrap();
+        let after = s.query(Request::two_path("R", "R")).unwrap();
+        assert!(!after.cached, "update must force re-execution");
+        assert_ne!(before.rows, after.rows);
+        assert_ne!(before.cache_key, after.cache_key);
+    }
+
+    #[test]
+    fn limit_truncates_and_keys_separately() {
+        let s = service();
+        s.register("R", tiny());
+        let full = s.query(Request::two_path("R", "R")).unwrap();
+        let limited = s.query(Request::two_path("R", "R").limit(2)).unwrap();
+        assert!(!limited.cached, "different fingerprint, no false hit");
+        assert!(limited.truncated);
+        assert_eq!(limited.rows.len(), 2);
+        assert_eq!(&limited.rows[..], &full.rows[..2]);
+        // The limited entry is cached under its own key.
+        let again = s.query(Request::two_path("R", "R").limit(2)).unwrap();
+        assert!(again.cached);
+        assert_eq!(again.rows, limited.rows);
+    }
+
+    #[test]
+    fn star_and_self_families_work() {
+        let s = service();
+        s.register("R", tiny());
+        let star = s.query(Request::star(["R", "R", "R"])).unwrap();
+        assert_eq!(star.arity, 3);
+        assert!(!star.rows.is_empty());
+        let sim = s.query(Request::similarity("R", 1)).unwrap();
+        assert_eq!(sim.arity, 2);
+        let scj = s.query(Request::containment("R")).unwrap();
+        assert_eq!(scj.arity, 2);
+    }
+
+    #[test]
+    fn pinned_engine_is_respected() {
+        let s = service();
+        s.register("R", tiny());
+        let r = s
+            .query(Request::two_path("R", "R").on_engine("MergeJoin(MySQL)"))
+            .unwrap();
+        assert_eq!(r.stats.engine, "MergeJoin(MySQL)");
+        assert_eq!(r.selection, Some(SelectionReason::Pinned));
+    }
+
+    #[test]
+    fn overload_rejects_gracefully() {
+        // 1 worker, queue of 1: the third concurrent submission while the
+        // worker sleeps on the first may be rejected; all tickets resolve.
+        let s = Service::with_config(ServiceConfig {
+            workers: 1,
+            queue_capacity: 1,
+            ..ServiceConfig::default()
+        });
+        s.register("R", tiny());
+        let tickets: Vec<Ticket> = (0..20)
+            .map(|_| s.submit(Request::two_path("R", "R")))
+            .collect();
+        let mut ok = 0;
+        let mut overloaded = 0;
+        for t in tickets {
+            match t.wait() {
+                Ok(_) => ok += 1,
+                Err(ServiceError::Overloaded { .. }) => overloaded += 1,
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        assert_eq!(ok + overloaded, 20);
+        assert!(ok >= 1);
+    }
+
+    #[test]
+    fn worker_survives_engine_panic() {
+        use mmjoin_api::{Engine, EngineError, EngineRegistry, ExecStats, Query, Sink};
+
+        /// Engine that panics on 2-path queries (stand-in for an engine
+        /// bug on adversarial input).
+        struct Grenade;
+        impl Engine for Grenade {
+            fn name(&self) -> &str {
+                "Grenade"
+            }
+            fn supports(&self, query: &Query<'_>) -> bool {
+                query.family() == mmjoin_api::QueryFamily::TwoPath
+            }
+            fn execute(
+                &self,
+                _query: &Query<'_>,
+                _sink: &mut dyn Sink,
+            ) -> Result<ExecStats, EngineError> {
+                panic!("boom");
+            }
+        }
+
+        let mut registry = EngineRegistry::new();
+        registry.register(Box::new(Grenade));
+        let s = Service::new(
+            registry,
+            ServiceConfig {
+                workers: 1,
+                ..ServiceConfig::default()
+            },
+        );
+        s.register("R", tiny());
+        // The panicking query fails cleanly…
+        match s.query(Request::two_path("R", "R").on_engine("Grenade")) {
+            Err(ServiceError::Internal(msg)) => assert!(msg.contains("boom"), "{msg}"),
+            other => panic!("expected Internal, got {other:?}"),
+        }
+        // …and the single worker is still alive to serve the next query
+        // (an error response, but a response — not a hang).
+        match s.query(Request::two_path("R", "R").on_engine("nope")) {
+            Err(ServiceError::UnknownEngine(_)) => {}
+            other => panic!("worker died: {other:?}"),
+        }
+        assert_eq!(s.metrics().errors, 2);
+    }
+
+    #[test]
+    fn drop_resolves_pending_tickets() {
+        let s = service();
+        s.register("R", tiny());
+        let ticket = {
+            let _answered = s.query(Request::two_path("R", "R")).unwrap();
+            let t = s.submit(Request::two_path("R", "R"));
+            drop(s);
+            t
+        };
+        // Either it ran before shutdown or was failed with ShuttingDown —
+        // it must not hang.
+        match ticket.wait() {
+            Ok(_) | Err(ServiceError::ShuttingDown) => {}
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+    }
+}

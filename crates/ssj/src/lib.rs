@@ -176,13 +176,12 @@ impl Engine for SimilarityEngine {
         if let SsjAlgorithm::MmJoin = self.algo {
             return MmJoinEngine::new(self.config.clone()).execute(query, sink);
         }
-        sink.begin(2);
         if !ordered {
             let pairs = self.pairs_unordered(r, c);
-            for &(a, b) in &pairs {
-                sink.row(&[a, b]);
-            }
-            return Ok(ExecStats::new(self.name(), pairs.len() as u64));
+            return Ok(ExecStats::new(
+                self.name(),
+                mmjoin_api::emit_pairs(sink, &pairs),
+            ));
         }
         // Ordered: the non-MM algorithms discover pairs without counts, so
         // every overlap is re-verified by sorted-list intersection — the
@@ -201,10 +200,12 @@ impl Engine for SimilarityEngine {
                 .cmp(&p.overlap)
                 .then_with(|| (p.a, p.b).cmp(&(q.a, q.b)))
         });
-        for p in &pairs {
-            sink.counted_row(&[p.a, p.b], p.overlap);
-        }
-        Ok(ExecStats::new(self.name(), pairs.len() as u64))
+        let triples: Vec<(Value, Value, u32)> =
+            pairs.iter().map(|p| (p.a, p.b, p.overlap)).collect();
+        Ok(ExecStats::new(
+            self.name(),
+            mmjoin_api::emit_counted_pairs(sink, &triples, true),
+        ))
     }
 }
 

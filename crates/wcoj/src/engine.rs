@@ -48,15 +48,18 @@ impl Engine for WcojEngine {
             _ => return Err(self.unsupported(query)),
         };
         sink.begin(query.output_arity());
+        let mut rows = 0u64;
         for t in &tuples {
+            if !sink.wants_more() {
+                break;
+            }
             sink.row(t);
+            rows += 1;
         }
-        Ok(
-            ExecStats::new(self.name(), tuples.len() as u64).with_plan(PlanStats {
-                kind: PlanKind::Wcoj,
-                ..PlanStats::wcoj()
-            }),
-        )
+        Ok(ExecStats::new(self.name(), rows).with_plan(PlanStats {
+            kind: PlanKind::Wcoj,
+            ..PlanStats::wcoj()
+        }))
     }
 }
 

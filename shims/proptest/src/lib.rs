@@ -160,10 +160,114 @@ impl ProptestConfig {
     }
 }
 
-/// The common imports, mirroring `proptest::prelude::*`.
+/// Strategies drawing from an explicit list (mirrors `proptest::sample`).
+pub mod sample {
+    use super::strategy::Strategy;
+    use super::TestRng;
+
+    /// Strategy choosing uniformly among pre-built options.
+    pub struct Select<T> {
+        options: Vec<T>,
+    }
+
+    /// Uniform choice among `options` (must be non-empty).
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select() needs at least one option");
+        Select { options }
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            self.options[rng.below(0..self.options.len())].clone()
+        }
+    }
+}
+
+/// `Option` strategies (mirrors `proptest::option`).
+pub mod option {
+    use super::strategy::Strategy;
+    use super::TestRng;
+
+    /// Strategy producing `None` ~25% of the time (upstream's default
+    /// weight), `Some(inner)` otherwise.
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// `Option<T>` from an inner strategy.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            if rng.below(0u32..4) == 0 {
+                None
+            } else {
+                Some(self.inner.sample(rng))
+            }
+        }
+    }
+}
+
+/// Minimal `Arbitrary` stand-in backing [`any`].
+pub trait ArbitrarySample {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl ArbitrarySample for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.below(0u32..2) == 1
+    }
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl ArbitrarySample for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                // `below` is half-open, which would never produce MAX;
+                // weight the boundary values in explicitly (upstream
+                // proptest also biases toward edge cases).
+                match rng.below(0u32..32) {
+                    0 => <$t>::MAX,
+                    1 => <$t>::MIN,
+                    _ => rng.below(<$t>::MIN..<$t>::MAX),
+                }
+            }
+        }
+    )*};
+}
+
+arbitrary_int!(u8, u16, u32, i8, i16, i32);
+
+/// Strategy over a type's full arbitrary domain (mirrors
+/// `proptest::prelude::any`).
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// `any::<T>()` — the upstream entry point for type-driven strategies.
+pub fn any<T: ArbitrarySample>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: ArbitrarySample> strategy::Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The common imports, mirroring `proptest::prelude::*` (including the
+/// `prop` module alias upstream exposes for `prop::collection::vec`-style
+/// paths).
 pub mod prelude {
+    pub use crate as prop;
     pub use crate::strategy::Strategy;
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig};
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, ProptestConfig,
+    };
 }
 
 /// Property-test entry macro. Supports the upstream surface this workspace
@@ -198,6 +302,18 @@ macro_rules! __proptest_impl {
             }
         }
         $crate::__proptest_impl!{ ($cfg); $($rest)* }
+    };
+}
+
+/// Skips the current case when its precondition fails (upstream rejects
+/// and redraws; with fixed case counts a plain skip is equivalent here).
+/// Only valid inside a `proptest!` body, where it continues the case loop.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            continue;
+        }
     };
 }
 

@@ -2,9 +2,9 @@
 //! partition of Algorithm 1 (all-light, all-heavy, maximally skewed,
 //! degenerate domains), checked across engines.
 
+use mmjoin_api::{Engine, PairSink, Query};
 use mmjoin_baseline::fulljoin::SortMergeEngine;
 use mmjoin_baseline::nonmm::ExpandDedupEngine;
-use mmjoin_baseline::TwoPathEngine;
 use mmjoin_core::{
     two_path_join_project, two_path_with_counts, JoinConfig, MmJoinEngine, PlanChoice,
 };
@@ -16,13 +16,16 @@ fn rel(edges: &[(Value, Value)]) -> Relation {
 
 fn assert_all_engines_agree(r: &Relation, s: &Relation, label: &str) {
     let reference = SortMergeEngine.join_project(r, s);
-    let engines: Vec<Box<dyn TwoPathEngine>> = vec![
+    let query = Query::two_path(r, s).build().unwrap();
+    let engines: Vec<Box<dyn Engine>> = vec![
         Box::new(MmJoinEngine::serial()),
         Box::new(MmJoinEngine::parallel(3)),
         Box::new(ExpandDedupEngine::serial()),
     ];
     for e in engines {
-        assert_eq!(e.join_project(r, s), reference, "{label}: {}", e.name());
+        let mut sink = PairSink::new();
+        e.execute(&query, &mut sink).unwrap();
+        assert_eq!(sink.pairs, reference, "{label}: {}", e.name());
     }
     // Forced extreme thresholds must also agree.
     for (d1, d2) in [(1, 1), (1, 1000), (1000, 1), (1000, 1000)] {

@@ -3,8 +3,7 @@
 //! means no output may depend on scheduling).
 
 use mmjoin_baseline::nonmm::ExpandDedupEngine;
-use mmjoin_baseline::{StarEngine, TwoPathEngine};
-use mmjoin_core::{two_path_with_counts, JoinConfig, MmJoinEngine};
+use mmjoin_core::{star_join_project_mm, two_path_join_project, two_path_with_counts, JoinConfig};
 use mmjoin_datagen::DatasetKind;
 use mmjoin_matrix::{matmul, matmul_parallel, DenseMatrix};
 use mmjoin_scj::{set_containment_join, ScjAlgorithm};
@@ -41,10 +40,10 @@ fn gemm_parallel_consistency_on_many_shapes() {
 fn mmjoin_two_path_parallel_consistency() {
     for kind in [DatasetKind::Jokes, DatasetKind::Words, DatasetKind::Dblp] {
         let r = mmjoin_datagen::generate(kind, 0.03, SEED);
-        let serial = MmJoinEngine::serial().join_project(&r, &r);
+        let serial = two_path_join_project(&r, &r, &cfg(1));
         for &t in &THREADS {
             assert_eq!(
-                MmJoinEngine::parallel(t).join_project(&r, &r),
+                two_path_join_project(&r, &r, &cfg(t)),
                 serial,
                 "{kind:?} x{t}"
             );
@@ -68,13 +67,9 @@ fn counting_parallel_consistency() {
 #[test]
 fn star_parallel_consistency() {
     let rels = mmjoin_datagen::generate_star(DatasetKind::Image, 0.01, SEED, 3);
-    let serial = MmJoinEngine::serial().star_join_project(&rels);
+    let serial = star_join_project_mm(&rels, &cfg(1));
     for &t in &THREADS {
-        assert_eq!(
-            MmJoinEngine::parallel(t).star_join_project(&rels),
-            serial,
-            "threads={t}"
-        );
+        assert_eq!(star_join_project_mm(&rels, &cfg(t)), serial, "threads={t}");
     }
 }
 

@@ -2,8 +2,8 @@
 //! join-project operator that every engine must satisfy, checked on
 //! randomly generated relations.
 
+use mmjoin_api::{Engine, PairSink, Query};
 use mmjoin_baseline::fulljoin::SortMergeEngine;
-use mmjoin_baseline::TwoPathEngine;
 use mmjoin_core::{
     estimate_output_size, star_join_project_mm, two_path_join_project, two_path_with_counts,
     JoinConfig, MmJoinEngine,
@@ -153,15 +153,18 @@ proptest! {
         );
     }
 
-    /// Engine trait impls and the free functions agree.
+    /// The unified Engine front door and the free functions agree.
     #[test]
-    fn engine_wrapper_matches_free_function(
+    fn engine_front_door_matches_free_function(
         edges in proptest::collection::vec((0u32..12, 0u32..10), 1..50),
     ) {
         let r = rel(&edges);
         let engine = MmJoinEngine::serial();
+        let q = Query::two_path(&r, &r).build().unwrap();
+        let mut sink = PairSink::new();
+        engine.execute(&q, &mut sink).unwrap();
         prop_assert_eq!(
-            engine.join_project(&r, &r),
+            sink.pairs,
             two_path_join_project(&r, &r, &JoinConfig::default())
         );
     }
