@@ -23,7 +23,8 @@
 //!   only count, sample, or forward results never pay for full
 //!   materialisation. [`VecSink`], [`PairSink`] and [`CountSink`] are the
 //!   stock adapters; [`LimitSink`] bounds any of them and signals early
-//!   termination through [`Sink::wants_more`].
+//!   termination through [`Sink::wants_more`]; [`DeltaSink`] accumulates
+//!   signed row deltas for incremental view maintenance.
 //! * [`EngineRegistry`] maps names to boxed engines so tests, benchmarks
 //!   and services enumerate engines dynamically — no per-engine
 //!   hard-coding at call sites.
@@ -41,6 +42,6 @@ pub use engine::{Engine, EngineError, ExecStats, PlanKind, PlanStats};
 pub use query::{Query, QueryError, QueryFamily};
 pub use registry::EngineRegistry;
 pub use sink::{
-    emit_counted_pairs, emit_pairs, emit_tuples, CountSink, ForEachSink, LimitSink, PairSink, Sink,
-    VecSink,
+    emit_counted_pairs, emit_pairs, emit_tuples, CountSink, DeltaSink, ForEachSink, LimitSink,
+    PairSink, Sink, VecSink,
 };

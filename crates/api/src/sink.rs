@@ -283,6 +283,82 @@ pub fn emit_tuples(sink: &mut dyn Sink, arity: usize, tuples: &[Vec<Value>]) -> 
     rows
 }
 
+/// Accumulates signed row deltas — the sink behind incremental view
+/// maintenance.
+///
+/// Each emitted row contributes `sign × max(count, 1)` to that row's
+/// entry; entries that cancel to zero are dropped on read. Running the
+/// delta joins of the maintenance identity
+/// `Δ(R ⋈ S) = ΔR⋈S + R⋈ΔS + ΔR⋈ΔS` into one `DeltaSink` (flipping
+/// [`set_sign`](DeltaSink::set_sign) between the `+`/`−` delta parts)
+/// yields exactly the per-row support-count adjustments to apply to a
+/// cached result. A `BTreeMap` keeps iteration deterministic, so
+/// maintained results have a canonical (sorted) row order.
+#[derive(Debug, Clone)]
+pub struct DeltaSink {
+    sign: i64,
+    deltas: std::collections::BTreeMap<Vec<Value>, i64>,
+}
+
+impl Default for DeltaSink {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DeltaSink {
+    /// An empty accumulator with sign `+1`.
+    pub fn new() -> Self {
+        Self {
+            sign: 1,
+            deltas: std::collections::BTreeMap::new(),
+        }
+    }
+
+    /// Sets the sign applied to subsequently emitted rows (`+1` for an
+    /// inserted-side join term, `−1` for a deleted-side one).
+    pub fn set_sign(&mut self, sign: i64) {
+        self.sign = sign;
+    }
+
+    /// Adds `delta` to `row` directly, without going through the engine
+    /// emission path (used for hand-computed join terms).
+    pub fn add(&mut self, row: &[Value], delta: i64) {
+        if delta != 0 {
+            *self.deltas.entry(row.to_vec()).or_insert(0) += delta;
+        }
+    }
+
+    /// Consumes the sink, returning the accumulated non-zero deltas in
+    /// row-sorted order.
+    pub fn into_deltas(self) -> std::collections::BTreeMap<Vec<Value>, i64> {
+        let mut deltas = self.deltas;
+        deltas.retain(|_, d| *d != 0);
+        deltas
+    }
+
+    /// Number of rows currently tracked (including cancelled ones not yet
+    /// compacted).
+    pub fn len(&self) -> usize {
+        self.deltas.len()
+    }
+
+    /// True when no deltas have accumulated.
+    pub fn is_empty(&self) -> bool {
+        self.deltas.is_empty()
+    }
+}
+
+impl Sink for DeltaSink {
+    fn row(&mut self, row: &[Value]) {
+        self.add(row, self.sign);
+    }
+
+    fn counted_row(&mut self, row: &[Value], count: u32) {
+        self.add(row, self.sign * count.max(1) as i64);
+    }
+}
+
 /// Adapts a closure `FnMut(&[Value], u32)` into a [`Sink`]; the count is 0
 /// for uncounted rows.
 pub struct ForEachSink<F: FnMut(&[Value], u32)>(pub F);
@@ -363,5 +439,39 @@ mod tests {
     fn limit_sink_zero_limit_wants_nothing() {
         let s = LimitSink::new(CountSink::new(), 0);
         assert!(!s.wants_more());
+    }
+
+    #[test]
+    fn delta_sink_accumulates_signed_counts() {
+        let mut s = DeltaSink::new();
+        s.counted_row(&[0, 1], 2); // +2
+        s.row(&[0, 2]); // +1
+        s.set_sign(-1);
+        s.counted_row(&[0, 1], 1); // net +1
+        s.row(&[0, 3]); // -1
+        let deltas = s.into_deltas();
+        assert_eq!(deltas.get(&vec![0, 1]), Some(&1));
+        assert_eq!(deltas.get(&vec![0, 2]), Some(&1));
+        assert_eq!(deltas.get(&vec![0, 3]), Some(&-1));
+    }
+
+    #[test]
+    fn delta_sink_drops_cancelled_rows() {
+        let mut s = DeltaSink::new();
+        s.counted_row(&[7, 7], 3);
+        s.set_sign(-1);
+        s.counted_row(&[7, 7], 3);
+        assert!(s.into_deltas().is_empty());
+    }
+
+    #[test]
+    fn delta_sink_uncounted_rows_weigh_one() {
+        // row() and counted_row(_, 1) must agree, so maintenance terms can
+        // come from either emission path.
+        let mut a = DeltaSink::new();
+        a.row(&[1, 2]);
+        let mut b = DeltaSink::new();
+        b.counted_row(&[1, 2], 1);
+        assert_eq!(a.into_deltas(), b.into_deltas());
     }
 }

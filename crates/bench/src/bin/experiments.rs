@@ -2,11 +2,11 @@
 //! service-layer workload replay.
 //!
 //! ```text
-//! experiments <target> [--scale <f64>] [--json <path>]
+//! experiments <target> [--scale <f64>] [--json <path>] [--gate]
 //!
 //! targets: engines table2 plan fig3a fig3b fig4a fig4b fig4c fig4d fig4f
 //!          fig5a fig5b fig5c fig5d fig5g fig5h fig5e fig5f fig6a
-//!          fig6b fig6c fig6d fig7 fig8 ablation service all
+//!          fig6b fig6c fig6d fig7 fig8 ablation service updates all
 //! ```
 //!
 //! Engines come from the [`mmjoin::EngineRegistry`]; `experiments engines`
@@ -14,11 +14,13 @@
 //! every produced table is also written to `path` as a JSON array of
 //! `{"target", "scale", "title", "headers", "rows"}` objects (text-only
 //! targets contribute `{"target", "scale", "text"}`) — the start of the
-//! `BENCH_*.json` machine-readable perf trajectory.
+//! `BENCH_*.json` machine-readable perf trajectory. With `--gate`, the
+//! perf-regression thresholds in [`mmjoin_bench::gate`] are checked after
+//! each table and any violation fails the process — the CI smoke gate.
 
 use mmjoin::default_registry;
 use mmjoin_bench::report::{json_string, Table};
-use mmjoin_bench::{figures, service_bench, DEFAULT_SCALE};
+use mmjoin_bench::{figures, gate, service_bench, updates_bench, DEFAULT_SCALE};
 use mmjoin_datagen::DatasetKind;
 
 /// The registry roster as text: every engine name and the query families
@@ -84,6 +86,7 @@ fn run(name: &str, scale: f64) -> Output {
         "fig8" => Output::Table(figures::fig8(scale)),
         "ablation" => Output::Table(figures::ablation_matrix_backends(scale)),
         "service" => Output::Table(service_bench::service_experiment(scale)),
+        "updates" => Output::Table(updates_bench::updates_experiment(scale)),
         other => {
             eprintln!("unknown target `{other}`");
             std::process::exit(2);
@@ -91,10 +94,10 @@ fn run(name: &str, scale: f64) -> Output {
     }
 }
 
-const ALL_TARGETS: [&str; 26] = [
+const ALL_TARGETS: [&str; 27] = [
     "engines", "table2", "plan", "fig3a", "fig3b", "fig4a", "fig4b", "fig4c", "fig4d", "fig4f",
     "fig5a", "fig5b", "fig5c", "fig5d", "fig5g", "fig5h", "fig5e", "fig5f", "fig6a", "fig6b",
-    "fig6c", "fig6d", "fig7", "fig8", "ablation", "service",
+    "fig6c", "fig6d", "fig7", "fig8", "ablation", "service", "updates",
 ];
 
 fn main() {
@@ -109,6 +112,7 @@ fn main() {
         .and_then(|s| s.parse::<f64>().ok())
         .unwrap_or(DEFAULT_SCALE);
     let json_path = flag_value("--json").cloned();
+    let gate_enabled = args.iter().any(|a| a == "--gate");
 
     let targets: Vec<&str> = if target == "all" {
         ALL_TARGETS.to_vec()
@@ -117,6 +121,7 @@ fn main() {
     };
 
     let mut json_entries: Vec<String> = Vec::new();
+    let mut gate_failures: Vec<String> = Vec::new();
     for name in &targets {
         if targets.len() > 1 {
             eprintln!(">>> running {name} (scale {scale})");
@@ -125,6 +130,16 @@ fn main() {
         match &output {
             Output::Table(table) => println!("{}", table.render()),
             Output::Text(text) => println!("{text}"),
+        }
+        if gate_enabled {
+            if let Output::Table(table) = &output {
+                if let Err(violation) = gate::check(name, table) {
+                    eprintln!("GATE FAIL [{name}]: {violation}");
+                    gate_failures.push(format!("{name}: {violation}"));
+                } else {
+                    eprintln!("gate ok [{name}]");
+                }
+            }
         }
         if json_path.is_some() {
             let body = match &output {
@@ -154,5 +169,13 @@ fn main() {
             std::process::exit(1);
         }
         eprintln!("wrote {} JSON entries to {path}", json_entries.len());
+    }
+
+    if !gate_failures.is_empty() {
+        eprintln!("{} perf gate(s) failed:", gate_failures.len());
+        for failure in &gate_failures {
+            eprintln!("  {failure}");
+        }
+        std::process::exit(1);
     }
 }

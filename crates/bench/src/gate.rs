@@ -1,0 +1,129 @@
+//! The CI perf-regression gate: threshold checks over experiment tables.
+//!
+//! `experiments -- <target> --gate` runs these after producing the
+//! table; a violated threshold fails the process (exit 1), turning the
+//! experiment targets into a cheap serving-path regression gate. The
+//! thresholds are deliberately coarse — they catch "the cache stopped
+//! working" and "maintenance stopped paying off", not microsecond noise,
+//! so they hold on any CI machine.
+
+use crate::report::Table;
+
+/// Looks up one cell by row key and column header.
+pub fn cell<'t>(table: &'t Table, row_key: &str, header: &str) -> Option<&'t str> {
+    // headers[0] labels the key column; cells start at headers[1].
+    let col = table.headers.iter().position(|h| h == header)?;
+    let (_, cells) = table.rows.iter().find(|(key, _)| key == row_key)?;
+    cells.get(col.checked_sub(1)?).map(String::as_str)
+}
+
+/// Parses `"85.7%"` → `85.7`.
+pub fn parse_percent(cell: &str) -> Option<f64> {
+    cell.trim().trim_end_matches('%').parse().ok()
+}
+
+/// Gates the `service` target: the warm phase must be nearly all cache
+/// hits — the entire point of the result cache.
+pub fn check_service(table: &Table) -> Result<(), String> {
+    let warm = cell(table, "warm", "hit rate")
+        .and_then(parse_percent)
+        .ok_or("service table has no warm hit rate")?;
+    if warm < 90.0 {
+        return Err(format!("warm cache hit rate {warm:.1}% < 90% threshold"));
+    }
+    Ok(())
+}
+
+/// Gates the `updates` target: maintenance must strictly beat the
+/// invalidate-everything baseline on hit rate, and must actually have
+/// maintained entries in place (not just eagerly recomputed them).
+pub fn check_updates(table: &Table) -> Result<(), String> {
+    let hit = |key: &str| {
+        cell(table, key, "hit rate")
+            .and_then(parse_percent)
+            .ok_or_else(|| format!("updates table has no hit rate for `{key}`"))
+    };
+    let maintain = hit("maintain")?;
+    let invalidate = hit("invalidate")?;
+    if maintain <= invalidate {
+        return Err(format!(
+            "maintenance hit rate {maintain:.1}% must strictly exceed the \
+             invalidate baseline {invalidate:.1}%"
+        ));
+    }
+    let maintained: u64 = cell(table, "maintain", "maintained")
+        .and_then(|c| c.parse().ok())
+        .ok_or("updates table has no maintained count")?;
+    if maintained == 0 {
+        return Err("no cache entry was maintained in place".into());
+    }
+    Ok(())
+}
+
+/// Dispatches the gate for a target; targets without thresholds pass.
+pub fn check(target: &str, table: &Table) -> Result<(), String> {
+    match target {
+        "service" => check_service(table),
+        "updates" => check_updates(table),
+        _ => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table(rows: Vec<(&str, Vec<&str>)>) -> Table {
+        let mut t = Table::new(
+            "test",
+            vec!["policy".into(), "hit rate".into(), "maintained".into()],
+        );
+        for (key, cells) in rows {
+            t.push_row(key, cells.into_iter().map(String::from).collect());
+        }
+        t
+    }
+
+    #[test]
+    fn cell_lookup_and_percent_parse() {
+        let t = table(vec![("maintain", vec!["85.7%", "12"])]);
+        assert_eq!(cell(&t, "maintain", "hit rate"), Some("85.7%"));
+        assert_eq!(cell(&t, "maintain", "nope"), None);
+        assert_eq!(cell(&t, "nope", "hit rate"), None);
+        assert_eq!(parse_percent("85.7%"), Some(85.7));
+    }
+
+    #[test]
+    fn updates_gate_requires_strict_win() {
+        let pass = table(vec![
+            ("maintain", vec!["80.0%", "5"]),
+            ("invalidate", vec!["20.0%", "0"]),
+        ]);
+        assert!(check_updates(&pass).is_ok());
+        let tie = table(vec![
+            ("maintain", vec!["20.0%", "5"]),
+            ("invalidate", vec!["20.0%", "0"]),
+        ]);
+        assert!(check_updates(&tie).is_err());
+        let unmaintained = table(vec![
+            ("maintain", vec!["80.0%", "0"]),
+            ("invalidate", vec!["20.0%", "0"]),
+        ]);
+        assert!(check_updates(&unmaintained).is_err());
+    }
+
+    #[test]
+    fn service_gate_threshold() {
+        let mut t = Table::new("svc", vec!["phase".into(), "hit rate".into()]);
+        t.push_row("warm", vec!["95.0%".into()]);
+        assert!(check_service(&t).is_ok());
+        let mut t = Table::new("svc", vec!["phase".into(), "hit rate".into()]);
+        t.push_row("warm", vec!["50.0%".into()]);
+        assert!(check_service(&t).is_err());
+    }
+
+    #[test]
+    fn unknown_targets_pass() {
+        assert!(check("fig3a", &table(vec![])).is_ok());
+    }
+}

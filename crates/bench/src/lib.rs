@@ -7,8 +7,10 @@
 //! prints their reports.
 
 pub mod figures;
+pub mod gate;
 pub mod report;
 pub mod service_bench;
+pub mod updates_bench;
 
 use mmjoin_datagen::DatasetKind;
 use mmjoin_storage::Relation;

@@ -59,15 +59,16 @@
 //! ```
 
 pub use mmjoin_api::{
-    CountSink, Engine, EngineError, EngineRegistry, ExecStats, ForEachSink, LimitSink, PairSink,
-    PlanKind, PlanStats, Query, QueryError, QueryFamily, Sink, VecSink,
+    CountSink, DeltaSink, Engine, EngineError, EngineRegistry, ExecStats, ForEachSink, LimitSink,
+    PairSink, PlanKind, PlanStats, Query, QueryError, QueryFamily, Sink, VecSink,
 };
 pub use mmjoin_core::{HeavyBackend, JoinConfig, MmJoinEngine};
 pub use mmjoin_service::{
-    default_registry, registry_with_config, MetricsSnapshot, QuerySpec, RelationProfile, Request,
-    Response, SelectionReason, Service, ServiceConfig, ServiceError, Ticket,
+    default_registry, registry_with_config, DeltaResult, MaintenancePolicy, MaintenanceReport,
+    MetricsSnapshot, QuerySpec, RelationProfile, Request, Response, SelectionReason, Service,
+    ServiceConfig, ServiceError, Ticket,
 };
-pub use mmjoin_storage::{Relation, RelationBuilder, Value};
+pub use mmjoin_storage::{NormalizedDelta, Relation, RelationBuilder, RelationDelta, Value};
 
 #[cfg(test)]
 mod tests {

@@ -20,9 +20,9 @@
 //! Run with `--workers <n>` to size the pool (default 4). Type `help`
 //! for the full command list.
 
-use mmjoin_service::{Request, Service};
+use mmjoin_service::{MaintenanceReport, Request, Service};
 use mmjoin_storage::io::read_edge_list;
-use mmjoin_storage::{Relation, RelationBuilder};
+use mmjoin_storage::{Edge, Relation, RelationBuilder};
 use std::io::BufRead;
 use std::time::Instant;
 
@@ -105,6 +105,18 @@ fn dispatch(service: &Service, line: &str) -> Result<String, String> {
                 "ok relation {name}: {} tuples (was {tuples_before}), epoch {epoch}",
                 profile.tuples
             ))
+        }
+        "insert" => {
+            let name = *tokens.get(1).ok_or("usage: insert <name> <x,y> …")?;
+            let edges = parse_edge_pairs(&tokens[2..])?;
+            let report = service.insert(name, edges).map_err(|e| e.to_string())?;
+            Ok(delta_report(service, name, &report))
+        }
+        "delete" => {
+            let name = *tokens.get(1).ok_or("usage: delete <name> <x,y> …")?;
+            let edges = parse_edge_pairs(&tokens[2..])?;
+            let report = service.delete(name, edges).map_err(|e| e.to_string())?;
+            Ok(delta_report(service, name, &report))
         }
         "catalog" => {
             let names = service.relation_names();
@@ -203,10 +215,15 @@ fn run_query(service: &Service, tokens: &[&str]) -> Result<String, String> {
     let response = service.query(request).map_err(|e| e.to_string())?;
     let secs = t0.elapsed().as_secs_f64();
     let mut out = format!(
-        "ok rows {} engine {} cached {} {:.3}s{}",
+        "ok rows {} engine {} cached {}{} {:.3}s{}",
         response.rows.len(),
         response.stats.engine,
         response.cached,
+        if response.maintained {
+            " (maintained)"
+        } else {
+            ""
+        },
         secs,
         if response.truncated {
             " (limit reached)"
@@ -240,17 +257,49 @@ fn register_report(service: &Service, name: &str, rel: Relation) -> Result<Strin
 }
 
 fn parse_edges(tokens: &[&str]) -> Result<Relation, String> {
-    if tokens.is_empty() {
-        return Err("no edges given (format: x,y)".into());
-    }
     let mut b = RelationBuilder::new();
-    for t in tokens {
-        let (x, y) = t.split_once(',').ok_or_else(|| format!("bad edge `{t}`"))?;
-        let x: u32 = x.trim().parse().map_err(|_| format!("bad edge `{t}`"))?;
-        let y: u32 = y.trim().parse().map_err(|_| format!("bad edge `{t}`"))?;
+    for (x, y) in parse_edge_pairs(tokens)? {
         b.push(x, y);
     }
     Ok(b.build())
+}
+
+fn parse_edge_pairs(tokens: &[&str]) -> Result<Vec<Edge>, String> {
+    if tokens.is_empty() {
+        return Err("no edges given (format: x,y)".into());
+    }
+    tokens
+        .iter()
+        .map(|t| {
+            let (x, y) = t.split_once(',').ok_or_else(|| format!("bad edge `{t}`"))?;
+            let x: u32 = x.trim().parse().map_err(|_| format!("bad edge `{t}`"))?;
+            let y: u32 = y.trim().parse().map_err(|_| format!("bad edge `{t}`"))?;
+            Ok((x, y))
+        })
+        .collect()
+}
+
+/// Renders the outcome of an insert/delete batch: what changed and how
+/// each affected cached result was refreshed.
+fn delta_report(service: &Service, name: &str, report: &MaintenanceReport) -> String {
+    let profile = service.relation_profile(name).expect("relation exists");
+    if report.is_noop() {
+        return format!(
+            "ok relation {name}: unchanged ({} tuples, epoch {}), cache untouched",
+            profile.tuples, report.epoch
+        );
+    }
+    format!(
+        "ok relation {name}: +{} -{} tuples (now {}), epoch {}, \
+         cache maintained {} recomputed {} invalidated {}",
+        report.inserted,
+        report.deleted,
+        profile.tuples,
+        report.epoch,
+        report.maintained,
+        report.recomputed,
+        report.invalidated
+    )
 }
 
 fn parse_dataset(name: &str) -> Result<mmjoin_datagen::DatasetKind, String> {
@@ -294,7 +343,9 @@ const HELP: &str = "ok commands:
   register <name> <x,y> [<x,y> …]     inline edge list
   load <name> <path>                  whitespace edge-list file
   gen <name> <dataset> <scale>        synthetic Table-2 dataset (DBLP, RoadNet, Jokes, Words, Protein, Image)
-  update <name> add <x,y> [<x,y> …]   add tuples (bumps epoch, invalidates cache)
+  update <name> add <x,y> [<x,y> …]   add tuples by full re-registration (bumps epoch, invalidates cache)
+  insert <name> <x,y> [<x,y> …]       staged delta: cached results are maintained in place
+  delete <name> <x,y> [<x,y> …]       staged delta: deletions tracked via support counts
   query twopath <R> <S> [counts] [min <c>] [limit <n>] [engine <E>] [show]
   query star <R1> <R2> [… Rk] [limit <n>] [show]
   query sim <R> <c> [ordered] [limit <n>] [show]

@@ -9,6 +9,7 @@
 //! result size and hits are byte-identical to the cold execution that
 //! populated them.
 
+use crate::maintain::DeltaResult;
 use crate::request::Request;
 use mmjoin_api::ExecStats;
 use mmjoin_storage::Value;
@@ -20,7 +21,8 @@ use std::sync::Arc;
 pub struct CachedResult {
     /// Output arity.
     pub arity: usize,
-    /// The rows, in the engine's emission order.
+    /// The rows, in the engine's emission order (maintained entries:
+    /// sorted canonical order).
     pub rows: Arc<Vec<Vec<Value>>>,
     /// Per-row witness counts (0 where the query family emits none).
     pub counts: Arc<Vec<u32>>,
@@ -28,6 +30,12 @@ pub struct CachedResult {
     pub stats: ExecStats,
     /// Whether a row limit cut the stream short.
     pub truncated: bool,
+    /// Per-tuple support counts, present once the entry has been through
+    /// the maintenance path — what makes future updates patchable.
+    pub support: Option<Arc<DeltaResult>>,
+    /// Whether this entry was last refreshed by an in-place delta patch
+    /// (as opposed to an execution, cold or eager).
+    pub maintained: bool,
 }
 
 #[derive(Debug)]
@@ -111,6 +119,26 @@ impl ResultCache {
         );
     }
 
+    /// Removes and returns every entry whose request references relation
+    /// `name` (already-canonical names match exactly). The maintenance
+    /// path patches the drained entries and re-inserts the survivors
+    /// under their post-update keys; anything not re-inserted is thereby
+    /// invalidated.
+    pub fn drain_referencing(&mut self, name: &str) -> Vec<(u64, Request, Vec<u64>, CachedResult)> {
+        let keys: Vec<u64> = self
+            .slots
+            .iter()
+            .filter(|(_, slot)| slot.request.relation_names().contains(&name))
+            .map(|(&key, _)| key)
+            .collect();
+        keys.into_iter()
+            .map(|key| {
+                let slot = self.slots.remove(&key).expect("key just enumerated");
+                (key, slot.request, slot.epochs, slot.value)
+            })
+            .collect()
+    }
+
     /// Drops every entry (used when a caller wants a hard reset; epoch
     /// keying makes this unnecessary for correctness).
     pub fn clear(&mut self) {
@@ -144,6 +172,8 @@ mod tests {
             counts: Arc::new(vec![0]),
             stats: ExecStats::new("test", 1),
             truncated: false,
+            support: None,
+            maintained: false,
         }
     }
 
@@ -203,6 +233,20 @@ mod tests {
         put(&mut c, 1, 1);
         assert!(c.is_empty());
         assert!(probe(&mut c, 1, 1).is_none());
+    }
+
+    #[test]
+    fn drain_referencing_removes_only_matching_entries() {
+        let mut c = ResultCache::new(4);
+        c.insert(1, Request::similarity("R", 1), vec![1], result(1));
+        c.insert(2, Request::similarity("S", 1), vec![2], result(2));
+        let drained = c.drain_referencing("R");
+        assert_eq!(drained.len(), 1);
+        assert_eq!(drained[0].0, 1, "key of the drained slot");
+        assert_eq!(drained[0].2, vec![1], "epochs travel with the slot");
+        assert_eq!(c.len(), 1);
+        assert!(c.get(2, &Request::similarity("S", 1), &[2]).is_some());
+        assert!(c.drain_referencing("R").is_empty(), "already drained");
     }
 
     #[test]

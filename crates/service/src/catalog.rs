@@ -9,7 +9,7 @@
 //! simply never looked up again and ages out of the LRU.
 
 use crate::error::ServiceError;
-use mmjoin_storage::{DegreeHistogram, Relation};
+use mmjoin_storage::{DegreeHistogram, NormalizedDelta, Relation, RelationDelta};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -65,6 +65,21 @@ pub struct CatalogEntry {
     pub epoch: u64,
 }
 
+/// The context of one applied delta batch, as the maintenance path needs
+/// it: the relation as it was (delta joins are expressed over the old
+/// state), both epochs, and the effective delta.
+#[derive(Debug, Clone)]
+pub struct StagedUpdate {
+    /// The relation before the update.
+    pub old: Arc<Relation>,
+    /// Its epoch before the update.
+    pub old_epoch: u64,
+    /// The epoch after the update (`== old_epoch` for no-op batches).
+    pub new_epoch: u64,
+    /// The effective delta (empty for no-op batches).
+    pub delta: NormalizedDelta,
+}
+
 /// Named-relation catalog with epoch bookkeeping.
 ///
 /// `BTreeMap` keeps `names()` deterministic for the REPL and tests.
@@ -100,12 +115,56 @@ impl Catalog {
 
     /// Replaces an *existing* relation, bumping epochs; unknown names are
     /// an error (use [`Catalog::register`] to create).
+    ///
+    /// A replacement whose tuples equal the current entry's is a no-op:
+    /// the existing epoch is returned unchanged, so an empty staged delta
+    /// never cold-starts the result cache.
     pub fn update(&mut self, name: &str, relation: Relation) -> Result<u64, ServiceError> {
         let name = name.trim();
-        if !self.entries.contains_key(name) {
+        let Some(entry) = self.entries.get(name) else {
             return Err(ServiceError::UnknownRelation(name.to_string()));
+        };
+        if entry.relation.edges() == relation.edges() {
+            return Ok(entry.epoch);
         }
         Ok(self.register(name, relation))
+    }
+
+    /// Applies a staged tuple batch to an existing relation, returning
+    /// the update context the maintenance path needs: the pre-update
+    /// relation and epoch, the post-update epoch, and the effective
+    /// (normalized) delta.
+    ///
+    /// A batch that normalizes to nothing is a complete no-op — no epoch
+    /// bump, `new_epoch == old_epoch` — which keeps every cached result
+    /// addressable.
+    pub fn apply_delta(
+        &mut self,
+        name: &str,
+        delta: &RelationDelta,
+    ) -> Result<StagedUpdate, ServiceError> {
+        let name = name.trim();
+        let Some(entry) = self.entries.get(name) else {
+            return Err(ServiceError::UnknownRelation(name.to_string()));
+        };
+        let old = Arc::clone(&entry.relation);
+        let old_epoch = entry.epoch;
+        let delta = delta.normalize(&old);
+        if delta.is_empty() {
+            return Ok(StagedUpdate {
+                old,
+                old_epoch,
+                new_epoch: old_epoch,
+                delta,
+            });
+        }
+        let new_epoch = self.register(name, old.apply_normalized(&delta));
+        Ok(StagedUpdate {
+            old,
+            old_epoch,
+            new_epoch,
+            delta,
+        })
     }
 
     /// Removes `name`, bumping the catalog epoch if it existed.
@@ -184,6 +243,51 @@ mod tests {
         let new_epoch = c.update("R", rel(&[(0, 0), (1, 0)])).unwrap();
         assert!(new_epoch > old_epoch);
         assert_eq!(c.get("R").unwrap().profile.tuples, 2);
+    }
+
+    #[test]
+    fn identical_update_is_a_noop() {
+        let mut c = Catalog::new();
+        c.register("R", rel(&[(0, 0), (1, 0)]));
+        let epoch = c.get("R").unwrap().epoch;
+        let again = c.update("R", rel(&[(0, 0), (1, 0)])).unwrap();
+        assert_eq!(again, epoch, "empty staged delta must not bump the epoch");
+        assert_eq!(c.epoch(), epoch);
+    }
+
+    #[test]
+    fn apply_delta_installs_and_reports_context() {
+        let mut c = Catalog::new();
+        c.register("R", rel(&[(0, 0), (1, 0)]));
+        let mut delta = RelationDelta::new();
+        delta.insert(2, 1).delete(1, 0);
+        let staged = c.apply_delta("R", &delta).unwrap();
+        assert_eq!(staged.old.edges(), &[(0, 0), (1, 0)]);
+        assert!(staged.new_epoch > staged.old_epoch);
+        assert_eq!(staged.delta.inserts, vec![(2, 1)]);
+        assert_eq!(staged.delta.deletes, vec![(1, 0)]);
+        let entry = c.get("R").unwrap();
+        assert_eq!(entry.relation.edges(), &[(0, 0), (2, 1)]);
+        assert_eq!(entry.epoch, staged.new_epoch);
+        assert_eq!(entry.profile.tuples, 2, "profile recomputed");
+    }
+
+    #[test]
+    fn apply_delta_noop_batch_keeps_epoch() {
+        let mut c = Catalog::new();
+        c.register("R", rel(&[(0, 0)]));
+        let epoch = c.epoch();
+        // Insert of a present tuple + delete of an absent one: nets out.
+        let mut delta = RelationDelta::new();
+        delta.insert(0, 0).delete(9, 9);
+        let staged = c.apply_delta("R", &delta).unwrap();
+        assert!(staged.delta.is_empty());
+        assert_eq!(staged.new_epoch, staged.old_epoch);
+        assert_eq!(c.epoch(), epoch);
+        assert!(matches!(
+            c.apply_delta("nope", &RelationDelta::new()),
+            Err(ServiceError::UnknownRelation(_))
+        ));
     }
 
     #[test]

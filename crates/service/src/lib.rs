@@ -16,6 +16,11 @@
 //!   overrides and per-request pins.
 //! * [`ResultCache`] — an LRU keyed by `(fingerprint, relation epochs)`,
 //!   so repeats are O(1) and updates can never serve stale rows.
+//! * [`maintain`] — incremental view maintenance: staged relation deltas
+//!   ([`Service::apply_delta`]) patch affected cached results in place
+//!   via signed delta joins over per-tuple support counts
+//!   ([`DeltaResult`]), with a cost-driven maintain / recompute /
+//!   invalidate decision per entry ([`MaintenancePolicy`]).
 //! * [`Service`] — a `std::thread` worker pool behind a bounded
 //!   admission queue, reporting per-query [`ExecStats`](mmjoin_api::ExecStats)
 //!   and service-level [metrics](MetricsSnapshot) (queries served, cache
@@ -40,6 +45,7 @@
 pub mod cache;
 pub mod catalog;
 pub mod error;
+pub mod maintain;
 pub mod metrics;
 pub mod planner;
 pub mod request;
@@ -47,8 +53,9 @@ pub mod roster;
 pub mod service;
 
 pub use cache::{CachedResult, ResultCache};
-pub use catalog::{Catalog, CatalogEntry, RelationProfile};
+pub use catalog::{Catalog, CatalogEntry, RelationProfile, StagedUpdate};
 pub use error::ServiceError;
+pub use maintain::{DeltaResult, MaintenancePolicy, MaintenanceReport};
 pub use metrics::{MetricsSnapshot, ServiceMetrics};
 pub use planner::{Planner, Selection, SelectionReason};
 pub use request::{QuerySpec, Request};

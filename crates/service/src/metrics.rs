@@ -1,5 +1,7 @@
 //! Service-level metrics: queries served, cache hit rate, latency
-//! percentiles.
+//! percentiles, and relation-update maintenance outcomes.
+
+use crate::maintain::MaintenanceReport;
 
 /// Rolling metrics recorder. Latencies are kept in a fixed-size ring so a
 /// long-lived service never grows unbounded; p50/p99 are computed over
@@ -10,6 +12,10 @@ pub struct ServiceMetrics {
     cache_hits: u64,
     errors: u64,
     rejected: u64,
+    updates: u64,
+    maintained: u64,
+    recomputed: u64,
+    invalidated: u64,
     total_busy_secs: f64,
     latencies_us: Vec<u64>,
     next_slot: usize,
@@ -25,6 +31,10 @@ impl Default for ServiceMetrics {
             cache_hits: 0,
             errors: 0,
             rejected: 0,
+            updates: 0,
+            maintained: 0,
+            recomputed: 0,
+            invalidated: 0,
             total_busy_secs: 0.0,
             latencies_us: Vec::with_capacity(256),
             next_slot: 0,
@@ -65,6 +75,14 @@ impl ServiceMetrics {
         self.rejected += 1;
     }
 
+    /// Records the maintenance outcome of one effective relation update.
+    pub fn record_update(&mut self, report: &MaintenanceReport) {
+        self.updates += 1;
+        self.maintained += report.maintained as u64;
+        self.recomputed += report.recomputed as u64;
+        self.invalidated += report.invalidated as u64;
+    }
+
     /// An immutable snapshot for reporting.
     pub fn snapshot(&self) -> MetricsSnapshot {
         let mut sorted = self.latencies_us.clone();
@@ -81,6 +99,10 @@ impl ServiceMetrics {
             cache_hits: self.cache_hits,
             errors: self.errors,
             rejected: self.rejected,
+            updates: self.updates,
+            maintained: self.maintained,
+            recomputed: self.recomputed,
+            invalidated: self.invalidated,
             cache_hit_rate: if self.queries == 0 {
                 0.0
             } else {
@@ -108,6 +130,14 @@ pub struct MetricsSnapshot {
     pub errors: u64,
     /// Requests bounced by the admission queue.
     pub rejected: u64,
+    /// Effective (non-no-op) relation updates applied.
+    pub updates: u64,
+    /// Cache entries patched in place by delta maintenance.
+    pub maintained: u64,
+    /// Cache entries eagerly re-executed during an update.
+    pub recomputed: u64,
+    /// Cache entries dropped by updates.
+    pub invalidated: u64,
     /// `cache_hits / queries_served` (0 when idle).
     pub cache_hit_rate: f64,
     /// Mean service latency in microseconds.
@@ -123,12 +153,17 @@ impl std::fmt::Display for MetricsSnapshot {
         write!(
             f,
             "served {} (cache hits {}, {:.1}%), errors {}, rejected {}, \
+             updates {} (maintained {}, recomputed {}, invalidated {}), \
              latency mean {}us p50 {}us p99 {}us",
             self.queries_served,
             self.cache_hits,
             self.cache_hit_rate * 100.0,
             self.errors,
             self.rejected,
+            self.updates,
+            self.maintained,
+            self.recomputed,
+            self.invalidated,
             self.mean_latency_us,
             self.p50_latency_us,
             self.p99_latency_us,
@@ -161,6 +196,25 @@ mod tests {
         assert_eq!(s.queries_served, 0);
         assert_eq!(s.p99_latency_us, 0);
         assert_eq!(s.cache_hit_rate, 0.0);
+    }
+
+    #[test]
+    fn update_counters_accumulate() {
+        let mut m = ServiceMetrics::new();
+        m.record_update(&MaintenanceReport {
+            epoch: 2,
+            inserted: 1,
+            deleted: 0,
+            maintained: 2,
+            recomputed: 1,
+            invalidated: 3,
+        });
+        let s = m.snapshot();
+        assert_eq!(
+            (s.updates, s.maintained, s.recomputed, s.invalidated),
+            (1, 2, 1, 3)
+        );
+        assert!(format!("{s}").contains("maintained 2"));
     }
 
     #[test]

@@ -2,14 +2,18 @@
 //! query path tying catalog + planner + cache + registry together.
 
 use crate::cache::{CachedResult, ResultCache};
-use crate::catalog::{Catalog, RelationProfile};
+use crate::catalog::{Catalog, RelationProfile, StagedUpdate};
 use crate::error::ServiceError;
+use crate::maintain::{
+    accumulate_two_path_delta, decide, delta_cost, Decision, DeltaResult, MaintenancePolicy,
+    MaintenanceReport,
+};
 use crate::metrics::{MetricsSnapshot, ServiceMetrics};
 use crate::planner::{Planner, Selection, SelectionReason};
 use crate::request::{Fnv1a, QuerySpec, Request};
-use mmjoin_api::{EngineRegistry, ExecStats, LimitSink, Query, QueryFamily, VecSink};
-use mmjoin_core::JoinConfig;
-use mmjoin_storage::{Relation, Value};
+use mmjoin_api::{DeltaSink, EngineRegistry, ExecStats, LimitSink, Query, QueryFamily, VecSink};
+use mmjoin_core::{choose_thresholds, JoinConfig};
+use mmjoin_storage::{Edge, Relation, RelationDelta, Value};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex, RwLock};
@@ -31,6 +35,9 @@ pub struct ServiceConfig {
     pub join_config: JoinConfig,
     /// Per-family engine overrides for the planner.
     pub engine_overrides: HashMap<QueryFamily, String>,
+    /// Incremental-maintenance policy for the result cache under
+    /// [`Service::apply_delta`] updates.
+    pub maintenance: MaintenancePolicy,
 }
 
 impl Default for ServiceConfig {
@@ -44,6 +51,7 @@ impl Default for ServiceConfig {
             queue_capacity: 1024,
             join_config: JoinConfig::default(),
             engine_overrides: HashMap::new(),
+            maintenance: MaintenancePolicy::default(),
         }
     }
 }
@@ -66,6 +74,9 @@ pub struct Response {
     pub selection: Option<SelectionReason>,
     /// Whether this response came from the result cache.
     pub cached: bool,
+    /// Whether the serving cache entry was last refreshed by in-place
+    /// delta maintenance rather than an execution (implies `cached`).
+    pub maintained: bool,
     /// Whether the row limit was reached (the stream *may* have been cut
     /// short; an output of exactly `limit` rows also reports `true`).
     pub truncated: bool,
@@ -99,6 +110,7 @@ struct QueueState {
 struct Inner {
     registry: EngineRegistry,
     planner: Planner,
+    policy: MaintenancePolicy,
     catalog: RwLock<Catalog>,
     cache: Mutex<ResultCache>,
     queue: Mutex<QueueState>,
@@ -138,6 +150,7 @@ impl Service {
         let inner = Arc::new(Inner {
             registry,
             planner,
+            policy: config.maintenance.clone(),
             catalog: RwLock::new(Catalog::new()),
             cache: Mutex::new(ResultCache::new(config.cache_capacity)),
             queue: Mutex::new(QueueState {
@@ -188,6 +201,70 @@ impl Service {
     /// cached results over it unreachable).
     pub fn update(&self, name: &str, relation: Relation) -> Result<u64, ServiceError> {
         self.inner.catalog.write().unwrap().update(name, relation)
+    }
+
+    /// Stages a batch of tuple inserts, maintaining affected cached
+    /// results instead of invalidating them where the cost estimate says
+    /// it pays off. See [`Service::apply_delta`].
+    pub fn insert(
+        &self,
+        name: &str,
+        edges: impl IntoIterator<Item = Edge>,
+    ) -> Result<MaintenanceReport, ServiceError> {
+        self.apply_delta(name, &RelationDelta::inserting(edges))
+    }
+
+    /// Stages a batch of tuple deletes; the cached-result counterpart of
+    /// [`Service::insert`].
+    pub fn delete(
+        &self,
+        name: &str,
+        edges: impl IntoIterator<Item = Edge>,
+    ) -> Result<MaintenanceReport, ServiceError> {
+        self.apply_delta(name, &RelationDelta::deleting(edges))
+    }
+
+    /// Applies a staged insert/delete batch to a registered relation.
+    ///
+    /// The batch is normalized against the current relation (no-op
+    /// batches change nothing — not even the epoch) and merged into a
+    /// fresh indexed [`Relation`]. Every cached result over the relation
+    /// is then refreshed per the maintain / recompute / invalidate
+    /// decision rule (see [`crate::maintain`]): two-path entries are
+    /// patched in place via delta joins over their per-tuple support
+    /// counts, upgraded by an eager counting re-execution, or dropped.
+    pub fn apply_delta(
+        &self,
+        name: &str,
+        delta: &RelationDelta,
+    ) -> Result<MaintenanceReport, ServiceError> {
+        let staged = self
+            .inner
+            .catalog
+            .write()
+            .unwrap()
+            .apply_delta(name, delta)?;
+        let mut report = MaintenanceReport {
+            epoch: staged.new_epoch,
+            inserted: staged.delta.inserts.len(),
+            deleted: staged.delta.deletes.len(),
+            ..MaintenanceReport::default()
+        };
+        if staged.delta.is_empty() {
+            // Nothing changed: cached entries stay addressable as-is.
+            return Ok(report);
+        }
+        let name = name.trim();
+        let drained = self.inner.cache.lock().unwrap().drain_referencing(name);
+        for (_, request, epochs, value) in drained {
+            match refresh_entry(&self.inner, name, &staged, request, epochs, value) {
+                Decision::Maintain => report.maintained += 1,
+                Decision::Recompute => report.recomputed += 1,
+                Decision::Invalidate => report.invalidated += 1,
+            }
+        }
+        self.inner.metrics.lock().unwrap().record_update(&report);
+        Ok(report)
     }
 
     /// Removes a relation from the catalog.
@@ -308,6 +385,200 @@ impl Drop for Service {
     }
 }
 
+/// Engine name reported by cache entries refreshed via delta patching
+/// (no engine ran; the rows come from the maintained support counts).
+const MAINTAINED_ENGINE: &str = "delta-maintain";
+
+/// Combines the canonical request fingerprint with the epochs of the
+/// referenced relations into the result-cache key.
+fn cache_key(fingerprint: u64, epochs: &[u64]) -> u64 {
+    let mut h = Fnv1a::new();
+    h.u64(fingerprint);
+    for &epoch in epochs {
+        h.u64(epoch);
+    }
+    h.finish()
+}
+
+/// Refreshes one drained cache entry after `name` was updated: decides
+/// maintain / recompute / invalidate, performs the chosen refresh, and
+/// re-inserts the survivor under its post-update key. Returns what
+/// actually happened (a failed maintain or recompute degrades to
+/// invalidation — the cache must never serve doubtful rows).
+fn refresh_entry(
+    inner: &Inner,
+    name: &str,
+    staged: &StagedUpdate,
+    request: Request,
+    old_epochs: Vec<u64>,
+    value: CachedResult,
+) -> Decision {
+    // Only two-path entries are maintainable: their output pairs have
+    // well-defined per-tuple supports. Limits truncate the support set
+    // and pins promise a specific engine's stats/order — both drop.
+    let QuerySpec::TwoPath {
+        r,
+        s,
+        with_counts,
+        min_count,
+    } = &request.spec
+    else {
+        return Decision::Invalidate;
+    };
+    if request.limit.is_some() || request.engine.is_some() {
+        return Decision::Invalidate;
+    }
+    let (r_name, s_name, with_counts, min_count) = (r.clone(), s.clone(), *with_counts, *min_count);
+
+    // Resolve the post-update state, verifying (a) the entry was current
+    // *before* this update — a slot left over from older epochs must not
+    // be resurrected by patching — and (b) the updated relation is still
+    // at *this* update's epoch: a concurrent later update means our
+    // staged delta no longer describes the old→current transition, so
+    // patching with it would produce rows missing the later changes.
+    // (Patched entries inserted under superseded epochs are merely
+    // unreachable; this check prevents one keyed at the *latest* epochs
+    // from carrying stale data.)
+    let (r_new, s_new, new_epochs) = {
+        let catalog = inner.catalog.read().unwrap();
+        let (Some(re), Some(se)) = (catalog.get(&r_name), catalog.get(&s_name)) else {
+            return Decision::Invalidate;
+        };
+        for (entry_epoch, n) in [(re.epoch, r_name.as_str()), (se.epoch, s_name.as_str())] {
+            if n == name && entry_epoch != staged.new_epoch {
+                return Decision::Invalidate;
+            }
+        }
+        let pre = |epoch: u64, n: &str| if n == name { staged.old_epoch } else { epoch };
+        let expected_pre = vec![pre(re.epoch, &r_name), pre(se.epoch, &s_name)];
+        if old_epochs != expected_pre {
+            return Decision::Invalidate;
+        }
+        (
+            Arc::clone(&re.relation),
+            Arc::clone(&se.relation),
+            vec![re.epoch, se.epoch],
+        )
+    };
+    let delta_on_r = r_name == name;
+    let delta_on_s = s_name == name;
+    let r_old: &Relation = if delta_on_r { &staged.old } else { &r_new };
+    let s_old: &Relation = if delta_on_s { &staged.old } else { &s_new };
+
+    let d_cost = delta_cost(&staged.delta, r_old, s_old, delta_on_r, delta_on_s);
+    let plan = choose_thresholds(&r_new, &s_new, &inner.planner.config);
+    let recompute_cost = plan.estimate.full_join + (r_new.len() + s_new.len()) as u64;
+
+    let decision = decide(
+        value.support.is_some(),
+        d_cost,
+        recompute_cost,
+        &inner.policy,
+    );
+    let refreshed = match decision {
+        Decision::Maintain => maintain_entry(
+            &value,
+            staged,
+            r_old,
+            s_old,
+            delta_on_r,
+            delta_on_s,
+            with_counts,
+            min_count,
+        ),
+        Decision::Recompute => recompute_entry(inner, &r_new, &s_new, with_counts, min_count),
+        Decision::Invalidate => None,
+    };
+    match refreshed {
+        Some(result) => {
+            let key = cache_key(request.fingerprint_assuming_canonical(), &new_epochs);
+            inner
+                .cache
+                .lock()
+                .unwrap()
+                .insert(key, request, new_epochs, result);
+            decision
+        }
+        None => Decision::Invalidate,
+    }
+}
+
+/// Patches a support-carrying entry with the signed delta joins.
+#[allow(clippy::too_many_arguments)]
+fn maintain_entry(
+    value: &CachedResult,
+    staged: &StagedUpdate,
+    r_old: &Relation,
+    s_old: &Relation,
+    delta_on_r: bool,
+    delta_on_s: bool,
+    with_counts: bool,
+    min_count: u32,
+) -> Option<CachedResult> {
+    let support = value.support.as_ref()?;
+    let mut support = (**support).clone();
+    let mut sink = DeltaSink::new();
+    accumulate_two_path_delta(
+        &mut sink,
+        &staged.delta,
+        r_old,
+        s_old,
+        delta_on_r,
+        delta_on_s,
+    );
+    if !support.apply(sink.into_deltas()) {
+        return None;
+    }
+    let (rows, counts) = support.rows(min_count, with_counts);
+    Some(CachedResult {
+        arity: 2,
+        stats: ExecStats::new(MAINTAINED_ENGINE, rows.len() as u64),
+        rows: Arc::new(rows),
+        counts: Arc::new(counts),
+        truncated: false,
+        support: Some(Arc::new(support)),
+        maintained: true,
+    })
+}
+
+/// Eagerly re-executes a two-path entry as a counting join, building the
+/// support structure that makes *future* updates maintainable.
+fn recompute_entry(
+    inner: &Inner,
+    r_new: &Relation,
+    s_new: &Relation,
+    with_counts: bool,
+    min_count: u32,
+) -> Option<CachedResult> {
+    let query = Query::TwoPath {
+        r: r_new,
+        s: s_new,
+        with_counts: true,
+        min_count: 1,
+    };
+    query.validate().ok()?;
+    let selection = inner.planner.select(&inner.registry, &query, None).ok()?;
+    let mut sink = DeltaSink::new();
+    let stats = inner
+        .registry
+        .execute(&selection.engine, &query, &mut sink)
+        .ok()?;
+    let support = DeltaResult::from_signed(sink.into_deltas());
+    let (rows, counts) = support.rows(min_count, with_counts);
+    Some(CachedResult {
+        arity: 2,
+        stats: ExecStats {
+            rows: rows.len() as u64,
+            ..stats
+        },
+        rows: Arc::new(rows),
+        counts: Arc::new(counts),
+        truncated: false,
+        support: Some(Arc::new(support)),
+        maintained: false,
+    })
+}
+
 /// Best-effort text of a panic payload.
 fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
@@ -378,14 +649,7 @@ fn process(inner: &Inner, request: Request) -> Result<Response, ServiceError> {
     // The key is a hash, so hits additionally verify the stored request
     // and epochs (see ResultCache::get); a collision degrades to a miss.
     let fingerprint = request.fingerprint_assuming_canonical();
-    let cache_key = {
-        let mut h = Fnv1a::new();
-        h.u64(fingerprint);
-        for &epoch in &epochs {
-            h.u64(epoch);
-        }
-        h.finish()
-    };
+    let cache_key = cache_key(fingerprint, &epochs);
 
     if let Some(hit) = inner
         .cache
@@ -400,6 +664,7 @@ fn process(inner: &Inner, request: Request) -> Result<Response, ServiceError> {
             stats: hit.stats,
             selection: None,
             cached: true,
+            maintained: hit.maintained,
             truncated: hit.truncated,
             cache_key,
         });
@@ -465,6 +730,8 @@ fn process(inner: &Inner, request: Request) -> Result<Response, ServiceError> {
         counts: Arc::new(sink.counts),
         stats: stats.clone(),
         truncated,
+        support: None,
+        maintained: false,
     };
     inner
         .cache
@@ -479,6 +746,7 @@ fn process(inner: &Inner, request: Request) -> Result<Response, ServiceError> {
         stats,
         selection: Some(selection.reason),
         cached: false,
+        maintained: false,
         truncated,
         cache_key,
     })
@@ -654,6 +922,166 @@ mod tests {
             other => panic!("worker died: {other:?}"),
         }
         assert_eq!(s.metrics().errors, 2);
+    }
+
+    /// Sorted copy of response rows (maintained entries serve canonical
+    /// sorted order; engines serve emission order).
+    fn sorted_rows(response: &Response) -> Vec<Vec<Value>> {
+        let mut rows = (*response.rows).clone();
+        rows.sort();
+        rows
+    }
+
+    #[test]
+    fn insert_recomputes_then_maintains() {
+        let s = service();
+        s.register("R", tiny());
+        let cold = s.query(Request::two_path("R", "R")).unwrap();
+        assert!(!cold.cached);
+
+        // First delta: the entry has no support counts yet, so it is
+        // eagerly recomputed (upgrade), keeping the cache warm.
+        let report = s.insert("R", [(3, 1)]).unwrap();
+        assert_eq!(report.inserted, 1);
+        assert_eq!(report.recomputed, 1);
+        assert_eq!(report.maintained, 0);
+        let warm = s.query(Request::two_path("R", "R")).unwrap();
+        assert!(warm.cached && !warm.maintained);
+
+        // Second delta: support exists and the delta is cheap → in-place
+        // maintenance.
+        let report = s.insert("R", [(4, 0)]).unwrap();
+        assert_eq!(report.maintained, 1);
+        let maintained = s.query(Request::two_path("R", "R")).unwrap();
+        assert!(maintained.cached && maintained.maintained);
+        assert_eq!(maintained.stats.engine, MAINTAINED_ENGINE);
+
+        // Ground truth: a fresh service over the final relation.
+        let fresh = service();
+        fresh.register(
+            "R",
+            Relation::from_edges([(0, 0), (1, 0), (2, 1), (2, 0), (3, 1), (4, 0)]),
+        );
+        let expected = fresh.query(Request::two_path("R", "R")).unwrap();
+        assert_eq!(sorted_rows(&maintained), sorted_rows(&expected));
+        assert_eq!(s.metrics().maintained, 1);
+    }
+
+    #[test]
+    fn delete_below_support_maintains_correctly() {
+        let s = service();
+        s.register("R", Relation::from_edges([(0, 0), (0, 1), (1, 0), (1, 1)]));
+        s.query(Request::two_path("R", "R")).unwrap();
+        s.insert("R", [(2, 0)]).unwrap(); // builds support (recompute)
+        let report = s.delete("R", [(1, 1)]).unwrap();
+        assert_eq!(report.deleted, 1);
+        assert_eq!(report.maintained, 1);
+        let maintained = s.query(Request::two_path("R", "R")).unwrap();
+        assert!(maintained.maintained);
+
+        let fresh = service();
+        fresh.register("R", Relation::from_edges([(0, 0), (0, 1), (1, 0), (2, 0)]));
+        let expected = fresh.query(Request::two_path("R", "R")).unwrap();
+        assert_eq!(sorted_rows(&maintained), sorted_rows(&expected));
+    }
+
+    #[test]
+    fn counting_two_path_maintains_counts() {
+        let s = service();
+        s.register("R", Relation::from_edges([(0, 0), (0, 1), (1, 0), (1, 1)]));
+        s.query(Request::two_path_counts("R", "R", 2)).unwrap();
+        s.insert("R", [(2, 0)]).unwrap();
+        s.delete("R", [(1, 1)]).unwrap();
+        let maintained = s.query(Request::two_path_counts("R", "R", 2)).unwrap();
+        assert!(maintained.maintained);
+
+        let fresh = service();
+        fresh.register("R", Relation::from_edges([(0, 0), (0, 1), (1, 0), (2, 0)]));
+        let expected = fresh.query(Request::two_path_counts("R", "R", 2)).unwrap();
+        assert_eq!(sorted_rows(&maintained), sorted_rows(&expected));
+        // Counts travel with the rows: compare as (row, count) multisets.
+        let pair_counts = |r: &Response| {
+            let mut v: Vec<(Vec<Value>, u32)> = r
+                .rows
+                .iter()
+                .cloned()
+                .zip(r.counts.iter().copied())
+                .collect();
+            v.sort();
+            v
+        };
+        assert_eq!(pair_counts(&maintained), pair_counts(&expected));
+    }
+
+    #[test]
+    fn noop_delta_keeps_cache_and_epoch() {
+        let s = service();
+        s.register("R", tiny());
+        let epoch = s.catalog_epoch();
+        s.query(Request::two_path("R", "R")).unwrap();
+        // Insert of an existing tuple + delete of an absent one.
+        let report = s.insert("R", [(0, 0)]).unwrap();
+        assert!(report.is_noop());
+        let report = s.delete("R", [(99, 99)]).unwrap();
+        assert!(report.is_noop());
+        assert_eq!(s.catalog_epoch(), epoch, "no-op batches never bump");
+        let warm = s.query(Request::two_path("R", "R")).unwrap();
+        assert!(warm.cached, "no-op update must not cold-start the cache");
+    }
+
+    #[test]
+    fn disabled_maintenance_invalidates() {
+        let s = Service::with_config(ServiceConfig {
+            workers: 1,
+            maintenance: MaintenancePolicy::disabled(),
+            ..ServiceConfig::default()
+        });
+        s.register("R", tiny());
+        s.query(Request::two_path("R", "R")).unwrap();
+        let report = s.insert("R", [(7, 1)]).unwrap();
+        assert_eq!(report.invalidated, 1);
+        assert_eq!(report.maintained + report.recomputed, 0);
+        let next = s.query(Request::two_path("R", "R")).unwrap();
+        assert!(!next.cached, "baseline policy must recompute from scratch");
+    }
+
+    #[test]
+    fn non_maintainable_entries_invalidate() {
+        let s = service();
+        s.register("R", tiny());
+        // Star, limited, and pinned entries cannot be patched.
+        s.query(Request::star(["R", "R"])).unwrap();
+        s.query(Request::two_path("R", "R").limit(2)).unwrap();
+        s.query(Request::two_path("R", "R").on_engine("WCOJ"))
+            .unwrap();
+        let report = s.insert("R", [(9, 0)]).unwrap();
+        assert_eq!(report.invalidated, 3);
+        assert_eq!(report.recomputed + report.maintained, 0);
+        assert!(!s.query(Request::star(["R", "R"])).unwrap().cached);
+    }
+
+    #[test]
+    fn maintained_entry_only_affects_updated_relation() {
+        let s = service();
+        s.register("R", tiny());
+        s.register("S", Relation::from_edges([(5, 0), (6, 1)]));
+        s.query(Request::two_path("R", "S")).unwrap();
+        s.query(Request::two_path("S", "S")).unwrap();
+        // Updating R refreshes R⋈S but leaves S⋈S untouched and warm.
+        let report = s.insert("R", [(8, 1)]).unwrap();
+        assert_eq!(report.recomputed, 1, "only the R⋈S entry is affected");
+        assert!(s.query(Request::two_path("S", "S")).unwrap().cached);
+
+        let rs = s.query(Request::two_path("R", "S")).unwrap();
+        assert!(rs.cached);
+        let fresh = service();
+        fresh.register(
+            "R",
+            Relation::from_edges([(0, 0), (1, 0), (2, 1), (2, 0), (8, 1)]),
+        );
+        fresh.register("S", Relation::from_edges([(5, 0), (6, 1)]));
+        let expected = fresh.query(Request::two_path("R", "S")).unwrap();
+        assert_eq!(sorted_rows(&rs), sorted_rows(&expected));
     }
 
     #[test]

@@ -16,18 +16,23 @@
 //! * [`dedup`] — the epoch-stamped dense deduplication scratch buffer used by
 //!   all light-part join implementations (§6's `dedup` vector, improved with
 //!   epoch counters so it never needs an O(N) clear between groups).
+//! * [`delta`] — the mutable data path: batched [`RelationDelta`]
+//!   inserts/deletes, normalized against a base relation and applied via a
+//!   merge-or-rebuild compaction producing a fresh indexed [`Relation`].
 //!
 //! Values are dense `u32` identifiers ([`Value`]); dictionary encoding is the
 //! responsibility of loaders/generators (`mmjoin-datagen`).
 
 pub mod csr;
 pub mod dedup;
+pub mod delta;
 pub mod io;
 pub mod relation;
 pub mod stats;
 
 pub use csr::CsrIndex;
 pub use dedup::DedupBuffer;
+pub use delta::{NormalizedDelta, RelationDelta};
 pub use relation::{Relation, RelationBuilder};
 pub use stats::{DegreeHistogram, ThresholdIndexes};
 
