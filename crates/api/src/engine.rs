@@ -14,6 +14,28 @@ pub enum PlanKind {
     MatrixPartitioned,
 }
 
+/// One step of a composed (decomposed general-query) plan, as reported
+/// after execution — the per-step counterpart of [`PlanStats`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct StepStats {
+    /// What the step did: `"semijoin"`, `"join"`, `"star"`, `"project"`.
+    pub op: &'static str,
+    /// The variable the step joined (or filtered) on, if any.
+    pub on_var: Option<u32>,
+    /// The planner's §5 output-size estimate for this step.
+    pub estimated_rows: Option<u64>,
+    /// Rows the step actually materialised (or streamed, for the final
+    /// step).
+    pub actual_rows: Option<u64>,
+    /// Strategy the underlying primitive chose, when it planned.
+    pub kind: Option<PlanKind>,
+    /// Degree thresholds `(Δ1, Δ2)` the primitive ran with, when
+    /// matrix-partitioned.
+    pub delta1: Option<u32>,
+    /// See [`StepStats::delta1`].
+    pub delta2: Option<u32>,
+}
+
 /// Plan details reported by engines that run Algorithm 1/3 (others leave
 /// [`ExecStats::plan`] as `None`).
 #[derive(Debug, Clone, PartialEq)]
@@ -41,6 +63,9 @@ pub struct PlanStats {
     pub predicted_light_secs: Option<f64>,
     /// Predicted heavy-part seconds at the chosen thresholds.
     pub predicted_heavy_secs: Option<f64>,
+    /// For composed (general-query) executions: one record per plan
+    /// step, in execution order. Empty for single-primitive plans.
+    pub steps: Vec<StepStats>,
 }
 
 impl PlanStats {
@@ -56,6 +81,7 @@ impl PlanStats {
             estimated_out: None,
             predicted_light_secs: None,
             predicted_heavy_secs: None,
+            steps: Vec::new(),
         }
     }
 
@@ -71,6 +97,7 @@ impl PlanStats {
             estimated_out: None,
             predicted_light_secs: None,
             predicted_heavy_secs: None,
+            steps: Vec::new(),
         }
     }
 }
@@ -117,6 +144,10 @@ pub enum EngineError {
     },
     /// No engine under that name in the registry.
     UnknownEngine(String),
+    /// The decomposing planner could not lower the query graph into
+    /// 2-path/star primitive steps (see `mmjoin-core`'s plan module for
+    /// the supported class).
+    Plan(String),
 }
 
 impl fmt::Display for EngineError {
@@ -129,6 +160,7 @@ impl fmt::Display for EngineError {
                 write!(f, "engine `{engine}` does not support this {family} query")
             }
             EngineError::UnknownEngine(name) => write!(f, "no engine registered as `{name}`"),
+            EngineError::Plan(msg) => write!(f, "cannot plan query: {msg}"),
         }
     }
 }

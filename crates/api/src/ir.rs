@@ -1,0 +1,305 @@
+//! The query-graph IR for general acyclic join-project queries.
+//!
+//! A [`QueryGraph`] is a conjunctive query over binary atoms
+//! `R_i(u, v)` with named variables plus a projection list:
+//!
+//! ```text
+//!   Q(x, w) :- R(x, y), S(y, z), T(z, w)        // a 3-chain
+//!   Q(a, b, c) :- R(a, y), S(b, y), T(c, y)     // the star Q*_3
+//! ```
+//!
+//! Variables are dense small integers ([`Var`]); each atom is an edge of
+//! the *query graph* whose vertices are the variables. Construction
+//! validates that the graph is **connected and acyclic** (a tree — the
+//! class the decomposing planner in `mmjoin-core` evaluates by composing
+//! 2-path and star primitives) and that the projection names existing,
+//! distinct variables.
+//!
+//! The four classic workload families become canonical constructors:
+//! [`QueryGraph::two_path`] and [`QueryGraph::star`] build exactly the
+//! shapes of `Query::TwoPath` / `Query::Star`, and [`QueryGraph::chain`]
+//! generalises them to k-paths.
+
+use crate::query::QueryError;
+use mmjoin_storage::Relation;
+
+/// A query variable. Values are arbitrary (the service layer maps
+/// user-facing names to ids); equality is what matters.
+pub type Var = u32;
+
+/// One atom `R(x, y)` of a query graph: a relation applied to two
+/// variables. `x` binds the relation's first (set) column, `y` its second
+/// (element) column — orientation matters, and the planner transposes the
+/// relation when a join needs the other column.
+#[derive(Debug, Clone, Copy)]
+pub struct Atom<'a> {
+    /// The relation instance this atom ranges over.
+    pub relation: &'a Relation,
+    /// Variable bound to the first column.
+    pub x: Var,
+    /// Variable bound to the second column.
+    pub y: Var,
+}
+
+/// A validated acyclic, connected join-project query over binary atoms.
+#[derive(Debug, Clone)]
+pub struct QueryGraph<'a> {
+    atoms: Vec<Atom<'a>>,
+    projection: Vec<Var>,
+}
+
+impl<'a> QueryGraph<'a> {
+    /// Builds and validates a query graph from its atoms and projection
+    /// list (the output columns, in order).
+    pub fn new(atoms: Vec<Atom<'a>>, projection: Vec<Var>) -> Result<Self, QueryError> {
+        let graph = Self { atoms, projection };
+        graph.validate()?;
+        Ok(graph)
+    }
+
+    /// The k-path chain `Q(v0, vk) :- R1(v0, v1), R2(v1, v2), …`,
+    /// projecting the two endpoints.
+    ///
+    /// For `k = 1` this degenerates to projecting a single atom's two
+    /// columns; for `k = 2` it is the 2-path up to orientation of the
+    /// second relation (see [`QueryGraph::two_path`] for the exact
+    /// `Query::TwoPath` shape).
+    pub fn chain<R: AsRef<Relation>>(relations: &'a [R]) -> Result<Self, QueryError> {
+        let atoms = relations
+            .iter()
+            .enumerate()
+            .map(|(i, r)| Atom {
+                relation: r.as_ref(),
+                x: i as Var,
+                y: i as Var + 1,
+            })
+            .collect();
+        Self::new(atoms, vec![0, relations.len() as Var])
+    }
+
+    /// The classic 2-path `Q(x, z) :- R(x, y), S(z, y)` — both relations
+    /// joined on their *second* column, exactly `Query::TwoPath`.
+    pub fn two_path(r: &'a Relation, s: &'a Relation) -> Self {
+        Self::new(
+            vec![
+                Atom {
+                    relation: r,
+                    x: 0,
+                    y: 1,
+                },
+                Atom {
+                    relation: s,
+                    x: 2,
+                    y: 1,
+                },
+            ],
+            vec![0, 2],
+        )
+        .expect("two-path shape is always valid")
+    }
+
+    /// The star `Q*_k(x1..xk) :- R1(x1, y), …, Rk(xk, y)`, projecting
+    /// every head — exactly `Query::Star`.
+    pub fn star<R: AsRef<Relation>>(relations: &'a [R]) -> Result<Self, QueryError> {
+        let k = relations.len() as Var;
+        let atoms = relations
+            .iter()
+            .enumerate()
+            .map(|(i, r)| Atom {
+                relation: r.as_ref(),
+                x: i as Var,
+                y: k,
+            })
+            .collect();
+        Self::new(atoms, (0..k).collect())
+    }
+
+    /// The atoms, in declaration order.
+    pub fn atoms(&self) -> &[Atom<'a>] {
+        &self.atoms
+    }
+
+    /// The projected variables, in output-column order.
+    pub fn projection(&self) -> &[Var] {
+        &self.projection
+    }
+
+    /// Output arity (`projection.len()`).
+    pub fn output_arity(&self) -> usize {
+        self.projection.len()
+    }
+
+    /// The distinct variables of the graph, sorted.
+    pub fn variables(&self) -> Vec<Var> {
+        let mut vars: Vec<Var> = self.atoms.iter().flat_map(|a| [a.x, a.y]).collect();
+        vars.sort_unstable();
+        vars.dedup();
+        vars
+    }
+
+    /// Re-checks the structural invariants (engines call this so
+    /// hand-constructed graphs are as safe as built ones): at least one
+    /// atom, no self-loops, connected, acyclic, and a non-empty
+    /// projection of distinct existing variables.
+    pub fn validate(&self) -> Result<(), QueryError> {
+        if self.atoms.is_empty() {
+            return Err(QueryError::EmptyGraph);
+        }
+        for (i, atom) in self.atoms.iter().enumerate() {
+            if atom.x == atom.y {
+                return Err(QueryError::SelfLoopAtom { atom: i });
+            }
+        }
+        let vars = self.variables();
+        // A connected multigraph with |E| = |V| − 1 is a tree: no cycles
+        // and no parallel atoms between the same variable pair.
+        if self.atoms.len() != vars.len() - 1 {
+            return Err(QueryError::CyclicQueryGraph);
+        }
+        if !self.is_connected(&vars) {
+            return Err(QueryError::DisconnectedQueryGraph);
+        }
+        if self.projection.is_empty() {
+            return Err(QueryError::EmptyProjection);
+        }
+        let mut seen = Vec::new();
+        for &v in &self.projection {
+            if vars.binary_search(&v).is_err() {
+                return Err(QueryError::UnknownProjectionVar(v));
+            }
+            if seen.contains(&v) {
+                return Err(QueryError::DuplicateProjectionVar(v));
+            }
+            seen.push(v);
+        }
+        Ok(())
+    }
+
+    fn is_connected(&self, vars: &[Var]) -> bool {
+        let index = |v: Var| vars.binary_search(&v).expect("var collected above");
+        let mut adjacent = vec![Vec::new(); vars.len()];
+        for atom in &self.atoms {
+            let (a, b) = (index(atom.x), index(atom.y));
+            adjacent[a].push(b);
+            adjacent[b].push(a);
+        }
+        let mut seen = vec![false; vars.len()];
+        let mut stack = vec![0usize];
+        seen[0] = true;
+        while let Some(v) = stack.pop() {
+            for &n in &adjacent[v] {
+                if !seen[n] {
+                    seen[n] = true;
+                    stack.push(n);
+                }
+            }
+        }
+        seen.into_iter().all(|s| s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rel() -> Relation {
+        Relation::from_edges([(0, 0), (1, 0)])
+    }
+
+    #[test]
+    fn chain_and_star_constructors_validate() {
+        let rels = vec![rel(), rel(), rel()];
+        let chain = QueryGraph::chain(&rels).unwrap();
+        assert_eq!(chain.atoms().len(), 3);
+        assert_eq!(chain.projection(), &[0, 3]);
+        assert_eq!(chain.output_arity(), 2);
+        assert_eq!(chain.variables(), vec![0, 1, 2, 3]);
+
+        let star = QueryGraph::star(&rels).unwrap();
+        assert_eq!(star.projection(), &[0, 1, 2]);
+        assert_eq!(star.output_arity(), 3);
+
+        let r = rel();
+        let tp = QueryGraph::two_path(&r, &r);
+        assert_eq!(tp.projection(), &[0, 2]);
+    }
+
+    #[test]
+    fn cyclic_graph_rejected() {
+        let r = rel();
+        let triangle = |a, b| Atom {
+            relation: &r,
+            x: a,
+            y: b,
+        };
+        let err = QueryGraph::new(
+            vec![triangle(0, 1), triangle(1, 2), triangle(2, 0)],
+            vec![0],
+        )
+        .unwrap_err();
+        assert_eq!(err, QueryError::CyclicQueryGraph);
+    }
+
+    #[test]
+    fn disconnected_graph_rejected() {
+        let r = rel();
+        let atom = |a, b| Atom {
+            relation: &r,
+            x: a,
+            y: b,
+        };
+        // Parallel atoms violate the tree edge count.
+        let err = QueryGraph::new(vec![atom(0, 1), atom(0, 1)], vec![0]).unwrap_err();
+        assert_eq!(err, QueryError::CyclicQueryGraph);
+        // Parallel atoms plus a separate component keep |E| = |V| − 1;
+        // the BFS still rejects the graph.
+        let err = QueryGraph::new(vec![atom(0, 1), atom(0, 1), atom(2, 3)], vec![0]).unwrap_err();
+        assert_eq!(err, QueryError::DisconnectedQueryGraph);
+        // Too few atoms for the variable count reads as a broken tree too.
+        let err = QueryGraph::new(vec![atom(0, 1), atom(2, 3), atom(3, 4)], vec![0]).unwrap_err();
+        assert_eq!(err, QueryError::CyclicQueryGraph);
+        // A cycle in one component can keep |E| = |V| − 1 while leaving
+        // another component unreachable: only the BFS catches this.
+        let err = QueryGraph::new(
+            vec![atom(0, 1), atom(1, 2), atom(2, 0), atom(3, 4)],
+            vec![0],
+        )
+        .unwrap_err();
+        assert_eq!(err, QueryError::DisconnectedQueryGraph);
+    }
+
+    #[test]
+    fn projection_errors() {
+        let r = rel();
+        let atom = Atom {
+            relation: &r,
+            x: 0,
+            y: 1,
+        };
+        assert_eq!(
+            QueryGraph::new(vec![atom], vec![]).unwrap_err(),
+            QueryError::EmptyProjection
+        );
+        assert_eq!(
+            QueryGraph::new(vec![atom], vec![7]).unwrap_err(),
+            QueryError::UnknownProjectionVar(7)
+        );
+        assert_eq!(
+            QueryGraph::new(vec![atom], vec![0, 0]).unwrap_err(),
+            QueryError::DuplicateProjectionVar(0)
+        );
+        let looped = Atom {
+            relation: &r,
+            x: 3,
+            y: 3,
+        };
+        assert_eq!(
+            QueryGraph::new(vec![looped], vec![3]).unwrap_err(),
+            QueryError::SelfLoopAtom { atom: 0 }
+        );
+        assert_eq!(
+            QueryGraph::new(vec![], vec![0]).unwrap_err(),
+            QueryError::EmptyGraph
+        );
+    }
+}

@@ -34,11 +34,13 @@
 //! facade crate assembles the default registry).
 
 pub mod engine;
+pub mod ir;
 pub mod query;
 pub mod registry;
 pub mod sink;
 
-pub use engine::{Engine, EngineError, ExecStats, PlanKind, PlanStats};
+pub use engine::{Engine, EngineError, ExecStats, PlanKind, PlanStats, StepStats};
+pub use ir::{Atom, QueryGraph, Var};
 pub use query::{Query, QueryError, QueryFamily};
 pub use registry::EngineRegistry;
 pub use sink::{

@@ -1,5 +1,6 @@
 //! The query AST and its validating builders.
 
+use crate::ir::{QueryGraph, Var};
 use mmjoin_storage::Relation;
 use std::fmt;
 
@@ -30,10 +31,12 @@ pub enum Query<'a> {
     },
     /// The star join-project `Q*_k(x1..xk) = π(R1(x1,y) ⋈ … ⋈ Rk(xk,y))`.
     ///
-    /// Output: sorted distinct arity-`k` rows.
+    /// Output: sorted distinct arity-`k` rows. The relations are held by
+    /// reference so callers resolving shared handles (e.g. the service's
+    /// `Arc<Relation>` catalog entries) never clone relation payloads.
     Star {
         /// The `k ≥ 1` star relations.
-        relations: &'a [Relation],
+        relations: Vec<&'a Relation>,
     },
     /// Set-similarity join over the set family `R(x, y)` ("set `x`
     /// contains element `y`"): all pairs `a < b` with
@@ -63,9 +66,19 @@ pub enum Query<'a> {
         /// The set family.
         r: &'a Relation,
     },
+    /// A general acyclic join-project query described by a
+    /// [`QueryGraph`] — arbitrary trees of binary atoms (k-path chains,
+    /// snowflakes, …) that the decomposing planner lowers into 2-path
+    /// and star primitive steps.
+    ///
+    /// Output: sorted distinct rows of arity `graph.output_arity()`.
+    General {
+        /// The validated query graph.
+        graph: QueryGraph<'a>,
+    },
 }
 
-/// The four workload families, used for engine capability checks.
+/// The workload families, used for engine capability checks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum QueryFamily {
     /// 2-path join-project (with or without counts).
@@ -76,6 +89,8 @@ pub enum QueryFamily {
     Similarity,
     /// Set-containment join.
     Containment,
+    /// General acyclic join-project (query-graph IR).
+    General,
 }
 
 impl fmt::Display for QueryFamily {
@@ -85,6 +100,7 @@ impl fmt::Display for QueryFamily {
             QueryFamily::Star => "star",
             QueryFamily::Similarity => "similarity-join",
             QueryFamily::Containment => "containment-join",
+            QueryFamily::General => "general",
         };
         f.write_str(s)
     }
@@ -101,6 +117,26 @@ pub enum QueryError {
     /// `min_count = 0` on a counting 2-path query (counts are ≥ 1 by
     /// definition, so 0 can only be a caller bug).
     ZeroMinCount,
+    /// A general query needs at least one atom.
+    EmptyGraph,
+    /// An atom `R(v, v)` binds both columns to the same variable, which
+    /// the 2-path/star primitives cannot express.
+    SelfLoopAtom {
+        /// Index of the offending atom.
+        atom: usize,
+    },
+    /// The query graph contains a cycle (or parallel atoms between the
+    /// same variable pair); only acyclic queries decompose into
+    /// 2-path/star steps.
+    CyclicQueryGraph,
+    /// The query graph is not connected (a cross product, not a join).
+    DisconnectedQueryGraph,
+    /// A general query must project at least one variable.
+    EmptyProjection,
+    /// The projection names a variable no atom mentions.
+    UnknownProjectionVar(Var),
+    /// The projection lists the same variable twice.
+    DuplicateProjectionVar(Var),
 }
 
 impl fmt::Display for QueryError {
@@ -111,6 +147,28 @@ impl fmt::Display for QueryError {
                 write!(f, "similarity threshold c must be at least 1")
             }
             QueryError::ZeroMinCount => write!(f, "min_count must be at least 1"),
+            QueryError::EmptyGraph => write!(f, "general query needs at least one atom"),
+            QueryError::SelfLoopAtom { atom } => {
+                write!(f, "atom {atom} binds both columns to the same variable")
+            }
+            QueryError::CyclicQueryGraph => {
+                write!(
+                    f,
+                    "query graph must be acyclic (no cycles or parallel atoms)"
+                )
+            }
+            QueryError::DisconnectedQueryGraph => {
+                write!(f, "query graph must be connected (no cross products)")
+            }
+            QueryError::EmptyProjection => {
+                write!(f, "general query must project at least one variable")
+            }
+            QueryError::UnknownProjectionVar(v) => {
+                write!(f, "projection variable {v} does not occur in any atom")
+            }
+            QueryError::DuplicateProjectionVar(v) => {
+                write!(f, "projection lists variable {v} twice")
+            }
         }
     }
 }
@@ -128,9 +186,18 @@ impl<'a> Query<'a> {
         }
     }
 
-    /// Starts a star query builder.
-    pub fn star(relations: &'a [Relation]) -> StarBuilder<'a> {
-        StarBuilder { relations }
+    /// Starts a star query builder. Accepts owned (`&[Relation]`) and
+    /// borrowed (`&[&Relation]`) slices alike.
+    pub fn star<R: AsRef<Relation>>(relations: &'a [R]) -> StarBuilder<'a> {
+        StarBuilder {
+            relations: relations.iter().map(AsRef::as_ref).collect(),
+        }
+    }
+
+    /// Wraps a validated [`QueryGraph`] into a general query.
+    pub fn general(graph: QueryGraph<'a>) -> Result<Query<'a>, QueryError> {
+        graph.validate()?;
+        Ok(Query::General { graph })
     }
 
     /// Starts a similarity-join builder with overlap threshold `c`.
@@ -154,6 +221,7 @@ impl<'a> Query<'a> {
             Query::Star { .. } => QueryFamily::Star,
             Query::SimilarityJoin { .. } => QueryFamily::Similarity,
             Query::ContainmentJoin { .. } => QueryFamily::Containment,
+            Query::General { .. } => QueryFamily::General,
         }
     }
 
@@ -161,6 +229,7 @@ impl<'a> Query<'a> {
     pub fn output_arity(&self) -> usize {
         match self {
             Query::Star { relations } => relations.len(),
+            Query::General { graph } => graph.output_arity(),
             _ => 2,
         }
     }
@@ -192,6 +261,7 @@ impl<'a> Query<'a> {
                 Ok(())
             }
             Query::ContainmentJoin { .. } => Ok(()),
+            Query::General { graph } => graph.validate(),
         }
     }
 }
@@ -236,7 +306,7 @@ impl<'a> TwoPathBuilder<'a> {
 /// Builder for [`Query::Star`].
 #[derive(Debug, Clone)]
 pub struct StarBuilder<'a> {
-    relations: &'a [Relation],
+    relations: Vec<&'a Relation>,
 }
 
 impl<'a> StarBuilder<'a> {
@@ -295,9 +365,29 @@ impl<'a> ContainmentBuilder<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ir::QueryGraph;
 
     fn rel() -> Relation {
         Relation::from_edges([(0, 0), (1, 0)])
+    }
+
+    #[test]
+    fn general_query_wraps_graph() {
+        let rels = vec![rel(), rel(), rel()];
+        let graph = QueryGraph::chain(&rels).unwrap();
+        let q = Query::general(graph).unwrap();
+        assert_eq!(q.family(), QueryFamily::General);
+        assert_eq!(q.output_arity(), 2);
+        assert!(q.validate().is_ok());
+    }
+
+    #[test]
+    fn star_builder_accepts_refs() {
+        let a = rel();
+        let b = rel();
+        let refs = vec![&a, &b];
+        let q = Query::star(&refs).build().unwrap();
+        assert_eq!(q.output_arity(), 2);
     }
 
     #[test]

@@ -72,7 +72,7 @@ macro_rules! star_engine {
                 sink: &mut dyn Sink,
             ) -> Result<ExecStats, EngineError> {
                 query.validate()?;
-                match *query {
+                match query {
                     Query::Star { relations } => {
                         let tuples = self.star_join_project(relations);
                         let rows = emit_tuples(sink, relations.len(), &tuples);
@@ -111,7 +111,7 @@ impl Engine for ExpandDedupEngine {
 
     fn execute(&self, query: &Query<'_>, sink: &mut dyn Sink) -> Result<ExecStats, EngineError> {
         query.validate()?;
-        match *query {
+        match query {
             Query::TwoPath {
                 r,
                 s,

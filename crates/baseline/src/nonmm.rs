@@ -148,7 +148,7 @@ impl ExpandDedupEngine {
     /// Grouped by the leading variable the dedup is sort-based per chunk to
     /// bound memory; this matches the combinatorial `O(|D|·|OUT|^{1-1/k})`
     /// behaviour in practice.
-    pub fn star_join_project(&self, relations: &[Relation]) -> Vec<Vec<Value>> {
+    pub fn star_join_project<R: AsRef<Relation>>(&self, relations: &[R]) -> Vec<Vec<Value>> {
         let mut acc = ProjectionAccumulator::new(relations.len());
         star_full_join_for_each(relations, |_, tuple| acc.push(tuple));
         acc.finish()

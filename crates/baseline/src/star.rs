@@ -17,7 +17,7 @@ pub struct HashDedupStarEngine;
 impl HashDedupStarEngine {
     /// Evaluates `π_{x1..xk}(R1 ⋈ … ⋈ Rk)`, returning sorted distinct
     /// tuples.
-    pub fn star_join_project(&self, relations: &[Relation]) -> Vec<Vec<Value>> {
+    pub fn star_join_project<R: AsRef<Relation>>(&self, relations: &[R]) -> Vec<Vec<Value>> {
         let mut seen: HashSet<Vec<Value>> = HashSet::new();
         star_full_join_for_each(relations, |_, tuple| {
             seen.insert(tuple.to_vec());
@@ -36,7 +36,7 @@ pub struct SortDedupStarEngine;
 impl SortDedupStarEngine {
     /// Evaluates `π_{x1..xk}(R1 ⋈ … ⋈ Rk)`, returning sorted distinct
     /// tuples.
-    pub fn star_join_project(&self, relations: &[Relation]) -> Vec<Vec<Value>> {
+    pub fn star_join_project<R: AsRef<Relation>>(&self, relations: &[R]) -> Vec<Vec<Value>> {
         mmjoin_wcoj::star_join_project(relations)
     }
 }

@@ -6,7 +6,7 @@
 //!
 //! targets: engines table2 plan fig3a fig3b fig4a fig4b fig4c fig4d fig4f
 //!          fig5a fig5b fig5c fig5d fig5g fig5h fig5e fig5f fig6a
-//!          fig6b fig6c fig6d fig7 fig8 ablation service updates all
+//!          fig6b fig6c fig6d fig7 fig8 ablation service updates chains all
 //! ```
 //!
 //! Engines come from the [`mmjoin::EngineRegistry`]; `experiments engines`
@@ -20,21 +20,26 @@
 
 use mmjoin::default_registry;
 use mmjoin_bench::report::{json_string, Table};
-use mmjoin_bench::{figures, gate, service_bench, updates_bench, DEFAULT_SCALE};
+use mmjoin_bench::{chains_bench, figures, gate, service_bench, updates_bench, DEFAULT_SCALE};
 use mmjoin_datagen::DatasetKind;
 
 /// The registry roster as text: every engine name and the query families
 /// it supports (probed with tiny representative queries).
 fn engines_report() -> String {
-    use mmjoin::{Query, Relation};
+    use mmjoin::{Query, QueryGraph, Relation};
     let registry = default_registry(1);
     let r = Relation::from_edges([(0, 0), (1, 0)]);
     let rels = vec![r.clone(), r.clone()];
+    let chain = vec![r.clone(), r.clone(), r.clone()];
     let probes = [
         ("two-path", Query::two_path(&r, &r).build().unwrap()),
         ("star", Query::star(&rels).build().unwrap()),
         ("similarity", Query::similarity(&r, 1).build().unwrap()),
         ("containment", Query::containment(&r).build().unwrap()),
+        (
+            "general",
+            Query::general(QueryGraph::chain(&chain).unwrap()).unwrap(),
+        ),
     ];
     let mut out = format!("{} registered engines:\n", registry.len());
     for engine in registry.iter() {
@@ -87,6 +92,7 @@ fn run(name: &str, scale: f64) -> Output {
         "ablation" => Output::Table(figures::ablation_matrix_backends(scale)),
         "service" => Output::Table(service_bench::service_experiment(scale)),
         "updates" => Output::Table(updates_bench::updates_experiment(scale)),
+        "chains" => Output::Table(chains_bench::chains_experiment(scale)),
         other => {
             eprintln!("unknown target `{other}`");
             std::process::exit(2);
@@ -94,10 +100,10 @@ fn run(name: &str, scale: f64) -> Output {
     }
 }
 
-const ALL_TARGETS: [&str; 27] = [
+const ALL_TARGETS: [&str; 28] = [
     "engines", "table2", "plan", "fig3a", "fig3b", "fig4a", "fig4b", "fig4c", "fig4d", "fig4f",
     "fig5a", "fig5b", "fig5c", "fig5d", "fig5g", "fig5h", "fig5e", "fig5f", "fig6a", "fig6b",
-    "fig6c", "fig6d", "fig7", "fig8", "ablation", "service", "updates",
+    "fig6c", "fig6d", "fig7", "fig8", "ablation", "service", "updates", "chains",
 ];
 
 fn main() {

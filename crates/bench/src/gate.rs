@@ -60,11 +60,42 @@ pub fn check_updates(table: &Table) -> Result<(), String> {
     Ok(())
 }
 
+/// Gates the `chains` target: composed-plan results must equal the
+/// baseline's on every k, and the deepest chain (k = 5, where the full
+/// join is at its most redundant) must run no slower than the
+/// materialize-everything baseline.
+pub fn check_chains(table: &Table) -> Result<(), String> {
+    for (k, _) in &table.rows {
+        let matched = cell(table, k, "rows match").ok_or("chains table has no match column")?;
+        if matched != "yes" {
+            return Err(format!(
+                "k={k}: composed rows diverge from baseline ({matched})"
+            ));
+        }
+        let rows: u64 = cell(table, k, "rows")
+            .and_then(|c| c.parse().ok())
+            .ok_or("chains table has no rows column")?;
+        if rows == 0 {
+            return Err(format!("k={k}: empty output — the instance is degenerate"));
+        }
+    }
+    let speedup = cell(table, "5", "speedup")
+        .and_then(|c| c.parse::<f64>().ok())
+        .ok_or("chains table has no k=5 speedup")?;
+    if speedup < 1.0 {
+        return Err(format!(
+            "k=5 composed plan is {speedup:.2}x the baseline — must be ≥ 1.0x"
+        ));
+    }
+    Ok(())
+}
+
 /// Dispatches the gate for a target; targets without thresholds pass.
 pub fn check(target: &str, table: &Table) -> Result<(), String> {
     match target {
         "service" => check_service(table),
         "updates" => check_updates(table),
+        "chains" => check_chains(table),
         _ => Ok(()),
     }
 }

@@ -6,6 +6,7 @@
 //! DESIGN.md's experiment index); the binary simply dispatches to them and
 //! prints their reports.
 
+pub mod chains_bench;
 pub mod figures;
 pub mod gate;
 pub mod report;

@@ -1,0 +1,455 @@
+//! Executes a composed [`GeneralPlan`]: materialises the intermediate
+//! steps as [`Relation`]s and streams the final stage through the
+//! caller's [`Sink`] (honouring [`Sink::wants_more`] early termination).
+//!
+//! Every join step runs the full 2-path machinery — degree partitioning,
+//! light expansion, heavy matrix core — so a k-path chain is evaluated
+//! as k−1 output-sensitive joins instead of one combinatorial blow-up.
+//! When the last materialising join feeds a plain `(a, b)` projection it
+//! is streamed straight into the sink, skipping the final
+//! re-materialisation.
+
+use crate::config::JoinConfig;
+use crate::plan::{plan_general, FinalStage, GeneralPlan, PlanStep, ProjCols};
+use crate::star::star_join_project_mm_with_stats;
+use crate::two_path::two_path_join_project_with_stats;
+use mmjoin_api::ir::QueryGraph;
+use mmjoin_api::{emit_pairs, emit_tuples, EngineError, PlanStats, Sink, StepStats};
+use mmjoin_storage::{Relation, RelationBuilder, Value};
+use std::borrow::Cow;
+
+/// Evaluates a general acyclic query, streaming distinct rows into
+/// `sink`; returns `(rows emitted, plan stats)` with one
+/// [`StepStats`] record per executed step.
+pub fn execute_general(
+    graph: &QueryGraph<'_>,
+    config: &JoinConfig,
+    sink: &mut dyn Sink,
+) -> Result<(u64, PlanStats), EngineError> {
+    let plan = plan_general(graph).map_err(|e| EngineError::Plan(e.to_string()))?;
+
+    // Per-node materialised relation: atoms borrow, steps own.
+    let mut mats: Vec<Option<Cow<'_, Relation>>> = vec![None; plan.nodes.len()];
+    for (i, atom) in graph.atoms().iter().enumerate() {
+        mats[i] = Some(Cow::Borrowed(atom.relation));
+    }
+
+    let mut step_stats: Vec<StepStats> = Vec::with_capacity(plan.steps.len() + 1);
+    let mut final_primitive: Option<PlanStats> = None;
+    let mut rows = 0u64;
+    let mut streamed = false;
+
+    for (idx, step) in plan.steps.iter().enumerate() {
+        match *step {
+            PlanStep::Semijoin {
+                target,
+                filter,
+                on,
+                result,
+            } => {
+                let filter_rel = mats[filter].as_ref().expect("filter materialised");
+                let target_rel = mats[target].as_ref().expect("target materialised");
+                let filtered = semijoin(
+                    target_rel,
+                    plan.nodes[target].a == on,
+                    filter_rel,
+                    plan.nodes[filter].a == on,
+                );
+                step_stats.push(StepStats {
+                    op: "semijoin",
+                    on_var: Some(on),
+                    estimated_rows: None,
+                    actual_rows: Some(filtered.len() as u64),
+                    kind: None,
+                    delta1: None,
+                    delta2: None,
+                });
+                mats[target] = None;
+                mats[filter] = None;
+                mats[result] = Some(Cow::Owned(filtered));
+            }
+            PlanStep::Join {
+                left,
+                right,
+                on,
+                result,
+                estimate,
+            } => {
+                let l = oriented(mats[left].as_ref().expect("left materialised"), {
+                    plan.nodes[left].b == on
+                });
+                let r = oriented(mats[right].as_ref().expect("right materialised"), {
+                    plan.nodes[right].b == on
+                });
+                let (pairs, prim) = two_path_join_project_with_stats(&l, &r, config);
+                drop((l, r));
+                let mut stat = StepStats {
+                    op: "join",
+                    on_var: Some(on),
+                    estimated_rows: Some(estimate.rows),
+                    actual_rows: Some(pairs.len() as u64),
+                    kind: None,
+                    delta1: None,
+                    delta2: None,
+                };
+                if let Some(p) = &prim {
+                    stat.kind = Some(p.kind);
+                    stat.delta1 = p.delta1;
+                    stat.delta2 = p.delta2;
+                }
+                step_stats.push(stat);
+                mats[left] = None;
+                mats[right] = None;
+                // Last join feeding a plain (a, b) projection: stream the
+                // sorted pairs straight out instead of re-materialising.
+                let direct_out = idx + 1 == plan.steps.len()
+                    && matches!(
+                        plan.final_stage,
+                        FinalStage::Project {
+                            node,
+                            cols: ProjCols::Ab,
+                        } if node == result
+                    );
+                if direct_out {
+                    rows = emit_pairs(sink, &pairs);
+                    final_primitive = prim;
+                    streamed = true;
+                } else {
+                    mats[result] = Some(Cow::Owned(Relation::from_edges(pairs)));
+                }
+            }
+        }
+    }
+
+    if !streamed {
+        let (emitted, prim) = run_final_stage(&plan, &mats, graph, config, sink)?;
+        rows = emitted;
+        final_primitive = prim;
+    }
+
+    let mut stats = final_primitive.unwrap_or_else(PlanStats::wcoj);
+    stats.estimated_out = Some(plan.estimated_rows);
+    step_stats.push(StepStats {
+        op: match plan.final_stage {
+            FinalStage::Project { .. } => "project",
+            FinalStage::Star { .. } => "star",
+        },
+        on_var: match plan.final_stage {
+            FinalStage::Star { center, .. } => Some(center),
+            FinalStage::Project { .. } => None,
+        },
+        estimated_rows: Some(plan.estimated_rows),
+        actual_rows: Some(rows),
+        kind: Some(stats.kind),
+        delta1: stats.delta1,
+        delta2: stats.delta2,
+    });
+    stats.steps = step_stats;
+    Ok((rows, stats))
+}
+
+fn run_final_stage(
+    plan: &GeneralPlan,
+    mats: &[Option<Cow<'_, Relation>>],
+    graph: &QueryGraph<'_>,
+    config: &JoinConfig,
+    sink: &mut dyn Sink,
+) -> Result<(u64, Option<PlanStats>), EngineError> {
+    match &plan.final_stage {
+        FinalStage::Project { node, cols } => {
+            let rel = mats[*node].as_ref().expect("final node materialised");
+            Ok((project_stream(rel, *cols, sink), None))
+        }
+        FinalStage::Star { center, legs } => {
+            let oriented_legs: Vec<Cow<'_, Relation>> = legs
+                .iter()
+                .map(|&id| {
+                    oriented(
+                        mats[id].as_ref().expect("leg materialised"),
+                        plan.nodes[id].b == *center,
+                    )
+                })
+                .collect();
+            let refs: Vec<&Relation> = oriented_legs.iter().map(|c| c.as_ref()).collect();
+            let (tuples, prim) = star_join_project_mm_with_stats(&refs, config);
+            let rows = emit_tuples(sink, graph.output_arity(), &tuples);
+            Ok((rows, prim))
+        }
+    }
+}
+
+/// Reorients `rel` so the join variable sits in the `y` column: identity
+/// when it already does (`on_is_y`), transposed otherwise.
+fn oriented(rel: &Relation, on_is_y: bool) -> Cow<'_, Relation> {
+    if on_is_y {
+        Cow::Borrowed(rel)
+    } else {
+        Cow::Owned(rel.transposed())
+    }
+}
+
+/// `target ⋉ filter` on the named columns: keeps target tuples whose
+/// join-column value has at least one occurrence in the filter.
+fn semijoin(
+    target: &Relation,
+    target_on_x: bool,
+    filter: &Relation,
+    filter_on_x: bool,
+) -> Relation {
+    let occurs = |v: Value| -> bool {
+        if filter_on_x {
+            (v as usize) < filter.x_domain() && filter.x_degree(v) > 0
+        } else {
+            (v as usize) < filter.y_domain() && filter.y_degree(v) > 0
+        }
+    };
+    let mut b = RelationBuilder::with_domains(target.x_domain(), target.y_domain());
+    for &(x, y) in target.edges() {
+        if occurs(if target_on_x { x } else { y }) {
+            b.push(x, y);
+        }
+    }
+    b.build()
+}
+
+/// Streams a column selection of `rel` into `sink` in sorted output
+/// order, honouring `wants_more`.
+fn project_stream(rel: &Relation, cols: ProjCols, sink: &mut dyn Sink) -> u64 {
+    let arity = match cols {
+        ProjCols::Ab | ProjCols::Ba => 2,
+        ProjCols::A | ProjCols::B => 1,
+    };
+    sink.begin(arity);
+    let mut rows = 0u64;
+    let mut emit = |sink: &mut dyn Sink, row: &[Value]| -> bool {
+        if !sink.wants_more() {
+            return false;
+        }
+        sink.row(row);
+        rows += 1;
+        true
+    };
+    match cols {
+        ProjCols::Ab => {
+            for &(a, b) in rel.edges() {
+                if !emit(sink, &[a, b]) {
+                    break;
+                }
+            }
+        }
+        ProjCols::Ba => {
+            // Sorted by (b, a): walk the inverted index.
+            'outer: for (b, xs) in rel.by_y().iter_nonempty() {
+                for &a in xs {
+                    if !emit(sink, &[b, a]) {
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        ProjCols::A => {
+            for (a, _) in rel.by_x().iter_nonempty() {
+                if !emit(sink, &[a]) {
+                    break;
+                }
+            }
+        }
+        ProjCols::B => {
+            for (b, _) in rel.by_y().iter_nonempty() {
+                if !emit(sink, &[b]) {
+                    break;
+                }
+            }
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmjoin_api::ir::Atom;
+    use mmjoin_api::{LimitSink, VecSink};
+
+    fn rel(edges: &[(Value, Value)]) -> Relation {
+        Relation::from_edges(edges.iter().copied())
+    }
+
+    /// Reference: brute-force evaluation by backtracking over atoms.
+    fn naive(graph: &QueryGraph<'_>) -> Vec<Vec<Value>> {
+        let mut atoms: Vec<&Atom> = graph.atoms().iter().collect();
+        // Reorder atoms so each one shares a variable with the prefix.
+        let mut ordered: Vec<&Atom> = vec![atoms.remove(0)];
+        while !atoms.is_empty() {
+            let pos = atoms
+                .iter()
+                .position(|a| {
+                    ordered
+                        .iter()
+                        .any(|o| [o.x, o.y].contains(&a.x) || [o.x, o.y].contains(&a.y))
+                })
+                .expect("connected graph");
+            ordered.push(atoms.remove(pos));
+        }
+        let mut bindings: std::collections::BTreeMap<u32, Value> = Default::default();
+        let mut out: std::collections::BTreeSet<Vec<Value>> = Default::default();
+        fn go(
+            ordered: &[&Atom],
+            i: usize,
+            bindings: &mut std::collections::BTreeMap<u32, Value>,
+            projection: &[u32],
+            out: &mut std::collections::BTreeSet<Vec<Value>>,
+        ) {
+            if i == ordered.len() {
+                out.insert(projection.iter().map(|v| bindings[v]).collect());
+                return;
+            }
+            let a = ordered[i];
+            let (bx, by) = (bindings.get(&a.x).copied(), bindings.get(&a.y).copied());
+            match (bx, by) {
+                (Some(x), Some(y)) => {
+                    if (x as usize) < a.relation.x_domain() && a.relation.contains(x, y) {
+                        go(ordered, i + 1, bindings, projection, out);
+                    }
+                }
+                (Some(x), None) => {
+                    if (x as usize) < a.relation.x_domain() {
+                        for &y in a.relation.ys_of(x) {
+                            bindings.insert(a.y, y);
+                            go(ordered, i + 1, bindings, projection, out);
+                        }
+                        bindings.remove(&a.y);
+                    }
+                }
+                (None, Some(y)) => {
+                    if (y as usize) < a.relation.y_domain() {
+                        for &x in a.relation.xs_of(y) {
+                            bindings.insert(a.x, x);
+                            go(ordered, i + 1, bindings, projection, out);
+                        }
+                        bindings.remove(&a.x);
+                    }
+                }
+                (None, None) => {
+                    for &(x, y) in a.relation.edges() {
+                        bindings.insert(a.x, x);
+                        bindings.insert(a.y, y);
+                        go(ordered, i + 1, bindings, projection, out);
+                    }
+                    bindings.remove(&a.x);
+                    bindings.remove(&a.y);
+                }
+            }
+        }
+        go(&ordered, 0, &mut bindings, graph.projection(), &mut out);
+        out.into_iter().collect()
+    }
+
+    fn run(graph: &QueryGraph<'_>) -> Vec<Vec<Value>> {
+        let mut sink = VecSink::new();
+        execute_general(graph, &JoinConfig::default(), &mut sink).unwrap();
+        sink.rows
+    }
+
+    #[test]
+    fn chain_matches_naive_reference() {
+        let rels = vec![
+            rel(&[(0, 0), (1, 0), (2, 1), (3, 2)]),
+            rel(&[(0, 5), (1, 5), (2, 6)]),
+            rel(&[(5, 9), (6, 8), (6, 9)]),
+        ];
+        let graph = QueryGraph::chain(&rels).unwrap();
+        assert_eq!(run(&graph), naive(&graph));
+    }
+
+    #[test]
+    fn two_path_constructor_matches_primitive() {
+        let r = rel(&[(0, 0), (1, 0), (2, 1), (2, 0), (3, 1)]);
+        let s = rel(&[(5, 0), (6, 1), (7, 0)]);
+        let graph = QueryGraph::two_path(&r, &s);
+        let expected: Vec<Vec<Value>> =
+            crate::two_path::two_path_join_project(&r, &s, &JoinConfig::default())
+                .into_iter()
+                .map(|(a, b)| vec![a, b])
+                .collect();
+        assert_eq!(run(&graph), expected);
+        assert_eq!(run(&graph), naive(&graph));
+    }
+
+    #[test]
+    fn star_constructor_matches_primitive() {
+        let rels = vec![
+            rel(&[(0, 0), (1, 0), (2, 1)]),
+            rel(&[(5, 0), (6, 1)]),
+            rel(&[(8, 0), (9, 0), (9, 1)]),
+        ];
+        let graph = QueryGraph::star(&rels).unwrap();
+        let expected = crate::star::star_join_project_mm(&rels, &JoinConfig::default());
+        assert_eq!(run(&graph), expected);
+        assert_eq!(run(&graph), naive(&graph));
+    }
+
+    #[test]
+    fn snowflake_matches_naive_reference() {
+        // Two rays of length 2 plus one direct leg around centre 9.
+        let edge = rel(&[(0, 0), (1, 0), (1, 1), (2, 1), (0, 2)]);
+        let atom = |x, y| Atom {
+            relation: &edge,
+            x,
+            y,
+        };
+        let graph = QueryGraph::new(
+            vec![atom(0, 4), atom(4, 9), atom(1, 5), atom(5, 9), atom(2, 9)],
+            vec![0, 1, 2],
+        )
+        .unwrap();
+        assert_eq!(run(&graph), naive(&graph));
+    }
+
+    #[test]
+    fn pendant_and_single_column_projection() {
+        // Q(z) :- R(x, y), S(z, y), T(z, w): one pendant, arity-1 output.
+        let r = rel(&[(0, 0), (1, 1)]);
+        let s = rel(&[(5, 0), (6, 1), (7, 3)]);
+        let t = rel(&[(5, 2), (7, 0)]);
+        let atom = |relation, x, y| Atom { relation, x, y };
+        let graph = QueryGraph::new(
+            vec![atom(&r, 0, 1), atom(&s, 2, 1), atom(&t, 2, 3)],
+            vec![2],
+        )
+        .unwrap();
+        assert_eq!(run(&graph), naive(&graph));
+        assert_eq!(run(&graph), vec![vec![5]]);
+    }
+
+    #[test]
+    fn limit_sink_stops_final_stream() {
+        let rels = vec![
+            rel(&(0..10).map(|i| (i, 0)).collect::<Vec<_>>()),
+            rel(&(0..10).map(|i| (i, 0)).collect::<Vec<_>>()),
+            rel(&(0..10).map(|i| (i, 0)).collect::<Vec<_>>()),
+        ];
+        let graph = QueryGraph::chain(&rels).unwrap();
+        let mut sink = LimitSink::new(VecSink::new(), 7);
+        let (rows, _) = execute_general(&graph, &JoinConfig::default(), &mut sink).unwrap();
+        assert_eq!(rows, 7);
+        assert!(sink.limit_reached());
+    }
+
+    #[test]
+    fn stats_report_per_step_records() {
+        let rels = vec![
+            rel(&[(0, 0), (1, 0)]),
+            rel(&[(0, 1), (1, 0)]),
+            rel(&[(0, 0), (1, 1)]),
+            rel(&[(1, 0), (0, 1)]),
+        ];
+        let graph = QueryGraph::chain(&rels).unwrap();
+        let mut sink = VecSink::new();
+        let (_, stats) = execute_general(&graph, &JoinConfig::default(), &mut sink).unwrap();
+        assert_eq!(stats.steps.len(), 4, "3 joins + final project");
+        assert!(stats.steps[..3].iter().all(|s| s.op == "join"));
+        assert_eq!(stats.steps[3].op, "project");
+        assert!(stats.steps.iter().all(|s| s.actual_rows.is_some()));
+    }
+}

@@ -11,6 +11,8 @@
 //! partition dimensions and the light tuple masses, plus the output
 //! estimate and predicted costs when the optimizer ran.
 
+use crate::compose::execute_general;
+use crate::plan::plan_general;
 use crate::star::star_join_project_mm_with_stats;
 use crate::two_path::{two_path_join_project_with_stats, two_path_with_counts_stats};
 use crate::MmJoinEngine;
@@ -23,8 +25,14 @@ impl Engine for MmJoinEngine {
         "MMJoin"
     }
 
-    fn supports(&self, _query: &Query<'_>) -> bool {
-        true // every workload family, with or without counts
+    fn supports(&self, query: &Query<'_>) -> bool {
+        match query {
+            // General queries are supported iff the decomposing planner
+            // can lower them onto binary intermediates.
+            Query::General { graph } => plan_general(graph).is_ok(),
+            // Every classic family, with or without counts.
+            _ => true,
+        }
     }
 
     fn execute(&self, query: &Query<'_>, sink: &mut dyn Sink) -> Result<ExecStats, EngineError> {
@@ -57,12 +65,20 @@ impl Engine for MmJoinEngine {
                     plan,
                 })
             }
-            Query::Star { relations } => {
+            Query::Star { ref relations } => {
                 let (tuples, plan) = star_join_project_mm_with_stats(relations, config);
                 Ok(ExecStats {
                     engine: Engine::name(self).to_string(),
                     rows: emit_tuples(sink, relations.len(), &tuples),
                     plan,
+                })
+            }
+            Query::General { ref graph } => {
+                let (rows, plan) = execute_general(graph, config, sink)?;
+                Ok(ExecStats {
+                    engine: Engine::name(self).to_string(),
+                    rows,
+                    plan: Some(plan),
                 })
             }
             Query::SimilarityJoin { r, c, ordered } => {
@@ -217,7 +233,9 @@ mod tests {
     fn invalid_queries_rejected_at_execute() {
         let engine = MmJoinEngine::serial();
         let rels: Vec<Relation> = Vec::new();
-        let q = Query::Star { relations: &rels };
+        let q = Query::Star {
+            relations: rels.iter().collect(),
+        };
         let mut sink = CountSink::new();
         assert!(matches!(
             engine.execute(&q, &mut sink),

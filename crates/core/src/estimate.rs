@@ -32,11 +32,26 @@ pub fn estimate_output_size(r: &Relation, s: &Relation) -> OutputEstimate {
     let full_join = r.full_join_size(s);
     let dom_x = r.active_x_count() as u64;
     let dom_z = s.active_x_count() as u64;
+    estimate_from_parts(full_join, n, dom_x, dom_z)
+}
+
+/// The §5 bound arithmetic over pre-computed inputs: exact full-join size
+/// `|OUT⋈|`, larger input size `N`, and the distinct head-value counts.
+/// Shared by [`estimate_output_size`] (exact relations) and the
+/// decomposing planner (propagated estimates over unmaterialised
+/// intermediates).
+pub fn estimate_from_parts(full_join: u64, n: u64, dom_x: u64, dom_z: u64) -> OutputEstimate {
+    let n = n.max(1);
     // Every active x joins with at least one z (after semi-join reduction),
     // so max(dom_x, dom_z) output pairs exist at minimum; and
-    // |OUT⋈| ≤ N·√|OUT| gives the quadratic lower bound.
-    let ratio = full_join / n;
-    let lower = dom_x.max(dom_z).max(ratio.saturating_mul(ratio)).max(1);
+    // |OUT⋈| ≤ N·√|OUT| gives the quadratic lower bound (|OUT⋈|/N)².
+    // Computed in u128 with round-to-nearest: the old `(full_join / n)²`
+    // truncated *before* squaring, collapsing the bound to 0 whenever
+    // |OUT⋈| < N and understating it whenever N ∤ |OUT⋈|.
+    let fj = full_join as u128;
+    let n2 = (n as u128) * (n as u128);
+    let ratio_sq = u64::try_from((fj * fj + n2 / 2) / n2).unwrap_or(u64::MAX);
+    let lower = dom_x.max(dom_z).max(ratio_sq).max(1);
     let upper = dom_x.saturating_mul(dom_z).min(full_join).max(lower);
     let estimate = ((lower as f64) * (upper as f64)).sqrt().round() as u64;
     OutputEstimate {
@@ -90,6 +105,23 @@ mod tests {
         let est = estimate_output_size(&r, &r);
         assert_eq!(est.full_join, 0);
         assert!(est.estimate >= 1); // clamped floor, never zero-divides
+    }
+
+    #[test]
+    fn quadratic_lower_bound_survives_integer_division() {
+        // Boundary: |OUT⋈| just below N. The truncating `(fj / n)²` was 0
+        // here; the rounded u128 form recovers (fj/n)² ≈ 1.
+        let est = estimate_from_parts(99, 100, 1, 1);
+        assert_eq!(est.lower, 1, "{est:?}");
+        // |OUT⋈| = 1.5·N: true bound is 2.25 → rounds to 2 (was 1).
+        let est = estimate_from_parts(150, 100, 1, 1);
+        assert_eq!(est.lower, 2, "{est:?}");
+        // Exactly |OUT⋈| = N·k keeps the exact k².
+        let est = estimate_from_parts(300, 100, 1, 1);
+        assert_eq!(est.lower, 9, "{est:?}");
+        // Huge |OUT⋈| no longer overflows the squaring (u128 internally).
+        let est = estimate_from_parts(u64::MAX, 2, 1, 1);
+        assert_eq!(est.lower, u64::MAX, "{est:?}");
     }
 
     #[test]

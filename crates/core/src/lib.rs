@@ -15,6 +15,11 @@
 //!   that reports `|ys(x) ∩ ys(z)|` per output pair (the similarity joins
 //!   build on it).
 //! * [`star`] — the §3.2 generalisation to star queries `Q*_k`.
+//! * [`plan`] / [`compose`] — the decomposing planner and executor for
+//!   general acyclic join-project queries (`Query::General`): a
+//!   [`QueryGraph`](mmjoin_api::QueryGraph) is lowered into a DAG of
+//!   2-path steps, semijoin reductions and one final star step, ordered
+//!   by the §5 estimates.
 //! * [`estimate`] — the §5 output-size estimator.
 //! * [`optimizer`] — Algorithm 3, the cost-based search for the degree
 //!   thresholds `Δ1, Δ2` driven by the calibrated matmul cost model.
@@ -56,16 +61,20 @@
 //! …) remain available for callers that want the raw algorithms without
 //! the engine layer.
 
+pub mod compose;
 pub mod config;
 pub mod engine_impl;
 pub mod estimate;
 pub mod optimizer;
+pub mod plan;
 pub mod star;
 pub mod two_path;
 
+pub use compose::execute_general;
 pub use config::{HeavyBackend, JoinConfig};
-pub use estimate::{estimate_output_size, OutputEstimate};
+pub use estimate::{estimate_from_parts, estimate_output_size, OutputEstimate};
 pub use optimizer::{choose_thresholds, ExecutionPlan, PlanChoice};
+pub use plan::{plan_general, FinalStage, GeneralPlan, PlanError, PlanNode, PlanStep, ProjCols};
 pub use star::{star_join_project_mm, star_join_project_mm_with_stats};
 pub use two_path::{
     two_path_join_project, two_path_join_project_with_stats, two_path_with_counts,

@@ -30,7 +30,10 @@ use std::collections::HashMap;
 
 /// Evaluates `π_{x1..xk}(R1 ⋈ … ⋈ Rk)` with the §3.2 algorithm, returning
 /// sorted distinct tuples.
-pub fn star_join_project_mm(relations: &[Relation], config: &JoinConfig) -> Vec<Vec<Value>> {
+pub fn star_join_project_mm<R: AsRef<Relation>>(
+    relations: &[R],
+    config: &JoinConfig,
+) -> Vec<Vec<Value>> {
     star_join_project_mm_with_stats(relations, config).0
 }
 
@@ -38,19 +41,20 @@ pub fn star_join_project_mm(relations: &[Relation], config: &JoinConfig) -> Vec<
 /// single decision sequence feeds both execution and the statistics, so
 /// the reported thresholds are exactly the ones used (degenerate inputs
 /// report no plan).
-pub fn star_join_project_mm_with_stats(
-    relations: &[Relation],
+pub fn star_join_project_mm_with_stats<R: AsRef<Relation>>(
+    relations: &[R],
     config: &JoinConfig,
 ) -> (Vec<Vec<Value>>, Option<PlanStats>) {
     assert!(
         !relations.is_empty(),
         "star query needs at least one relation"
     );
-    if relations.iter().any(|r| r.is_empty()) {
+    if relations.iter().any(|r| r.as_ref().is_empty()) {
         return (Vec::new(), None);
     }
     if relations.len() == 1 {
         let out = relations[0]
+            .as_ref()
             .by_x()
             .iter_nonempty()
             .map(|(x, _)| vec![x])
@@ -58,8 +62,11 @@ pub fn star_join_project_mm_with_stats(
         return (out, Some(PlanStats::wcoj()));
     }
     if relations.len() == 2 {
-        let (pairs, stats) =
-            crate::two_path::two_path_join_project_with_stats(&relations[0], &relations[1], config);
+        let (pairs, stats) = crate::two_path::two_path_join_project_with_stats(
+            relations[0].as_ref(),
+            relations[1].as_ref(),
+            config,
+        );
         let out = pairs.into_iter().map(|(x, z)| vec![x, z]).collect();
         return (out, stats);
     }

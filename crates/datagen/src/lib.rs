@@ -62,6 +62,31 @@ pub fn generate_star(kind: DatasetKind, scale: f64, seed: u64, k: usize) -> Vec<
         .collect()
 }
 
+/// Generates the `k` relations of a skewed chain-query instance
+/// `Q(x0, xk) :- R1(x0, x1), R2(x1, x2), …` for the chain experiments:
+/// each hop is a fresh Zipf-skewed bipartite relation (the Words
+/// profile, the most duplication-prone sparse shape), transposed on odd
+/// hops so consecutive domains line up (set → element → set → …). The
+/// Zipf hubs make the full k-path join grow multiplicatively in `k`
+/// while the projected output stays near-quadratic — the regime where
+/// decomposed join-project evaluation wins.
+pub fn generate_chain(scale: f64, seed: u64, k: usize) -> Vec<Relation> {
+    (0..k)
+        .map(|i| {
+            let r = generate(
+                DatasetKind::Words,
+                scale,
+                seed.wrapping_add(i as u64 * 0x9e37_79b9),
+            );
+            if i % 2 == 1 {
+                r.transposed()
+            } else {
+                r
+            }
+        })
+        .collect()
+}
+
 /// Sparse, low-degree, near-uniform graph: road networks have average set
 /// size ≈ 1.5 with tiny variance and essentially no duplication.
 fn gen_roadnet(spec: &DatasetSpec, rng: &mut StdRng, b: &mut RelationBuilder) {

@@ -59,14 +59,17 @@
 //! ```
 
 pub use mmjoin_api::{
-    CountSink, DeltaSink, Engine, EngineError, EngineRegistry, ExecStats, ForEachSink, LimitSink,
-    PairSink, PlanKind, PlanStats, Query, QueryError, QueryFamily, Sink, VecSink,
+    Atom, CountSink, DeltaSink, Engine, EngineError, EngineRegistry, ExecStats, ForEachSink,
+    LimitSink, PairSink, PlanKind, PlanStats, Query, QueryError, QueryFamily, QueryGraph, Sink,
+    StepStats, Var, VecSink,
 };
-pub use mmjoin_core::{HeavyBackend, JoinConfig, MmJoinEngine};
+pub use mmjoin_core::{
+    execute_general, plan_general, GeneralPlan, HeavyBackend, JoinConfig, MmJoinEngine, PlanError,
+};
 pub use mmjoin_service::{
-    default_registry, registry_with_config, DeltaResult, MaintenancePolicy, MaintenanceReport,
-    MetricsSnapshot, QuerySpec, RelationProfile, Request, Response, SelectionReason, Service,
-    ServiceConfig, ServiceError, Ticket,
+    default_registry, registry_with_config, AtomSpec, DeltaResult, MaintenancePolicy,
+    MaintenanceReport, MetricsSnapshot, QuerySpec, RelationProfile, Request, Response,
+    SelectionReason, Service, ServiceConfig, ServiceError, Ticket,
 };
 pub use mmjoin_storage::{NormalizedDelta, Relation, RelationBuilder, RelationDelta, Value};
 

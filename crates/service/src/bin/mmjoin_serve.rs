@@ -20,7 +20,7 @@
 //! Run with `--workers <n>` to size the pool (default 4). Type `help`
 //! for the full command list.
 
-use mmjoin_service::{MaintenanceReport, Request, Service};
+use mmjoin_service::{AtomSpec, MaintenanceReport, Request, Service};
 use mmjoin_storage::io::read_edge_list;
 use mmjoin_storage::{Edge, Relation, RelationBuilder};
 use std::io::BufRead;
@@ -143,15 +143,39 @@ fn dispatch(service: &Service, line: &str) -> Result<String, String> {
         }
         "stats" => Ok(format!("ok {}", service.metrics())),
         "query" => run_query(service, &tokens[1..]),
+        "explain" => {
+            let (request, _) = parse_request(&tokens[1..])?;
+            let lines = service.explain(request).map_err(|e| e.to_string())?;
+            Ok(format!("ok {}", lines.join("\n  ")))
+        }
         other => Err(format!("unknown command `{other}` (type `help`)")),
     }
 }
 
-fn run_query(service: &Service, tokens: &[&str]) -> Result<String, String> {
-    let family = *tokens.first().ok_or("usage: query <family> …")?;
+/// Parses everything after `query` / `explain` into a request plus the
+/// `show` flag. Accepts the per-family keyword forms *and* a datalog-ish
+/// general form `Q(x,w) :- R(x,y), S(y,z), T(z,w)`.
+fn parse_request(tokens: &[&str]) -> Result<(Request, bool), String> {
+    let family = *tokens.first().ok_or("usage: query <family|datalog> …")?;
     let mut rest: Vec<&str> = tokens[1..].to_vec();
-    let show = take_flag(&mut rest, "show");
 
+    if family.contains('(') {
+        // Datalog form: strip trailing flags, re-join, parse the rule.
+        let mut rest: Vec<&str> = tokens.to_vec();
+        let show = take_flag(&mut rest, "show");
+        let limit = take_value(&mut rest, "limit")?;
+        let engine = take_str_value(&mut rest, "engine")?;
+        let mut request = parse_datalog(&rest.join(" "))?;
+        if let Some(limit) = limit {
+            request = request.limit(limit as u64);
+        }
+        if let Some(engine) = engine {
+            request = request.on_engine(engine);
+        }
+        return Ok((request, show));
+    }
+
+    let show = take_flag(&mut rest, "show");
     let mut request = match family {
         "twopath" => {
             if rest.len() < 2 {
@@ -175,6 +199,16 @@ fn run_query(service: &Service, tokens: &[&str]) -> Result<String, String> {
                 return Err("usage: query star <R1> [… Rk] …".into());
             }
             Request::star(names)
+        }
+        "chain" => {
+            let mut names = Vec::new();
+            while !rest.is_empty() && !matches!(rest[0], "limit" | "engine") {
+                names.push(rest.remove(0));
+            }
+            if names.is_empty() {
+                return Err("usage: query chain <R1> [… Rk] …".into());
+            }
+            Request::chain(names)
         }
         "sim" => {
             if rest.len() < 2 {
@@ -210,7 +244,11 @@ fn run_query(service: &Service, tokens: &[&str]) -> Result<String, String> {
     if !rest.is_empty() {
         return Err(format!("unrecognised trailing tokens: {rest:?}"));
     }
+    Ok((request, show))
+}
 
+fn run_query(service: &Service, tokens: &[&str]) -> Result<String, String> {
+    let (request, show) = parse_request(tokens)?;
     let t0 = Instant::now();
     let response = service.query(request).map_err(|e| e.to_string())?;
     let secs = t0.elapsed().as_secs_f64();
@@ -254,6 +292,78 @@ fn register_report(service: &Service, name: &str, rel: Relation) -> Result<Strin
         "ok relation {name}: {} tuples, {} sets, {} elements (epoch {epoch})",
         p.tuples, p.active_x, p.active_y
     ))
+}
+
+/// Parses `Q(x, w) :- R(x, y), S(y, z)` into a general request. The head
+/// name is cosmetic; variables are arbitrary identifiers interned to ids
+/// (canonicalization relabels them anyway).
+fn parse_datalog(text: &str) -> Result<Request, String> {
+    let (head, body) = text
+        .split_once(":-")
+        .ok_or("datalog query needs `Head(..) :- Body(..)`")?;
+    let mut vars: Vec<String> = Vec::new();
+    fn intern(vars: &mut Vec<String>, name: &str) -> u32 {
+        match vars.iter().position(|v| v == name) {
+            Some(i) => i as u32,
+            None => {
+                vars.push(name.to_string());
+                vars.len() as u32 - 1
+            }
+        }
+    }
+    let mut atoms = Vec::new();
+    for frag in body.split(')') {
+        let frag = frag.trim().trim_start_matches(',').trim();
+        if frag.is_empty() {
+            continue;
+        }
+        let (name, vs) = parse_rule_atom(&format!("{frag})"))?;
+        if vs.len() != 2 {
+            return Err(format!(
+                "atom `{name}` must have exactly 2 variables, got {}",
+                vs.len()
+            ));
+        }
+        let (x, y) = (intern(&mut vars, &vs[0]), intern(&mut vars, &vs[1]));
+        atoms.push(AtomSpec {
+            relation: name,
+            x,
+            y,
+        });
+    }
+    if atoms.is_empty() {
+        return Err("rule body has no atoms".into());
+    }
+    let (_, head_vars) = parse_rule_atom(head)?;
+    let mut projection = Vec::with_capacity(head_vars.len());
+    for v in &head_vars {
+        if !vars.contains(v) {
+            return Err(format!("head variable `{v}` does not occur in the body"));
+        }
+        projection.push(intern(&mut vars, v));
+    }
+    Ok(Request::general(atoms, projection))
+}
+
+/// `Name(v1, v2, …)` → `(name, vars)`.
+fn parse_rule_atom(text: &str) -> Result<(String, Vec<String>), String> {
+    let text = text.trim();
+    let (name, rest) = text
+        .split_once('(')
+        .ok_or_else(|| format!("bad atom `{text}` (expected `Name(v, …)`)"))?;
+    let inner = rest
+        .trim()
+        .strip_suffix(')')
+        .ok_or_else(|| format!("bad atom `{text}` (missing `)`)"))?;
+    let name = name.trim();
+    if name.is_empty() {
+        return Err(format!("bad atom `{text}` (missing relation name)"));
+    }
+    let vars: Vec<String> = inner.split(',').map(|v| v.trim().to_string()).collect();
+    if vars.iter().any(String::is_empty) {
+        return Err(format!("bad atom `{text}` (empty variable name)"));
+    }
+    Ok((name.to_string(), vars))
 }
 
 fn parse_edges(tokens: &[&str]) -> Result<Relation, String> {
@@ -326,6 +436,19 @@ fn take_flag(rest: &mut Vec<&str>, flag: &str) -> bool {
     }
 }
 
+/// Removes `key <value>` from `rest` if present, returning the value.
+fn take_str_value(rest: &mut Vec<&str>, key: &str) -> Result<Option<String>, String> {
+    let Some(pos) = rest.iter().position(|&t| t == key) else {
+        return Ok(None);
+    };
+    let value = rest
+        .get(pos + 1)
+        .map(|v| v.to_string())
+        .ok_or_else(|| format!("`{key}` needs a value"))?;
+    rest.drain(pos..=pos + 1);
+    Ok(Some(value))
+}
+
 /// Removes `key <u32>` from `rest` if present.
 fn take_value(rest: &mut Vec<&str>, key: &str) -> Result<Option<u32>, String> {
     let Some(pos) = rest.iter().position(|&t| t == key) else {
@@ -348,7 +471,11 @@ const HELP: &str = "ok commands:
   delete <name> <x,y> [<x,y> …]       staged delta: deletions tracked via support counts
   query twopath <R> <S> [counts] [min <c>] [limit <n>] [engine <E>] [show]
   query star <R1> <R2> [… Rk] [limit <n>] [show]
+  query chain <R1> <R2> [… Rk] [limit <n>] [engine <E>] [show]
   query sim <R> <c> [ordered] [limit <n>] [show]
   query contain <R> [limit <n>] [show]
+  query Q(x,w) :- R(x,y), S(y,z), T(z,w)   general acyclic query, datalog style
+                                           ([limit <n>] [engine <E>] [show] after the rule)
+  explain <query …>                        chosen engine + decomposition, without executing
   catalog | engines | stats | help | quit
 ";

@@ -92,6 +92,16 @@ impl ResultCache {
         }
     }
 
+    /// Whether `key` would hit, without touching recency or the hit/miss
+    /// counters (the `explain` path observes the cache; it must not
+    /// perturb it).
+    pub fn peek(&self, key: u64, request: &Request, epochs: &[u64]) -> bool {
+        matches!(
+            self.slots.get(&key),
+            Some(slot) if slot.request == *request && slot.epochs == epochs
+        )
+    }
+
     /// Inserts `value` under `key`, evicting the least-recently-used
     /// entry if at capacity.
     pub fn insert(&mut self, key: u64, request: Request, epochs: Vec<u64>, value: CachedResult) {

@@ -58,6 +58,6 @@ pub use error::ServiceError;
 pub use maintain::{DeltaResult, MaintenancePolicy, MaintenanceReport};
 pub use metrics::{MetricsSnapshot, ServiceMetrics};
 pub use planner::{Planner, Selection, SelectionReason};
-pub use request::{QuerySpec, Request};
+pub use request::{AtomSpec, QuerySpec, Request};
 pub use roster::{default_registry, registry_with_config};
 pub use service::{Response, Service, ServiceConfig, Ticket};

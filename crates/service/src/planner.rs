@@ -13,8 +13,8 @@
 //! better.
 
 use crate::error::ServiceError;
-use mmjoin_api::{Engine, EngineRegistry, Query, QueryFamily};
-use mmjoin_core::{choose_thresholds, JoinConfig, PlanChoice};
+use mmjoin_api::{Engine, EngineError, EngineRegistry, Query, QueryFamily};
+use mmjoin_core::{choose_thresholds, plan_general, JoinConfig, PlanChoice, PlanStep};
 use std::collections::HashMap;
 
 /// Why the planner picked the engine it picked (reported per response).
@@ -96,19 +96,59 @@ impl Planner {
             });
         }
 
-        // Cost-based: estimate on the (pair of) relations the query joins.
-        let (r, s) = match *query {
-            Query::TwoPath { r, s, .. } => (r, s),
-            Query::SimilarityJoin { r, .. } | Query::ContainmentJoin { r } => (r, r),
-            Query::Star { relations } => {
-                let first = &relations[0];
-                (first, relations.get(1).unwrap_or(first))
+        // General queries go through the decomposing planner: only the
+        // composed MMJoin executor evaluates them, and the plan's §5
+        // estimates (total full-join mass across steps, final output)
+        // back the reported cost decision. An unplannable graph fails
+        // here with the planner's reason instead of a generic
+        // "unsupported" from the engine.
+        if let Query::General { graph } = query {
+            let plan = plan_general(graph)
+                .map_err(|e| ServiceError::Engine(EngineError::Plan(e.to_string())))?;
+            let full_join: u64 = plan
+                .steps
+                .iter()
+                .map(|s| match s {
+                    PlanStep::Join { estimate, .. } => estimate.full_join,
+                    PlanStep::Semijoin { .. } => 0,
+                })
+                .sum();
+            // `MmJoinEngine::supports` would just re-run plan_general —
+            // which already succeeded above — so the registry lookup
+            // alone settles it.
+            if let Some(engine) = registry.get("MMJoin") {
+                return Ok(Selection {
+                    engine: engine.name().to_string(),
+                    reason: SelectionReason::CostBased {
+                        // "Matrix-capable composed executor chosen"; the
+                        // expand-vs-matrix call happens per step.
+                        combinatorial: false,
+                        full_join,
+                        estimated_out: plan.estimated_rows,
+                    },
+                });
             }
+            return match registry.engines_for(query).first() {
+                Some(engine) => Ok(Selection {
+                    engine: engine.name().to_string(),
+                    reason: SelectionReason::Fallback,
+                }),
+                None => Err(ServiceError::NoEngineFor(QueryFamily::General)),
+            };
+        }
+
+        // Cost-based: estimate on the (pair of) relations the query joins.
+        let (r, s) = match query {
+            Query::TwoPath { r, s, .. } => (*r, *s),
+            Query::SimilarityJoin { r, .. } | Query::ContainmentJoin { r } => (*r, *r),
+            Query::Star { relations } => (relations[0], *relations.get(1).unwrap_or(&relations[0])),
+            Query::General { .. } => unreachable!("handled above"),
         };
         let plan = choose_thresholds(r, s, &self.config);
         let combinatorial = plan.choice == PlanChoice::Wcoj;
         let preferred = match (query.family(), combinatorial) {
-            (QueryFamily::TwoPath | QueryFamily::Star, true) => "Non-MMJoin",
+            // General queries returned above; unreachable here.
+            (QueryFamily::TwoPath | QueryFamily::Star | QueryFamily::General, true) => "Non-MMJoin",
             (QueryFamily::Similarity, true) => "SizeAware++",
             (QueryFamily::Containment, true) => "PRETTI",
             (_, false) => "MMJoin",

@@ -12,6 +12,19 @@
 
 use mmjoin_api::QueryFamily;
 
+/// One atom `R(x, y)` of a general request, phrased over a catalog name
+/// and caller-chosen variable ids (canonicalization relabels them, so
+/// any numbering works).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AtomSpec {
+    /// Catalog name of the atom's relation.
+    pub relation: String,
+    /// Variable bound to the relation's first column.
+    pub x: u32,
+    /// Variable bound to the relation's second column.
+    pub y: u32,
+}
+
 /// What to compute, phrased over catalog relation names.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum QuerySpec {
@@ -44,6 +57,14 @@ pub enum QuerySpec {
     Containment {
         /// The set-family relation name.
         r: String,
+    },
+    /// A general acyclic join-project query over named atoms — the
+    /// service-side mirror of [`mmjoin_api::QueryGraph`].
+    General {
+        /// The atoms, in declaration order.
+        atoms: Vec<AtomSpec>,
+        /// Projected variables, in output-column order.
+        projection: Vec<u32>,
     },
 }
 
@@ -109,6 +130,35 @@ impl Request {
         Self::from_spec(QuerySpec::Containment { r: r.into() })
     }
 
+    /// A k-path chain request `Q(v0, vk) :- R1(v0, v1), R2(v1, v2), …`
+    /// over the named relations.
+    pub fn chain<I, S>(relations: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let atoms: Vec<AtomSpec> = relations
+            .into_iter()
+            .enumerate()
+            .map(|(i, name)| AtomSpec {
+                relation: name.into(),
+                x: i as u32,
+                y: i as u32 + 1,
+            })
+            .collect();
+        let last = atoms.len() as u32;
+        Self::from_spec(QuerySpec::General {
+            atoms,
+            projection: vec![0, last],
+        })
+    }
+
+    /// A general acyclic request from explicit atoms and a projection
+    /// list (validated against the catalog at execution time).
+    pub fn general(atoms: Vec<AtomSpec>, projection: Vec<u32>) -> Self {
+        Self::from_spec(QuerySpec::General { atoms, projection })
+    }
+
     /// Wraps a spec with default options.
     pub fn from_spec(spec: QuerySpec) -> Self {
         Self {
@@ -146,6 +196,7 @@ impl Request {
             QuerySpec::Star { .. } => QueryFamily::Star,
             QuerySpec::Similarity { .. } => QueryFamily::Similarity,
             QuerySpec::Containment { .. } => QueryFamily::Containment,
+            QuerySpec::General { .. } => QueryFamily::General,
         }
     }
 
@@ -156,6 +207,7 @@ impl Request {
             QuerySpec::TwoPath { r, s, .. } => vec![r, s],
             QuerySpec::Star { relations } => relations.iter().map(String::as_str).collect(),
             QuerySpec::Similarity { r, .. } | QuerySpec::Containment { r } => vec![r],
+            QuerySpec::General { atoms, .. } => atoms.iter().map(|a| a.relation.as_str()).collect(),
         }
     }
 
@@ -167,7 +219,11 @@ impl Request {
     /// * an uncounted 2-path ignores `min_count`, so it is pinned to 1;
     /// * a counting 2-path with `min_count = 0` is equivalent to
     ///   `min_count = 1` (witness counts are ≥ 1 by definition);
-    /// * an explicit `limit` of `u64::MAX` is no limit at all.
+    /// * an explicit `limit` of `u64::MAX` is no limit at all;
+    /// * general-query variables are relabelled densely by first
+    ///   appearance (atom scan order, then projection), so isomorphic
+    ///   graphs — the same chain written with different variable names —
+    ///   share one fingerprint and one cache entry.
     ///
     /// [fingerprint]: Request::fingerprint
     pub fn canonical(mut self) -> Self {
@@ -192,6 +248,26 @@ impl Request {
             }
             QuerySpec::Similarity { r, .. } => trim_in_place(r),
             QuerySpec::Containment { r } => trim_in_place(r),
+            QuerySpec::General { atoms, projection } => {
+                let mut relabel: Vec<u32> = Vec::new();
+                let mut map = |v: u32| -> u32 {
+                    match relabel.iter().position(|&seen| seen == v) {
+                        Some(i) => i as u32,
+                        None => {
+                            relabel.push(v);
+                            relabel.len() as u32 - 1
+                        }
+                    }
+                };
+                for atom in atoms.iter_mut() {
+                    trim_in_place(&mut atom.relation);
+                    atom.x = map(atom.x);
+                    atom.y = map(atom.y);
+                }
+                for v in projection.iter_mut() {
+                    *v = map(*v);
+                }
+            }
         }
         if self.limit == Some(u64::MAX) {
             self.limit = None;
@@ -245,6 +321,19 @@ impl Request {
             QuerySpec::Containment { r } => {
                 h.byte(0x04);
                 h.str(r);
+            }
+            QuerySpec::General { atoms, projection } => {
+                h.byte(0x05);
+                h.u32(atoms.len() as u32);
+                for atom in atoms {
+                    h.str(&atom.relation);
+                    h.u32(atom.x);
+                    h.u32(atom.y);
+                }
+                h.u32(projection.len() as u32);
+                for &v in projection {
+                    h.u32(v);
+                }
             }
         }
         match canon.limit {
@@ -353,6 +442,65 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn isomorphic_general_queries_share_fingerprints() {
+        // The same 3-chain written with three different variable
+        // numberings collapses to one canonical form.
+        let a = Request::chain(["R", "S", "T"]);
+        let b = Request::general(
+            vec![
+                AtomSpec {
+                    relation: "R".into(),
+                    x: 10,
+                    y: 20,
+                },
+                AtomSpec {
+                    relation: "S".into(),
+                    x: 20,
+                    y: 30,
+                },
+                AtomSpec {
+                    relation: "T".into(),
+                    x: 30,
+                    y: 40,
+                },
+            ],
+            vec![10, 40],
+        );
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_eq!(a.clone().canonical(), b.clone().canonical());
+        // A genuinely different query (projecting the other endpoint
+        // pair order) does not collide.
+        let c = Request::general(
+            vec![
+                AtomSpec {
+                    relation: "R".into(),
+                    x: 10,
+                    y: 20,
+                },
+                AtomSpec {
+                    relation: "S".into(),
+                    x: 20,
+                    y: 30,
+                },
+                AtomSpec {
+                    relation: "T".into(),
+                    x: 30,
+                    y: 40,
+                },
+            ],
+            vec![40, 10],
+        );
+        assert_ne!(a.fingerprint(), c.fingerprint());
+    }
+
+    #[test]
+    fn chain_request_names_in_order() {
+        let r = Request::chain(["A", "B", "A"]);
+        assert_eq!(r.relation_names(), vec!["A", "B", "A"]);
+        assert_eq!(r.family(), QueryFamily::General);
     }
 
     #[test]

@@ -11,8 +11,10 @@ use crate::maintain::{
 use crate::metrics::{MetricsSnapshot, ServiceMetrics};
 use crate::planner::{Planner, Selection, SelectionReason};
 use crate::request::{Fnv1a, QuerySpec, Request};
+use mmjoin_api::ir::{Atom, QueryGraph};
 use mmjoin_api::{DeltaSink, EngineRegistry, ExecStats, LimitSink, Query, QueryFamily, VecSink};
-use mmjoin_core::{choose_thresholds, JoinConfig};
+use mmjoin_core::plan::{FinalStage, GeneralPlan, NodeSource, PlanStep, ProjCols};
+use mmjoin_core::{choose_thresholds, plan_general, JoinConfig, PlanChoice};
 use mmjoin_storage::{Edge, Relation, RelationDelta, Value};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -341,6 +343,91 @@ impl Service {
         self.submit(request).wait()
     }
 
+    /// Explains how `request` would run — the chosen engine, cache
+    /// status, and (for general queries) the full decomposition with
+    /// per-step strategies, thresholds and §5 size estimates — without
+    /// executing any join. Returns display-ready lines.
+    pub fn explain(&self, request: Request) -> Result<Vec<String>, ServiceError> {
+        let request = request.canonical();
+        let (handles, epochs) = resolve_handles(&self.inner, &request)?;
+        let fingerprint = request.fingerprint_assuming_canonical();
+        let key = cache_key(fingerprint, &epochs);
+        let cached = self
+            .inner
+            .cache
+            .lock()
+            .unwrap()
+            .peek(key, &request, &epochs);
+        let query = build_query(&request.spec, &handles)?;
+        let selection =
+            self.inner
+                .planner
+                .select(&self.inner.registry, &query, request.engine.as_deref())?;
+
+        let mut lines = Vec::new();
+        lines.push(format!(
+            "engine {} ({})",
+            selection.engine,
+            match &selection.reason {
+                SelectionReason::Pinned => "pinned".to_string(),
+                SelectionReason::FamilyOverride => "family override".to_string(),
+                SelectionReason::CostBased {
+                    combinatorial,
+                    full_join,
+                    estimated_out,
+                } => {
+                    // Composed plans decide expand-vs-matrix per step
+                    // (shown below); a single path label would lie.
+                    let path = if matches!(request.spec, QuerySpec::General { .. }) {
+                        "composed"
+                    } else if *combinatorial {
+                        "combinatorial"
+                    } else {
+                        "matrix"
+                    };
+                    format!(
+                        "cost-based: {path} path, full join {full_join}, est out {estimated_out}"
+                    )
+                }
+                SelectionReason::Fallback => "fallback".to_string(),
+            }
+        ));
+        lines.push(format!(
+            "fingerprint {fingerprint:016x}, cache {}",
+            if cached { "hit" } else { "miss" }
+        ));
+        match &query {
+            Query::General { graph } => {
+                let plan = plan_general(graph).map_err(|e| {
+                    ServiceError::Engine(mmjoin_api::EngineError::Plan(e.to_string()))
+                })?;
+                explain_plan(
+                    &plan,
+                    graph,
+                    &request.spec,
+                    &self.inner.planner.config,
+                    &mut lines,
+                );
+            }
+            Query::TwoPath { r, s, .. } => {
+                lines.push(explain_thresholds(r, s, &self.inner.planner.config));
+            }
+            Query::SimilarityJoin { r, .. } | Query::ContainmentJoin { r } => {
+                lines.push(explain_thresholds(r, r, &self.inner.planner.config));
+            }
+            Query::Star { relations } => {
+                if relations.len() >= 2 {
+                    lines.push(explain_thresholds(
+                        relations[0],
+                        relations[1],
+                        &self.inner.planner.config,
+                    ));
+                }
+            }
+        }
+        Ok(lines)
+    }
+
     /// Service-level metrics snapshot.
     pub fn metrics(&self) -> MetricsSnapshot {
         self.inner.metrics.lock().unwrap().snapshot()
@@ -398,6 +485,133 @@ fn cache_key(fingerprint: u64, epochs: &[u64]) -> u64 {
         h.u64(epoch);
     }
     h.finish()
+}
+
+/// One line describing the classic-family threshold decision.
+fn explain_thresholds(r: &Relation, s: &Relation, config: &JoinConfig) -> String {
+    let plan = choose_thresholds(r, s, config);
+    match plan.choice {
+        PlanChoice::Wcoj => format!(
+            "plan: expand (WCOJ) — full join {} is output-like (est out {})",
+            plan.estimate.full_join, plan.estimate.estimate
+        ),
+        PlanChoice::Mm { delta1, delta2 } => format!(
+            "plan: matrix-partitioned Δ1={delta1} Δ2={delta2} — full join {}, est out {}",
+            plan.estimate.full_join, plan.estimate.estimate
+        ),
+    }
+}
+
+/// Renders a composed plan's step DAG into display lines, resolving
+/// node names from the request's atoms and computing per-step `(Δ1, Δ2)`
+/// where both inputs are base relations (derived inputs decide at
+/// runtime).
+fn explain_plan(
+    plan: &GeneralPlan,
+    graph: &QueryGraph<'_>,
+    spec: &QuerySpec,
+    config: &JoinConfig,
+    lines: &mut Vec<String>,
+) {
+    use std::borrow::Cow;
+    let QuerySpec::General { atoms, projection } = spec else {
+        return;
+    };
+    let node_name = |id: usize| -> String {
+        match plan.nodes[id].source {
+            NodeSource::Atom(i) => atoms[i].relation.clone(),
+            NodeSource::Step(j) => format!("t{j}"),
+        }
+    };
+    let node_desc = |id: usize| -> String {
+        let n = &plan.nodes[id];
+        format!("{}(v{}, v{})", node_name(id), n.a, n.b)
+    };
+    lines.push(format!(
+        "decomposition: {} step(s), estimated output {} row(s)",
+        plan.steps.len() + 1,
+        plan.estimated_rows
+    ));
+    for (i, step) in plan.steps.iter().enumerate() {
+        match *step {
+            PlanStep::Semijoin {
+                target,
+                filter,
+                on,
+                result,
+            } => lines.push(format!(
+                "  step {i}: semijoin {} ⋉ {} on v{on} -> {}",
+                node_desc(target),
+                node_desc(filter),
+                node_desc(result),
+            )),
+            PlanStep::Join {
+                left,
+                right,
+                on,
+                result,
+                estimate,
+            } => {
+                // Both inputs materialised base atoms: the 2-path
+                // primitive's threshold choice is known now. Transposing
+                // to the primitive's orientation is linear and
+                // explain-only — no join runs.
+                let strategy = match (plan.nodes[left].source, plan.nodes[right].source) {
+                    (NodeSource::Atom(l), NodeSource::Atom(r)) => {
+                        let oriented = |id: usize, i: usize| -> Cow<'_, Relation> {
+                            let rel = graph.atoms()[i].relation;
+                            if plan.nodes[id].b == on {
+                                Cow::Borrowed(rel)
+                            } else {
+                                Cow::Owned(rel.transposed())
+                            }
+                        };
+                        let (lr, rr) = (oriented(left, l), oriented(right, r));
+                        match choose_thresholds(&lr, &rr, config).choice {
+                            PlanChoice::Wcoj => " [expand]".to_string(),
+                            PlanChoice::Mm { delta1, delta2 } => {
+                                format!(" [matrix Δ1={delta1} Δ2={delta2}]")
+                            }
+                        }
+                    }
+                    _ => " [strategy decided at runtime]".to_string(),
+                };
+                lines.push(format!(
+                    "  step {i}: join {} ⋈ {} on v{on} -> {} [est rows {}, full join {}]{}",
+                    node_desc(left),
+                    node_desc(right),
+                    node_desc(result),
+                    estimate.rows,
+                    estimate.full_join,
+                    strategy,
+                ));
+            }
+        }
+    }
+    match &plan.final_stage {
+        FinalStage::Project { node, cols } => {
+            let n = &plan.nodes[*node];
+            let out = match cols {
+                ProjCols::Ab => format!("(v{}, v{})", n.a, n.b),
+                ProjCols::Ba => format!("(v{}, v{})", n.b, n.a),
+                ProjCols::A => format!("(v{})", n.a),
+                ProjCols::B => format!("(v{})", n.b),
+            };
+            lines.push(format!("  final: project {} -> {out}", node_desc(*node)));
+        }
+        FinalStage::Star { center, legs } => {
+            let legs: Vec<String> = legs.iter().map(|&id| node_desc(id)).collect();
+            lines.push(format!(
+                "  final: star around v{center} over [{}] -> ({})",
+                legs.join(", "),
+                projection
+                    .iter()
+                    .map(|v| format!("v{v}"))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ));
+        }
+    }
 }
 
 /// Refreshes one drained cache entry after `name` was updated: decides
@@ -624,24 +838,77 @@ fn worker_loop(inner: Arc<Inner>) {
     }
 }
 
+/// Resolves a canonical request's relation names to shared handles and
+/// their epochs under the catalog read lock, then releases it —
+/// execution must not block catalog writers.
+fn resolve_handles(
+    inner: &Inner,
+    request: &Request,
+) -> Result<(Vec<Arc<Relation>>, Vec<u64>), ServiceError> {
+    let catalog = inner.catalog.read().unwrap();
+    let mut handles: Vec<Arc<Relation>> = Vec::new();
+    let mut epochs: Vec<u64> = Vec::new();
+    for name in request.relation_names() {
+        let entry = catalog.resolve(name)?;
+        handles.push(Arc::clone(&entry.relation));
+        epochs.push(entry.epoch);
+    }
+    Ok((handles, epochs))
+}
+
+/// Builds the borrowed [`Query`] over the resolved handles (`handles`
+/// follows `request.relation_names()` order). Every family — star
+/// included — borrows straight from the `Arc`s: no relation payload is
+/// cloned on the query path.
+fn build_query<'a>(
+    spec: &QuerySpec,
+    handles: &'a [Arc<Relation>],
+) -> Result<Query<'a>, ServiceError> {
+    let query = match spec {
+        QuerySpec::TwoPath {
+            with_counts,
+            min_count,
+            ..
+        } => Query::TwoPath {
+            r: &handles[0],
+            s: &handles[1],
+            with_counts: *with_counts,
+            min_count: *min_count,
+        },
+        QuerySpec::Star { .. } => Query::Star {
+            relations: handles.iter().map(|h| &**h).collect(),
+        },
+        QuerySpec::Similarity { c, ordered, .. } => Query::SimilarityJoin {
+            r: &handles[0],
+            c: *c,
+            ordered: *ordered,
+        },
+        QuerySpec::Containment { .. } => Query::ContainmentJoin { r: &handles[0] },
+        QuerySpec::General { atoms, projection } => {
+            let graph = QueryGraph::new(
+                atoms
+                    .iter()
+                    .enumerate()
+                    .map(|(i, a)| Atom {
+                        relation: &handles[i],
+                        x: a.x,
+                        y: a.y,
+                    })
+                    .collect(),
+                projection.clone(),
+            )?;
+            Query::General { graph }
+        }
+    };
+    query.validate()?;
+    Ok(query)
+}
+
 /// The full query path: canonicalize → resolve → cache probe → plan →
 /// execute → cache fill.
 fn process(inner: &Inner, request: Request) -> Result<Response, ServiceError> {
     let request = request.canonical();
-
-    // Resolve names to relation handles + epochs under the read lock,
-    // then release it — execution must not block catalog writers.
-    let (handles, epochs) = {
-        let catalog = inner.catalog.read().unwrap();
-        let mut handles: Vec<Arc<Relation>> = Vec::new();
-        let mut epochs: Vec<u64> = Vec::new();
-        for name in request.relation_names() {
-            let entry = catalog.resolve(name)?;
-            handles.push(Arc::clone(&entry.relation));
-            epochs.push(entry.epoch);
-        }
-        (handles, epochs)
-    };
+    let (handles, epochs) = resolve_handles(inner, &request)?;
 
     // Cache key: canonical fingerprint ⊕ the epochs of every referenced
     // relation (names are already inside the fingerprint). Any update
@@ -670,36 +937,7 @@ fn process(inner: &Inner, request: Request) -> Result<Response, ServiceError> {
         });
     }
 
-    // Build the borrowed Query over the resolved handles. Star queries
-    // need a contiguous `&[Relation]`, so they clone the payloads once
-    // (linear in input size — dwarfed by the join itself; a future PR
-    // can switch `Query::Star` to reference slices to avoid it).
-    let star_storage: Vec<Relation>;
-    let query = match &request.spec {
-        QuerySpec::TwoPath {
-            with_counts,
-            min_count,
-            ..
-        } => Query::TwoPath {
-            r: &handles[0],
-            s: &handles[1],
-            with_counts: *with_counts,
-            min_count: *min_count,
-        },
-        QuerySpec::Star { .. } => {
-            star_storage = handles.iter().map(|h| (**h).clone()).collect();
-            Query::Star {
-                relations: &star_storage,
-            }
-        }
-        QuerySpec::Similarity { c, ordered, .. } => Query::SimilarityJoin {
-            r: &handles[0],
-            c: *c,
-            ordered: *ordered,
-        },
-        QuerySpec::Containment { .. } => Query::ContainmentJoin { r: &handles[0] },
-    };
-    query.validate()?;
+    let query = build_query(&request.spec, &handles)?;
 
     let selection: Selection =
         inner
@@ -1082,6 +1320,146 @@ mod tests {
         fresh.register("S", Relation::from_edges([(5, 0), (6, 1)]));
         let expected = fresh.query(Request::two_path("R", "S")).unwrap();
         assert_eq!(sorted_rows(&rs), sorted_rows(&expected));
+    }
+
+    #[test]
+    fn chain_query_caches_and_invalidates_on_any_relation() {
+        use crate::request::AtomSpec;
+        let s = service();
+        s.register("R", tiny());
+        s.register("S", Relation::from_edges([(0, 0), (1, 1), (2, 2)]));
+        s.register("T", Relation::from_edges([(0, 3), (1, 3), (2, 4)]));
+
+        let cold = s.query(Request::chain(["R", "S", "T"])).unwrap();
+        assert!(!cold.cached);
+        assert_eq!(cold.arity, 2);
+        assert_eq!(cold.stats.engine, "MMJoin");
+        assert!(matches!(
+            cold.selection,
+            Some(SelectionReason::CostBased { .. })
+        ));
+
+        // Isomorphic rewrite (different variable numbering) hits the
+        // same cache entry.
+        let warm = s
+            .query(Request::general(
+                vec![
+                    AtomSpec {
+                        relation: "R".into(),
+                        x: 7,
+                        y: 3,
+                    },
+                    AtomSpec {
+                        relation: "S".into(),
+                        x: 3,
+                        y: 11,
+                    },
+                    AtomSpec {
+                        relation: "T".into(),
+                        x: 11,
+                        y: 5,
+                    },
+                ],
+                vec![7, 5],
+            ))
+            .unwrap();
+        assert!(warm.cached, "isomorphic chain must share the entry");
+        assert_eq!(warm.rows, cold.rows);
+
+        // Updating the *middle* relation of the chain invalidates.
+        s.update("S", Relation::from_edges([(0, 0), (1, 1)]))
+            .unwrap();
+        let after = s.query(Request::chain(["R", "S", "T"])).unwrap();
+        assert!(
+            !after.cached,
+            "epoch of every referenced relation keys the entry"
+        );
+        // Updating an unrelated relation leaves the fresh entry warm.
+        s.update("R", tiny()).unwrap(); // identical → no-op, stays warm
+        assert!(s.query(Request::chain(["R", "S", "T"])).unwrap().cached);
+    }
+
+    #[test]
+    fn chain_of_two_matches_two_path_of_transpose() {
+        // Q(x, z) :- R(x, y), S(y, z) equals the classic 2-path over
+        // (R, Sᵀ) — the chain joins S on its *first* column.
+        let s = service();
+        let r = tiny();
+        let t = Relation::from_edges([(0, 5), (1, 5), (1, 6)]);
+        s.register("R", r.clone());
+        s.register("S", t.clone());
+        s.register("St", t.transposed());
+        let chain = s.query(Request::chain(["R", "S"])).unwrap();
+        let classic = s.query(Request::two_path("R", "St")).unwrap();
+        let sorted = |resp: &Response| {
+            let mut rows = (*resp.rows).clone();
+            rows.sort();
+            rows
+        };
+        assert_eq!(sorted(&chain), sorted(&classic));
+    }
+
+    #[test]
+    fn explain_reports_plan_without_executing() {
+        let s = service();
+        s.register("R", tiny());
+        s.register("S", tiny());
+        s.register("T", tiny());
+        let lines = s.explain(Request::chain(["R", "S", "T"])).unwrap();
+        let text = lines.join("\n");
+        assert!(text.contains("engine MMJoin"), "{text}");
+        assert!(text.contains("cache miss"), "{text}");
+        assert!(text.contains("join"), "{text}");
+        assert!(text.contains("final: project"), "{text}");
+        // Nothing executed or cached.
+        assert_eq!(s.cache_len(), 0);
+        assert_eq!(s.metrics().queries_served, 0);
+
+        // After a real query the same explain reports a hit.
+        s.query(Request::chain(["R", "S", "T"])).unwrap();
+        let lines = s.explain(Request::chain(["R", "S", "T"])).unwrap();
+        assert!(lines.join("\n").contains("cache hit"));
+    }
+
+    #[test]
+    fn unsupported_general_shape_is_a_clean_error() {
+        use crate::request::AtomSpec;
+        let s = service();
+        s.register("R", tiny());
+        // Q(x, y, z) :- R(x, y), R(y, z): projected interior variable.
+        let atoms = vec![
+            AtomSpec {
+                relation: "R".into(),
+                x: 0,
+                y: 1,
+            },
+            AtomSpec {
+                relation: "R".into(),
+                x: 1,
+                y: 2,
+            },
+        ];
+        match s.query(Request::general(atoms, vec![0, 1, 2])) {
+            Err(ServiceError::Engine(mmjoin_api::EngineError::Plan(msg))) => {
+                assert!(msg.contains("interior"), "{msg}");
+            }
+            other => panic!("expected plan error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn star_query_serves_without_cloning_payloads() {
+        // Behavioural proxy for the borrow refactor: results must match
+        // the facade's direct star evaluation (and the query path no
+        // longer constructs owned Relations — enforced by the type of
+        // `Query::Star`).
+        let s = service();
+        s.register("R", tiny());
+        let via_service = s.query(Request::star(["R", "R", "R"])).unwrap();
+        let r = tiny();
+        let direct =
+            mmjoin_core::star_join_project_mm(&[&r, &r, &r], &mmjoin_core::JoinConfig::default());
+        assert_eq!(*via_service.rows, direct);
     }
 
     #[test]

@@ -138,6 +138,21 @@ impl Relation {
         total
     }
 
+    /// The same relation with its columns swapped: `Rᵀ(y, x) = R(x, y)`.
+    ///
+    /// O(N) with no re-sorting or re-indexing — the transposed edge list
+    /// falls out of the `y → [x]` index in sorted order, and the two CSR
+    /// indexes simply trade places.
+    pub fn transposed(&self) -> Relation {
+        let mut edges = Vec::with_capacity(self.len());
+        for (y, xs) in self.by_y.iter_nonempty() {
+            for &x in xs {
+                edges.push((y, x));
+            }
+        }
+        Relation::from_parts(edges, self.by_y.clone(), self.by_x.clone())
+    }
+
     /// Semi-join reduction for the 2-path query `R(x,y) ⋈ S(z,y)`: returns
     /// `(R', S')` where dangling tuples (whose `y` has no partner on the
     /// other side) are removed. The paper assumes this linear-time
@@ -168,13 +183,20 @@ impl Relation {
 
     /// Semi-join reduction for a star query over `k` relations joined on `y`:
     /// keeps only tuples whose `y` appears in *every* relation.
-    pub fn reduce_star(relations: &[Relation]) -> Vec<Relation> {
+    ///
+    /// Generic over owned (`&[Relation]`) and borrowed (`&[&Relation]`)
+    /// slices so callers holding `Arc<Relation>` handles never clone.
+    pub fn reduce_star<R: AsRef<Relation>>(relations: &[R]) -> Vec<Relation> {
         assert!(!relations.is_empty());
-        let dom = relations.iter().map(|r| r.y_domain()).min().unwrap_or(0);
+        let dom = relations
+            .iter()
+            .map(|r| r.as_ref().y_domain())
+            .min()
+            .unwrap_or(0);
         let mut alive = vec![true; dom];
         for r in relations {
             for (y, live) in alive.iter_mut().enumerate() {
-                if r.y_degree(y as Value) == 0 {
+                if r.as_ref().y_degree(y as Value) == 0 {
                     *live = false;
                 }
             }
@@ -182,6 +204,7 @@ impl Relation {
         relations
             .iter()
             .map(|r| {
+                let r = r.as_ref();
                 let mut b = RelationBuilder::with_domains(r.x_domain(), r.y_domain());
                 for &(x, y) in r.edges() {
                     if (y as usize) < dom && alive[y as usize] {
@@ -191,6 +214,12 @@ impl Relation {
                 b.build()
             })
             .collect()
+    }
+}
+
+impl AsRef<Relation> for Relation {
+    fn as_ref(&self) -> &Relation {
+        self
     }
 }
 
@@ -344,6 +373,29 @@ mod tests {
         assert_eq!(reduced[0].edges(), &[(1, 1)]);
         assert_eq!(reduced[1].edges(), &[(1, 1)]);
         assert_eq!(reduced[2].edges(), &[(3, 1)]);
+    }
+
+    #[test]
+    fn transposed_swaps_columns_and_indexes() {
+        let r = rel(&[(0, 5), (0, 7), (1, 5), (3, 2)]);
+        let t = r.transposed();
+        assert_eq!(t.edges(), &[(2, 3), (5, 0), (5, 1), (7, 0)]);
+        assert_eq!(t.x_domain(), r.y_domain());
+        assert_eq!(t.y_domain(), r.x_domain());
+        assert_eq!(t.ys_of(5), r.xs_of(5));
+        assert_eq!(t.xs_of(0), r.ys_of(0));
+        // Involution: transposing twice restores the original.
+        assert_eq!(t.transposed().edges(), r.edges());
+    }
+
+    #[test]
+    fn reduce_star_accepts_borrowed_slices() {
+        let a = rel(&[(0, 0), (1, 1)]);
+        let b = rel(&[(5, 1)]);
+        let by_ref = Relation::reduce_star(&[&a, &b]);
+        let by_val = Relation::reduce_star(&[a.clone(), b.clone()]);
+        assert_eq!(by_ref[0].edges(), by_val[0].edges());
+        assert_eq!(by_ref[1].edges(), &[(5, 1)]);
     }
 
     #[test]

@@ -29,7 +29,7 @@ impl Engine for WcojEngine {
 
     fn execute(&self, query: &Query<'_>, sink: &mut dyn Sink) -> Result<ExecStats, EngineError> {
         query.validate()?;
-        let tuples = match *query {
+        let tuples = match query {
             Query::TwoPath {
                 r,
                 s,

@@ -33,7 +33,10 @@ pub fn two_path_for_each(r: &Relation, s: &Relation, mut f: impl FnMut(Value, Va
 /// The `y` column intersection is a k-way leapfrog over the active-`y` lists;
 /// per shared `y` the Cartesian product of the inverted lists is emitted by
 /// an odometer loop with no allocation beyond the tuple buffer.
-pub fn star_full_join_for_each(relations: &[Relation], mut f: impl FnMut(Value, &[Value])) {
+pub fn star_full_join_for_each<R: AsRef<Relation>>(
+    relations: &[R],
+    mut f: impl FnMut(Value, &[Value]),
+) {
     assert!(
         !relations.is_empty(),
         "star query needs at least one relation"
@@ -41,13 +44,13 @@ pub fn star_full_join_for_each(relations: &[Relation], mut f: impl FnMut(Value, 
     // Sorted lists of active y values per relation.
     let active: Vec<Vec<Value>> = relations
         .iter()
-        .map(|r| r.by_y().iter_nonempty().map(|(y, _)| y).collect())
+        .map(|r| r.as_ref().by_y().iter_nonempty().map(|(y, _)| y).collect())
         .collect();
     let lists: Vec<&[Value]> = active.iter().map(|v| v.as_slice()).collect();
     let k = relations.len();
     let mut tuple = vec![0 as Value; k];
     for y in LeapfrogIter::new(lists) {
-        let inv: Vec<&[Value]> = relations.iter().map(|r| r.xs_of(y)).collect();
+        let inv: Vec<&[Value]> = relations.iter().map(|r| r.as_ref().xs_of(y)).collect();
         debug_assert!(inv.iter().all(|l| !l.is_empty()));
         // Odometer over the product.
         let mut idx = vec![0usize; k];
@@ -75,18 +78,18 @@ pub fn star_full_join_for_each(relations: &[Relation], mut f: impl FnMut(Value, 
 
 /// Count of the full star join without materialisation:
 /// `Σ_y Π_i |L_i[y]|`.
-pub fn full_join_count(relations: &[Relation]) -> u64 {
+pub fn full_join_count<R: AsRef<Relation>>(relations: &[R]) -> u64 {
     assert!(!relations.is_empty());
     let active: Vec<Vec<Value>> = relations
         .iter()
-        .map(|r| r.by_y().iter_nonempty().map(|(y, _)| y).collect())
+        .map(|r| r.as_ref().by_y().iter_nonempty().map(|(y, _)| y).collect())
         .collect();
     let lists: Vec<&[Value]> = active.iter().map(|v| v.as_slice()).collect();
     let mut total = 0u64;
     for y in LeapfrogIter::new(lists) {
         let mut prod = 1u64;
         for r in relations {
-            prod = prod.saturating_mul(r.xs_of(y).len() as u64);
+            prod = prod.saturating_mul(r.as_ref().xs_of(y).len() as u64);
         }
         total = total.saturating_add(prod);
     }
@@ -99,7 +102,7 @@ pub fn full_join_count(relations: &[Relation]) -> u64 {
 ///
 /// This is the reference semantics every optimized engine in the workspace
 /// is validated against.
-pub fn star_join_project(relations: &[Relation]) -> Vec<Vec<Value>> {
+pub fn star_join_project<R: AsRef<Relation>>(relations: &[R]) -> Vec<Vec<Value>> {
     let mut acc = ProjectionAccumulator::new(relations.len());
     star_full_join_for_each(relations, |_, tuple| acc.push(tuple));
     acc.finish()
