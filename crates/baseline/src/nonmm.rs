@@ -18,35 +18,58 @@
 //! epoch-stamped dedup buffer — what the paper's prototype actually runs —
 //! plus an explicit sort-based alternative chosen by the §6 heuristic.
 
+use mmjoin_executor::Executor;
 use mmjoin_storage::dedup::sort_dedup;
 use mmjoin_storage::{DedupBuffer, Relation, Value};
 use mmjoin_wcoj::{star_full_join_for_each, ProjectionAccumulator};
 
 /// The Lemma-2 combinatorial output-sensitive engine (`Non-MMJoin`).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ExpandDedupEngine {
     /// Worker threads (1 = serial). Parallelism partitions active `x`
     /// values; each worker owns a private dedup buffer, so no coordination
     /// is needed (x-groups are disjoint).
     pub threads: usize,
+    /// The executor the parallel partitions run on; `None` uses the
+    /// process-global pool. Services install theirs so one budget
+    /// governs this engine too (see [`ExpandDedupEngine::on_executor`]).
+    pub executor: Option<std::sync::Arc<Executor>>,
 }
 
 impl Default for ExpandDedupEngine {
     fn default() -> Self {
-        Self { threads: 1 }
+        Self::serial()
     }
 }
 
 impl ExpandDedupEngine {
     /// Serial engine.
     pub fn serial() -> Self {
-        Self { threads: 1 }
+        Self {
+            threads: 1,
+            executor: None,
+        }
     }
 
     /// Parallel engine on `threads` workers.
     pub fn parallel(threads: usize) -> Self {
         Self {
             threads: threads.max(1),
+            executor: None,
+        }
+    }
+
+    /// Pins the engine's parallel work to `exec` instead of the
+    /// process-global pool.
+    pub fn on_executor(mut self, exec: std::sync::Arc<Executor>) -> Self {
+        self.executor = Some(exec);
+        self
+    }
+
+    fn exec(&self) -> &Executor {
+        match &self.executor {
+            Some(exec) => exec,
+            None => Executor::global(),
         }
     }
 
@@ -104,6 +127,17 @@ impl ExpandDedupEngine {
 impl ExpandDedupEngine {
     /// Evaluates `π_{x,z}(R ⋈ S)`, returning sorted distinct `(x, z)` pairs.
     pub fn join_project(&self, r: &Relation, s: &Relation) -> Vec<(Value, Value)> {
+        self.join_project_on(r, s, self.exec())
+    }
+
+    /// [`join_project`](Self::join_project) on an explicit executor, so a
+    /// caller-level thread budget governs the expansion workers.
+    pub fn join_project_on(
+        &self,
+        r: &Relation,
+        s: &Relation,
+        exec: &Executor,
+    ) -> Vec<(Value, Value)> {
         let groups: Vec<(Value, &[Value])> = r.by_x().iter_nonempty().collect();
         let mut out = if self.threads <= 1 {
             let mut dedup = DedupBuffer::new(s.x_domain());
@@ -117,24 +151,14 @@ impl ExpandDedupEngine {
             // Static partition of x-groups into contiguous chunks; merge
             // worker outputs at the end (disjoint x ⇒ no dedup across
             // workers needed).
-            let chunk = groups.len().div_ceil(self.threads);
-            let mut results: Vec<Vec<(Value, Value)>> = Vec::new();
-            std::thread::scope(|scope| {
-                let mut handles = Vec::new();
-                for part in groups.chunks(chunk.max(1)) {
-                    handles.push(scope.spawn(move || {
-                        let mut dedup = DedupBuffer::new(s.x_domain());
-                        let mut scratch = Vec::new();
-                        let mut out = Vec::new();
-                        for &(x, ys) in part {
-                            Self::expand_group(x, ys, s, &mut dedup, &mut scratch, &mut out);
-                        }
-                        out
-                    }));
+            let results = exec.map_chunks(self.threads, &groups, |part| {
+                let mut dedup = DedupBuffer::new(s.x_domain());
+                let mut scratch = Vec::new();
+                let mut out = Vec::new();
+                for &(x, ys) in part {
+                    Self::expand_group(x, ys, s, &mut dedup, &mut scratch, &mut out);
                 }
-                for h in handles {
-                    results.push(h.join().expect("worker panicked"));
-                }
+                out
             });
             results.concat()
         };

@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use mmjoin_matrix::strassen::strassen;
-use mmjoin_matrix::{matmul_parallel, BitMatrix, DenseMatrix};
+use mmjoin_matrix::{matmul_parallel, strassen_parallel, BitMatrix, DenseMatrix};
 
 fn adjacency(n: usize, phase: usize) -> DenseMatrix {
     DenseMatrix::from_fn(n, n, |i, j| {
@@ -55,6 +55,13 @@ fn backend_ablation(c: &mut Criterion) {
     });
     g.bench_function("strassen_cutoff128", |bench| {
         bench.iter(|| strassen(&a, &b, 128))
+    });
+    let cores = std::thread::available_parallelism()
+        .map(|v| v.get())
+        .unwrap_or(4)
+        .min(7); // seven Strassen leaves cap the useful parallelism
+    g.bench_function("strassen_parallel_leaves", |bench| {
+        bench.iter(|| strassen_parallel(&a, &b, 128, cores))
     });
     let mut ab = BitMatrix::zeros(n, n);
     let mut bb = BitMatrix::zeros(n, n);

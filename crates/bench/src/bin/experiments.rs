@@ -63,7 +63,13 @@ enum Output {
     Text(String),
 }
 
-fn run(name: &str, scale: f64) -> Output {
+/// Runs one target. Under `--gate`, `chains` — the only target whose
+/// gate thresholds read *timings* (baseline speedup, thread-scaling
+/// smoke; the service/updates gates threshold hit rates, which are
+/// deterministic) — switches to one-warmup median-of-3 measurements so
+/// a single scheduler hiccup cannot fake a perf regression.
+fn run(name: &str, scale: f64, gated: bool) -> Output {
+    let trials = if gated { 3 } else { 1 };
     match name {
         "engines" => Output::Text(engines_report()),
         "plan" => Output::Table(figures::plan_report(scale)),
@@ -92,7 +98,7 @@ fn run(name: &str, scale: f64) -> Output {
         "ablation" => Output::Table(figures::ablation_matrix_backends(scale)),
         "service" => Output::Table(service_bench::service_experiment(scale)),
         "updates" => Output::Table(updates_bench::updates_experiment(scale)),
-        "chains" => Output::Table(chains_bench::chains_experiment(scale)),
+        "chains" => Output::Table(chains_bench::chains_experiment_trials(scale, trials)),
         other => {
             eprintln!("unknown target `{other}`");
             std::process::exit(2);
@@ -132,7 +138,7 @@ fn main() {
         if targets.len() > 1 {
             eprintln!(">>> running {name} (scale {scale})");
         }
-        let output = run(name, scale);
+        let output = run(name, scale, gate_enabled);
         match &output {
             Output::Table(table) => println!("{}", table.render()),
             Output::Text(text) => println!("{text}"),

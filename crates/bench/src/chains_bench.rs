@@ -1,67 +1,104 @@
 //! `experiments -- chains` — k-path chain queries through the
-//! decomposing planner vs the materialize-everything full-join baseline.
+//! decomposing planner vs the materialize-everything full-join baseline,
+//! with a thread-scaling axis over the shared executor.
 //!
 //! For each `k ∈ {3, 4, 5}` the composed plan (k−1 output-sensitive
-//! 2-path steps, elimination order by the §5 estimates) races a classic
-//! baseline that enumerates every k-path of the full join and
-//! deduplicates the projected endpoint pairs at the end. On the skewed
-//! chain instance ([`mmjoin_datagen::generate_chain`]) the full join
-//! grows multiplicatively in `k` while the projected output does not, so
-//! the gap widens with `k` — the chain-query analogue of Figure 4.
+//! 2-path steps, elimination order by the §5 estimates) runs serially and
+//! on a [`PAR_THREADS`]-thread executor (DAG wavefronts + parallel step
+//! internals), then races a classic baseline that enumerates every k-path
+//! of the full join and deduplicates the projected endpoint pairs at the
+//! end. On the skewed chain instance ([`mmjoin_datagen::generate_chain`])
+//! the full join grows multiplicatively in `k` while the projected output
+//! does not, so the gap widens with `k` — the chain-query analogue of
+//! Figure 4. The `cores` column records the host's parallelism so the
+//! gate can decide whether demanding real scaling is meaningful.
 
 use crate::report::{fmt_secs, Table};
-use crate::{timed, SEED};
+use crate::{timed, timed_median, SEED};
 use mmjoin::{CountSink, Engine, JoinConfig, MmJoinEngine, Query, QueryGraph};
+use mmjoin_executor::Executor;
 use mmjoin_storage::{Relation, Value};
+use std::sync::Arc;
 
-/// Runs the chain sweep at `scale`, returning the comparison table.
+/// Threads on the parallel axis of the sweep.
+pub const PAR_THREADS: usize = 4;
+
+/// Runs the chain sweep at `scale` with a single timing trial per cell.
+pub fn chains_experiment(scale: f64) -> Table {
+    chains_experiment_trials(scale, 1)
+}
+
+/// [`chains_experiment`] with `trials` measured runs per composed timing
+/// (median reported, plus one warmup when `trials > 1`) — what `--gate`
+/// uses to keep single-run noise out of the regression thresholds.
 ///
 /// The instance scale is capped at 0.1: the *baseline's* cost is the
 /// full k-path join, which grows with roughly the cube of the scale per
 /// hop — past the cap the reference side alone runs for minutes while
 /// the composed plan stays in milliseconds, telling us nothing new.
-pub fn chains_experiment(scale: f64) -> Table {
+pub fn chains_experiment_trials(scale: f64, trials: usize) -> Table {
     let scale = scale.min(0.1);
+    let warmup = usize::from(trials > 1);
+    let cores = mmjoin_executor::available_parallelism();
     let mut table = Table::new(
-        format!("k-path chains, skewed Words profile (scale {scale}): composed plan vs full join"),
+        format!(
+            "k-path chains, skewed Words profile (scale {scale}, median of {trials}): \
+             composed plan 1t vs {PAR_THREADS}t vs full join"
+        ),
         vec![
             "k".into(),
-            "composed".into(),
+            "composed 1t".into(),
+            format!("composed {PAR_THREADS}t"),
+            "par speedup".into(),
             "baseline".into(),
             "speedup".into(),
             "rows".into(),
             "rows match".into(),
             "full join".into(),
+            "cores".into(),
         ],
     );
-    let engine = MmJoinEngine::new(JoinConfig::default());
+    let serial_engine = MmJoinEngine::new(JoinConfig::default());
+    let parallel_engine = MmJoinEngine::new(JoinConfig {
+        threads: PAR_THREADS,
+        executor: Some(Arc::new(Executor::new(PAR_THREADS))),
+        ..JoinConfig::default()
+    });
     for k in [3usize, 4, 5] {
         let rels = mmjoin_datagen::generate_chain(scale, SEED, k);
         let refs: Vec<&Relation> = rels.iter().collect();
-
-        let (composed_rows, composed_secs) = timed(|| {
+        let run_composed = |engine: &MmJoinEngine| -> u64 {
             let graph = QueryGraph::chain(&refs).expect("chain shape is valid");
             let query = Query::general(graph).expect("validated above");
             let mut sink = CountSink::new();
             engine.execute(&query, &mut sink).expect("chain executes");
             sink.rows
-        });
+        };
+
+        let (serial_rows, serial_secs) =
+            timed_median(warmup, trials, || run_composed(&serial_engine));
+        let (parallel_rows, parallel_secs) =
+            timed_median(warmup, trials, || run_composed(&parallel_engine));
         let ((full_join, baseline_rows), baseline_secs) = timed(|| chain_full_join_baseline(&refs));
 
-        let speedup = baseline_secs / composed_secs.max(1e-9);
+        let par_speedup = serial_secs / parallel_secs.max(1e-9);
+        let speedup = baseline_secs / serial_secs.min(parallel_secs).max(1e-9);
         table.push_row(
             k.to_string(),
             vec![
-                fmt_secs(composed_secs),
+                fmt_secs(serial_secs),
+                fmt_secs(parallel_secs),
+                format!("{par_speedup:.2}"),
                 fmt_secs(baseline_secs),
                 format!("{speedup:.2}"),
-                composed_rows.to_string(),
-                if composed_rows == baseline_rows {
+                serial_rows.to_string(),
+                if serial_rows == baseline_rows && parallel_rows == baseline_rows {
                     "yes".into()
                 } else {
-                    format!("NO ({baseline_rows})")
+                    format!("NO (baseline {baseline_rows}, {PAR_THREADS}t {parallel_rows})")
                 },
                 full_join.to_string(),
+                cores.to_string(),
             ],
         );
     }
@@ -142,9 +179,12 @@ mod tests {
     }
 
     #[test]
-    fn chains_table_has_three_rows() {
+    fn chains_table_has_three_rows_and_matches() {
         let t = chains_experiment(0.02);
         assert_eq!(t.rows.len(), 3);
-        assert!(t.rows.iter().all(|(_, cells)| cells[4] == "yes"));
+        // "rows match" covers both the serial and parallel composed runs.
+        assert!(t.rows.iter().all(|(_, cells)| cells[6] == "yes"));
+        assert!(t.headers.iter().any(|h| h == "par speedup"));
+        assert!(t.headers.iter().any(|h| h == "cores"));
     }
 }

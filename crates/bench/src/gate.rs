@@ -60,10 +60,15 @@ pub fn check_updates(table: &Table) -> Result<(), String> {
     Ok(())
 }
 
-/// Gates the `chains` target: composed-plan results must equal the
-/// baseline's on every k, and the deepest chain (k = 5, where the full
-/// join is at its most redundant) must run no slower than the
-/// materialize-everything baseline.
+/// Gates the `chains` target: composed-plan results (serial *and*
+/// executor-parallel) must equal the baseline's on every k; the deepest
+/// chain (k = 5, where the full join is at its most redundant) must run
+/// no slower than the materialize-everything baseline; and the
+/// thread-scaling smoke must hold — the 4-thread executor run of the
+/// k = 5 chain must not be slower than the serial composed plan
+/// (within 5% measurement noise) on hosts with real parallelism. On a
+/// single-core host scaling is physically impossible, so only a
+/// catastrophic pool overhead (> 2×) fails there.
 pub fn check_chains(table: &Table) -> Result<(), String> {
     for (k, _) in &table.rows {
         let matched = cell(table, k, "rows match").ok_or("chains table has no match column")?;
@@ -85,6 +90,19 @@ pub fn check_chains(table: &Table) -> Result<(), String> {
     if speedup < 1.0 {
         return Err(format!(
             "k=5 composed plan is {speedup:.2}x the baseline — must be ≥ 1.0x"
+        ));
+    }
+    let par_speedup = cell(table, "5", "par speedup")
+        .and_then(|c| c.parse::<f64>().ok())
+        .ok_or("chains table has no k=5 par speedup")?;
+    let cores: u64 = cell(table, "5", "cores")
+        .and_then(|c| c.parse().ok())
+        .ok_or("chains table has no cores column")?;
+    let floor = if cores >= 2 { 0.95 } else { 0.5 };
+    if par_speedup < floor {
+        return Err(format!(
+            "k=5 executor run is {par_speedup:.2}x the serial composed plan \
+             on a {cores}-core host — must be ≥ {floor:.2}x"
         ));
     }
     Ok(())
@@ -156,5 +174,42 @@ mod tests {
     #[test]
     fn unknown_targets_pass() {
         assert!(check("fig3a", &table(vec![])).is_ok());
+    }
+
+    fn chains_table(speedup: &str, par_speedup: &str, cores: &str) -> Table {
+        let mut t = Table::new(
+            "chains",
+            vec![
+                "k".into(),
+                "par speedup".into(),
+                "speedup".into(),
+                "rows".into(),
+                "rows match".into(),
+                "cores".into(),
+            ],
+        );
+        t.push_row(
+            "5",
+            vec![
+                par_speedup.into(),
+                speedup.into(),
+                "10".into(),
+                "yes".into(),
+                cores.into(),
+            ],
+        );
+        t
+    }
+
+    #[test]
+    fn chains_gate_scaling_clause_is_core_aware() {
+        // Multi-core host: the executor run must keep up with serial.
+        assert!(check_chains(&chains_table("5.0", "1.10", "4")).is_ok());
+        assert!(check_chains(&chains_table("5.0", "0.80", "4")).is_err());
+        // Single-core host: only catastrophic pool overhead fails.
+        assert!(check_chains(&chains_table("5.0", "0.80", "1")).is_ok());
+        assert!(check_chains(&chains_table("5.0", "0.40", "1")).is_err());
+        // Baseline-speedup clause still applies.
+        assert!(check_chains(&chains_table("0.90", "1.10", "4")).is_err());
     }
 }

@@ -33,6 +33,27 @@ pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
     (out, t0.elapsed().as_secs_f64())
 }
 
+/// Times a closure over `warmup` discarded runs plus `trials` measured
+/// runs, returning the last result and the **median** trial time. The
+/// perf gate uses this (one warmup, three trials) so a single scheduler
+/// hiccup cannot fake a regression.
+pub fn timed_median<T>(warmup: usize, trials: usize, mut f: impl FnMut() -> T) -> (T, f64) {
+    for _ in 0..warmup {
+        let _ = f();
+    }
+    let trials = trials.max(1);
+    let mut times = Vec::with_capacity(trials);
+    let (mut out, secs) = timed(&mut f);
+    times.push(secs);
+    for _ in 1..trials {
+        let (next, secs) = timed(&mut f);
+        out = next;
+        times.push(secs);
+    }
+    times.sort_by(f64::total_cmp);
+    (out, times[times.len() / 2])
+}
+
 /// Generates (and semi-join reduces) the self-join instance for a dataset.
 pub fn dataset(kind: DatasetKind, scale: f64) -> Relation {
     mmjoin_datagen::generate(kind, scale, SEED)

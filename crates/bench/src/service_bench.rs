@@ -146,6 +146,47 @@ pub fn service_experiment(scale: f64) -> Table {
             format!("{}us", warm.p99_latency_us),
         ],
     );
+
+    // Thread-budget scaling axis: the same cold query set under an
+    // intra-query budget of 1 vs 4 — the executor's wavefronts and
+    // light/heavy passes are the only difference (all cache misses, so
+    // hit rate is not meaningful here).
+    for budget in [1usize, 4] {
+        let svc = Service::with_config(ServiceConfig {
+            workers: 2,
+            thread_budget: budget,
+            join_config: mmjoin::JoinConfig {
+                threads: 0, // auto: use the whole budget per query
+                ..mmjoin::JoinConfig::default()
+            },
+            ..ServiceConfig::default()
+        });
+        svc.register("jokes", dataset(DatasetKind::Jokes, scale * 0.4));
+        svc.register("dblp", dataset(DatasetKind::Dblp, scale * 0.4));
+        let cold_queries: Vec<Request> = vec![
+            Request::two_path("jokes", "jokes"),
+            Request::two_path("dblp", "dblp"),
+            Request::two_path_counts("jokes", "dblp", 1),
+            Request::star(["dblp", "dblp", "dblp"]),
+        ];
+        let (_, secs) = timed(|| {
+            for request in &cold_queries {
+                svc.query(request.clone()).expect("budget-axis query");
+            }
+        });
+        let m = svc.metrics();
+        table.push_row(
+            format!("budget {budget}"),
+            vec![
+                cold_queries.len().to_string(),
+                crate::report::fmt_secs(secs),
+                format!("{:.0}", cold_queries.len() as f64 / secs.max(1e-9)),
+                "-".into(),
+                format!("{}us", m.p50_latency_us),
+                format!("{}us", m.p99_latency_us),
+            ],
+        );
+    }
     table
 }
 
@@ -167,7 +208,10 @@ mod tests {
     #[test]
     fn service_experiment_reports_hits() {
         let table = service_experiment(0.02);
-        assert_eq!(table.rows.len(), 4);
+        // register / cold / warm / total + the two thread-budget rows.
+        assert_eq!(table.rows.len(), 6);
+        assert!(table.rows.iter().any(|(k, _)| k == "budget 1"));
+        assert!(table.rows.iter().any(|(k, _)| k == "budget 4"));
         let (_, total) = &table.rows[3];
         // 8 cold + 4×5×8 warm = 168 queries.
         assert_eq!(total[0], "168");

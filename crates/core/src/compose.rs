@@ -8,6 +8,13 @@
 //! When the last materialising join feeds a plain `(a, b)` projection it
 //! is streamed straight into the sink, skipping the final
 //! re-materialisation.
+//!
+//! Independent steps of the plan DAG run **concurrently**: execution
+//! proceeds in topological wavefronts — every step whose inputs are
+//! materialised runs as a task on the shared executor (which each step's
+//! internal light/heavy parallelism also shares), and materialised
+//! intermediates are handed to their consumers by move, never copied.
+//! Per-step statistics are still reported in plan order.
 
 use crate::config::JoinConfig;
 use crate::plan::{plan_general, FinalStage, GeneralPlan, PlanStep, ProjCols};
@@ -20,7 +27,8 @@ use std::borrow::Cow;
 
 /// Evaluates a general acyclic query, streaming distinct rows into
 /// `sink`; returns `(rows emitted, plan stats)` with one
-/// [`StepStats`] record per executed step.
+/// [`StepStats`] record per executed step (in plan order, regardless of
+/// the wavefront schedule that actually ran them).
 pub fn execute_general(
     graph: &QueryGraph<'_>,
     config: &JoinConfig,
@@ -34,90 +42,94 @@ pub fn execute_general(
         mats[i] = Some(Cow::Borrowed(atom.relation));
     }
 
-    let mut step_stats: Vec<StepStats> = Vec::with_capacity(plan.steps.len() + 1);
+    let nsteps = plan.steps.len();
+    let mut step_stats: Vec<Option<StepStats>> = vec![None; nsteps];
+    let mut done = vec![false; nsteps];
+    let mut remaining = nsteps;
     let mut final_primitive: Option<PlanStats> = None;
     let mut rows = 0u64;
     let mut streamed = false;
+    let threads = config.effective_threads();
 
-    for (idx, step) in plan.steps.iter().enumerate() {
-        match *step {
-            PlanStep::Semijoin {
-                target,
-                filter,
-                on,
-                result,
-            } => {
-                let filter_rel = mats[filter].as_ref().expect("filter materialised");
-                let target_rel = mats[target].as_ref().expect("target materialised");
-                let filtered = semijoin(
-                    target_rel,
-                    plan.nodes[target].a == on,
-                    filter_rel,
-                    plan.nodes[filter].a == on,
-                );
-                step_stats.push(StepStats {
-                    op: "semijoin",
-                    on_var: Some(on),
-                    estimated_rows: None,
-                    actual_rows: Some(filtered.len() as u64),
-                    kind: None,
-                    delta1: None,
-                    delta2: None,
-                });
-                mats[target] = None;
-                mats[filter] = None;
-                mats[result] = Some(Cow::Owned(filtered));
-            }
-            PlanStep::Join {
+    while remaining > 0 {
+        // The next wavefront: every unfinished step whose inputs are
+        // materialised. Each node feeds exactly one consumer (the plan
+        // is a contraction tree), so ready steps touch disjoint inputs.
+        let ready: Vec<usize> = (0..nsteps)
+            .filter(|&i| {
+                !done[i]
+                    && step_inputs(&plan.steps[i])
+                        .iter()
+                        .all(|&n| mats[n].is_some())
+            })
+            .collect();
+        if ready.is_empty() {
+            return Err(EngineError::Plan(
+                "composed plan has no runnable step (not a DAG)".into(),
+            ));
+        }
+
+        // The final step (always alone in the last wavefront — every
+        // other step is its ancestor) may stream straight into the sink
+        // when it is a join feeding a plain (a, b) projection.
+        if remaining == 1 && ready == [nsteps - 1] {
+            if let PlanStep::Join {
                 left,
                 right,
                 on,
                 result,
                 estimate,
-            } => {
-                let l = oriented(mats[left].as_ref().expect("left materialised"), {
-                    plan.nodes[left].b == on
-                });
-                let r = oriented(mats[right].as_ref().expect("right materialised"), {
-                    plan.nodes[right].b == on
-                });
-                let (pairs, prim) = two_path_join_project_with_stats(&l, &r, config);
-                drop((l, r));
-                let mut stat = StepStats {
-                    op: "join",
-                    on_var: Some(on),
-                    estimated_rows: Some(estimate.rows),
-                    actual_rows: Some(pairs.len() as u64),
-                    kind: None,
-                    delta1: None,
-                    delta2: None,
-                };
-                if let Some(p) = &prim {
-                    stat.kind = Some(p.kind);
-                    stat.delta1 = p.delta1;
-                    stat.delta2 = p.delta2;
-                }
-                step_stats.push(stat);
-                mats[left] = None;
-                mats[right] = None;
-                // Last join feeding a plain (a, b) projection: stream the
-                // sorted pairs straight out instead of re-materialising.
-                let direct_out = idx + 1 == plan.steps.len()
-                    && matches!(
-                        plan.final_stage,
-                        FinalStage::Project {
-                            node,
-                            cols: ProjCols::Ab,
-                        } if node == result
+            } = plan.steps[nsteps - 1]
+            {
+                if matches!(
+                    plan.final_stage,
+                    FinalStage::Project { node, cols: ProjCols::Ab } if node == result
+                ) {
+                    let l = oriented(
+                        mats[left].as_ref().expect("left materialised"),
+                        plan.nodes[left].b == on,
                     );
-                if direct_out {
+                    let r = oriented(
+                        mats[right].as_ref().expect("right materialised"),
+                        plan.nodes[right].b == on,
+                    );
+                    let (pairs, prim) = two_path_join_project_with_stats(&l, &r, config);
+                    drop((l, r));
+                    mats[left] = None;
+                    mats[right] = None;
+                    step_stats[nsteps - 1] =
+                        Some(join_step_stat(on, estimate.rows, pairs.len() as u64, &prim));
                     rows = emit_pairs(sink, &pairs);
                     final_primitive = prim;
                     streamed = true;
-                } else {
-                    mats[result] = Some(Cow::Owned(Relation::from_edges(pairs)));
+                    break;
                 }
             }
+        }
+
+        // Run the wavefront: serial when there is nothing to overlap,
+        // otherwise as executor tasks reading the shared materialisation
+        // table (results are written back on this thread afterwards).
+        let ran: Vec<StepResult> = if ready.len() == 1 || threads <= 1 {
+            ready
+                .iter()
+                .map(|&i| run_step(&plan, i, &mats, config))
+                .collect()
+        } else {
+            config
+                .exec()
+                .map(threads.min(ready.len()), ready.len(), |t| {
+                    run_step(&plan, ready[t], &mats, config)
+                })
+        };
+        for (idx, result) in ready.into_iter().zip(ran) {
+            for input in step_inputs(&plan.steps[idx]) {
+                mats[input] = None;
+            }
+            mats[result.node] = Some(Cow::Owned(result.relation));
+            step_stats[idx] = Some(result.stat);
+            done[idx] = true;
+            remaining -= 1;
         }
     }
 
@@ -129,6 +141,10 @@ pub fn execute_general(
 
     let mut stats = final_primitive.unwrap_or_else(PlanStats::wcoj);
     stats.estimated_out = Some(plan.estimated_rows);
+    let mut step_stats: Vec<StepStats> = step_stats
+        .into_iter()
+        .map(|s| s.expect("every step executed"))
+        .collect();
     step_stats.push(StepStats {
         op: match plan.final_stage {
             FinalStage::Project { .. } => "project",
@@ -146,6 +162,106 @@ pub fn execute_general(
     });
     stats.steps = step_stats;
     Ok((rows, stats))
+}
+
+/// The node ids a step consumes.
+fn step_inputs(step: &PlanStep) -> [usize; 2] {
+    match *step {
+        PlanStep::Semijoin { target, filter, .. } => [target, filter],
+        PlanStep::Join { left, right, .. } => [left, right],
+    }
+}
+
+/// A wavefront task's outcome: the materialised result relation for
+/// `node`, plus the step's statistics record.
+struct StepResult {
+    node: usize,
+    relation: Relation,
+    stat: StepStats,
+}
+
+/// The [`StepStats`] record of one executed join step.
+fn join_step_stat(on: u32, estimated: u64, actual: u64, prim: &Option<PlanStats>) -> StepStats {
+    let mut stat = StepStats {
+        op: "join",
+        on_var: Some(on),
+        estimated_rows: Some(estimated),
+        actual_rows: Some(actual),
+        kind: None,
+        delta1: None,
+        delta2: None,
+    };
+    if let Some(p) = prim {
+        stat.kind = Some(p.kind);
+        stat.delta1 = p.delta1;
+        stat.delta2 = p.delta2;
+    }
+    stat
+}
+
+/// Executes one plan step against the current materialisation table
+/// (read-only — the caller hands results back into the table). Runs
+/// either inline or as an executor task; any internal parallelism of the
+/// 2-path primitive shares the same executor.
+fn run_step(
+    plan: &GeneralPlan,
+    idx: usize,
+    mats: &[Option<Cow<'_, Relation>>],
+    config: &JoinConfig,
+) -> StepResult {
+    match plan.steps[idx] {
+        PlanStep::Semijoin {
+            target,
+            filter,
+            on,
+            result,
+        } => {
+            let filter_rel = mats[filter].as_ref().expect("filter materialised");
+            let target_rel = mats[target].as_ref().expect("target materialised");
+            let filtered = semijoin(
+                target_rel,
+                plan.nodes[target].a == on,
+                filter_rel,
+                plan.nodes[filter].a == on,
+            );
+            StepResult {
+                node: result,
+                stat: StepStats {
+                    op: "semijoin",
+                    on_var: Some(on),
+                    estimated_rows: None,
+                    actual_rows: Some(filtered.len() as u64),
+                    kind: None,
+                    delta1: None,
+                    delta2: None,
+                },
+                relation: filtered,
+            }
+        }
+        PlanStep::Join {
+            left,
+            right,
+            on,
+            result,
+            estimate,
+        } => {
+            let l = oriented(
+                mats[left].as_ref().expect("left materialised"),
+                plan.nodes[left].b == on,
+            );
+            let r = oriented(
+                mats[right].as_ref().expect("right materialised"),
+                plan.nodes[right].b == on,
+            );
+            let (pairs, prim) = two_path_join_project_with_stats(&l, &r, config);
+            drop((l, r));
+            StepResult {
+                node: result,
+                stat: join_step_stat(on, estimate.rows, pairs.len() as u64, &prim),
+                relation: Relation::from_edges(pairs),
+            }
+        }
+    }
 }
 
 fn run_final_stage(
@@ -434,6 +550,39 @@ mod tests {
         let (rows, _) = execute_general(&graph, &JoinConfig::default(), &mut sink).unwrap();
         assert_eq!(rows, 7);
         assert!(sink.limit_reached());
+    }
+
+    #[test]
+    fn parallel_wavefronts_match_serial() {
+        use mmjoin_executor::Executor;
+        use std::sync::Arc;
+        // A 5-chain over skewed relations: the contraction tree contains
+        // independent joins that execute in the same wavefront.
+        let rels: Vec<Relation> = (0..5u32)
+            .map(|r| {
+                Relation::from_edges(
+                    (0..300u32).map(move |i| ((i * (7 + r)) % 40, (i * (13 + r)) % 30)),
+                )
+            })
+            .collect();
+        let graph = QueryGraph::chain(&rels).unwrap();
+        let mut serial_sink = VecSink::new();
+        let (serial_rows, serial_stats) =
+            execute_general(&graph, &JoinConfig::default(), &mut serial_sink).unwrap();
+        for threads in [2usize, 4, 8] {
+            let cfg = JoinConfig {
+                threads,
+                executor: Some(Arc::new(Executor::new(4))),
+                ..JoinConfig::default()
+            };
+            let mut sink = VecSink::new();
+            let (rows, stats) = execute_general(&graph, &cfg, &mut sink).unwrap();
+            assert_eq!(rows, serial_rows, "threads={threads}");
+            assert_eq!(sink.rows, serial_sink.rows, "threads={threads}");
+            // Stats stay in plan order with identical per-step rows.
+            let actuals = |s: &PlanStats| s.steps.iter().map(|t| t.actual_rows).collect::<Vec<_>>();
+            assert_eq!(actuals(&stats), actuals(&serial_stats), "threads={threads}");
+        }
     }
 
     #[test]

@@ -1,6 +1,8 @@
 //! Execution configuration for the MMJoin engine.
 
+use mmjoin_executor::Executor;
 use mmjoin_matrix::CostModel;
+use std::sync::Arc;
 
 /// Which kernel evaluates the heavy-core product of Algorithm 1.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -21,9 +23,16 @@ pub enum HeavyBackend {
 /// Configuration shared by the 2-path and star MMJoin evaluators.
 #[derive(Debug, Clone)]
 pub struct JoinConfig {
-    /// Worker threads for both the light-part expansion and the matrix
-    /// multiplication (1 = serial).
+    /// Requested parallelism for the light-part expansion, the matrix
+    /// multiplication, and composed-plan wavefronts. Normalized once by
+    /// [`JoinConfig::effective_threads`]: `0` means "the executor's full
+    /// thread budget", `1` means serial, `n` means `n` threads. Actual
+    /// concurrency is arbitrated by the shared executor's token budget.
     pub threads: usize,
+    /// The executor running this configuration's parallel work; `None`
+    /// uses the process-global pool. Services install their own so one
+    /// budget governs all in-flight queries.
+    pub executor: Option<Arc<Executor>>,
     /// Calibrated matmul cost model driving Algorithm 3. The default is the
     /// deterministic analytic model; experiment binaries install a measured
     /// calibration (`CostModel::calibrate`).
@@ -47,6 +56,7 @@ impl Default for JoinConfig {
     fn default() -> Self {
         Self {
             threads: 1,
+            executor: None,
             cost_model: CostModel::analytic_default(),
             delta_override: None,
             wcoj_fallback_factor: 20.0,
@@ -62,6 +72,25 @@ impl JoinConfig {
         Self {
             delta_override: Some((delta1, delta2)),
             ..Self::default()
+        }
+    }
+
+    /// The executor this configuration's parallel primitives run on.
+    pub fn exec(&self) -> &Executor {
+        match &self.executor {
+            Some(exec) => exec,
+            None => Executor::global(),
+        }
+    }
+
+    /// The single normalization point for [`JoinConfig::threads`]:
+    /// `0` ⇒ the executor's thread budget (all available parallelism),
+    /// `1` ⇒ serial, `n` ⇒ `n`. Every evaluator resolves its worker
+    /// count here — there are no scattered `.max(1)` fallbacks.
+    pub fn effective_threads(&self) -> usize {
+        match self.threads {
+            0 => self.exec().budget(),
+            n => n,
         }
     }
 }
@@ -83,5 +112,27 @@ mod tests {
     fn with_deltas_sets_override() {
         let c = JoinConfig::with_deltas(4, 9);
         assert_eq!(c.delta_override, Some((4, 9)));
+    }
+
+    #[test]
+    fn effective_threads_normalizes_zero_and_n() {
+        let auto = JoinConfig {
+            threads: 0,
+            ..JoinConfig::default()
+        };
+        assert_eq!(auto.effective_threads(), auto.exec().budget());
+        let budgeted = JoinConfig {
+            threads: 0,
+            executor: Some(Arc::new(Executor::new(3))),
+            ..JoinConfig::default()
+        };
+        assert_eq!(budgeted.effective_threads(), 3);
+        for n in [1usize, 2, 7] {
+            let c = JoinConfig {
+                threads: n,
+                ..JoinConfig::default()
+            };
+            assert_eq!(c.effective_threads(), n);
+        }
     }
 }

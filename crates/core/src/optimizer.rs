@@ -68,7 +68,7 @@ pub fn choose_thresholds(r: &Relation, s: &Relation, config: &JoinConfig) -> Exe
     let consts = config.cost_model.constants;
     let out_est = estimate.estimate.max(1) as f64;
     let dom_x = r.active_x_count().max(1) as f64;
-    let cores = config.threads.max(1);
+    let cores = config.effective_threads();
 
     let eval = |d1: u32, d2: u32| -> (f64, f64) {
         // Lines 10–11: light cost from the threshold indexes.

@@ -21,7 +21,7 @@
 
 use crate::config::JoinConfig;
 use mmjoin_api::PlanStats;
-use mmjoin_matrix::{matmul_parallel, DenseMatrix};
+use mmjoin_matrix::{matmul_parallel_on, DenseMatrix};
 use mmjoin_storage::{Relation, RelationBuilder, Value};
 use mmjoin_wcoj::{
     full_join_count, star_full_join_for_each, star_join_project, ProjectionAccumulator,
@@ -88,38 +88,71 @@ pub fn star_join_project_mm_with_stats<R: AsRef<Relation>>(
     };
 
     let mut acc = ProjectionAccumulator::new(reduced.len());
-    light_steps(&reduced, delta1, delta2, &mut acc);
+    light_steps(&reduced, delta1, delta2, config, &mut acc);
     heavy_step(&reduced, delta1, delta2, config, &mut acc);
     (acc.finish(), Some(PlanStats::partitioned(delta1, delta2)))
 }
 
-/// Steps 1–2: for each `j`, join with `R⁻j` (light heads) and `R⋄j`
-/// (`y` light everywhere else) substituted.
-fn light_steps(relations: &[Relation], delta1: u32, delta2: u32, acc: &mut ProjectionAccumulator) {
-    let k = relations.len();
-    for j in 0..k {
-        // R⁻j: light head.
-        let mut minus =
-            RelationBuilder::with_domains(relations[j].x_domain(), relations[j].y_domain());
-        for &(x, y) in relations[j].edges() {
-            if relations[j].x_degree(x) <= delta2 as usize {
-                minus.push(x, y);
-            }
+/// Builds the `R⁻j` substitute: tuples with a light head.
+fn build_minus(relations: &[Relation], j: usize, delta2: u32) -> Relation {
+    let mut minus = RelationBuilder::with_domains(relations[j].x_domain(), relations[j].y_domain());
+    for &(x, y) in relations[j].edges() {
+        if relations[j].x_degree(x) <= delta2 as usize {
+            minus.push(x, y);
         }
-        run_substituted(relations, j, minus.build(), acc);
+    }
+    minus.build()
+}
 
-        // R⋄j: y light in all other relations.
-        let mut diamond =
-            RelationBuilder::with_domains(relations[j].x_domain(), relations[j].y_domain());
-        for &(x, y) in relations[j].edges() {
-            let light_elsewhere = relations.iter().enumerate().all(|(i, ri)| {
-                i == j || (y as usize) >= ri.y_domain() || ri.y_degree(y) <= delta1 as usize
-            });
-            if light_elsewhere {
-                diamond.push(x, y);
-            }
+/// Builds the `R⋄j` substitute: tuples whose `y` is light in all other
+/// relations.
+fn build_diamond(relations: &[Relation], j: usize, delta1: u32) -> Relation {
+    let mut diamond =
+        RelationBuilder::with_domains(relations[j].x_domain(), relations[j].y_domain());
+    for &(x, y) in relations[j].edges() {
+        let light_elsewhere = relations.iter().enumerate().all(|(i, ri)| {
+            i == j || (y as usize) >= ri.y_domain() || ri.y_degree(y) <= delta1 as usize
+        });
+        if light_elsewhere {
+            diamond.push(x, y);
         }
-        run_substituted(relations, j, diamond.build(), acc);
+    }
+    diamond.build()
+}
+
+/// Steps 1–2: for each `j`, join with `R⁻j` (light heads) and `R⋄j`
+/// (`y` light everywhere else) substituted. The `2k` substituted group
+/// joins are independent, so with parallelism they run as executor tasks
+/// each collecting into a private buffer, merged in job order.
+fn light_steps(
+    relations: &[Relation],
+    delta1: u32,
+    delta2: u32,
+    config: &JoinConfig,
+    acc: &mut ProjectionAccumulator,
+) {
+    let k = relations.len();
+    let threads = config.effective_threads();
+    if threads <= 1 {
+        for j in 0..k {
+            run_substituted(relations, j, build_minus(relations, j, delta2), acc);
+            run_substituted(relations, j, build_diamond(relations, j, delta1), acc);
+        }
+        return;
+    }
+    let flats = config.exec().map(threads, 2 * k, |t| {
+        let j = t / 2;
+        let substitute = if t % 2 == 0 {
+            build_minus(relations, j, delta2)
+        } else {
+            build_diamond(relations, j, delta1)
+        };
+        collect_substituted(relations, j, substitute, k)
+    });
+    for flat in flats {
+        for tuple in flat.chunks_exact(k) {
+            acc.push(tuple);
+        }
     }
 }
 
@@ -135,6 +168,27 @@ fn run_substituted(
     let mut working: Vec<Relation> = relations.to_vec();
     working[j] = substitute;
     star_full_join_for_each(&working, |_, tuple| acc.push(tuple));
+}
+
+/// [`run_substituted`] into a flat arity-`k` tuple buffer (the executor
+/// tasks can't share the accumulator).
+fn collect_substituted(
+    relations: &[Relation],
+    j: usize,
+    substitute: Relation,
+    k: usize,
+) -> Vec<Value> {
+    let mut flat: Vec<Value> = Vec::new();
+    if substitute.is_empty() {
+        return flat;
+    }
+    let mut working: Vec<Relation> = relations.to_vec();
+    working[j] = substitute;
+    star_full_join_for_each(&working, |_, tuple| {
+        debug_assert_eq!(tuple.len(), k);
+        flat.extend_from_slice(tuple);
+    });
+    flat
 }
 
 /// Step 3: grouped-variable matrices over the all-heavy core.
@@ -249,7 +303,7 @@ fn heavy_step(
     for (row, col) in entries_b {
         wt.set(col, row, 1.0);
     }
-    let prod = matmul_parallel(&v, &wt, config.threads.max(1));
+    let prod = matmul_parallel_on(config.exec(), &v, &wt, config.effective_threads());
 
     // Reverse row maps for tuple reconstruction.
     let mut tuple_a: Vec<Vec<Value>> = vec![Vec::new(); rows_a.len()];
@@ -313,7 +367,7 @@ fn choose_star_thresholds(relations: &[Relation], config: &JoinConfig) -> (u32, 
         })
         .max()
         .unwrap_or(1) as u32;
-    let cores = config.threads.max(1);
+    let cores = config.effective_threads();
     let mut best = (1u32, 1u32);
     let mut best_cost = f64::INFINITY;
     let mut delta = 1u32;

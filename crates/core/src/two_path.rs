@@ -28,7 +28,8 @@ use crate::config::{HeavyBackend, JoinConfig};
 use crate::optimizer::{choose_thresholds, PlanChoice};
 use mmjoin_api::PlanStats;
 use mmjoin_baseline::nonmm::ExpandDedupEngine;
-use mmjoin_matrix::{matmul_parallel, BitMatrix, CsrMatrix, DenseMatrix};
+use mmjoin_executor::Executor;
+use mmjoin_matrix::{matmul_parallel_on, BitMatrix, CsrMatrix, DenseMatrix};
 use mmjoin_storage::{DedupBuffer, Relation, Value};
 
 /// Evaluates `π_{x,z}(R ⋈ S)` returning sorted distinct pairs.
@@ -52,9 +53,10 @@ pub fn two_path_join_project_with_stats(
     if r.is_empty() || s.is_empty() {
         return (Vec::new(), None);
     }
+    let (threads, exec) = (config.effective_threads(), config.exec());
     let (delta1, delta2, mut stats) = match resolve_plan(r, s, config) {
         Resolved::Wcoj(stats) => {
-            let out = ExpandDedupEngine::parallel(config.threads).join_project(r, s);
+            let out = ExpandDedupEngine::parallel(threads).join_project_on(r, s, exec);
             return (out, Some(stats));
         }
         Resolved::Mm(d1, d2, stats) => (d1, d2, stats),
@@ -64,7 +66,7 @@ pub fn two_path_join_project_with_stats(
     record_partition(&mut stats, r, s, &heavy);
     let use_matrix = !heavy.is_degenerate() && heavy.cells() <= config.matrix_cell_cap;
     stats.heavy_core_matrix = Some(use_matrix);
-    let mut out = light_passes(r, s, delta1, delta2, config.threads);
+    let mut out = light_passes(r, s, delta1, delta2, threads, exec);
 
     if heavy.is_degenerate() {
         // No heavy core: light passes already cover everything.
@@ -89,7 +91,7 @@ pub fn two_path_join_project_with_stats(
             }
             _ => {
                 let (m1, m2) = heavy.build_dense_matrices(r, s);
-                let prod = matmul_parallel(&m1, &m2, config.threads.max(1));
+                let prod = matmul_parallel_on(exec, &m1, &m2, threads);
                 for (i, j, _) in prod.entries_at_least(0.5) {
                     out.push((heavy.heavy_x[i], heavy.heavy_z[j]));
                 }
@@ -143,7 +145,12 @@ pub fn two_path_with_counts_stats(
     }
     let prod = if use_matrix {
         let (m1, m2) = heavy.build_dense_matrices(r, s);
-        Some(matmul_parallel(&m1, &m2, config.threads.max(1)))
+        Some(matmul_parallel_on(
+            config.exec(),
+            &m1,
+            &m2,
+            config.effective_threads(),
+        ))
     } else {
         None
     };
@@ -411,6 +418,7 @@ fn light_passes(
     delta1: u32,
     delta2: u32,
     threads: usize,
+    exec: &Executor,
 ) -> Vec<(Value, Value)> {
     let pass_a = |groups: &[(Value, &[Value])], out: &mut Vec<(Value, Value)>| {
         let mut dedup = DedupBuffer::new(s.x_domain());
@@ -460,28 +468,22 @@ fn light_passes(
         pass_b(&groups_b, &mut out);
         out
     } else {
+        // Both passes are chunked into one task list so A- and B-side
+        // work interleaves on the shared pool instead of running as two
+        // barriers. Chunking depends only on `threads` → deterministic.
         let chunk_a = groups_a.len().div_ceil(threads).max(1);
         let chunk_b = groups_b.len().div_ceil(threads).max(1);
-        let mut results: Vec<Vec<(Value, Value)>> = Vec::new();
-        std::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for part in groups_a.chunks(chunk_a) {
-                handles.push(scope.spawn(move || {
-                    let mut out = Vec::new();
-                    pass_a(part, &mut out);
-                    out
-                }));
+        let chunks_a: Vec<&[(Value, &[Value])]> = groups_a.chunks(chunk_a).collect();
+        let chunks_b: Vec<&[(Value, &[Value])]> = groups_b.chunks(chunk_b).collect();
+        let na = chunks_a.len();
+        let results = exec.map(threads, na + chunks_b.len(), |i| {
+            let mut out = Vec::new();
+            if i < na {
+                pass_a(chunks_a[i], &mut out);
+            } else {
+                pass_b(chunks_b[i - na], &mut out);
             }
-            for part in groups_b.chunks(chunk_b) {
-                handles.push(scope.spawn(move || {
-                    let mut out = Vec::new();
-                    pass_b(part, &mut out);
-                    out
-                }));
-            }
-            for h in handles {
-                results.push(h.join().expect("light-pass worker panicked"));
-            }
+            out
         });
         results.concat()
     }
@@ -523,7 +525,7 @@ fn count_passes(
     prod: Option<&DenseMatrix>,
     config: &JoinConfig,
 ) -> Vec<(Value, Value, u32)> {
-    let threads = config.threads.max(1);
+    let (threads, exec) = (config.effective_threads(), config.exec());
     let is_light_head_r = |deg: usize| deg <= delta2 as usize || delta2 == u32::MAX;
     // When no matrix product is available (memory cap, degenerate core),
     // pass L3 must expand *every* y — heavy-in-both witnesses included —
@@ -667,27 +669,18 @@ fn count_passes(
     } else {
         let chunk_r = groups_r.len().div_ceil(threads).max(1);
         let chunk_s = groups_s.len().div_ceil(threads).max(1);
-        let mut results: Vec<Vec<(Value, Value, u32)>> = Vec::new();
-        std::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for part in groups_r.chunks(chunk_r) {
-                handles.push(scope.spawn(move || {
-                    let mut out = Vec::new();
-                    l1(part, &mut out);
-                    l3(part, &mut out);
-                    out
-                }));
+        let chunks_r: Vec<&[(Value, &[Value])]> = groups_r.chunks(chunk_r).collect();
+        let chunks_s: Vec<&[(Value, &[Value])]> = groups_s.chunks(chunk_s).collect();
+        let nr = chunks_r.len();
+        let results = exec.map(threads, nr + chunks_s.len(), |i| {
+            let mut out = Vec::new();
+            if i < nr {
+                l1(chunks_r[i], &mut out);
+                l3(chunks_r[i], &mut out);
+            } else {
+                l2(chunks_s[i - nr], &mut out);
             }
-            for part in groups_s.chunks(chunk_s) {
-                handles.push(scope.spawn(move || {
-                    let mut out = Vec::new();
-                    l2(part, &mut out);
-                    out
-                }));
-            }
-            for h in handles {
-                results.push(h.join().expect("count-pass worker panicked"));
-            }
+            out
         });
         results.concat()
     }

@@ -8,11 +8,15 @@
 //! Eigen/MKL, here re-implemented so the workspace has zero native
 //! dependencies.
 //!
-//! Parallelism splits `C` into disjoint horizontal bands, one per worker
-//! (`std::thread::scope`). No two workers ever touch the same cache line of
-//! `C`, reproducing the "coordination-free" scaling of §6 / Figure 3b.
+//! Parallelism splits `C` into disjoint horizontal bands executed as tasks
+//! on the shared [`mmjoin_executor::Executor`] pool. No two workers ever
+//! touch the same cache line of `C`, reproducing the "coordination-free"
+//! scaling of §6 / Figure 3b — but the threads now come out of the global
+//! budget instead of being spawned per call.
 
 use crate::dense::DenseMatrix;
+use mmjoin_executor::Executor;
+use std::sync::Mutex;
 
 /// k-panel height: 256 f32 ≈ 1 KiB per B-row slab touched per panel.
 const KC: usize = 256;
@@ -89,9 +93,22 @@ fn band_kernel(
     }
 }
 
-/// Multi-threaded `a · b` over `threads` workers, splitting C into
-/// horizontal bands. With `threads == 1` this is exactly [`matmul`].
+/// Multi-threaded `a · b`, splitting C into horizontal bands computed on
+/// the shared [`Executor::global`] pool. With `threads == 1` this is
+/// exactly [`matmul`]. The band decomposition depends only on `threads`,
+/// so the result is bit-identical at any pool occupancy.
 pub fn matmul_parallel(a: &DenseMatrix, b: &DenseMatrix, threads: usize) -> DenseMatrix {
+    matmul_parallel_on(Executor::global(), a, b, threads)
+}
+
+/// [`matmul_parallel`] on an explicit executor — the variant engine code
+/// uses so a service-level thread budget governs the GEMM bands too.
+pub fn matmul_parallel_on(
+    exec: &Executor,
+    a: &DenseMatrix,
+    b: &DenseMatrix,
+    threads: usize,
+) -> DenseMatrix {
     assert_eq!(a.cols(), b.rows(), "inner dimensions must agree");
     assert!(threads >= 1, "need at least one thread");
     let (m, k, n) = (a.rows(), a.cols(), b.cols());
@@ -106,39 +123,38 @@ pub fn matmul_parallel(a: &DenseMatrix, b: &DenseMatrix, threads: usize) -> Dens
     }
     let band = m.div_ceil(threads);
     let c_data = c.data_mut();
-    std::thread::scope(|scope| {
-        // Split C into disjoint row bands; each worker owns one band.
-        let mut rest = &mut *c_data;
-        let mut row = 0usize;
-        for _ in 0..threads {
-            if row >= m {
-                break;
-            }
-            let hi = (row + band).min(m);
-            let (mine, tail) = rest.split_at_mut((hi - row) * n);
-            rest = tail;
-            let (lo, a_ref, b_ref) = (row, a.data(), b.data());
-            scope.spawn(move || {
-                // Re-base the band to local row 0 by slicing A rows directly.
-                for i in lo..hi {
-                    let a_row = &a_ref[i * k..(i + 1) * k];
-                    let c_row = &mut mine[(i - lo) * n..(i - lo + 1) * n];
-                    for kb in (0..k).step_by(KC) {
-                        let k_end = (kb + KC).min(k);
-                        for kk in kb..k_end {
-                            let aik = a_row[kk];
-                            if aik == 0.0 {
-                                continue;
-                            }
-                            let b_row = &b_ref[kk * n..kk * n + n];
-                            for (cv, &bv) in c_row.iter_mut().zip(b_row) {
-                                *cv += aik * bv;
-                            }
-                        }
+    // Split C into disjoint row bands; task t owns band t exclusively
+    // (handed over through its slot — no two tasks share a cache line).
+    let bands: Vec<Mutex<Option<&mut [f32]>>> = c_data
+        .chunks_mut(band * n)
+        .map(|chunk| Mutex::new(Some(chunk)))
+        .collect();
+    let tasks = bands.len();
+    exec.run(threads, tasks, |t| {
+        let mine = bands[t]
+            .lock()
+            .expect("band slot is uncontended")
+            .take()
+            .expect("each band is claimed once");
+        let (lo, a_ref, b_ref) = (t * band, a.data(), b.data());
+        let hi = (lo + band).min(m);
+        // Re-base the band to local row 0 by slicing A rows directly.
+        for i in lo..hi {
+            let a_row = &a_ref[i * k..(i + 1) * k];
+            let c_row = &mut mine[(i - lo) * n..(i - lo + 1) * n];
+            for kb in (0..k).step_by(KC) {
+                let k_end = (kb + KC).min(k);
+                for kk in kb..k_end {
+                    let aik = a_row[kk];
+                    if aik == 0.0 {
+                        continue;
+                    }
+                    let b_row = &b_ref[kk * n..kk * n + n];
+                    for (cv, &bv) in c_row.iter_mut().zip(b_row) {
+                        *cv += aik * bv;
                     }
                 }
-            });
-            row = hi;
+            }
         }
     });
     c

@@ -7,8 +7,9 @@
 //!   mirror the paper's deliberate choice of `SGEMM` over integer paths for
 //!   throughput; counts stay exact below 2²⁴, far above any set size here.
 //! * [`gemm`] — cache-blocked, auto-vectorizing serial GEMM plus a
-//!   `std::thread::scope` row-band parallel version (the coordination-free
-//!   parallelism the paper highlights in §6).
+//!   row-band parallel version running on the shared
+//!   [`mmjoin_executor::Executor`] pool (the coordination-free parallelism
+//!   the paper highlights in §6, under the global thread budget).
 //! * [`bitmat`] — bit-packed boolean matrices with word-parallel OR-AND
 //!   products, an extension ablated in the benchmarks (boolean output needs
 //!   no counts, e.g. plain join-project and BSI).
@@ -28,5 +29,6 @@ pub mod strassen;
 pub use bitmat::BitMatrix;
 pub use cost::CostModel;
 pub use dense::DenseMatrix;
-pub use gemm::{matmul, matmul_into, matmul_parallel};
+pub use gemm::{matmul, matmul_into, matmul_parallel, matmul_parallel_on};
 pub use sparse::CsrMatrix;
+pub use strassen::{strassen, strassen_parallel, strassen_parallel_on};

@@ -10,6 +10,7 @@
 
 use crate::dense::DenseMatrix;
 use crate::gemm::matmul;
+use mmjoin_executor::Executor;
 
 /// Dimension at or below which we fall back to the blocked cubic kernel.
 pub const DEFAULT_CUTOFF: usize = 128;
@@ -38,6 +39,85 @@ pub fn strassen(a: &DenseMatrix, b: &DenseMatrix, cutoff: usize) -> DenseMatrix 
     let bp = pad(b, k2, n2);
     let cp = strassen_even(&ap, &bp, cutoff);
     crop(&cp, m, n)
+}
+
+/// [`strassen`] with the seven top-level subproducts evaluated as
+/// parallel tasks on the shared executor pool (each recursing serially
+/// below). Seven independent leaves are the natural fork points of the
+/// recursion — they need no coordination and dominate the runtime.
+pub fn strassen_parallel(
+    a: &DenseMatrix,
+    b: &DenseMatrix,
+    cutoff: usize,
+    threads: usize,
+) -> DenseMatrix {
+    strassen_parallel_on(Executor::global(), a, b, cutoff, threads)
+}
+
+/// [`strassen_parallel`] on an explicit executor.
+pub fn strassen_parallel_on(
+    exec: &Executor,
+    a: &DenseMatrix,
+    b: &DenseMatrix,
+    cutoff: usize,
+    threads: usize,
+) -> DenseMatrix {
+    assert_eq!(a.cols(), b.rows(), "inner dimensions must agree");
+    let cutoff = cutoff.max(2);
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    if threads <= 1 || m.min(k).min(n) <= cutoff {
+        return strassen(a, b, cutoff);
+    }
+    let (m2, k2, n2) = (
+        m.next_multiple_of(2),
+        k.next_multiple_of(2),
+        n.next_multiple_of(2),
+    );
+    let ap = pad(a, m2, k2);
+    let bp = pad(b, k2, n2);
+    let (a11, a12, a21, a22) = (
+        quadrant(&ap, 0, 0),
+        quadrant(&ap, 0, 1),
+        quadrant(&ap, 1, 0),
+        quadrant(&ap, 1, 1),
+    );
+    let (b11, b12, b21, b22) = (
+        quadrant(&bp, 0, 0),
+        quadrant(&bp, 0, 1),
+        quadrant(&bp, 1, 0),
+        quadrant(&bp, 1, 1),
+    );
+    // The seven Strassen leaves, as independent pool tasks.
+    let leaves: [(DenseMatrix, DenseMatrix); 7] = [
+        (add(&a11, &a22), add(&b11, &b22)),
+        (add(&a21, &a22), b11.clone()),
+        (a11.clone(), sub(&b12, &b22)),
+        (a22.clone(), sub(&b21, &b11)),
+        (add(&a11, &a12), b22.clone()),
+        (sub(&a21, &a11), add(&b11, &b12)),
+        (sub(&a12, &a22), add(&b21, &b22)),
+    ];
+    let products = exec.map(threads.min(7), 7, |i| {
+        let (l, r) = &leaves[i];
+        strassen_even(l, r, cutoff)
+    });
+    let [m1, m2m, m3, m4, m5, m6, m7]: [DenseMatrix; 7] =
+        products.try_into().expect("seven leaf products");
+
+    let c11 = add(&sub(&add(&m1, &m4), &m5), &m7);
+    let c12 = add(&m3, &m5);
+    let c21 = add(&m2m, &m4);
+    let c22 = add(&add(&sub(&m1, &m2m), &m3), &m6);
+
+    let (hm, hn) = (m2 / 2, n2 / 2);
+    let mut c = DenseMatrix::zeros(m2, n2);
+    for i in 0..hm {
+        c.row_mut(i)[..hn].copy_from_slice(c11.row(i));
+        c.row_mut(i)[hn..].copy_from_slice(c12.row(i));
+        c.row_mut(hm + i)[..hn].copy_from_slice(c21.row(i));
+        c.row_mut(hm + i)[hn..].copy_from_slice(c22.row(i));
+    }
+    crop(&c, m, n)
 }
 
 fn pad(x: &DenseMatrix, rows: usize, cols: usize) -> DenseMatrix {
@@ -164,6 +244,23 @@ mod tests {
         let a = DenseMatrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
         let b = DenseMatrix::from_vec(2, 2, vec![5.0, 6.0, 7.0, 8.0]);
         assert_eq!(strassen(&a, &b, 128).data(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn parallel_leaves_match_serial() {
+        let mut rng = StdRng::seed_from_u64(14);
+        for &(m, k, n) in &[(96, 96, 96), (65, 70, 63), (130, 40, 90)] {
+            let a = random01(&mut rng, m, k);
+            let b = random01(&mut rng, k, n);
+            let serial = strassen(&a, &b, 16);
+            for threads in [1, 2, 4, 7, 16] {
+                assert_eq!(
+                    strassen_parallel(&a, &b, 16, threads),
+                    serial,
+                    "({m},{k},{n}) x{threads}"
+                );
+            }
+        }
     }
 
     #[test]

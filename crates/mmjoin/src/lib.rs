@@ -66,6 +66,7 @@ pub use mmjoin_api::{
 pub use mmjoin_core::{
     execute_general, plan_general, GeneralPlan, HeavyBackend, JoinConfig, MmJoinEngine, PlanError,
 };
+pub use mmjoin_executor::Executor;
 pub use mmjoin_service::{
     default_registry, registry_with_config, AtomSpec, DeltaResult, MaintenancePolicy,
     MaintenanceReport, MetricsSnapshot, QuerySpec, RelationProfile, Request, Response,

@@ -112,11 +112,11 @@ impl Engine for ContainmentEngine {
         if let ScjAlgorithm::MmJoin = self.algo {
             return MmJoinEngine::new(self.config.clone()).execute(query, sink);
         }
-        let threads = self.config.threads.max(1);
+        let (threads, exec) = (self.config.effective_threads(), self.config.exec());
         let mut out = match self.algo {
-            ScjAlgorithm::Pretti => pretti::pretti_join(r, threads),
-            ScjAlgorithm::LimitPlus { limit } => pretti::limit_plus_join(r, limit, threads),
-            ScjAlgorithm::PieJoin => piejoin::pie_join(r, threads),
+            ScjAlgorithm::Pretti => pretti::pretti_join(r, threads, exec),
+            ScjAlgorithm::LimitPlus { limit } => pretti::limit_plus_join(r, limit, threads, exec),
+            ScjAlgorithm::PieJoin => piejoin::pie_join(r, threads, exec),
             ScjAlgorithm::MmJoin => unreachable!("MmJoin delegates to MmJoinEngine"),
         };
         out.sort_unstable();

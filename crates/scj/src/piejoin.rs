@@ -13,6 +13,7 @@
 //! only parallel SCJ baseline, though its scaling is sensitive to the data
 //! partitioning (Figure 7), which this faithful re-implementation shares.
 
+use mmjoin_executor::Executor;
 use mmjoin_storage::{Relation, Value};
 use std::collections::HashMap;
 
@@ -102,7 +103,7 @@ impl Trie {
 }
 
 /// PIEJoin: returns `(subset, superset)` pairs, `subset ≠ superset`.
-pub fn pie_join(r: &Relation, threads: usize) -> Vec<(Value, Value)> {
+pub fn pie_join(r: &Relation, threads: usize, exec: &Executor) -> Vec<(Value, Value)> {
     let sets: Vec<Value> = r.by_x().iter_nonempty().map(|(x, _)| x).collect();
     if sets.is_empty() {
         return Vec::new();
@@ -146,23 +147,13 @@ pub fn pie_join(r: &Relation, threads: usize) -> Vec<(Value, Value)> {
         probe(&sets, &mut out);
         return out;
     }
-    let chunk = sets.len().div_ceil(threads).max(1);
-    let mut results: Vec<Vec<(Value, Value)>> = Vec::new();
-    std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for part in sets.chunks(chunk) {
-            let probe = &probe;
-            handles.push(scope.spawn(move || {
-                let mut out = Vec::new();
-                probe(part, &mut out);
-                out
-            }));
-        }
-        for h in handles {
-            results.push(h.join().expect("piejoin worker panicked"));
-        }
-    });
-    results.concat()
+    // Probe partitions run as tasks on the caller's executor pool.
+    exec.map_chunks(threads, &sets, |part| {
+        let mut out = Vec::new();
+        probe(part, &mut out);
+        out
+    })
+    .concat()
 }
 
 #[cfg(test)]
@@ -176,7 +167,7 @@ mod tests {
     #[test]
     fn finds_chain() {
         let r = rel(&[(0, 0), (1, 0), (1, 1), (2, 0), (2, 1), (2, 2)]);
-        let mut got = pie_join(&r, 1);
+        let mut got = pie_join(&r, 1, Executor::global());
         got.sort_unstable();
         assert_eq!(got, vec![(0, 1), (0, 2), (1, 2)]);
     }
@@ -184,7 +175,7 @@ mod tests {
     #[test]
     fn identical_sets_mutual() {
         let r = rel(&[(0, 3), (0, 4), (1, 3), (1, 4)]);
-        let mut got = pie_join(&r, 1);
+        let mut got = pie_join(&r, 1, Executor::global());
         got.sort_unstable();
         assert_eq!(got, vec![(0, 1), (1, 0)]);
     }
@@ -192,14 +183,14 @@ mod tests {
     #[test]
     fn disjoint_sets_empty() {
         let r = rel(&[(0, 0), (1, 1)]);
-        assert!(pie_join(&r, 1).is_empty());
+        assert!(pie_join(&r, 1, Executor::global()).is_empty());
     }
 
     #[test]
     fn trie_search_allows_gaps() {
         // probe {2} must find superset {0,1,2} despite leading extras.
         let r = rel(&[(0, 2), (1, 0), (1, 1), (1, 2)]);
-        let mut got = pie_join(&r, 1);
+        let mut got = pie_join(&r, 1, Executor::global());
         got.sort_unstable();
         assert_eq!(got, vec![(0, 1)]);
     }

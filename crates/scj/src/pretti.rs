@@ -9,6 +9,7 @@
 //! when sets overlap heavily (the paper's observation of why join-project
 //! wins on dense data).
 
+use mmjoin_executor::Executor;
 use mmjoin_storage::csr::is_subset;
 use mmjoin_storage::{Relation, Value};
 use mmjoin_wcoj::leapfrog_intersect;
@@ -21,9 +22,9 @@ fn infrequent_order(r: &Relation, a: Value) -> Vec<Value> {
 }
 
 /// PRETTI: full inverted-list intersection per probe set.
-pub fn pretti_join(r: &Relation, threads: usize) -> Vec<(Value, Value)> {
+pub fn pretti_join(r: &Relation, threads: usize, exec: &Executor) -> Vec<(Value, Value)> {
     let sets: Vec<Value> = r.by_x().iter_nonempty().map(|(x, _)| x).collect();
-    run_partitioned(&sets, threads, |part, out| {
+    run_partitioned(&sets, threads, exec, |part, out| {
         for &a in part {
             let elems = infrequent_order(r, a);
             let lists: Vec<&[Value]> = elems.iter().map(|&e| r.xs_of(e)).collect();
@@ -37,10 +38,15 @@ pub fn pretti_join(r: &Relation, threads: usize) -> Vec<(Value, Value)> {
 }
 
 /// LIMIT+: intersect the `limit` most infrequent lists, verify the rest.
-pub fn limit_plus_join(r: &Relation, limit: usize, threads: usize) -> Vec<(Value, Value)> {
+pub fn limit_plus_join(
+    r: &Relation,
+    limit: usize,
+    threads: usize,
+    exec: &Executor,
+) -> Vec<(Value, Value)> {
     let limit = limit.max(1);
     let sets: Vec<Value> = r.by_x().iter_nonempty().map(|(x, _)| x).collect();
-    run_partitioned(&sets, threads, |part, out| {
+    run_partitioned(&sets, threads, exec, |part, out| {
         for &a in part {
             let elems = infrequent_order(r, a);
             let k = elems.len().min(limit);
@@ -65,10 +71,12 @@ pub fn limit_plus_join(r: &Relation, limit: usize, threads: usize) -> Vec<(Value
     })
 }
 
-/// Static probe-range partitioning shared by the two algorithms.
+/// Static probe-range partitioning shared by the two algorithms; the
+/// partitions run as tasks on the shared executor pool.
 fn run_partitioned(
     sets: &[Value],
     threads: usize,
+    exec: &Executor,
     body: impl Fn(&[Value], &mut Vec<(Value, Value)>) + Sync,
 ) -> Vec<(Value, Value)> {
     if threads <= 1 || sets.len() < 2 {
@@ -76,23 +84,12 @@ fn run_partitioned(
         body(sets, &mut out);
         return out;
     }
-    let chunk = sets.len().div_ceil(threads).max(1);
-    let mut results: Vec<Vec<(Value, Value)>> = Vec::new();
-    std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for part in sets.chunks(chunk) {
-            let body = &body;
-            handles.push(scope.spawn(move || {
-                let mut out = Vec::new();
-                body(part, &mut out);
-                out
-            }));
-        }
-        for h in handles {
-            results.push(h.join().expect("scj worker panicked"));
-        }
-    });
-    results.concat()
+    exec.map_chunks(threads, sets, |part| {
+        let mut out = Vec::new();
+        body(part, &mut out);
+        out
+    })
+    .concat()
 }
 
 #[cfg(test)]
@@ -106,7 +103,7 @@ mod tests {
     #[test]
     fn pretti_finds_supersets() {
         let r = rel(&[(0, 1), (1, 1), (1, 2), (2, 1), (2, 2), (2, 3)]);
-        let mut got = pretti_join(&r, 1);
+        let mut got = pretti_join(&r, 1, Executor::global());
         got.sort_unstable();
         assert_eq!(got, vec![(0, 1), (0, 2), (1, 2)]);
     }
@@ -115,7 +112,7 @@ mod tests {
     fn limit_plus_blocking_then_verify() {
         let r = rel(&[(0, 1), (0, 2), (0, 3), (1, 1), (1, 2), (1, 3), (1, 4)]);
         for limit in 1..=4 {
-            let mut got = limit_plus_join(&r, limit, 1);
+            let mut got = limit_plus_join(&r, limit, 1, Executor::global());
             got.sort_unstable();
             assert_eq!(got, vec![(0, 1)], "limit={limit}");
         }
@@ -131,7 +128,7 @@ mod tests {
     #[test]
     fn limit_larger_than_set_is_exact() {
         let r = rel(&[(0, 7), (1, 7)]);
-        let mut got = limit_plus_join(&r, 10, 1);
+        let mut got = limit_plus_join(&r, 10, 1, Executor::global());
         got.sort_unstable();
         assert_eq!(got, vec![(0, 1), (1, 0)]);
     }

@@ -59,6 +59,7 @@ pub struct ResultCache {
     hits: u64,
     misses: u64,
     evictions: u64,
+    invalidations: u64,
 }
 
 impl ResultCache {
@@ -71,6 +72,7 @@ impl ResultCache {
             hits: 0,
             misses: 0,
             evictions: 0,
+            invalidations: 0,
         }
     }
 
@@ -133,7 +135,9 @@ impl ResultCache {
     /// `name` (already-canonical names match exactly). The maintenance
     /// path patches the drained entries and re-inserts the survivors
     /// under their post-update keys; anything not re-inserted is thereby
-    /// invalidated.
+    /// invalidated. Every drained slot counts as update-driven
+    /// `invalidations` churn (a re-inserted survivor is a *new* entry
+    /// under a new key) — distinct from capacity `evictions`.
     pub fn drain_referencing(&mut self, name: &str) -> Vec<(u64, Request, Vec<u64>, CachedResult)> {
         let keys: Vec<u64> = self
             .slots
@@ -141,6 +145,7 @@ impl ResultCache {
             .filter(|(_, slot)| slot.request.relation_names().contains(&name))
             .map(|(&key, _)| key)
             .collect();
+        self.invalidations += keys.len() as u64;
         keys.into_iter()
             .map(|key| {
                 let slot = self.slots.remove(&key).expect("key just enumerated");
@@ -150,8 +155,10 @@ impl ResultCache {
     }
 
     /// Drops every entry (used when a caller wants a hard reset; epoch
-    /// keying makes this unnecessary for correctness).
+    /// keying makes this unnecessary for correctness). Counted as
+    /// invalidations, not evictions.
     pub fn clear(&mut self) {
+        self.invalidations += self.slots.len() as u64;
         self.slots.clear();
     }
 
@@ -165,9 +172,12 @@ impl ResultCache {
         self.slots.is_empty()
     }
 
-    /// `(hits, misses, evictions)` counters since construction.
-    pub fn counters(&self) -> (u64, u64, u64) {
-        (self.hits, self.misses, self.evictions)
+    /// `(hits, misses, evictions, invalidations)` counters since
+    /// construction. `evictions` is capacity pressure (LRU victims);
+    /// `invalidations` is update-driven churn (drained or cleared
+    /// entries) — the quantity that makes heavy write traffic visible.
+    pub fn counters(&self) -> (u64, u64, u64, u64) {
+        (self.hits, self.misses, self.evictions, self.invalidations)
     }
 }
 
@@ -206,7 +216,7 @@ mod tests {
         put(&mut c, 1, 1);
         let hit = probe(&mut c, 1, 1).unwrap();
         assert_eq!(hit.rows[0], vec![1, 1]);
-        assert_eq!(c.counters(), (1, 1, 0));
+        assert_eq!(c.counters(), (1, 1, 0, 0));
     }
 
     #[test]
@@ -257,6 +267,19 @@ mod tests {
         assert_eq!(c.len(), 1);
         assert!(c.get(2, &Request::similarity("S", 1), &[2]).is_some());
         assert!(c.drain_referencing("R").is_empty(), "already drained");
+    }
+
+    #[test]
+    fn drain_and_clear_count_invalidations() {
+        let mut c = ResultCache::new(4);
+        c.insert(1, Request::similarity("R", 1), vec![1], result(1));
+        c.insert(2, Request::similarity("R", 2), vec![1], result(2));
+        c.insert(3, Request::similarity("S", 1), vec![2], result(3));
+        assert_eq!(c.drain_referencing("R").len(), 2);
+        assert_eq!(c.counters().3, 2, "drained entries are invalidations");
+        c.clear();
+        assert_eq!(c.counters().3, 3, "clear() counts the dropped entry");
+        assert_eq!(c.counters().2, 0, "no LRU eviction happened");
     }
 
     #[test]

@@ -83,8 +83,10 @@ impl ServiceMetrics {
         self.invalidated += report.invalidated as u64;
     }
 
-    /// An immutable snapshot for reporting.
-    pub fn snapshot(&self) -> MetricsSnapshot {
+    /// An immutable snapshot for reporting. The recorder cannot see the
+    /// result cache, so its churn counter is passed in by the caller
+    /// (the `Service::metrics` seam) rather than patched up afterwards.
+    pub fn snapshot(&self, cache_invalidations: u64) -> MetricsSnapshot {
         let mut sorted = self.latencies_us.clone();
         sorted.sort_unstable();
         let pct = |p: f64| -> u64 {
@@ -103,6 +105,7 @@ impl ServiceMetrics {
             maintained: self.maintained,
             recomputed: self.recomputed,
             invalidated: self.invalidated,
+            cache_invalidations,
             cache_hit_rate: if self.queries == 0 {
                 0.0
             } else {
@@ -138,6 +141,12 @@ pub struct MetricsSnapshot {
     pub recomputed: u64,
     /// Cache entries dropped by updates.
     pub invalidated: u64,
+    /// Cache slots displaced by update-driven draining or `clear()` —
+    /// the result cache's own churn counter (supplied to
+    /// [`ServiceMetrics::snapshot`] by the caller holding the cache).
+    /// Unlike `invalidated` (entries that ended an update dropped), this
+    /// also counts slots whose refreshed successor was re-inserted.
+    pub cache_invalidations: u64,
     /// `cache_hits / queries_served` (0 when idle).
     pub cache_hit_rate: f64,
     /// Mean service latency in microseconds.
@@ -154,7 +163,7 @@ impl std::fmt::Display for MetricsSnapshot {
             f,
             "served {} (cache hits {}, {:.1}%), errors {}, rejected {}, \
              updates {} (maintained {}, recomputed {}, invalidated {}), \
-             latency mean {}us p50 {}us p99 {}us",
+             cache churn {}, latency mean {}us p50 {}us p99 {}us",
             self.queries_served,
             self.cache_hits,
             self.cache_hit_rate * 100.0,
@@ -164,6 +173,7 @@ impl std::fmt::Display for MetricsSnapshot {
             self.maintained,
             self.recomputed,
             self.invalidated,
+            self.cache_invalidations,
             self.mean_latency_us,
             self.p50_latency_us,
             self.p99_latency_us,
@@ -181,7 +191,7 @@ mod tests {
         for i in 1..=100u64 {
             m.record_query(i as f64 * 1e-6, i % 4 == 0);
         }
-        let s = m.snapshot();
+        let s = m.snapshot(0);
         assert_eq!(s.queries_served, 100);
         assert_eq!(s.cache_hits, 25);
         assert!((s.cache_hit_rate - 0.25).abs() < 1e-9);
@@ -192,7 +202,7 @@ mod tests {
 
     #[test]
     fn empty_snapshot_is_zeroed() {
-        let s = ServiceMetrics::new().snapshot();
+        let s = ServiceMetrics::new().snapshot(0);
         assert_eq!(s.queries_served, 0);
         assert_eq!(s.p99_latency_us, 0);
         assert_eq!(s.cache_hit_rate, 0.0);
@@ -209,7 +219,7 @@ mod tests {
             recomputed: 1,
             invalidated: 3,
         });
-        let s = m.snapshot();
+        let s = m.snapshot(0);
         assert_eq!(
             (s.updates, s.maintained, s.recomputed, s.invalidated),
             (1, 2, 1, 3)

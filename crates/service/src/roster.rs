@@ -16,11 +16,12 @@ use mmjoin_ssj::{SimilarityEngine, SsjAlgorithm};
 use mmjoin_wcoj::WcojEngine;
 
 /// The full engine roster on `threads` workers (engines without a
-/// parallelism knob ignore it). MMJoin is registered first so it leads
-/// every enumeration.
+/// parallelism knob ignore it; `0` means "all available parallelism" —
+/// see [`JoinConfig::effective_threads`]). MMJoin is registered first so
+/// it leads every enumeration.
 pub fn default_registry(threads: usize) -> EngineRegistry {
     let config = JoinConfig {
-        threads: threads.max(1),
+        threads,
         ..JoinConfig::default()
     };
     registry_with_config(&config)
@@ -30,10 +31,14 @@ pub fn default_registry(threads: usize) -> EngineRegistry {
 /// the single object that governs parallelism and all other execution
 /// knobs.
 pub fn registry_with_config(config: &JoinConfig) -> EngineRegistry {
+    let mut expand = ExpandDedupEngine::parallel(config.effective_threads());
+    if let Some(exec) = &config.executor {
+        expand = expand.on_executor(std::sync::Arc::clone(exec));
+    }
     let mut registry = EngineRegistry::new();
     registry
         .register(Box::new(MmJoinEngine::new(config.clone())))
-        .register(Box::new(ExpandDedupEngine::parallel(config.threads)))
+        .register(Box::new(expand))
         .register(Box::new(WcojEngine))
         .register(Box::new(HashJoinEngine))
         .register(Box::new(SortMergeEngine))

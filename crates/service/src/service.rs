@@ -15,18 +15,35 @@ use mmjoin_api::ir::{Atom, QueryGraph};
 use mmjoin_api::{DeltaSink, EngineRegistry, ExecStats, LimitSink, Query, QueryFamily, VecSink};
 use mmjoin_core::plan::{FinalStage, GeneralPlan, NodeSource, PlanStep, ProjCols};
 use mmjoin_core::{choose_thresholds, plan_general, JoinConfig, PlanChoice};
+use mmjoin_executor::Executor;
 use mmjoin_storage::{Edge, Relation, RelationDelta, Value};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{mpsc, Arc, Condvar, Mutex, RwLock};
+use std::sync::{mpsc, Arc, Condvar, Mutex, PoisonError, RwLock};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
 /// Construction-time service configuration.
 #[derive(Debug, Clone)]
 pub struct ServiceConfig {
-    /// Worker threads draining the admission queue (min 1).
+    /// Worker threads draining the admission queue (min 1). These are
+    /// the *inter*-query threads; intra-query parallelism comes out of
+    /// [`ServiceConfig::thread_budget`].
     pub workers: usize,
+    /// Global intra-query thread budget: the service builds one shared
+    /// [`Executor`] of this size and every engine's parallel work
+    /// (light passes, GEMM bands, plan wavefronts) runs on it, with
+    /// token arbitration splitting the budget across in-flight queries
+    /// instead of each assuming it owns `join_config.threads` cores.
+    /// `0` means "the machine's available parallelism".
+    ///
+    /// The budget caps parallelism; `join_config.threads` *requests* it
+    /// per query (`0` ⇒ the whole budget, `1` ⇒ serial — the default).
+    /// With the all-default configuration (serial engines, budget 0) no
+    /// per-service pool is built at all, so idle services cost no
+    /// threads. Ignored when [`ServiceConfig::join_config`] already
+    /// carries an executor.
+    pub thread_budget: usize,
     /// Result-cache capacity in entries (0 disables caching).
     pub cache_capacity: usize,
     /// Admission-queue capacity; submissions beyond it are rejected with
@@ -49,6 +66,7 @@ impl Default for ServiceConfig {
                 .map(|n| n.get())
                 .unwrap_or(2)
                 .clamp(1, 8),
+            thread_budget: 0,
             cache_capacity: 256,
             queue_capacity: 1024,
             join_config: JoinConfig::default(),
@@ -109,6 +127,14 @@ struct QueueState {
     shutdown: bool,
 }
 
+/// Shared service state. Every mutex/rwlock acquisition recovers from
+/// poisoning via `unwrap_or_else(PoisonError::into_inner)`: a panicking
+/// engine already fails its own query (see `worker_loop`), and the
+/// guarded state stays valid across a panic — the cache is epoch-keyed
+/// (a half-finished refresh is merely unreachable), metrics are plain
+/// counters, and the catalog commits entries atomically — so abandoning
+/// the whole service over a poisoned lock would turn one bad query into
+/// a permanent outage.
 struct Inner {
     registry: EngineRegistry,
     planner: Planner,
@@ -188,21 +214,47 @@ impl Service {
     }
 
     /// A service with the full default engine roster, all knobs explicit.
-    pub fn with_config(config: ServiceConfig) -> Self {
+    /// Installs the service's shared intra-query [`Executor`] (sized by
+    /// [`ServiceConfig::thread_budget`]) into the configuration before
+    /// building the roster, so every engine draws from one budget.
+    pub fn with_config(mut config: ServiceConfig) -> Self {
+        // Build the pool only when something can use it: engines stay
+        // serial under the default `threads == 1` unless the caller also
+        // asked for a budget, and a fully-serial service must not pay
+        // for `available_parallelism() − 1` permanently idle workers.
+        let wants_pool = config.join_config.threads != 1 || config.thread_budget != 0;
+        if config.join_config.executor.is_none() && wants_pool {
+            config.join_config.executor = Some(Arc::new(Executor::new(config.thread_budget)));
+        }
         let registry = crate::roster::registry_with_config(&config.join_config);
         Self::new(registry, config)
+    }
+
+    /// The intra-query thread budget of the executor governing this
+    /// service's engines (the process-global pool's budget when no
+    /// per-service executor is installed).
+    pub fn thread_budget(&self) -> usize {
+        self.inner.planner.config.exec().budget()
     }
 
     /// Registers (or replaces) a named relation, profiling it once.
     /// Returns the catalog epoch of the new entry.
     pub fn register(&self, name: impl Into<String>, relation: Relation) -> u64 {
-        self.inner.catalog.write().unwrap().register(name, relation)
+        self.inner
+            .catalog
+            .write()
+            .unwrap_or_else(PoisonError::into_inner)
+            .register(name, relation)
     }
 
     /// Replaces an existing relation (bumping its epoch, which makes all
     /// cached results over it unreachable).
     pub fn update(&self, name: &str, relation: Relation) -> Result<u64, ServiceError> {
-        self.inner.catalog.write().unwrap().update(name, relation)
+        self.inner
+            .catalog
+            .write()
+            .unwrap_or_else(PoisonError::into_inner)
+            .update(name, relation)
     }
 
     /// Stages a batch of tuple inserts, maintaining affected cached
@@ -244,7 +296,7 @@ impl Service {
             .inner
             .catalog
             .write()
-            .unwrap()
+            .unwrap_or_else(PoisonError::into_inner)
             .apply_delta(name, delta)?;
         let mut report = MaintenanceReport {
             epoch: staged.new_epoch,
@@ -257,7 +309,12 @@ impl Service {
             return Ok(report);
         }
         let name = name.trim();
-        let drained = self.inner.cache.lock().unwrap().drain_referencing(name);
+        let drained = self
+            .inner
+            .cache
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .drain_referencing(name);
         for (_, request, epochs, value) in drained {
             match refresh_entry(&self.inner, name, &staged, request, epochs, value) {
                 Decision::Maintain => report.maintained += 1,
@@ -265,18 +322,30 @@ impl Service {
                 Decision::Invalidate => report.invalidated += 1,
             }
         }
-        self.inner.metrics.lock().unwrap().record_update(&report);
+        self.inner
+            .metrics
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .record_update(&report);
         Ok(report)
     }
 
     /// Removes a relation from the catalog.
     pub fn remove(&self, name: &str) -> bool {
-        self.inner.catalog.write().unwrap().remove(name)
+        self.inner
+            .catalog
+            .write()
+            .unwrap_or_else(PoisonError::into_inner)
+            .remove(name)
     }
 
     /// Current catalog-wide epoch.
     pub fn catalog_epoch(&self) -> u64 {
-        self.inner.catalog.read().unwrap().epoch()
+        self.inner
+            .catalog
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .epoch()
     }
 
     /// Registered relation names, sorted.
@@ -284,7 +353,7 @@ impl Service {
         self.inner
             .catalog
             .read()
-            .unwrap()
+            .unwrap_or_else(PoisonError::into_inner)
             .names()
             .into_iter()
             .map(str::to_string)
@@ -296,7 +365,7 @@ impl Service {
         self.inner
             .catalog
             .read()
-            .unwrap()
+            .unwrap_or_else(PoisonError::into_inner)
             .get(name)
             .map(|e| Arc::clone(&e.profile))
     }
@@ -307,7 +376,7 @@ impl Service {
         self.inner
             .catalog
             .read()
-            .unwrap()
+            .unwrap_or_else(PoisonError::into_inner)
             .get(name)
             .map(|e| e.relation.edges().to_vec())
     }
@@ -317,12 +386,20 @@ impl Service {
     /// ticket with the corresponding error.
     pub fn submit(&self, request: Request) -> Ticket {
         let (tx, rx) = mpsc::channel();
-        let mut q = self.inner.queue.lock().unwrap();
+        let mut q = self
+            .inner
+            .queue
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         if q.shutdown || self.inner.shutting_down.load(Ordering::SeqCst) {
             let _ = tx.send(Err(ServiceError::ShuttingDown));
         } else if q.jobs.len() >= self.inner.queue_capacity {
             drop(q);
-            self.inner.metrics.lock().unwrap().record_rejected();
+            self.inner
+                .metrics
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .record_rejected();
             let _ = tx.send(Err(ServiceError::Overloaded {
                 capacity: self.inner.queue_capacity,
             }));
@@ -356,7 +433,7 @@ impl Service {
             .inner
             .cache
             .lock()
-            .unwrap()
+            .unwrap_or_else(PoisonError::into_inner)
             .peek(key, &request, &epochs);
         let query = build_query(&request.spec, &handles)?;
         let selection =
@@ -428,19 +505,33 @@ impl Service {
         Ok(lines)
     }
 
-    /// Service-level metrics snapshot.
+    /// Service-level metrics snapshot, including the result cache's
+    /// update-driven invalidation churn.
     pub fn metrics(&self) -> MetricsSnapshot {
-        self.inner.metrics.lock().unwrap().snapshot()
+        let cache_invalidations = self.cache_counters().3;
+        self.inner
+            .metrics
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .snapshot(cache_invalidations)
     }
 
-    /// `(hits, misses, evictions)` of the result cache.
-    pub fn cache_counters(&self) -> (u64, u64, u64) {
-        self.inner.cache.lock().unwrap().counters()
+    /// `(hits, misses, evictions, invalidations)` of the result cache.
+    pub fn cache_counters(&self) -> (u64, u64, u64, u64) {
+        self.inner
+            .cache
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .counters()
     }
 
     /// Results currently cached.
     pub fn cache_len(&self) -> usize {
-        self.inner.cache.lock().unwrap().len()
+        self.inner
+            .cache
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
     }
 
     /// The engine registry this service executes on.
@@ -458,7 +549,11 @@ impl Drop for Service {
     fn drop(&mut self) {
         self.inner.shutting_down.store(true, Ordering::SeqCst);
         {
-            let mut q = self.inner.queue.lock().unwrap();
+            let mut q = self
+                .inner
+                .queue
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
             q.shutdown = true;
             // Fail any still-queued jobs instead of silently dropping them.
             for job in q.jobs.drain(..) {
@@ -654,7 +749,7 @@ fn refresh_entry(
     // unreachable; this check prevents one keyed at the *latest* epochs
     // from carrying stale data.)
     let (r_new, s_new, new_epochs) = {
-        let catalog = inner.catalog.read().unwrap();
+        let catalog = inner.catalog.read().unwrap_or_else(PoisonError::into_inner);
         let (Some(re), Some(se)) = (catalog.get(&r_name), catalog.get(&s_name)) else {
             return Decision::Invalidate;
         };
@@ -709,7 +804,7 @@ fn refresh_entry(
             inner
                 .cache
                 .lock()
-                .unwrap()
+                .unwrap_or_else(PoisonError::into_inner)
                 .insert(key, request, new_epochs, result);
             decision
         }
@@ -807,7 +902,7 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 fn worker_loop(inner: Arc<Inner>) {
     loop {
         let job = {
-            let mut q = inner.queue.lock().unwrap();
+            let mut q = inner.queue.lock().unwrap_or_else(PoisonError::into_inner);
             loop {
                 if let Some(job) = q.jobs.pop_front() {
                     break Some(job);
@@ -815,7 +910,10 @@ fn worker_loop(inner: Arc<Inner>) {
                 if q.shutdown {
                     break None;
                 }
-                q = inner.available.wait(q).unwrap();
+                q = inner
+                    .available
+                    .wait(q)
+                    .unwrap_or_else(PoisonError::into_inner);
             }
         };
         let Some(job) = job else { return };
@@ -827,7 +925,7 @@ fn worker_loop(inner: Arc<Inner>) {
         .unwrap_or_else(|payload| Err(ServiceError::Internal(panic_message(payload))));
         let latency = job.enqueued.elapsed().as_secs_f64();
         {
-            let mut m = inner.metrics.lock().unwrap();
+            let mut m = inner.metrics.lock().unwrap_or_else(PoisonError::into_inner);
             match &result {
                 Ok(response) => m.record_query(latency, response.cached),
                 Err(_) => m.record_error(),
@@ -845,7 +943,7 @@ fn resolve_handles(
     inner: &Inner,
     request: &Request,
 ) -> Result<(Vec<Arc<Relation>>, Vec<u64>), ServiceError> {
-    let catalog = inner.catalog.read().unwrap();
+    let catalog = inner.catalog.read().unwrap_or_else(PoisonError::into_inner);
     let mut handles: Vec<Arc<Relation>> = Vec::new();
     let mut epochs: Vec<u64> = Vec::new();
     for name in request.relation_names() {
@@ -921,7 +1019,7 @@ fn process(inner: &Inner, request: Request) -> Result<Response, ServiceError> {
     if let Some(hit) = inner
         .cache
         .lock()
-        .unwrap()
+        .unwrap_or_else(PoisonError::into_inner)
         .get(cache_key, &request, &epochs)
     {
         return Ok(Response {
@@ -974,7 +1072,7 @@ fn process(inner: &Inner, request: Request) -> Result<Response, ServiceError> {
     inner
         .cache
         .lock()
-        .unwrap()
+        .unwrap_or_else(PoisonError::into_inner)
         .insert(cache_key, request, epochs, result.clone());
 
     Ok(Response {
@@ -1160,6 +1258,106 @@ mod tests {
             other => panic!("worker died: {other:?}"),
         }
         assert_eq!(s.metrics().errors, 2);
+    }
+
+    /// Engine that panics on 2-path queries (stand-in for an engine bug
+    /// on adversarial input).
+    struct Grenade;
+    impl mmjoin_api::Engine for Grenade {
+        fn name(&self) -> &str {
+            "Grenade"
+        }
+        fn supports(&self, query: &Query<'_>) -> bool {
+            query.family() == QueryFamily::TwoPath
+        }
+        fn execute(
+            &self,
+            _query: &Query<'_>,
+            _sink: &mut dyn mmjoin_api::Sink,
+        ) -> Result<ExecStats, mmjoin_api::EngineError> {
+            panic!("boom");
+        }
+    }
+
+    #[test]
+    fn panicking_query_leaves_service_fully_functional() {
+        // The full roster plus a grenade: one query panics mid-execution,
+        // and afterwards the service must keep serving — warm cache hits,
+        // cold executions, updates, and metrics alike.
+        let mut registry = crate::roster::registry_with_config(&JoinConfig::default());
+        registry.register(Box::new(Grenade));
+        let s = Service::new(
+            registry,
+            ServiceConfig {
+                workers: 1,
+                ..ServiceConfig::default()
+            },
+        );
+        s.register("R", tiny());
+        s.register("S", Relation::from_edges([(5, 0), (6, 1)]));
+        let cached = s.query(Request::two_path("R", "R")).unwrap();
+
+        match s.query(Request::two_path("R", "R").on_engine("Grenade")) {
+            Err(ServiceError::Internal(msg)) => assert!(msg.contains("boom"), "{msg}"),
+            other => panic!("expected Internal, got {other:?}"),
+        }
+
+        // Warm hit still served from the pre-panic entry…
+        let warm = s.query(Request::two_path("R", "R")).unwrap();
+        assert!(warm.cached);
+        assert_eq!(warm.rows, cached.rows);
+        // …cold queries still execute…
+        let cold = s.query(Request::two_path("S", "S")).unwrap();
+        assert!(!cold.cached);
+        // …updates still maintain, and metrics still answer.
+        let report = s.insert("R", [(9, 0)]).unwrap();
+        assert_eq!(report.inserted, 1);
+        let m = s.metrics();
+        assert_eq!(m.errors, 1);
+        assert!(m.queries_served >= 3);
+    }
+
+    #[test]
+    fn poisoned_locks_recover() {
+        // Poison the cache and metrics mutexes the hard way — panic while
+        // holding them — then drive every path that acquires them.
+        let s = service();
+        s.register("R", tiny());
+        let warm = s.query(Request::two_path("R", "R")).unwrap();
+        for _ in 0..2 {
+            let inner = Arc::clone(&s.inner);
+            let _ = std::thread::spawn(move || {
+                let _cache = inner.cache.lock().unwrap();
+                let _metrics = inner.metrics.lock().unwrap();
+                panic!("poison both");
+            })
+            .join();
+        }
+        assert!(s.inner.cache.lock().is_err(), "cache mutex is poisoned");
+        let hit = s.query(Request::two_path("R", "R")).unwrap();
+        assert!(hit.cached, "poisoned cache still serves its entries");
+        assert_eq!(hit.rows, warm.rows);
+        s.insert("R", [(7, 1)]).unwrap();
+        assert!(s.metrics().queries_served >= 2);
+        assert!(s.cache_counters().0 >= 1);
+    }
+
+    #[test]
+    fn update_churn_is_visible_in_metrics() {
+        let s = service();
+        s.register("R", tiny());
+        s.query(Request::two_path("R", "R")).unwrap();
+        s.query(Request::star(["R", "R"])).unwrap();
+        // One maintainable entry (recomputed) + one star entry (dropped):
+        // both count as cache churn, only the star one as `invalidated`.
+        let report = s.insert("R", [(8, 1)]).unwrap();
+        assert_eq!(report.recomputed + report.maintained, 1);
+        assert_eq!(report.invalidated, 1);
+        let m = s.metrics();
+        assert_eq!(m.invalidated, 1);
+        assert_eq!(m.cache_invalidations, 2, "drained slots are churn");
+        assert_eq!(s.cache_counters().3, 2);
+        assert!(format!("{m}").contains("cache churn 2"));
     }
 
     /// Sorted copy of response rows (maintained entries serve canonical

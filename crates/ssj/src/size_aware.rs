@@ -32,7 +32,7 @@ pub fn size_aware_pairs(
     config: &JoinConfig,
 ) -> Vec<(Value, Value)> {
     let c = c.max(1);
-    let threads = config.threads.max(1);
+    let threads = config.effective_threads();
     let sets: Vec<(Value, usize)> = r
         .by_x()
         .iter_nonempty()
@@ -60,7 +60,7 @@ pub fn size_aware_pairs(
         if opts.heavy {
             heavy_join_mm(r, &heavy, c, config, &mut out);
         } else {
-            heavy_join_brute(r, &heavy, boundary, c, threads, &mut out);
+            heavy_join_brute(r, &heavy, boundary, c, threads, config.exec(), &mut out);
         }
     }
 
@@ -152,6 +152,7 @@ fn heavy_join_brute(
     boundary: usize,
     c: u32,
     threads: usize,
+    exec: &mmjoin_executor::Executor,
     out: &mut Vec<(Value, Value)>,
 ) {
     let run = |part: &[Value], out: &mut Vec<(Value, Value)>| {
@@ -185,20 +186,10 @@ fn heavy_join_brute(
     if threads <= 1 || heavy.len() < 2 {
         run(heavy, out);
     } else {
-        let chunk = heavy.len().div_ceil(threads).max(1);
-        let mut results: Vec<Vec<(Value, Value)>> = Vec::new();
-        std::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for part in heavy.chunks(chunk) {
-                handles.push(scope.spawn(move || {
-                    let mut local = Vec::new();
-                    run(part, &mut local);
-                    local
-                }));
-            }
-            for h in handles {
-                results.push(h.join().expect("heavy-join worker panicked"));
-            }
+        let results = exec.map_chunks(threads, heavy, |part| {
+            let mut local = Vec::new();
+            run(part, &mut local);
+            local
         });
         for mut v in results {
             out.append(&mut v);

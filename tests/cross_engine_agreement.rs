@@ -43,14 +43,16 @@ fn registry_under_test() -> EngineRegistry {
         heavy_backend: backend,
         ..JoinConfig::default()
     };
+    let threads_cfg = |threads| JoinConfig {
+        threads,
+        ..JoinConfig::default()
+    };
     for (name, config) in [
-        (
-            "MMJoin(3 threads)",
-            JoinConfig {
-                threads: 3,
-                ..JoinConfig::default()
-            },
-        ),
+        // The executor-backed parallel paths at every budget the
+        // acceptance sweep cares about (serial is the roster default).
+        ("MMJoin(2 threads)", threads_cfg(2)),
+        ("MMJoin(3 threads)", threads_cfg(3)),
+        ("MMJoin(8 threads)", threads_cfg(8)),
         ("MMJoin(bitmatrix)", backend_cfg(HeavyBackend::BitMatrix)),
         ("MMJoin(spgemm)", backend_cfg(HeavyBackend::Sparse)),
         ("MMJoin(auto)", backend_cfg(HeavyBackend::Auto)),

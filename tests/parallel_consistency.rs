@@ -10,7 +10,7 @@ use mmjoin_scj::{set_containment_join, ScjAlgorithm};
 use mmjoin_ssj::{unordered_ssj, SizeAwarePPOpts, SsjAlgorithm};
 
 const SEED: u64 = 1234;
-const THREADS: [usize; 3] = [2, 4, 7];
+const THREADS: [usize; 4] = [1, 2, 4, 8];
 
 fn cfg(threads: usize) -> JoinConfig {
     JoinConfig {
