@@ -2,12 +2,17 @@
 //! service-layer workload replay.
 //!
 //! ```text
-//! experiments <target> [--scale <f64>] [--json <path>] [--gate]
+//! experiments <target> [<target> …] [--scale <f64>] [--json <path>] [--gate]
 //!
 //! targets: engines table2 plan fig3a fig3b fig4a fig4b fig4c fig4d fig4f
 //!          fig5a fig5b fig5c fig5d fig5g fig5h fig5e fig5f fig6a
-//!          fig6b fig6c fig6d fig7 fig8 ablation service updates chains all
+//!          fig6b fig6c fig6d fig7 fig8 ablation service updates chains
+//!          saturation all
 //! ```
+//!
+//! Several targets may be given at once; with `--json` their tables land
+//! in one file — `experiments service saturation --gate --json
+//! BENCH_6.json` is how the committed perf-trajectory snapshot is made.
 //!
 //! Engines come from the [`mmjoin::EngineRegistry`]; `experiments engines`
 //! prints the roster the other targets enumerate. With `--json <path>`,
@@ -20,7 +25,9 @@
 
 use mmjoin::default_registry;
 use mmjoin_bench::report::{json_string, Table};
-use mmjoin_bench::{chains_bench, figures, gate, service_bench, updates_bench, DEFAULT_SCALE};
+use mmjoin_bench::{
+    chains_bench, figures, gate, saturation_bench, service_bench, updates_bench, DEFAULT_SCALE,
+};
 use mmjoin_datagen::DatasetKind;
 
 /// The registry roster as text: every engine name and the query families
@@ -97,6 +104,7 @@ fn run(name: &str, scale: f64, gated: bool) -> Output {
         "fig8" => Output::Table(figures::fig8(scale)),
         "ablation" => Output::Table(figures::ablation_matrix_backends(scale)),
         "service" => Output::Table(service_bench::service_experiment(scale)),
+        "saturation" => Output::Table(saturation_bench::saturation_experiment(scale)),
         "updates" => Output::Table(updates_bench::updates_experiment(scale)),
         "chains" => Output::Table(chains_bench::chains_experiment_trials(scale, trials)),
         other => {
@@ -106,15 +114,46 @@ fn run(name: &str, scale: f64, gated: bool) -> Output {
     }
 }
 
-const ALL_TARGETS: [&str; 28] = [
-    "engines", "table2", "plan", "fig3a", "fig3b", "fig4a", "fig4b", "fig4c", "fig4d", "fig4f",
-    "fig5a", "fig5b", "fig5c", "fig5d", "fig5g", "fig5h", "fig5e", "fig5f", "fig6a", "fig6b",
-    "fig6c", "fig6d", "fig7", "fig8", "ablation", "service", "updates", "chains",
+const ALL_TARGETS: [&str; 29] = [
+    "engines",
+    "table2",
+    "plan",
+    "fig3a",
+    "fig3b",
+    "fig4a",
+    "fig4b",
+    "fig4c",
+    "fig4d",
+    "fig4f",
+    "fig5a",
+    "fig5b",
+    "fig5c",
+    "fig5d",
+    "fig5g",
+    "fig5h",
+    "fig5e",
+    "fig5f",
+    "fig6a",
+    "fig6b",
+    "fig6c",
+    "fig6d",
+    "fig7",
+    "fig8",
+    "ablation",
+    "service",
+    "updates",
+    "chains",
+    "saturation",
 ];
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let target = args.first().map(String::as_str).unwrap_or("all");
+    // Leading non-flag arguments are targets; flags follow.
+    let named: Vec<&str> = args
+        .iter()
+        .take_while(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
     let flag_value = |flag: &str| {
         args.iter()
             .position(|a| a == flag)
@@ -126,10 +165,10 @@ fn main() {
     let json_path = flag_value("--json").cloned();
     let gate_enabled = args.iter().any(|a| a == "--gate");
 
-    let targets: Vec<&str> = if target == "all" {
+    let targets: Vec<&str> = if named.is_empty() || named.contains(&"all") {
         ALL_TARGETS.to_vec()
     } else {
-        vec![target]
+        named
     };
 
     let mut json_entries: Vec<String> = Vec::new();

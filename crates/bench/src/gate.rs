@@ -108,12 +108,54 @@ pub fn check_chains(table: &Table) -> Result<(), String> {
     Ok(())
 }
 
+/// Gates the `saturation` target: the 16-client TCP storm must produce
+/// zero answers diverging from serial replay, the admission queue's
+/// high-water mark must respect its bound (bounded memory), and an
+/// update storm on one catalog shard must not degrade reader p99 on
+/// another shard relative to the single-lock baseline.
+pub fn check_saturation(table: &Table) -> Result<(), String> {
+    let wrong = cell(table, "saturation", "wrong").ok_or("saturation table has no wrong column")?;
+    if wrong != "0" {
+        return Err(format!(
+            "{wrong} responses diverged from serial replay — wrong results under concurrency"
+        ));
+    }
+    let depth = cell(table, "saturation", "depth").ok_or("saturation table has no depth column")?;
+    let (used, cap) = depth
+        .split_once('/')
+        .ok_or_else(|| format!("malformed depth cell `{depth}`"))?;
+    let used: u64 = used.trim().parse().map_err(|_| "bad depth value")?;
+    let cap: u64 = cap.trim().parse().map_err(|_| "bad depth bound")?;
+    if used > cap {
+        return Err(format!(
+            "admission queue reached depth {used}, exceeding its bound {cap}"
+        ));
+    }
+    let p99 = |key: &str| {
+        cell(table, key, "p99")
+            .and_then(|c| c.trim().trim_end_matches("us").parse::<f64>().ok())
+            .ok_or_else(|| format!("saturation table has no p99 for `{key}`"))
+    };
+    let single = p99("reads shards=1")?;
+    let sharded = p99("reads shards=8")?;
+    // 20% slack for scheduler noise, plus an absolute floor so two
+    // already-tiny tails (an uncontended host) can never fail on noise.
+    if sharded > single * 1.2 && sharded > 500.0 {
+        return Err(format!(
+            "sharded reader p99 {sharded:.0}us degraded vs single-lock baseline \
+             {single:.0}us — cross-shard updates are stalling readers"
+        ));
+    }
+    Ok(())
+}
+
 /// Dispatches the gate for a target; targets without thresholds pass.
 pub fn check(target: &str, table: &Table) -> Result<(), String> {
     match target {
         "service" => check_service(table),
         "updates" => check_updates(table),
         "chains" => check_chains(table),
+        "saturation" => check_saturation(table),
         _ => Ok(()),
     }
 }

@@ -10,6 +10,7 @@ pub mod chains_bench;
 pub mod figures;
 pub mod gate;
 pub mod report;
+pub mod saturation_bench;
 pub mod service_bench;
 pub mod updates_bench;
 

@@ -1,0 +1,112 @@
+//! `mmjoin-cli` — client for `mmjoin-netd`.
+//!
+//! Commands come from positional arguments (each argument is one
+//! command line) or, with none given, from stdin one per line:
+//!
+//! ```text
+//! $ mmjoin-cli --addr 127.0.0.1:7878 'register R 0,1 1,1' 'query twopath R R'
+//! ok relation R: 2 tuples, 2 sets, 1 elements (epoch 1)
+//! ok rows 4 engine … cached false 0.001s
+//! $ echo stats | mmjoin-cli --addr 127.0.0.1:7878
+//! ok served 1 (cache hits 0, 0.0%), …
+//! ```
+//!
+//! Answers print exactly as the stdin REPL would: `ok …` / `err …`,
+//! plus `overloaded …` / `shutting-down …` for the two backpressure
+//! statuses only the network transport can produce. Exit status is
+//! non-zero if any command failed.
+
+use mmjoin_net::{Client, Status};
+use std::io::BufRead;
+use std::time::Duration;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut addr = "127.0.0.1:7878".to_string();
+    let mut retries: u32 = 1;
+    let mut commands: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => {
+                i += 1;
+                addr = args.get(i).cloned().unwrap_or_else(|| {
+                    eprintln!("mmjoin-cli: --addr needs a value");
+                    std::process::exit(2);
+                });
+            }
+            "--retry" => {
+                i += 1;
+                retries = args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("mmjoin-cli: --retry needs a number");
+                    std::process::exit(2);
+                });
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: mmjoin-cli [--addr host:port] [--retry n] [command …]\n\
+                     with no commands, reads them from stdin one per line"
+                );
+                return;
+            }
+            cmd => commands.push(cmd.to_string()),
+        }
+        i += 1;
+    }
+
+    let mut client = match Client::connect_retry(addr.as_str(), retries, Duration::from_millis(200))
+    {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("mmjoin-cli: connect {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    let mut failed = false;
+    let mut run = |client: &mut Client, line: &str| {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            return;
+        }
+        match client.call(line) {
+            Ok(resp) => {
+                match resp.status {
+                    // Ok/Err bodies already carry their `ok `/`err `
+                    // prefix shape from the shared command layer.
+                    Status::Ok => println!("{}", resp.body),
+                    Status::Err => {
+                        failed = true;
+                        println!("err {}", resp.body);
+                    }
+                    Status::Overloaded => {
+                        failed = true;
+                        println!("overloaded {}", resp.body);
+                    }
+                    Status::ShuttingDown => {
+                        failed = true;
+                        println!("shutting-down {}", resp.body);
+                    }
+                }
+            }
+            Err(e) => {
+                eprintln!("mmjoin-cli: {e}");
+                std::process::exit(1);
+            }
+        }
+    };
+
+    if commands.is_empty() {
+        for line in std::io::stdin().lock().lines() {
+            let Ok(line) = line else { break };
+            run(&mut client, &line);
+        }
+    } else {
+        for cmd in &commands {
+            run(&mut client, cmd);
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,64 @@
+//! `mmjoin-netd` — the join service behind a concurrent TCP front end.
+//!
+//! ```text
+//! $ mmjoin-netd --addr 127.0.0.1:7878 --workers 4 --queue 64
+//! mmjoin-netd listening on 127.0.0.1:7878 (4 workers, queue 64, quota 16, 8 shards)
+//! ```
+//!
+//! Drive it with `mmjoin-cli` (same command grammar as `mmjoin-serve`).
+//! Send the `shutdown` command to stop it gracefully: admitted queries
+//! finish and are answered, new ones get a SHUTTING-DOWN status.
+
+use mmjoin_net::{serve, NetConfig};
+use mmjoin_service::{Service, ServiceConfig};
+use std::sync::Arc;
+
+fn arg_value<T: std::str::FromStr>(flag: &str) -> Option<T> {
+    std::env::args()
+        .skip_while(|a| a != flag)
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+}
+
+fn main() {
+    let addr: String = arg_value("--addr").unwrap_or_else(|| "127.0.0.1:7878".into());
+    let workers: usize = arg_value("--workers").unwrap_or(4);
+    let queue: usize = arg_value("--queue").unwrap_or(64);
+    let quota: usize = arg_value("--quota").unwrap_or(0);
+    let dispatchers: usize = arg_value("--dispatchers").unwrap_or(workers);
+    let shards: usize = arg_value("--shards").unwrap_or(8);
+
+    let service = Arc::new(Service::with_config(ServiceConfig {
+        workers,
+        catalog_shards: shards,
+        ..ServiceConfig::default()
+    }));
+
+    let server = match serve(
+        service,
+        NetConfig {
+            addr,
+            queue_capacity: queue,
+            per_client_quota: quota,
+            dispatchers,
+        },
+    ) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("mmjoin-netd: bind failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    // The "listening" line is the readiness signal scripts wait for.
+    println!(
+        "mmjoin-netd listening on {} ({workers} workers, queue {queue}, quota {}, {shards} shards)",
+        server.addr(),
+        if quota == 0 {
+            (queue / 4).max(1)
+        } else {
+            quota
+        },
+    );
+    server.wait();
+    println!("mmjoin-netd: drained and stopped");
+}

@@ -1,0 +1,115 @@
+//! Length-prefixed framing: every message on the wire is a `u32`
+//! little-endian payload length followed by exactly that many bytes.
+//!
+//! The prefix makes message boundaries explicit (no sentinel scanning,
+//! payloads may contain anything) and lets the reader pre-size its
+//! buffer; [`MAX_FRAME`] caps that allocation so a corrupt or hostile
+//! prefix cannot balloon memory.
+
+use std::io::{self, Read, Write};
+
+/// Upper bound on a single frame's payload (16 MiB). Row dumps from
+/// `query … show <n>` are the largest legitimate payloads; anything
+/// beyond this is treated as a protocol error, not an allocation.
+pub const MAX_FRAME: u32 = 16 * 1024 * 1024;
+
+/// Writes one frame (length prefix + payload) and flushes.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    let len = u32::try_from(payload.len())
+        .ok()
+        .filter(|&l| l <= MAX_FRAME)
+        .ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "frame of {} bytes exceeds MAX_FRAME {MAX_FRAME}",
+                    payload.len()
+                ),
+            )
+        })?;
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one frame's payload. Returns `Ok(None)` on a clean EOF at a
+/// frame boundary (the peer closed between messages); EOF mid-frame is
+/// an `UnexpectedEof` error.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
+    // Fill the prefix byte-wise so a clean EOF *before* it (Ok(None))
+    // is distinguishable from an EOF *inside* it (UnexpectedEof).
+    let mut prefix = [0u8; 4];
+    let mut filled = 0;
+    while filled < 4 {
+        match r.read(&mut prefix[filled..]) {
+            Ok(0) if filled == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-prefix",
+                ))
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    let len = u32::from_le_bytes(prefix);
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds MAX_FRAME {MAX_FRAME}"),
+        ));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_and_boundary_eof() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        write_frame(&mut buf, &[0xFF; 300]).unwrap();
+
+        let mut r = &buf[..];
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"hello");
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"");
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), vec![0xFF; 300]);
+        assert!(read_frame(&mut r).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn eof_mid_frame_is_an_error() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"truncated payload").unwrap();
+        let mut r = &buf[..buf.len() - 3];
+        assert_eq!(
+            read_frame(&mut r).unwrap_err().kind(),
+            io::ErrorKind::UnexpectedEof
+        );
+        // Truncated inside the prefix itself is also mid-frame.
+        let mut r = &buf[..2];
+        assert_eq!(
+            read_frame(&mut r).unwrap_err().kind(),
+            io::ErrorKind::UnexpectedEof
+        );
+    }
+
+    #[test]
+    fn oversized_prefix_is_rejected_without_allocating() {
+        let bad = (MAX_FRAME + 1).to_le_bytes();
+        let mut r = &bad[..];
+        assert_eq!(
+            read_frame(&mut r).unwrap_err().kind(),
+            io::ErrorKind::InvalidData
+        );
+        let mut w = Vec::new();
+        assert!(write_frame(&mut w, &vec![0u8; MAX_FRAME as usize + 1]).is_err());
+    }
+}

@@ -1,0 +1,266 @@
+//! The framed message vocabulary: one request shape, one response
+//! shape, encoded as tagged byte payloads inside [`frame`](crate::frame)
+//! frames.
+//!
+//! ```text
+//! request  := 0x01  id:u64le  len:u32le  line:utf8[len]
+//! response := 0x02  id:u64le  status:u8  len:u32le  body:utf8[len]
+//! ```
+//!
+//! `id` is a client-chosen correlation number echoed back verbatim, so
+//! a client may pipeline requests and match answers out of band. The
+//! `line` is a command in the shared grammar
+//! ([`mmjoin_service::command`]); the `body` is the same text the stdin
+//! REPL would print (minus the `ok `/`err ` prefix, which the status
+//! byte replaces).
+
+use std::io;
+
+/// Response status byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Status {
+    /// Command succeeded; body is the `ok …` answer text.
+    Ok = 0,
+    /// Command failed (parse or execution); body is the error text.
+    Err = 1,
+    /// Admission control bounced the request — the queue (or this
+    /// client's fair share of it) is full. Retry later.
+    Overloaded = 2,
+    /// The server is draining for shutdown; no new work is accepted.
+    ShuttingDown = 3,
+}
+
+impl Status {
+    fn from_byte(b: u8) -> io::Result<Status> {
+        Ok(match b {
+            0 => Status::Ok,
+            1 => Status::Err,
+            2 => Status::Overloaded,
+            3 => Status::ShuttingDown,
+            other => return Err(bad(format!("unknown status byte {other:#04x}"))),
+        })
+    }
+}
+
+impl std::fmt::Display for Status {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Status::Ok => "ok",
+            Status::Err => "err",
+            Status::Overloaded => "overloaded",
+            Status::ShuttingDown => "shutting-down",
+        })
+    }
+}
+
+const TAG_REQUEST: u8 = 0x01;
+const TAG_RESPONSE: u8 = 0x02;
+
+/// One command line travelling client → server.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireRequest {
+    /// Client-chosen correlation id, echoed in the response.
+    pub id: u64,
+    /// A command in the shared grammar (`query twopath R S`, …).
+    pub line: String,
+}
+
+/// One answer travelling server → client.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireResponse {
+    /// Correlation id of the request this answers.
+    pub id: u64,
+    /// Outcome class; replaces the REPL's `ok `/`err ` prefix.
+    pub status: Status,
+    /// Answer text (possibly multi-line for `show`/`catalog`).
+    pub body: String,
+}
+
+impl WireRequest {
+    /// Serializes into a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let line = self.line.as_bytes();
+        let mut out = Vec::with_capacity(1 + 8 + 4 + line.len());
+        out.push(TAG_REQUEST);
+        out.extend_from_slice(&self.id.to_le_bytes());
+        out.extend_from_slice(&(line.len() as u32).to_le_bytes());
+        out.extend_from_slice(line);
+        out
+    }
+
+    /// Parses a frame payload; rejects wrong tags, short payloads,
+    /// length mismatches, and non-UTF-8 command text.
+    pub fn decode(payload: &[u8]) -> io::Result<WireRequest> {
+        let mut c = Cursor::new(payload);
+        c.expect_tag(TAG_REQUEST, "request")?;
+        let id = c.u64()?;
+        let line = c.string()?;
+        c.finish()?;
+        Ok(WireRequest { id, line })
+    }
+}
+
+impl WireResponse {
+    /// Serializes into a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let body = self.body.as_bytes();
+        let mut out = Vec::with_capacity(1 + 8 + 1 + 4 + body.len());
+        out.push(TAG_RESPONSE);
+        out.extend_from_slice(&self.id.to_le_bytes());
+        out.push(self.status as u8);
+        out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        out.extend_from_slice(body);
+        out
+    }
+
+    /// Parses a frame payload (mirror of [`WireResponse::encode`]).
+    pub fn decode(payload: &[u8]) -> io::Result<WireResponse> {
+        let mut c = Cursor::new(payload);
+        c.expect_tag(TAG_RESPONSE, "response")?;
+        let id = c.u64()?;
+        let status = Status::from_byte(c.u8()?)?;
+        let body = c.string()?;
+        c.finish()?;
+        Ok(WireResponse { id, status, body })
+    }
+}
+
+fn bad(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// Minimal checked reader over a frame payload.
+struct Cursor<'a> {
+    rest: &'a [u8],
+}
+
+impl<'a> Cursor<'a> {
+    fn new(rest: &'a [u8]) -> Self {
+        Self { rest }
+    }
+
+    fn take(&mut self, n: usize) -> io::Result<&'a [u8]> {
+        if self.rest.len() < n {
+            return Err(bad(format!(
+                "payload truncated: wanted {n} more bytes, have {}",
+                self.rest.len()
+            )));
+        }
+        let (head, tail) = self.rest.split_at(n);
+        self.rest = tail;
+        Ok(head)
+    }
+
+    fn u8(&mut self) -> io::Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u64(&mut self) -> io::Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn string(&mut self) -> io::Result<String> {
+        let len = u32::from_le_bytes(self.take(4)?.try_into().unwrap()) as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| bad("text field is not UTF-8"))
+    }
+
+    fn expect_tag(&mut self, tag: u8, what: &str) -> io::Result<()> {
+        let got = self.u8()?;
+        if got != tag {
+            return Err(bad(format!(
+                "expected {what} tag {tag:#04x}, got {got:#04x}"
+            )));
+        }
+        Ok(())
+    }
+
+    fn finish(&self) -> io::Result<()> {
+        if !self.rest.is_empty() {
+            return Err(bad(format!(
+                "{} trailing bytes after message",
+                self.rest.len()
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_round_trip() {
+        let req = WireRequest {
+            id: 0xDEAD_BEEF_0042,
+            line: "query twopath R S show 5".into(),
+        };
+        assert_eq!(WireRequest::decode(&req.encode()).unwrap(), req);
+    }
+
+    #[test]
+    fn response_round_trip_all_statuses() {
+        for status in [
+            Status::Ok,
+            Status::Err,
+            Status::Overloaded,
+            Status::ShuttingDown,
+        ] {
+            let resp = WireResponse {
+                id: 7,
+                status,
+                body: "multi\n  line\n  body".into(),
+            };
+            assert_eq!(WireResponse::decode(&resp.encode()).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn decode_rejects_corruption() {
+        let good = WireRequest {
+            id: 1,
+            line: "stats".into(),
+        }
+        .encode();
+
+        // Wrong tag.
+        let mut bad_tag = good.clone();
+        bad_tag[0] = 0x7F;
+        assert!(WireRequest::decode(&bad_tag).is_err());
+
+        // Response tag fed to the request decoder and vice versa.
+        assert!(WireResponse::decode(&good).is_err());
+
+        // Truncation at every prefix length must error, never panic.
+        for cut in 0..good.len() {
+            assert!(WireRequest::decode(&good[..cut]).is_err(), "cut={cut}");
+        }
+
+        // Trailing garbage.
+        let mut trailing = good.clone();
+        trailing.push(0);
+        assert!(WireRequest::decode(&trailing).is_err());
+
+        // Non-UTF-8 command text.
+        let mut non_utf8 = WireRequest {
+            id: 2,
+            line: "ab".into(),
+        }
+        .encode();
+        let n = non_utf8.len();
+        non_utf8[n - 1] = 0xFF;
+        assert!(WireRequest::decode(&non_utf8).is_err());
+
+        // Unknown status byte.
+        let mut resp = WireResponse {
+            id: 3,
+            status: Status::Ok,
+            body: String::new(),
+        }
+        .encode();
+        resp[9] = 9;
+        assert!(WireResponse::decode(&resp).is_err());
+    }
+}

@@ -19,12 +19,16 @@
 //!
 //! Run with `--workers <n>` to size the pool (default 4). Type `help`
 //! for the full command list.
+//!
+//! The grammar and the interpreter live in
+//! [`mmjoin_service::command`] — the exact same layer `mmjoin-netd`
+//! dispatches over TCP, so the two transports can never drift. This
+//! binary is only the stdin/stdout plumbing. Bad lines are answered
+//! with `err … (offending token: …)`, never silently skipped.
 
-use mmjoin_service::{AtomSpec, MaintenanceReport, Request, Service};
-use mmjoin_storage::io::read_edge_list;
-use mmjoin_storage::{Edge, Relation, RelationBuilder};
+use mmjoin_service::command::{self, Command};
+use mmjoin_service::Service;
 use std::io::BufRead;
-use std::time::Instant;
 
 fn main() {
     let workers = std::env::args()
@@ -48,434 +52,21 @@ fn main() {
         if trimmed.is_empty() || trimmed.starts_with('#') {
             continue;
         }
-        if trimmed == "quit" || trimmed == "exit" {
-            println!("ok bye");
-            break;
-        }
-        match dispatch(&service, trimmed) {
-            Ok(answer) => println!("{answer}"),
-            Err(msg) => println!("err {msg}"),
+        match Command::parse(trimmed) {
+            Ok(cmd) => {
+                // On stdin, `shutdown` and `quit` both just end the
+                // session — queries already ran to completion, so the
+                // drain is trivially done.
+                let terminal = cmd.is_terminal();
+                match command::execute(&service, cmd) {
+                    Ok(answer) => println!("{answer}"),
+                    Err(msg) => println!("err {msg}"),
+                }
+                if terminal {
+                    break;
+                }
+            }
+            Err(err) => println!("err {err}"),
         }
     }
 }
-
-fn dispatch(service: &Service, line: &str) -> Result<String, String> {
-    let tokens: Vec<&str> = line.split_whitespace().collect();
-    match tokens[0] {
-        "help" => Ok(HELP.trim_end().to_string()),
-        "register" => {
-            let name = *tokens.get(1).ok_or("usage: register <name> <x,y> …")?;
-            let rel = parse_edges(&tokens[2..])?;
-            register_report(service, name, rel)
-        }
-        "load" => {
-            let name = *tokens.get(1).ok_or("usage: load <name> <path>")?;
-            let path = *tokens.get(2).ok_or("usage: load <name> <path>")?;
-            let file = std::fs::File::open(path).map_err(|e| format!("open {path}: {e}"))?;
-            let rel = read_edge_list(file).map_err(|e| format!("parse {path}: {e}"))?;
-            register_report(service, name, rel)
-        }
-        "gen" => {
-            let name = *tokens.get(1).ok_or("usage: gen <name> <dataset> <scale>")?;
-            let kind = parse_dataset(tokens.get(2).copied().ok_or("missing dataset")?)?;
-            let scale: f64 = tokens
-                .get(3)
-                .and_then(|s| s.parse().ok())
-                .ok_or("bad scale")?;
-            let rel = mmjoin_datagen::generate(kind, scale, 2020);
-            register_report(service, name, rel)
-        }
-        "update" => {
-            let name = *tokens.get(1).ok_or("usage: update <name> add <x,y> …")?;
-            if tokens.get(2) != Some(&"add") {
-                return Err("usage: update <name> add <x,y> …".into());
-            }
-            let old = service
-                .relation_edges(name)
-                .ok_or_else(|| format!("no relation `{name}`"))?;
-            let tuples_before = old.len();
-            let extra = parse_edges(&tokens[3..])?;
-            let mut b = RelationBuilder::new();
-            for (x, y) in old.into_iter().chain(extra.edges().iter().copied()) {
-                b.push(x, y);
-            }
-            let epoch = service.update(name, b.build()).map_err(|e| e.to_string())?;
-            let profile = service.relation_profile(name).unwrap();
-            Ok(format!(
-                "ok relation {name}: {} tuples (was {tuples_before}), epoch {epoch}",
-                profile.tuples
-            ))
-        }
-        "insert" => {
-            let name = *tokens.get(1).ok_or("usage: insert <name> <x,y> …")?;
-            let edges = parse_edge_pairs(&tokens[2..])?;
-            let report = service.insert(name, edges).map_err(|e| e.to_string())?;
-            Ok(delta_report(service, name, &report))
-        }
-        "delete" => {
-            let name = *tokens.get(1).ok_or("usage: delete <name> <x,y> …")?;
-            let edges = parse_edge_pairs(&tokens[2..])?;
-            let report = service.delete(name, edges).map_err(|e| e.to_string())?;
-            Ok(delta_report(service, name, &report))
-        }
-        "catalog" => {
-            let names = service.relation_names();
-            if names.is_empty() {
-                return Ok("ok catalog empty".into());
-            }
-            let mut out = format!(
-                "ok {} relations (epoch {})",
-                names.len(),
-                service.catalog_epoch()
-            );
-            for name in names {
-                let p = service.relation_profile(&name).unwrap();
-                out.push_str(&format!(
-                    "\n  {name}: {} tuples, {} sets, {} elements, max set {} / max element degree {}",
-                    p.tuples, p.active_x, p.active_y, p.max_x_degree, p.max_y_degree
-                ));
-            }
-            Ok(out)
-        }
-        "engines" => {
-            let names = service.registry().names();
-            Ok(format!("ok {} engines: {}", names.len(), names.join(", ")))
-        }
-        "stats" => Ok(format!("ok {}", service.metrics())),
-        "query" => run_query(service, &tokens[1..]),
-        "explain" => {
-            let (request, _) = parse_request(&tokens[1..])?;
-            let lines = service.explain(request).map_err(|e| e.to_string())?;
-            Ok(format!("ok {}", lines.join("\n  ")))
-        }
-        other => Err(format!("unknown command `{other}` (type `help`)")),
-    }
-}
-
-/// Parses everything after `query` / `explain` into a request plus the
-/// `show` flag. Accepts the per-family keyword forms *and* a datalog-ish
-/// general form `Q(x,w) :- R(x,y), S(y,z), T(z,w)`.
-fn parse_request(tokens: &[&str]) -> Result<(Request, bool), String> {
-    let family = *tokens.first().ok_or("usage: query <family|datalog> …")?;
-    let mut rest: Vec<&str> = tokens[1..].to_vec();
-
-    if family.contains('(') {
-        // Datalog form: strip trailing flags, re-join, parse the rule.
-        let mut rest: Vec<&str> = tokens.to_vec();
-        let show = take_flag(&mut rest, "show");
-        let limit = take_value(&mut rest, "limit")?;
-        let engine = take_str_value(&mut rest, "engine")?;
-        let mut request = parse_datalog(&rest.join(" "))?;
-        if let Some(limit) = limit {
-            request = request.limit(limit as u64);
-        }
-        if let Some(engine) = engine {
-            request = request.on_engine(engine);
-        }
-        return Ok((request, show));
-    }
-
-    let show = take_flag(&mut rest, "show");
-    let mut request = match family {
-        "twopath" => {
-            if rest.len() < 2 {
-                return Err("usage: query twopath <R> <S> …".into());
-            }
-            let (r, s) = (rest.remove(0), rest.remove(0));
-            let counts = take_flag(&mut rest, "counts");
-            let min = take_value(&mut rest, "min")?;
-            match (counts, min) {
-                (_, Some(c)) => Request::two_path_counts(r, s, c),
-                (true, None) => Request::two_path_counts(r, s, 1),
-                (false, None) => Request::two_path(r, s),
-            }
-        }
-        "star" => {
-            let mut names = Vec::new();
-            while !rest.is_empty() && !matches!(rest[0], "limit" | "engine") {
-                names.push(rest.remove(0));
-            }
-            if names.is_empty() {
-                return Err("usage: query star <R1> [… Rk] …".into());
-            }
-            Request::star(names)
-        }
-        "chain" => {
-            let mut names = Vec::new();
-            while !rest.is_empty() && !matches!(rest[0], "limit" | "engine") {
-                names.push(rest.remove(0));
-            }
-            if names.is_empty() {
-                return Err("usage: query chain <R1> [… Rk] …".into());
-            }
-            Request::chain(names)
-        }
-        "sim" => {
-            if rest.len() < 2 {
-                return Err("usage: query sim <R> <c> …".into());
-            }
-            let r = rest.remove(0);
-            let c: u32 = rest.remove(0).parse().map_err(|_| "bad threshold c")?;
-            let req = Request::similarity(r, c);
-            if take_flag(&mut rest, "ordered") {
-                req.ordered()
-            } else {
-                req
-            }
-        }
-        "contain" => {
-            if rest.is_empty() {
-                return Err("usage: query contain <R> …".into());
-            }
-            Request::containment(rest.remove(0))
-        }
-        other => return Err(format!("unknown query family `{other}`")),
-    };
-    if let Some(limit) = take_value(&mut rest, "limit")? {
-        request = request.limit(limit as u64);
-    }
-    if let Some(pos) = rest.iter().position(|&t| t == "engine") {
-        let name = *rest
-            .get(pos + 1)
-            .ok_or("engine flag needs a registry name")?;
-        request = request.on_engine(name);
-        rest.drain(pos..=pos + 1);
-    }
-    if !rest.is_empty() {
-        return Err(format!("unrecognised trailing tokens: {rest:?}"));
-    }
-    Ok((request, show))
-}
-
-fn run_query(service: &Service, tokens: &[&str]) -> Result<String, String> {
-    let (request, show) = parse_request(tokens)?;
-    let t0 = Instant::now();
-    let response = service.query(request).map_err(|e| e.to_string())?;
-    let secs = t0.elapsed().as_secs_f64();
-    let mut out = format!(
-        "ok rows {} engine {} cached {}{} {:.3}s{}",
-        response.rows.len(),
-        response.stats.engine,
-        response.cached,
-        if response.maintained {
-            " (maintained)"
-        } else {
-            ""
-        },
-        secs,
-        if response.truncated {
-            " (limit reached)"
-        } else {
-            ""
-        }
-    );
-    if show {
-        for (row, count) in response.rows.iter().zip(response.counts.iter()).take(20) {
-            let cells: Vec<String> = row.iter().map(u32::to_string).collect();
-            if *count > 0 {
-                out.push_str(&format!("\n  ({}) x{count}", cells.join(", ")));
-            } else {
-                out.push_str(&format!("\n  ({})", cells.join(", ")));
-            }
-        }
-        if response.rows.len() > 20 {
-            out.push_str(&format!("\n  … {} more", response.rows.len() - 20));
-        }
-    }
-    Ok(out)
-}
-
-fn register_report(service: &Service, name: &str, rel: Relation) -> Result<String, String> {
-    let epoch = service.register(name, rel);
-    let p = service.relation_profile(name).unwrap();
-    Ok(format!(
-        "ok relation {name}: {} tuples, {} sets, {} elements (epoch {epoch})",
-        p.tuples, p.active_x, p.active_y
-    ))
-}
-
-/// Parses `Q(x, w) :- R(x, y), S(y, z)` into a general request. The head
-/// name is cosmetic; variables are arbitrary identifiers interned to ids
-/// (canonicalization relabels them anyway).
-fn parse_datalog(text: &str) -> Result<Request, String> {
-    let (head, body) = text
-        .split_once(":-")
-        .ok_or("datalog query needs `Head(..) :- Body(..)`")?;
-    let mut vars: Vec<String> = Vec::new();
-    fn intern(vars: &mut Vec<String>, name: &str) -> u32 {
-        match vars.iter().position(|v| v == name) {
-            Some(i) => i as u32,
-            None => {
-                vars.push(name.to_string());
-                vars.len() as u32 - 1
-            }
-        }
-    }
-    let mut atoms = Vec::new();
-    for frag in body.split(')') {
-        let frag = frag.trim().trim_start_matches(',').trim();
-        if frag.is_empty() {
-            continue;
-        }
-        let (name, vs) = parse_rule_atom(&format!("{frag})"))?;
-        if vs.len() != 2 {
-            return Err(format!(
-                "atom `{name}` must have exactly 2 variables, got {}",
-                vs.len()
-            ));
-        }
-        let (x, y) = (intern(&mut vars, &vs[0]), intern(&mut vars, &vs[1]));
-        atoms.push(AtomSpec {
-            relation: name,
-            x,
-            y,
-        });
-    }
-    if atoms.is_empty() {
-        return Err("rule body has no atoms".into());
-    }
-    let (_, head_vars) = parse_rule_atom(head)?;
-    let mut projection = Vec::with_capacity(head_vars.len());
-    for v in &head_vars {
-        if !vars.contains(v) {
-            return Err(format!("head variable `{v}` does not occur in the body"));
-        }
-        projection.push(intern(&mut vars, v));
-    }
-    Ok(Request::general(atoms, projection))
-}
-
-/// `Name(v1, v2, …)` → `(name, vars)`.
-fn parse_rule_atom(text: &str) -> Result<(String, Vec<String>), String> {
-    let text = text.trim();
-    let (name, rest) = text
-        .split_once('(')
-        .ok_or_else(|| format!("bad atom `{text}` (expected `Name(v, …)`)"))?;
-    let inner = rest
-        .trim()
-        .strip_suffix(')')
-        .ok_or_else(|| format!("bad atom `{text}` (missing `)`)"))?;
-    let name = name.trim();
-    if name.is_empty() {
-        return Err(format!("bad atom `{text}` (missing relation name)"));
-    }
-    let vars: Vec<String> = inner.split(',').map(|v| v.trim().to_string()).collect();
-    if vars.iter().any(String::is_empty) {
-        return Err(format!("bad atom `{text}` (empty variable name)"));
-    }
-    Ok((name.to_string(), vars))
-}
-
-fn parse_edges(tokens: &[&str]) -> Result<Relation, String> {
-    let mut b = RelationBuilder::new();
-    for (x, y) in parse_edge_pairs(tokens)? {
-        b.push(x, y);
-    }
-    Ok(b.build())
-}
-
-fn parse_edge_pairs(tokens: &[&str]) -> Result<Vec<Edge>, String> {
-    if tokens.is_empty() {
-        return Err("no edges given (format: x,y)".into());
-    }
-    tokens
-        .iter()
-        .map(|t| {
-            let (x, y) = t.split_once(',').ok_or_else(|| format!("bad edge `{t}`"))?;
-            let x: u32 = x.trim().parse().map_err(|_| format!("bad edge `{t}`"))?;
-            let y: u32 = y.trim().parse().map_err(|_| format!("bad edge `{t}`"))?;
-            Ok((x, y))
-        })
-        .collect()
-}
-
-/// Renders the outcome of an insert/delete batch: what changed and how
-/// each affected cached result was refreshed.
-fn delta_report(service: &Service, name: &str, report: &MaintenanceReport) -> String {
-    let profile = service.relation_profile(name).expect("relation exists");
-    if report.is_noop() {
-        return format!(
-            "ok relation {name}: unchanged ({} tuples, epoch {}), cache untouched",
-            profile.tuples, report.epoch
-        );
-    }
-    format!(
-        "ok relation {name}: +{} -{} tuples (now {}), epoch {}, \
-         cache maintained {} recomputed {} invalidated {}",
-        report.inserted,
-        report.deleted,
-        profile.tuples,
-        report.epoch,
-        report.maintained,
-        report.recomputed,
-        report.invalidated
-    )
-}
-
-fn parse_dataset(name: &str) -> Result<mmjoin_datagen::DatasetKind, String> {
-    use mmjoin_datagen::DatasetKind;
-    DatasetKind::ALL
-        .into_iter()
-        .find(|k| k.name().eq_ignore_ascii_case(name))
-        .ok_or_else(|| {
-            format!(
-                "unknown dataset `{name}` (one of: {})",
-                DatasetKind::ALL.map(|k| k.name()).join(", ")
-            )
-        })
-}
-
-/// Removes `flag` from `rest` if present, reporting whether it was.
-fn take_flag(rest: &mut Vec<&str>, flag: &str) -> bool {
-    match rest.iter().position(|&t| t == flag) {
-        Some(pos) => {
-            rest.remove(pos);
-            true
-        }
-        None => false,
-    }
-}
-
-/// Removes `key <value>` from `rest` if present, returning the value.
-fn take_str_value(rest: &mut Vec<&str>, key: &str) -> Result<Option<String>, String> {
-    let Some(pos) = rest.iter().position(|&t| t == key) else {
-        return Ok(None);
-    };
-    let value = rest
-        .get(pos + 1)
-        .map(|v| v.to_string())
-        .ok_or_else(|| format!("`{key}` needs a value"))?;
-    rest.drain(pos..=pos + 1);
-    Ok(Some(value))
-}
-
-/// Removes `key <u32>` from `rest` if present.
-fn take_value(rest: &mut Vec<&str>, key: &str) -> Result<Option<u32>, String> {
-    let Some(pos) = rest.iter().position(|&t| t == key) else {
-        return Ok(None);
-    };
-    let value = rest
-        .get(pos + 1)
-        .and_then(|v| v.parse().ok())
-        .ok_or_else(|| format!("`{key}` needs a number"))?;
-    rest.drain(pos..=pos + 1);
-    Ok(Some(value))
-}
-
-const HELP: &str = "ok commands:
-  register <name> <x,y> [<x,y> …]     inline edge list
-  load <name> <path>                  whitespace edge-list file
-  gen <name> <dataset> <scale>        synthetic Table-2 dataset (DBLP, RoadNet, Jokes, Words, Protein, Image)
-  update <name> add <x,y> [<x,y> …]   add tuples by full re-registration (bumps epoch, invalidates cache)
-  insert <name> <x,y> [<x,y> …]       staged delta: cached results are maintained in place
-  delete <name> <x,y> [<x,y> …]       staged delta: deletions tracked via support counts
-  query twopath <R> <S> [counts] [min <c>] [limit <n>] [engine <E>] [show]
-  query star <R1> <R2> [… Rk] [limit <n>] [show]
-  query chain <R1> <R2> [… Rk] [limit <n>] [engine <E>] [show]
-  query sim <R> <c> [ordered] [limit <n>] [show]
-  query contain <R> [limit <n>] [show]
-  query Q(x,w) :- R(x,y), S(y,z), T(z,w)   general acyclic query, datalog style
-                                           ([limit <n>] [engine <E>] [show] after the rule)
-  explain <query …>                        chosen engine + decomposition, without executing
-  catalog | engines | stats | help | quit
-";

@@ -1,5 +1,6 @@
 //! The relation catalog: named, immutable, stat-profiled relations with
-//! an epoch per entry.
+//! an epoch per entry — plus the sharded, lock-striped wrapper the
+//! concurrent service reads through.
 //!
 //! Registration pays the indexing and profiling cost **once** — the
 //! degree histograms the §5 threshold machinery needs are computed here,
@@ -7,11 +8,24 @@
 //! epoch. Epochs make cache invalidation free: the result cache keys on
 //! `(fingerprint, epochs of referenced relations)`, so a stale entry is
 //! simply never looked up again and ages out of the LRU.
+//!
+//! [`ShardedCatalog`] stripes the name space over `N` independent
+//! [`Catalog`]s, each behind its own `RwLock` with its own epoch
+//! counter. A query [pins](ShardedCatalog::pin) an *epoch vector*: it
+//! read-locks every shard it touches (ascending shard order, so pinning
+//! is deadlock-free), copies out `(relation handle, epoch)` per name,
+//! and releases — a consistent cross-shard cut, because any update to a
+//! touched relation would need that shard's write lock. Updates publish
+//! a new epoch on their own shard only, so an update to relation `A`
+//! never stalls readers of relation `B` on another shard, and — since
+//! the result cache keys on per-relation epochs — never invalidates
+//! `B`'s cache entries either.
 
 use crate::error::ServiceError;
-use mmjoin_storage::{DegreeHistogram, NormalizedDelta, Relation, RelationDelta};
+use crate::request::Fnv1a;
+use mmjoin_storage::{DegreeHistogram, Edge, NormalizedDelta, Relation, RelationDelta};
 use std::collections::BTreeMap;
-use std::sync::Arc;
+use std::sync::{Arc, PoisonError, RwLock, RwLockReadGuard};
 
 /// The per-relation statistics profile, computed once at registration.
 #[derive(Debug, Clone)]
@@ -208,6 +222,208 @@ impl Catalog {
     }
 }
 
+/// A lock-striped catalog: `N` independent [`Catalog`] shards, each with
+/// its own `RwLock` and epoch counter, keyed by a stable hash of the
+/// (trimmed) relation name.
+///
+/// Every lock acquisition recovers from poisoning — the shard state is
+/// always valid across a panic because [`Catalog`] commits entries
+/// atomically (see the service-level rationale on `Inner`).
+#[derive(Debug)]
+pub struct ShardedCatalog {
+    shards: Vec<RwLock<Catalog>>,
+}
+
+impl ShardedCatalog {
+    /// A catalog striped over `shards` locks (clamped to ≥ 1).
+    pub fn new(shards: usize) -> Self {
+        Self {
+            shards: (0..shards.max(1))
+                .map(|_| RwLock::new(Catalog::new()))
+                .collect(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard index `name` lives on. Stable across runs (FNV-1a of
+    /// the trimmed name), so tests and benches can pick names on
+    /// distinct shards deliberately.
+    pub fn shard_of(&self, name: &str) -> usize {
+        let mut h = Fnv1a::new();
+        h.bytes(name.trim().as_bytes());
+        (h.finish() % self.shards.len() as u64) as usize
+    }
+
+    fn read_shard(&self, name: &str) -> RwLockReadGuard<'_, Catalog> {
+        self.shards[self.shard_of(name)]
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Registers (or replaces) `name` on its shard. See
+    /// [`Catalog::register`].
+    pub fn register(&self, name: impl Into<String>, relation: Relation) -> u64 {
+        let name = name.into();
+        self.shards[self.shard_of(&name)]
+            .write()
+            .unwrap_or_else(PoisonError::into_inner)
+            .register(name, relation)
+    }
+
+    /// Replaces an existing relation on its shard. See
+    /// [`Catalog::update`].
+    pub fn update(&self, name: &str, relation: Relation) -> Result<u64, ServiceError> {
+        self.shards[self.shard_of(name)]
+            .write()
+            .unwrap_or_else(PoisonError::into_inner)
+            .update(name, relation)
+    }
+
+    /// Applies a staged tuple batch on the owning shard, holding only
+    /// that shard's write lock. See [`Catalog::apply_delta`].
+    pub fn apply_delta(
+        &self,
+        name: &str,
+        delta: &RelationDelta,
+    ) -> Result<StagedUpdate, ServiceError> {
+        self.shards[self.shard_of(name)]
+            .write()
+            .unwrap_or_else(PoisonError::into_inner)
+            .apply_delta(name, delta)
+    }
+
+    /// Removes `name` from its shard.
+    pub fn remove(&self, name: &str) -> bool {
+        self.shards[self.shard_of(name)]
+            .write()
+            .unwrap_or_else(PoisonError::into_inner)
+            .remove(name)
+    }
+
+    /// The catalog-wide epoch: the sum of the per-shard epoch counters.
+    /// Monotone under every effective register/update/remove, unchanged
+    /// by no-ops — but updates on one shard are invisible to entry
+    /// epochs on another.
+    pub fn epoch(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.read().unwrap_or_else(PoisonError::into_inner).epoch())
+            .sum()
+    }
+
+    /// All registered names, merged and sorted across shards.
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .shards
+            .iter()
+            .flat_map(|s| {
+                s.read()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .names()
+                    .into_iter()
+                    .map(str::to_string)
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        names.sort();
+        names
+    }
+
+    /// Total registered relations.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.read().unwrap_or_else(PoisonError::into_inner).len())
+            .sum()
+    }
+
+    /// Whether no relation is registered on any shard.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The cached statistics profile of `name`, if registered.
+    pub fn profile(&self, name: &str) -> Option<Arc<RelationProfile>> {
+        self.read_shard(name)
+            .get(name)
+            .map(|e| Arc::clone(&e.profile))
+    }
+
+    /// A snapshot of `name`'s current tuples, if registered.
+    pub fn edges(&self, name: &str) -> Option<Vec<Edge>> {
+        self.read_shard(name)
+            .get(name)
+            .map(|e| e.relation.edges().to_vec())
+    }
+
+    /// The current epoch of `name`'s entry, if registered.
+    pub fn entry_epoch(&self, name: &str) -> Option<u64> {
+        self.read_shard(name).get(name).map(|e| e.epoch)
+    }
+
+    /// Pins an epoch vector for a query: read-locks every shard the
+    /// names touch **simultaneously** (ascending shard order —
+    /// deadlock-free because every pinner uses the same order), copies
+    /// out the relation handles and epochs in request order, and
+    /// releases. The result is a consistent cross-shard cut: no touched
+    /// relation can change while the guards are held, and execution
+    /// proceeds on the pinned `Arc` handles without any lock.
+    pub fn pin(&self, names: &[&str]) -> Result<(Vec<Arc<Relation>>, Vec<u64>), ServiceError> {
+        let guards = self.lock_touched(names);
+        let mut handles = Vec::with_capacity(names.len());
+        let mut epochs = Vec::with_capacity(names.len());
+        for name in names {
+            let entry = guards[self.shard_of(name)]
+                .as_ref()
+                .expect("touched shard is locked")
+                .resolve(name)?;
+            handles.push(Arc::clone(&entry.relation));
+            epochs.push(entry.epoch);
+        }
+        Ok((handles, epochs))
+    }
+
+    /// [`ShardedCatalog::pin`] for maintenance paths that must observe
+    /// missing entries instead of erroring: per name, `Some((relation,
+    /// epoch))` or `None` if unregistered, read under the same
+    /// simultaneous multi-shard cut.
+    pub fn snapshot(&self, names: &[&str]) -> Vec<Option<(Arc<Relation>, u64)>> {
+        let guards = self.lock_touched(names);
+        names
+            .iter()
+            .map(|name| {
+                guards[self.shard_of(name)]
+                    .as_ref()
+                    .expect("touched shard is locked")
+                    .get(name)
+                    .map(|e| (Arc::clone(&e.relation), e.epoch))
+            })
+            .collect()
+    }
+
+    /// Read-locks the shards `names` touch in ascending index order,
+    /// returning a shard-indexed guard table.
+    fn lock_touched(&self, names: &[&str]) -> Vec<Option<RwLockReadGuard<'_, Catalog>>> {
+        let mut guards: Vec<Option<RwLockReadGuard<'_, Catalog>>> =
+            (0..self.shards.len()).map(|_| None).collect();
+        let mut touched: Vec<usize> = names.iter().map(|n| self.shard_of(n)).collect();
+        touched.sort_unstable();
+        touched.dedup();
+        for index in touched {
+            guards[index] = Some(
+                self.shards[index]
+                    .read()
+                    .unwrap_or_else(PoisonError::into_inner),
+            );
+        }
+        guards
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -320,5 +536,77 @@ mod tests {
         c.register("a", rel(&[(0, 0)]));
         assert_eq!(c.names(), vec!["a", "b"]);
         assert_eq!(c.len(), 2);
+    }
+
+    /// Two names guaranteed to land on different shards of `c`.
+    fn names_on_distinct_shards(c: &ShardedCatalog) -> (String, String) {
+        let a = "r0".to_string();
+        let b = (0..100)
+            .map(|i| format!("s{i}"))
+            .find(|n| c.shard_of(n) != c.shard_of(&a))
+            .expect("some name lands on another shard");
+        (a, b)
+    }
+
+    #[test]
+    fn sharded_register_resolve_round_trip() {
+        let c = ShardedCatalog::new(8);
+        assert_eq!(c.shard_count(), 8);
+        assert!(c.is_empty());
+        let e1 = c.register("R", rel(&[(0, 0), (1, 0)]));
+        let e2 = c.register("S", rel(&[(2, 1)]));
+        assert!(e1 >= 1 && e2 >= 1);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.names(), vec!["R", "S"]);
+        assert_eq!(c.profile("R").unwrap().tuples, 2);
+        assert_eq!(c.edges("S").unwrap(), vec![(2, 1)]);
+        let (handles, epochs) = c.pin(&["R", "S", "R"]).unwrap();
+        assert_eq!(handles.len(), 3);
+        assert_eq!(epochs[0], epochs[2], "same entry pins the same epoch");
+        assert!(matches!(
+            c.pin(&["R", "nope"]),
+            Err(ServiceError::UnknownRelation(_))
+        ));
+        assert!(c.remove("R"));
+        assert!(c.snapshot(&["R", "S"])[0].is_none());
+        assert!(c.snapshot(&["S"])[0].is_some());
+    }
+
+    #[test]
+    fn sharded_update_bumps_only_its_shard() {
+        let c = ShardedCatalog::new(8);
+        let (a, b) = names_on_distinct_shards(&c);
+        c.register(&a, rel(&[(0, 0)]));
+        c.register(&b, rel(&[(1, 1)]));
+        let b_epoch = c.entry_epoch(&b).unwrap();
+        let a_epoch = c.entry_epoch(&a).unwrap();
+        for step in 0..4 {
+            c.update(&a, rel(&[(0, 0), (step + 1, 0)])).unwrap();
+        }
+        assert!(c.entry_epoch(&a).unwrap() > a_epoch, "A's epoch advances");
+        assert_eq!(
+            c.entry_epoch(&b).unwrap(),
+            b_epoch,
+            "B's epoch must be untouched by updates to A's shard"
+        );
+    }
+
+    #[test]
+    fn sharded_shard_of_is_stable_and_trims() {
+        let c = ShardedCatalog::new(5);
+        assert_eq!(c.shard_of("R"), c.shard_of(" R \t"));
+        let d = ShardedCatalog::new(5);
+        assert_eq!(c.shard_of("whatever"), d.shard_of("whatever"));
+    }
+
+    #[test]
+    fn single_shard_degenerates_to_plain_catalog() {
+        let c = ShardedCatalog::new(1);
+        c.register("a", rel(&[(0, 0)]));
+        c.register("b", rel(&[(1, 0)]));
+        assert_eq!(c.shard_of("a"), 0);
+        assert_eq!(c.epoch(), 2);
+        let (_, epochs) = c.pin(&["a", "b"]).unwrap();
+        assert_eq!(epochs, vec![1, 2]);
     }
 }

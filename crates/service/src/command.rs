@@ -1,0 +1,747 @@
+//! Shared command layer: one grammar, two transports.
+//!
+//! Both the stdin REPL (`mmjoin-serve`) and the TCP server
+//! (`mmjoin-netd`) speak the same line-oriented command language. This
+//! module owns the grammar — [`Command::parse`] turns a line into a
+//! typed [`Command`], reporting parse failures with the offending token
+//! — and the interpreter — [`execute`] runs a command against a
+//! [`Service`] and renders the single `ok …` / `err …` answer both
+//! transports print verbatim. Transports only differ in how lines
+//! arrive and where answers go.
+
+use crate::{AtomSpec, MaintenanceReport, Request, Service};
+use mmjoin_storage::io::read_edge_list;
+use mmjoin_storage::{Edge, Relation, RelationBuilder};
+use std::time::Instant;
+
+/// A parse failure carrying the token that caused it, so transports can
+/// point at the exact offender instead of swallowing bad lines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// The token (or fragment) that made the parse fail, when one is
+    /// identifiable; `None` for structural errors like a missing
+    /// argument.
+    pub token: Option<String>,
+    /// Human-readable description (usage string or reason).
+    pub message: String,
+}
+
+impl ParseError {
+    fn new(message: impl Into<String>) -> Self {
+        Self {
+            token: None,
+            message: message.into(),
+        }
+    }
+
+    fn at(token: impl Into<String>, message: impl Into<String>) -> Self {
+        Self {
+            token: Some(token.into()),
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.token {
+            Some(token) => write!(f, "{} (offending token: `{token}`)", self.message),
+            None => write!(f, "{}", self.message),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// One parsed command. Parsing is pure (no catalog lookups, no I/O —
+/// `load` keeps its path and opens it at execute time), so a `Command`
+/// can be validated on one thread and executed on another.
+#[derive(Debug)]
+pub enum Command {
+    /// `help`
+    Help,
+    /// `register <name> <x,y> …`
+    Register { name: String, relation: Relation },
+    /// `load <name> <path>`
+    Load { name: String, path: String },
+    /// `gen <name> <dataset> <scale>`
+    Gen {
+        name: String,
+        dataset: mmjoin_datagen::DatasetKind,
+        scale: f64,
+    },
+    /// `update <name> add <x,y> …` (full re-registration)
+    Update { name: String, edges: Vec<Edge> },
+    /// `insert <name> <x,y> …` (staged delta)
+    Insert { name: String, edges: Vec<Edge> },
+    /// `delete <name> <x,y> …` (staged delta)
+    Delete { name: String, edges: Vec<Edge> },
+    /// `catalog`
+    Catalog,
+    /// `engines`
+    Engines,
+    /// `stats`
+    Stats,
+    /// `query …`; `show` carries the max rows to print (None = don't).
+    Query {
+        request: Request,
+        show: Option<usize>,
+    },
+    /// `explain <query …>`
+    Explain { request: Request },
+    /// `quit` / `exit` — close this client's session.
+    Quit,
+    /// `shutdown` — stop the whole server, draining in-flight work.
+    Shutdown,
+}
+
+impl Command {
+    /// Parses one non-empty, non-comment line. The caller is expected
+    /// to skip blank lines and `#` comments (transport concerns).
+    pub fn parse(line: &str) -> Result<Command, ParseError> {
+        let tokens: Vec<&str> = line.split_whitespace().collect();
+        let Some(&head) = tokens.first() else {
+            return Err(ParseError::new("empty command"));
+        };
+        match head {
+            "help" => Ok(Command::Help),
+            "quit" | "exit" => Ok(Command::Quit),
+            "shutdown" => Ok(Command::Shutdown),
+            "catalog" => Ok(Command::Catalog),
+            "engines" => Ok(Command::Engines),
+            "stats" => Ok(Command::Stats),
+            "register" => {
+                let name = *tokens
+                    .get(1)
+                    .ok_or(ParseError::new("usage: register <name> <x,y> …"))?;
+                let relation = parse_edges(&tokens[2..])?;
+                Ok(Command::Register {
+                    name: name.to_string(),
+                    relation,
+                })
+            }
+            "load" => {
+                let name = *tokens
+                    .get(1)
+                    .ok_or(ParseError::new("usage: load <name> <path>"))?;
+                let path = *tokens
+                    .get(2)
+                    .ok_or(ParseError::new("usage: load <name> <path>"))?;
+                Ok(Command::Load {
+                    name: name.to_string(),
+                    path: path.to_string(),
+                })
+            }
+            "gen" => {
+                let name = *tokens
+                    .get(1)
+                    .ok_or(ParseError::new("usage: gen <name> <dataset> <scale>"))?;
+                let dataset = parse_dataset(
+                    tokens
+                        .get(2)
+                        .copied()
+                        .ok_or(ParseError::new("missing dataset"))?,
+                )?;
+                let scale_token = tokens
+                    .get(3)
+                    .copied()
+                    .ok_or(ParseError::new("missing scale"))?;
+                let scale: f64 = scale_token
+                    .parse()
+                    .map_err(|_| ParseError::at(scale_token, "bad scale"))?;
+                Ok(Command::Gen {
+                    name: name.to_string(),
+                    dataset,
+                    scale,
+                })
+            }
+            "update" => {
+                let name = *tokens
+                    .get(1)
+                    .ok_or(ParseError::new("usage: update <name> add <x,y> …"))?;
+                match tokens.get(2) {
+                    Some(&"add") => {}
+                    Some(&other) => {
+                        return Err(ParseError::at(other, "usage: update <name> add <x,y> …"))
+                    }
+                    None => return Err(ParseError::new("usage: update <name> add <x,y> …")),
+                }
+                Ok(Command::Update {
+                    name: name.to_string(),
+                    edges: parse_edge_pairs(&tokens[3..])?,
+                })
+            }
+            "insert" => {
+                let name = *tokens
+                    .get(1)
+                    .ok_or(ParseError::new("usage: insert <name> <x,y> …"))?;
+                Ok(Command::Insert {
+                    name: name.to_string(),
+                    edges: parse_edge_pairs(&tokens[2..])?,
+                })
+            }
+            "delete" => {
+                let name = *tokens
+                    .get(1)
+                    .ok_or(ParseError::new("usage: delete <name> <x,y> …"))?;
+                Ok(Command::Delete {
+                    name: name.to_string(),
+                    edges: parse_edge_pairs(&tokens[2..])?,
+                })
+            }
+            "query" => {
+                let (request, show) = parse_request(&tokens[1..])?;
+                Ok(Command::Query { request, show })
+            }
+            "explain" => {
+                let (request, _) = parse_request(&tokens[1..])?;
+                Ok(Command::Explain { request })
+            }
+            other => Err(ParseError::at(other, "unknown command (type `help`)")),
+        }
+    }
+
+    /// Commands that end the session (`quit`) or the server (`shutdown`).
+    pub fn is_terminal(&self) -> bool {
+        matches!(self, Command::Quit | Command::Shutdown)
+    }
+}
+
+/// Runs one command against the service. `Ok` answers already carry
+/// their leading `ok`; transports wrap `Err` in a leading `err `.
+pub fn execute(service: &Service, cmd: Command) -> Result<String, String> {
+    match cmd {
+        Command::Help => Ok(HELP.trim_end().to_string()),
+        Command::Register { name, relation } => register_report(service, &name, relation),
+        Command::Load { name, path } => {
+            let file = std::fs::File::open(&path).map_err(|e| format!("open {path}: {e}"))?;
+            let rel = read_edge_list(file).map_err(|e| format!("parse {path}: {e}"))?;
+            register_report(service, &name, rel)
+        }
+        Command::Gen {
+            name,
+            dataset,
+            scale,
+        } => {
+            let rel = mmjoin_datagen::generate(dataset, scale, 2020);
+            register_report(service, &name, rel)
+        }
+        Command::Update { name, edges } => {
+            let old = service
+                .relation_edges(&name)
+                .ok_or_else(|| format!("no relation `{name}`"))?;
+            let tuples_before = old.len();
+            let mut b = RelationBuilder::new();
+            for (x, y) in old.into_iter().chain(edges) {
+                b.push(x, y);
+            }
+            let epoch = service
+                .update(&name, b.build())
+                .map_err(|e| e.to_string())?;
+            let profile = service.relation_profile(&name).unwrap();
+            Ok(format!(
+                "ok relation {name}: {} tuples (was {tuples_before}), epoch {epoch}",
+                profile.tuples
+            ))
+        }
+        Command::Insert { name, edges } => {
+            let report = service.insert(&name, edges).map_err(|e| e.to_string())?;
+            Ok(delta_report(service, &name, &report))
+        }
+        Command::Delete { name, edges } => {
+            let report = service.delete(&name, edges).map_err(|e| e.to_string())?;
+            Ok(delta_report(service, &name, &report))
+        }
+        Command::Catalog => {
+            let names = service.relation_names();
+            if names.is_empty() {
+                return Ok("ok catalog empty".into());
+            }
+            let mut out = format!(
+                "ok {} relations (epoch {})",
+                names.len(),
+                service.catalog_epoch()
+            );
+            for name in names {
+                let p = service.relation_profile(&name).unwrap();
+                out.push_str(&format!(
+                    "\n  {name}: {} tuples, {} sets, {} elements, max set {} / max element degree {}",
+                    p.tuples, p.active_x, p.active_y, p.max_x_degree, p.max_y_degree
+                ));
+            }
+            Ok(out)
+        }
+        Command::Engines => {
+            let names = service.registry().names();
+            Ok(format!("ok {} engines: {}", names.len(), names.join(", ")))
+        }
+        Command::Stats => Ok(format!("ok {}", service.metrics())),
+        Command::Query { request, show } => run_query(service, request, show),
+        Command::Explain { request } => {
+            let lines = service.explain(request).map_err(|e| e.to_string())?;
+            Ok(format!("ok {}", lines.join("\n  ")))
+        }
+        Command::Quit => Ok("ok bye".into()),
+        Command::Shutdown => Ok("ok shutting down".into()),
+    }
+}
+
+/// Parses one line end to end and executes it — the convenience every
+/// transport dispatcher calls. Parse errors come back as the same
+/// `Err(String)` shape as execution errors (with the offending token).
+pub fn run_line(service: &Service, line: &str) -> Result<String, String> {
+    let cmd = Command::parse(line).map_err(|e| e.to_string())?;
+    execute(service, cmd)
+}
+
+/// Parses everything after `query` / `explain` into a request plus the
+/// `show [n]` row budget. Accepts the per-family keyword forms *and* a
+/// datalog-ish general form `Q(x,w) :- R(x,y), S(y,z), T(z,w)`.
+fn parse_request(tokens: &[&str]) -> Result<(Request, Option<usize>), ParseError> {
+    let family = *tokens
+        .first()
+        .ok_or(ParseError::new("usage: query <family|datalog> …"))?;
+    let mut rest: Vec<&str> = tokens[1..].to_vec();
+
+    if family.contains('(') {
+        // Datalog form: strip trailing flags, re-join, parse the rule.
+        let mut rest: Vec<&str> = tokens.to_vec();
+        let show = take_show(&mut rest);
+        let limit = take_value(&mut rest, "limit")?;
+        let engine = take_str_value(&mut rest, "engine")?;
+        let mut request = parse_datalog(&rest.join(" "))?;
+        if let Some(limit) = limit {
+            request = request.limit(limit as u64);
+        }
+        if let Some(engine) = engine {
+            request = request.on_engine(engine);
+        }
+        return Ok((request, show));
+    }
+
+    let show = take_show(&mut rest);
+    let mut request = match family {
+        "twopath" => {
+            if rest.len() < 2 {
+                return Err(ParseError::new("usage: query twopath <R> <S> …"));
+            }
+            let (r, s) = (rest.remove(0), rest.remove(0));
+            let counts = take_flag(&mut rest, "counts");
+            let min = take_value(&mut rest, "min")?;
+            match (counts, min) {
+                (_, Some(c)) => Request::two_path_counts(r, s, c),
+                (true, None) => Request::two_path_counts(r, s, 1),
+                (false, None) => Request::two_path(r, s),
+            }
+        }
+        "star" => {
+            let mut names = Vec::new();
+            while !rest.is_empty() && !matches!(rest[0], "limit" | "engine") {
+                names.push(rest.remove(0));
+            }
+            if names.is_empty() {
+                return Err(ParseError::new("usage: query star <R1> [… Rk] …"));
+            }
+            Request::star(names)
+        }
+        "chain" => {
+            let mut names = Vec::new();
+            while !rest.is_empty() && !matches!(rest[0], "limit" | "engine") {
+                names.push(rest.remove(0));
+            }
+            if names.is_empty() {
+                return Err(ParseError::new("usage: query chain <R1> [… Rk] …"));
+            }
+            Request::chain(names)
+        }
+        "sim" => {
+            if rest.len() < 2 {
+                return Err(ParseError::new("usage: query sim <R> <c> …"));
+            }
+            let r = rest.remove(0);
+            let c_token = rest.remove(0);
+            let c: u32 = c_token
+                .parse()
+                .map_err(|_| ParseError::at(c_token, "bad threshold c"))?;
+            let req = Request::similarity(r, c);
+            if take_flag(&mut rest, "ordered") {
+                req.ordered()
+            } else {
+                req
+            }
+        }
+        "contain" => {
+            if rest.is_empty() {
+                return Err(ParseError::new("usage: query contain <R> …"));
+            }
+            Request::containment(rest.remove(0))
+        }
+        other => return Err(ParseError::at(other, "unknown query family")),
+    };
+    if let Some(limit) = take_value(&mut rest, "limit")? {
+        request = request.limit(limit as u64);
+    }
+    if let Some(pos) = rest.iter().position(|&t| t == "engine") {
+        let name = *rest.get(pos + 1).ok_or(ParseError::at(
+            "engine",
+            "engine flag needs a registry name",
+        ))?;
+        request = request.on_engine(name);
+        rest.drain(pos..=pos + 1);
+    }
+    if !rest.is_empty() {
+        return Err(ParseError::at(
+            rest.join(" "),
+            "unrecognised trailing tokens",
+        ));
+    }
+    Ok((request, show))
+}
+
+fn run_query(service: &Service, request: Request, show: Option<usize>) -> Result<String, String> {
+    let t0 = Instant::now();
+    let response = service.query(request).map_err(|e| e.to_string())?;
+    let secs = t0.elapsed().as_secs_f64();
+    let mut out = format!(
+        "ok rows {} engine {} cached {}{} {:.3}s{}",
+        response.rows.len(),
+        response.stats.engine,
+        response.cached,
+        if response.maintained {
+            " (maintained)"
+        } else {
+            ""
+        },
+        secs,
+        if response.truncated {
+            " (limit reached)"
+        } else {
+            ""
+        }
+    );
+    if let Some(max_rows) = show {
+        for (row, count) in response
+            .rows
+            .iter()
+            .zip(response.counts.iter())
+            .take(max_rows)
+        {
+            let cells: Vec<String> = row.iter().map(u32::to_string).collect();
+            if *count > 0 {
+                out.push_str(&format!("\n  ({}) x{count}", cells.join(", ")));
+            } else {
+                out.push_str(&format!("\n  ({})", cells.join(", ")));
+            }
+        }
+        if response.rows.len() > max_rows {
+            out.push_str(&format!("\n  … {} more", response.rows.len() - max_rows));
+        }
+    }
+    Ok(out)
+}
+
+fn register_report(service: &Service, name: &str, rel: Relation) -> Result<String, String> {
+    let epoch = service.register(name, rel);
+    let p = service.relation_profile(name).unwrap();
+    Ok(format!(
+        "ok relation {name}: {} tuples, {} sets, {} elements (epoch {epoch})",
+        p.tuples, p.active_x, p.active_y
+    ))
+}
+
+/// Parses `Q(x, w) :- R(x, y), S(y, z)` into a general request. The head
+/// name is cosmetic; variables are arbitrary identifiers interned to ids
+/// (canonicalization relabels them anyway).
+fn parse_datalog(text: &str) -> Result<Request, ParseError> {
+    let (head, body) = text.split_once(":-").ok_or(ParseError::new(
+        "datalog query needs `Head(..) :- Body(..)`",
+    ))?;
+    let mut vars: Vec<String> = Vec::new();
+    fn intern(vars: &mut Vec<String>, name: &str) -> u32 {
+        match vars.iter().position(|v| v == name) {
+            Some(i) => i as u32,
+            None => {
+                vars.push(name.to_string());
+                vars.len() as u32 - 1
+            }
+        }
+    }
+    let mut atoms = Vec::new();
+    for frag in body.split(')') {
+        let frag = frag.trim().trim_start_matches(',').trim();
+        if frag.is_empty() {
+            continue;
+        }
+        let (name, vs) = parse_rule_atom(&format!("{frag})"))?;
+        if vs.len() != 2 {
+            return Err(ParseError::at(
+                frag,
+                format!(
+                    "atom `{name}` must have exactly 2 variables, got {}",
+                    vs.len()
+                ),
+            ));
+        }
+        let (x, y) = (intern(&mut vars, &vs[0]), intern(&mut vars, &vs[1]));
+        atoms.push(AtomSpec {
+            relation: name,
+            x,
+            y,
+        });
+    }
+    if atoms.is_empty() {
+        return Err(ParseError::new("rule body has no atoms"));
+    }
+    let (_, head_vars) = parse_rule_atom(head)?;
+    let mut projection = Vec::with_capacity(head_vars.len());
+    for v in &head_vars {
+        if !vars.contains(v) {
+            return Err(ParseError::at(
+                v,
+                "head variable does not occur in the body",
+            ));
+        }
+        projection.push(intern(&mut vars, v));
+    }
+    Ok(Request::general(atoms, projection))
+}
+
+/// `Name(v1, v2, …)` → `(name, vars)`.
+fn parse_rule_atom(text: &str) -> Result<(String, Vec<String>), ParseError> {
+    let text = text.trim();
+    let (name, rest) = text
+        .split_once('(')
+        .ok_or_else(|| ParseError::at(text, "bad atom (expected `Name(v, …)`)"))?;
+    let inner = rest
+        .trim()
+        .strip_suffix(')')
+        .ok_or_else(|| ParseError::at(text, "bad atom (missing `)`)"))?;
+    let name = name.trim();
+    if name.is_empty() {
+        return Err(ParseError::at(text, "bad atom (missing relation name)"));
+    }
+    let vars: Vec<String> = inner.split(',').map(|v| v.trim().to_string()).collect();
+    if vars.iter().any(String::is_empty) {
+        return Err(ParseError::at(text, "bad atom (empty variable name)"));
+    }
+    Ok((name.to_string(), vars))
+}
+
+fn parse_edges(tokens: &[&str]) -> Result<Relation, ParseError> {
+    let mut b = RelationBuilder::new();
+    for (x, y) in parse_edge_pairs(tokens)? {
+        b.push(x, y);
+    }
+    Ok(b.build())
+}
+
+fn parse_edge_pairs(tokens: &[&str]) -> Result<Vec<Edge>, ParseError> {
+    if tokens.is_empty() {
+        return Err(ParseError::new("no edges given (format: x,y)"));
+    }
+    tokens
+        .iter()
+        .map(|t| {
+            let bad = || ParseError::at(*t, "bad edge (format: x,y)");
+            let (x, y) = t.split_once(',').ok_or_else(bad)?;
+            let x: u32 = x.trim().parse().map_err(|_| bad())?;
+            let y: u32 = y.trim().parse().map_err(|_| bad())?;
+            Ok((x, y))
+        })
+        .collect()
+}
+
+/// Renders the outcome of an insert/delete batch: what changed and how
+/// each affected cached result was refreshed.
+fn delta_report(service: &Service, name: &str, report: &MaintenanceReport) -> String {
+    let profile = service.relation_profile(name).expect("relation exists");
+    if report.is_noop() {
+        return format!(
+            "ok relation {name}: unchanged ({} tuples, epoch {}), cache untouched",
+            profile.tuples, report.epoch
+        );
+    }
+    format!(
+        "ok relation {name}: +{} -{} tuples (now {}), epoch {}, \
+         cache maintained {} recomputed {} invalidated {}",
+        report.inserted,
+        report.deleted,
+        profile.tuples,
+        report.epoch,
+        report.maintained,
+        report.recomputed,
+        report.invalidated
+    )
+}
+
+fn parse_dataset(name: &str) -> Result<mmjoin_datagen::DatasetKind, ParseError> {
+    use mmjoin_datagen::DatasetKind;
+    DatasetKind::ALL
+        .into_iter()
+        .find(|k| k.name().eq_ignore_ascii_case(name))
+        .ok_or_else(|| {
+            ParseError::at(
+                name,
+                format!(
+                    "unknown dataset (one of: {})",
+                    DatasetKind::ALL.map(|k| k.name()).join(", ")
+                ),
+            )
+        })
+}
+
+/// Removes `flag` from `rest` if present, reporting whether it was.
+fn take_flag(rest: &mut Vec<&str>, flag: &str) -> bool {
+    match rest.iter().position(|&t| t == flag) {
+        Some(pos) => {
+            rest.remove(pos);
+            true
+        }
+        None => false,
+    }
+}
+
+/// Removes `show [n]` from `rest`: `Some(n)` if the flag was present
+/// (default 20 rows when no count follows), `None` otherwise.
+fn take_show(rest: &mut Vec<&str>) -> Option<usize> {
+    let pos = rest.iter().position(|&t| t == "show")?;
+    rest.remove(pos);
+    match rest.get(pos).and_then(|v| v.parse::<usize>().ok()) {
+        Some(n) => {
+            rest.remove(pos);
+            Some(n)
+        }
+        None => Some(20),
+    }
+}
+
+/// Removes `key <value>` from `rest` if present, returning the value.
+fn take_str_value(rest: &mut Vec<&str>, key: &str) -> Result<Option<String>, ParseError> {
+    let Some(pos) = rest.iter().position(|&t| t == key) else {
+        return Ok(None);
+    };
+    let value = rest
+        .get(pos + 1)
+        .map(|v| v.to_string())
+        .ok_or_else(|| ParseError::at(key, "flag needs a value"))?;
+    rest.drain(pos..=pos + 1);
+    Ok(Some(value))
+}
+
+/// Removes `key <u32>` from `rest` if present.
+fn take_value(rest: &mut Vec<&str>, key: &str) -> Result<Option<u32>, ParseError> {
+    let Some(pos) = rest.iter().position(|&t| t == key) else {
+        return Ok(None);
+    };
+    let value = rest
+        .get(pos + 1)
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| ParseError::at(key, "flag needs a number"))?;
+    rest.drain(pos..=pos + 1);
+    Ok(Some(value))
+}
+
+/// The `help` text shared by both transports.
+pub const HELP: &str = "ok commands:
+  register <name> <x,y> [<x,y> …]     inline edge list
+  load <name> <path>                  whitespace edge-list file
+  gen <name> <dataset> <scale>        synthetic Table-2 dataset (DBLP, RoadNet, Jokes, Words, Protein, Image)
+  update <name> add <x,y> [<x,y> …]   add tuples by full re-registration (bumps epoch, invalidates cache)
+  insert <name> <x,y> [<x,y> …]       staged delta: cached results are maintained in place
+  delete <name> <x,y> [<x,y> …]       staged delta: deletions tracked via support counts
+  query twopath <R> <S> [counts] [min <c>] [limit <n>] [engine <E>] [show [n]]
+  query star <R1> <R2> [… Rk] [limit <n>] [show [n]]
+  query chain <R1> <R2> [… Rk] [limit <n>] [engine <E>] [show [n]]
+  query sim <R> <c> [ordered] [limit <n>] [show [n]]
+  query contain <R> [limit <n>] [show [n]]
+  query Q(x,w) :- R(x,y), S(y,z), T(z,w)   general acyclic query, datalog style
+                                           ([limit <n>] [engine <E>] [show [n]] after the rule)
+  explain <query …>                        chosen engine + decomposition, without executing
+  catalog | engines | stats | help | quit | shutdown
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn service() -> Service {
+        let s = Service::with_default_registry(1);
+        s.register(
+            "R",
+            Relation::from_edges((0..30u32).map(|i| (i % 6, i % 5))),
+        );
+        s.register(
+            "S",
+            Relation::from_edges((0..30u32).map(|i| (i % 5, i % 7))),
+        );
+        s
+    }
+
+    #[test]
+    fn parse_errors_carry_offending_token() {
+        let err = Command::parse("frobnicate R S").unwrap_err();
+        assert_eq!(err.token.as_deref(), Some("frobnicate"));
+        assert!(err.to_string().contains("`frobnicate`"));
+
+        let err = Command::parse("insert R 1,2 nope 3,4").unwrap_err();
+        assert_eq!(err.token.as_deref(), Some("nope"));
+
+        let err = Command::parse("query twopath R S bogus").unwrap_err();
+        assert_eq!(err.token.as_deref(), Some("bogus"));
+
+        let err = Command::parse("query warp R S").unwrap_err();
+        assert_eq!(err.token.as_deref(), Some("warp"));
+
+        let err = Command::parse("gen G Jokes huge").unwrap_err();
+        assert_eq!(err.token.as_deref(), Some("huge"));
+    }
+
+    #[test]
+    fn show_takes_an_optional_row_budget() {
+        let (_, show) = parse_request(&["twopath", "R", "S", "show"]).unwrap();
+        assert_eq!(show, Some(20));
+        let (_, show) = parse_request(&["twopath", "R", "S", "show", "3"]).unwrap();
+        assert_eq!(show, Some(3));
+        let (_, show) = parse_request(&["twopath", "R", "S"]).unwrap();
+        assert_eq!(show, None);
+        // `show` followed by a non-number leaves that token for its
+        // own flag (here: counts).
+        let (req, show) = parse_request(&["twopath", "R", "S", "show", "counts"]).unwrap();
+        assert_eq!(show, Some(20));
+        drop(req);
+    }
+
+    #[test]
+    fn run_line_round_trips_through_the_service() {
+        let s = service();
+        let ans = run_line(&s, "query twopath R S").unwrap();
+        assert!(ans.starts_with("ok rows "), "{ans}");
+        let ans = run_line(&s, "query twopath R S show 2").unwrap();
+        assert!(ans.lines().count() >= 2, "{ans}");
+        let err = run_line(&s, "query twopath R missing").unwrap_err();
+        assert!(err.contains("missing"), "{err}");
+        let err = run_line(&s, "nonsense").unwrap_err();
+        assert!(err.contains("`nonsense`"), "{err}");
+    }
+
+    #[test]
+    fn terminal_commands() {
+        assert!(Command::parse("quit").unwrap().is_terminal());
+        assert!(Command::parse("exit").unwrap().is_terminal());
+        assert!(Command::parse("shutdown").unwrap().is_terminal());
+        assert!(!Command::parse("stats").unwrap().is_terminal());
+        assert_eq!(
+            execute(&service(), Command::Shutdown).unwrap(),
+            "ok shutting down"
+        );
+    }
+
+    #[test]
+    fn datalog_form_still_parses() {
+        let s = service();
+        let ans = run_line(&s, "query Q(x,z) :- R(x,y), S(y,z)").unwrap();
+        assert!(ans.starts_with("ok rows "), "{ans}");
+        let err = run_line(&s, "query Q(x,z) :- R(x,y,w)").unwrap_err();
+        assert!(err.contains("exactly 2 variables"), "{err}");
+    }
+}

@@ -44,6 +44,7 @@
 
 pub mod cache;
 pub mod catalog;
+pub mod command;
 pub mod error;
 pub mod maintain;
 pub mod metrics;
@@ -53,7 +54,8 @@ pub mod roster;
 pub mod service;
 
 pub use cache::{CachedResult, ResultCache};
-pub use catalog::{Catalog, CatalogEntry, RelationProfile, StagedUpdate};
+pub use catalog::{Catalog, CatalogEntry, RelationProfile, ShardedCatalog, StagedUpdate};
+pub use command::{Command, ParseError};
 pub use error::ServiceError;
 pub use maintain::{DeltaResult, MaintenancePolicy, MaintenanceReport};
 pub use metrics::{MetricsSnapshot, ServiceMetrics};

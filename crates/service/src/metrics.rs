@@ -12,6 +12,7 @@ pub struct ServiceMetrics {
     cache_hits: u64,
     errors: u64,
     rejected: u64,
+    max_queue_depth: u64,
     updates: u64,
     maintained: u64,
     recomputed: u64,
@@ -31,6 +32,7 @@ impl Default for ServiceMetrics {
             cache_hits: 0,
             errors: 0,
             rejected: 0,
+            max_queue_depth: 0,
             updates: 0,
             maintained: 0,
             recomputed: 0,
@@ -75,6 +77,12 @@ impl ServiceMetrics {
         self.rejected += 1;
     }
 
+    /// Records the queue depth observed after an admission, keeping the
+    /// high-water mark (the bounded queue's proof of boundedness).
+    pub fn record_depth(&mut self, depth: usize) {
+        self.max_queue_depth = self.max_queue_depth.max(depth as u64);
+    }
+
     /// Records the maintenance outcome of one effective relation update.
     pub fn record_update(&mut self, report: &MaintenanceReport) {
         self.updates += 1;
@@ -84,9 +92,10 @@ impl ServiceMetrics {
     }
 
     /// An immutable snapshot for reporting. The recorder cannot see the
-    /// result cache, so its churn counter is passed in by the caller
-    /// (the `Service::metrics` seam) rather than patched up afterwards.
-    pub fn snapshot(&self, cache_invalidations: u64) -> MetricsSnapshot {
+    /// result cache or the live admission queue, so the churn counter
+    /// and current queue depth are passed in by the caller (the
+    /// `Service::metrics` seam) rather than patched up afterwards.
+    pub fn snapshot(&self, cache_invalidations: u64, queue_depth: usize) -> MetricsSnapshot {
         let mut sorted = self.latencies_us.clone();
         sorted.sort_unstable();
         let pct = |p: f64| -> u64 {
@@ -101,6 +110,8 @@ impl ServiceMetrics {
             cache_hits: self.cache_hits,
             errors: self.errors,
             rejected: self.rejected,
+            queue_depth: queue_depth as u64,
+            max_queue_depth: self.max_queue_depth,
             updates: self.updates,
             maintained: self.maintained,
             recomputed: self.recomputed,
@@ -133,6 +144,11 @@ pub struct MetricsSnapshot {
     pub errors: u64,
     /// Requests bounced by the admission queue.
     pub rejected: u64,
+    /// Jobs sitting in the admission queue at snapshot time.
+    pub queue_depth: u64,
+    /// Largest queue depth ever observed at admission — must never
+    /// exceed the configured queue capacity.
+    pub max_queue_depth: u64,
     /// Effective (non-no-op) relation updates applied.
     pub updates: u64,
     /// Cache entries patched in place by delta maintenance.
@@ -191,7 +207,7 @@ mod tests {
         for i in 1..=100u64 {
             m.record_query(i as f64 * 1e-6, i % 4 == 0);
         }
-        let s = m.snapshot(0);
+        let s = m.snapshot(0, 0);
         assert_eq!(s.queries_served, 100);
         assert_eq!(s.cache_hits, 25);
         assert!((s.cache_hit_rate - 0.25).abs() < 1e-9);
@@ -202,7 +218,7 @@ mod tests {
 
     #[test]
     fn empty_snapshot_is_zeroed() {
-        let s = ServiceMetrics::new().snapshot(0);
+        let s = ServiceMetrics::new().snapshot(0, 0);
         assert_eq!(s.queries_served, 0);
         assert_eq!(s.p99_latency_us, 0);
         assert_eq!(s.cache_hit_rate, 0.0);
@@ -219,7 +235,7 @@ mod tests {
             recomputed: 1,
             invalidated: 3,
         });
-        let s = m.snapshot(0);
+        let s = m.snapshot(0, 0);
         assert_eq!(
             (s.updates, s.maintained, s.recomputed, s.invalidated),
             (1, 2, 1, 3)

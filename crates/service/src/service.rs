@@ -2,7 +2,7 @@
 //! query path tying catalog + planner + cache + registry together.
 
 use crate::cache::{CachedResult, ResultCache};
-use crate::catalog::{Catalog, RelationProfile, StagedUpdate};
+use crate::catalog::{RelationProfile, ShardedCatalog, StagedUpdate};
 use crate::error::ServiceError;
 use crate::maintain::{
     accumulate_two_path_delta, decide, delta_cost, Decision, DeltaResult, MaintenancePolicy,
@@ -19,7 +19,7 @@ use mmjoin_executor::Executor;
 use mmjoin_storage::{Edge, Relation, RelationDelta, Value};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{mpsc, Arc, Condvar, Mutex, PoisonError, RwLock};
+use std::sync::{mpsc, Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
@@ -46,6 +46,12 @@ pub struct ServiceConfig {
     pub thread_budget: usize,
     /// Result-cache capacity in entries (0 disables caching).
     pub cache_capacity: usize,
+    /// Catalog lock stripes (min 1). Relations hash to a shard by name;
+    /// each shard has its own `RwLock` and epoch counter, so updates to
+    /// one shard never block readers (or invalidate cache entries) of
+    /// another. `1` degenerates to the old single-lock catalog — the
+    /// baseline the saturation benchmark compares against.
+    pub catalog_shards: usize,
     /// Admission-queue capacity; submissions beyond it are rejected with
     /// [`ServiceError::Overloaded`].
     pub queue_capacity: usize,
@@ -68,6 +74,7 @@ impl Default for ServiceConfig {
                 .clamp(1, 8),
             thread_budget: 0,
             cache_capacity: 256,
+            catalog_shards: 8,
             queue_capacity: 1024,
             join_config: JoinConfig::default(),
             engine_overrides: HashMap::new(),
@@ -139,7 +146,7 @@ struct Inner {
     registry: EngineRegistry,
     planner: Planner,
     policy: MaintenancePolicy,
-    catalog: RwLock<Catalog>,
+    catalog: ShardedCatalog,
     cache: Mutex<ResultCache>,
     queue: Mutex<QueueState>,
     available: Condvar,
@@ -179,7 +186,7 @@ impl Service {
             registry,
             planner,
             policy: config.maintenance.clone(),
-            catalog: RwLock::new(Catalog::new()),
+            catalog: ShardedCatalog::new(config.catalog_shards),
             cache: Mutex::new(ResultCache::new(config.cache_capacity)),
             queue: Mutex::new(QueueState {
                 jobs: VecDeque::new(),
@@ -238,23 +245,15 @@ impl Service {
     }
 
     /// Registers (or replaces) a named relation, profiling it once.
-    /// Returns the catalog epoch of the new entry.
+    /// Returns the shard epoch of the new entry.
     pub fn register(&self, name: impl Into<String>, relation: Relation) -> u64 {
-        self.inner
-            .catalog
-            .write()
-            .unwrap_or_else(PoisonError::into_inner)
-            .register(name, relation)
+        self.inner.catalog.register(name, relation)
     }
 
     /// Replaces an existing relation (bumping its epoch, which makes all
     /// cached results over it unreachable).
     pub fn update(&self, name: &str, relation: Relation) -> Result<u64, ServiceError> {
-        self.inner
-            .catalog
-            .write()
-            .unwrap_or_else(PoisonError::into_inner)
-            .update(name, relation)
+        self.inner.catalog.update(name, relation)
     }
 
     /// Stages a batch of tuple inserts, maintaining affected cached
@@ -292,12 +291,7 @@ impl Service {
         name: &str,
         delta: &RelationDelta,
     ) -> Result<MaintenanceReport, ServiceError> {
-        let staged = self
-            .inner
-            .catalog
-            .write()
-            .unwrap_or_else(PoisonError::into_inner)
-            .apply_delta(name, delta)?;
+        let staged = self.inner.catalog.apply_delta(name, delta)?;
         let mut report = MaintenanceReport {
             epoch: staged.new_epoch,
             inserted: staged.delta.inserts.len(),
@@ -332,53 +326,45 @@ impl Service {
 
     /// Removes a relation from the catalog.
     pub fn remove(&self, name: &str) -> bool {
-        self.inner
-            .catalog
-            .write()
-            .unwrap_or_else(PoisonError::into_inner)
-            .remove(name)
+        self.inner.catalog.remove(name)
     }
 
-    /// Current catalog-wide epoch.
+    /// Current catalog-wide epoch (the sum of the per-shard counters).
     pub fn catalog_epoch(&self) -> u64 {
-        self.inner
-            .catalog
-            .read()
-            .unwrap_or_else(PoisonError::into_inner)
-            .epoch()
+        self.inner.catalog.epoch()
+    }
+
+    /// Number of catalog lock stripes.
+    pub fn catalog_shards(&self) -> usize {
+        self.inner.catalog.shard_count()
+    }
+
+    /// The shard index `name` hashes to (stable across runs — tests and
+    /// benches use it to place relations on distinct shards).
+    pub fn shard_of(&self, name: &str) -> usize {
+        self.inner.catalog.shard_of(name)
+    }
+
+    /// The current epoch of a relation's catalog entry, if registered.
+    /// Updates to relations on *other* shards never change it.
+    pub fn relation_epoch(&self, name: &str) -> Option<u64> {
+        self.inner.catalog.entry_epoch(name)
     }
 
     /// Registered relation names, sorted.
     pub fn relation_names(&self) -> Vec<String> {
-        self.inner
-            .catalog
-            .read()
-            .unwrap_or_else(PoisonError::into_inner)
-            .names()
-            .into_iter()
-            .map(str::to_string)
-            .collect()
+        self.inner.catalog.names()
     }
 
     /// The cached statistics profile of a relation, if registered.
     pub fn relation_profile(&self, name: &str) -> Option<Arc<RelationProfile>> {
-        self.inner
-            .catalog
-            .read()
-            .unwrap_or_else(PoisonError::into_inner)
-            .get(name)
-            .map(|e| Arc::clone(&e.profile))
+        self.inner.catalog.profile(name)
     }
 
     /// A snapshot of a relation's current tuples (for read-modify-write
     /// updates, e.g. the REPL's `update … add`).
     pub fn relation_edges(&self, name: &str) -> Option<Vec<(Value, Value)>> {
-        self.inner
-            .catalog
-            .read()
-            .unwrap_or_else(PoisonError::into_inner)
-            .get(name)
-            .map(|e| e.relation.edges().to_vec())
+        self.inner.catalog.edges(name)
     }
 
     /// Enqueues a request; returns immediately with a [`Ticket`].
@@ -409,7 +395,13 @@ impl Service {
                 enqueued: Instant::now(),
                 tx,
             });
+            let depth = q.jobs.len();
             drop(q);
+            self.inner
+                .metrics
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .record_depth(depth);
             self.inner.available.notify_one();
         }
         Ticket { rx }
@@ -509,11 +501,18 @@ impl Service {
     /// update-driven invalidation churn.
     pub fn metrics(&self) -> MetricsSnapshot {
         let cache_invalidations = self.cache_counters().3;
+        let queue_depth = self
+            .inner
+            .queue
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .jobs
+            .len();
         self.inner
             .metrics
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
-            .snapshot(cache_invalidations)
+            .snapshot(cache_invalidations, queue_depth)
     }
 
     /// `(hits, misses, evictions, invalidations)` of the result cache.
@@ -749,25 +748,22 @@ fn refresh_entry(
     // unreachable; this check prevents one keyed at the *latest* epochs
     // from carrying stale data.)
     let (r_new, s_new, new_epochs) = {
-        let catalog = inner.catalog.read().unwrap_or_else(PoisonError::into_inner);
-        let (Some(re), Some(se)) = (catalog.get(&r_name), catalog.get(&s_name)) else {
+        let snap = inner.catalog.snapshot(&[&r_name, &s_name]);
+        let (Some((r_rel, r_epoch)), Some((s_rel, s_epoch))) = (snap[0].clone(), snap[1].clone())
+        else {
             return Decision::Invalidate;
         };
-        for (entry_epoch, n) in [(re.epoch, r_name.as_str()), (se.epoch, s_name.as_str())] {
+        for (entry_epoch, n) in [(r_epoch, r_name.as_str()), (s_epoch, s_name.as_str())] {
             if n == name && entry_epoch != staged.new_epoch {
                 return Decision::Invalidate;
             }
         }
         let pre = |epoch: u64, n: &str| if n == name { staged.old_epoch } else { epoch };
-        let expected_pre = vec![pre(re.epoch, &r_name), pre(se.epoch, &s_name)];
+        let expected_pre = vec![pre(r_epoch, &r_name), pre(s_epoch, &s_name)];
         if old_epochs != expected_pre {
             return Decision::Invalidate;
         }
-        (
-            Arc::clone(&re.relation),
-            Arc::clone(&se.relation),
-            vec![re.epoch, se.epoch],
-        )
+        (r_rel, s_rel, vec![r_epoch, s_epoch])
     };
     let delta_on_r = r_name == name;
     let delta_on_s = s_name == name;
@@ -937,21 +933,14 @@ fn worker_loop(inner: Arc<Inner>) {
 }
 
 /// Resolves a canonical request's relation names to shared handles and
-/// their epochs under the catalog read lock, then releases it —
-/// execution must not block catalog writers.
+/// their epochs — the query's *pinned epoch vector* — by briefly
+/// read-locking the touched catalog shards (see [`ShardedCatalog::pin`]),
+/// then releases them: execution must not block catalog writers.
 fn resolve_handles(
     inner: &Inner,
     request: &Request,
 ) -> Result<(Vec<Arc<Relation>>, Vec<u64>), ServiceError> {
-    let catalog = inner.catalog.read().unwrap_or_else(PoisonError::into_inner);
-    let mut handles: Vec<Arc<Relation>> = Vec::new();
-    let mut epochs: Vec<u64> = Vec::new();
-    for name in request.relation_names() {
-        let entry = catalog.resolve(name)?;
-        handles.push(Arc::clone(&entry.relation));
-        epochs.push(entry.epoch);
-    }
-    Ok((handles, epochs))
+    inner.catalog.pin(&request.relation_names())
 }
 
 /// Builds the borrowed [`Query`] over the resolved handles (`handles`

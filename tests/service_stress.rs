@@ -188,3 +188,82 @@ fn readers_see_consistent_epochs_under_updates() {
     assert_eq!(&rows, snapshots.last().unwrap());
     assert_eq!(service.metrics().errors, 0);
 }
+
+/// Shard snapshot isolation: a storm of updates to relation `hot` must
+/// be invisible to concurrent readers of relation `cold` on a
+/// *different* catalog shard — `cold`'s pinned epoch never moves, its
+/// cache entry keeps hitting, and its readers never block behind the
+/// writer (they all complete while the writer is still running).
+#[test]
+fn updates_to_one_shard_never_touch_another() {
+    let service = Service::with_config(ServiceConfig {
+        workers: 4,
+        thread_budget: 4,
+        catalog_shards: 8,
+        ..ServiceConfig::default()
+    });
+
+    // Pick names on provably distinct shards.
+    let hot = "hot".to_string();
+    let cold = (0..)
+        .map(|i| format!("cold{i}"))
+        .find(|n| service.shard_of(n) != service.shard_of(&hot))
+        .unwrap();
+    service.register(&hot, shared_relation());
+    service.register(&cold, client_relation(3, 5));
+
+    // Warm `cold`'s cache entry and pin its expected state.
+    let baseline = sorted(&service.query(Request::two_path(&cold, &cold)).unwrap().rows);
+    let cold_epoch = service.relation_epoch(&cold).unwrap();
+
+    let writer_running = std::sync::atomic::AtomicBool::new(true);
+    std::thread::scope(|scope| {
+        let service = &service;
+        let cold = &cold;
+        let hot = &hot;
+        let baseline = &baseline;
+        let writer_running = &writer_running;
+
+        // Writer: continuous inserts to `hot` (each bumps its epoch and
+        // churns the maintenance machinery) until readers are done.
+        scope.spawn(move || {
+            for step in 0..200u32 {
+                service.insert(hot, [(100 + step, step % 30)]).unwrap();
+                if !writer_running.load(std::sync::atomic::Ordering::SeqCst) && step >= 20 {
+                    break;
+                }
+            }
+        });
+
+        let readers: Vec<_> = (0..3)
+            .map(|_| {
+                scope.spawn(move || {
+                    for _ in 0..30 {
+                        let resp = service.query(Request::two_path(cold, cold)).unwrap();
+                        // Never invalidated by the other shard's storm…
+                        assert!(
+                            resp.cached,
+                            "cold entry was invalidated by updates to another shard"
+                        );
+                        // …never a different epoch's rows…
+                        assert_eq!(&sorted(&resp.rows), baseline);
+                        // …and the pinned epoch never moved.
+                        assert_eq!(service.relation_epoch(cold), Some(cold_epoch));
+                    }
+                })
+            })
+            .collect();
+        for r in readers {
+            r.join().unwrap();
+        }
+        // Readers finished while the writer may still be running: they
+        // were never serialized behind it.
+        writer_running.store(false, std::sync::atomic::Ordering::SeqCst);
+    });
+
+    // The storm moved `hot`'s epoch (≥ 20 effective updates) and left
+    // `cold`'s untouched.
+    assert!(service.relation_epoch(&hot).unwrap() >= 21);
+    assert_eq!(service.relation_epoch(&cold), Some(cold_epoch));
+    assert_eq!(service.metrics().errors, 0);
+}
