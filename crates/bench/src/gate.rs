@@ -23,13 +23,23 @@ pub fn parse_percent(cell: &str) -> Option<f64> {
 }
 
 /// Gates the `service` target: the warm phase must be nearly all cache
-/// hits — the entire point of the result cache.
+/// hits — the entire point of the result cache — and the disabled
+/// tracing instrumentation must stay within its near-zero-cost contract
+/// (≤ 5% of per-query time, from the measured single-atomic-load probe).
 pub fn check_service(table: &Table) -> Result<(), String> {
     let warm = cell(table, "warm", "hit rate")
         .and_then(parse_percent)
         .ok_or("service table has no warm hit rate")?;
     if warm < 90.0 {
         return Err(format!("warm cache hit rate {warm:.1}% < 90% threshold"));
+    }
+    let overhead = cell(table, "trace overhead", "hit rate")
+        .and_then(parse_percent)
+        .ok_or("service table has no trace overhead row")?;
+    if overhead > 5.0 {
+        return Err(format!(
+            "disabled-tracing overhead {overhead:.2}% of per-query time exceeds the 5% bound"
+        ));
     }
     Ok(())
 }
@@ -203,13 +213,22 @@ mod tests {
         assert!(check_updates(&unmaintained).is_err());
     }
 
+    fn service_table(warm_hit: &str, overhead: &str) -> Table {
+        let mut t = Table::new("svc", vec!["phase".into(), "hit rate".into()]);
+        t.push_row("warm", vec![warm_hit.into()]);
+        t.push_row("trace overhead", vec![overhead.into()]);
+        t
+    }
+
     #[test]
     fn service_gate_threshold() {
+        assert!(check_service(&service_table("95.0%", "0.1%")).is_ok());
+        assert!(check_service(&service_table("50.0%", "0.1%")).is_err());
+        // Disabled-tracing overhead has its own bound…
+        assert!(check_service(&service_table("95.0%", "7.3%")).is_err());
+        // …and the row must exist at all.
         let mut t = Table::new("svc", vec!["phase".into(), "hit rate".into()]);
         t.push_row("warm", vec!["95.0%".into()]);
-        assert!(check_service(&t).is_ok());
-        let mut t = Table::new("svc", vec!["phase".into(), "hit rate".into()]);
-        t.push_row("warm", vec!["50.0%".into()]);
         assert!(check_service(&t).is_err());
     }
 

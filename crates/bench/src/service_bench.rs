@@ -187,6 +187,64 @@ pub fn service_experiment(scale: f64) -> Table {
             ],
         );
     }
+
+    // Tracing-overhead axis: replay the (warm, cached) workload serially
+    // with tracing off vs. fully on, and bound the *disabled* cost — the
+    // contract is that every span site degenerates to one relaxed atomic
+    // load, so "trace off" must track the untraced rows above. The
+    // "overhead" row puts the disabled-path bound in the hit-rate column
+    // (measured probe ns × span sites / per-query time) for the gate.
+    let tracer = mmjoin::obs::trace::Tracer::global();
+    tracer.set_enabled(false);
+    let replay = || {
+        for request in &queries {
+            service.query(request.clone()).expect("replay query");
+        }
+    };
+    let (_, off_secs) = crate::timed_median(1, 3, replay);
+    tracer.clear();
+    tracer.set_sample_every(1);
+    tracer.set_enabled(true);
+    let (_, on_secs) = crate::timed_median(1, 3, replay);
+    tracer.set_enabled(false);
+    tracer.clear();
+    // The disabled fast path, measured directly: one span-site probe.
+    const PROBES: u32 = 1_000_000;
+    let (_, probe_secs) = timed(|| {
+        for _ in 0..PROBES {
+            std::hint::black_box(mmjoin::obs::trace::current_if_enabled());
+        }
+    });
+    let probe_ns = probe_secs * 1e9 / PROBES as f64;
+    // Span sites a served query crosses end to end (root, queue-wait,
+    // cache-probe, plan, exec, ~2 steps, serialize).
+    const SPAN_SITES: f64 = 8.0;
+    let per_query_ns = off_secs.max(1e-9) * 1e9 / queries.len() as f64;
+    let overhead_pct = probe_ns * SPAN_SITES / per_query_ns * 100.0;
+    for (phase, secs) in [("trace off", off_secs), ("trace on", on_secs)] {
+        table.push_row(
+            phase,
+            vec![
+                queries.len().to_string(),
+                crate::report::fmt_secs(secs),
+                format!("{:.0}", queries.len() as f64 / secs.max(1e-9)),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+            ],
+        );
+    }
+    table.push_row(
+        "trace overhead",
+        vec![
+            queries.len().to_string(),
+            "-".into(),
+            "-".into(),
+            format!("{overhead_pct:.3}%"),
+            format!("{probe_ns:.1}ns"),
+            "-".into(),
+        ],
+    );
     table
 }
 
@@ -208,8 +266,9 @@ mod tests {
     #[test]
     fn service_experiment_reports_hits() {
         let table = service_experiment(0.02);
-        // register / cold / warm / total + the two thread-budget rows.
-        assert_eq!(table.rows.len(), 6);
+        // register / cold / warm / total + two thread-budget rows + the
+        // trace off / trace on / trace overhead rows.
+        assert_eq!(table.rows.len(), 9);
         assert!(table.rows.iter().any(|(k, _)| k == "budget 1"));
         assert!(table.rows.iter().any(|(k, _)| k == "budget 4"));
         let (_, total) = &table.rows[3];
@@ -219,5 +278,13 @@ mod tests {
         let (_, warm) = &table.rows[2];
         let hit_rate: f64 = warm[3].trim_end_matches('%').parse().unwrap();
         assert!(hit_rate > 90.0, "warm hit rate {hit_rate}%");
+        // The disabled-tracing overhead bound must be present and tiny.
+        let (_, overhead) = table
+            .rows
+            .iter()
+            .find(|(k, _)| k == "trace overhead")
+            .unwrap();
+        let pct: f64 = overhead[3].trim_end_matches('%').parse().unwrap();
+        assert!(pct < 5.0, "disabled-tracing overhead {pct}%");
     }
 }

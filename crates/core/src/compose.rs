@@ -22,6 +22,7 @@ use crate::star::star_join_project_mm_with_stats;
 use crate::two_path::two_path_join_project_with_stats;
 use mmjoin_api::ir::QueryGraph;
 use mmjoin_api::{emit_pairs, emit_tuples, EngineError, PlanStats, Sink, StepStats};
+use mmjoin_obs::trace::{self, Stage};
 use mmjoin_storage::{Relation, RelationBuilder, Value};
 use std::borrow::Cow;
 
@@ -93,7 +94,10 @@ pub fn execute_general(
                         mats[right].as_ref().expect("right materialised"),
                         plan.nodes[right].b == on,
                     );
+                    let step_span =
+                        trace::span_dyn(Stage::Step, || format!("join v{on} (final, streamed)"));
                     let (pairs, prim) = two_path_join_project_with_stats(&l, &r, config);
+                    drop(step_span);
                     drop((l, r));
                     mats[left] = None;
                     mats[right] = None;
@@ -209,6 +213,10 @@ fn run_step(
     mats: &[Option<Cow<'_, Relation>>],
     config: &JoinConfig,
 ) -> StepResult {
+    let _step_span = trace::span_dyn(Stage::Step, || match plan.steps[idx] {
+        PlanStep::Semijoin { on, .. } => format!("semijoin v{on}"),
+        PlanStep::Join { on, .. } => format!("join v{on}"),
+    });
     match plan.steps[idx] {
         PlanStep::Semijoin {
             target,
@@ -273,10 +281,12 @@ fn run_final_stage(
 ) -> Result<(u64, Option<PlanStats>), EngineError> {
     match &plan.final_stage {
         FinalStage::Project { node, cols } => {
+            let _span = trace::span(Stage::Step, "project (final)");
             let rel = mats[*node].as_ref().expect("final node materialised");
             Ok((project_stream(rel, *cols, sink), None))
         }
         FinalStage::Star { center, legs } => {
+            let _span = trace::span_dyn(Stage::Step, || format!("star v{center} (final)"));
             let oriented_legs: Vec<Cow<'_, Relation>> = legs
                 .iter()
                 .map(|&id| {

@@ -29,9 +29,11 @@
 
 use std::collections::VecDeque;
 use std::panic::{self, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
 use std::thread::JoinHandle;
+
+use mmjoin_obs::trace;
 
 /// Acquires a mutex, recovering the guard if a previous holder panicked
 /// (executor state is a queue of `Arc`s and plain counters — always
@@ -66,7 +68,9 @@ unsafe impl Send for Batch {}
 unsafe impl Sync for Batch {}
 
 impl Batch {
-    /// Claims and executes tasks until the batch is exhausted.
+    /// Claims and executes tasks until the batch is exhausted, returning
+    /// how many tasks this thread executed (so pool workers can account
+    /// the indices they stole from the submitting caller).
     ///
     /// # Safety (liveness of `f`)
     /// The closure behind `f` lives on the stack of the `Executor::run`
@@ -76,12 +80,14 @@ impl Batch {
     /// then bump `completed` (release), and the submitter only observes
     /// `completed == tasks` (acquire) after every claimed call returned.
     /// Workers that claim `i >= tasks` never touch `f`.
-    fn work(&self) {
+    fn work(&self) -> usize {
+        let mut executed = 0;
         loop {
             let i = self.next.fetch_add(1, Ordering::Relaxed);
             if i >= self.tasks {
-                return;
+                return executed;
             }
+            executed += 1;
             // SAFETY: i < tasks, see above.
             let f = unsafe { &*self.f };
             if let Err(payload) = panic::catch_unwind(AssertUnwindSafe(|| f(i))) {
@@ -103,6 +109,55 @@ struct Shared {
     shutdown: AtomicBool,
     /// Helper tokens not currently granted to a batch.
     tokens_free: AtomicUsize,
+    /// Batches submitted through [`Executor::run`] (tasks > 0).
+    batches: AtomicU64,
+    /// Task indices executed, across all batches.
+    tasks_run: AtomicU64,
+    /// Of those, tasks executed by pool workers rather than the
+    /// submitting caller — the work-stealing volume.
+    stolen_tasks: AtomicU64,
+    /// Helper tokens granted across all batches.
+    granted_tokens: AtomicU64,
+    /// Batches that wanted helpers but were granted none and degraded
+    /// to an inline serial loop (budget exhausted by concurrent work).
+    inline_serial: AtomicU64,
+}
+
+/// Point-in-time counters for one [`Executor`] — surfaced by the
+/// service's `stats executor` command.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecutorStats {
+    /// Total thread budget (callers + pool workers).
+    pub budget: usize,
+    /// Helper tokens currently unclaimed.
+    pub tokens_free: usize,
+    /// Batches submitted.
+    pub batches: u64,
+    /// Task closure invocations.
+    pub tasks: u64,
+    /// Tasks executed by pool workers (stolen from the caller).
+    pub stolen_tasks: u64,
+    /// Helper tokens granted, summed over batches.
+    pub granted_tokens: u64,
+    /// Batches that degraded to inline serial on a zero grant.
+    pub inline_serial: u64,
+}
+
+impl std::fmt::Display for ExecutorStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "budget {} (tokens free {}), batches {}, tasks {} (stolen {}), \
+             tokens granted {}, inline degradations {}",
+            self.budget,
+            self.tokens_free,
+            self.batches,
+            self.tasks,
+            self.stolen_tasks,
+            self.granted_tokens,
+            self.inline_serial,
+        )
+    }
 }
 
 /// A fixed-size fork-join pool; see the crate docs.
@@ -145,6 +200,11 @@ impl Executor {
             work_available: Condvar::new(),
             shutdown: AtomicBool::new(false),
             tokens_free: AtomicUsize::new(helpers),
+            batches: AtomicU64::new(0),
+            tasks_run: AtomicU64::new(0),
+            stolen_tasks: AtomicU64::new(0),
+            granted_tokens: AtomicU64::new(0),
+            inline_serial: AtomicU64::new(0),
         });
         let workers = (0..helpers)
             .map(|i| {
@@ -187,6 +247,29 @@ impl Executor {
         self.shared.tokens_free.load(Ordering::Relaxed)
     }
 
+    /// Snapshot of the pool's lifetime counters.
+    pub fn stats(&self) -> ExecutorStats {
+        ExecutorStats {
+            budget: self.budget(),
+            tokens_free: self.tokens_free(),
+            batches: self.shared.batches.load(Ordering::Relaxed),
+            tasks: self.shared.tasks_run.load(Ordering::Relaxed),
+            stolen_tasks: self.shared.stolen_tasks.load(Ordering::Relaxed),
+            granted_tokens: self.shared.granted_tokens.load(Ordering::Relaxed),
+            inline_serial: self.shared.inline_serial.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Zeroes the lifetime counters (`stats reset`); the token state is
+    /// live bookkeeping and is left alone.
+    pub fn reset_stats(&self) {
+        self.shared.batches.store(0, Ordering::Relaxed);
+        self.shared.tasks_run.store(0, Ordering::Relaxed);
+        self.shared.stolen_tasks.store(0, Ordering::Relaxed);
+        self.shared.granted_tokens.store(0, Ordering::Relaxed);
+        self.shared.inline_serial.store(0, Ordering::Relaxed);
+    }
+
     /// Takes up to `want` helper tokens, returning the grant.
     fn acquire_tokens(&self, want: usize) -> usize {
         let free = &self.shared.tokens_free;
@@ -220,6 +303,10 @@ impl Executor {
         if tasks == 0 {
             return;
         }
+        self.shared.batches.fetch_add(1, Ordering::Relaxed);
+        self.shared
+            .tasks_run
+            .fetch_add(tasks as u64, Ordering::Relaxed);
         let want_helpers = parallelism.max(1).min(tasks) - 1;
         let granted = if want_helpers == 0 {
             0
@@ -227,6 +314,9 @@ impl Executor {
             self.acquire_tokens(want_helpers)
         };
         if granted == 0 {
+            if want_helpers > 0 {
+                self.shared.inline_serial.fetch_add(1, Ordering::Relaxed);
+            }
             // No helpers (serial request, exhausted budget, or a
             // zero-worker pool): plain inline loop, no erasure needed.
             for i in 0..tasks {
@@ -234,8 +324,32 @@ impl Executor {
             }
             return;
         }
+        self.shared
+            .granted_tokens
+            .fetch_add(granted as u64, Ordering::Relaxed);
 
-        let f_obj: &(dyn Fn(usize) + Sync) = &f;
+        // When the submitting thread is part of a trace, tasks executed
+        // by pool workers must contribute their spans to the same trace:
+        // wrap the body so each invocation installs (and panic-safely
+        // restores) the submitter's ctx. The wrapper is chosen *before*
+        // lifetime erasure, so a disabled tracer costs one atomic load
+        // per batch and the raw closure runs unwrapped.
+        match trace::current_if_enabled() {
+            Some(ctx) => {
+                let wrapped = move |i: usize| {
+                    let _ctx = trace::install(Some(ctx));
+                    f(i);
+                };
+                self.run_batch(granted, tasks, &wrapped);
+            }
+            None => self.run_batch(granted, tasks, &f),
+        }
+    }
+
+    /// Submits the erased batch and drains it as a participant; split
+    /// out of [`run`](Executor::run) so the traced and untraced paths
+    /// share one unsafe block.
+    fn run_batch(&self, granted: usize, tasks: usize, f_obj: &(dyn Fn(usize) + Sync)) {
         // SAFETY: erases the stack lifetime of `f` in the stored pointer;
         // the wait below keeps `f` alive until every claimed task
         // returned (see `Batch::work`).
@@ -262,7 +376,7 @@ impl Executor {
         }
 
         // The caller is always one of the batch's threads.
-        batch.work();
+        let _ = batch.work();
         {
             let mut g = lock(&batch.done_lock);
             while batch.completed.load(Ordering::Acquire) < tasks {
@@ -369,7 +483,12 @@ fn worker_loop(shared: &Shared) {
                     .unwrap_or_else(PoisonError::into_inner);
             }
         };
-        batch.work();
+        let stolen = batch.work();
+        if stolen > 0 {
+            shared
+                .stolen_tasks
+                .fetch_add(stolen as u64, Ordering::Relaxed);
+        }
     }
 }
 
@@ -503,6 +622,70 @@ mod tests {
         assert!(exec.budget() >= 1);
         let out = exec.map(exec.budget(), 9, |i| i + 1);
         assert_eq!(out, (1..=9).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn stats_count_batches_grants_and_steals() {
+        let exec = Executor::new(4);
+        assert_eq!(exec.stats().batches, 0);
+        // A batch big enough that helpers almost surely steal some work.
+        exec.run(4, 10_000, |_| {});
+        let s = exec.stats();
+        assert_eq!(s.batches, 1);
+        assert_eq!(s.tasks, 10_000);
+        assert_eq!(s.granted_tokens, 3);
+        assert_eq!(s.inline_serial, 0);
+        assert!(s.stolen_tasks <= s.tasks);
+        // A parallelism-1 request wants no helpers: not a degradation.
+        exec.run(1, 5, |_| {});
+        assert_eq!(exec.stats().inline_serial, 0);
+        exec.reset_stats();
+        let s = exec.stats();
+        assert_eq!((s.batches, s.tasks, s.granted_tokens), (0, 0, 0));
+        assert_eq!(s.budget, 4);
+
+        // On a zero-helper pool, wanting parallelism degrades inline.
+        let serial = Executor::new(1);
+        serial.run(8, 4, |_| {});
+        assert_eq!(serial.stats().inline_serial, 1);
+        let display = format!("{}", serial.stats());
+        assert!(display.contains("inline degradations 1"), "{display}");
+    }
+
+    #[test]
+    fn trace_ctx_propagates_to_stolen_tasks() {
+        use mmjoin_obs::trace::{self, Stage, Tracer};
+        let exec = Executor::new(4);
+        let tracer = Tracer::global();
+        tracer.set_enabled(true);
+        let seen: Vec<AtomicU64> = (0..64).map(|_| AtomicU64::new(0)).collect();
+        let expected = {
+            let root = tracer.begin_forced("propagation test").unwrap();
+            let trace_id = root.ctx().trace;
+            exec.run(4, 64, |i| {
+                let _s = trace::span(Stage::Step, "task");
+                seen[i].store(
+                    trace::current().map(|c| c.trace).unwrap_or(0),
+                    Ordering::Relaxed,
+                );
+                // Give helpers a chance to actually steal.
+                std::thread::yield_now();
+            });
+            trace_id
+        };
+        tracer.set_enabled(false);
+        // Every task — caller-run or stolen — observed the same trace.
+        for (i, slot) in seen.iter().enumerate() {
+            assert_eq!(slot.load(Ordering::Relaxed), expected, "task {i}");
+        }
+        // And their spans landed in that trace's tree.
+        let t = tracer.spans_of(expected).expect("trace retained");
+        let steps = t.spans.iter().filter(|s| s.stage == Stage::Step).count();
+        assert_eq!(steps, 64);
+        // The pool workers' thread-locals were restored.
+        exec.run(4, 8, |_| {
+            assert_eq!(trace::current(), None);
+        });
     }
 
     #[test]

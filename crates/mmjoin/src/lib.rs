@@ -66,7 +66,11 @@ pub use mmjoin_api::{
 pub use mmjoin_core::{
     execute_general, plan_general, GeneralPlan, HeavyBackend, JoinConfig, MmJoinEngine, PlanError,
 };
-pub use mmjoin_executor::Executor;
+pub use mmjoin_executor::{Executor, ExecutorStats};
+/// Observability: the process-global [`obs::Tracer`](mmjoin_obs::trace::Tracer)
+/// span tracer and the named-metric registry (counters, gauges,
+/// log-bucketed histograms).
+pub use mmjoin_obs as obs;
 pub use mmjoin_service::{
     default_registry, registry_with_config, AtomSpec, DeltaResult, MaintenancePolicy,
     MaintenanceReport, MetricsSnapshot, QuerySpec, RelationProfile, Request, Response,

@@ -8,8 +8,16 @@
 //! Drive it with `mmjoin-cli` (same command grammar as `mmjoin-serve`).
 //! Send the `shutdown` command to stop it gracefully: admitted queries
 //! finish and are answered, new ones get a SHUTTING-DOWN status.
+//!
+//! Observability flags:
+//! - `--trace-out <path>` — enable tracing and, after shutdown, write
+//!   every retained trace as Chrome trace-event JSON to `path`.
+//! - `--trace-sample <n>` — enable tracing, tracing every n-th request.
+//! - `--slow-query <us>` — enable tracing and log the span tree of any
+//!   query slower than `us` microseconds to stderr.
 
 use mmjoin_net::{serve, NetConfig};
+use mmjoin_obs::trace::{chrome_json, Tracer};
 use mmjoin_service::{Service, ServiceConfig};
 use std::sync::Arc;
 
@@ -27,10 +35,20 @@ fn main() {
     let quota: usize = arg_value("--quota").unwrap_or(0);
     let dispatchers: usize = arg_value("--dispatchers").unwrap_or(workers);
     let shards: usize = arg_value("--shards").unwrap_or(8);
+    let trace_out: Option<String> = arg_value("--trace-out");
+    let trace_sample: Option<u64> = arg_value("--trace-sample");
+    let slow_query_us: u64 = arg_value("--slow-query").unwrap_or(0);
+
+    let tracer = Tracer::global();
+    if trace_out.is_some() || trace_sample.is_some() || slow_query_us > 0 {
+        tracer.set_sample_every(trace_sample.unwrap_or(1));
+        tracer.set_enabled(true);
+    }
 
     let service = Arc::new(Service::with_config(ServiceConfig {
         workers,
         catalog_shards: shards,
+        slow_query_us,
         ..ServiceConfig::default()
     }));
 
@@ -60,5 +78,12 @@ fn main() {
         },
     );
     server.wait();
+    if let Some(path) = trace_out {
+        let traces = tracer.last(usize::MAX);
+        match std::fs::write(&path, chrome_json(&traces)) {
+            Ok(()) => println!("mmjoin-netd: wrote {} trace(s) to {path}", traces.len()),
+            Err(e) => eprintln!("mmjoin-netd: write {path}: {e}"),
+        }
+    }
     println!("mmjoin-netd: drained and stopped");
 }

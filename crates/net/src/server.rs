@@ -28,7 +28,8 @@
 
 use crate::frame;
 use crate::wire::{Status, WireRequest, WireResponse};
-use mmjoin_service::command::{self, Command};
+use mmjoin_obs::trace::{self, Stage, Tracer};
+use mmjoin_service::command::{self, Command, Frontend};
 use mmjoin_service::Service;
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::io::{self, BufReader, BufWriter};
@@ -36,6 +37,7 @@ use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
@@ -226,6 +228,21 @@ impl NetMetrics {
             .or_insert(0) += 1;
     }
 
+    /// Zeroes every counter, including the per-client tallies and the
+    /// queue-depth high-water mark (`stats reset`).
+    pub fn reset(&self) {
+        self.connections.store(0, Ordering::Relaxed);
+        self.requests.store(0, Ordering::Relaxed);
+        self.served.store(0, Ordering::Relaxed);
+        self.rejected_overloaded.store(0, Ordering::Relaxed);
+        self.rejected_shutting_down.store(0, Ordering::Relaxed);
+        self.max_queue_depth.store(0, Ordering::Relaxed);
+        self.per_client_served
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clear();
+    }
+
     /// Point-in-time copy of every counter.
     pub fn snapshot(&self) -> NetMetricsSnapshot {
         NetMetricsSnapshot {
@@ -266,9 +283,59 @@ pub struct NetMetricsSnapshot {
     pub per_client_served: Vec<(u64, u64)>,
 }
 
+impl NetMetricsSnapshot {
+    /// The counters as a JSON object (field names match the struct;
+    /// `per_client_served` becomes an array of `[id, served]` pairs).
+    pub fn to_json(&self) -> String {
+        let clients: Vec<String> = self
+            .per_client_served
+            .iter()
+            .map(|(id, n)| format!("[{id},{n}]"))
+            .collect();
+        format!(
+            "{{\"connections\":{},\"requests\":{},\"served\":{},\"rejected_overloaded\":{},\
+             \"rejected_shutting_down\":{},\"max_queue_depth\":{},\"per_client_served\":[{}]}}",
+            self.connections,
+            self.requests,
+            self.served,
+            self.rejected_overloaded,
+            self.rejected_shutting_down,
+            self.max_queue_depth,
+            clients.join(","),
+        )
+    }
+}
+
+impl std::fmt::Display for NetMetricsSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "connections {}, requests {}, served {}, \
+             rejected {} (overloaded {}, shutting-down {}), \
+             max queue depth {}, clients {}",
+            self.connections,
+            self.requests,
+            self.served,
+            self.rejected_overloaded + self.rejected_shutting_down,
+            self.rejected_overloaded,
+            self.rejected_shutting_down,
+            self.max_queue_depth,
+            self.per_client_served.len(),
+        )
+    }
+}
+
 struct Job {
     id: u64,
     line: String,
+    /// Root trace minted at the wire boundary (reader thread), if the
+    /// global tracer is on and sampling picked this request. The
+    /// dispatcher re-joins it across the queue hop and finishes it once
+    /// the response is built.
+    ctx: Option<trace::Ctx>,
+    /// When the reader admitted the request (start of the net queue
+    /// wait).
+    enqueued: Instant,
     reply: mpsc::Sender<WireResponse>,
 }
 
@@ -467,14 +534,22 @@ fn connection_loop(shared: &Arc<Shared>, stream: TcpStream, client: u64) {
             });
             continue;
         }
+        // Mint the request's trace here, at the wire boundary: the queue
+        // wait and every downstream stage hang off this root.
+        let ctx = Tracer::global().start(&req.line);
         let job = Job {
             id: req.id,
             line: req.line,
+            ctx,
+            enqueued: Instant::now(),
             reply: tx.clone(),
         };
         match shared.queue.push(client, job) {
             Ok(depth) => shared.metrics.record_depth(depth),
             Err(Admission::Overloaded) => {
+                if let Some(ctx) = ctx {
+                    Tracer::global().discard(ctx);
+                }
                 shared
                     .metrics
                     .rejected_overloaded
@@ -490,6 +565,9 @@ fn connection_loop(shared: &Arc<Shared>, stream: TcpStream, client: u64) {
                 });
             }
             Err(Admission::ShuttingDown) => {
+                if let Some(ctx) = ctx {
+                    Tracer::global().discard(ctx);
+                }
                 shared
                     .metrics
                     .rejected_shutting_down
@@ -506,11 +584,37 @@ fn connection_loop(shared: &Arc<Shared>, stream: TcpStream, client: u64) {
     let _ = writer.join();
 }
 
+/// The TCP server's transport counters, surfaced to the shared command
+/// grammar: `stats net` and `stats reset` work over the wire without
+/// the service crate depending on this one.
+struct NetFrontend<'a>(&'a Shared);
+
+impl Frontend for NetFrontend<'_> {
+    fn net_stats(&self) -> Option<String> {
+        Some(self.0.metrics.snapshot().to_string())
+    }
+
+    fn net_stats_json(&self) -> Option<String> {
+        Some(self.0.metrics.snapshot().to_json())
+    }
+
+    fn reset_stats(&self) {
+        self.0.metrics.reset();
+    }
+}
+
 /// Dispatcher: drain the fair queue into the service until the queue is
 /// closed *and* empty (the graceful-shutdown drain).
 fn dispatch_loop(shared: &Arc<Shared>) {
     while let Some((client, job)) = shared.queue.pop() {
-        let resp = match Command::parse(&job.line) {
+        // Rejoin the trace minted at the wire: the time since admission
+        // is the net queue wait, recorded retroactively.
+        trace::span_at(job.ctx, Stage::QueueWait, "net-queue", job.enqueued);
+        let installed = trace::install(job.ctx);
+        let parse_span = trace::span(Stage::Parse, "command-parse");
+        let parsed = Command::parse(&job.line);
+        drop(parse_span);
+        let resp = match parsed {
             Err(e) => WireResponse {
                 id: job.id,
                 status: Status::Err,
@@ -518,7 +622,7 @@ fn dispatch_loop(shared: &Arc<Shared>) {
             },
             Ok(cmd) => {
                 let is_shutdown = matches!(cmd, Command::Shutdown);
-                let result = command::execute(&shared.service, cmd);
+                let result = command::execute_with(&shared.service, cmd, &NetFrontend(shared));
                 if is_shutdown {
                     shared.begin_shutdown();
                 }
@@ -536,6 +640,10 @@ fn dispatch_loop(shared: &Arc<Shared>) {
                 }
             }
         };
+        drop(installed);
+        if let Some(ctx) = job.ctx {
+            Tracer::global().finish(ctx);
+        }
         shared.metrics.record_served(client);
         let _ = job.reply.send(resp);
     }

@@ -1,0 +1,530 @@
+//! Unified metrics: named atomic counters and gauges plus log-bucketed
+//! histograms, collected in a [`Registry`].
+//!
+//! The [`Histogram`] replaces fixed-size sample rings: it covers
+//! **all-time** samples in constant memory by bucketing values
+//! log-linearly (8 sub-buckets per power-of-two octave). Quantiles are
+//! approximate with a bounded relative error of at most 1/16 (6.25%) —
+//! a bucket's midpoint is reported — while `count`, `sum` (hence the
+//! mean), and `max` are exact. Buckets are atomics, so recording is
+//! lock-free and per-shard histograms [`merge`](Histogram::merge)
+//! losslessly.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, PoisonError, RwLock};
+
+/// Monotonically increasing atomic counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A zeroed counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Back to zero (registration survives; see [`Registry::reset`]).
+    pub fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Last-write-wins atomic gauge with a high-water helper.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// A zeroed gauge.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the value.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Raises the value to `v` if it is larger (high-water mark).
+    #[inline]
+    pub fn record_max(&self, v: u64) {
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Back to zero.
+    pub fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Sub-buckets per power-of-two octave: values below 8 get exact
+/// buckets; from 8 up, each octave `[2^k, 2^(k+1))` splits into 8.
+const SUB: u64 = 8;
+/// log2(SUB).
+const SUB_BITS: u32 = 3;
+/// Octaves 3..=63 at 8 buckets each, plus the 8 exact small buckets.
+const BUCKETS: usize = (64 - SUB_BITS as usize) * SUB as usize + SUB as usize;
+
+/// Maps a value to its bucket index.
+#[inline]
+fn bucket_index(v: u64) -> usize {
+    if v < SUB {
+        v as usize
+    } else {
+        let octave = 63 - v.leading_zeros(); // >= SUB_BITS
+        let sub = (v >> (octave - SUB_BITS)) & (SUB - 1);
+        (((octave - SUB_BITS) as u64 + 1) * SUB + sub) as usize
+    }
+}
+
+/// Inclusive `[lo, hi]` value range of bucket `i`.
+fn bucket_range(i: usize) -> (u64, u64) {
+    let i = i as u64;
+    if i < SUB {
+        (i, i)
+    } else {
+        let octave = (i / SUB - 1) as u32 + SUB_BITS;
+        let sub = i % SUB;
+        let width = 1u64 << (octave - SUB_BITS);
+        let lo = (SUB + sub) << (octave - SUB_BITS);
+        // `lo + (width - 1)`: the top bucket ends exactly at u64::MAX,
+        // so adding `width` first would overflow.
+        (lo, lo + (width - 1))
+    }
+}
+
+/// Log-linear (HDR-style) histogram over `u64` samples.
+///
+/// Memory is a flat array of `BUCKETS` atomic counters (~4 KiB);
+/// recording is two relaxed `fetch_add`s plus a `fetch_max`. Quantiles
+/// report the midpoint of the bucket containing the rank, so for any
+/// quantile `q`: `|approx(q) - exact(q)| <= exact(q) / 16 + 1`.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: Box<[AtomicU64]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Total samples recorded (exact).
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all samples (exact).
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Largest sample recorded (exact).
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Mean of all samples, rounded (exact: `sum / count`).
+    pub fn mean(&self) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            0
+        } else {
+            (self.sum() as f64 / n as f64).round() as u64
+        }
+    }
+
+    /// Approximate `q`-quantile over **all** recorded samples
+    /// (nearest-rank; bucket-midpoint, relative error ≤ 1/16).
+    pub fn quantile(&self, q: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let rank = ((n as f64 - 1.0) * q.clamp(0.0, 1.0)).round() as u64;
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            let c = b.load(Ordering::Relaxed);
+            if c == 0 {
+                continue;
+            }
+            seen += c;
+            if seen > rank {
+                let (lo, hi) = bucket_range(i);
+                return lo.midpoint(hi).min(self.max());
+            }
+        }
+        self.max()
+    }
+
+    /// Adds all of `other`'s samples into `self` (lossless: buckets are
+    /// aligned by construction). Used to combine per-shard histograms.
+    pub fn merge(&self, other: &Histogram) {
+        for (mine, theirs) in self.buckets.iter().zip(other.buckets.iter()) {
+            let c = theirs.load(Ordering::Relaxed);
+            if c != 0 {
+                mine.fetch_add(c, Ordering::Relaxed);
+            }
+        }
+        self.count.fetch_add(other.count(), Ordering::Relaxed);
+        self.sum.fetch_add(other.sum(), Ordering::Relaxed);
+        self.max.fetch_max(other.max(), Ordering::Relaxed);
+    }
+
+    /// Zeroes every bucket and aggregate.
+    pub fn reset(&self) {
+        for b in self.buckets.iter() {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+
+    /// Point-in-time summary.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count(),
+            sum: self.sum(),
+            max: self.max(),
+            mean: self.mean(),
+            p50: self.quantile(0.50),
+            p99: self.quantile(0.99),
+        }
+    }
+}
+
+/// Summary of a [`Histogram`] at one instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Samples recorded (exact).
+    pub count: u64,
+    /// Sum of samples (exact).
+    pub sum: u64,
+    /// Largest sample (exact).
+    pub max: u64,
+    /// Exact mean (`sum / count`, rounded).
+    pub mean: u64,
+    /// All-time median (bucket-midpoint approximation).
+    pub p50: u64,
+    /// All-time 99th percentile (bucket-midpoint approximation).
+    pub p99: u64,
+}
+
+/// One registered metric's current value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MetricSnapshot {
+    /// Counter value.
+    Counter(u64),
+    /// Gauge value.
+    Gauge(u64),
+    /// Histogram summary.
+    Histogram(HistogramSnapshot),
+}
+
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+/// Named metric registry. Registration is get-or-create by name, so
+/// independent components can share an instrument; values live in
+/// `Arc`s that callers cache, keeping the hot path free of the
+/// registry lock.
+#[derive(Debug, Default)]
+pub struct Registry {
+    metrics: RwLock<BTreeMap<String, Metric>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn read(&self) -> std::sync::RwLockReadGuard<'_, BTreeMap<String, Metric>> {
+        self.metrics.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn write(&self) -> std::sync::RwLockWriteGuard<'_, BTreeMap<String, Metric>> {
+        self.metrics.write().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Gets or registers the counter `name`.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different kind.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        if let Some(Metric::Counter(c)) = self.read().get(name) {
+            return Arc::clone(c);
+        }
+        let mut map = self.write();
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Counter(Arc::new(Counter::new())))
+        {
+            Metric::Counter(c) => Arc::clone(c),
+            _ => panic!("metric {name:?} already registered with a different kind"),
+        }
+    }
+
+    /// Gets or registers the gauge `name`.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different kind.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        if let Some(Metric::Gauge(g)) = self.read().get(name) {
+            return Arc::clone(g);
+        }
+        let mut map = self.write();
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Gauge(Arc::new(Gauge::new())))
+        {
+            Metric::Gauge(g) => Arc::clone(g),
+            _ => panic!("metric {name:?} already registered with a different kind"),
+        }
+    }
+
+    /// Gets or registers the histogram `name`.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different kind.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        if let Some(Metric::Histogram(h)) = self.read().get(name) {
+            return Arc::clone(h);
+        }
+        let mut map = self.write();
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Arc::new(Histogram::new())))
+        {
+            Metric::Histogram(h) => Arc::clone(h),
+            _ => panic!("metric {name:?} already registered with a different kind"),
+        }
+    }
+
+    /// Zeroes every instrument while keeping all registrations (and
+    /// every cached `Arc` handle) valid — `stats reset`.
+    pub fn reset(&self) {
+        for metric in self.read().values() {
+            match metric {
+                Metric::Counter(c) => c.reset(),
+                Metric::Gauge(g) => g.reset(),
+                Metric::Histogram(h) => h.reset(),
+            }
+        }
+    }
+
+    /// Name-sorted snapshot of every instrument.
+    pub fn snapshot(&self) -> Vec<(String, MetricSnapshot)> {
+        self.read()
+            .iter()
+            .map(|(name, metric)| {
+                let value = match metric {
+                    Metric::Counter(c) => MetricSnapshot::Counter(c.get()),
+                    Metric::Gauge(g) => MetricSnapshot::Gauge(g.get()),
+                    Metric::Histogram(h) => MetricSnapshot::Histogram(h.snapshot()),
+                };
+                (name.clone(), value)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        // Every value below SUB and every octave boundary maps to a
+        // bucket whose range contains it; below SUB the range is exact.
+        for v in 0..SUB {
+            assert_eq!(bucket_range(bucket_index(v)), (v, v));
+        }
+        for octave in SUB_BITS..63 {
+            for v in [1u64 << octave, (1u64 << (octave + 1)) - 1] {
+                let (lo, hi) = bucket_range(bucket_index(v));
+                assert!(lo <= v && v <= hi, "v={v} not in [{lo},{hi}]");
+            }
+        }
+    }
+
+    #[test]
+    fn bucket_ranges_tile_the_line() {
+        // Consecutive buckets abut exactly: hi(i) + 1 == lo(i+1), all
+        // the way to the last bucket (which ends at u64::MAX).
+        for i in 0..BUCKETS - 1 {
+            let (_, hi) = bucket_range(i);
+            let (lo_next, _) = bucket_range(i + 1);
+            assert_eq!(hi + 1, lo_next, "gap between bucket {i} and {}", i + 1);
+        }
+        assert_eq!(bucket_range(BUCKETS - 1).1, u64::MAX);
+    }
+
+    #[test]
+    fn bucket_width_bounds_relative_error() {
+        // Bucket midpoint is within 1/16 of any member of the bucket.
+        for i in SUB as usize..BUCKETS - 1 {
+            let (lo, hi) = bucket_range(i);
+            let mid = lo.midpoint(hi);
+            let half_width = (hi - lo).div_ceil(2);
+            assert!(
+                half_width as f64 <= lo as f64 / 16.0 + 1.0,
+                "bucket {i} [{lo},{hi}] mid {mid} too wide"
+            );
+        }
+    }
+
+    #[test]
+    fn quantiles_match_sorted_reference_within_bound() {
+        // Deterministic LCG; no external rand needed here.
+        let mut state = 0x2545F4914F6CDD1Du64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let h = Histogram::new();
+        let mut samples: Vec<u64> = Vec::new();
+        for i in 0..10_000u64 {
+            // Mix of scales: small exact values, mid-range, heavy tail.
+            let v = match i % 3 {
+                0 => next() % 16,
+                1 => next() % 10_000,
+                _ => next() % 10_000_000,
+            };
+            samples.push(v);
+            h.record(v);
+        }
+        samples.sort_unstable();
+        let exact_sum: u64 = samples.iter().sum();
+        assert_eq!(h.count(), samples.len() as u64);
+        assert_eq!(h.sum(), exact_sum);
+        assert_eq!(h.max(), *samples.last().unwrap());
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            let rank = ((samples.len() as f64 - 1.0) * q).round() as usize;
+            let exact = samples[rank];
+            let approx = h.quantile(q);
+            let bound = exact / 16 + 1;
+            assert!(
+                approx.abs_diff(exact) <= bound,
+                "q={q}: approx {approx} vs exact {exact} (bound {bound})"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_equals_single_histogram() {
+        let shard_a = Histogram::new();
+        let shard_b = Histogram::new();
+        let combined = Histogram::new();
+        for v in 0..5_000u64 {
+            let v = v * 37 % 100_000;
+            if v % 2 == 0 {
+                shard_a.record(v);
+            } else {
+                shard_b.record(v);
+            }
+            combined.record(v);
+        }
+        let merged = Histogram::new();
+        merged.merge(&shard_a);
+        merged.merge(&shard_b);
+        assert_eq!(merged.count(), combined.count());
+        assert_eq!(merged.sum(), combined.sum());
+        assert_eq!(merged.max(), combined.max());
+        for q in [0.1, 0.5, 0.9, 0.99] {
+            assert_eq!(merged.quantile(q), combined.quantile(q));
+        }
+    }
+
+    #[test]
+    fn empty_histogram_is_zero() {
+        let h = Histogram::new();
+        let s = h.snapshot();
+        assert_eq!((s.count, s.mean, s.p50, s.p99, s.max), (0, 0, 0, 0, 0));
+    }
+
+    #[test]
+    fn registry_shares_and_resets() {
+        let r = Registry::new();
+        let a = r.counter("service.queries");
+        let b = r.counter("service.queries");
+        a.add(3);
+        assert_eq!(b.get(), 3);
+        let g = r.gauge("service.max_queue_depth");
+        g.record_max(7);
+        g.record_max(4);
+        assert_eq!(g.get(), 7);
+        let h = r.histogram("service.latency_us");
+        h.record(100);
+        r.reset();
+        // Registrations survive; values are zeroed; old handles live on.
+        assert_eq!(a.get(), 0);
+        assert_eq!(g.get(), 0);
+        assert_eq!(h.count(), 0);
+        a.inc();
+        assert_eq!(r.counter("service.queries").get(), 1);
+        assert_eq!(r.snapshot().len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "different kind")]
+    fn kind_mismatch_panics() {
+        let r = Registry::new();
+        r.counter("x");
+        r.gauge("x");
+    }
+}

@@ -26,17 +26,33 @@
 //! binary is only the stdin/stdout plumbing. Bad lines are answered
 //! with `err … (offending token: …)`, never silently skipped.
 
+use mmjoin_obs::trace::{chrome_json, span, Stage, Tracer};
 use mmjoin_service::command::{self, Command};
-use mmjoin_service::Service;
+use mmjoin_service::{Service, ServiceConfig};
 use std::io::BufRead;
 
-fn main() {
-    let workers = std::env::args()
-        .skip_while(|a| a != "--workers")
+fn arg_value<T: std::str::FromStr>(flag: &str) -> Option<T> {
+    std::env::args()
+        .skip_while(|a| a != flag)
         .nth(1)
-        .and_then(|w| w.parse().ok())
-        .unwrap_or(4);
-    let service = Service::with_default_registry(workers);
+        .and_then(|v| v.parse().ok())
+}
+
+fn main() {
+    let workers: usize = arg_value("--workers").unwrap_or(4);
+    let trace_out: Option<String> = arg_value("--trace-out");
+    let slow_query_us: u64 = arg_value("--slow-query").unwrap_or(0);
+
+    let tracer = Tracer::global();
+    if trace_out.is_some() || slow_query_us > 0 {
+        tracer.set_enabled(true);
+    }
+
+    let service = Service::with_config(ServiceConfig {
+        workers,
+        slow_query_us,
+        ..ServiceConfig::default()
+    });
 
     println!(
         "mmjoin-serve ready: {} workers, {} engines (type `help`)",
@@ -52,7 +68,13 @@ fn main() {
         if trimmed.is_empty() || trimmed.starts_with('#') {
             continue;
         }
-        match Command::parse(trimmed) {
+        // Each line is one request: mint its root span here, at the
+        // REPL boundary (the stdin analogue of the wire boundary).
+        let root = tracer.begin(trimmed);
+        let parse_span = span(Stage::Parse, "command-parse");
+        let parsed = Command::parse(trimmed);
+        drop(parse_span);
+        match parsed {
             Ok(cmd) => {
                 // On stdin, `shutdown` and `quit` both just end the
                 // session — queries already ran to completion, so the
@@ -63,10 +85,19 @@ fn main() {
                     Err(msg) => println!("err {msg}"),
                 }
                 if terminal {
+                    drop(root);
                     break;
                 }
             }
             Err(err) => println!("err {err}"),
+        }
+        drop(root);
+    }
+    if let Some(path) = trace_out {
+        let traces = tracer.last(usize::MAX);
+        match std::fs::write(&path, chrome_json(&traces)) {
+            Ok(()) => println!("wrote {} trace(s) to {path}", traces.len()),
+            Err(e) => eprintln!("mmjoin-serve: write {path}: {e}"),
         }
     }
 }

@@ -179,6 +179,15 @@ impl ResultCache {
     pub fn counters(&self) -> (u64, u64, u64, u64) {
         (self.hits, self.misses, self.evictions, self.invalidations)
     }
+
+    /// Zeroes the hit/miss/eviction/invalidation counters without
+    /// touching cached entries (`stats reset`).
+    pub fn reset_counters(&mut self) {
+        self.hits = 0;
+        self.misses = 0;
+        self.evictions = 0;
+        self.invalidations = 0;
+    }
 }
 
 #[cfg(test)]

@@ -9,7 +9,10 @@
 //! transports print verbatim. Transports only differ in how lines
 //! arrive and where answers go.
 
+use crate::metrics::MetricsSnapshot;
 use crate::{AtomSpec, MaintenanceReport, Request, Service};
+use mmjoin_executor::ExecutorStats;
+use mmjoin_obs::trace::{self, chrome_json, Stage, Tracer};
 use mmjoin_storage::io::read_edge_list;
 use mmjoin_storage::{Edge, Relation, RelationBuilder};
 use std::time::Instant;
@@ -80,8 +83,13 @@ pub enum Command {
     Catalog,
     /// `engines`
     Engines,
-    /// `stats`
-    Stats,
+    /// `stats [service|net|executor|cache] [--json]`
+    Stats { scope: StatsScope, json: bool },
+    /// `stats reset` — zero every counter, keep registrations.
+    StatsReset,
+    /// `trace on|off` / `trace sample <n>` / `trace last [n]` /
+    /// `trace tree [n]`
+    Trace(TraceCmd),
     /// `query …`; `show` carries the max rows to print (None = don't).
     Query {
         request: Request,
@@ -93,6 +101,39 @@ pub enum Command {
     Quit,
     /// `shutdown` — stop the whole server, draining in-flight work.
     Shutdown,
+}
+
+/// Which subsystem `stats` reports on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StatsScope {
+    /// Bare `stats` / `stats --json`: the service snapshot (plus the
+    /// executor, cache and front end under `--json`).
+    All,
+    /// `stats service`
+    Service,
+    /// `stats net` — the transport front end, when one is attached.
+    Net,
+    /// `stats executor` — the shared intra-query pool.
+    Executor,
+    /// `stats cache` — the result cache's own counters.
+    Cache,
+}
+
+/// A `trace …` subcommand against the process-global [`Tracer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceCmd {
+    /// `trace on` — start tracing requests.
+    On,
+    /// `trace off` — back to the single-atomic-load fast path.
+    Off,
+    /// `trace sample <n>` — trace every n-th request.
+    Sample(u64),
+    /// `trace last [n]` — export the last n finished traces as Chrome
+    /// trace-event JSON (load in `chrome://tracing` / Perfetto).
+    Last(usize),
+    /// `trace tree [n]` — render the last n finished traces as
+    /// indented span trees with per-stage durations.
+    Tree(usize),
 }
 
 impl Command {
@@ -109,7 +150,8 @@ impl Command {
             "shutdown" => Ok(Command::Shutdown),
             "catalog" => Ok(Command::Catalog),
             "engines" => Ok(Command::Engines),
-            "stats" => Ok(Command::Stats),
+            "stats" => parse_stats(&tokens[1..]),
+            "trace" => parse_trace(&tokens[1..]),
             "register" => {
                 let name = *tokens
                     .get(1)
@@ -207,9 +249,44 @@ impl Command {
     }
 }
 
+/// The transport hosting this command session, as far as `stats` is
+/// concerned. The REPL has no network front end ([`NoFrontend`]); the
+/// TCP server implements this over its `NetMetrics` so `stats net` and
+/// `stats reset` reach the transport counters without the service crate
+/// depending on the net crate.
+pub trait Frontend {
+    /// One-line human-readable transport stats, `None` when the
+    /// transport has none (then `stats net` is an error).
+    fn net_stats(&self) -> Option<String> {
+        None
+    }
+    /// The same counters as a JSON object, `None` when absent.
+    fn net_stats_json(&self) -> Option<String> {
+        None
+    }
+    /// Zeroes the transport counters as part of `stats reset`.
+    fn reset_stats(&self) {}
+}
+
+/// The frontend of transports without one (REPL, tests, direct calls).
+pub struct NoFrontend;
+
+impl Frontend for NoFrontend {}
+
 /// Runs one command against the service. `Ok` answers already carry
 /// their leading `ok`; transports wrap `Err` in a leading `err `.
+/// Equivalent to [`execute_with`] over [`NoFrontend`].
 pub fn execute(service: &Service, cmd: Command) -> Result<String, String> {
+    execute_with(service, cmd, &NoFrontend)
+}
+
+/// Runs one command against the service, with `frontend` answering for
+/// the transport in `stats net` / `stats reset`.
+pub fn execute_with(
+    service: &Service,
+    cmd: Command,
+    frontend: &dyn Frontend,
+) -> Result<String, String> {
     match cmd {
         Command::Help => Ok(HELP.trim_end().to_string()),
         Command::Register { name, relation } => register_report(service, &name, relation),
@@ -275,7 +352,13 @@ pub fn execute(service: &Service, cmd: Command) -> Result<String, String> {
             let names = service.registry().names();
             Ok(format!("ok {} engines: {}", names.len(), names.join(", ")))
         }
-        Command::Stats => Ok(format!("ok {}", service.metrics())),
+        Command::Stats { scope, json } => run_stats(service, scope, json, frontend),
+        Command::StatsReset => {
+            service.reset_metrics();
+            frontend.reset_stats();
+            Ok("ok stats reset (registrations kept)".into())
+        }
+        Command::Trace(tc) => run_trace(tc),
         Command::Query { request, show } => run_query(service, request, show),
         Command::Explain { request } => {
             let lines = service.explain(request).map_err(|e| e.to_string())?;
@@ -292,6 +375,49 @@ pub fn execute(service: &Service, cmd: Command) -> Result<String, String> {
 pub fn run_line(service: &Service, line: &str) -> Result<String, String> {
     let cmd = Command::parse(line).map_err(|e| e.to_string())?;
     execute(service, cmd)
+}
+
+/// Parses everything after `stats`.
+fn parse_stats(tokens: &[&str]) -> Result<Command, ParseError> {
+    const USAGE: &str = "usage: stats [service|net|executor|cache] [--json] | stats reset";
+    let mut scope = StatsScope::All;
+    let mut json = false;
+    for &t in tokens {
+        match t {
+            "reset" if tokens.len() == 1 => return Ok(Command::StatsReset),
+            "service" => scope = StatsScope::Service,
+            "net" => scope = StatsScope::Net,
+            "executor" => scope = StatsScope::Executor,
+            "cache" => scope = StatsScope::Cache,
+            "--json" | "json" => json = true,
+            other => return Err(ParseError::at(other, USAGE)),
+        }
+    }
+    Ok(Command::Stats { scope, json })
+}
+
+/// Parses everything after `trace`.
+fn parse_trace(tokens: &[&str]) -> Result<Command, ParseError> {
+    const USAGE: &str = "usage: trace on|off | trace sample <n> | trace last [n] | trace tree [n]";
+    let count = |tokens: &[&str], default: usize| -> Result<usize, ParseError> {
+        match tokens.first() {
+            None => Ok(default),
+            Some(&t) => t.parse().map_err(|_| ParseError::at(t, USAGE)),
+        }
+    };
+    match tokens.first() {
+        Some(&"on") => Ok(Command::Trace(TraceCmd::On)),
+        Some(&"off") => Ok(Command::Trace(TraceCmd::Off)),
+        Some(&"sample") => {
+            let t = *tokens.get(1).ok_or(ParseError::new(USAGE))?;
+            let n: u64 = t.parse().map_err(|_| ParseError::at(t, USAGE))?;
+            Ok(Command::Trace(TraceCmd::Sample(n)))
+        }
+        Some(&"last") => Ok(Command::Trace(TraceCmd::Last(count(&tokens[1..], 1)?))),
+        Some(&"tree") => Ok(Command::Trace(TraceCmd::Tree(count(&tokens[1..], 1)?))),
+        Some(other) => Err(ParseError::at(*other, USAGE)),
+        None => Err(ParseError::new(USAGE)),
+    }
 }
 
 /// Parses everything after `query` / `explain` into a request plus the
@@ -398,10 +524,151 @@ fn parse_request(tokens: &[&str]) -> Result<(Request, Option<usize>), ParseError
     Ok((request, show))
 }
 
+/// Executes `stats [scope] [--json]`.
+fn run_stats(
+    service: &Service,
+    scope: StatsScope,
+    json: bool,
+    frontend: &dyn Frontend,
+) -> Result<String, String> {
+    let cache = || {
+        let (hits, misses, evictions, invalidations) = service.cache_counters();
+        (hits, misses, evictions, invalidations, service.cache_len())
+    };
+    if json {
+        let body = match scope {
+            StatsScope::Service => service_json(&service.metrics()),
+            StatsScope::Net => frontend
+                .net_stats_json()
+                .ok_or("no network front end attached (stats net needs mmjoin-netd)")?,
+            StatsScope::Executor => executor_json(&service.executor_stats()),
+            StatsScope::Cache => cache_json(cache()),
+            StatsScope::All => {
+                let mut body = format!(
+                    "{{\"service\":{},\"executor\":{},\"cache\":{}",
+                    service_json(&service.metrics()),
+                    executor_json(&service.executor_stats()),
+                    cache_json(cache()),
+                );
+                if let Some(net) = frontend.net_stats_json() {
+                    body.push_str(&format!(",\"net\":{net}"));
+                }
+                body.push('}');
+                body
+            }
+        };
+        return Ok(format!("ok {body}"));
+    }
+    match scope {
+        StatsScope::All | StatsScope::Service => Ok(format!("ok {}", service.metrics())),
+        StatsScope::Net => frontend
+            .net_stats()
+            .map(|s| format!("ok {s}"))
+            .ok_or_else(|| "no network front end attached (stats net needs mmjoin-netd)".into()),
+        StatsScope::Executor => Ok(format!("ok {}", service.executor_stats())),
+        StatsScope::Cache => {
+            let (hits, misses, evictions, invalidations, entries) = cache();
+            Ok(format!(
+                "ok cache hits {hits}, misses {misses}, evictions {evictions}, \
+                 invalidations {invalidations}, entries {entries}"
+            ))
+        }
+    }
+}
+
+/// The service snapshot as a JSON object (field names match the struct).
+fn service_json(m: &MetricsSnapshot) -> String {
+    format!(
+        "{{\"queries_served\":{},\"cache_hits\":{},\"cache_hit_rate\":{:.4},\"errors\":{},\
+         \"rejected\":{},\"slow_queries\":{},\"queue_depth\":{},\"max_queue_depth\":{},\
+         \"updates\":{},\"maintained\":{},\"recomputed\":{},\"invalidated\":{},\
+         \"cache_invalidations\":{},\"mean_latency_us\":{},\"p50_latency_us\":{},\
+         \"p99_latency_us\":{},\"max_latency_us\":{}}}",
+        m.queries_served,
+        m.cache_hits,
+        m.cache_hit_rate,
+        m.errors,
+        m.rejected,
+        m.slow_queries,
+        m.queue_depth,
+        m.max_queue_depth,
+        m.updates,
+        m.maintained,
+        m.recomputed,
+        m.invalidated,
+        m.cache_invalidations,
+        m.mean_latency_us,
+        m.p50_latency_us,
+        m.p99_latency_us,
+        m.max_latency_us,
+    )
+}
+
+/// The executor snapshot as a JSON object.
+fn executor_json(e: &ExecutorStats) -> String {
+    format!(
+        "{{\"budget\":{},\"tokens_free\":{},\"batches\":{},\"tasks\":{},\"stolen_tasks\":{},\
+         \"granted_tokens\":{},\"inline_serial\":{}}}",
+        e.budget,
+        e.tokens_free,
+        e.batches,
+        e.tasks,
+        e.stolen_tasks,
+        e.granted_tokens,
+        e.inline_serial,
+    )
+}
+
+/// The result-cache counters as a JSON object.
+fn cache_json(
+    (hits, misses, evictions, invalidations, entries): (u64, u64, u64, u64, usize),
+) -> String {
+    format!(
+        "{{\"hits\":{hits},\"misses\":{misses},\"evictions\":{evictions},\
+         \"invalidations\":{invalidations},\"entries\":{entries}}}"
+    )
+}
+
+/// Executes a `trace …` subcommand against the global tracer.
+fn run_trace(cmd: TraceCmd) -> Result<String, String> {
+    let tracer = Tracer::global();
+    match cmd {
+        TraceCmd::On => {
+            tracer.set_enabled(true);
+            Ok("ok tracing on".into())
+        }
+        TraceCmd::Off => {
+            tracer.set_enabled(false);
+            Ok("ok tracing off".into())
+        }
+        TraceCmd::Sample(n) => {
+            tracer.set_sample_every(n);
+            tracer.set_enabled(true);
+            Ok(format!("ok tracing on, sampling every {}", n.max(1)))
+        }
+        TraceCmd::Last(n) => {
+            let traces = tracer.last(n.max(1));
+            if traces.is_empty() {
+                return Err("no finished traces (is tracing on? try `trace on`)".into());
+            }
+            Ok(format!("ok {}", chrome_json(&traces)))
+        }
+        TraceCmd::Tree(n) => {
+            let traces = tracer.last(n.max(1));
+            if traces.is_empty() {
+                return Err("no finished traces (is tracing on? try `trace on`)".into());
+            }
+            let trees: Vec<String> = traces.iter().map(|t| t.render()).collect();
+            Ok(format!("ok {}", trees.join("\n").trim_end()))
+        }
+    }
+}
+
 fn run_query(service: &Service, request: Request, show: Option<usize>) -> Result<String, String> {
     let t0 = Instant::now();
     let response = service.query(request).map_err(|e| e.to_string())?;
     let secs = t0.elapsed().as_secs_f64();
+    let _ser_span = trace::span(Stage::Serialize, "render-response");
     let mut out = format!(
         "ok rows {} engine {} cached {}{} {:.3}s{}",
         response.rows.len(),
@@ -657,7 +924,12 @@ pub const HELP: &str = "ok commands:
   query Q(x,w) :- R(x,y), S(y,z), T(z,w)   general acyclic query, datalog style
                                            ([limit <n>] [engine <E>] [show [n]] after the rule)
   explain <query …>                        chosen engine + decomposition, without executing
-  catalog | engines | stats | help | quit | shutdown
+  stats [service|net|executor|cache] [--json]   subsystem counters (bare stats = service)
+  stats reset                              zero every counter, keep registrations
+  trace on | off | sample <n>              per-request span tracing (n = every n-th request)
+  trace last [n]                           last n finished traces as Chrome trace-event JSON
+  trace tree [n]                           last n finished traces as indented span trees
+  catalog | engines | help | quit | shutdown
 ";
 
 #[cfg(test)]

@@ -1,94 +1,113 @@
 //! Service-level metrics: queries served, cache hit rate, latency
 //! percentiles, and relation-update maintenance outcomes.
+//!
+//! Since PR 7 the recorder is a façade over the [`mmjoin_obs`] metrics
+//! registry: every instrument is a named atomic (counter/gauge) or a
+//! log-bucketed [`Histogram`], so recording needs no lock and the
+//! latency distribution covers **all-time** samples — mean, p50 and p99
+//! all come from the same histogram (the old 4096-sample ring reported
+//! an all-time mean next to window-local percentiles). Percentiles are
+//! bucket-midpoint approximations with relative error ≤ 1/16 (6.25%);
+//! count, sum/mean and max are exact.
 
 use crate::maintain::MaintenanceReport;
+use mmjoin_obs::{Counter, Gauge, Histogram, Registry};
+use std::sync::Arc;
 
-/// Rolling metrics recorder. Latencies are kept in a fixed-size ring so a
-/// long-lived service never grows unbounded; p50/p99 are computed over
-/// the most recent `LATENCY_WINDOW` samples.
+/// Lock-free metrics recorder backed by a shared [`Registry`] (the
+/// instruments below are also reachable by name through
+/// [`ServiceMetrics::registry`], e.g. for `stats --json`).
 #[derive(Debug)]
 pub struct ServiceMetrics {
-    queries: u64,
-    cache_hits: u64,
-    errors: u64,
-    rejected: u64,
-    max_queue_depth: u64,
-    updates: u64,
-    maintained: u64,
-    recomputed: u64,
-    invalidated: u64,
-    total_busy_secs: f64,
-    latencies_us: Vec<u64>,
-    next_slot: usize,
+    registry: Arc<Registry>,
+    queries: Arc<Counter>,
+    cache_hits: Arc<Counter>,
+    errors: Arc<Counter>,
+    rejected: Arc<Counter>,
+    slow: Arc<Counter>,
+    max_queue_depth: Arc<Gauge>,
+    updates: Arc<Counter>,
+    maintained: Arc<Counter>,
+    recomputed: Arc<Counter>,
+    invalidated: Arc<Counter>,
+    latency_us: Arc<Histogram>,
 }
-
-/// Samples retained for the latency percentiles.
-const LATENCY_WINDOW: usize = 4096;
 
 impl Default for ServiceMetrics {
     fn default() -> Self {
-        Self {
-            queries: 0,
-            cache_hits: 0,
-            errors: 0,
-            rejected: 0,
-            max_queue_depth: 0,
-            updates: 0,
-            maintained: 0,
-            recomputed: 0,
-            invalidated: 0,
-            total_busy_secs: 0.0,
-            latencies_us: Vec::with_capacity(256),
-            next_slot: 0,
-        }
+        Self::new()
     }
 }
 
 impl ServiceMetrics {
-    /// Fresh, zeroed metrics.
+    /// Fresh, zeroed metrics over a private registry.
     pub fn new() -> Self {
-        Self::default()
+        let registry = Arc::new(Registry::new());
+        Self {
+            queries: registry.counter("service.queries_served"),
+            cache_hits: registry.counter("service.cache_hits"),
+            errors: registry.counter("service.errors"),
+            rejected: registry.counter("service.rejected"),
+            slow: registry.counter("service.slow_queries"),
+            max_queue_depth: registry.gauge("service.max_queue_depth"),
+            updates: registry.counter("service.updates"),
+            maintained: registry.counter("service.maintained"),
+            recomputed: registry.counter("service.recomputed"),
+            invalidated: registry.counter("service.invalidated"),
+            latency_us: registry.histogram("service.latency_us"),
+            registry,
+        }
+    }
+
+    /// The registry holding every instrument, for name-addressed export.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
     }
 
     /// Records one served query (`latency_secs` = queue wait + service
     /// time as observed by the worker).
-    pub fn record_query(&mut self, latency_secs: f64, cached: bool) {
-        self.queries += 1;
+    pub fn record_query(&self, latency_secs: f64, cached: bool) {
+        self.queries.inc();
         if cached {
-            self.cache_hits += 1;
+            self.cache_hits.inc();
         }
-        self.total_busy_secs += latency_secs;
-        let us = (latency_secs * 1e6).round() as u64;
-        if self.latencies_us.len() < LATENCY_WINDOW {
-            self.latencies_us.push(us);
-        } else {
-            self.latencies_us[self.next_slot] = us;
-            self.next_slot = (self.next_slot + 1) % LATENCY_WINDOW;
-        }
+        self.latency_us.record((latency_secs * 1e6).round() as u64);
     }
 
     /// Records a failed query.
-    pub fn record_error(&mut self) {
-        self.errors += 1;
+    pub fn record_error(&self) {
+        self.errors.inc();
     }
 
     /// Records an admission-queue rejection.
-    pub fn record_rejected(&mut self) {
-        self.rejected += 1;
+    pub fn record_rejected(&self) {
+        self.rejected.inc();
+    }
+
+    /// Records a query that crossed the slow-query threshold.
+    pub fn record_slow(&self) {
+        self.slow.inc();
     }
 
     /// Records the queue depth observed after an admission, keeping the
     /// high-water mark (the bounded queue's proof of boundedness).
-    pub fn record_depth(&mut self, depth: usize) {
-        self.max_queue_depth = self.max_queue_depth.max(depth as u64);
+    pub fn record_depth(&self, depth: usize) {
+        self.max_queue_depth.record_max(depth as u64);
     }
 
     /// Records the maintenance outcome of one effective relation update.
-    pub fn record_update(&mut self, report: &MaintenanceReport) {
-        self.updates += 1;
-        self.maintained += report.maintained as u64;
-        self.recomputed += report.recomputed as u64;
-        self.invalidated += report.invalidated as u64;
+    pub fn record_update(&self, report: &MaintenanceReport) {
+        self.updates.inc();
+        self.maintained.add(report.maintained as u64);
+        self.recomputed.add(report.recomputed as u64);
+        self.invalidated.add(report.invalidated as u64);
+    }
+
+    /// Zeroes every instrument (`stats reset`) while keeping all
+    /// registrations and handles valid. The high-water queue depth is
+    /// included — this is its reset path for before/after experiments.
+    pub fn reset(&self) {
+        self.registry.reset();
     }
 
     /// An immutable snapshot for reporting. The recorder cannot see the
@@ -96,39 +115,31 @@ impl ServiceMetrics {
     /// and current queue depth are passed in by the caller (the
     /// `Service::metrics` seam) rather than patched up afterwards.
     pub fn snapshot(&self, cache_invalidations: u64, queue_depth: usize) -> MetricsSnapshot {
-        let mut sorted = self.latencies_us.clone();
-        sorted.sort_unstable();
-        let pct = |p: f64| -> u64 {
-            if sorted.is_empty() {
-                return 0;
-            }
-            let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
-            sorted[idx]
-        };
+        let queries = self.queries.get();
+        let cache_hits = self.cache_hits.get();
+        let latency = self.latency_us.snapshot();
         MetricsSnapshot {
-            queries_served: self.queries,
-            cache_hits: self.cache_hits,
-            errors: self.errors,
-            rejected: self.rejected,
+            queries_served: queries,
+            cache_hits,
+            errors: self.errors.get(),
+            rejected: self.rejected.get(),
+            slow_queries: self.slow.get(),
             queue_depth: queue_depth as u64,
-            max_queue_depth: self.max_queue_depth,
-            updates: self.updates,
-            maintained: self.maintained,
-            recomputed: self.recomputed,
-            invalidated: self.invalidated,
+            max_queue_depth: self.max_queue_depth.get(),
+            updates: self.updates.get(),
+            maintained: self.maintained.get(),
+            recomputed: self.recomputed.get(),
+            invalidated: self.invalidated.get(),
             cache_invalidations,
-            cache_hit_rate: if self.queries == 0 {
+            cache_hit_rate: if queries == 0 {
                 0.0
             } else {
-                self.cache_hits as f64 / self.queries as f64
+                cache_hits as f64 / queries as f64
             },
-            mean_latency_us: if self.queries == 0 {
-                0
-            } else {
-                (self.total_busy_secs * 1e6 / self.queries as f64).round() as u64
-            },
-            p50_latency_us: pct(0.50),
-            p99_latency_us: pct(0.99),
+            mean_latency_us: latency.mean,
+            p50_latency_us: latency.p50,
+            p99_latency_us: latency.p99,
+            max_latency_us: latency.max,
         }
     }
 }
@@ -144,10 +155,13 @@ pub struct MetricsSnapshot {
     pub errors: u64,
     /// Requests bounced by the admission queue.
     pub rejected: u64,
+    /// Queries whose latency crossed the configured slow-query
+    /// threshold (0 when no threshold is set).
+    pub slow_queries: u64,
     /// Jobs sitting in the admission queue at snapshot time.
     pub queue_depth: u64,
     /// Largest queue depth ever observed at admission — must never
-    /// exceed the configured queue capacity.
+    /// exceed the configured queue capacity. Zeroed by `stats reset`.
     pub max_queue_depth: u64,
     /// Effective (non-no-op) relation updates applied.
     pub updates: u64,
@@ -165,12 +179,16 @@ pub struct MetricsSnapshot {
     pub cache_invalidations: u64,
     /// `cache_hits / queries_served` (0 when idle).
     pub cache_hit_rate: f64,
-    /// Mean service latency in microseconds.
+    /// Mean service latency in microseconds — exact, over **all**
+    /// samples (same histogram as the percentiles).
     pub mean_latency_us: u64,
-    /// Median latency over the recent window, microseconds.
+    /// All-time median latency in microseconds (log-bucket midpoint,
+    /// relative error ≤ 6.25%).
     pub p50_latency_us: u64,
-    /// 99th-percentile latency over the recent window, microseconds.
+    /// All-time 99th-percentile latency, microseconds (same bound).
     pub p99_latency_us: u64,
+    /// Largest latency ever observed, microseconds (exact).
+    pub max_latency_us: u64,
 }
 
 impl std::fmt::Display for MetricsSnapshot {
@@ -179,7 +197,7 @@ impl std::fmt::Display for MetricsSnapshot {
             f,
             "served {} (cache hits {}, {:.1}%), errors {}, rejected {}, \
              updates {} (maintained {}, recomputed {}, invalidated {}), \
-             cache churn {}, latency mean {}us p50 {}us p99 {}us",
+             cache churn {}, latency mean {}us p50 {}us p99 {}us max {}us, slow {}",
             self.queries_served,
             self.cache_hits,
             self.cache_hit_rate * 100.0,
@@ -193,6 +211,8 @@ impl std::fmt::Display for MetricsSnapshot {
             self.mean_latency_us,
             self.p50_latency_us,
             self.p99_latency_us,
+            self.max_latency_us,
+            self.slow_queries,
         )
     }
 }
@@ -203,7 +223,7 @@ mod tests {
 
     #[test]
     fn snapshot_percentiles() {
-        let mut m = ServiceMetrics::new();
+        let m = ServiceMetrics::new();
         for i in 1..=100u64 {
             m.record_query(i as f64 * 1e-6, i % 4 == 0);
         }
@@ -211,9 +231,21 @@ mod tests {
         assert_eq!(s.queries_served, 100);
         assert_eq!(s.cache_hits, 25);
         assert!((s.cache_hit_rate - 0.25).abs() < 1e-9);
-        assert_eq!(s.p50_latency_us, 51); // nearest-rank on 1..=100
-        assert_eq!(s.p99_latency_us, 99);
+        // Histogram percentiles: within the documented 1/16 bound of the
+        // exact nearest-rank values (51 and 99 on 1..=100).
+        assert!(
+            s.p50_latency_us.abs_diff(51) <= 51 / 16 + 1,
+            "{}",
+            s.p50_latency_us
+        );
+        assert!(
+            s.p99_latency_us.abs_diff(99) <= 99 / 16 + 1,
+            "{}",
+            s.p99_latency_us
+        );
+        // Mean and max are exact.
         assert_eq!(s.mean_latency_us, 51); // mean of 1..=100 rounded
+        assert_eq!(s.max_latency_us, 100);
     }
 
     #[test]
@@ -226,7 +258,7 @@ mod tests {
 
     #[test]
     fn update_counters_accumulate() {
-        let mut m = ServiceMetrics::new();
+        let m = ServiceMetrics::new();
         m.record_update(&MaintenanceReport {
             epoch: 2,
             inserted: 1,
@@ -244,11 +276,40 @@ mod tests {
     }
 
     #[test]
-    fn ring_window_bounds_memory() {
-        let mut m = ServiceMetrics::new();
-        for _ in 0..(LATENCY_WINDOW + 500) {
-            m.record_query(1e-6, false);
+    fn percentiles_cover_all_time_not_a_window() {
+        // One early outlier followed by far more samples than the old
+        // 4096-entry ring held: the outlier must still be visible in the
+        // max and keep its weight in the distribution.
+        let m = ServiceMetrics::new();
+        m.record_query(0.5, false); // 500_000us
+        for _ in 0..10_000 {
+            m.record_query(10e-6, false);
         }
-        assert_eq!(m.latencies_us.len(), LATENCY_WINDOW);
+        let s = m.snapshot(0, 0);
+        assert_eq!(s.queries_served, 10_001);
+        assert_eq!(s.max_latency_us, 500_000, "all-time max survives");
+        assert!(s.p50_latency_us <= 11, "bulk of the mass is small");
+    }
+
+    #[test]
+    fn reset_zeroes_counters_and_high_water() {
+        let m = ServiceMetrics::new();
+        m.record_query(1e-3, true);
+        m.record_error();
+        m.record_rejected();
+        m.record_depth(42);
+        m.record_slow();
+        assert_eq!(m.snapshot(0, 0).max_queue_depth, 42);
+        m.reset();
+        let s = m.snapshot(0, 0);
+        assert_eq!(s.queries_served, 0);
+        assert_eq!(s.errors, 0);
+        assert_eq!(s.rejected, 0);
+        assert_eq!(s.slow_queries, 0);
+        assert_eq!(s.max_queue_depth, 0, "high-water mark has a reset path");
+        assert_eq!(s.p99_latency_us, 0);
+        // Instruments still record after the reset.
+        m.record_query(1e-6, false);
+        assert_eq!(m.snapshot(0, 0).queries_served, 1);
     }
 }

@@ -15,7 +15,8 @@ use mmjoin_api::ir::{Atom, QueryGraph};
 use mmjoin_api::{DeltaSink, EngineRegistry, ExecStats, LimitSink, Query, QueryFamily, VecSink};
 use mmjoin_core::plan::{FinalStage, GeneralPlan, NodeSource, PlanStep, ProjCols};
 use mmjoin_core::{choose_thresholds, plan_general, JoinConfig, PlanChoice};
-use mmjoin_executor::Executor;
+use mmjoin_executor::{Executor, ExecutorStats};
+use mmjoin_obs::trace::{self, Stage, Tracer};
 use mmjoin_storage::{Edge, Relation, RelationDelta, Value};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -63,6 +64,14 @@ pub struct ServiceConfig {
     /// Incremental-maintenance policy for the result cache under
     /// [`Service::apply_delta`] updates.
     pub maintenance: MaintenancePolicy,
+    /// Slow-query threshold in microseconds; `0` disables the slow-query
+    /// log. A query whose total latency (queue wait + service) crosses
+    /// the threshold bumps the `slow_queries` counter and, when the
+    /// global tracer is enabled, dumps its span tree to stderr with
+    /// per-stage durations. When no trace context arrived with the
+    /// request, workers mint one themselves (bypassing sampling) so the
+    /// tree is available if the query turns out slow.
+    pub slow_query_us: u64,
 }
 
 impl Default for ServiceConfig {
@@ -79,6 +88,7 @@ impl Default for ServiceConfig {
             join_config: JoinConfig::default(),
             engine_overrides: HashMap::new(),
             maintenance: MaintenancePolicy::default(),
+            slow_query_us: 0,
         }
     }
 }
@@ -114,6 +124,10 @@ pub struct Response {
 struct Job {
     request: Request,
     enqueued: Instant,
+    /// Trace context captured at submission — the worker thread re-joins
+    /// the submitter's trace across the queue hop, so queue wait and all
+    /// downstream stages land under the request's root span.
+    ctx: Option<trace::Ctx>,
     tx: mpsc::Sender<Result<Response, ServiceError>>,
 }
 
@@ -150,8 +164,11 @@ struct Inner {
     cache: Mutex<ResultCache>,
     queue: Mutex<QueueState>,
     available: Condvar,
-    metrics: Mutex<ServiceMetrics>,
+    /// Lock-free since PR 7: every instrument is atomic, so recording
+    /// needs no mutex (and can never poison).
+    metrics: ServiceMetrics,
     queue_capacity: usize,
+    slow_query_us: u64,
     shutting_down: AtomicBool,
 }
 
@@ -193,8 +210,9 @@ impl Service {
                 shutdown: false,
             }),
             available: Condvar::new(),
-            metrics: Mutex::new(ServiceMetrics::new()),
+            metrics: ServiceMetrics::new(),
             queue_capacity: config.queue_capacity.max(1),
+            slow_query_us: config.slow_query_us,
             shutting_down: AtomicBool::new(false),
         });
         let workers = (0..config.workers.max(1))
@@ -303,6 +321,7 @@ impl Service {
             return Ok(report);
         }
         let name = name.trim();
+        let _span = trace::span_dyn(Stage::Maintain, || format!("update {name}"));
         let drained = self
             .inner
             .cache
@@ -316,11 +335,7 @@ impl Service {
                 Decision::Invalidate => report.invalidated += 1,
             }
         }
-        self.inner
-            .metrics
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
-            .record_update(&report);
+        self.inner.metrics.record_update(&report);
         Ok(report)
     }
 
@@ -381,11 +396,7 @@ impl Service {
             let _ = tx.send(Err(ServiceError::ShuttingDown));
         } else if q.jobs.len() >= self.inner.queue_capacity {
             drop(q);
-            self.inner
-                .metrics
-                .lock()
-                .unwrap_or_else(PoisonError::into_inner)
-                .record_rejected();
+            self.inner.metrics.record_rejected();
             let _ = tx.send(Err(ServiceError::Overloaded {
                 capacity: self.inner.queue_capacity,
             }));
@@ -393,15 +404,12 @@ impl Service {
             q.jobs.push_back(Job {
                 request,
                 enqueued: Instant::now(),
+                ctx: trace::current_if_enabled(),
                 tx,
             });
             let depth = q.jobs.len();
             drop(q);
-            self.inner
-                .metrics
-                .lock()
-                .unwrap_or_else(PoisonError::into_inner)
-                .record_depth(depth);
+            self.inner.metrics.record_depth(depth);
             self.inner.available.notify_one();
         }
         Ticket { rx }
@@ -510,9 +518,27 @@ impl Service {
             .len();
         self.inner
             .metrics
+            .snapshot(cache_invalidations, queue_depth)
+    }
+
+    /// Snapshot of the shared intra-query executor's counters (batches,
+    /// tasks, steals, token grants, inline degradations).
+    pub fn executor_stats(&self) -> ExecutorStats {
+        self.inner.planner.config.exec().stats()
+    }
+
+    /// Zeroes the service metrics, the executor counters, and the result
+    /// cache's hit/miss/eviction/invalidation counters, keeping every
+    /// registration and cached entry (`stats reset`). The queue-depth
+    /// high-water mark restarts from the current depth's next admission.
+    pub fn reset_metrics(&self) {
+        self.inner.metrics.reset();
+        self.inner.planner.config.exec().reset_stats();
+        self.inner
+            .cache
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
-            .snapshot(cache_invalidations, queue_depth)
+            .reset_counters();
     }
 
     /// `(hits, misses, evictions, invalidations)` of the result cache.
@@ -913,18 +939,54 @@ fn worker_loop(inner: Arc<Inner>) {
             }
         };
         let Some(job) = job else { return };
+        // Re-join the submitter's trace (if any) across the queue hop.
+        // When a slow-query threshold is armed and no context arrived,
+        // mint one here — bypassing sampling — so the span tree exists
+        // if this query turns out slow. Either way the queue wait is
+        // recorded retroactively: the span's clock started at submit.
+        let minted = if job.ctx.is_none() && inner.slow_query_us > 0 {
+            job.request
+                .relation_names()
+                .first()
+                .map(|n| format!("query {n}"))
+                .and_then(|label| Tracer::global().start_forced(&label))
+        } else {
+            None
+        };
+        let ctx = job.ctx.or(minted);
+        trace::span_at(ctx, Stage::QueueWait, "service-queue", job.enqueued);
+        let installed = trace::install(ctx);
         // A panicking engine must not take the worker (and with it the
         // whole queue) down: catch it, fail this query, keep serving.
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             process(&inner, job.request)
         }))
         .unwrap_or_else(|payload| Err(ServiceError::Internal(panic_message(payload))));
+        drop(installed);
+        if let Some(ctx) = minted {
+            Tracer::global().finish(ctx);
+        }
         let latency = job.enqueued.elapsed().as_secs_f64();
-        {
-            let mut m = inner.metrics.lock().unwrap_or_else(PoisonError::into_inner);
-            match &result {
-                Ok(response) => m.record_query(latency, response.cached),
-                Err(_) => m.record_error(),
+        match &result {
+            Ok(response) => inner.metrics.record_query(latency, response.cached),
+            Err(_) => inner.metrics.record_error(),
+        }
+        let latency_us = (latency * 1e6).round() as u64;
+        if inner.slow_query_us > 0 && latency_us >= inner.slow_query_us {
+            inner.metrics.record_slow();
+            // For worker-minted traces the root is finished and carries
+            // the full tree; for inbound contexts the root is still open
+            // at the front end, so we render what has landed so far.
+            match ctx.and_then(|c| Tracer::global().spans_of(c.trace)) {
+                Some(t) => eprintln!(
+                    "[mmjoin] slow query: {latency_us}us >= {}us\n{}",
+                    inner.slow_query_us,
+                    t.render()
+                ),
+                None => eprintln!(
+                    "[mmjoin] slow query: {latency_us}us >= {}us (enable tracing for a span tree)",
+                    inner.slow_query_us
+                ),
             }
         }
         // A dropped ticket just means the caller stopped waiting.
@@ -1005,6 +1067,7 @@ fn process(inner: &Inner, request: Request) -> Result<Response, ServiceError> {
     let fingerprint = request.fingerprint_assuming_canonical();
     let cache_key = cache_key(fingerprint, &epochs);
 
+    let probe_span = trace::span(Stage::CacheProbe, "result-cache");
     if let Some(hit) = inner
         .cache
         .lock()
@@ -1024,13 +1087,18 @@ fn process(inner: &Inner, request: Request) -> Result<Response, ServiceError> {
         });
     }
 
+    drop(probe_span);
+
+    let plan_span = trace::span(Stage::Plan, "select-engine");
     let query = build_query(&request.spec, &handles)?;
 
     let selection: Selection =
         inner
             .planner
             .select(&inner.registry, &query, request.engine.as_deref())?;
+    drop(plan_span);
 
+    let exec_span = trace::span_dyn(Stage::Exec, || selection.engine.clone());
     let (sink, stats, truncated) = match request.limit {
         Some(limit) => {
             let mut sink = LimitSink::new(VecSink::new(), limit);
@@ -1048,6 +1116,7 @@ fn process(inner: &Inner, request: Request) -> Result<Response, ServiceError> {
             (sink, stats, false)
         }
     };
+    drop(exec_span);
 
     let result = CachedResult {
         arity: query.output_arity(),
@@ -1308,8 +1377,9 @@ mod tests {
 
     #[test]
     fn poisoned_locks_recover() {
-        // Poison the cache and metrics mutexes the hard way — panic while
-        // holding them — then drive every path that acquires them.
+        // Poison the cache mutex the hard way — panic while holding it —
+        // then drive every path that acquires it. (Metrics are atomic
+        // and cannot poison.)
         let s = service();
         s.register("R", tiny());
         let warm = s.query(Request::two_path("R", "R")).unwrap();
@@ -1317,8 +1387,7 @@ mod tests {
             let inner = Arc::clone(&s.inner);
             let _ = std::thread::spawn(move || {
                 let _cache = inner.cache.lock().unwrap();
-                let _metrics = inner.metrics.lock().unwrap();
-                panic!("poison both");
+                panic!("poison the cache");
             })
             .join();
         }

@@ -1,0 +1,263 @@
+//! End-to-end observability: per-request traces spanning the command
+//! layer → service queue → planner → executor, and the `stats` / `trace`
+//! command surface both transports share.
+//!
+//! The tracer is process-global, so every test serializes on one lock
+//! and leaves the tracer disabled and empty behind itself.
+
+use mmjoin::{Relation, Service, ServiceConfig};
+use mmjoin_obs::trace::{Stage, Tracer};
+use mmjoin_service::command;
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+static GLOBAL: Mutex<()> = Mutex::new(());
+
+/// Serializes the test on the global tracer, starting from a clean,
+/// enabled, sample-everything state.
+fn with_tracer() -> MutexGuard<'static, ()> {
+    let guard = GLOBAL.lock().unwrap_or_else(PoisonError::into_inner);
+    let tracer = Tracer::global();
+    tracer.clear();
+    tracer.set_sample_every(1);
+    tracer.set_enabled(true);
+    guard
+}
+
+fn teardown() {
+    let tracer = Tracer::global();
+    tracer.set_enabled(false);
+    tracer.clear();
+}
+
+fn chain_service() -> Service {
+    let service = Service::with_config(ServiceConfig {
+        workers: 2,
+        ..ServiceConfig::default()
+    });
+    service.register(
+        "R",
+        Relation::from_edges((0..40u32).map(|i| (i % 8, i % 5))),
+    );
+    service.register(
+        "S",
+        Relation::from_edges((0..40u32).map(|i| (i % 5, i % 7))),
+    );
+    service.register(
+        "T",
+        Relation::from_edges((0..40u32).map(|i| (i % 7, i % 4))),
+    );
+    service
+}
+
+#[test]
+fn composed_chain_query_trace_covers_every_stage() {
+    let _guard = with_tracer();
+    let tracer = Tracer::global();
+    let service = chain_service();
+
+    // The REPL/dispatcher pattern: root at the boundary, then the shared
+    // command layer does the rest.
+    let line = "query chain R S T";
+    let root = tracer.begin(line).expect("tracing is on");
+    let answer = command::run_line(&service, line).expect("chain query runs");
+    assert!(answer.starts_with("ok rows "), "{answer}");
+    drop(root);
+
+    let trace = tracer.last(1).pop().expect("one finished trace");
+    assert_eq!(trace.label, line);
+    let total = trace.total_ns();
+    assert!(total > 0, "root span has a duration");
+
+    let stages: Vec<Stage> = trace.spans.iter().map(|s| s.stage).collect();
+    for want in [
+        Stage::QueueWait,
+        Stage::CacheProbe,
+        Stage::Plan,
+        Stage::Exec,
+        Stage::Step,
+        Stage::Serialize,
+    ] {
+        assert!(stages.contains(&want), "missing {want:?} in {stages:?}");
+    }
+    // A 3-relation chain decomposes into two joins: both plan steps (and
+    // the final stage) must appear as Step spans.
+    let steps = trace
+        .spans
+        .iter()
+        .filter(|s| s.stage == Stage::Step)
+        .count();
+    assert!(steps >= 2, "expected every plan step traced, got {steps}");
+
+    // Spans nest under the root, and the root's direct children are
+    // sequential phases — their durations must sum to at most the total
+    // request latency.
+    let root_span = trace.root().expect("root span");
+    let child_sum: u64 = trace
+        .spans
+        .iter()
+        .filter(|s| s.parent == root_span.id)
+        .map(|s| s.dur_ns)
+        .sum();
+    assert!(
+        child_sum <= total,
+        "direct children sum {child_sum}ns exceeds total {total}ns"
+    );
+    for s in &trace.spans {
+        assert!(
+            s.dur_ns <= total,
+            "span {:?} ({}ns) outlives the request ({total}ns)",
+            s.stage,
+            s.dur_ns
+        );
+        assert!(
+            s.parent == 0 || trace.spans.iter().any(|p| p.id == s.parent),
+            "span {:?} has a dangling parent link",
+            s.stage
+        );
+    }
+
+    // The rendered tree carries every stage name with durations.
+    let rendered = trace.render();
+    for name in ["queue-wait", "cache-probe", "plan", "step", "serialize"] {
+        assert!(
+            rendered.contains(name),
+            "render missing {name}:\n{rendered}"
+        );
+    }
+    teardown();
+}
+
+#[test]
+fn trace_commands_export_chrome_json() {
+    let _guard = with_tracer();
+    let tracer = Tracer::global();
+    let service = chain_service();
+
+    let root = tracer.begin("query chain R S T").unwrap();
+    command::run_line(&service, "query chain R S T").unwrap();
+    drop(root);
+
+    let out = command::run_line(&service, "trace last").unwrap();
+    let json = out.strip_prefix("ok ").expect("ok-prefixed");
+    assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
+    assert!(json.contains("\"traceEvents\""), "{json}");
+    for name in ["queue-wait", "plan", "serialize"] {
+        assert!(json.contains(name), "chrome export missing {name}");
+    }
+    // Chrome trace events are complete (X-phase) with µs timestamps.
+    assert!(json.contains("\"ph\":\"X\""), "{json}");
+
+    let tree = command::run_line(&service, "trace tree").unwrap();
+    assert!(tree.contains("queue-wait"), "{tree}");
+
+    // `trace off` flips the gate; a new request mints no trace.
+    assert_eq!(
+        command::run_line(&service, "trace off").unwrap(),
+        "ok tracing off"
+    );
+    assert!(tracer.begin("untraced").is_none());
+    assert_eq!(
+        command::run_line(&service, "trace sample 4").unwrap(),
+        "ok tracing on, sampling every 4"
+    );
+    assert!(Tracer::global().enabled());
+    teardown();
+}
+
+#[test]
+fn stats_scopes_and_reset_over_the_grammar() {
+    let _guard = with_tracer();
+    // Tracing is irrelevant here; keep it off to exercise that path too.
+    Tracer::global().set_enabled(false);
+    let service = chain_service();
+    command::run_line(&service, "query chain R S T").unwrap();
+    command::run_line(&service, "query chain R S T").unwrap();
+
+    let stats = command::run_line(&service, "stats").unwrap();
+    assert!(stats.contains("served 2 (cache hits 1"), "{stats}");
+    assert!(stats.contains("max"), "{stats}");
+
+    let exec = command::run_line(&service, "stats executor").unwrap();
+    assert!(exec.contains("budget"), "{exec}");
+
+    let cache = command::run_line(&service, "stats cache").unwrap();
+    assert!(cache.contains("hits 1, misses 1"), "{cache}");
+
+    // No net front end on the direct path: `stats net` is an error.
+    let err = command::run_line(&service, "stats net").unwrap_err();
+    assert!(err.contains("no network front end"), "{err}");
+
+    let json = command::run_line(&service, "stats --json").unwrap();
+    let json = json.strip_prefix("ok ").unwrap();
+    for key in [
+        "\"service\"",
+        "\"executor\"",
+        "\"cache\"",
+        "\"queries_served\":2",
+        "\"p99_latency_us\"",
+        "\"slow_queries\"",
+    ] {
+        assert!(json.contains(key), "stats --json missing {key}: {json}");
+    }
+    assert!(
+        !json.contains("\"net\""),
+        "no net scope without a front end"
+    );
+
+    // Reset zeroes counters but keeps the cache's entries and the
+    // instruments registered.
+    command::run_line(&service, "stats reset").unwrap();
+    let m = service.metrics();
+    assert_eq!(m.queries_served, 0);
+    assert_eq!(m.max_queue_depth, 0, "high-water mark resets");
+    let warm = service
+        .query(mmjoin::Request::chain(["R", "S", "T"]))
+        .unwrap();
+    assert!(warm.cached, "reset must not drop cached results");
+    assert_eq!(service.metrics().queries_served, 1);
+    teardown();
+}
+
+#[test]
+fn net_transport_traces_and_answers_stats_net() {
+    let _guard = with_tracer();
+    let tracer = Tracer::global();
+    let service = std::sync::Arc::new(chain_service());
+    let server = mmjoin_net::serve(service, mmjoin_net::NetConfig::default()).unwrap();
+    let addr = server.addr();
+
+    let mut client = mmjoin_net::Client::connect(addr).unwrap();
+    let resp = client.call("query chain R S T").unwrap();
+    assert!(resp.body.starts_with("ok rows "), "{}", resp.body);
+
+    let net = client.call("stats net").unwrap();
+    assert!(net.body.starts_with("ok connections 1"), "{}", net.body);
+    assert!(net.body.contains("served 1"), "{}", net.body);
+
+    let json = client.call("stats --json").unwrap();
+    assert!(json.body.contains("\"net\""), "{}", json.body);
+    assert!(json.body.contains("\"per_client_served\""), "{}", json.body);
+
+    // `trace last <n>` over the wire exports every retained trace —
+    // including the chain query's, which crossed the net queue and the
+    // service queue. (`trace last` alone would return only the most
+    // recent finished trace: the `stats` command right before it.)
+    let last = client.call("trace last 10").unwrap();
+    assert!(last.body.contains("net-queue"), "{}", last.body);
+    assert!(last.body.contains("service-queue"), "{}", last.body);
+    assert!(last.body.contains("\"traceEvents\""), "{}", last.body);
+
+    let reset = client.call("stats reset").unwrap();
+    assert!(reset.body.starts_with("ok stats reset"), "{}", reset.body);
+    let net = client.call("stats net").unwrap();
+    assert!(
+        net.body.contains("requests 1"),
+        "net counters reset over the wire: {}",
+        net.body
+    );
+
+    client.call("shutdown").unwrap();
+    server.wait();
+    assert!(!tracer.last(usize::MAX).is_empty());
+    teardown();
+}
