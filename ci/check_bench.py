@@ -1,0 +1,131 @@
+#!/usr/bin/env python3
+"""Validate every committed BENCH_*.json snapshot against one schema.
+
+Each snapshot is what ``experiments --json`` writes: a JSON array of table
+objects, one per target, with the target name and scale spliced in:
+
+    [
+      {
+        "target": "<experiment target>",
+        "scale": <number>,
+        "title": "<table title>",
+        "headers": ["<key column>", "<cell column>", ...],
+        "rows": [{"key": "<row key>", "cells": ["...", ...]}, ...]
+      },
+      ...
+    ]
+
+The check fails if any snapshot is malformed, or if the trajectory is
+missing a required snapshot (BENCH_8.json must exist and carry the
+``crossover`` target with both its sweep and kernel-speedup rows — the
+misprediction gate's committed evidence for this PR).
+
+Usage: python3 ci/check_bench.py [repo-root]
+"""
+
+import glob
+import json
+import os
+import sys
+
+REQUIRED = {"BENCH_8.json": ["crossover"]}
+
+
+def fail(msg: str) -> None:
+    print(f"check_bench: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_entry(path: str, idx: int, entry) -> str:
+    where = f"{os.path.basename(path)}[{idx}]"
+    if not isinstance(entry, dict):
+        fail(f"{where}: entry is {type(entry).__name__}, expected object")
+    for key, kind in (
+        ("target", str),
+        ("scale", (int, float)),
+        ("title", str),
+        ("headers", list),
+        ("rows", list),
+    ):
+        if key not in entry:
+            fail(f"{where}: missing key {key!r}")
+        if not isinstance(entry[key], kind):
+            fail(f"{where}: {key!r} is {type(entry[key]).__name__}")
+    headers = entry["headers"]
+    if not headers or not all(isinstance(h, str) for h in headers):
+        fail(f"{where}: headers must be a non-empty list of strings")
+    if not entry["rows"]:
+        fail(f"{where}: target {entry['target']!r} has no rows")
+    for r, row in enumerate(entry["rows"]):
+        rwhere = f"{where}.rows[{r}]"
+        if not isinstance(row, dict) or set(row) != {"key", "cells"}:
+            fail(f"{rwhere}: expected an object with exactly 'key' and 'cells'")
+        if not isinstance(row["key"], str) or not row["key"]:
+            fail(f"{rwhere}: row key must be a non-empty string")
+        cells = row["cells"]
+        if not isinstance(cells, list) or not all(isinstance(c, str) for c in cells):
+            fail(f"{rwhere}: cells must be a list of strings")
+        # headers[0] labels the key column; cells fill the rest.
+        if len(cells) != len(headers) - 1:
+            fail(
+                f"{rwhere}: {len(cells)} cells for {len(headers) - 1} "
+                f"non-key headers"
+            )
+    return entry["target"]
+
+
+def check_crossover(path: str, entry) -> None:
+    """The PR-8 snapshot must carry the full misprediction sweep."""
+    keys = [row["key"] for row in entry["rows"]]
+    sweep = [k for k in keys if k.startswith("f=")]
+    gemm = [k for k in keys if k.startswith("gemm n=")]
+    if len(sweep) < 4:
+        fail(f"{path}: crossover sweep has only {len(sweep)} points")
+    if not gemm:
+        fail(f"{path}: crossover entry lacks kernel-speedup (gemm) rows")
+    predicted_col = entry["headers"].index("predicted") - 1
+    predictions = {
+        row["cells"][predicted_col] for row in entry["rows"] if row["key"].startswith("f=")
+    }
+    if not {"wcoj", "mm"} <= predictions:
+        fail(f"{path}: sweep does not bracket the crossover ({sorted(predictions)})")
+
+
+def main() -> None:
+    root = sys.argv[1] if len(sys.argv) > 1 else "."
+    paths = sorted(glob.glob(os.path.join(root, "BENCH_*.json")))
+    if not paths:
+        fail(f"no BENCH_*.json snapshots under {root!r}")
+    targets_by_file = {}
+    for path in paths:
+        try:
+            with open(path, encoding="utf-8") as fh:
+                doc = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            fail(f"{path}: {exc}")
+        if not isinstance(doc, list) or not doc:
+            fail(f"{path}: expected a non-empty JSON array of table objects")
+        targets = [check_entry(path, i, entry) for i, entry in enumerate(doc)]
+        targets_by_file[os.path.basename(path)] = (path, doc, targets)
+
+    for name, required_targets in REQUIRED.items():
+        if name not in targets_by_file:
+            fail(f"required snapshot {name} is missing from the trajectory")
+        path, doc, targets = targets_by_file[name]
+        for target in required_targets:
+            if target not in targets:
+                fail(f"{name}: required target {target!r} not present ({targets})")
+        for entry in doc:
+            if entry["target"] == "crossover":
+                check_crossover(name, entry)
+
+    total = sum(len(t) for _, _, t in targets_by_file.values())
+    print(
+        f"check_bench: ok — {len(targets_by_file)} snapshot(s), "
+        f"{total} table(s): "
+        + ", ".join(f"{n}={t}" for n, (_, _, t) in sorted(targets_by_file.items()))
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -3,7 +3,10 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use mmjoin_matrix::strassen::strassen;
-use mmjoin_matrix::{matmul_parallel, strassen_parallel, BitMatrix, DenseMatrix};
+use mmjoin_matrix::{
+    available_kernels, matmul_parallel, matmul_with_kernel, strassen_parallel, BitMatrix,
+    DenseMatrix,
+};
 
 fn adjacency(n: usize, phase: usize) -> DenseMatrix {
     DenseMatrix::from_fn(n, n, |i, j| {
@@ -41,6 +44,24 @@ fn fig3b_multicore(c: &mut Criterion) {
                 bench.iter(|| matmul_parallel(&a, &b, cores));
             },
         );
+    }
+    g.finish();
+}
+
+/// Every dispatchable kernel (scalar always; AVX2/AVX-512 under
+/// `--features simd` on capable hardware) on the same product — the
+/// per-kernel ladder behind the crossover gate's ≥ 1.5× requirement.
+fn kernel_ladder(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gemm_kernel_ladder");
+    for n in [256usize, 512] {
+        let a = adjacency(n, 0);
+        let b = adjacency(n, 1);
+        g.throughput(Throughput::Elements((n * n * n) as u64));
+        for kernel in available_kernels() {
+            g.bench_with_input(BenchmarkId::new(kernel.name(), n), &n, |bench, _| {
+                bench.iter(|| matmul_with_kernel(kernel, &a, &b));
+            });
+        }
     }
     g.finish();
 }
@@ -87,6 +108,6 @@ criterion_group!(
         .sample_size(10)
         .warm_up_time(std::time::Duration::from_millis(500))
         .measurement_time(std::time::Duration::from_millis(1500));
-    targets = fig3a_single_core, fig3b_multicore, backend_ablation
+    targets = fig3a_single_core, fig3b_multicore, kernel_ladder, backend_ablation
 );
 criterion_main!(benches);

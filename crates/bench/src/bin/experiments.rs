@@ -7,7 +7,7 @@
 //! targets: engines table2 plan fig3a fig3b fig4a fig4b fig4c fig4d fig4f
 //!          fig5a fig5b fig5c fig5d fig5g fig5h fig5e fig5f fig6a
 //!          fig6b fig6c fig6d fig7 fig8 ablation service updates chains
-//!          saturation all
+//!          saturation crossover all
 //! ```
 //!
 //! Several targets may be given at once; with `--json` their tables land
@@ -26,7 +26,8 @@
 use mmjoin::default_registry;
 use mmjoin_bench::report::{json_string, Table};
 use mmjoin_bench::{
-    chains_bench, figures, gate, saturation_bench, service_bench, updates_bench, DEFAULT_SCALE,
+    chains_bench, crossover_bench, figures, gate, saturation_bench, service_bench, updates_bench,
+    DEFAULT_SCALE,
 };
 use mmjoin_datagen::DatasetKind;
 
@@ -107,6 +108,7 @@ fn run(name: &str, scale: f64, gated: bool) -> Output {
         "saturation" => Output::Table(saturation_bench::saturation_experiment(scale)),
         "updates" => Output::Table(updates_bench::updates_experiment(scale)),
         "chains" => Output::Table(chains_bench::chains_experiment_trials(scale, trials)),
+        "crossover" => Output::Table(crossover_bench::crossover_experiment(scale, trials)),
         other => {
             eprintln!("unknown target `{other}`");
             std::process::exit(2);
@@ -114,7 +116,7 @@ fn run(name: &str, scale: f64, gated: bool) -> Output {
     }
 }
 
-const ALL_TARGETS: [&str; 29] = [
+const ALL_TARGETS: [&str; 30] = [
     "engines",
     "table2",
     "plan",
@@ -144,6 +146,7 @@ const ALL_TARGETS: [&str; 29] = [
     "updates",
     "chains",
     "saturation",
+    "crossover",
 ];
 
 fn main() {

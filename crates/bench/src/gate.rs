@@ -159,6 +159,83 @@ pub fn check_saturation(table: &Table) -> Result<(), String> {
     Ok(())
 }
 
+/// Gates the `crossover` target — the cost-model misprediction check.
+///
+/// For every sweep point (`f=…` rows) both strategies were forced and
+/// timed; the row records which one the calibrated model predicted and
+/// which actually won. A misprediction fails only when it *matters*:
+/// the predicted strategy must be more than 25% slower than the winner
+/// (`penalty %`) **and** more than 2 ms slower in absolute terms
+/// (`excess ms`) — sub-millisecond flips near the crossover are noise,
+/// not model error. The sweep must also contain both predictions, or
+/// the grid failed to bracket the derived crossover at all.
+///
+/// The `gemm n=…` rows time the scalar fallback (`wcoj ms` column)
+/// against the dispatched kernel (`mm ms` column); when a non-scalar
+/// kernel is active it must deliver the ≥ 1.5× speedup that justifies
+/// shifting the crossover.
+pub fn check_crossover(table: &Table) -> Result<(), String> {
+    let mut saw = (false, false);
+    for (key, _) in &table.rows {
+        if !key.starts_with("f=") {
+            continue;
+        }
+        let predicted =
+            cell(table, key, "predicted").ok_or("crossover table has no predicted column")?;
+        match predicted {
+            "wcoj" => saw.0 = true,
+            "mm" => saw.1 = true,
+            other => return Err(format!("{key}: unknown prediction `{other}`")),
+        }
+        let winner = cell(table, key, "winner").ok_or("crossover table has no winner column")?;
+        if predicted == winner {
+            continue;
+        }
+        let penalty = cell(table, key, "penalty %")
+            .and_then(|c| c.parse::<f64>().ok())
+            .ok_or_else(|| format!("{key}: missing penalty"))?;
+        let excess = cell(table, key, "excess ms")
+            .and_then(|c| c.parse::<f64>().ok())
+            .ok_or_else(|| format!("{key}: missing excess"))?;
+        if penalty > 25.0 && excess > 2.0 {
+            return Err(format!(
+                "{key}: model predicted {predicted} but {winner} won — \
+                 {penalty:.1}% ({excess:.1} ms) slower than necessary"
+            ));
+        }
+    }
+    if !(saw.0 && saw.1) {
+        return Err(format!(
+            "sweep predicted only {} — the factor grid no longer brackets \
+             the derived crossover",
+            if saw.0 { "wcoj" } else { "mm" }
+        ));
+    }
+    for (key, _) in &table.rows {
+        if !key.starts_with("gemm ") {
+            continue;
+        }
+        let kernel = cell(table, key, "predicted").ok_or("crossover table has no kernel column")?;
+        if kernel == "scalar" {
+            continue;
+        }
+        let scalar_ms = cell(table, key, "wcoj ms")
+            .and_then(|c| c.parse::<f64>().ok())
+            .ok_or_else(|| format!("{key}: missing scalar time"))?;
+        let active_ms = cell(table, key, "mm ms")
+            .and_then(|c| c.parse::<f64>().ok())
+            .ok_or_else(|| format!("{key}: missing kernel time"))?;
+        let speedup = scalar_ms / active_ms.max(1e-9);
+        if speedup < 1.5 {
+            return Err(format!(
+                "{key}: kernel `{kernel}` is only {speedup:.2}x the scalar \
+                 fallback — must be ≥ 1.5x"
+            ));
+        }
+    }
+    Ok(())
+}
+
 /// Dispatches the gate for a target; targets without thresholds pass.
 pub fn check(target: &str, table: &Table) -> Result<(), String> {
     match target {
@@ -166,6 +243,7 @@ pub fn check(target: &str, table: &Table) -> Result<(), String> {
         "updates" => check_updates(table),
         "chains" => check_chains(table),
         "saturation" => check_saturation(table),
+        "crossover" => check_crossover(table),
         _ => Ok(()),
     }
 }
@@ -260,6 +338,114 @@ mod tests {
             ],
         );
         t
+    }
+
+    fn crossover_table(rows: Vec<(&str, Vec<&str>)>) -> Table {
+        let mut t = Table::new(
+            "crossover",
+            vec![
+                "point".into(),
+                "N".into(),
+                "full join".into(),
+                "predicted".into(),
+                "wcoj ms".into(),
+                "mm ms".into(),
+                "winner".into(),
+                "penalty %".into(),
+                "excess ms".into(),
+            ],
+        );
+        for (key, cells) in rows {
+            t.push_row(key, cells.into_iter().map(String::from).collect());
+        }
+        t
+    }
+
+    #[test]
+    fn crossover_gate_flags_costly_mispredictions_only() {
+        let base = vec![
+            (
+                "f=50",
+                vec!["1000", "50000", "mm", "90.0", "10.0", "mm", "0.0", "0.000"],
+            ),
+            (
+                "f=3",
+                vec!["1000", "3000", "wcoj", "5.0", "9.0", "wcoj", "0.0", "0.000"],
+            ),
+        ];
+        assert!(check_crossover(&crossover_table(base.clone())).is_ok());
+        // Wrong pick, 60% and 6 ms slower: fail.
+        let mut bad = base.clone();
+        bad.push((
+            "f=12",
+            vec![
+                "1000", "12000", "wcoj", "16.0", "10.0", "mm", "60.0", "6.000",
+            ],
+        ));
+        assert!(check_crossover(&crossover_table(bad)).is_err());
+        // Wrong pick but under the 2 ms absolute floor: noise, pass.
+        let mut tiny = base.clone();
+        tiny.push((
+            "f=12",
+            vec!["1000", "12000", "wcoj", "1.6", "1.0", "mm", "60.0", "0.600"],
+        ));
+        assert!(check_crossover(&crossover_table(tiny)).is_ok());
+        // Wrong pick but under the 25% relative bar: pass.
+        let mut close = base;
+        close.push((
+            "f=12",
+            vec![
+                "1000", "12000", "mm", "10.0", "11.0", "wcoj", "10.0", "3.000",
+            ],
+        ));
+        assert!(check_crossover(&crossover_table(close)).is_ok());
+    }
+
+    #[test]
+    fn crossover_gate_requires_both_predictions() {
+        let one_sided = crossover_table(vec![(
+            "f=50",
+            vec!["1000", "50000", "mm", "90.0", "10.0", "mm", "0.0", "0.000"],
+        )]);
+        let err = check_crossover(&one_sided).unwrap_err();
+        assert!(err.contains("brackets"), "{err}");
+    }
+
+    #[test]
+    fn crossover_gate_enforces_simd_speedup() {
+        let both = |gemm_rows: Vec<(&str, Vec<&str>)>| {
+            let mut rows = vec![
+                (
+                    "f=50",
+                    vec!["1000", "50000", "mm", "90.0", "10.0", "mm", "0.0", "0.000"],
+                ),
+                (
+                    "f=3",
+                    vec!["1000", "3000", "wcoj", "5.0", "9.0", "wcoj", "0.0", "0.000"],
+                ),
+            ];
+            rows.extend(gemm_rows);
+            crossover_table(rows)
+        };
+        // Scalar build: speedup clause dormant.
+        let scalar = both(vec![(
+            "gemm n=256",
+            vec!["256", "-", "scalar", "10.0", "10.0", "scalar", "-", "-"],
+        )]);
+        assert!(check_crossover(&scalar).is_ok());
+        // SIMD kernel 3x faster: pass.
+        let fast = both(vec![(
+            "gemm n=256",
+            vec!["256", "-", "avx512", "30.0", "10.0", "avx512", "-", "-"],
+        )]);
+        assert!(check_crossover(&fast).is_ok());
+        // SIMD kernel barely faster than scalar: fail.
+        let slow = both(vec![(
+            "gemm n=256",
+            vec!["256", "-", "avx512", "11.0", "10.0", "avx512", "-", "-"],
+        )]);
+        let err = check_crossover(&slow).unwrap_err();
+        assert!(err.contains("1.5x"), "{err}");
     }
 
     #[test]

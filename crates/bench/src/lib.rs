@@ -7,6 +7,7 @@
 //! prints their reports.
 
 pub mod chains_bench;
+pub mod crossover_bench;
 pub mod figures;
 pub mod gate;
 pub mod report;

@@ -93,6 +93,51 @@ impl JoinConfig {
             n => n,
         }
     }
+
+    /// Installs a measured cost model and re-derives the strategy
+    /// crossover from it.
+    ///
+    /// The Algorithm 3 line-2 short-circuit (`wcoj_fallback_factor`) encodes
+    /// "the matrix path only pays off once the full join is ≳ F× the input".
+    /// The paper's F = 20 assumes the analytic reference throughput; a
+    /// calibrated model reporting [`CostModel::speed_vs_reference`] = r
+    /// shifts the crossover by the matrix path's *effective* speedup. Only
+    /// part of that path is kernel time — partitioning, adjacency
+    /// construction and result handling are memory-bound and do not scale
+    /// with GEMM throughput — so the shift is Amdahl-damped by
+    /// [`Self::MM_GEMM_FRACTION`] rather than applied linearly (the
+    /// `experiments crossover` sweep shows the forced matrix-path time is
+    /// nearly flat across the sweep while the WCOJ time grows with the
+    /// full join; a linear `20 / r` over-shifts the crossover and trips
+    /// the misprediction gate). Clamped to [2, 200] so a wild calibration
+    /// sample cannot disable either strategy outright.
+    pub fn install_measured_model(&mut self, model: CostModel) {
+        let speed = model.speed_vs_reference();
+        if speed.is_finite() && speed > 0.0 {
+            let effective = 1.0 / (Self::MM_GEMM_FRACTION / speed + (1.0 - Self::MM_GEMM_FRACTION));
+            self.wcoj_fallback_factor = (Self::MEASURED_CROSSOVER_F / effective).clamp(2.0, 200.0);
+        }
+        self.cost_model = model;
+    }
+
+    /// Fraction of the matrix-path runtime that is GEMM kernel time at
+    /// crossover-scale inputs (the rest is partitioning and result
+    /// bookkeeping). Used by [`Self::install_measured_model`] to damp how
+    /// far a measured kernel speed moves the strategy crossover.
+    pub const MM_GEMM_FRACTION: f64 = 0.25;
+
+    /// The crossover factor this implementation exhibits at reference
+    /// kernel throughput, measured with `experiments crossover` on the
+    /// dense-hub reference family (the scalar-kernel sweep times the two
+    /// forced strategies to a dead tie near `full join / N ≈ 46`; the
+    /// reference throughput sits below that box's scalar kernel, which
+    /// scales the measured tie back up by the calibration ratio). It is
+    /// ~3× the paper's analytic F = 20 (which stays as the uncalibrated
+    /// default) because the partitioned plan's light path — threshold
+    /// indexes plus hash inserts — costs several× a plain WCOJ probe per
+    /// tuple, so the matrix plan only pays off once the heavy core
+    /// dominates outright.
+    pub const MEASURED_CROSSOVER_F: f64 = 62.0;
 }
 
 #[cfg(test)]
@@ -112,6 +157,51 @@ mod tests {
     fn with_deltas_sets_override() {
         let c = JoinConfig::with_deltas(4, 9);
         assert_eq!(c.delta_override, Some((4, 9)));
+    }
+
+    #[test]
+    fn install_measured_model_rederives_crossover() {
+        use mmjoin_matrix::cost::{Sample, SystemConstants};
+        // A sample 4× faster than the 20 GFLOP/s reference: p=512 at
+        // 1 core → reference time = 2·512³/20e9 s; quarter it.
+        let p = 512usize;
+        let reference = 2.0 * (p as f64).powi(3) / 20.0e9;
+        let fast = CostModel::from_samples(
+            vec![Sample {
+                p,
+                cores: 1,
+                seconds: reference / 4.0,
+            }],
+            SystemConstants::default(),
+        );
+        let mut c = JoinConfig::default();
+        c.install_measured_model(fast);
+        // Amdahl-damped: with MM_GEMM_FRACTION of the path at 4× speed,
+        // the effective matrix-path speedup is 1 / (0.25/4 + 0.75) and
+        // the measured base crossover shifts by that — not by 4×.
+        let expected =
+            JoinConfig::MEASURED_CROSSOVER_F * (JoinConfig::MM_GEMM_FRACTION / 4.0 + 0.75);
+        assert!(
+            (c.wcoj_fallback_factor - expected).abs() < 1e-6,
+            "4× kernel speed should damp the crossover to {expected}, got {}",
+            c.wcoj_fallback_factor
+        );
+        assert!(
+            c.wcoj_fallback_factor < JoinConfig::MEASURED_CROSSOVER_F,
+            "faster kernel must still lower the crossover"
+        );
+        // A pathologically slow sample clamps instead of exploding.
+        let slow = CostModel::from_samples(
+            vec![Sample {
+                p,
+                cores: 1,
+                seconds: reference * 1000.0,
+            }],
+            SystemConstants::default(),
+        );
+        let mut c = JoinConfig::default();
+        c.install_measured_model(slow);
+        assert_eq!(c.wcoj_fallback_factor, 200.0);
     }
 
     #[test]

@@ -41,6 +41,10 @@ pub struct ExecutionPlan {
     pub predicted_heavy: f64,
     /// Number of candidate threshold pairs evaluated.
     pub iterations: usize,
+    /// Name of the GEMM kernel the heavy path would dispatch to
+    /// (`mmjoin_matrix::active_kernel`) — recorded so experiment logs and
+    /// the misprediction gate can tell which kernel a plan was priced for.
+    pub kernel: &'static str,
 }
 
 /// Geometric step for the Δ1 walk. The paper's footnote fixes ε = 0.95 in
@@ -61,6 +65,7 @@ pub fn choose_thresholds(r: &Relation, s: &Relation, config: &JoinConfig) -> Exe
             predicted_light: 0.0,
             predicted_heavy: 0.0,
             iterations: 0,
+            kernel: mmjoin_matrix::active_kernel().name(),
         };
     }
 
@@ -129,6 +134,7 @@ pub fn choose_thresholds(r: &Relation, s: &Relation, config: &JoinConfig) -> Exe
         predicted_light: light,
         predicted_heavy: heavy,
         iterations,
+        kernel: mmjoin_matrix::active_kernel().name(),
     }
 }
 
@@ -190,6 +196,14 @@ mod tests {
         };
         let tight_plan = choose_thresholds(&r, &r, &tight);
         assert!(matches!(tight_plan.choice, PlanChoice::Mm { .. }));
+    }
+
+    #[test]
+    fn plan_records_dispatched_kernel() {
+        let edges: Vec<(Value, Value)> = (0..10).map(|i| (i, i)).collect();
+        let r = rel(&edges);
+        let plan = choose_thresholds(&r, &r, &JoinConfig::default());
+        assert_eq!(plan.kernel, mmjoin_matrix::active_kernel().name());
     }
 
     #[test]

@@ -16,7 +16,33 @@
 
 use crate::dense::DenseMatrix;
 use crate::gemm::matmul_parallel;
+use crate::kernel::active_kernel;
+use std::io::{self, BufRead, Write};
+use std::path::Path;
 use std::time::Instant;
+
+/// The analytic reference throughput (GFLOP/s, single core) that
+/// [`CostModel::analytic_default`] assumes. [`CostModel::speed_vs_reference`]
+/// reports measured speed relative to this, which is what
+/// `JoinConfig::install_measured_model` uses to re-derive the
+/// combinatorial/matrix crossover.
+pub const REFERENCE_GFLOPS: f64 = 20.0;
+
+/// Runs `f` once as warmup, then three times, and returns the median
+/// wall-clock seconds. Mirrors `bench::timed_median(1, 3, …)` — single-shot
+/// timings on a shared machine routinely mispredict by 2–3× from cold
+/// caches and frequency ramps.
+fn median_of_3(mut f: impl FnMut()) -> f64 {
+    f();
+    let mut runs = [0.0f64; 3];
+    for r in &mut runs {
+        let t0 = Instant::now();
+        f();
+        *r = t0.elapsed().as_secs_f64();
+    }
+    runs.sort_by(f64::total_cmp);
+    runs[1]
+}
 
 /// One calibration sample: a `p × p × p` product on `cores` threads took
 /// `seconds`.
@@ -57,35 +83,42 @@ impl Default for SystemConstants {
 
 impl SystemConstants {
     /// Micro-benchmarks the three constants on the current machine.
+    ///
+    /// Each micro-bench gets a warmup pass and is then timed three times,
+    /// keeping the median — the same discipline as `bench::timed_median`.
+    /// The first run pays page faults and cold caches; a single-shot
+    /// measurement here used to inflate `Ts` enough to visibly skew the
+    /// Algorithm 3 light-part cost.
     pub fn measure() -> Self {
         const N: usize = 1 << 20;
         // Sequential scan.
         let v: Vec<u32> = (0..N as u32).collect();
-        let t0 = Instant::now();
-        let mut acc = 0u64;
-        for &x in &v {
-            acc = acc.wrapping_add(x as u64);
-        }
-        let t_seq = t0.elapsed().as_secs_f64() / N as f64;
-        std::hint::black_box(acc);
+        let t_seq = median_of_3(|| {
+            let mut acc = 0u64;
+            for &x in &v {
+                acc = acc.wrapping_add(x as u64);
+            }
+            std::hint::black_box(acc);
+        }) / N as f64;
         // Allocation (vec push growth amortized).
-        let t0 = Instant::now();
-        let mut w: Vec<u64> = Vec::new();
-        for i in 0..(N / 4) as u64 {
-            w.push(i);
-        }
-        let t_alloc = t0.elapsed().as_secs_f64() / (N / 4) as f64 * 4.0;
-        std::hint::black_box(&w);
+        let t_alloc = median_of_3(|| {
+            let mut w: Vec<u64> = Vec::new();
+            for i in 0..(N / 4) as u64 {
+                w.push(i);
+            }
+            std::hint::black_box(&w);
+        }) / (N / 4) as f64
+            * 4.0;
         // Random access + increment.
         let mut d = vec![0u32; N];
-        let mut idx = 123456789usize;
-        let t0 = Instant::now();
-        for _ in 0..N / 4 {
-            idx = idx.wrapping_mul(6364136223846793005).wrapping_add(1);
-            d[idx % N] += 1;
-        }
-        let t_insert = t0.elapsed().as_secs_f64() / (N / 4) as f64;
-        std::hint::black_box(&d);
+        let t_insert = median_of_3(|| {
+            let mut idx = 123456789usize;
+            for _ in 0..N / 4 {
+                idx = idx.wrapping_mul(6364136223846793005).wrapping_add(1);
+                d[idx % N] += 1;
+            }
+            std::hint::black_box(&d);
+        }) / (N / 4) as f64;
         Self {
             t_seq: t_seq.max(1e-11),
             t_alloc: t_alloc.max(1e-11),
@@ -100,6 +133,12 @@ pub struct CostModel {
     samples: Vec<Sample>,
     /// System constants for non-GEMM terms.
     pub constants: SystemConstants,
+    /// Name of the GEMM kernel the samples were measured under
+    /// (`"scalar"`, `"avx2"`, `"avx512"`, …; `"analytic"` for the
+    /// synthetic default). A model calibrated under one kernel mispredicts
+    /// another by the kernels' speed ratio, so consumers should re-calibrate
+    /// when this disagrees with [`active_kernel`].
+    kernel: String,
 }
 
 impl CostModel {
@@ -107,7 +146,11 @@ impl CostModel {
     /// calibration data).
     pub fn from_samples(samples: Vec<Sample>, constants: SystemConstants) -> Self {
         assert!(!samples.is_empty(), "cost model needs at least one sample");
-        Self { samples, constants }
+        Self {
+            samples,
+            constants,
+            kernel: "injected".to_string(),
+        }
     }
 
     /// A deterministic default model assuming an effective single-core
@@ -132,11 +175,15 @@ impl CostModel {
         Self {
             samples,
             constants: SystemConstants::default(),
+            kernel: "analytic".to_string(),
         }
     }
 
-    /// Calibrates by actually running the kernel at the given square sizes
-    /// and core counts (the paper's `p ∈ {1000, …, 20000}` table, scaled).
+    /// Calibrates by actually running the dispatched kernel at the given
+    /// square sizes and core counts (the paper's `p ∈ {1000, …, 20000}`
+    /// table, scaled). Each point gets a warmup pass and the median of
+    /// three timed runs, and the resulting model is tagged with
+    /// [`active_kernel`] so stale calibrations are detectable.
     pub fn calibrate(sizes: &[usize], core_counts: &[usize]) -> Self {
         let mut samples = Vec::new();
         for &cores in core_counts {
@@ -145,17 +192,142 @@ impl CostModel {
                     DenseMatrix::from_fn(p, p, |i, j| ((i * 31 + j * 17) % 7 == 0) as u8 as f32);
                 let b =
                     DenseMatrix::from_fn(p, p, |i, j| ((i * 13 + j * 29) % 5 == 0) as u8 as f32);
-                let t0 = Instant::now();
-                let c = matmul_parallel(&a, &b, cores);
-                let seconds = t0.elapsed().as_secs_f64().max(1e-9);
-                std::hint::black_box(&c);
+                let seconds = median_of_3(|| {
+                    let c = matmul_parallel(&a, &b, cores);
+                    std::hint::black_box(&c);
+                })
+                .max(1e-9);
                 samples.push(Sample { p, cores, seconds });
             }
         }
         Self {
             samples,
             constants: SystemConstants::measure(),
+            kernel: active_kernel().name().to_string(),
         }
+    }
+
+    /// A fast calibration pass suitable for service startup: square sizes
+    /// {128, 256, 512} on 1 core plus the given worker count. Takes tens of
+    /// milliseconds, which is enough to place the dispatched kernel's real
+    /// throughput and re-derive the strategy crossover.
+    pub fn calibrate_quick(workers: usize) -> Self {
+        let cores: Vec<usize> = if workers > 1 {
+            vec![1, workers]
+        } else {
+            vec![1]
+        };
+        Self::calibrate(&[128, 256, 512], &cores)
+    }
+
+    /// Kernel name the samples were measured under (`"analytic"` or
+    /// `"injected"` for synthetic models).
+    pub fn kernel(&self) -> &str {
+        &self.kernel
+    }
+
+    /// Measured effective single-core throughput divided by the analytic
+    /// reference ([`REFERENCE_GFLOPS`]). `> 1.0` means this machine's
+    /// dispatched kernel is faster than the default model assumes, so
+    /// matrix plans become profitable earlier (the crossover shifts toward
+    /// smaller instances).
+    pub fn speed_vs_reference(&self) -> f64 {
+        let single: Vec<&Sample> = self.samples.iter().filter(|s| s.cores == 1).collect();
+        let pool: Vec<&Sample> = if single.is_empty() {
+            self.samples.iter().collect()
+        } else {
+            single
+        };
+        // Use the largest sample per the pool — small products are
+        // dominated by fixed overheads, not kernel throughput.
+        let best = pool.iter().max_by_key(|s| s.p).expect("non-empty samples");
+        let flops = 2.0 * (best.p as f64).powi(3);
+        let eff = best.cores as f64 * 0.8 + 0.2;
+        let gflops = flops / best.seconds / 1.0e9 / eff;
+        gflops / REFERENCE_GFLOPS
+    }
+
+    /// Persists the model as a small text manifest (one line per sample)
+    /// so a calibration can be reused across service restarts.
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        let mut out = Vec::new();
+        writeln!(out, "mmjoin-cost-model v1")?;
+        writeln!(out, "kernel {}", self.kernel)?;
+        writeln!(
+            out,
+            "constants {:e} {:e} {:e}",
+            self.constants.t_seq, self.constants.t_alloc, self.constants.t_insert
+        )?;
+        for s in &self.samples {
+            writeln!(out, "sample {} {} {:e}", s.p, s.cores, s.seconds)?;
+        }
+        std::fs::write(path, out)
+    }
+
+    /// Loads a manifest written by [`CostModel::save`]. Returns an error on
+    /// unknown versions or malformed lines; callers should fall back to
+    /// re-calibrating.
+    pub fn load(path: &Path) -> io::Result<Self> {
+        let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
+        let file = std::fs::File::open(path)?;
+        let mut lines = io::BufReader::new(file).lines();
+        match lines.next().transpose()? {
+            Some(ref h) if h.trim() == "mmjoin-cost-model v1" => {}
+            _ => return Err(bad("not a v1 cost-model manifest")),
+        }
+        let mut kernel = "injected".to_string();
+        let mut constants = SystemConstants::default();
+        let mut samples = Vec::new();
+        for line in lines {
+            let line = line?;
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            match parts.next() {
+                Some("kernel") => {
+                    kernel = parts.next().ok_or_else(|| bad("kernel line"))?.to_string();
+                }
+                Some("constants") => {
+                    let mut next = || -> io::Result<f64> {
+                        parts
+                            .next()
+                            .and_then(|t| t.parse().ok())
+                            .ok_or_else(|| bad("constants line"))
+                    };
+                    constants = SystemConstants {
+                        t_seq: next()?,
+                        t_alloc: next()?,
+                        t_insert: next()?,
+                    };
+                }
+                Some("sample") => {
+                    let p = parts
+                        .next()
+                        .and_then(|t| t.parse().ok())
+                        .ok_or_else(|| bad("sample line"))?;
+                    let cores = parts
+                        .next()
+                        .and_then(|t| t.parse().ok())
+                        .ok_or_else(|| bad("sample line"))?;
+                    let seconds = parts
+                        .next()
+                        .and_then(|t| t.parse().ok())
+                        .ok_or_else(|| bad("sample line"))?;
+                    samples.push(Sample { p, cores, seconds });
+                }
+                _ => return Err(bad("unknown manifest line")),
+            }
+        }
+        if samples.is_empty() {
+            return Err(bad("manifest has no samples"));
+        }
+        Ok(Self {
+            samples,
+            constants,
+            kernel,
+        })
     }
 
     /// `M̂(u, v, w, co)` — predicted seconds to multiply `u×v` by `v×w` on
@@ -321,5 +493,46 @@ mod tests {
         let m = CostModel::calibrate(&[32, 64], &[1]);
         assert_eq!(m.samples().len(), 2);
         assert!(m.estimate(64, 64, 64, 1) > 0.0);
+        assert_eq!(m.kernel(), active_kernel().name());
+    }
+
+    #[test]
+    fn kernel_tags_are_stable() {
+        assert_eq!(CostModel::analytic_default().kernel(), "analytic");
+        assert_eq!(flat_model().kernel(), "injected");
+    }
+
+    #[test]
+    fn analytic_speed_ratio_is_unity() {
+        // The analytic default samples are generated at exactly
+        // REFERENCE_GFLOPS, so the ratio must come back as 1.
+        let r = CostModel::analytic_default().speed_vs_reference();
+        assert!((r - 1.0).abs() < 1e-9, "got {r}");
+    }
+
+    #[test]
+    fn manifest_roundtrip() {
+        let m = flat_model();
+        let path =
+            std::env::temp_dir().join(format!("mmjoin-cost-roundtrip-{}.txt", std::process::id()));
+        m.save(&path).unwrap();
+        let loaded = CostModel::load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(loaded.samples(), m.samples());
+        assert_eq!(loaded.kernel(), m.kernel());
+        assert!((loaded.constants.t_seq - m.constants.t_seq).abs() < 1e-15);
+        assert!((loaded.constants.t_insert - m.constants.t_insert).abs() < 1e-15);
+    }
+
+    #[test]
+    fn manifest_rejects_garbage() {
+        let path =
+            std::env::temp_dir().join(format!("mmjoin-cost-garbage-{}.txt", std::process::id()));
+        std::fs::write(&path, "not a manifest\n").unwrap();
+        assert!(CostModel::load(&path).is_err());
+        std::fs::write(&path, "mmjoin-cost-model v1\nkernel scalar\n").unwrap();
+        let err = CostModel::load(&path).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        std::fs::remove_file(&path).ok();
     }
 }

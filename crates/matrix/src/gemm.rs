@@ -1,27 +1,24 @@
-//! Cache-blocked serial and multi-threaded GEMM.
+//! Cache-blocked serial and multi-threaded GEMM over the dispatched
+//! [`kernel`](crate::kernel) family.
 //!
-//! The kernel computes `C = A · B` for row-major `f32` matrices. The loop
-//! order is `i → k → j` with the innermost `j` loop running over contiguous
-//! rows of `B` and `C`, which LLVM auto-vectorizes to full-width SIMD FMA.
-//! Blocking over `k` (L1-panel) and `j` (L2-panel) keeps the working set in
-//! cache for large inputs — the same design pressure the paper resolves with
-//! Eigen/MKL, here re-implemented so the workspace has zero native
-//! dependencies.
+//! The kernel computes `C = A · B` for row-major `f32` matrices. All entry
+//! points route through [`gemm_block`] with the process-wide
+//! [`active_kernel`] — explicit AVX-512/AVX2 register tiles under the
+//! `simd` feature, portable `std::simd` on nightly builds, and a blocked
+//! auto-vectorizable scalar loop otherwise (see the dispatch ladder in
+//! [`kernel`](crate::kernel)).
 //!
 //! Parallelism splits `C` into disjoint horizontal bands executed as tasks
 //! on the shared [`mmjoin_executor::Executor`] pool. No two workers ever
 //! touch the same cache line of `C`, reproducing the "coordination-free"
 //! scaling of §6 / Figure 3b — but the threads now come out of the global
-//! budget instead of being spawned per call.
+//! budget instead of being spawned per call, and each band runs the same
+//! dispatched microkernel as the serial path.
 
 use crate::dense::DenseMatrix;
+use crate::kernel::{active_kernel, available_kernels, gemm_block, Kernel};
 use mmjoin_executor::Executor;
 use std::sync::Mutex;
-
-/// k-panel height: 256 f32 ≈ 1 KiB per B-row slab touched per panel.
-const KC: usize = 256;
-/// j-panel width: 1024 f32 = 4 KiB, a comfortable L1 slab alongside C's row.
-const NC: usize = 1024;
 
 /// Multiplies `a · b` into a fresh matrix.
 ///
@@ -46,6 +43,28 @@ pub fn matmul(a: &DenseMatrix, b: &DenseMatrix) -> DenseMatrix {
 /// # Panics
 /// Panics on any dimension mismatch.
 pub fn matmul_into(a: &DenseMatrix, b: &DenseMatrix, c: &mut DenseMatrix) {
+    matmul_into_with_kernel(active_kernel(), a, b, c);
+}
+
+/// [`matmul`] forced onto one specific kernel — the hook the
+/// kernel-equivalence tests and the CI crossover gate use to compare
+/// dispatch paths inside a single build.
+///
+/// # Panics
+/// Panics if `kind` is not in [`available_kernels`] (requesting AVX-512 on
+/// a machine without it would be UB, so it is checked here), or on
+/// dimension mismatch.
+pub fn matmul_with_kernel(kind: Kernel, a: &DenseMatrix, b: &DenseMatrix) -> DenseMatrix {
+    assert!(
+        available_kernels().contains(&kind),
+        "kernel {kind} is not available in this build/machine"
+    );
+    let mut c = DenseMatrix::zeros(a.rows(), b.cols());
+    matmul_into_with_kernel(kind, a, b, &mut c);
+    c
+}
+
+fn matmul_into_with_kernel(kind: Kernel, a: &DenseMatrix, b: &DenseMatrix, c: &mut DenseMatrix) {
     assert_eq!(a.cols(), b.rows(), "inner dimensions must agree");
     assert_eq!(c.rows(), a.rows(), "output rows must match A");
     assert_eq!(c.cols(), b.cols(), "output cols must match B");
@@ -53,44 +72,7 @@ pub fn matmul_into(a: &DenseMatrix, b: &DenseMatrix, c: &mut DenseMatrix) {
     if m == 0 || k == 0 || n == 0 {
         return;
     }
-    band_kernel(a.data(), b.data(), c.data_mut(), 0, m, k, n);
-}
-
-/// GEMM over rows `[row_lo, row_hi)` of A/C. `a`, `b`, `c` are row-major
-/// flat buffers of an m×k, k×n and m×n matrix respectively.
-fn band_kernel(
-    a: &[f32],
-    b: &[f32],
-    c: &mut [f32],
-    row_lo: usize,
-    row_hi: usize,
-    k: usize,
-    n: usize,
-) {
-    for kb in (0..k).step_by(KC) {
-        let k_end = (kb + KC).min(k);
-        for jb in (0..n).step_by(NC) {
-            let j_end = (jb + NC).min(n);
-            for i in row_lo..row_hi {
-                let a_row = &a[i * k..(i + 1) * k];
-                let c_row = &mut c[i * n + jb..i * n + j_end];
-                for kk in kb..k_end {
-                    let aik = a_row[kk];
-                    if aik == 0.0 {
-                        // Adjacency matrices are sparse-ish 0/1; skipping
-                        // zero A-entries is a large practical win and costs
-                        // one predictable branch per k.
-                        continue;
-                    }
-                    let b_row = &b[kk * n + jb..kk * n + j_end];
-                    // Contiguous FMA loop: auto-vectorizes.
-                    for (cv, &bv) in c_row.iter_mut().zip(b_row) {
-                        *cv += aik * bv;
-                    }
-                }
-            }
-        }
-    }
+    gemm_block(kind, a.data(), b.data(), c.data_mut(), m, k, n);
 }
 
 /// Multi-threaded `a · b`, splitting C into horizontal bands computed on
@@ -116,9 +98,10 @@ pub fn matmul_parallel_on(
     if m == 0 || k == 0 || n == 0 {
         return c;
     }
+    let kind = active_kernel();
     let threads = threads.min(m);
     if threads == 1 {
-        band_kernel(a.data(), b.data(), c.data_mut(), 0, m, k, n);
+        gemm_block(kind, a.data(), b.data(), c.data_mut(), m, k, n);
         return c;
     }
     let band = m.div_ceil(threads);
@@ -136,26 +119,19 @@ pub fn matmul_parallel_on(
             .expect("band slot is uncontended")
             .take()
             .expect("each band is claimed once");
-        let (lo, a_ref, b_ref) = (t * band, a.data(), b.data());
+        let lo = t * band;
         let hi = (lo + band).min(m);
-        // Re-base the band to local row 0 by slicing A rows directly.
-        for i in lo..hi {
-            let a_row = &a_ref[i * k..(i + 1) * k];
-            let c_row = &mut mine[(i - lo) * n..(i - lo + 1) * n];
-            for kb in (0..k).step_by(KC) {
-                let k_end = (kb + KC).min(k);
-                for kk in kb..k_end {
-                    let aik = a_row[kk];
-                    if aik == 0.0 {
-                        continue;
-                    }
-                    let b_row = &b_ref[kk * n..kk * n + n];
-                    for (cv, &bv) in c_row.iter_mut().zip(b_row) {
-                        *cv += aik * bv;
-                    }
-                }
-            }
-        }
+        // The band is a re-based (hi-lo)×n GEMM over A's row slice: the
+        // same dispatched microkernel as the serial path, per band.
+        gemm_block(
+            kind,
+            &a.data()[lo * k..hi * k],
+            b.data(),
+            mine,
+            hi - lo,
+            k,
+            n,
+        );
     });
     c
 }
@@ -225,6 +201,55 @@ mod tests {
         }
     }
 
+    /// Every dispatchable kernel agrees exactly with the naive reference
+    /// on 0/1 inputs, across shapes chosen to hit lane-width and block
+    /// remainders (odd dims, single row/column, tile-straddling sizes).
+    #[test]
+    fn every_kernel_matches_naive_on_edge_shapes() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let shapes = [
+            (1, 1, 1),
+            (1, 7, 19),   // single A row, sub-tile width
+            (9, 300, 1),  // single C column, k crosses the KC=256 panel
+            (4, 16, 16),  // exactly one register tile
+            (5, 17, 33),  // every dim one past a boundary
+            (31, 64, 47), // row remainder < MR, column remainder < NR
+        ];
+        for kind in available_kernels() {
+            for &(m, k, n) in &shapes {
+                let a = random_matrix(&mut rng, m, k, 0.35);
+                let b = random_matrix(&mut rng, k, n, 0.35);
+                assert_eq!(
+                    matmul_with_kernel(kind, &a, &b),
+                    matmul_naive(&a, &b),
+                    "kernel {kind} on ({m},{k},{n})"
+                );
+            }
+        }
+    }
+
+    /// For arbitrary (non-0/1) floats the SIMD kernels may reassociate
+    /// and contract into FMA; they must still match the reference within
+    /// a k-scaled relative tolerance.
+    #[test]
+    fn kernels_match_naive_on_general_floats_within_tolerance() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let (m, k, n) = (23, 77, 41);
+        let a = DenseMatrix::from_fn(m, k, |_, _| rng.gen_range(-1.0f64..1.0) as f32);
+        let b = DenseMatrix::from_fn(k, n, |_, _| rng.gen_range(-1.0f64..1.0) as f32);
+        let reference = matmul_naive(&a, &b);
+        for kind in available_kernels() {
+            let got = matmul_with_kernel(kind, &a, &b);
+            for (x, y) in got.data().iter().zip(reference.data()) {
+                let bound = 1e-5 * k as f32;
+                assert!(
+                    (x - y).abs() <= bound,
+                    "kernel {kind}: {x} vs {y} (bound {bound})"
+                );
+            }
+        }
+    }
+
     #[test]
     fn parallel_matches_serial() {
         let mut rng = StdRng::seed_from_u64(3);
@@ -247,6 +272,31 @@ mod tests {
         let mut c = DenseMatrix::from_vec(2, 2, vec![10.0, 10.0, 10.0, 10.0]);
         matmul_into(&a, &b, &mut c);
         assert_eq!(c.data(), &[11.0, 12.0, 13.0, 14.0]);
+    }
+
+    /// The accumulation contract holds under the register tiling: a
+    /// pre-loaded C with shapes spanning full tiles, row remainders and
+    /// column tails comes out as `C0 + A·B` exactly.
+    #[test]
+    fn matmul_into_accumulates_under_tiling() {
+        let mut rng = StdRng::seed_from_u64(23);
+        for &(m, k, n) in &[(4, 16, 32), (7, 40, 37), (1, 5, 100)] {
+            let a = random_matrix(&mut rng, m, k, 0.4);
+            let b = random_matrix(&mut rng, k, n, 0.4);
+            let base = random_matrix(&mut rng, m, n, 0.5);
+            let mut c = base.clone();
+            matmul_into(&a, &b, &mut c);
+            let product = matmul_naive(&a, &b);
+            for i in 0..m {
+                for j in 0..n {
+                    assert_eq!(
+                        c.get(i, j),
+                        base.get(i, j) + product.get(i, j),
+                        "({m},{k},{n}) at ({i},{j})"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -1,3 +1,4 @@
+#![cfg_attr(feature = "portable-simd", feature(portable_simd))]
 //! Dense matrix engine for the `mmjoin` workspace.
 //!
 //! The paper's prototype uses Eigen backed by Intel MKL SGEMM (§6). This
@@ -6,7 +7,11 @@
 //! * [`DenseMatrix`] — row-major `f32` matrices. Floats, not integers,
 //!   mirror the paper's deliberate choice of `SGEMM` over integer paths for
 //!   throughput; counts stay exact below 2²⁴, far above any set size here.
-//! * [`gemm`] — cache-blocked, auto-vectorizing serial GEMM plus a
+//! * [`kernel`] — register-tiled, cache-blocked GEMM microkernels with a
+//!   runtime dispatch ladder: explicit AVX-512/AVX2 intrinsics under the
+//!   `simd` feature, nightly `std::simd` under `portable-simd`, blocked
+//!   scalar otherwise. `MMJOIN_KERNEL` overrides the pick.
+//! * [`gemm`] — the public matmul API over the dispatched kernel, plus a
 //!   row-band parallel version running on the shared
 //!   [`mmjoin_executor::Executor`] pool (the coordination-free parallelism
 //!   the paper highlights in §6, under the global thread budget).
@@ -23,12 +28,16 @@ pub mod bitmat;
 pub mod cost;
 pub mod dense;
 pub mod gemm;
+pub mod kernel;
 pub mod sparse;
 pub mod strassen;
 
 pub use bitmat::BitMatrix;
-pub use cost::CostModel;
+pub use cost::{CostModel, SystemConstants, REFERENCE_GFLOPS};
 pub use dense::DenseMatrix;
-pub use gemm::{matmul, matmul_into, matmul_parallel, matmul_parallel_on};
+pub use gemm::{
+    matmul, matmul_into, matmul_naive, matmul_parallel, matmul_parallel_on, matmul_with_kernel,
+};
+pub use kernel::{active_kernel, available_kernels, Kernel};
 pub use sparse::CsrMatrix;
 pub use strassen::{strassen, strassen_parallel, strassen_parallel_on};

@@ -7,6 +7,11 @@
 //! promised "fast MM" extension and ablate the cutoff in `bench/ablation`.
 //! Products of 0/1 adjacency matrices stay exact: all intermediate values
 //! are small integers representable in `f32`.
+//!
+//! Leaves below the cutoff call [`matmul`], so they run on whatever kernel
+//! [`crate::kernel::active_kernel`] dispatched (AVX-512/AVX2 under the
+//! `simd` feature). A faster leaf pushes the profitable cutoff upward;
+//! re-ablate with `experiments ablation` after changing kernels.
 
 use crate::dense::DenseMatrix;
 use crate::gemm::matmul;

@@ -15,6 +15,12 @@
 //! - `--trace-sample <n>` — enable tracing, tracing every n-th request.
 //! - `--slow-query <us>` — enable tracing and log the span tree of any
 //!   query slower than `us` microseconds to stderr.
+//!
+//! Cost-model flags:
+//! - `--calibrate` — measure the dispatched GEMM kernel at startup and
+//!   re-derive the planner's combinatorial/matrix crossover from it.
+//! - `--calibration <path>` — cache the measurement across restarts
+//!   (implies `--calibrate`; a stale kernel tag forces a re-measure).
 
 use mmjoin_net::{serve, NetConfig};
 use mmjoin_obs::trace::{chrome_json, Tracer};
@@ -38,6 +44,8 @@ fn main() {
     let trace_out: Option<String> = arg_value("--trace-out");
     let trace_sample: Option<u64> = arg_value("--trace-sample");
     let slow_query_us: u64 = arg_value("--slow-query").unwrap_or(0);
+    let calibration_path: Option<std::path::PathBuf> = arg_value("--calibration");
+    let calibrate_cost = calibration_path.is_some() || std::env::args().any(|a| a == "--calibrate");
 
     let tracer = Tracer::global();
     if trace_out.is_some() || trace_sample.is_some() || slow_query_us > 0 {
@@ -49,6 +57,8 @@ fn main() {
         workers,
         catalog_shards: shards,
         slow_query_us,
+        calibrate_cost,
+        calibration_path,
         ..ServiceConfig::default()
     }));
 

@@ -17,8 +17,12 @@
 //! ok served 2 (cache hits 1, 50.0%), …
 //! ```
 //!
-//! Run with `--workers <n>` to size the pool (default 4). Type `help`
-//! for the full command list.
+//! Run with `--workers <n>` to size the pool (default 4),
+//! `--calibrate` to measure the dispatched GEMM kernel at startup and
+//! re-derive the planner's strategy crossover from it, and
+//! `--calibration <path>` to cache that measurement across restarts
+//! (stale kernel tags force a re-measure). Type `help` for the full
+//! command list.
 //!
 //! The grammar and the interpreter live in
 //! [`mmjoin_service::command`] — the exact same layer `mmjoin-netd`
@@ -42,6 +46,8 @@ fn main() {
     let workers: usize = arg_value("--workers").unwrap_or(4);
     let trace_out: Option<String> = arg_value("--trace-out");
     let slow_query_us: u64 = arg_value("--slow-query").unwrap_or(0);
+    let calibration_path: Option<std::path::PathBuf> = arg_value("--calibration");
+    let calibrate_cost = calibration_path.is_some() || std::env::args().any(|a| a == "--calibrate");
 
     let tracer = Tracer::global();
     if trace_out.is_some() || slow_query_us > 0 {
@@ -51,13 +57,17 @@ fn main() {
     let service = Service::with_config(ServiceConfig {
         workers,
         slow_query_us,
+        calibrate_cost,
+        calibration_path,
         ..ServiceConfig::default()
     });
 
     println!(
-        "mmjoin-serve ready: {} workers, {} engines (type `help`)",
+        "mmjoin-serve ready: {} workers, {} engines, {} kernel{} (type `help`)",
         service.workers(),
-        service.registry().len()
+        service.registry().len(),
+        mmjoin_matrix::active_kernel(),
+        if calibrate_cost { ", calibrated" } else { "" }
     );
     for line in std::io::stdin().lock().lines() {
         let line = match line {

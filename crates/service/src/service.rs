@@ -72,6 +72,16 @@ pub struct ServiceConfig {
     /// request, workers mint one themselves (bypassing sampling) so the
     /// tree is available if the query turns out slow.
     pub slow_query_us: u64,
+    /// Calibrate the matmul cost model against the dispatched GEMM kernel
+    /// at startup (`CostModel::calibrate_quick`) and re-derive the
+    /// combinatorial/matrix crossover from the measurement
+    /// (`JoinConfig::install_measured_model`). Costs tens of milliseconds
+    /// once; off by default so unit tests stay deterministic.
+    pub calibrate_cost: bool,
+    /// Cost-model manifest path. With [`ServiceConfig::calibrate_cost`]:
+    /// load a matching manifest instead of re-measuring (a stale kernel
+    /// tag forces a re-measure), and save freshly measured models here.
+    pub calibration_path: Option<std::path::PathBuf>,
 }
 
 impl Default for ServiceConfig {
@@ -89,6 +99,8 @@ impl Default for ServiceConfig {
             engine_overrides: HashMap::new(),
             maintenance: MaintenancePolicy::default(),
             slow_query_us: 0,
+            calibrate_cost: false,
+            calibration_path: None,
         }
     }
 }
@@ -192,9 +204,37 @@ pub struct Service {
     workers: Vec<JoinHandle<()>>,
 }
 
+/// Applies [`ServiceConfig::calibrate_cost`]: installs a measured cost
+/// model into `config.join_config` (loading a manifest with a matching
+/// kernel tag when one is given, measuring and saving otherwise) and
+/// clears the flag so the calibration runs at most once per config.
+fn apply_calibration(config: &mut ServiceConfig) {
+    if !config.calibrate_cost {
+        return;
+    }
+    config.calibrate_cost = false;
+    let kernel = mmjoin_matrix::active_kernel().name();
+    let cached = config.calibration_path.as_deref().and_then(|path| {
+        let model = mmjoin_matrix::CostModel::load(path).ok()?;
+        (model.kernel() == kernel).then_some(model)
+    });
+    let model = cached.unwrap_or_else(|| {
+        let workers = config.join_config.effective_threads();
+        let model = mmjoin_matrix::CostModel::calibrate_quick(workers);
+        if let Some(path) = &config.calibration_path {
+            if let Err(e) = model.save(path) {
+                eprintln!("mmjoin: could not save calibration to {path:?}: {e}");
+            }
+        }
+        model
+    });
+    config.join_config.install_measured_model(model);
+}
+
 impl Service {
     /// A service over `registry` with the given configuration.
-    pub fn new(registry: EngineRegistry, config: ServiceConfig) -> Self {
+    pub fn new(registry: EngineRegistry, mut config: ServiceConfig) -> Self {
+        apply_calibration(&mut config);
         let planner = Planner {
             overrides: config.engine_overrides.clone(),
             config: config.join_config.clone(),
@@ -251,6 +291,9 @@ impl Service {
         if config.join_config.executor.is_none() && wants_pool {
             config.join_config.executor = Some(Arc::new(Executor::new(config.thread_budget)));
         }
+        // Calibrate before building the roster so engines and planner see
+        // the same measured model and re-derived crossover.
+        apply_calibration(&mut config);
         let registry = crate::roster::registry_with_config(&config.join_config);
         Self::new(registry, config)
     }
@@ -1176,6 +1219,43 @@ mod tests {
         let m = s.metrics();
         assert_eq!(m.queries_served, 2);
         assert_eq!(m.cache_hits, 1);
+    }
+
+    #[test]
+    fn calibration_installs_measured_model_and_saves_manifest() {
+        let path =
+            std::env::temp_dir().join(format!("mmjoin-svc-calibration-{}.txt", std::process::id()));
+        std::fs::remove_file(&path).ok();
+        let s = Service::with_config(ServiceConfig {
+            workers: 1,
+            calibrate_cost: true,
+            calibration_path: Some(path.clone()),
+            ..ServiceConfig::default()
+        });
+        // The planner's config now carries a measured model tagged with
+        // the dispatched kernel, and the manifest was persisted.
+        let cfg = &s.inner.planner.config;
+        assert_eq!(
+            cfg.cost_model.kernel(),
+            mmjoin_matrix::active_kernel().name()
+        );
+        assert!(cfg.wcoj_fallback_factor >= 2.0 && cfg.wcoj_fallback_factor <= 200.0);
+        let saved = mmjoin_matrix::CostModel::load(&path).unwrap();
+        assert_eq!(saved.kernel(), mmjoin_matrix::active_kernel().name());
+        drop(s);
+        // A second service reuses the manifest (same kernel tag) rather
+        // than re-measuring: loaded samples match the saved ones.
+        let s2 = Service::with_config(ServiceConfig {
+            workers: 1,
+            calibrate_cost: true,
+            calibration_path: Some(path.clone()),
+            ..ServiceConfig::default()
+        });
+        assert_eq!(
+            s2.inner.planner.config.cost_model.samples(),
+            saved.samples()
+        );
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]
