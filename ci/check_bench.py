@@ -18,7 +18,9 @@ objects, one per target, with the target name and scale spliced in:
 The check fails if any snapshot is malformed, or if the trajectory is
 missing a required snapshot (BENCH_8.json must exist and carry the
 ``crossover`` target with both its sweep and kernel-speedup rows — the
-misprediction gate's committed evidence for this PR).
+misprediction gate's committed evidence; BENCH_9.json must additionally
+carry the parallel-scheduler ``par n=… t=…`` rows with a bit-exact
+verdict and a parseable ``requested/granted`` thread budget).
 
 Usage: python3 ci/check_bench.py [repo-root]
 """
@@ -28,7 +30,11 @@ import json
 import os
 import sys
 
-REQUIRED = {"BENCH_8.json": ["crossover"]}
+REQUIRED = {"BENCH_8.json": ["crossover"], "BENCH_9.json": ["crossover"]}
+
+# Snapshots whose crossover entry must also prove the multi-core tiled
+# scheduler (older snapshots predate it and are checked sweep-only).
+REQUIRE_PAR_ROWS = {"BENCH_9.json"}
 
 
 def fail(msg: str) -> None:
@@ -74,8 +80,8 @@ def check_entry(path: str, idx: int, entry) -> str:
     return entry["target"]
 
 
-def check_crossover(path: str, entry) -> None:
-    """The PR-8 snapshot must carry the full misprediction sweep."""
+def check_crossover(path: str, entry, require_par: bool) -> None:
+    """Required snapshots must carry the full misprediction sweep."""
     keys = [row["key"] for row in entry["rows"]]
     sweep = [k for k in keys if k.startswith("f=")]
     gemm = [k for k in keys if k.startswith("gemm n=")]
@@ -89,6 +95,20 @@ def check_crossover(path: str, entry) -> None:
     }
     if not {"wcoj", "mm"} <= predictions:
         fail(f"{path}: sweep does not bracket the crossover ({sorted(predictions)})")
+    if not require_par:
+        return
+    threads_col = entry["headers"].index("excess ms") - 1
+    par_rows = [row for row in entry["rows"] if row["key"].startswith("par ")]
+    if not par_rows:
+        fail(f"{path}: crossover entry lacks parallel-scheduler (par) rows")
+    for row in par_rows:
+        key = row["key"]
+        if row["cells"][predicted_col] != "identical":
+            fail(f"{path}: {key} is not bit-exact ({row['cells'][predicted_col]!r})")
+        budget = row["cells"][threads_col]
+        req, sep, granted = budget.partition("/")
+        if not sep or not req.isdigit() or not granted.isdigit():
+            fail(f"{path}: {key} has malformed thread budget {budget!r}")
 
 
 def main() -> None:
@@ -117,7 +137,7 @@ def main() -> None:
                 fail(f"{name}: required target {target!r} not present ({targets})")
         for entry in doc:
             if entry["target"] == "crossover":
-                check_crossover(name, entry)
+                check_crossover(name, entry, name in REQUIRE_PAR_ROWS)
 
     total = sum(len(t) for _, _, t in targets_by_file.values())
     print(

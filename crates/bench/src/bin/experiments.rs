@@ -2,7 +2,8 @@
 //! service-layer workload replay.
 //!
 //! ```text
-//! experiments <target> [<target> …] [--scale <f64>] [--json <path>] [--gate]
+//! experiments <target> [<target> …] [--scale <f64>] [--json <path>]
+//!             [--gate] [--threads <n>]
 //!
 //! targets: engines table2 plan fig3a fig3b fig4a fig4b fig4c fig4d fig4f
 //!          fig5a fig5b fig5c fig5d fig5g fig5h fig5e fig5f fig6a
@@ -71,12 +72,14 @@ enum Output {
     Text(String),
 }
 
-/// Runs one target. Under `--gate`, `chains` — the only target whose
-/// gate thresholds read *timings* (baseline speedup, thread-scaling
-/// smoke; the service/updates gates threshold hit rates, which are
-/// deterministic) — switches to one-warmup median-of-3 measurements so
-/// a single scheduler hiccup cannot fake a perf regression.
-fn run(name: &str, scale: f64, gated: bool) -> Output {
+/// Runs one target. Under `--gate`, `chains` and `crossover` — the
+/// targets whose gate thresholds read *timings* (baseline speedup,
+/// thread-scaling smoke; the service/updates gates threshold hit rates,
+/// which are deterministic) — switch to one-warmup median-of-3
+/// measurements so a single scheduler hiccup cannot fake a perf
+/// regression. `threads` (`--threads`, default 8) is the intra-query
+/// budget the crossover target calibrates and scales against.
+fn run(name: &str, scale: f64, gated: bool, threads: usize) -> Output {
     let trials = if gated { 3 } else { 1 };
     match name {
         "engines" => Output::Text(engines_report()),
@@ -108,7 +111,9 @@ fn run(name: &str, scale: f64, gated: bool) -> Output {
         "saturation" => Output::Table(saturation_bench::saturation_experiment(scale)),
         "updates" => Output::Table(updates_bench::updates_experiment(scale)),
         "chains" => Output::Table(chains_bench::chains_experiment_trials(scale, trials)),
-        "crossover" => Output::Table(crossover_bench::crossover_experiment(scale, trials)),
+        "crossover" => Output::Table(crossover_bench::crossover_experiment(
+            scale, trials, threads,
+        )),
         other => {
             eprintln!("unknown target `{other}`");
             std::process::exit(2);
@@ -167,6 +172,9 @@ fn main() {
         .unwrap_or(DEFAULT_SCALE);
     let json_path = flag_value("--json").cloned();
     let gate_enabled = args.iter().any(|a| a == "--gate");
+    let threads = flag_value("--threads")
+        .and_then(|s| s.parse::<usize>().ok())
+        .unwrap_or(8);
 
     let targets: Vec<&str> = if named.is_empty() || named.contains(&"all") {
         ALL_TARGETS.to_vec()
@@ -180,7 +188,7 @@ fn main() {
         if targets.len() > 1 {
             eprintln!(">>> running {name} (scale {scale})");
         }
-        let output = run(name, scale, gate_enabled);
+        let output = run(name, scale, gate_enabled, threads);
         match &output {
             Output::Table(table) => println!("{}", table.render()),
             Output::Text(text) => println!("{text}"),

@@ -12,18 +12,26 @@
 //!
 //! The table also carries two `gemm n=…` rows timing the dispatched GEMM
 //! kernel against the scalar fallback on the same shapes the cost model
-//! samples; under `--features simd` the gate requires the ≥ 1.5× speedup
-//! that justifies shifting the crossover at all.
+//! samples; under `--features simd` the gate requires the ≥ 1.25×
+//! speedup that justifies shifting the crossover at all. `par n=… t=…`
+//! rows time
+//! the tiled multi-core scheduler against the serial kernel at the
+//! requested thread counts and record whether the products are
+//! bit-identical — the gate requires `identical` always, plus a scaling
+//! floor keyed on the granted core budget (≥ 3× at 8 cores).
 //!
 //! Column reuse: the `wcoj ms` / `mm ms` columns hold the two forced
-//! strategies for crossover rows, and the scalar / dispatched kernel
-//! times for `gemm` rows (same "slow path vs fast path" shape).
+//! strategies for crossover rows, the scalar / dispatched kernel times
+//! for `gemm` rows, and the serial / parallel scheduler times for `par`
+//! rows (same "slow path vs fast path" shape).
 
 use crate::report::Table;
 use crate::timed_median;
 use mmjoin::{CountSink, Engine, JoinConfig, MmJoinEngine, Query, Relation};
 use mmjoin_core::{choose_thresholds, PlanChoice};
-use mmjoin_matrix::{active_kernel, matmul_with_kernel, CostModel, DenseMatrix, Kernel};
+use mmjoin_matrix::{
+    active_kernel, matmul_parallel_with_kernel, matmul_with_kernel, CostModel, DenseMatrix, Kernel,
+};
 
 /// Multipliers applied to the *derived* crossover factor to build the
 /// sweep grid. Centering the grid on the model's own crossover (instead
@@ -36,6 +44,12 @@ const FACTOR_MULTIPLIERS: [f64; 8] = [8.0, 4.0, 2.0, 1.3, 0.77, 0.5, 0.25, 0.125
 /// Square sizes for the kernel-speedup rows (the same orders the cost
 /// model samples in `CostModel::calibrate_quick`).
 const GEMM_SIZES: [usize; 2] = [256, 384];
+
+/// Square size for the parallel-scheduler rows. The gate's multi-core
+/// scaling floor applies from this size up — below it the packed-panel
+/// reuse cannot amortize the fork cost and the floor would only measure
+/// scheduler overhead.
+const PAR_SIZE: usize = 512;
 
 /// A hub instance: `sets · deg` edges with *both* endpoints drawn from a
 /// universe sized so the expected two-path full join is `factor · N`.
@@ -83,20 +97,27 @@ fn time_strategy(r: &Relation, config: &JoinConfig, trials: usize) -> f64 {
     secs
 }
 
-/// Runs the crossover sweep plus the kernel-speedup rows. `trials` is the
-/// measured-run count per point (the gate uses 3; interactive runs 1).
-/// Calibrates against the dispatched kernel, then re-derives the
-/// crossover exactly the way a `--calibrate` service would.
-pub fn crossover_experiment(scale: f64, trials: usize) -> Table {
-    let mut config = JoinConfig::default();
-    config.install_measured_model(CostModel::calibrate(&[128, 256, 384], &[1]));
-    crossover_sweep(config, scale, trials)
+/// Runs the crossover sweep plus the kernel-speedup and
+/// parallel-scheduler rows. `trials` is the measured-run count per point
+/// (the gate uses 3; interactive runs 1); `threads` is the intra-query
+/// budget whose cores axis the calibration sweeps. Calibrates against
+/// the dispatched kernel, then re-derives the crossover exactly the way
+/// a `--calibrate --threads n` service would: the measured multi-core
+/// curve damps the derived factor, so the sweep exercises the same
+/// crossover the planner would actually use at that budget.
+pub fn crossover_experiment(scale: f64, trials: usize, threads: usize) -> Table {
+    let mut config = JoinConfig {
+        threads,
+        ..JoinConfig::default()
+    };
+    config.install_measured_model(CostModel::calibrate_quick(threads));
+    crossover_sweep(config, scale, trials, threads)
 }
 
 /// The sweep body, parameterised on the (already recalibrated) config so
 /// tests can pin `wcoj_fallback_factor` instead of depending on how fast
 /// the build machine happens to be.
-pub fn crossover_sweep(config: JoinConfig, scale: f64, trials: usize) -> Table {
+pub fn crossover_sweep(config: JoinConfig, scale: f64, trials: usize, threads: usize) -> Table {
     let kernel = active_kernel();
 
     let mut t = Table::new(
@@ -172,7 +193,7 @@ pub fn crossover_sweep(config: JoinConfig, scale: f64, trials: usize) -> Table {
     // Kernel-speedup rows: scalar fallback vs the dispatched kernel on
     // 0/1 matrices of calibration-order sizes. Under the scalar build
     // both columns time the same kernel (speedup 1×) and the gate's
-    // ≥ 1.5× clause is dormant.
+    // ≥ 1.25× clause is dormant.
     for n in GEMM_SIZES {
         // Density 1/4 — the bench suite's `adjacency()` density, and what
         // the sweep's own heavy cores run at near the crossover
@@ -204,6 +225,43 @@ pub fn crossover_sweep(config: JoinConfig, scale: f64, trials: usize) -> Table {
             ],
         );
     }
+
+    // Parallel-scheduler rows: the serial dispatched kernel (`wcoj ms`
+    // column) against the tiled multi-core scheduler (`mm ms`) on a
+    // dense all-nonzero matrix — arbitrary floats, so any accumulation
+    // reorder would show up bit-for-bit. `predicted` records the
+    // bit-exactness verdict, `penalty %` holds the measured speedup, and
+    // `excess ms` carries `requested/granted` thread counts so the gate
+    // can pick a scaling floor the host can actually meet.
+    let cores = config.exec().budget();
+    let mut t_list = vec![2usize, threads];
+    t_list.retain(|&v| v >= 2);
+    t_list.sort_unstable();
+    t_list.dedup();
+    let n = PAR_SIZE;
+    let a = DenseMatrix::from_fn(n, n, |i, j| ((i * 31 + j * 17) % 97 + 1) as f32);
+    let b = DenseMatrix::from_fn(n, n, |i, j| ((i * 13 + j * 29) % 89 + 1) as f32);
+    let par_trials = trials.max(2);
+    let (serial, t_serial) = timed_median(1, par_trials, || matmul_with_kernel(kernel, &a, &b));
+    for t_req in t_list {
+        let (par, t_par) = timed_median(1, par_trials, || {
+            matmul_parallel_with_kernel(kernel, &a, &b, t_req)
+        });
+        let identical = par.data() == serial.data();
+        t.push_row(
+            format!("par n={n} t={t_req}"),
+            vec![
+                n.to_string(),
+                "-".into(),
+                if identical { "identical" } else { "diverged" }.into(),
+                format!("{:.3}", t_serial * 1e3),
+                format!("{:.3}", t_par * 1e3),
+                if t_par <= t_serial { "par" } else { "serial" }.into(),
+                format!("{:.2}", t_serial / t_par.max(1e-9)),
+                format!("{t_req}/{cores}"),
+            ],
+        );
+    }
     t
 }
 
@@ -231,7 +289,7 @@ mod tests {
     fn tiny_sweep_has_both_prediction_kinds_and_gemm_rows() {
         // Pin the crossover (skip calibration) so the grid — and hence
         // which predictions appear — doesn't depend on machine speed.
-        let t = crossover_sweep(JoinConfig::default(), 0.05, 1);
+        let t = crossover_sweep(JoinConfig::default(), 0.05, 1, 2);
         // The saturation cap may merge the top grid points, but the
         // sweep must keep enough of the grid to bracket the crossover.
         let crossover_rows = t.rows.iter().filter(|(k, _)| k.starts_with("f=")).count();
@@ -239,7 +297,8 @@ mod tests {
             (4..=FACTOR_MULTIPLIERS.len()).contains(&crossover_rows),
             "unexpected sweep size {crossover_rows}"
         );
-        assert_eq!(t.rows.len(), crossover_rows + GEMM_SIZES.len());
+        // threads = 2 collapses the par thread list to the single t=2 row.
+        assert_eq!(t.rows.len(), crossover_rows + GEMM_SIZES.len() + 1);
         let predictions: Vec<&str> = t
             .rows
             .iter()
@@ -255,5 +314,31 @@ mod tests {
             "no mm prediction: {predictions:?}"
         );
         assert!(t.rows.iter().any(|(k, _)| k == "gemm n=256"));
+    }
+
+    #[test]
+    fn par_rows_are_bit_exact_and_carry_thread_budget() {
+        let t = crossover_sweep(JoinConfig::default(), 0.05, 1, 8);
+        let par_rows: Vec<&(String, Vec<String>)> = t
+            .rows
+            .iter()
+            .filter(|(k, _)| k.starts_with("par "))
+            .collect();
+        // threads = 8 requests both the fixed t=2 probe and the budget.
+        assert_eq!(par_rows.len(), 2, "expected t=2 and t=8 rows");
+        for (key, cells) in par_rows {
+            assert_eq!(cells[2], "identical", "{key} diverged");
+            let (req, granted) = cells[7].split_once('/').expect("t/cores cell");
+            assert!(req.parse::<usize>().is_ok(), "{key}: bad requested `{req}`");
+            assert!(
+                granted.parse::<usize>().map(|c| c >= 1).unwrap_or(false),
+                "{key}: bad granted budget `{granted}`"
+            );
+            assert!(
+                cells[6].parse::<f64>().map(|s| s > 0.0).unwrap_or(false),
+                "{key}: speedup cell `{}` must be a positive number",
+                cells[6]
+            );
+        }
     }
 }

@@ -111,10 +111,27 @@ impl JoinConfig {
     /// full join; a linear `20 / r` over-shifts the crossover and trips
     /// the misprediction gate). Clamped to [2, 200] so a wild calibration
     /// sample cannot disable either strategy outright.
+    ///
+    /// When this configuration will actually run GEMM in parallel
+    /// (`effective_threads() > 1`), the kernel-time fraction additionally
+    /// shrinks by the model's *measured* multi-core speedup at that
+    /// thread count — the parallel scheduler speeds up only the GEMM
+    /// term, so the shift composes multiplicatively with the single-core
+    /// speed before the Amdahl damping. A serial config (the default)
+    /// gets no parallel shift, and a model without multi-core samples
+    /// contributes the analytic curve only until a cores sweep is
+    /// installed.
     pub fn install_measured_model(&mut self, model: CostModel) {
         let speed = model.speed_vs_reference();
         if speed.is_finite() && speed > 0.0 {
-            let effective = 1.0 / (Self::MM_GEMM_FRACTION / speed + (1.0 - Self::MM_GEMM_FRACTION));
+            let cores = self.effective_threads();
+            let par = if cores > 1 {
+                model.speedup(cores).max(1.0)
+            } else {
+                1.0
+            };
+            let r = speed * par;
+            let effective = 1.0 / (Self::MM_GEMM_FRACTION / r + (1.0 - Self::MM_GEMM_FRACTION));
             self.wcoj_fallback_factor = (Self::MEASURED_CROSSOVER_F / effective).clamp(2.0, 200.0);
         }
         self.cost_model = model;
@@ -202,6 +219,54 @@ mod tests {
         let mut c = JoinConfig::default();
         c.install_measured_model(slow);
         assert_eq!(c.wcoj_fallback_factor, 200.0);
+    }
+
+    #[test]
+    fn install_measured_model_damps_by_measured_parallel_speedup() {
+        use mmjoin_matrix::cost::{Sample, SystemConstants};
+        // Reference-speed single-core sample plus a measured 3× speedup
+        // at 8 cores — the curve the cores sweep would produce.
+        let p = 512usize;
+        let reference = 2.0 * (p as f64).powi(3) / 20.0e9;
+        let model = CostModel::from_samples(
+            vec![
+                Sample {
+                    p,
+                    cores: 1,
+                    seconds: reference,
+                },
+                Sample {
+                    p,
+                    cores: 8,
+                    seconds: reference / 3.0,
+                },
+            ],
+            SystemConstants::default(),
+        );
+        // Serial config: parallel speedup must not shift the crossover.
+        let mut serial = JoinConfig::default();
+        serial.install_measured_model(model.clone());
+        assert!(
+            (serial.wcoj_fallback_factor - JoinConfig::MEASURED_CROSSOVER_F).abs() < 1e-6,
+            "threads=1 must ignore the parallel curve, got {}",
+            serial.wcoj_fallback_factor
+        );
+        // 8-thread config: the GEMM fraction runs 3× faster (measured,
+        // not the analytic 6.6×), so the crossover drops by the
+        // Amdahl-damped factor of r = 3.
+        let mut par = JoinConfig {
+            threads: 8,
+            ..JoinConfig::default()
+        };
+        par.install_measured_model(model);
+        let expected =
+            JoinConfig::MEASURED_CROSSOVER_F * (JoinConfig::MM_GEMM_FRACTION / 3.0 + 0.75);
+        assert!(
+            (par.wcoj_fallback_factor - expected).abs() < 1e-6,
+            "8 threads at measured 3× should damp to {expected}, got {}",
+            par.wcoj_fallback_factor
+        );
+        assert!(par.wcoj_fallback_factor < serial.wcoj_fallback_factor);
     }
 
     #[test]

@@ -1,0 +1,90 @@
+//! Reusable thread-local scratch buffers for packing slabs.
+//!
+//! The parallel tile scheduler packs B into a panel-major slab on every
+//! product; allocating (and faulting in) that slab per call costs more
+//! than the packing itself for mid-sized products. [`with_scratch`]
+//! leases a buffer from a small per-thread pool instead: repeat products
+//! on the same caller thread — the common shape for both the service's
+//! worker threads and the executor's pool — reuse warm, already-faulted
+//! memory with zero synchronization.
+//!
+//! The pool is deliberately tiny and bounded: at most [`POOL_SLOTS`]
+//! buffers per thread, and buffers larger than [`MAX_POOLED_LEN`] floats
+//! (64 MiB) are dropped on return rather than pinned for the thread's
+//! lifetime. Nested leases (a parallel GEMM inside another product's
+//! tile) simply pop distinct buffers.
+
+use std::cell::RefCell;
+
+/// Buffers retained per thread; two covers the deepest practical nesting
+/// (a Strassen leaf's GEMM inside an engine's product).
+const POOL_SLOTS: usize = 2;
+
+/// Largest buffer (in `f32` elements) worth pinning to a thread between
+/// products: 16 Mi floats = 64 MiB. Bigger slabs are one-shot.
+const MAX_POOLED_LEN: usize = 16 * 1024 * 1024;
+
+thread_local! {
+    static POOL: RefCell<Vec<Vec<f32>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Run `f` over a zero-initialized scratch slice of exactly `len` floats,
+/// leased from this thread's pool. A reused buffer that is already large
+/// enough is handed over as-is up to `len` — callers must treat the
+/// contents as *uninitialized-but-valid* floats and fully overwrite
+/// whatever region they later read. (The tile scheduler packs every
+/// element of the slab before any tile reads it, so this is free there.)
+pub fn with_scratch<R>(len: usize, f: impl FnOnce(&mut [f32]) -> R) -> R {
+    let mut buf = POOL
+        .with(|pool| pool.borrow_mut().pop())
+        .unwrap_or_default();
+    if buf.len() < len {
+        buf.resize(len, 0.0);
+    }
+    let out = f(&mut buf[..len]);
+    if buf.len() <= MAX_POOLED_LEN {
+        POOL.with(|pool| {
+            let mut pool = pool.borrow_mut();
+            if pool.len() < POOL_SLOTS {
+                pool.push(buf);
+            }
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scratch_has_requested_length() {
+        with_scratch(17, |s| assert_eq!(s.len(), 17));
+        // A second, smaller lease sees exactly its own length even though
+        // the pooled buffer is larger.
+        with_scratch(3, |s| assert_eq!(s.len(), 3));
+    }
+
+    #[test]
+    fn reuse_keeps_capacity_across_leases() {
+        let cap0 = with_scratch(4096, |s| {
+            s[0] = 1.0;
+            s.len()
+        });
+        assert_eq!(cap0, 4096);
+        // The pooled buffer comes back without reallocating; contents are
+        // unspecified, so only the length contract is asserted.
+        with_scratch(4096, |s| assert_eq!(s.len(), 4096));
+    }
+
+    #[test]
+    fn nested_leases_get_distinct_buffers() {
+        with_scratch(64, |outer| {
+            outer[0] = 7.0;
+            with_scratch(64, |inner| {
+                inner[0] = 9.0;
+            });
+            assert_eq!(outer[0], 7.0, "nested lease must not alias the outer one");
+        });
+    }
+}

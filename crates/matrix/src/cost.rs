@@ -139,18 +139,69 @@ pub struct CostModel {
     /// another by the kernels' speed ratio, so consumers should re-calibrate
     /// when this disagrees with [`active_kernel`].
     kernel: String,
+    /// Per-core speedup curve `(cores, speedup over 1 core)` derived from
+    /// the samples at construction, sorted by core count; empty when the
+    /// samples cover fewer than two core counts (then [`CostModel::speedup`]
+    /// falls back to the analytic 80%-efficiency guess).
+    curve: Vec<(usize, f64)>,
+}
+
+/// Derives the measured per-core speedup curve from calibration samples:
+/// for each sampled core count, effective throughput at the *largest*
+/// measured `p` (small products are dominated by fixed overheads)
+/// relative to the single-core throughput. Needs a 1-core baseline plus
+/// at least one multi-core point; anything less yields an empty curve.
+fn efficiency_curve(samples: &[Sample]) -> Vec<(usize, f64)> {
+    let mut cores_list: Vec<usize> = samples.iter().map(|s| s.cores).collect();
+    cores_list.sort_unstable();
+    cores_list.dedup();
+    if cores_list.first() != Some(&1) || cores_list.len() < 2 {
+        return Vec::new();
+    }
+    let throughput = |c: usize| -> f64 {
+        let best = samples
+            .iter()
+            .filter(|s| s.cores == c)
+            .max_by_key(|s| s.p)
+            .expect("core count came from the samples");
+        (best.p as f64).powi(3) / best.seconds.max(1e-12)
+    };
+    let base = throughput(1);
+    cores_list
+        .into_iter()
+        .map(|c| {
+            // Pin the baseline at exactly 1.0 so single-core estimates
+            // are the raw samples; floor multi-core points so a noisy
+            // measurement can never zero out an estimate.
+            let s = if c == 1 {
+                1.0
+            } else {
+                (throughput(c) / base).max(0.05)
+            };
+            (c, s)
+        })
+        .collect()
 }
 
 impl CostModel {
-    /// A model from explicit samples (useful for tests and for loading cached
-    /// calibration data).
-    pub fn from_samples(samples: Vec<Sample>, constants: SystemConstants) -> Self {
+    /// The one true constructor: derives the parallel-speedup curve from
+    /// the samples so every model — measured, injected or loaded — prices
+    /// core counts the same way.
+    fn finish(samples: Vec<Sample>, constants: SystemConstants, kernel: String) -> Self {
         assert!(!samples.is_empty(), "cost model needs at least one sample");
+        let curve = efficiency_curve(&samples);
         Self {
             samples,
             constants,
-            kernel: "injected".to_string(),
+            kernel,
+            curve,
         }
+    }
+
+    /// A model from explicit samples (useful for tests and for loading cached
+    /// calibration data).
+    pub fn from_samples(samples: Vec<Sample>, constants: SystemConstants) -> Self {
+        Self::finish(samples, constants, "injected".to_string())
     }
 
     /// A deterministic default model assuming an effective single-core
@@ -172,58 +223,112 @@ impl CostModel {
                 });
             }
         }
-        Self {
-            samples,
-            constants: SystemConstants::default(),
-            kernel: "analytic".to_string(),
-        }
+        Self::finish(samples, SystemConstants::default(), "analytic".to_string())
     }
 
-    /// Calibrates by actually running the dispatched kernel at the given
-    /// square sizes and core counts (the paper's `p ∈ {1000, …, 20000}`
-    /// table, scaled). Each point gets a warmup pass and the median of
-    /// three timed runs, and the resulting model is tagged with
-    /// [`active_kernel`] so stale calibrations are detectable.
+    /// Calibrates by actually running the dispatched kernel at the cross
+    /// product of the given square sizes and core counts (the paper's
+    /// `p ∈ {1000, …, 20000}` table, scaled). Multi-core points run on
+    /// the tiled parallel scheduler, so the fitted speedup curve measures
+    /// the machine the planner will actually schedule on.
     pub fn calibrate(sizes: &[usize], core_counts: &[usize]) -> Self {
+        let points: Vec<(usize, usize)> = core_counts
+            .iter()
+            .flat_map(|&cores| sizes.iter().map(move |&p| (p, cores)))
+            .collect();
+        Self::calibrate_points(&points)
+    }
+
+    /// Calibrates an explicit list of `(p, cores)` points. Each point gets
+    /// a warmup pass and the median of three timed runs, and the resulting
+    /// model is tagged with [`active_kernel`] so stale calibrations are
+    /// detectable.
+    pub fn calibrate_points(points: &[(usize, usize)]) -> Self {
         let mut samples = Vec::new();
-        for &cores in core_counts {
-            for &p in sizes {
-                let a =
-                    DenseMatrix::from_fn(p, p, |i, j| ((i * 31 + j * 17) % 7 == 0) as u8 as f32);
-                let b =
-                    DenseMatrix::from_fn(p, p, |i, j| ((i * 13 + j * 29) % 5 == 0) as u8 as f32);
-                let seconds = median_of_3(|| {
-                    let c = matmul_parallel(&a, &b, cores);
-                    std::hint::black_box(&c);
-                })
-                .max(1e-9);
-                samples.push(Sample { p, cores, seconds });
-            }
+        for &(p, cores) in points {
+            let a = DenseMatrix::from_fn(p, p, |i, j| ((i * 31 + j * 17) % 7 == 0) as u8 as f32);
+            let b = DenseMatrix::from_fn(p, p, |i, j| ((i * 13 + j * 29) % 5 == 0) as u8 as f32);
+            let seconds = median_of_3(|| {
+                let c = matmul_parallel(&a, &b, cores);
+                std::hint::black_box(&c);
+            })
+            .max(1e-9);
+            samples.push(Sample { p, cores, seconds });
         }
-        Self {
+        Self::finish(
             samples,
-            constants: SystemConstants::measure(),
-            kernel: active_kernel().name().to_string(),
-        }
+            SystemConstants::measure(),
+            active_kernel().name().to_string(),
+        )
     }
 
     /// A fast calibration pass suitable for service startup: square sizes
-    /// {128, 256, 512} on 1 core plus the given worker count. Takes tens of
-    /// milliseconds, which is enough to place the dispatched kernel's real
-    /// throughput and re-derive the strategy crossover.
+    /// {128, 256, 512} on one core, then a cores sweep over
+    /// `{2, 4, workers} ∩ (1, workers]` at `p = 512` to fit the measured
+    /// parallel-speedup curve. Takes well under a second, which is enough
+    /// to place the dispatched kernel's real throughput *and* its real
+    /// multi-core scaling, and re-derive the strategy crossover.
     pub fn calibrate_quick(workers: usize) -> Self {
-        let cores: Vec<usize> = if workers > 1 {
-            vec![1, workers]
-        } else {
-            vec![1]
-        };
-        Self::calibrate(&[128, 256, 512], &cores)
+        let budget = workers.max(1);
+        let mut points = vec![(128usize, 1usize), (256, 1), (512, 1)];
+        let mut cores = vec![2usize, 4, budget];
+        cores.retain(|&c| c > 1 && c <= budget);
+        cores.sort_unstable();
+        cores.dedup();
+        points.extend(cores.into_iter().map(|c| (512, c)));
+        Self::calibrate_points(&points)
     }
 
     /// Kernel name the samples were measured under (`"analytic"` or
     /// `"injected"` for synthetic models).
     pub fn kernel(&self) -> &str {
         &self.kernel
+    }
+
+    /// Parallel speedup over one core at `cores` workers.
+    ///
+    /// When the samples cover ≥ 2 core counts this interpolates the
+    /// *measured* efficiency curve (piecewise-linear between sampled core
+    /// counts; extrapolation past the largest sampled count continues the
+    /// last segment's slope, clamped to [0, 1] speedup per core). Only a
+    /// model with no multi-core samples falls back to the old analytic
+    /// `0.8·c + 0.2` guess — so once calibration sweeps the cores axis,
+    /// the analytic formula is out of the loop entirely.
+    pub fn speedup(&self, cores: usize) -> f64 {
+        let c = cores.max(1) as f64;
+        if self.curve.len() < 2 {
+            return 0.8 * c + 0.2;
+        }
+        if c <= self.curve[0].0 as f64 {
+            return self.curve[0].1;
+        }
+        for pair in self.curve.windows(2) {
+            let ((c0, s0), (c1, s1)) = (pair[0], pair[1]);
+            if c <= c1 as f64 {
+                let t = (c - c0 as f64) / ((c1 - c0) as f64);
+                return s0 + t * (s1 - s0);
+            }
+        }
+        let ((c0, s0), (c1, s1)) = (
+            self.curve[self.curve.len() - 2],
+            self.curve[self.curve.len() - 1],
+        );
+        let slope = ((s1 - s0) / ((c1 - c0) as f64)).clamp(0.0, 1.0);
+        s1 + slope * (c - c1 as f64)
+    }
+
+    /// The measured per-core speedup curve `(cores, speedup)`; empty when
+    /// the samples cover fewer than two core counts (see
+    /// [`CostModel::speedup`] for the fallback).
+    pub fn parallel_curve(&self) -> &[(usize, f64)] {
+        &self.curve
+    }
+
+    /// Highest core count among the samples — the parallelism this
+    /// calibration actually measured. Consumers use it to detect a stale
+    /// single-core manifest when a larger thread budget is configured.
+    pub fn max_cores(&self) -> usize {
+        self.samples.iter().map(|s| s.cores).max().unwrap_or(1)
     }
 
     /// Measured effective single-core throughput divided by the analytic
@@ -242,17 +347,28 @@ impl CostModel {
         // dominated by fixed overheads, not kernel throughput.
         let best = pool.iter().max_by_key(|s| s.p).expect("non-empty samples");
         let flops = 2.0 * (best.p as f64).powi(3);
-        let eff = best.cores as f64 * 0.8 + 0.2;
-        let gflops = flops / best.seconds / 1.0e9 / eff;
+        let gflops = flops / best.seconds / 1.0e9 / self.speedup(best.cores);
         gflops / REFERENCE_GFLOPS
     }
 
     /// Persists the model as a small text manifest (one line per sample)
-    /// so a calibration can be reused across service restarts.
+    /// so a calibration can be reused across service restarts. The
+    /// `cores` line records the swept core-count axis explicitly;
+    /// [`CostModel::load`] accepts manifests without it (pre-sweep
+    /// format), deriving everything from the samples.
     pub fn save(&self, path: &Path) -> io::Result<()> {
         let mut out = Vec::new();
         writeln!(out, "mmjoin-cost-model v1")?;
         writeln!(out, "kernel {}", self.kernel)?;
+        let mut cores: Vec<usize> = self.samples.iter().map(|s| s.cores).collect();
+        cores.sort_unstable();
+        cores.dedup();
+        let cores_line = cores
+            .iter()
+            .map(|c| c.to_string())
+            .collect::<Vec<_>>()
+            .join(" ");
+        writeln!(out, "cores {cores_line}")?;
         writeln!(
             out,
             "constants {:e} {:e} {:e}",
@@ -289,6 +405,15 @@ impl CostModel {
                 Some("kernel") => {
                     kernel = parts.next().ok_or_else(|| bad("kernel line"))?.to_string();
                 }
+                Some("cores") => {
+                    // The swept core-count axis. Informational — the
+                    // samples already carry per-point core counts — but
+                    // malformed tokens still fail loudly rather than
+                    // silently feeding a bogus manifest to the planner.
+                    for tok in parts.by_ref() {
+                        tok.parse::<usize>().map_err(|_| bad("cores line"))?;
+                    }
+                }
                 Some("constants") => {
                     let mut next = || -> io::Result<f64> {
                         parts
@@ -323,11 +448,7 @@ impl CostModel {
         if samples.is_empty() {
             return Err(bad("manifest has no samples"));
         }
-        Ok(Self {
-            samples,
-            constants,
-            kernel,
-        })
+        Ok(Self::finish(samples, constants, kernel))
     }
 
     /// `M̂(u, v, w, co)` — predicted seconds to multiply `u×v` by `v×w` on
@@ -356,9 +477,9 @@ impl CostModel {
             .expect("non-empty samples");
         let sample_work = (best.p as f64).powi(3);
         let scaled = best.seconds * work / sample_work;
-        // Correct for a core-count mismatch with the 80%-efficiency model.
-        let eff = |c: usize| c as f64 * 0.8 + 0.2;
-        scaled * eff(best.cores) / eff(cores)
+        // Correct a core-count mismatch with the measured speedup curve
+        // (analytic only for models with no multi-core samples).
+        scaled * self.speedup(best.cores) / self.speedup(cores)
     }
 
     /// Predicted seconds for a GEMM that will execute `madds` effective
@@ -383,8 +504,7 @@ impl CostModel {
             })
             .expect("non-empty samples");
         let scaled = best.seconds * madds / (best.p as f64).powi(3);
-        let eff = |c: usize| c as f64 * 0.8 + 0.2;
-        scaled * eff(best.cores) / eff(cores)
+        scaled * self.speedup(best.cores) / self.speedup(cores)
     }
 
     /// Predicted seconds to *construct* the two heavy matrices of Algorithm 1
@@ -522,6 +642,92 @@ mod tests {
         assert_eq!(loaded.kernel(), m.kernel());
         assert!((loaded.constants.t_seq - m.constants.t_seq).abs() < 1e-15);
         assert!((loaded.constants.t_insert - m.constants.t_insert).abs() < 1e-15);
+    }
+
+    /// The per-core scaling must come from the measured samples, not the
+    /// analytic `0.8·c + 0.2` guess, whenever the samples cover the
+    /// cores axis (the ISSUE-9 acceptance criterion).
+    #[test]
+    fn measured_speedup_curve_replaces_analytic() {
+        let m = flat_model();
+        // throughput(1) = 200³/8 s; throughput(4) = 100³/0.3 s →
+        // measured speedup(4) = 10/3, nowhere near the analytic 3.4.
+        let s4 = m.speedup(4);
+        assert!((s4 - 10.0 / 3.0).abs() < 1e-9, "got {s4}");
+        // Interpolation between the sampled core counts is linear.
+        let s2 = m.speedup(2);
+        let want = 1.0 + (10.0 / 3.0 - 1.0) / 3.0;
+        assert!((s2 - want).abs() < 1e-9, "got {s2}, want {want}");
+        assert_eq!(m.speedup(1), 1.0);
+        assert_eq!(m.parallel_curve().len(), 2);
+        // And the estimates flow through the measured curve: a 2-core
+        // estimate sits strictly between the 1- and 4-core ones.
+        let (t1, t2, t4) = (
+            m.estimate(100, 100, 100, 1),
+            m.estimate(100, 100, 100, 2),
+            m.estimate(100, 100, 100, 4),
+        );
+        assert!(t4 < t2 && t2 < t1, "t1={t1} t2={t2} t4={t4}");
+    }
+
+    /// A single-core-only model has no measured curve and falls back to
+    /// the analytic guess — the only case where it is still used.
+    #[test]
+    fn single_core_model_falls_back_to_analytic_speedup() {
+        let m = CostModel::from_samples(
+            vec![Sample {
+                p: 100,
+                cores: 1,
+                seconds: 1.0,
+            }],
+            SystemConstants::default(),
+        );
+        assert!(m.parallel_curve().is_empty());
+        assert!((m.speedup(4) - 3.4).abs() < 1e-9);
+        assert_eq!(m.max_cores(), 1);
+    }
+
+    /// The analytic default's derived curve reproduces its own generating
+    /// formula exactly (it *is* piecewise linear), including slope-0.8
+    /// extrapolation past the largest sampled core count.
+    #[test]
+    fn analytic_curve_matches_closed_form() {
+        let m = CostModel::analytic_default();
+        for c in 1usize..=8 {
+            let want = 0.8 * c as f64 + 0.2;
+            assert!((m.speedup(c) - want).abs() < 1e-9, "cores={c}");
+        }
+        assert!((m.speedup(16) - (0.8 * 16.0 + 0.2)).abs() < 1e-9);
+        assert_eq!(m.max_cores(), 8);
+    }
+
+    #[test]
+    fn manifest_records_cores_axis_and_reads_legacy_format() {
+        let m = flat_model();
+        let path =
+            std::env::temp_dir().join(format!("mmjoin-cost-cores-{}.txt", std::process::id()));
+        m.save(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("cores 1 4"), "manifest:\n{text}");
+        // Pre-sweep manifests (no `cores` line) still load, deriving the
+        // curve from the samples alone.
+        std::fs::write(
+            &path,
+            "mmjoin-cost-model v1\nkernel scalar\nconstants 1e-9 4e-9 2.5e-9\n\
+             sample 100 1 1.0\nsample 100 4 0.3\n",
+        )
+        .unwrap();
+        let legacy = CostModel::load(&path).unwrap();
+        assert_eq!(legacy.max_cores(), 4);
+        assert!(!legacy.parallel_curve().is_empty());
+        // A malformed cores line is rejected, like any other bad line.
+        std::fs::write(
+            &path,
+            "mmjoin-cost-model v1\ncores 1 banana\nsample 100 1 1.0\n",
+        )
+        .unwrap();
+        assert!(CostModel::load(&path).is_err());
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

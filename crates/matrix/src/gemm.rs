@@ -8,17 +8,46 @@
 //! auto-vectorizable scalar loop otherwise (see the dispatch ladder in
 //! [`kernel`](crate::kernel)).
 //!
-//! Parallelism splits `C` into disjoint horizontal bands executed as tasks
-//! on the shared [`mmjoin_executor::Executor`] pool. No two workers ever
-//! touch the same cache line of `C`, reproducing the "coordination-free"
-//! scaling of §6 / Figure 3b — but the threads now come out of the global
-//! budget instead of being spawned per call, and each band runs the same
-//! dispatched microkernel as the serial path.
+//! Parallelism decomposes `C` into a 2D grid of `band × NC` tiles
+//! scheduled as tasks on the shared [`mmjoin_executor::Executor`] pool:
+//! B is packed **once** into a shared panel-major slab every tile reuses
+//! (the old row-band split re-streamed all of B from DRAM per band), row
+//! bands are [`MR`]-aligned so register tiles and the per-block density
+//! scan never straddle a band edge, and the executor's chunk-claim
+//! stealing rebalances density skew across bands. Tiles write disjoint
+//! regions of `C` — the "coordination-free" scaling of §6 / Figure 3b —
+//! and each tile walks its k-panels in serial order on the serial
+//! kernel's own panel boundaries, so the result is bit-identical to the
+//! serial product at any thread count and any pool occupancy.
 
+use crate::arena;
 use crate::dense::DenseMatrix;
-use crate::kernel::{active_kernel, available_kernels, gemm_block, Kernel};
+use crate::kernel::{
+    active_kernel, available_kernels, gemm_block, gemm_block_strided, k_panel, Kernel, MR, NC,
+};
 use mmjoin_executor::Executor;
-use std::sync::Mutex;
+
+/// Raw shared pointer the tile tasks use to write disjoint regions of C
+/// (and to fill disjoint regions of the packing slab). Sound because the
+/// scheduler hands every task a non-overlapping region.
+#[derive(Clone, Copy)]
+struct SendPtr(*mut f32);
+unsafe impl Send for SendPtr {}
+unsafe impl Sync for SendPtr {}
+
+impl SendPtr {
+    /// Accessor (rather than field reads) so closures capture the whole
+    /// `Sync` wrapper — precise closure capture would otherwise capture
+    /// the bare `*mut f32` field, which is not `Sync`.
+    fn get(self) -> *mut f32 {
+        self.0
+    }
+}
+
+/// Tiles per thread the scheduler aims for: enough slack that the
+/// executor's chunk-claim stealing can rebalance a dense straggler band
+/// without shrinking tiles into pack/claim overhead.
+const TILE_OVERSUB: usize = 4;
 
 /// Multiplies `a · b` into a fresh matrix.
 ///
@@ -75,18 +104,51 @@ fn matmul_into_with_kernel(kind: Kernel, a: &DenseMatrix, b: &DenseMatrix, c: &m
     gemm_block(kind, a.data(), b.data(), c.data_mut(), m, k, n);
 }
 
-/// Multi-threaded `a · b`, splitting C into horizontal bands computed on
-/// the shared [`Executor::global`] pool. With `threads == 1` this is
-/// exactly [`matmul`]. The band decomposition depends only on `threads`,
-/// so the result is bit-identical at any pool occupancy.
+/// Multi-threaded `a · b` on the tiled scheduler over the shared
+/// [`Executor::global`] pool. With `threads == 1` this is exactly
+/// [`matmul`]; at any higher thread count the tile decomposition depends
+/// only on the shape and `threads`, and every tile reproduces the serial
+/// kernel's own panel schedule, so the result is **bit-identical** to the
+/// serial product at any pool occupancy.
 pub fn matmul_parallel(a: &DenseMatrix, b: &DenseMatrix, threads: usize) -> DenseMatrix {
     matmul_parallel_on(Executor::global(), a, b, threads)
 }
 
 /// [`matmul_parallel`] on an explicit executor — the variant engine code
-/// uses so a service-level thread budget governs the GEMM bands too.
+/// uses so a service-level thread budget governs the GEMM tiles too.
 pub fn matmul_parallel_on(
     exec: &Executor,
+    a: &DenseMatrix,
+    b: &DenseMatrix,
+    threads: usize,
+) -> DenseMatrix {
+    matmul_parallel_with_kernel_on(exec, active_kernel(), a, b, threads)
+}
+
+/// [`matmul_parallel`] forced onto one specific kernel — the hook the
+/// kernel-equivalence tests use to prove the tile scheduler bit-exact
+/// against the serial path for every dispatchable kernel, not just the
+/// active one.
+///
+/// # Panics
+/// Panics if `kind` is not in [`available_kernels`], or on dimension
+/// mismatch.
+pub fn matmul_parallel_with_kernel(
+    kind: Kernel,
+    a: &DenseMatrix,
+    b: &DenseMatrix,
+    threads: usize,
+) -> DenseMatrix {
+    assert!(
+        available_kernels().contains(&kind),
+        "kernel {kind} is not available in this build/machine"
+    );
+    matmul_parallel_with_kernel_on(Executor::global(), kind, a, b, threads)
+}
+
+pub(crate) fn matmul_parallel_with_kernel_on(
+    exec: &Executor,
+    kind: Kernel,
     a: &DenseMatrix,
     b: &DenseMatrix,
     threads: usize,
@@ -98,42 +160,129 @@ pub fn matmul_parallel_on(
     if m == 0 || k == 0 || n == 0 {
         return c;
     }
-    let kind = active_kernel();
-    let threads = threads.min(m);
     if threads == 1 {
         gemm_block(kind, a.data(), b.data(), c.data_mut(), m, k, n);
         return c;
     }
-    let band = m.div_ceil(threads);
-    let c_data = c.data_mut();
-    // Split C into disjoint row bands; task t owns band t exclusively
-    // (handed over through its slot — no two tasks share a cache line).
-    let bands: Vec<Mutex<Option<&mut [f32]>>> = c_data
-        .chunks_mut(band * n)
-        .map(|chunk| Mutex::new(Some(chunk)))
-        .collect();
-    let tasks = bands.len();
-    exec.run(threads, tasks, |t| {
-        let mine = bands[t]
-            .lock()
-            .expect("band slot is uncontended")
-            .take()
-            .expect("each band is claimed once");
-        let lo = t * band;
-        let hi = (lo + band).min(m);
-        // The band is a re-based (hi-lo)×n GEMM over A's row slice: the
-        // same dispatched microkernel as the serial path, per band.
-        gemm_block(
-            kind,
-            &a.data()[lo * k..hi * k],
-            b.data(),
-            mine,
-            hi - lo,
-            k,
-            n,
-        );
-    });
+    gemm_tiled(
+        exec,
+        kind,
+        a.data(),
+        b.data(),
+        c.data_mut(),
+        m,
+        k,
+        n,
+        threads,
+    );
     c
+}
+
+/// The 2D tile scheduler: pack B once into a shared panel-major slab,
+/// then compute `C` as a grid of MR-aligned row bands × NC-wide column
+/// panels claimed through the executor's chunk-claim stealing.
+///
+/// Bit-exactness vs the serial `gemm_block` is by construction, not by
+/// tolerance:
+/// * k is sliced on [`k_panel`]`(kind, n)` boundaries — the exact panel
+///   depths the serial kernel derives internally (each tile also gets
+///   `kc_cols = n` so its *internal* panel math agrees);
+/// * row bands are MR-aligned, so every register tile / density-probe
+///   block covers the same absolute rows as in the serial schedule;
+/// * column panels sit on NC boundaries, matching the serial j-panels;
+/// * each tile walks its k-panels in increasing order, so every C element
+///   accumulates its k-contributions in the serial order.
+///
+/// The per-element float contraction sequence is therefore identical to
+/// the serial kernel's, for arbitrary inputs — not just exact 0/1 ones.
+#[allow(clippy::too_many_arguments)]
+fn gemm_tiled(
+    exec: &Executor,
+    kind: Kernel,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    threads: usize,
+) {
+    let kc = k_panel(kind, n).min(k);
+    let k_panels = k.div_ceil(kc);
+    let j_panels = n.div_ceil(NC);
+    // Aim for TILE_OVERSUB tiles per thread, but never split a register
+    // tile: band heights round up to a multiple of MR (satellite fix for
+    // the old `m / threads` split, whose mid-block edges defeated the
+    // per-block density scan and register tiling).
+    let max_bands = m.div_ceil(MR);
+    let want_bands = (threads * TILE_OVERSUB).div_ceil(j_panels).max(1);
+    let band_rows = m.div_ceil(want_bands.min(max_bands)).next_multiple_of(MR);
+    let bands = m.div_ceil(band_rows);
+    let tiles = bands * j_panels;
+
+    // Slab layout: the (ki, pi) panel — k rows [kb, kb+kd), columns
+    // [jb, jb+w) — lives at offset `kb·n + kd·jb`, row-major with row
+    // stride w. Offsets of consecutive panels tile the k·n floats of B
+    // exactly, and every panel is packed once and read by all `bands`
+    // row bands (the old row-band split streamed all of B per band).
+    arena::with_scratch(k * n, |slab| {
+        let sp = SendPtr(slab.as_mut_ptr());
+        let cp = SendPtr(c.as_mut_ptr());
+        // Phase 1: pack every B panel, one task per (k-panel, j-panel).
+        exec.run(threads, k_panels * j_panels, |t| {
+            let kb = (t / j_panels) * kc;
+            let kd = (kb + kc).min(k) - kb;
+            let jb = (t % j_panels) * NC;
+            let w = (jb + NC).min(n) - jb;
+            let dst = unsafe { sp.get().add(kb * n + kd * jb) };
+            for r in 0..kd {
+                // SAFETY: destination rows [0, kd) of this panel are
+                // exclusively ours (disjoint slab offsets per task) and
+                // the source row is in-bounds in B.
+                unsafe {
+                    std::ptr::copy_nonoverlapping(
+                        b.as_ptr().add((kb + r) * n + jb),
+                        dst.add(r * w),
+                        w,
+                    );
+                }
+            }
+        });
+        // Phase 2: compute the band × j-panel tile grid. Tasks claim
+        // tiles through the executor's shared counter, so a dense
+        // straggler band ends up spread over whichever threads are free,
+        // while the *result* stays schedule-independent.
+        exec.run(threads, tiles, |t| {
+            let i0 = (t / j_panels) * band_rows;
+            let i1 = (i0 + band_rows).min(m);
+            let jb = (t % j_panels) * NC;
+            let w = (jb + NC).min(n) - jb;
+            for ki in 0..k_panels {
+                let kb = ki * kc;
+                let kd = (kb + kc).min(k) - kb;
+                // SAFETY: A rows [i0, i1) are read-only; the packed panel
+                // was fully written in phase 1 (the two `exec.run` calls
+                // are separated by the executor's completion barrier);
+                // C rows [i0, i1) × cols [jb, jb+w) belong to this tile
+                // alone. `kind` came from the dispatch ladder.
+                unsafe {
+                    gemm_block_strided(
+                        kind,
+                        a.as_ptr().add(i0 * k + kb),
+                        k,
+                        sp.get().add(kb * n + kd * jb),
+                        w,
+                        cp.get().add(i0 * n + jb),
+                        n,
+                        i1 - i0,
+                        kd,
+                        w,
+                        n,
+                    );
+                }
+            }
+        });
+    });
 }
 
 /// Reference naive triple loop, used only by tests to validate the blocked
@@ -262,6 +411,47 @@ mod tests {
                 serial,
                 "threads={threads}"
             );
+        }
+    }
+
+    /// The tile scheduler reproduces the serial kernel's contraction
+    /// order exactly, so even arbitrary floats — where FMA rounding makes
+    /// order observable — come out bit-identical, not merely close.
+    #[test]
+    fn parallel_is_bit_exact_on_general_floats() {
+        let mut rng = StdRng::seed_from_u64(31);
+        for &(m, k, n) in &[(37, 300, 143), (5, 61, 1040), (130, 17, 29)] {
+            let a = DenseMatrix::from_fn(m, k, |_, _| rng.gen_range(-2.0f64..2.0) as f32);
+            let b = DenseMatrix::from_fn(k, n, |_, _| rng.gen_range(-2.0f64..2.0) as f32);
+            let serial = matmul(&a, &b);
+            for threads in [2, 3, 8, 64] {
+                let par = matmul_parallel(&a, &b, threads);
+                assert_eq!(
+                    par.data(),
+                    serial.data(),
+                    "({m},{k},{n}) threads={threads} diverged bit-wise"
+                );
+            }
+        }
+    }
+
+    /// Row counts around MR-multiple band edges: the scheduler must keep
+    /// bands MR-aligned (partial register blocks only at the true bottom
+    /// of C) for every m, including m smaller than one block.
+    #[test]
+    fn parallel_handles_band_boundary_row_counts() {
+        let mut rng = StdRng::seed_from_u64(32);
+        for m in [1, MR - 1, MR, MR + 1, 2 * MR, 8 * MR - 1, 8 * MR + 1] {
+            let a = random_matrix(&mut rng, m, 50, 0.3);
+            let b = random_matrix(&mut rng, 50, 77, 0.3);
+            let serial = matmul(&a, &b);
+            for threads in [2, 8] {
+                assert_eq!(
+                    matmul_parallel(&a, &b, threads),
+                    serial,
+                    "m={m} threads={threads}"
+                );
+            }
         }
     }
 

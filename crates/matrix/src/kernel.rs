@@ -20,8 +20,8 @@
 //!
 //! [`active_kernel`] picks once per process (override with the
 //! `MMJOIN_KERNEL` environment variable); every public matmul entry point
-//! routes through it, so engines, Strassen leaves and the executor's row
-//! bands all hit the same microkernel. All kernels skip zero entries of
+//! routes through it, so engines, Strassen leaves and the parallel tile
+//! scheduler's bands all hit the same microkernel. All kernels skip zero entries of
 //! `A` per register-tile row — adjacency matrices are sparse-ish 0/1 and
 //! the skip is a large practical win the cost model prices via
 //! `estimate_effective`.
@@ -121,9 +121,40 @@ pub fn active_kernel() -> Kernel {
     })
 }
 
+/// The k-panel depth `kind` steps through for a product with `n` output
+/// columns — the depth the SIMD kernels derive from their 32 KiB L1
+/// budget, `KC` for the scalar/portable kernels. Exported so the tiled
+/// parallel scheduler can cut `k` at exactly the panel boundaries the
+/// serial kernel would use, which is what keeps the parallel product
+/// bit-identical to the serial one.
+#[cfg_attr(
+    not(all(feature = "simd", target_arch = "x86_64")),
+    allow(unused_variables)
+)]
+pub fn k_panel(kind: Kernel, n: usize) -> usize {
+    match kind {
+        Kernel::Scalar => KC,
+        #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+        Kernel::Avx2 | Kernel::Avx512 => simd_k_panel(n),
+        #[cfg(feature = "portable-simd")]
+        Kernel::Portable => KC,
+    }
+}
+
+/// L1-derived k-panel depth of the SIMD kernels: the packed B slab
+/// (`4·kc·min(n, NC)` bytes) must fit a 32 KiB L1 budget; multiple of 16
+/// so every full panel divides into whole mask groups for both lane
+/// widths. See the rationale inside `simd_kernel!`.
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+fn simd_k_panel(n: usize) -> usize {
+    let panel_cols = if n < NC { n.max(1) } else { NC };
+    (((32 * 1024) / (4 * panel_cols)) & !15).clamp(16, KC)
+}
+
 /// `C += A · B` for row-major flat buffers: `a` is `m×k`, `b` is `k×n`,
 /// `c` is `m×n`. The single entry the public matmul API and the
-/// executor's row bands call; `kind` must come from [`available_kernels`].
+/// parallel tile scheduler call; `kind` must come from
+/// [`available_kernels`].
 pub fn gemm_block(kind: Kernel, a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), k * n);
@@ -131,39 +162,106 @@ pub fn gemm_block(kind: Kernel, a: &[f32], b: &[f32], c: &mut [f32], m: usize, k
     if m == 0 || k == 0 || n == 0 {
         return;
     }
+    // SAFETY: the slices are exactly the dense views the strided entry
+    // expects, and the borrow rules guarantee they don't alias.
+    unsafe {
+        gemm_block_strided(
+            kind,
+            a.as_ptr(),
+            k,
+            b.as_ptr(),
+            n,
+            c.as_mut_ptr(),
+            n,
+            m,
+            k,
+            n,
+            n,
+        )
+    }
+}
+
+/// [`gemm_block`] over strided sub-matrix views: row `i` of A starts at
+/// `a + i·lda`, row `kk` of B at `b + kk·ldb`, row `i` of C at
+/// `c + i·ldc`. `kc_cols` is the column count used to size the SIMD
+/// kernels' L1 k-panel — a tile scheduler passes the *full* product's
+/// `n` so every tile reproduces the serial panel schedule (and hence
+/// the serial bit patterns) exactly; dense callers pass `n`.
+///
+/// # Safety
+/// All `m`/`k`/`n` rows at the given strides must be readable (writable
+/// for `c`), the regions must not overlap, and `kind` must come from
+/// [`available_kernels`] (dispatching an unavailable SIMD kernel is UB).
+#[allow(clippy::too_many_arguments)]
+#[cfg_attr(
+    not(all(feature = "simd", target_arch = "x86_64")),
+    allow(unused_variables)
+)]
+pub unsafe fn gemm_block_strided(
+    kind: Kernel,
+    a: *const f32,
+    lda: usize,
+    b: *const f32,
+    ldb: usize,
+    c: *mut f32,
+    ldc: usize,
+    m: usize,
+    k: usize,
+    n: usize,
+    kc_cols: usize,
+) {
+    if m == 0 || k == 0 || n == 0 {
+        return;
+    }
     match kind {
-        Kernel::Scalar => gemm_scalar(a, b, c, m, k, n),
+        Kernel::Scalar => gemm_scalar(a, lda, b, ldb, c, ldc, m, k, n),
         // SAFETY: the variant only exists when the `simd` feature compiled
         // the intrinsics in, and only enters `available_kernels()` when
         // the CPU reports the matching feature at runtime.
         #[cfg(all(feature = "simd", target_arch = "x86_64"))]
-        Kernel::Avx2 => unsafe { gemm_avx2(a, b, c, m, k, n) },
+        Kernel::Avx2 => gemm_avx2(a, lda, b, ldb, c, ldc, m, k, n, kc_cols),
         #[cfg(all(feature = "simd", target_arch = "x86_64"))]
-        Kernel::Avx512 => unsafe { gemm_avx512(a, b, c, m, k, n) },
+        Kernel::Avx512 => gemm_avx512(a, lda, b, ldb, c, ldc, m, k, n, kc_cols),
         #[cfg(feature = "portable-simd")]
-        Kernel::Portable => gemm_portable(a, b, c, m, k, n),
+        Kernel::Portable => gemm_portable(a, lda, b, ldb, c, ldc, m, k, n),
     }
 }
 
 /// Blocked scalar kernel: `i → k → j` with a contiguous inner `j` loop
 /// that auto-vectorizes to whatever the *compile-time* target allows.
-fn gemm_scalar(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+/// The k-panel depth is the fixed `KC` (no `kc_cols` dependence), so
+/// tile-sliced calls match the dense call bit-for-bit by construction.
+///
+/// # Safety
+/// See [`gemm_block_strided`].
+#[allow(clippy::too_many_arguments)]
+unsafe fn gemm_scalar(
+    a: *const f32,
+    lda: usize,
+    b: *const f32,
+    ldb: usize,
+    c: *mut f32,
+    ldc: usize,
+    m: usize,
+    k: usize,
+    n: usize,
+) {
     for kb in (0..k).step_by(KC) {
         let k_end = (kb + KC).min(k);
         for jb in (0..n).step_by(NC) {
             let j_end = (jb + NC).min(n);
             for i in 0..m {
-                let a_row = &a[i * k..(i + 1) * k];
-                let c_row = &mut c[i * n + jb..i * n + j_end];
-                for kk in kb..k_end {
-                    let aik = a_row[kk];
+                let a_row = std::slice::from_raw_parts(a.add(i * lda), k);
+                let c_row = std::slice::from_raw_parts_mut(c.add(i * ldc + jb), j_end - jb);
+                for (dk, &aik) in a_row[kb..k_end].iter().enumerate() {
                     if aik == 0.0 {
                         // Adjacency matrices are sparse-ish 0/1; skipping
                         // zero A-entries is a large practical win and
                         // costs one predictable branch per k.
                         continue;
                     }
-                    let b_row = &b[kk * n + jb..kk * n + j_end];
+                    let kk = kb + dk;
+                    let b_row = std::slice::from_raw_parts(b.add(kk * ldb + jb), j_end - jb);
                     for (cv, &bv) in c_row.iter_mut().zip(b_row) {
                         *cv += aik * bv;
                     }
@@ -234,23 +332,36 @@ macro_rules! simd_kernel {
         /// dense instances) take the tile path. Both run inside the same
         /// `#[target_feature]` region.
         #[target_feature(enable = $features)]
-        #[allow(clippy::needless_range_loop)]
-        unsafe fn $fname(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+        #[allow(clippy::needless_range_loop, clippy::too_many_arguments)]
+        unsafe fn $fname(
+            ap: *const f32,
+            lda: usize,
+            bp: *const f32,
+            ldb: usize,
+            cp: *mut f32,
+            ldc: usize,
+            m: usize,
+            k: usize,
+            n: usize,
+            kc_cols: usize,
+        ) {
             use std::arch::x86_64::*;
             const NR: usize = 2 * $lanes; // dense-tile width in f32 columns
-            let ap = a.as_ptr();
-            let bp = b.as_ptr();
-            let cp = c.as_mut_ptr();
-            // Size the k-panel so its B slab (`kc × min(n, NC)` f32)
-            // fits L1. The AXPY path touches each B row once per nonzero
-            // of A, so an L2-resident slab (the scalar kernel's KC = 256
-            // at n ≥ 256) caps both kernels at the same L2-bandwidth
-            // floor and erases the vector win; an L1-resident slab is
-            // read from L2 once per panel instead.
-            // Multiple-of-16 so every full panel divides into whole mask
-            // groups for both lane widths.
+                                          // Size the k-panel so its B slab (`kc × min(n, NC)` f32)
+                                          // fits L1. The AXPY path touches each B row once per nonzero
+                                          // of A, so an L2-resident slab (the scalar kernel's KC = 256
+                                          // at n ≥ 256) caps both kernels at the same L2-bandwidth
+                                          // floor and erases the vector win; an L1-resident slab is
+                                          // read from L2 once per panel instead.
+                                          // Multiple-of-16 so every full panel divides into whole mask
+                                          // groups for both lane widths. Sized from `kc_cols`, not `n`:
+                                          // a tile call covering one j-panel of a wider product passes
+                                          // the full-product width so its panel depth — and therefore
+                                          // its float contraction order — matches the dense call. This
+                                          // formula is mirrored by `simd_k_panel`, which schedulers use
+                                          // to slice `k` on exactly these boundaries.
             let kc = {
-                let panel_cols = if n < NC { n.max(1) } else { NC };
+                let panel_cols = if kc_cols < NC { kc_cols.max(1) } else { NC };
                 (((32 * 1024) / (4 * panel_cols)) & !15).clamp(16, KC)
             };
             for kb in (0..k).step_by(kc) {
@@ -268,7 +379,7 @@ macro_rules! simd_kernel {
                     // no-op FMA.
                     let mut nnz = 0usize;
                     for r in 0..rows {
-                        let arow = ap.add((it + r) * k);
+                        let arow = ap.add((it + r) * lda);
                         for kk in kb..k_end {
                             nnz += ((*arow.add(kk)).to_bits() != 0) as usize;
                         }
@@ -288,8 +399,8 @@ macro_rules! simd_kernel {
                             // per-element tests.
                             for r in 0..rows {
                                 let i = it + r;
-                                let crow = cp.add(i * n);
-                                let arow = ap.add(i * k);
+                                let crow = cp.add(i * ldc);
+                                let arow = ap.add(i * lda);
                                 let mut kk = kb;
                                 while kk + $lanes <= k_end {
                                     let mut mbits = $maskfn(arow.add(kk));
@@ -298,7 +409,7 @@ macro_rules! simd_kernel {
                                         mbits &= mbits - 1;
                                         let av = *arow.add(kki);
                                         let va = $splat(av);
-                                        let brow = bp.add(kki * n);
+                                        let brow = bp.add(kki * ldb);
                                         let mut j = jb;
                                         while j + 4 * $lanes <= j_end {
                                             let c0 = crow.add(j);
@@ -343,7 +454,7 @@ macro_rules! simd_kernel {
                                 while kk < k_end {
                                     let av = *arow.add(kk);
                                     if av.to_bits() != 0 {
-                                        let brow = bp.add(kk * n);
+                                        let brow = bp.add(kk * ldb);
                                         for j in jb..j_end {
                                             *crow.add(j) += av * *brow.add(j);
                                         }
@@ -361,16 +472,16 @@ macro_rules! simd_kernel {
                             // `rows` accumulator rows.
                             let mut acc = [[$zero(); 2]; MR];
                             for r in 0..rows {
-                                let crow = cp.add((it + r) * n + j);
+                                let crow = cp.add((it + r) * ldc + j);
                                 acc[r][0] = $load(crow);
                                 acc[r][1] = $load(crow.add($lanes));
                             }
                             for kk in kb..k_end {
-                                let brow = bp.add(kk * n + j);
+                                let brow = bp.add(kk * ldb + j);
                                 let b0 = $load(brow);
                                 let b1 = $load(brow.add($lanes));
                                 for r in 0..rows {
-                                    let av = *ap.add((it + r) * k + kk);
+                                    let av = *ap.add((it + r) * lda + kk);
                                     if av.to_bits() != 0 {
                                         let va = $splat(av);
                                         acc[r][0] = $fma(va, b0, acc[r][0]);
@@ -379,7 +490,7 @@ macro_rules! simd_kernel {
                                 }
                             }
                             for r in 0..rows {
-                                let crow = cp.add((it + r) * n + j);
+                                let crow = cp.add((it + r) * ldc + j);
                                 $store(crow, acc[r][0]);
                                 $store(crow.add($lanes), acc[r][1]);
                             }
@@ -391,12 +502,12 @@ macro_rules! simd_kernel {
                             for r in 0..rows {
                                 let i = it + r;
                                 for kk in kb..k_end {
-                                    let av = *ap.add(i * k + kk);
+                                    let av = *ap.add(i * lda + kk);
                                     if av.to_bits() == 0 {
                                         continue;
                                     }
                                     for jj in j..j_end {
-                                        *cp.add(i * n + jj) += av * *bp.add(kk * n + jj);
+                                        *cp.add(i * ldc + jj) += av * *bp.add(kk * ldb + jj);
                                     }
                                 }
                             }
@@ -440,23 +551,37 @@ simd_kernel!(
 /// Nightly portable-SIMD kernel: the scalar blocking with an explicit
 /// `f32x8` inner loop (no register tiling — this path exists to prove the
 /// `std::simd` formulation, not to beat the intrinsics).
+///
+/// # Safety
+/// See [`gemm_block_strided`].
 #[cfg(feature = "portable-simd")]
-fn gemm_portable(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+#[allow(clippy::too_many_arguments)]
+unsafe fn gemm_portable(
+    a: *const f32,
+    lda: usize,
+    b: *const f32,
+    ldb: usize,
+    c: *mut f32,
+    ldc: usize,
+    m: usize,
+    k: usize,
+    n: usize,
+) {
     use std::simd::f32x8;
     for kb in (0..k).step_by(KC) {
         let k_end = (kb + KC).min(k);
         for jb in (0..n).step_by(NC) {
             let j_end = (jb + NC).min(n);
             for i in 0..m {
-                let a_row = &a[i * k..(i + 1) * k];
+                let a_row = std::slice::from_raw_parts(a.add(i * lda), k);
                 for kk in kb..k_end {
                     let aik = a_row[kk];
                     if aik == 0.0 {
                         continue;
                     }
                     let va = f32x8::splat(aik);
-                    let c_row = &mut c[i * n + jb..i * n + j_end];
-                    let b_row = &b[kk * n + jb..kk * n + j_end];
+                    let c_row = std::slice::from_raw_parts_mut(c.add(i * ldc + jb), j_end - jb);
+                    let b_row = std::slice::from_raw_parts(b.add(kk * ldb + jb), j_end - jb);
                     let mut cc = c_row.chunks_exact_mut(8);
                     let mut bc = b_row.chunks_exact(8);
                     for (cv, bv) in (&mut cc).zip(&mut bc) {

@@ -12,9 +12,13 @@
 //!   `simd` feature, nightly `std::simd` under `portable-simd`, blocked
 //!   scalar otherwise. `MMJOIN_KERNEL` overrides the pick.
 //! * [`gemm`] — the public matmul API over the dispatched kernel, plus a
-//!   row-band parallel version running on the shared
-//!   [`mmjoin_executor::Executor`] pool (the coordination-free parallelism
-//!   the paper highlights in §6, under the global thread budget).
+//!   tiled parallel scheduler on the shared [`mmjoin_executor::Executor`]
+//!   pool: B packed once into a shared slab, MR-aligned bands × NC
+//!   panels claimed via chunk stealing, bit-identical to the serial path
+//!   (the coordination-free parallelism the paper highlights in §6,
+//!   under the global thread budget).
+//! * [`arena`] — reusable thread-local scratch buffers backing the
+//!   scheduler's packing slabs.
 //! * [`bitmat`] — bit-packed boolean matrices with word-parallel OR-AND
 //!   products, an extension ablated in the benchmarks (boolean output needs
 //!   no counts, e.g. plain join-project and BSI).
@@ -24,6 +28,7 @@
 //! * [`strassen`] — Strassen recursion above a cutoff (future-work
 //!   extension; ablated in `bench/ablation`).
 
+pub mod arena;
 pub mod bitmat;
 pub mod cost;
 pub mod dense;
@@ -36,7 +41,8 @@ pub use bitmat::BitMatrix;
 pub use cost::{CostModel, SystemConstants, REFERENCE_GFLOPS};
 pub use dense::DenseMatrix;
 pub use gemm::{
-    matmul, matmul_into, matmul_naive, matmul_parallel, matmul_parallel_on, matmul_with_kernel,
+    matmul, matmul_into, matmul_naive, matmul_parallel, matmul_parallel_on,
+    matmul_parallel_with_kernel, matmul_with_kernel,
 };
 pub use kernel::{active_kernel, available_kernels, Kernel};
 pub use sparse::CsrMatrix;

@@ -14,7 +14,7 @@
 //! re-ablate with `experiments ablation` after changing kernels.
 
 use crate::dense::DenseMatrix;
-use crate::gemm::matmul;
+use crate::gemm::{matmul, matmul_parallel_on};
 use mmjoin_executor::Executor;
 
 /// Dimension at or below which we fall back to the blocked cubic kernel.
@@ -92,7 +92,11 @@ pub fn strassen_parallel_on(
         quadrant(&bp, 1, 0),
         quadrant(&bp, 1, 1),
     );
-    // The seven Strassen leaves, as independent pool tasks.
+    // The seven Strassen leaves, as independent pool tasks. With more
+    // than seven threads in the budget, the surplus flows into each
+    // leaf's own base-case GEMMs through the tiled parallel scheduler
+    // (a deterministic split, so the result stays schedule-independent).
+    let leaf_threads = (threads / 7).max(1);
     let leaves: [(DenseMatrix, DenseMatrix); 7] = [
         (add(&a11, &a22), add(&b11, &b22)),
         (add(&a21, &a22), b11.clone()),
@@ -104,7 +108,7 @@ pub fn strassen_parallel_on(
     ];
     let products = exec.map(threads.min(7), 7, |i| {
         let (l, r) = &leaves[i];
-        strassen_even(l, r, cutoff)
+        strassen_even_on(exec, l, r, cutoff, leaf_threads)
     });
     let [m1, m2m, m3, m4, m5, m6, m7]: [DenseMatrix; 7] =
         products.try_into().expect("seven leaf products");
@@ -179,6 +183,51 @@ fn strassen_even(a: &DenseMatrix, b: &DenseMatrix, cutoff: usize) -> DenseMatrix
     if m.min(k).min(n) <= cutoff || m % 2 != 0 || k % 2 != 0 || n % 2 != 0 {
         return matmul(a, b);
     }
+    strassen_even_split(a, b, cutoff)
+}
+
+/// [`strassen_even`] whose base cases run on the tiled parallel
+/// scheduler with `threads` from the leaf's share of the budget. Since
+/// the tiled product is bit-identical to the serial kernel, this changes
+/// wall-clock only, never the output.
+fn strassen_even_on(
+    exec: &Executor,
+    a: &DenseMatrix,
+    b: &DenseMatrix,
+    cutoff: usize,
+    threads: usize,
+) -> DenseMatrix {
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    if threads <= 1 {
+        return strassen_even(a, b, cutoff);
+    }
+    if m.min(k).min(n) <= cutoff || m % 2 != 0 || k % 2 != 0 || n % 2 != 0 {
+        return matmul_parallel_on(exec, a, b, threads);
+    }
+    let (a11, a12, a21, a22) = (
+        quadrant(a, 0, 0),
+        quadrant(a, 0, 1),
+        quadrant(a, 1, 0),
+        quadrant(a, 1, 1),
+    );
+    let (b11, b12, b21, b22) = (
+        quadrant(b, 0, 0),
+        quadrant(b, 0, 1),
+        quadrant(b, 1, 0),
+        quadrant(b, 1, 1),
+    );
+    let m1 = strassen_even_on(exec, &add(&a11, &a22), &add(&b11, &b22), cutoff, threads);
+    let m2 = strassen_even_on(exec, &add(&a21, &a22), &b11, cutoff, threads);
+    let m3 = strassen_even_on(exec, &a11, &sub(&b12, &b22), cutoff, threads);
+    let m4 = strassen_even_on(exec, &a22, &sub(&b21, &b11), cutoff, threads);
+    let m5 = strassen_even_on(exec, &add(&a11, &a12), &b22, cutoff, threads);
+    let m6 = strassen_even_on(exec, &sub(&a21, &a11), &add(&b11, &b12), cutoff, threads);
+    let m7 = strassen_even_on(exec, &sub(&a12, &a22), &add(&b21, &b22), cutoff, threads);
+    assemble(m, n, &m1, &m2, &m3, &m4, &m5, &m6, &m7)
+}
+
+fn strassen_even_split(a: &DenseMatrix, b: &DenseMatrix, cutoff: usize) -> DenseMatrix {
+    let (m, n) = (a.rows(), b.cols());
     let (a11, a12, a21, a22) = (
         quadrant(a, 0, 0),
         quadrant(a, 0, 1),
@@ -198,11 +247,26 @@ fn strassen_even(a: &DenseMatrix, b: &DenseMatrix, cutoff: usize) -> DenseMatrix
     let m5 = strassen_even(&add(&a11, &a12), &b22, cutoff);
     let m6 = strassen_even(&sub(&a21, &a11), &add(&b11, &b12), cutoff);
     let m7 = strassen_even(&sub(&a12, &a22), &add(&b21, &b22), cutoff);
+    assemble(m, n, &m1, &m2, &m3, &m4, &m5, &m6, &m7)
+}
 
-    let c11 = add(&sub(&add(&m1, &m4), &m5), &m7);
-    let c12 = add(&m3, &m5);
-    let c21 = add(&m2, &m4);
-    let c22 = add(&add(&sub(&m1, &m2), &m3), &m6);
+/// Combine the seven Strassen subproducts into the `m×n` result.
+#[allow(clippy::too_many_arguments)]
+fn assemble(
+    m: usize,
+    n: usize,
+    m1: &DenseMatrix,
+    m2: &DenseMatrix,
+    m3: &DenseMatrix,
+    m4: &DenseMatrix,
+    m5: &DenseMatrix,
+    m6: &DenseMatrix,
+    m7: &DenseMatrix,
+) -> DenseMatrix {
+    let c11 = add(&sub(&add(m1, m4), m5), m7);
+    let c12 = add(m3, m5);
+    let c21 = add(m2, m4);
+    let c22 = add(&add(&sub(m1, m2), m3), m6);
 
     let (hm, hn) = (m / 2, n / 2);
     let mut c = DenseMatrix::zeros(m, n);

@@ -17,10 +17,15 @@
 //!   query slower than `us` microseconds to stderr.
 //!
 //! Cost-model flags:
-//! - `--calibrate` — measure the dispatched GEMM kernel at startup and
-//!   re-derive the planner's combinatorial/matrix crossover from it.
+//! - `--threads <n>` — intra-query thread budget; engines request the
+//!   whole budget per query (`0` = machine parallelism; absent keeps
+//!   engines serial).
+//! - `--calibrate` — measure the dispatched GEMM kernel at startup,
+//!   sweeping the cores axis up to the thread budget, and re-derive the
+//!   planner's combinatorial/matrix crossover from it.
 //! - `--calibration <path>` — cache the measurement across restarts
-//!   (implies `--calibrate`; a stale kernel tag forces a re-measure).
+//!   (implies `--calibrate`; a stale kernel tag, or a cores axis short
+//!   of the configured budget, forces a re-measure).
 
 use mmjoin_net::{serve, NetConfig};
 use mmjoin_obs::trace::{chrome_json, Tracer};
@@ -44,6 +49,7 @@ fn main() {
     let trace_out: Option<String> = arg_value("--trace-out");
     let trace_sample: Option<u64> = arg_value("--trace-sample");
     let slow_query_us: u64 = arg_value("--slow-query").unwrap_or(0);
+    let threads: Option<usize> = arg_value("--threads");
     let calibration_path: Option<std::path::PathBuf> = arg_value("--calibration");
     let calibrate_cost = calibration_path.is_some() || std::env::args().any(|a| a == "--calibrate");
 
@@ -53,14 +59,22 @@ fn main() {
         tracer.set_enabled(true);
     }
 
-    let service = Arc::new(Service::with_config(ServiceConfig {
+    let mut config = ServiceConfig {
         workers,
         catalog_shards: shards,
         slow_query_us,
         calibrate_cost,
         calibration_path,
         ..ServiceConfig::default()
-    }));
+    };
+    if let Some(budget) = threads {
+        // Same contract as mmjoin-serve: grant the budget and let the
+        // engines request all of it per query; calibration sweeps its
+        // cores axis up to this budget.
+        config.thread_budget = budget;
+        config.join_config.threads = 0;
+    }
+    let service = Arc::new(Service::with_config(config));
 
     let server = match serve(
         service,

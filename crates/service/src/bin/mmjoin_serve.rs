@@ -17,12 +17,15 @@
 //! ok served 2 (cache hits 1, 50.0%), …
 //! ```
 //!
-//! Run with `--workers <n>` to size the pool (default 4),
-//! `--calibrate` to measure the dispatched GEMM kernel at startup and
-//! re-derive the planner's strategy crossover from it, and
-//! `--calibration <path>` to cache that measurement across restarts
-//! (stale kernel tags force a re-measure). Type `help` for the full
-//! command list.
+//! Run with `--workers <n>` to size the inter-query pool (default 4),
+//! `--threads <n>` to grant an intra-query thread budget (engines then
+//! request the whole budget per query; default keeps engines serial),
+//! `--calibrate` to measure the dispatched GEMM kernel at startup —
+//! sweeping the cores axis up to the thread budget — and re-derive the
+//! planner's strategy crossover from it, and `--calibration <path>` to
+//! cache that measurement across restarts (stale kernel tags, or a
+//! cores axis short of the configured budget, force a re-measure). Type
+//! `help` for the full command list.
 //!
 //! The grammar and the interpreter live in
 //! [`mmjoin_service::command`] — the exact same layer `mmjoin-netd`
@@ -44,6 +47,7 @@ fn arg_value<T: std::str::FromStr>(flag: &str) -> Option<T> {
 
 fn main() {
     let workers: usize = arg_value("--workers").unwrap_or(4);
+    let threads: Option<usize> = arg_value("--threads");
     let trace_out: Option<String> = arg_value("--trace-out");
     let slow_query_us: u64 = arg_value("--slow-query").unwrap_or(0);
     let calibration_path: Option<std::path::PathBuf> = arg_value("--calibration");
@@ -54,13 +58,22 @@ fn main() {
         tracer.set_enabled(true);
     }
 
-    let service = Service::with_config(ServiceConfig {
+    let mut config = ServiceConfig {
         workers,
         slow_query_us,
         calibrate_cost,
         calibration_path,
         ..ServiceConfig::default()
-    });
+    };
+    if let Some(budget) = threads {
+        // `--threads n` grants an intra-query budget of n and asks the
+        // engines to use all of it (`join_config.threads = 0` means "the
+        // executor's full budget"); 0 means machine parallelism. The
+        // startup calibration sweeps its cores axis up to this budget.
+        config.thread_budget = budget;
+        config.join_config.threads = 0;
+    }
+    let service = Service::with_config(config);
 
     println!(
         "mmjoin-serve ready: {} workers, {} engines, {} kernel{} (type `help`)",

@@ -204,23 +204,44 @@ pub struct Service {
     workers: Vec<JoinHandle<()>>,
 }
 
+/// The core count the startup calibration should sweep up to: the
+/// installed per-service executor's budget when there is one, else the
+/// configured [`ServiceConfig::thread_budget`], else the process-global
+/// pool's budget (machine parallelism). Deliberately *not*
+/// `join_config.effective_threads()` — that defaults to 1 (serial
+/// engines) and used to reduce `--calibrate` to a single-core sweep even
+/// on an 8-thread budget.
+fn calibration_cores(config: &ServiceConfig) -> usize {
+    if let Some(exec) = &config.join_config.executor {
+        exec.budget()
+    } else if config.thread_budget > 0 {
+        config.thread_budget
+    } else {
+        Executor::global().budget()
+    }
+}
+
 /// Applies [`ServiceConfig::calibrate_cost`]: installs a measured cost
 /// model into `config.join_config` (loading a manifest with a matching
 /// kernel tag when one is given, measuring and saving otherwise) and
-/// clears the flag so the calibration runs at most once per config.
+/// clears the flag so the calibration runs at most once per config. The
+/// measurement sweeps the cores axis up to [`calibration_cores`]; a
+/// cached manifest whose samples stop short of that budget (e.g. one
+/// written by a pre-sweep build, or measured under a smaller budget) is
+/// treated as stale and re-measured.
 fn apply_calibration(config: &mut ServiceConfig) {
     if !config.calibrate_cost {
         return;
     }
     config.calibrate_cost = false;
     let kernel = mmjoin_matrix::active_kernel().name();
+    let budget = calibration_cores(config);
     let cached = config.calibration_path.as_deref().and_then(|path| {
         let model = mmjoin_matrix::CostModel::load(path).ok()?;
-        (model.kernel() == kernel).then_some(model)
+        (model.kernel() == kernel && model.max_cores() >= budget).then_some(model)
     });
     let model = cached.unwrap_or_else(|| {
-        let workers = config.join_config.effective_threads();
-        let model = mmjoin_matrix::CostModel::calibrate_quick(workers);
+        let model = mmjoin_matrix::CostModel::calibrate_quick(budget);
         if let Some(path) = &config.calibration_path {
             if let Err(e) = model.save(path) {
                 eprintln!("mmjoin: could not save calibration to {path:?}: {e}");
@@ -1255,6 +1276,57 @@ mod tests {
             s2.inner.planner.config.cost_model.samples(),
             saved.samples()
         );
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// A cached manifest whose cores axis stops short of the configured
+    /// thread budget is stale: the service must re-measure (sweeping up
+    /// to the budget) instead of trusting single-core-era samples.
+    #[test]
+    fn calibration_remeasures_when_manifest_lacks_cores() {
+        use mmjoin_matrix::cost::{Sample, SystemConstants};
+        let path = std::env::temp_dir().join(format!(
+            "mmjoin-svc-calibration-stale-{}.txt",
+            std::process::id()
+        ));
+        // Hand-write a single-core manifest under the *active* kernel tag
+        // (the pre-sweep format a PR-8 build would have left behind).
+        let mut legacy = mmjoin_matrix::CostModel::from_samples(
+            vec![Sample {
+                p: 128,
+                cores: 1,
+                seconds: 0.001,
+            }],
+            SystemConstants::default(),
+        );
+        // from_samples tags "injected"; rewrite the file with the active
+        // kernel so only the cores axis (not the kernel tag) is stale.
+        legacy.save(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap().replace(
+            "kernel injected",
+            &format!("kernel {}", mmjoin_matrix::active_kernel().name()),
+        );
+        std::fs::write(&path, text).unwrap();
+        legacy = mmjoin_matrix::CostModel::load(&path).unwrap();
+        assert_eq!(legacy.max_cores(), 1);
+
+        let s = Service::with_config(ServiceConfig {
+            workers: 1,
+            thread_budget: 2,
+            calibrate_cost: true,
+            calibration_path: Some(path.clone()),
+            ..ServiceConfig::default()
+        });
+        let model = &s.inner.planner.config.cost_model;
+        assert!(
+            model.max_cores() >= 2,
+            "budget 2 must force a cores sweep, got max_cores {}",
+            model.max_cores()
+        );
+        assert_ne!(model.samples(), legacy.samples());
+        // The re-measured sweep also replaced the stale manifest on disk.
+        let saved = mmjoin_matrix::CostModel::load(&path).unwrap();
+        assert!(saved.max_cores() >= 2);
         std::fs::remove_file(&path).ok();
     }
 

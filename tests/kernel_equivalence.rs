@@ -16,7 +16,8 @@
 
 use mmjoin_matrix::kernel::{KC, MR, NC};
 use mmjoin_matrix::{
-    active_kernel, available_kernels, matmul_naive, matmul_with_kernel, DenseMatrix,
+    active_kernel, available_kernels, matmul_naive, matmul_parallel_with_kernel,
+    matmul_with_kernel, DenseMatrix,
 };
 use proptest::prelude::*;
 
@@ -42,6 +43,79 @@ fn edge_shapes() -> Vec<(usize, usize, usize)> {
         (33, KC + 17, 65),
         (2, 2 * KC + 5, 130),
     ]
+}
+
+/// Shapes that stress the parallel tile scheduler's decomposition:
+/// band boundaries on and off MR multiples, row counts smaller than the
+/// thread count, k crossing the serial kernel's panel depth, and column
+/// counts straddling the NC j-panel boundary.
+fn band_edge_shapes() -> Vec<(usize, usize, usize)> {
+    vec![
+        (1, 9, 5),                 // single row, more threads than bands
+        (2 * MR, 33, 19),          // fewer MR blocks than 8 threads
+        (8 * MR + 1, KC + 3, 40),  // row tail past the last full band
+        (3, 7, NC + 9),            // partial MR block × two j-panels
+        (37, 2 * KC + 5, NC + 31), // multi k-panel × multi j-panel grid
+        (97, 61, 143),
+    ]
+}
+
+/// The tile scheduler must be **bit-exact** against the serial
+/// dispatched kernel — not merely tolerance-close — at every tested
+/// thread count, for every dispatchable kernel. On 0/1 adjacency inputs
+/// this is the correctness bar every join heavy-core relies on; the
+/// general-float variant below proves the stronger schedule-equivalence
+/// claim (identical contraction order, hence identical FMA rounding).
+#[test]
+fn parallel_scheduler_is_bit_exact_on_adjacency_shapes() {
+    for (m, k, n) in band_edge_shapes() {
+        for density in [2usize, 7] {
+            let a = adjacency(m, k, density, 0);
+            let b = adjacency(k, n, density, 1);
+            for kernel in available_kernels() {
+                let serial = matmul_with_kernel(kernel, &a, &b);
+                for threads in [2usize, 8] {
+                    let par = matmul_parallel_with_kernel(kernel, &a, &b, threads);
+                    assert_eq!(
+                        par.data(),
+                        serial.data(),
+                        "kernel {kernel} diverges on {m}x{k}x{n} \
+                         (density 1/{density}, threads {threads})"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Arbitrary floats make accumulation order observable through FMA
+/// rounding. The scheduler slices k on the serial kernel's own panel
+/// boundaries and keeps MR/NC alignment, so even here the parallel
+/// product must be bit-identical at threads ∈ {2, 8}.
+#[test]
+fn parallel_scheduler_is_bit_exact_on_general_floats() {
+    let val = |i: usize, j: usize, salt: u64| {
+        let h = (i as u64)
+            .wrapping_mul(0x9E3779B97F4A7C15)
+            .wrapping_add((j as u64).wrapping_mul(0xD1B54A32D192ED03))
+            .wrapping_add(salt.wrapping_mul(0x94D049BB133111EB));
+        ((h >> 32) as f32 / u32::MAX as f32) * 4.0 - 2.0
+    };
+    for (m, k, n) in band_edge_shapes() {
+        let a = DenseMatrix::from_fn(m, k, |i, j| val(i, j, 1));
+        let b = DenseMatrix::from_fn(k, n, |i, j| val(i, j, 2));
+        for kernel in available_kernels() {
+            let serial = matmul_with_kernel(kernel, &a, &b);
+            for threads in [2usize, 8] {
+                let par = matmul_parallel_with_kernel(kernel, &a, &b, threads);
+                assert_eq!(
+                    par.data(),
+                    serial.data(),
+                    "kernel {kernel} reorders floats on {m}x{k}x{n} (threads {threads})"
+                );
+            }
+        }
+    }
 }
 
 #[test]

@@ -247,7 +247,19 @@ fn shutdown_drains_admitted_work_then_refuses_new_work() {
 
     // A pipelines slow work; B asks for shutdown while it is queued.
     let ids: Vec<u64> = (1..=3).map(|i| a.send(&cold_query(i)).unwrap()).collect();
-    std::thread::sleep(Duration::from_millis(10)); // let A's burst be admitted
+    // Wait until the reader has decoded A's whole burst (GEN + 3 = 4
+    // requests; nothing is shutting down yet and the queue has room, so
+    // decoded means admitted). A fixed sleep here raced the reader
+    // thread on contended single-core hosts.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while server.metrics().requests < 4 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "A's burst was never decoded: {:?}",
+            server.metrics()
+        );
+        std::thread::sleep(Duration::from_millis(1));
+    }
     let mut b = Client::connect(addr).unwrap();
     let bye = b.call("shutdown").unwrap();
     assert_eq!(bye.status, Status::Ok);
