@@ -131,6 +131,9 @@ fn run_saturation() -> SaturationOutcome {
     let mut latencies_us: Vec<u64> = Vec::new();
 
     let (results, wall) = timed(|| {
+        // lint:allow(thread-spawn): bench client threads simulate an
+        // external load generator hammering the service; they are not
+        // workspace compute and must not consume executor tokens.
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..CLIENTS)
                 .map(|i| {
@@ -264,6 +267,9 @@ fn run_isolation(shards: usize, scale: f64) -> IsolationOutcome {
     let mut latencies_us: Vec<u64> = Vec::new();
 
     let (all_lats, wall) = timed(|| {
+        // lint:allow(thread-spawn): bench client threads simulate an
+        // external load generator hammering the service; they are not
+        // workspace compute and must not consume executor tokens.
         std::thread::scope(|scope| {
             let service = &service;
             let stop = &stop;

@@ -56,6 +56,9 @@ pub fn service_experiment(scale: f64) -> Table {
     // the cold samples and would skew the warm tail).
     let mut warm_latencies_us: Vec<u64> = Vec::new();
     let (_, warm_secs) = timed(|| {
+        // lint:allow(thread-spawn): bench client threads simulate an
+        // external load generator hammering the service; they are not
+        // workspace compute and must not consume executor tokens.
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..CLIENTS)
                 .map(|_| {

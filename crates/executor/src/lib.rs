@@ -458,6 +458,9 @@ impl Executor {
 
 impl Drop for Executor {
     fn drop(&mut self) {
+        // lint:allow(seqcst): the shutdown latch must be globally
+        // ordered with the queue mutex and notify_all so no worker can
+        // observe a stale `false` after waking and sleep forever.
         self.shared.shutdown.store(true, Ordering::SeqCst);
         self.shared.work_available.notify_all();
         for handle in lock(&self.workers).drain(..) {
@@ -471,6 +474,9 @@ fn worker_loop(shared: &Shared) {
         let batch = {
             let mut q = lock(&shared.queue);
             loop {
+                // lint:allow(seqcst): pairs with the SeqCst store in
+                // `Drop for Executor`; the latch check and queue pop
+                // must not be reordered across the condvar wait.
                 if shared.shutdown.load(Ordering::SeqCst) {
                     return;
                 }

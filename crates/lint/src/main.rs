@@ -1,0 +1,122 @@
+//! CLI for the workspace static-analysis pass.
+//!
+//! ```text
+//! mmjoin-lint check [--root <dir>] [--json <path>] [--quiet]
+//! mmjoin-lint self-test
+//! mmjoin-lint rules
+//! ```
+//!
+//! `check` exits non-zero when any rule fires; `--json` writes the
+//! report artifact CI uploads and `ci/check_lint.py` validates.
+//! `self-test` proves every rule fires on seeded violations (and stays
+//! silent on the corrected forms) — a lint that finds nothing because
+//! its tokenizer regressed must fail CI, not pass it.
+
+use mmjoin_lint::{check_workspace, report, rules::RULES, selftest};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: mmjoin-lint <check [--root <dir>] [--json <path>] [--quiet] | self-test | rules>"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("check") => cmd_check(&args[1..]),
+        Some("self-test") => match selftest::run() {
+            Ok(summary) => {
+                println!("{summary}");
+                ExitCode::SUCCESS
+            }
+            Err(err) => {
+                eprintln!("mmjoin-lint: {err}");
+                ExitCode::FAILURE
+            }
+        },
+        Some("rules") => {
+            for rule in RULES {
+                println!("{:14} {}", rule.name, rule.summary);
+            }
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
+    }
+}
+
+fn cmd_check(args: &[String]) -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut json: Option<PathBuf> = None;
+    let mut quiet = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => match it.next() {
+                Some(v) => root = PathBuf::from(v),
+                None => return usage(),
+            },
+            "--json" => match it.next() {
+                Some(v) => json = Some(PathBuf::from(v)),
+                None => return usage(),
+            },
+            "--quiet" => quiet = true,
+            _ => return usage(),
+        }
+    }
+    // Default to the workspace root even when invoked from a crate dir
+    // via `cargo run`: walk up until Cargo.toml + crates/ both exist.
+    if root.as_os_str() == "." && !root.join("crates").is_dir() {
+        let mut cur = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+        while !cur.join("crates").is_dir() {
+            if !cur.pop() {
+                break;
+            }
+        }
+        if cur.join("crates").is_dir() {
+            root = cur;
+        }
+    }
+    let (out, files) = match check_workspace(&root) {
+        Ok(v) => v,
+        Err(err) => {
+            eprintln!("mmjoin-lint: scanning {}: {err}", root.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    // A clean verdict over zero files is a misconfigured root, not a
+    // clean workspace — fail loudly instead of letting CI pass vacuously.
+    if files == 0 {
+        eprintln!(
+            "mmjoin-lint: no .rs files under {} (wrong --root?)",
+            root.display()
+        );
+        return ExitCode::FAILURE;
+    }
+    if let Some(path) = &json {
+        let rendered = report::render(&root.display().to_string(), files, &out);
+        if let Err(err) = std::fs::write(path, rendered) {
+            eprintln!("mmjoin-lint: writing {}: {err}", path.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    for v in &out.findings {
+        println!("{}:{}: [{}] {}", v.path, v.line, v.rule, v.message);
+        println!("    {}", v.snippet);
+    }
+    if !quiet {
+        println!(
+            "mmjoin-lint: {} files, {} violation(s), {} justified allowance(s)",
+            files,
+            out.findings.len(),
+            out.allowances.len()
+        );
+    }
+    if out.findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,104 @@
+//! JSON report artifact.
+//!
+//! Hand-rolled serializer (pure std, like the rest of the workspace's
+//! tooling output). The schema is validated in CI by
+//! `ci/check_lint.py`; bump `VERSION` when it changes shape.
+
+use crate::rules::{Allowance, Finding, Outcome, RULES};
+
+/// Report schema version, mirrored by `ci/check_lint.py`.
+pub const VERSION: u32 = 1;
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn finding_json(v: &Finding) -> String {
+    format!(
+        "{{\"rule\":\"{}\",\"path\":\"{}\",\"line\":{},\"message\":\"{}\",\"snippet\":\"{}\"}}",
+        esc(v.rule),
+        esc(&v.path),
+        v.line,
+        esc(&v.message),
+        esc(&v.snippet)
+    )
+}
+
+fn allowance_json(a: &Allowance) -> String {
+    format!(
+        "{{\"rule\":\"{}\",\"path\":\"{}\",\"line\":{},\"reason\":\"{}\"}}",
+        esc(a.rule),
+        esc(&a.path),
+        a.line,
+        esc(&a.reason)
+    )
+}
+
+/// Renders the full report for one workspace scan.
+pub fn render(root: &str, files_scanned: usize, out: &Outcome) -> String {
+    let rules: Vec<String> = RULES
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"name\":\"{}\",\"summary\":\"{}\"}}",
+                esc(r.name),
+                esc(r.summary)
+            )
+        })
+        .collect();
+    let violations: Vec<String> = out.findings.iter().map(finding_json).collect();
+    let allowances: Vec<String> = out.allowances.iter().map(allowance_json).collect();
+    format!(
+        "{{\n  \"version\": {VERSION},\n  \"tool\": \"mmjoin-lint\",\n  \"root\": \"{}\",\n  \
+         \"files_scanned\": {files_scanned},\n  \"clean\": {},\n  \"rules\": [{}],\n  \
+         \"violations\": [{}],\n  \"allowances\": [{}]\n}}\n",
+        esc(root),
+        out.findings.is_empty(),
+        rules.join(","),
+        violations.join(","),
+        allowances.join(",")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::{Finding, Outcome};
+
+    #[test]
+    fn clean_report_shape() {
+        let r = render("/repo", 10, &Outcome::default());
+        assert!(r.contains("\"version\": 1"));
+        assert!(r.contains("\"clean\": true"));
+        assert!(r.contains("\"files_scanned\": 10"));
+        assert!(r.contains("unsafe-safety"));
+    }
+
+    #[test]
+    fn escaping_is_applied() {
+        let mut out = Outcome::default();
+        out.findings.push(Finding {
+            rule: "seqcst",
+            path: "a\"b.rs".into(),
+            line: 3,
+            message: "tab\there".into(),
+            snippet: "x".into(),
+        });
+        let r = render(".", 1, &out);
+        assert!(r.contains("a\\\"b.rs"));
+        assert!(r.contains("tab\\there"));
+        assert!(r.contains("\"clean\": false"));
+    }
+}

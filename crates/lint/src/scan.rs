@@ -1,0 +1,451 @@
+//! Line-oriented Rust source scanner.
+//!
+//! The rules in [`crate::rules`] are textual contracts ("an `unsafe`
+//! block must be preceded by a `// SAFETY:` comment"), so the scanner's
+//! job is exactly the split a human reviewer performs: which characters
+//! of each line are *code*, which are *comment*, and which lines live
+//! inside `#[cfg(test)]` / `#[test]` regions. String and char literal
+//! contents are blanked out of the code channel (their delimiters stay,
+//! so tokens don't merge), which is what lets the lint's own self-test
+//! snippets — Rust code inside string literals — scan cleanly.
+//!
+//! This is deliberately not a full parser: it handles the constructs the
+//! workspace actually uses (nested block comments, raw strings with
+//! hashes, byte strings, char literals vs. lifetimes) and nothing more.
+
+/// One scanned source line, split into its code and comment channels.
+#[derive(Debug, Default, Clone)]
+pub struct Line {
+    /// Code characters with comments removed and literal contents
+    /// blanked to spaces (delimiters preserved).
+    pub code: String,
+    /// Comment text on this line (line, block and doc comments alike),
+    /// without the `//` / `/*` markers.
+    pub comment: String,
+    /// A comment occurs on this line, even one with empty text (a bare
+    /// `///` separator inside a doc block must not break comment-block
+    /// adjacency scans the way a truly blank line does).
+    pub has_comment: bool,
+    /// The comment is a doc comment (`///`, `//!`, `/** … */`).
+    pub is_doc: bool,
+    /// The line is attribute-only code: `#[…]` / `#![…]`, including the
+    /// continuation lines of a multi-line attribute.
+    pub is_attr: bool,
+    /// The line sits inside a `#[cfg(test)]` / `#[test]` brace region.
+    pub in_test: bool,
+}
+
+impl Line {
+    /// The line carries no code tokens (blank, or comment/blank only).
+    pub fn code_is_empty(&self) -> bool {
+        self.code.trim().is_empty()
+    }
+
+    /// The line's only code is an attribute (`#[…]` / `#![…]`).
+    pub fn is_attribute_only(&self) -> bool {
+        let t = self.code.trim();
+        (t.starts_with("#[") || t.starts_with("#![")) && t.ends_with(']')
+    }
+}
+
+/// A scanned file: normalized relative path + per-line channels.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// `/`-separated path relative to the scan root.
+    pub path: String,
+    pub lines: Vec<Line>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum State {
+    Code,
+    /// Nested depth, and whether the outermost opener was `/**`/`/*!`.
+    BlockComment(u32, bool),
+    Str,
+    /// Number of `#` marks that close the raw string.
+    RawStr(u32),
+}
+
+/// Scans one file's source text. `path` should already be normalized
+/// (forward slashes, relative to the workspace root).
+pub fn scan_str(path: &str, src: &str) -> SourceFile {
+    let mut lines: Vec<Line> = Vec::new();
+    let mut state = State::Code;
+    for raw in src.lines() {
+        let mut line = Line::default();
+        // A block comment flowing in from the previous line counts as a
+        // comment on this one even if it closes immediately.
+        if matches!(state, State::BlockComment(..)) {
+            line.has_comment = true;
+            if let State::BlockComment(_, true) = state {
+                line.is_doc = true;
+            }
+        }
+        let chars: Vec<char> = raw.chars().collect();
+        let mut i = 0;
+        while i < chars.len() {
+            let c = chars[i];
+            match state {
+                State::Code => match c {
+                    '/' if chars.get(i + 1) == Some(&'/') => {
+                        // Line comment (doc if `///` or `//!`).
+                        let is_doc = matches!(chars.get(i + 2), Some('/') | Some('!'))
+                            && chars.get(i + 3) != Some(&'/'); // `////…` separators are not doc
+                        let body_start = if is_doc { i + 3 } else { i + 2 };
+                        if !line.comment.is_empty() {
+                            line.comment.push(' ');
+                        }
+                        line.comment
+                            .extend(chars[body_start.min(chars.len())..].iter());
+                        line.has_comment = true;
+                        line.is_doc = line.is_doc || is_doc;
+                        i = chars.len();
+                        continue;
+                    }
+                    '/' if chars.get(i + 1) == Some(&'*') => {
+                        let is_doc = matches!(chars.get(i + 2), Some('*') | Some('!'))
+                            && chars.get(i + 3) != Some(&'/'); // `/**/` is empty, not doc
+                        state = State::BlockComment(1, is_doc);
+                        line.has_comment = true;
+                        line.is_doc = line.is_doc || is_doc;
+                        i += 2;
+                        continue;
+                    }
+                    '"' => {
+                        // Check for a raw-string opener ending here: the
+                        // preceding code chars are `r`/`br` plus hashes.
+                        let mut j = line.code.len();
+                        let bytes = line.code.as_bytes();
+                        let mut hashes = 0u32;
+                        while j > 0 && bytes[j - 1] == b'#' {
+                            hashes += 1;
+                            j -= 1;
+                        }
+                        let is_raw = j > 0
+                            && bytes[j - 1] == b'r'
+                            && (hashes > 0 || {
+                                // Bare `r"` — make sure the `r` is not the
+                                // tail of an identifier like `var"`.
+                                j < 2
+                                    || !bytes[j - 2].is_ascii_alphanumeric() && bytes[j - 2] != b'_'
+                            });
+                        line.code.push('"');
+                        state = if is_raw {
+                            State::RawStr(hashes)
+                        } else {
+                            State::Str
+                        };
+                        i += 1;
+                        continue;
+                    }
+                    '\'' => {
+                        // Char literal vs. lifetime: `'\…'` and `'x'` are
+                        // literals; `'ident` (no closing quote right
+                        // after one char) is a lifetime or loop label.
+                        let next = chars.get(i + 1);
+                        let after = chars.get(i + 2);
+                        let is_char_lit =
+                            matches!(next, Some('\\')) || (next.is_some() && after == Some(&'\''));
+                        if is_char_lit {
+                            line.code.push('\'');
+                            i += 1;
+                            // Consume the literal body up to the closing quote.
+                            while i < chars.len() {
+                                if chars[i] == '\\' {
+                                    line.code.push(' ');
+                                    i += 2;
+                                    line.code.push(' ');
+                                    continue;
+                                }
+                                if chars[i] == '\'' {
+                                    line.code.push('\'');
+                                    i += 1;
+                                    break;
+                                }
+                                line.code.push(' ');
+                                i += 1;
+                            }
+                        } else {
+                            line.code.push('\'');
+                            i += 1;
+                        }
+                        continue;
+                    }
+                    _ => {
+                        line.code.push(c);
+                        i += 1;
+                    }
+                },
+                State::BlockComment(depth, is_doc) => {
+                    if c == '*' && chars.get(i + 1) == Some(&'/') {
+                        state = if depth == 1 {
+                            State::Code
+                        } else {
+                            State::BlockComment(depth - 1, is_doc)
+                        };
+                        i += 2;
+                    } else if c == '/' && chars.get(i + 1) == Some(&'*') {
+                        state = State::BlockComment(depth + 1, is_doc);
+                        i += 2;
+                    } else {
+                        line.comment.push(c);
+                        line.is_doc = line.is_doc || is_doc;
+                        i += 1;
+                    }
+                }
+                State::Str => {
+                    if c == '\\' {
+                        line.code.push(' ');
+                        if i + 1 < chars.len() {
+                            line.code.push(' ');
+                        }
+                        i += 2;
+                    } else if c == '"' {
+                        line.code.push('"');
+                        state = State::Code;
+                        i += 1;
+                    } else {
+                        line.code.push(' ');
+                        i += 1;
+                    }
+                }
+                State::RawStr(hashes) => {
+                    if c == '"' {
+                        let h = hashes as usize;
+                        if chars[i + 1..].iter().take(h).filter(|&&x| x == '#').count() == h {
+                            line.code.push('"');
+                            for _ in 0..h {
+                                line.code.push('#');
+                            }
+                            state = State::Code;
+                            i += 1 + h;
+                            continue;
+                        }
+                    }
+                    line.code.push(' ');
+                    i += 1;
+                }
+            }
+        }
+        // A block comment continuing to the next line keeps its doc flag;
+        // everything else resets per line.
+        lines.push(line);
+    }
+    mark_attr_lines(&mut lines);
+    mark_test_regions(&mut lines);
+    SourceFile {
+        path: path.to_string(),
+        lines,
+    }
+}
+
+/// Marks attribute-only lines, including every line of a multi-line
+/// attribute (`#[cfg_attr(\n    …\n)]`): rules that scan upward over
+/// "decoration" lines (SAFETY-comment adjacency, `lint:allow` scope)
+/// must skip those continuations the same way they skip one-liners.
+fn mark_attr_lines(lines: &mut [Line]) {
+    let mut depth: i32 = 0;
+    for line in lines.iter_mut() {
+        let t = line.code.trim();
+        if depth > 0 {
+            // Continuation of an open attribute.
+            line.is_attr = true;
+        } else if (t.starts_with("#[") || t.starts_with("#![")) && !t.is_empty() {
+            // Attribute-only start line: nothing after the attribute's
+            // closing bracket (a `#[inline] fn f()` line is code).
+            let balanced_and_bare = {
+                let mut d = 0i32;
+                let mut end = t.len();
+                for (pos, c) in t.char_indices() {
+                    match c {
+                        '[' => d += 1,
+                        ']' => {
+                            d -= 1;
+                            if d == 0 {
+                                end = pos + 1;
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                d <= 0 && t[end.min(t.len())..].trim().is_empty()
+            };
+            let opens_multiline = {
+                let d: i32 = t
+                    .chars()
+                    .map(|c| match c {
+                        '[' => 1,
+                        ']' => -1,
+                        _ => 0,
+                    })
+                    .sum();
+                d > 0
+            };
+            line.is_attr = balanced_and_bare || opens_multiline;
+        }
+        for c in t.chars() {
+            match c {
+                '[' => depth += 1,
+                ']' => depth -= 1,
+                _ => {}
+            }
+        }
+        if depth < 0 {
+            depth = 0;
+        }
+        if !line.is_attr {
+            // Only attribute brackets keep the continuation state alive;
+            // ordinary code resets it.
+            depth = 0;
+        }
+    }
+}
+
+/// Marks the brace region following `#[cfg(test)]` / `#[test]` /
+/// `#[bench]` attributes: from the attribute to the close of the first
+/// `{…}` block opened after it. This is how the workspace writes test
+/// code (a trailing `mod tests { … }` per file, `#[test]` fns inside),
+/// and rules that exempt tests key off it.
+fn mark_test_regions(lines: &mut [Line]) {
+    let mut depth: i64 = 0;
+    let mut armed = false;
+    // Depth at which the active test region was opened; region is live
+    // while Some and depth > that value.
+    let mut region_floor: Option<i64> = None;
+    for line in lines.iter_mut() {
+        let code = line.code.clone();
+        if region_floor.is_none() && contains_test_attr(&code) {
+            armed = true;
+        }
+        if armed || region_floor.is_some() {
+            line.in_test = true;
+        }
+        for c in code.chars() {
+            match c {
+                '{' => {
+                    if armed {
+                        region_floor = Some(depth);
+                        armed = false;
+                    }
+                    depth += 1;
+                }
+                '}' => {
+                    depth -= 1;
+                    if let Some(floor) = region_floor {
+                        if depth <= floor {
+                            region_floor = None;
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+fn contains_test_attr(code: &str) -> bool {
+    ["#[cfg(test)]", "#[test]", "#[bench]"]
+        .iter()
+        .any(|pat| code.contains(pat))
+}
+
+/// True when `needle` occurs in `hay` as a whole word (neither neighbor
+/// is an identifier character).
+pub fn contains_word(hay: &str, needle: &str) -> bool {
+    find_word(hay, needle).is_some()
+}
+
+/// Byte offset of the first whole-word occurrence of `needle` in `hay`.
+pub fn find_word(hay: &str, needle: &str) -> Option<usize> {
+    let mut from = 0;
+    while let Some(pos) = hay[from..].find(needle) {
+        let at = from + pos;
+        let before_ok = at == 0
+            || !hay[..at]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        let after = at + needle.len();
+        let after_ok = after >= hay.len()
+            || !hay[after..]
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if before_ok && after_ok {
+            return Some(at);
+        }
+        from = at + needle.len();
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_comments_are_separated() {
+        let f = scan_str(
+            "x.rs",
+            "let a = \"unsafe { }\"; // SAFETY: not really\nunsafe { go() }\n",
+        );
+        assert!(!f.lines[0].code.contains("unsafe"));
+        assert!(f.lines[0].comment.contains("SAFETY:"));
+        assert!(f.lines[1].code.contains("unsafe"));
+    }
+
+    #[test]
+    fn raw_strings_are_blanked() {
+        let f = scan_str(
+            "x.rs",
+            "let s = r#\"thread::spawn(\"inner\")\"#;\nlet t = 1;\n",
+        );
+        assert!(!f.lines[0].code.contains("thread::spawn"));
+        assert!(f.lines[1].code.contains("let t"));
+    }
+
+    #[test]
+    fn char_literals_vs_lifetimes() {
+        let f = scan_str(
+            "x.rs",
+            "fn f<'a>(x: &'a str) -> char { 'x' }\nlet q = '\\'';\n",
+        );
+        assert!(f.lines[0].code.contains("&'a str"));
+        assert!(!f.lines[0].code.contains('x') || f.lines[0].code.contains("x:"));
+        assert!(f.lines[1].code.contains("let q"));
+    }
+
+    #[test]
+    fn nested_block_comments_end_correctly() {
+        let f = scan_str("x.rs", "/* a /* b */ still comment */ let x = 1;\n");
+        assert!(f.lines[0].code.contains("let x"));
+        assert!(f.lines[0].comment.contains("still comment"));
+    }
+
+    #[test]
+    fn multiline_block_comment_spans_lines() {
+        let f = scan_str("x.rs", "/* one\ntwo */ code();\n");
+        assert!(f.lines[0].code_is_empty());
+        assert!(f.lines[1].code.contains("code()"));
+    }
+
+    #[test]
+    fn test_regions_cover_the_mod_block() {
+        let src =
+            "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x(); }\n}\nfn after() {}\n";
+        let f = scan_str("x.rs", src);
+        assert!(!f.lines[0].in_test);
+        assert!(f.lines[1].in_test); // the attribute line itself
+        assert!(f.lines[3].in_test);
+        assert!(f.lines[4].in_test); // closing brace
+        assert!(!f.lines[5].in_test);
+    }
+
+    #[test]
+    fn word_boundaries() {
+        assert!(contains_word("unsafe {", "unsafe"));
+        assert!(!contains_word("unsafely(", "unsafe"));
+        assert!(!contains_word("an_unsafe_thing", "unsafe"));
+    }
+}

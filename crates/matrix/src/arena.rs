@@ -28,12 +28,13 @@ thread_local! {
     static POOL: RefCell<Vec<Vec<f32>>> = const { RefCell::new(Vec::new()) };
 }
 
-/// Run `f` over a zero-initialized scratch slice of exactly `len` floats,
-/// leased from this thread's pool. A reused buffer that is already large
-/// enough is handed over as-is up to `len` — callers must treat the
-/// contents as *uninitialized-but-valid* floats and fully overwrite
-/// whatever region they later read. (The tile scheduler packs every
-/// element of the slab before any tile reads it, so this is free there.)
+/// Run `f` over a scratch slice of exactly `len` floats, leased from
+/// this thread's pool. A reused buffer that is already large enough is
+/// handed over as-is up to `len` — callers must treat the contents as
+/// *uninitialized-but-valid* floats and fully overwrite whatever region
+/// they later read. (The tile scheduler packs every element of the slab
+/// before any tile reads it, so this is free there.) Debug builds
+/// enforce the contract by NaN-poisoning the lease before `f` runs.
 pub fn with_scratch<R>(len: usize, f: impl FnOnce(&mut [f32]) -> R) -> R {
     let mut buf = POOL
         .with(|pool| pool.borrow_mut().pop())
@@ -41,7 +42,15 @@ pub fn with_scratch<R>(len: usize, f: impl FnOnce(&mut [f32]) -> R) -> R {
     if buf.len() < len {
         buf.resize(len, 0.0);
     }
+    // Runtime contract (debug builds only): the lease hands over
+    // uninitialized-but-valid contents, so poison them with NaN. A
+    // caller that reads a slot it never wrote propagates NaN into its
+    // output and fails the equivalence suites loudly, instead of
+    // silently reusing stale floats from a previous product.
+    #[cfg(debug_assertions)]
+    buf[..len].fill(f32::NAN);
     let out = f(&mut buf[..len]);
+    debug_assert!(buf.len() >= len, "lease returned a truncated slab");
     if buf.len() <= MAX_POOLED_LEN {
         POOL.with(|pool| {
             let mut pool = pool.borrow_mut();
@@ -86,5 +95,61 @@ mod tests {
             });
             assert_eq!(outer[0], 7.0, "nested lease must not alias the outer one");
         });
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    fn debug_lease_is_nan_poisoned() {
+        // Write a recognizable value, then check a fresh lease of the
+        // same (pooled) buffer does not leak it.
+        with_scratch(32, |s| s.fill(3.25));
+        with_scratch(32, |s| {
+            assert!(
+                s.iter().all(|v| v.is_nan()),
+                "reused slab leaked prior contents into a new lease"
+            );
+        });
+    }
+
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Interleaved leases across size classes: every lease is exactly
+        /// the requested length, regardless of which pooled slab (bigger,
+        /// smaller, or fresh) backs it.
+        #[test]
+        fn interleaved_size_classes_lease_exact_lengths(
+            lens in proptest::collection::vec(1usize..5000, 1..40)
+        ) {
+            for (i, &len) in lens.iter().enumerate() {
+                with_scratch(len, |s| {
+                    prop_assert_eq!(s.len(), len);
+                    // Touch both ends so an undersized slab would trip
+                    // the bounds check.
+                    s[0] = i as f32;
+                    s[len - 1] = i as f32;
+                });
+            }
+        }
+
+        /// A caller that fully overwrites its lease reads back exactly
+        /// what it wrote — no aliasing with earlier leases of other size
+        /// classes, and (in debug builds) no poison left behind.
+        #[test]
+        fn reused_slabs_fully_overwritten_read_back_clean(
+            lens in proptest::collection::vec(1usize..3000, 2..30)
+        ) {
+            for (i, &len) in lens.iter().enumerate() {
+                let tag = i as f32 + 0.5;
+                with_scratch(len, |s| {
+                    for (j, slot) in s.iter_mut().enumerate() {
+                        *slot = tag + j as f32;
+                    }
+                    for (j, slot) in s.iter().enumerate() {
+                        prop_assert_eq!(*slot, tag + j as f32);
+                    }
+                });
+            }
+        }
     }
 }

@@ -32,6 +32,10 @@ use mmjoin_executor::Executor;
 /// scheduler hands every task a non-overlapping region.
 #[derive(Clone, Copy)]
 struct SendPtr(*mut f32);
+// SAFETY: the wrapped pointer is only dereferenced through disjoint
+// per-task regions handed out by the tile scheduler (each task writes
+// its own C tile / packing-slab panel), so sending or sharing the
+// wrapper across worker threads cannot create aliasing writes.
 unsafe impl Send for SendPtr {}
 unsafe impl Sync for SendPtr {}
 
@@ -228,12 +232,24 @@ fn gemm_tiled(
     arena::with_scratch(k * n, |slab| {
         let sp = SendPtr(slab.as_mut_ptr());
         let cp = SendPtr(c.as_mut_ptr());
+        // Runtime contract (debug builds only): the executor's shared
+        // counter must hand each tile index to exactly one task — a
+        // double claim means two threads writing the same C tile, which
+        // the SAFETY arguments below take as a given.
+        #[cfg(debug_assertions)]
+        let claimed: Vec<std::sync::atomic::AtomicBool> = (0..tiles)
+            .map(|_| std::sync::atomic::AtomicBool::new(false))
+            .collect();
         // Phase 1: pack every B panel, one task per (k-panel, j-panel).
         exec.run(threads, k_panels * j_panels, |t| {
             let kb = (t / j_panels) * kc;
             let kd = (kb + kc).min(k) - kb;
             let jb = (t % j_panels) * NC;
             let w = (jb + NC).min(n) - jb;
+            // SAFETY: panel base offsets tile the k*n-float slab exactly
+            // (kb*n floats of full-width panels above, plus kd*jb floats
+            // of this panel row's earlier j-panels), so the offset is
+            // in-bounds and each task's panel is disjoint.
             let dst = unsafe { sp.get().add(kb * n + kd * jb) };
             for r in 0..kd {
                 // SAFETY: destination rows [0, kd) of this panel are
@@ -253,6 +269,11 @@ fn gemm_tiled(
         // straggler band ends up spread over whichever threads are free,
         // while the *result* stays schedule-independent.
         exec.run(threads, tiles, |t| {
+            #[cfg(debug_assertions)]
+            assert!(
+                !claimed[t].swap(true, std::sync::atomic::Ordering::Relaxed),
+                "tile {t} claimed by two tasks"
+            );
             let i0 = (t / j_panels) * band_rows;
             let i1 = (i0 + band_rows).min(m);
             let jb = (t % j_panels) * NC;
@@ -282,6 +303,13 @@ fn gemm_tiled(
                 }
             }
         });
+        #[cfg(debug_assertions)]
+        for (t, flag) in claimed.iter().enumerate() {
+            assert!(
+                flag.load(std::sync::atomic::Ordering::Relaxed),
+                "tile {t} never claimed"
+            );
+        }
     });
 }
 

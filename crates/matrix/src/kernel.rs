@@ -213,6 +213,21 @@ pub unsafe fn gemm_block_strided(
     if m == 0 || k == 0 || n == 0 {
         return;
     }
+    // Runtime contract (debug builds only): a stride narrower than its
+    // row width makes consecutive rows alias — UB the type system can't
+    // see at this raw-pointer boundary, and exactly what the sanitizer
+    // legs in CI are hunting for.
+    debug_assert!(
+        !a.is_null() && !b.is_null() && !c.is_null(),
+        "gemm_block_strided: null matrix pointer"
+    );
+    debug_assert!(lda >= k, "gemm_block_strided: lda {lda} < k {k}");
+    debug_assert!(ldb >= n, "gemm_block_strided: ldb {ldb} < n {n}");
+    debug_assert!(ldc >= n, "gemm_block_strided: ldc {ldc} < n {n}");
+    debug_assert!(
+        kc_cols >= n,
+        "gemm_block_strided: kc_cols {kc_cols} < tile width {n}"
+    );
     match kind {
         Kernel::Scalar => gemm_scalar(a, lda, b, ldb, c, ldc, m, k, n),
         // SAFETY: the variant only exists when the `simd` feature compiled

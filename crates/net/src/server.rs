@@ -355,6 +355,9 @@ impl Shared {
     /// Idempotent: first caller closes the queue (drain mode) and pokes
     /// the accept loop awake with a throwaway connection.
     fn begin_shutdown(&self) {
+        // lint:allow(seqcst): the shutdown latch orders the queue close
+        // and the wake-up poke against every accept/conn-loop load; a
+        // weaker swap could let a racing accept miss drain mode.
         if self.shutdown.swap(true, Ordering::SeqCst) {
             return;
         }
@@ -384,6 +387,8 @@ impl Server {
 
     /// True once shutdown has been requested.
     pub fn is_shutting_down(&self) -> bool {
+        // lint:allow(seqcst): pairs with the SeqCst swap in
+        // `begin_shutdown`; callers gate on a globally ordered latch.
         self.shared.shutdown.load(Ordering::SeqCst)
     }
 
@@ -449,12 +454,17 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
         let stream = match listener.accept() {
             Ok((stream, _)) => stream,
             Err(_) => {
+                // lint:allow(seqcst): pairs with the SeqCst swap in
+                // `begin_shutdown` so a failed accept after the latch
+                // flips always terminates the loop.
                 if shared.shutdown.load(Ordering::SeqCst) {
                     return;
                 }
                 continue;
             }
         };
+        // lint:allow(seqcst): same latch; the wake-up poke connection
+        // must observe drain mode and be refused, not served.
         if shared.shutdown.load(Ordering::SeqCst) {
             // The wake-up poke, or a late client: refuse politely.
             let mut w = BufWriter::new(stream);
@@ -522,6 +532,8 @@ fn connection_loop(shared: &Arc<Shared>, stream: TcpStream, client: u64) {
             }
         };
         shared.metrics.requests.fetch_add(1, Ordering::Relaxed);
+        // lint:allow(seqcst): same latch as `begin_shutdown`; requests
+        // that raced past accept are rejected, never half-served.
         if shared.shutdown.load(Ordering::SeqCst) {
             shared
                 .metrics

@@ -279,6 +279,10 @@ impl Service {
         let workers = (0..config.workers.max(1))
             .map(|i| {
                 let inner = Arc::clone(&inner);
+                // lint:allow(thread-spawn): the service's long-lived,
+                // named worker pool is the sanctioned entry point that
+                // feeds the shared executor; per-query compute still
+                // routes through its token arbitration.
                 std::thread::Builder::new()
                     .name(format!("mmjoin-worker-{i}"))
                     .spawn(move || worker_loop(inner))
@@ -456,6 +460,9 @@ impl Service {
             .queue
             .lock()
             .unwrap_or_else(PoisonError::into_inner);
+        // lint:allow(seqcst): the shutdown latch must be globally
+        // ordered with the queue mutex so no submission slips between
+        // the latch flip and the queue's shutdown flag.
         if q.shutdown || self.inner.shutting_down.load(Ordering::SeqCst) {
             let _ = tx.send(Err(ServiceError::ShuttingDown));
         } else if q.jobs.len() >= self.inner.queue_capacity {
@@ -636,6 +643,8 @@ impl Service {
 
 impl Drop for Service {
     fn drop(&mut self) {
+        // lint:allow(seqcst): pairs with the SeqCst load in `submit`;
+        // after this store no new job may enter the queue being drained.
         self.inner.shutting_down.store(true, Ordering::SeqCst);
         {
             let mut q = self

@@ -34,6 +34,8 @@ fn main() -> Result<(), ServiceError> {
     ];
 
     // Hammer the service from 4 client threads; repeats hit the cache.
+    // lint:allow(thread-spawn): example client threads stand in for
+    // external callers, not workspace compute.
     std::thread::scope(|scope| {
         for client in 0..4 {
             let service = &service;
